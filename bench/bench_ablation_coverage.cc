@@ -1,0 +1,59 @@
+// Ablation A2 (DESIGN.md): coverage-recommender gain schedules. Dyn's
+// diminishing-returns gain vs Stat's constant inverse-popularity gain vs
+// Rand's uniform gain, with everything else held fixed — the mechanism
+// behind the paper's Figure 6 observation that Stat lifts LTAccuracy but
+// not Coverage.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.h"
+#include "data/longtail.h"
+#include "eval/metrics.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Ablation A2", "coverage gain schedules: Dyn vs Stat vs Rand");
+
+  const BenchData data = MakeData(Corpus::kMl1m);
+  const RatingDataset& train = data.train;
+  const PsvdRecommender psvd = FitPsvd(train, FullScale() ? 100 : 60);
+  const NormalizedAccuracyScorer scorer(&psvd);
+  const auto theta = ThetaG(train);
+  const MetricsConfig mcfg{.top_n = 5};
+
+  TablePrinter table({"CRec", "F@5", "S@5", "L@5", "C@5", "G@5",
+                      "distinct items in tail recs"});
+  for (CoverageKind kind :
+       {CoverageKind::kDyn, CoverageKind::kStat, CoverageKind::kRand}) {
+    GancConfig cfg;
+    cfg.top_n = 5;
+    cfg.sample_size = 500;
+    const auto topn = RunGanc(scorer, theta, kind, train, cfg);
+    const auto m = EvaluateTopN(train, data.test, topn, mcfg);
+    // How concentrated are the promoted long-tail items? Stat keeps
+    // hammering the same few unpopular items; Dyn spreads out.
+    const LongTailInfo tail = ComputeLongTail(train);
+    std::set<ItemId> tail_distinct;
+    for (const auto& pu : topn) {
+      for (ItemId i : pu) {
+        if (tail.Contains(i)) tail_distinct.insert(i);
+      }
+    }
+    std::vector<std::string> row = {CoverageKindName(kind)};
+    for (const auto& cell : MetricsRow(m)) row.push_back(cell);
+    row.push_back(std::to_string(tail_distinct.size()));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: Dyn and Rand achieve far higher Coverage@5 than Stat;\n"
+      "Stat's constant gain recommends a small set of unpopular items to\n"
+      "everyone (high LTAccuracy, few distinct tail items), while Dyn's\n"
+      "diminishing returns force breadth.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation A3: individual-list diversification vs aggregate coverage.
+//
+// The paper's related-work claim (Section VI, citing Ziegler et al. and
+// Adomavicius & Kwon): "diversifying individual top-N sets does not
+// necessarily increase coverage". We sweep MMR's lambda and contrast it
+// with GANC(ARec, thetaG, Dyn): MMR lowers intra-list similarity but
+// barely moves catalog coverage; GANC moves coverage dramatically.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/metrics.h"
+#include "eval/novelty_metrics.h"
+#include "rerank/mmr.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Ablation A3", "individual diversity (MMR) vs aggregate coverage");
+
+  const BenchData data = MakeData(Corpus::kMl100k);
+  const RatingDataset& train = data.train;
+  const PsvdRecommender psvd = FitPsvd(train, 40);
+  const NormalizedAccuracyScorer scorer(&psvd);
+  const auto theta = ThetaG(train);
+  const MetricsConfig mcfg{.top_n = 5};
+
+  TablePrinter table({"method", "F@5", "C@5", "G@5", "intra-list sim",
+                      "entropy"});
+  // Base + MMR sweep.
+  MmrConfig probe_cfg;
+  probe_cfg.lambda = 1.0;
+  const MmrReranker probe(&psvd, &train, probe_cfg);  // index for ILS
+  for (double lambda : {1.0, 0.7, 0.4, 0.1}) {
+    MmrConfig cfg;
+    cfg.lambda = lambda;
+    const MmrReranker mmr(&psvd, &train, cfg);
+    auto topn = mmr.RecommendAll(train, 5);
+    if (!topn.ok()) return 1;
+    const auto m = EvaluateTopN(train, data.test, *topn, mcfg);
+    table.AddRow({mmr.name(), FormatDouble(m.f_measure, 4),
+                  FormatDouble(m.coverage, 4), FormatDouble(m.gini, 4),
+                  FormatDouble(probe.IntraListSimilarity(*topn), 4),
+                  FormatDouble(RecommendationEntropy(train, *topn, 5), 4)});
+  }
+  // GANC for contrast.
+  {
+    GancConfig cfg;
+    cfg.top_n = 5;
+    cfg.sample_size = 500;
+    const auto topn = RunGanc(scorer, theta, CoverageKind::kDyn, train, cfg);
+    const auto m = EvaluateTopN(train, data.test, topn, mcfg);
+    table.AddRow({"GANC(PSVD40, thetaG, Dyn)", FormatDouble(m.f_measure, 4),
+                  FormatDouble(m.coverage, 4), FormatDouble(m.gini, 4),
+                  FormatDouble(probe.IntraListSimilarity(topn), 4),
+                  FormatDouble(RecommendationEntropy(train, topn, 5), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: decreasing lambda cuts intra-list similarity (lists get\n"
+      "individually diverse) with little aggregate-coverage movement, while\n"
+      "GANC multiplies Coverage@5 — individual diversity and aggregate\n"
+      "coverage are different objectives (paper Section VI).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A1 (DESIGN.md): OSLG's two modifications of locally greedy —
+// KDE-proportional sampling and increasing-theta visit order — switched
+// independently, against the full (unsampled) locally greedy reference.
+// Reports objective value, metrics, and wall-clock per variant.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/metrics.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Ablation A1", "OSLG vs locally greedy: sampling and ordering");
+
+  const BenchData data = MakeData(Corpus::kMl100k);
+  const RatingDataset& train = data.train;
+  const PsvdRecommender psvd = FitPsvd(train, 40);
+  const NormalizedAccuracyScorer scorer(&psvd);
+  const auto theta = ThetaG(train);
+  const MetricsConfig mcfg{.top_n = 5};
+
+  struct Variant {
+    std::string name;
+    int sample_size;
+    bool kde;
+    bool ordered;
+  };
+  const std::vector<Variant> variants = {
+      {"full locally greedy (S=|U|, theta order)", 0, true, true},
+      {"full locally greedy, arbitrary order", 0, true, false},
+      {"OSLG S=500 (KDE + theta order)", 500, true, true},
+      {"OSLG S=500, uniform sampling", 500, false, true},
+      {"OSLG S=500, arbitrary order", 500, true, false},
+      {"OSLG S=100 (KDE + theta order)", 100, true, true},
+  };
+
+  TablePrinter table({"variant", "objective v(P)", "F@5", "C@5", "G@5",
+                      "seconds"});
+  for (const Variant& v : variants) {
+    GancConfig cfg;
+    cfg.top_n = 5;
+    cfg.sample_size = v.sample_size;
+    cfg.kde_sampling = v.kde;
+    cfg.order_by_theta = v.ordered;
+    WallTimer timer;
+    const auto topn = RunGanc(scorer, theta, CoverageKind::kDyn, train, cfg);
+    const double secs = timer.ElapsedSeconds();
+    const auto m = EvaluateTopN(train, data.test, topn, mcfg);
+    const double value =
+        CollectionValue(scorer, theta, CoverageKind::kDyn, train, topn);
+    table.AddRow({v.name, FormatDouble(value, 2), FormatDouble(m.f_measure, 4),
+                  FormatDouble(m.coverage, 4), FormatDouble(m.gini, 4),
+                  FormatDouble(secs, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: sampled OSLG reaches objective values close to the full\n"
+      "locally greedy at a fraction of the sequential wall-clock; the\n"
+      "theta ordering buys coverage at equal objective by steering popular\n"
+      "items to low-theta users first.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension E1 (paper's future work, Section VII): temporal dynamics of
+// long-tail novelty preference. Windows each user's interaction sequence,
+// estimates theta per window, and reports cross-window stability — the
+// empirical premise behind learning theta from historical data.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/preference_dynamics.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Extension E1",
+         "temporal stability of long-tail preference estimates");
+
+  for (Corpus corpus : AllCorpora()) {
+    const BenchData data = MakeData(corpus);
+    std::printf("--- %s ---\n", data.name.c_str());
+    for (int32_t windows : {2, 4}) {
+      auto traj = EstimateThetaWindows(data.full, {.num_windows = windows});
+      if (!traj.ok()) {
+        std::fprintf(stderr, "dynamics: %s\n",
+                     traj.status().ToString().c_str());
+        return 1;
+      }
+      const DriftReport drift = SummarizeDrift(*traj);
+      TablePrinter table({"transition", "corr(theta_w, theta_w+1)",
+                          "mean |drift|"});
+      for (size_t t = 0; t < drift.adjacent_correlation.size(); ++t) {
+        table.AddRow({std::to_string(t) + "->" + std::to_string(t + 1),
+                      FormatDouble(drift.adjacent_correlation[t], 3),
+                      FormatDouble(drift.mean_abs_drift[t], 4)});
+      }
+      std::printf("windows = %d (users in all windows: %d)\n", windows,
+                  drift.users_in_all_windows);
+      table.Print();
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: positive adjacent-window correlations on every corpus —\n"
+      "the long-tail preference signal is stable enough to learn from\n"
+      "history, supporting the paper's theta-based personalization.\n");
+  return 0;
+}

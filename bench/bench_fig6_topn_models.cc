@@ -1,0 +1,92 @@
+// Figure 6: accuracy-vs-coverage and accuracy-vs-novelty positions of the
+// top-N recommendation models: Rand, Pop, RSVD, CofiR100, PSVD10,
+// PSVD100, PRA(ARec, 10), GANC(ARec, thetaG, {Dyn, Stat, Rand}).
+// Following the paper, ARec is Pop on MT-200K and PSVD100 elsewhere.
+// Printed as a table of (F@5, Coverage@5, LTAccuracy@5) points per model —
+// the scatter coordinates of the two Figure 6 rows.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/runner.h"
+#include "recommender/cofirank.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+#include "rerank/pra.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Figure 6", "accuracy vs coverage vs novelty for top-N models");
+
+  for (Corpus corpus : AllCorpora()) {
+    const BenchData data = MakeData(corpus);
+    const RatingDataset& train = data.train;
+    std::printf("=== %s ===\n", data.name.c_str());
+
+    RandomRecommender rnd(55);
+    (void)rnd.Fit(train);
+    PopRecommender pop;
+    (void)pop.Fit(train);
+    const RsvdRecommender rsvd = FitRsvd(corpus, train);
+    CofiConfig cofi_cfg;
+    cofi_cfg.num_factors = FullScale() ? 100 : 40;
+    CofiRecommender cofi(cofi_cfg);
+    (void)cofi.Fit(train);
+    const PsvdRecommender psvd10 = FitPsvd(train, 10);
+    const PsvdRecommender psvd100 = FitPsvd(train, FullScale() ? 100 : 60);
+
+    // The pluggable accuracy recommender: Pop on sparse MT-200K, PSVD100
+    // elsewhere (Section V-B).
+    const bool use_pop = corpus == Corpus::kMt200k;
+    const Recommender& arec =
+        use_pop ? static_cast<const Recommender&>(pop)
+                : static_cast<const Recommender&>(psvd100);
+    const NormalizedAccuracyScorer norm_scorer(&arec);
+    const TopNIndicatorScorer ind_scorer(&arec, &train, 5);
+    const AccuracyScorer& scorer =
+        use_pop ? static_cast<const AccuracyScorer&>(ind_scorer)
+                : static_cast<const AccuracyScorer&>(norm_scorer);
+
+    const auto theta_g = ThetaG(train);
+    const PraReranker pra(&arec, &train, {});
+
+    GancConfig gcfg;
+    gcfg.top_n = 5;
+    gcfg.sample_size = 500;
+
+    const std::vector<AlgorithmEntry> entries = {
+        {"Rand", [&] { return RecommendAllUsers(rnd, train, 5); }},
+        {"Pop", [&] { return RecommendAllUsers(pop, train, 5); }},
+        {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5); }},
+        {cofi.name(), [&] { return RecommendAllUsers(cofi, train, 5); }},
+        {"PSVD10", [&] { return RecommendAllUsers(psvd10, train, 5); }},
+        {psvd100.name(), [&] { return RecommendAllUsers(psvd100, train, 5); }},
+        {"PRA(" + arec.name() + ", 10)",
+         [&] { return pra.RecommendAll(train, 5).value(); }},
+        {"GANC(" + arec.name() + ", thetaG, Dyn)",
+         [&] {
+           return RunGanc(scorer, theta_g, CoverageKind::kDyn, train, gcfg);
+         }},
+        {"GANC(" + arec.name() + ", thetaG, Stat)",
+         [&] {
+           return RunGanc(scorer, theta_g, CoverageKind::kStat, train, gcfg);
+         }},
+        {"GANC(" + arec.name() + ", thetaG, Rand)",
+         [&] {
+           return RunGanc(scorer, theta_g, CoverageKind::kRand, train, gcfg);
+         }},
+    };
+    const auto results =
+        RunComparison(entries, train, data.test, MetricsConfig{.top_n = 5});
+    ComparisonTable(results, 5).Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape (Fig. 6): Rand = best coverage/worst F; Pop = strong F,\n"
+      "no novelty; the GANC arrow from ARec gains coverage at modest F\n"
+      "cost; Stat lifts LTAccuracy but not Coverage; RSVD is dominated in\n"
+      "F and coverage by the other personalized models.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figures 7 & 8 (Appendix C): the effect of the test ranking protocol on
+// accuracy / coverage / novelty measurements, on ML-100K (Fig. 7) and
+// ML-1M (Fig. 8). Baselines: Rand, Pop, RSVD, RSVDN, CofiR, and PureSVD
+// at several factor counts, each evaluated under both the all-unrated-
+// items protocol and the rated-test-items protocol.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/protocol.h"
+#include "eval/runner.h"
+#include "recommender/cofirank.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Figures 7-8", "test ranking protocol comparison (Appendix C)");
+
+  for (Corpus corpus : {Corpus::kMl100k, Corpus::kMl1m}) {
+    const BenchData data = MakeData(corpus);
+    const RatingDataset& train = data.train;
+    std::printf("=== %s (%s) ===\n", data.name.c_str(),
+                corpus == Corpus::kMl100k ? "Figure 7" : "Figure 8");
+
+    RandomRecommender rnd(66);
+    (void)rnd.Fit(train);
+    PopRecommender pop;
+    (void)pop.Fit(train);
+    const RsvdRecommender rsvd = FitRsvd(corpus, train);
+    RsvdConfig nn_cfg = RsvdConfigFor(corpus);
+    nn_cfg.non_negative = true;
+    RsvdRecommender rsvdn(nn_cfg);
+    (void)rsvdn.Fit(train);
+    CofiConfig cofi_cfg;
+    cofi_cfg.num_factors = FullScale() ? 100 : 40;
+    CofiRecommender cofi(cofi_cfg);
+    (void)cofi.Fit(train);
+    const PsvdRecommender psvd10 = FitPsvd(train, 10);
+    const PsvdRecommender psvd40 = FitPsvd(train, 40);
+    const PsvdRecommender psvd100 = FitPsvd(train, FullScale() ? 100 : 60);
+
+    const std::vector<const Recommender*> models = {
+        &rnd, &pop, &rsvd, &rsvdn, &cofi, &psvd10, &psvd40, &psvd100};
+
+    for (RankingProtocol protocol :
+         {RankingProtocol::kAllUnrated, RankingProtocol::kRatedTestItems}) {
+      std::printf("--- protocol: %s ---\n",
+                  RankingProtocolName(protocol).c_str());
+      TablePrinter table(
+          {"Alg", "P@5", "F@5", "Coverage@5", "LTAccuracy@5"});
+      for (const Recommender* model : models) {
+        const auto topn =
+            BuildTopN(*model, train, data.test, 5, protocol);
+        const auto m = EvaluateTopN(train, data.test, topn,
+                                    MetricsConfig{.top_n = 5});
+        table.AddRow({model->name(), FormatDouble(m.precision, 4),
+                      FormatDouble(m.f_measure, 4),
+                      FormatDouble(m.coverage, 4),
+                      FormatDouble(m.lt_accuracy, 4)});
+      }
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "paper shape (Figs. 7-8): the rated-test-items protocol inflates\n"
+      "accuracy for every model (Rand reaches F ~ 0.25, precision ~ 0.6 on\n"
+      "ML-1M) and compresses LTAccuracy toward 0, while the all-unrated\n"
+      "protocol restores the expected ordering (Pop strong, Rand weakest);\n"
+      "RSVD/RSVDN profit most from the biased protocol because both are\n"
+      "optimized on observed feedback only.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Grouped-user analysis: how the trade-off plays out for infrequent vs
+// active users (the cohorts the paper highlights for MT-200K/Netflix).
+// Compares the base accuracy recommender with GANC per activity band.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/grouped.h"
+#include "recommender/recommender.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Grouped users",
+         "accuracy/novelty per activity cohort (base vs GANC)");
+
+  for (Corpus corpus : {Corpus::kMt200k, Corpus::kNetflix}) {
+    const BenchData data = MakeData(corpus);
+    const RatingDataset& train = data.train;
+    std::printf("=== %s ===\n", data.name.c_str());
+
+    PopRecommender pop;
+    (void)pop.Fit(train);
+    const TopNIndicatorScorer scorer(&pop, &train, 5);
+    const auto theta = ThetaG(train);
+
+    GancConfig cfg;
+    cfg.top_n = 5;
+    cfg.sample_size = 500;
+    const auto base_topn = RecommendAllUsers(pop, train, 5);
+    const auto ganc_topn =
+        RunGanc(scorer, theta, CoverageKind::kDyn, train, cfg);
+
+    const MetricsConfig mcfg{.top_n = 5};
+    for (const auto& [label, topn] :
+         std::vector<std::pair<std::string,
+                               const std::vector<std::vector<ItemId>>*>>{
+             {"Pop", &base_topn}, {"GANC(Pop, thetaG, Dyn)", &ganc_topn}}) {
+      std::printf("--- %s ---\n", label.c_str());
+      TablePrinter table({"cohort", "users", "P@5", "R@5", "L@5", "C@5"});
+      for (const GroupReport& g :
+           EvaluateByActivity(train, data.test, *topn, mcfg)) {
+        table.AddRow({g.name, std::to_string(g.num_users),
+                      FormatDouble(g.metrics.precision, 4),
+                      FormatDouble(g.metrics.recall, 4),
+                      FormatDouble(g.metrics.lt_accuracy, 4),
+                      FormatDouble(g.metrics.coverage, 4)});
+      }
+      table.Print();
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: infrequent users carry lower absolute accuracy under\n"
+      "every model (less to learn from, fewer test items); GANC's novelty\n"
+      "lift (LTAccuracy) applies across cohorts, not just power users.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table II: dataset statistics — |D|, |U|, |I|, density d%, long-tail
+// share L%, split ratio kappa, minimum ratings tau, plus the infrequent-
+// user shares the paper quotes in the text (47.42% for MT-200K, 3.37% for
+// Netflix).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "data/longtail.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Table II", "dataset description (synthetic substitutes)");
+
+  TablePrinter table({"Dataset", "|D|", "|U|", "|I|", "d%", "L%", "kappa",
+                      "tau", "users<10 ratings %"});
+  for (Corpus corpus : AllCorpora()) {
+    const BenchData data = MakeData(corpus);
+    const DatasetSummary s = Summarize(data.name, data.full, &data.train);
+    table.AddRow({s.name, std::to_string(s.num_ratings),
+                  std::to_string(s.num_users), std::to_string(s.num_items),
+                  FormatDouble(s.density_percent, 2),
+                  FormatDouble(s.longtail_percent, 2),
+                  FormatDouble(data.spec.kappa, 1),
+                  std::to_string(data.spec.tau),
+                  FormatDouble(s.infrequent_user_percent, 2)});
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper reference (Table II): ML-100K d=6.30 L=66.98 | ML-1M d=4.47\n"
+      "L=67.58 | ML-10M d=1.34 L=84.31 | MT-200K d=0.16 L=86.84 |\n"
+      "Netflix d=1.21 L=88.27; MT-200K has 47.42%% (Netflix 3.37%%) of\n"
+      "users with fewer than 10 ratings.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Table IV: top-5 re-ranking comparison over the RSVD rating-prediction
+// base, on all five datasets. Algorithms: RSVD, 5D(RSVD),
+// 5D(RSVD, A, RR), RBT(RSVD, Pop), RBT(RSVD, Avg), PRA(RSVD, 10),
+// PRA(RSVD, 20), GANC(RSVD, thetaT, Dyn), GANC(RSVD, thetaG, Dyn);
+// metrics F/S/L/C/G@5 plus the average-rank Score column.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/runner.h"
+#include "recommender/recommender.h"
+#include "rerank/pra.h"
+#include "rerank/rbt.h"
+#include "rerank/resource_allocation.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Table IV", "re-ranking a rating-prediction model (RSVD base)");
+
+  for (Corpus corpus : AllCorpora()) {
+    const BenchData data = MakeData(corpus);
+    const RatingDataset& train = data.train;
+    std::printf("=== %s ===\n", data.name.c_str());
+
+    const RsvdRecommender rsvd = FitRsvd(corpus, train);
+    const NormalizedAccuracyScorer rsvd_scorer(&rsvd);
+
+    auto theta_t = ComputePreference(PreferenceModel::kTfidf, train);
+    const auto theta_g = ThetaG(train);
+
+    RbtConfig rbt_cfg;  // T_R = 4.5, T_max = 5 (paper defaults)
+    rbt_cfg.min_threshold =
+        (corpus == Corpus::kMl10m || corpus == Corpus::kNetflix) ? 0.0 : 1.0;
+    RbtConfig rbt_avg_cfg = rbt_cfg;
+    rbt_avg_cfg.criterion = RbtCriterion::kAvg;
+    const RbtReranker rbt_pop(&rsvd, &train, rbt_cfg);
+    const RbtReranker rbt_avg(&rsvd, &train, rbt_avg_cfg);
+
+    const FiveDReranker five_plain(&rsvd, &train, {});
+    FiveDConfig five_arr_cfg;
+    five_arr_cfg.accuracy_filter = true;
+    five_arr_cfg.rank_by_rankings = true;
+    const FiveDReranker five_arr(&rsvd, &train, five_arr_cfg);
+
+    PraConfig pra10_cfg;
+    pra10_cfg.exchangeable_size = 10;
+    PraConfig pra20_cfg;
+    pra20_cfg.exchangeable_size = 20;
+    const PraReranker pra10(&rsvd, &train, pra10_cfg);
+    const PraReranker pra20(&rsvd, &train, pra20_cfg);
+
+    GancConfig gcfg;
+    gcfg.top_n = 5;
+    gcfg.sample_size = 500;
+
+    const std::vector<AlgorithmEntry> entries = {
+        {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5); }},
+        {"5D(RSVD)",
+         [&] { return five_plain.RecommendAll(train, 5).value(); }},
+        {"5D(RSVD, A, RR)",
+         [&] { return five_arr.RecommendAll(train, 5).value(); }},
+        {"RBT(RSVD, Pop)",
+         [&] { return rbt_pop.RecommendAll(train, 5).value(); }},
+        {"RBT(RSVD, Avg)",
+         [&] { return rbt_avg.RecommendAll(train, 5).value(); }},
+        {"PRA(RSVD, 10)", [&] { return pra10.RecommendAll(train, 5).value(); }},
+        {"PRA(RSVD, 20)", [&] { return pra20.RecommendAll(train, 5).value(); }},
+        {"GANC(RSVD, thetaT, Dyn)",
+         [&] {
+           return RunGanc(rsvd_scorer, *theta_t, CoverageKind::kDyn, train,
+                          gcfg);
+         }},
+        {"GANC(RSVD, thetaG, Dyn)",
+         [&] {
+           return RunGanc(rsvd_scorer, theta_g, CoverageKind::kDyn, train,
+                          gcfg);
+         }},
+    };
+    const auto results =
+        RunComparison(entries, train, data.test, MetricsConfig{.top_n = 5});
+    ComparisonTable(results, 5).Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape (Table IV): all re-rankers trade F for coverage; 5D has\n"
+      "the extreme LTAccuracy but near-zero F; GANC variants dominate\n"
+      "Coverage/Gini and obtain the lowest (best) average-rank Score,\n"
+      "winning everything except LTAccuracy on the dense ML-1M.\n");
+  return 0;
+}

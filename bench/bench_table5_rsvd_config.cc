@@ -1,0 +1,79 @@
+// Table V (Appendix A): RSVD / RSVDN hyper-parameter selection. The paper
+// cross-validated eta, lambda, and g per dataset and reports the chosen
+// configuration with its RMSE. We re-run a compact version of that sweep
+// on ML-100K and report the Table V configurations' held-out RMSE on
+// every corpus.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ganc;
+using namespace ganc::bench;
+
+int main() {
+  Banner("Table V", "RSVD hyper-parameter selection and RMSE");
+
+  // --- Compact cross-validation sweep on ML-100K.
+  {
+    const BenchData data = MakeData(Corpus::kMl100k);
+    std::printf("--- grid sweep on %s (held-out RMSE) ---\n",
+                data.name.c_str());
+    TablePrinter table({"eta", "lambda", "g", "RMSE"});
+    double best_rmse = 1e9;
+    std::string best;
+    for (double eta : {0.002, 0.01, 0.03}) {
+      for (double lambda : {0.005, 0.05}) {
+        for (int g : {20, 40, FullScale() ? 100 : 60}) {
+          RsvdConfig cfg;
+          cfg.learning_rate = eta;
+          cfg.regularization = lambda;
+          cfg.num_factors = g;
+          cfg.num_epochs = FullScale() ? 30 : 15;
+          cfg.use_biases = true;
+          RsvdRecommender model(cfg);
+          if (!model.Fit(data.train).ok()) continue;
+          const double rmse = model.Rmse(data.test);
+          table.AddRow({FormatDouble(eta, 3), FormatDouble(lambda, 3),
+                        std::to_string(g), FormatDouble(rmse, 4)});
+          if (rmse < best_rmse) {
+            best_rmse = rmse;
+            best = "eta=" + FormatDouble(eta, 3) +
+                   " lambda=" + FormatDouble(lambda, 3) +
+                   " g=" + std::to_string(g);
+          }
+        }
+      }
+    }
+    table.Print();
+    std::printf("best: %s (RMSE %.4f)\n\n", best.c_str(), best_rmse);
+  }
+
+  // --- Table V configurations across all corpora (RSVD and RSVDN).
+  std::printf("--- Table V configurations, held-out RMSE per corpus ---\n");
+  TablePrinter table({"Dataset", "eta", "lambda", "g", "RSVD RMSE",
+                      "RSVDN RMSE"});
+  for (Corpus corpus : AllCorpora()) {
+    const BenchData data = MakeData(corpus);
+    const RsvdConfig cfg = RsvdConfigFor(corpus);
+    RsvdRecommender rsvd(cfg);
+    (void)rsvd.Fit(data.train);
+    RsvdConfig nn = cfg;
+    nn.non_negative = true;
+    RsvdRecommender rsvdn(nn);
+    (void)rsvdn.Fit(data.train);
+    table.AddRow({data.name, FormatDouble(cfg.learning_rate, 3),
+                  FormatDouble(cfg.regularization, 3),
+                  std::to_string(cfg.num_factors),
+                  FormatDouble(rsvd.Rmse(data.test), 4),
+                  FormatDouble(rsvdn.Rmse(data.test), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper reference (Table V RMSE): ML-100K 0.935, ML-1M 0.868,\n"
+      "ML-10M 0.872, MT-200K 0.761, Netflix 0.979; RSVDN tracks RSVD\n"
+      "closely everywhere (the paper found no significant difference).\n");
+  return 0;
+}

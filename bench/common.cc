@@ -1,0 +1,184 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ganc {
+namespace bench {
+
+std::vector<Corpus> AllCorpora() {
+  return {Corpus::kMl100k, Corpus::kMl1m, Corpus::kMl10m, Corpus::kMt200k,
+          Corpus::kNetflix};
+}
+
+std::string CorpusName(Corpus corpus) {
+  switch (corpus) {
+    case Corpus::kMl100k:
+      return "ML-100K";
+    case Corpus::kMl1m:
+      return "ML-1M";
+    case Corpus::kMl10m:
+      return "ML-10M";
+    case Corpus::kMt200k:
+      return "MT-200K";
+    case Corpus::kNetflix:
+      return "Netflix";
+  }
+  return "?";
+}
+
+bool FullScale() {
+  const char* env = std::getenv("GANC_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+SyntheticSpec SpecFor(Corpus corpus) {
+  SyntheticSpec spec;
+  switch (corpus) {
+    case Corpus::kMl100k:
+      spec = MovieLens100KSpec();
+      break;
+    case Corpus::kMl1m:
+      spec = MovieLens1MSpec();
+      if (!FullScale()) {
+        spec.num_users = 2400;
+        spec.num_items = 2200;
+      }
+      break;
+    case Corpus::kMl10m:
+      spec = MovieLens10MScaledSpec();
+      if (!FullScale()) {
+        spec.num_users = 3000;
+        spec.num_items = 3200;
+      }
+      break;
+    case Corpus::kMt200k:
+      spec = MovieTweetings200KSpec();
+      if (!FullScale()) {
+        spec.num_users = 3000;
+        spec.num_items = 5200;
+      }
+      break;
+    case Corpus::kNetflix:
+      spec = NetflixScaledSpec();
+      if (!FullScale()) {
+        spec.num_users = 3400;
+        spec.num_items = 2600;
+      }
+      break;
+  }
+  return spec;
+}
+
+BenchData MakeData(Corpus corpus) {
+  BenchData data;
+  data.spec = SpecFor(corpus);
+  data.name = CorpusName(corpus);
+  auto ds = GenerateSynthetic(data.spec);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generate %s: %s\n", data.name.c_str(),
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  data.full = std::move(ds).value();
+  auto split = PerUserRatioSplit(
+      data.full, {.train_ratio = data.spec.kappa, .seed = 42});
+  if (!split.ok()) {
+    std::fprintf(stderr, "split %s: %s\n", data.name.c_str(),
+                 split.status().ToString().c_str());
+    std::exit(1);
+  }
+  data.train = std::move(split->train);
+  data.test = std::move(split->test);
+  return data;
+}
+
+RsvdConfig RsvdConfigFor(Corpus corpus) {
+  // Appendix A, Table V.
+  RsvdConfig c;
+  c.use_biases = true;  // keeps bias-free scale issues out of re-ranking
+  c.num_epochs = FullScale() ? 30 : 20;
+  switch (corpus) {
+    case Corpus::kMl100k:
+      c.learning_rate = 0.03;
+      c.regularization = 0.05;
+      c.num_factors = FullScale() ? 100 : 40;
+      break;
+    case Corpus::kMl1m:
+      c.learning_rate = 0.03;
+      c.regularization = 0.05;
+      c.num_factors = FullScale() ? 100 : 40;
+      break;
+    case Corpus::kMl10m:
+      c.learning_rate = 0.003;
+      c.regularization = 0.005;
+      c.num_factors = 20;
+      break;
+    case Corpus::kMt200k:
+      c.learning_rate = 0.01;
+      c.regularization = 0.01;
+      c.num_factors = 40;
+      break;
+    case Corpus::kNetflix:
+      c.learning_rate = 0.002;
+      c.regularization = 0.05;
+      c.num_factors = FullScale() ? 100 : 40;
+      break;
+  }
+  return c;
+}
+
+RsvdRecommender FitRsvd(Corpus corpus, const RatingDataset& train) {
+  RsvdRecommender model(RsvdConfigFor(corpus));
+  const Status s = model.Fit(train);
+  if (!s.ok()) {
+    std::fprintf(stderr, "RSVD fit: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return model;
+}
+
+PsvdRecommender FitPsvd(const RatingDataset& train, int factors) {
+  PsvdRecommender model({.num_factors = factors});
+  const Status s = model.Fit(train);
+  if (!s.ok()) {
+    std::fprintf(stderr, "PSVD fit: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return model;
+}
+
+std::vector<double> ThetaG(const RatingDataset& train) {
+  GeneralizedPreferenceOptions opts;
+  opts.max_iterations = 40;
+  opts.tolerance = 1e-6;
+  auto result = GeneralizedPreference(train, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "thetaG: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value().theta;
+}
+
+TopNCollection RunGanc(const AccuracyScorer& scorer,
+                       const std::vector<double>& theta, CoverageKind kind,
+                       const RatingDataset& train, const GancConfig& config) {
+  Ganc ganc(&scorer, theta, kind);
+  auto topn = ganc.RecommendAll(train, config);
+  if (!topn.ok()) {
+    std::fprintf(stderr, "GANC: %s\n", topn.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(topn).value();
+}
+
+void Banner(const std::string& experiment, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("scale: %s (set GANC_BENCH_SCALE=full for calibrated sizes)\n",
+              FullScale() ? "full" : "reduced");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace ganc

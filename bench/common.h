@@ -1,0 +1,81 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one paper table or figure. The paper's
+// five corpora are synthesized by data/synthetic.h presets; because the
+// full presets take minutes end-to-end, each bench defaults to a reduced
+// "bench scale" and honours GANC_BENCH_SCALE=full for the calibrated
+// sizes. EXPERIMENTS.md records which scale produced the committed
+// numbers.
+
+#ifndef GANC_BENCH_COMMON_H_
+#define GANC_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/accuracy_scorer.h"
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "recommender/pop.h"
+#include "recommender/psvd.h"
+#include "recommender/rsvd.h"
+
+namespace ganc {
+namespace bench {
+
+/// The paper's five evaluation corpora.
+enum class Corpus { kMl100k, kMl1m, kMl10m, kMt200k, kNetflix };
+
+/// All corpora in Table II order.
+std::vector<Corpus> AllCorpora();
+
+/// "ML-100K", "ML-1M", ...
+std::string CorpusName(Corpus corpus);
+
+/// True when GANC_BENCH_SCALE=full is set: use the calibrated preset
+/// sizes instead of the fast reduced ones.
+bool FullScale();
+
+/// The synthetic spec for a corpus at the active scale.
+SyntheticSpec SpecFor(Corpus corpus);
+
+/// A generated and split corpus.
+struct BenchData {
+  std::string name;
+  SyntheticSpec spec;
+  RatingDataset full;
+  RatingDataset train;
+  RatingDataset test;
+};
+
+/// Generates and splits a corpus (kappa from the spec). Exits on error —
+/// benches have no meaningful recovery path.
+BenchData MakeData(Corpus corpus);
+
+/// The paper's per-dataset RSVD hyper-parameters (Table V), epochs
+/// trimmed at bench scale.
+RsvdConfig RsvdConfigFor(Corpus corpus);
+
+/// Fits RSVD with the Table V configuration.
+RsvdRecommender FitRsvd(Corpus corpus, const RatingDataset& train);
+
+/// Fits PureSVD with the given rank.
+PsvdRecommender FitPsvd(const RatingDataset& train, int factors);
+
+/// theta^G with bench-friendly solver limits.
+std::vector<double> ThetaG(const RatingDataset& train);
+
+/// Runs GANC and returns the collection; exits on error.
+TopNCollection RunGanc(const AccuracyScorer& scorer,
+                       const std::vector<double>& theta, CoverageKind kind,
+                       const RatingDataset& train, const GancConfig& config);
+
+/// Prints the standard bench banner (what figure/table, which scale).
+void Banner(const std::string& experiment, const std::string& description);
+
+}  // namespace bench
+}  // namespace ganc
+
+#endif  // GANC_BENCH_COMMON_H_

@@ -1,0 +1,159 @@
+// google-benchmark micro-benchmarks for the performance-critical kernels:
+// greedy top-N selection, Dyn coverage updates, KDE sampling, one SGD
+// epoch, metric evaluation, and theta^G iterations.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/coverage.h"
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/recommender.h"
+#include "util/kde.h"
+#include "util/stats.h"
+#include "util/top_k.h"
+
+namespace ganc {
+namespace {
+
+const RatingDataset& BenchTrain() {
+  static const RatingDataset* train = [] {
+    auto spec = TinySpec();
+    spec.num_users = 500;
+    spec.num_items = 800;
+    spec.mean_activity = 60.0;
+    auto ds = GenerateSynthetic(spec);
+    return new RatingDataset(std::move(ds).value());
+  }();
+  return *train;
+}
+
+void BM_SelectTopK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<ScoredItem> items(n);
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    items[i] = {static_cast<int32_t>(i), rng.Uniform()};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTopK(items, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SelectTopK)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GreedyTopNForUser(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  PopRecommender pop;
+  (void)pop.Fit(train);
+  NormalizedAccuracyScorer scorer(&pop);
+  const auto acc = scorer.ScoreAll(0);
+  DynCoverage dyn(train.num_items());
+  const auto cands = train.UnratedItems(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyTopNForUser(acc, 0.5, dyn, 0, cands, 5));
+  }
+}
+BENCHMARK(BM_GreedyTopNForUser);
+
+void BM_DynObserve(benchmark::State& state) {
+  DynCoverage dyn(10000);
+  int32_t i = 0;
+  for (auto _ : state) {
+    dyn.Observe(i);
+    i = (i + 97) % 10000;
+  }
+}
+BENCHMARK(BM_DynObserve);
+
+void BM_KdeFitAndSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.Uniform();
+  for (auto _ : state) {
+    Rng local(3);
+    benchmark::DoNotOptimize(KdeProportionalSample(values, n / 10, &local));
+  }
+}
+BENCHMARK(BM_KdeFitAndSample)->Arg(500)->Arg(2000);
+
+void BM_RsvdEpoch(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  for (auto _ : state) {
+    RsvdRecommender rsvd({.num_factors = 16, .num_epochs = 1});
+    (void)rsvd.Fit(train);
+    benchmark::DoNotOptimize(rsvd);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          train.num_ratings());
+}
+BENCHMARK(BM_RsvdEpoch);
+
+void BM_PsvdFit(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  for (auto _ : state) {
+    PsvdRecommender psvd({.num_factors = static_cast<int32_t>(state.range(0))});
+    (void)psvd.Fit(train);
+    benchmark::DoNotOptimize(psvd);
+  }
+}
+BENCHMARK(BM_PsvdFit)->Arg(10)->Arg(40);
+
+void BM_ThetaGIteration(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  for (auto _ : state) {
+    GeneralizedPreferenceOptions opts;
+    opts.max_iterations = 5;
+    benchmark::DoNotOptimize(GeneralizedPreference(train, opts));
+  }
+}
+BENCHMARK(BM_ThetaGIteration);
+
+void BM_EvaluateTopN(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  PopRecommender pop;
+  (void)pop.Fit(train);
+  const auto topn = RecommendAllUsers(pop, train, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateTopN(train, train, topn, MetricsConfig{.top_n = 5}));
+  }
+}
+BENCHMARK(BM_EvaluateTopN);
+
+void BM_GiniCoefficient(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> freq(static_cast<size_t>(state.range(0)));
+  for (double& f : freq) f = std::floor(rng.Uniform() * 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GiniCoefficient(freq));
+  }
+}
+BENCHMARK(BM_GiniCoefficient)->Arg(1000)->Arg(20000);
+
+void BM_OslgEndToEnd(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  PopRecommender pop;
+  (void)pop.Fit(train);
+  TopNIndicatorScorer scorer(&pop, &train, 5);
+  const auto theta = bench::ThetaG(train);
+  for (auto _ : state) {
+    GancConfig cfg;
+    cfg.top_n = 5;
+    cfg.sample_size = static_cast<int>(state.range(0));
+    benchmark::DoNotOptimize(
+        bench::RunGanc(scorer, theta, CoverageKind::kDyn, train, cfg));
+  }
+}
+BENCHMARK(BM_OslgEndToEnd)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace ganc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// implicit_purchases: the purchase-log scenario from the paper's
+// introduction — only unary "bought it" signals, no ratings.
+//
+//   build/examples/implicit_purchases
+//
+// Binarizes a sparse corpus into implicit interactions, trains BPR as
+// the accuracy recommender, evaluates it under the sampled leave-one-out
+// protocol, then plugs it into GANC(BPR, thetaN, Dyn) to correct the
+// popularity bias. theta^G/theta^T need rating values; on unary data the
+// normalized long-tail model thetaN is the natural estimator, showing
+// how the framework degrades gracefully across feedback types.
+
+#include <cstdio>
+
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/binarize.h"
+#include "data/longtail.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "eval/sampled_ranking.h"
+#include "recommender/bpr.h"
+#include "recommender/pop.h"
+#include "recommender/recommender.h"
+
+using namespace ganc;
+
+int main() {
+  // A sparse corpus, consumed as implicit feedback.
+  SyntheticSpec spec = NetflixScaledSpec();
+  spec.num_users = 2500;
+  spec.num_items = 2000;
+  auto dataset = GenerateSynthetic(spec);
+  if (!dataset.ok()) return 1;
+  auto split = PerUserRatioSplit(*dataset, {.train_ratio = 0.8, .seed = 11});
+  if (!split.ok()) return 1;
+  auto train = Binarize(split->train);
+  if (!train.ok()) return 1;
+  const RatingDataset& test = split->test;
+
+  std::printf("implicit corpus: %lld interactions, %d users, %d items\n\n",
+              static_cast<long long>(train->num_ratings()),
+              train->num_users(), train->num_items());
+
+  // BPR on the unary matrix.
+  BprRecommender bpr({.num_factors = 32, .num_epochs = 30});
+  if (!bpr.Fit(*train).ok()) return 1;
+  PopRecommender pop;
+  if (!pop.Fit(*train).ok()) return 1;
+
+  // Sampled leave-one-out check of the ranker itself.
+  for (const Recommender* model :
+       std::vector<const Recommender*>{&bpr, &pop}) {
+    auto report = EvaluateSampledRanking(
+        *model, *train, test, {.top_n = 10, .num_negatives = 99,
+                               .max_positives = 20000, .seed = 3});
+    if (!report.ok()) return 1;
+    std::printf("%-4s  HR@10 = %.3f  NDCG@10 = %.3f  (chance = 0.100)\n",
+                model->name().c_str(), report->hit_rate, report->ndcg);
+  }
+
+  // Long-tail preference from unary data: fraction of tail interactions.
+  auto theta = ComputePreference(PreferenceModel::kNormalized, *train);
+  if (!theta.ok()) return 1;
+
+  NormalizedAccuracyScorer accuracy(&bpr);
+  Ganc ganc(&accuracy, *theta, CoverageKind::kDyn);
+  GancConfig config;
+  config.top_n = 10;
+  config.sample_size = 500;
+
+  std::printf("\n== top-10 comparison (all-unrated protocol) ==\n");
+  const std::vector<AlgorithmEntry> entries = {
+      {"Pop", [&] { return RecommendAllUsers(pop, *train, 10); }},
+      {"BPR", [&] { return RecommendAllUsers(bpr, *train, 10); }},
+      {"GANC(BPR, thetaN, Dyn)",
+       [&] { return ganc.RecommendAll(*train, config).value(); }},
+  };
+  const auto results =
+      RunComparison(entries, *train, test, MetricsConfig{.top_n = 10});
+  ComparisonTable(results, 10).Print();
+
+  std::printf(
+      "\nGANC is agnostic to the feedback type: swap the accuracy\n"
+      "recommender (BPR here) and the theta estimator (thetaN on unary\n"
+      "data) and the trade-off machinery carries over unchanged.\n");
+  return 0;
+}

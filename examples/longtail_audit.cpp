@@ -1,0 +1,85 @@
+// longtail_audit: use the library as an *analysis* toolkit rather than a
+// recommender — audit a catalog's popularity bias and profile the users'
+// long-tail novelty preferences (the paper's Sections II and IV-B).
+//
+//   build/examples/longtail_audit
+//
+// Prints: the Pareto head/tail split of the catalog, Figure-1-style binned
+// popularity-vs-activity rows, and Figure-2-style histograms of the four
+// preference estimators side by side.
+
+#include <cstdio>
+
+#include "core/preference.h"
+#include "data/longtail.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace ganc;
+
+int main() {
+  SyntheticSpec spec = MovieLens100KSpec();
+  auto dataset = GenerateSynthetic(spec);
+  if (!dataset.ok()) return 1;
+  auto split = PerUserRatioSplit(*dataset, {.train_ratio = spec.kappa,
+                                            .seed = 3});
+  if (!split.ok()) return 1;
+  const RatingDataset& train = split->train;
+
+  // --- Catalog audit.
+  const LongTailInfo tail = ComputeLongTail(train);
+  std::printf("catalog: %d items, %d rated in train, long-tail %.1f%% "
+              "(Pareto 80/20 cut)\n\n",
+              train.num_items(), tail.num_rated_items, tail.tail_percent);
+
+  // --- Figure 1: avg popularity of rated items vs user activity.
+  std::vector<double> activity, avg_pop;
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const auto& row = train.ItemsOf(u);
+    if (row.empty()) continue;
+    double acc = 0.0;
+    for (const ItemRating& ir : row) {
+      acc += static_cast<double>(train.Popularity(ir.item));
+    }
+    activity.push_back(static_cast<double>(row.size()));
+    avg_pop.push_back(acc / static_cast<double>(row.size()));
+  }
+  std::printf("Figure-1 audit: mean popularity of rated items by activity "
+              "bin (should decrease)\n");
+  TablePrinter fig1({"activity bin center", "avg popularity", "users"});
+  for (const auto& row : BinnedMeans(activity, avg_pop, 10)) {
+    fig1.AddRow({FormatDouble(row.bin_center, 1),
+                 FormatDouble(row.mean_y, 1), std::to_string(row.count)});
+  }
+  fig1.Print();
+
+  // --- Figure 2: preference model histograms.
+  const auto theta_a = ActivityPreference(train);
+  const auto theta_n = NormalizedLongtailPreference(train, tail);
+  const auto theta_t = TfidfPreference(train);
+  auto g = GeneralizedPreference(train);
+  if (!g.ok()) return 1;
+
+  std::printf("\nFigure-2 audit: preference histograms (10 bins on [0,1])\n");
+  TablePrinter fig2({"bin", "thetaA", "thetaN", "thetaT", "thetaG"});
+  const auto ha = MakeHistogram(theta_a, 0.0, 1.0, 10);
+  const auto hn = MakeHistogram(theta_n, 0.0, 1.0, 10);
+  const auto ht = MakeHistogram(theta_t, 0.0, 1.0, 10);
+  const auto hg = MakeHistogram(g->theta, 0.0, 1.0, 10);
+  for (size_t b = 0; b < 10; ++b) {
+    fig2.AddRow({FormatDouble(ha.BinCenter(b), 2),
+                 std::to_string(ha.counts[b]), std::to_string(hn.counts[b]),
+                 std::to_string(ht.counts[b]), std::to_string(hg.counts[b])});
+  }
+  fig2.Print();
+
+  std::printf(
+      "\nmeans: thetaA %.3f  thetaN %.3f  thetaT %.3f  thetaG %.3f\n"
+      "(paper Figure 2: thetaA/thetaN skew right toward 0; thetaG is\n"
+      " more symmetric with a larger mean and variance)\n",
+      Mean(theta_a), Mean(theta_n), Mean(theta_t), Mean(g->theta));
+  return 0;
+}

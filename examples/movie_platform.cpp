@@ -1,0 +1,95 @@
+// movie_platform: the paper's motivating scenario — a dense movie-rating
+// platform (ML-1M-like) that wants to stop recommending only blockbusters.
+//
+//   build/examples/movie_platform [sample_size]
+//
+// Compares the raw rating predictor (RSVD), two published re-rankers
+// (RBT, PRA), and GANC variants, and then inspects *who* received the
+// long-tail items: the Spearman correlation between each user's learned
+// theta^G and the average popularity of their recommendations should be
+// strongly negative — long-tail items go to the users who want them.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "recommender/recommender.h"
+#include "recommender/rsvd.h"
+#include "rerank/pra.h"
+#include "rerank/rbt.h"
+#include "util/stats.h"
+
+using namespace ganc;
+
+int main(int argc, char** argv) {
+  const int sample_size = argc > 1 ? std::atoi(argv[1]) : 500;
+
+  // A scaled ML-1M-like corpus keeps this example under a minute.
+  SyntheticSpec spec = MovieLens1MSpec();
+  spec.num_users = 2000;
+  spec.num_items = 1800;
+  auto dataset = GenerateSynthetic(spec);
+  if (!dataset.ok()) return 1;
+  auto split = PerUserRatioSplit(*dataset, {.train_ratio = 0.5, .seed = 7});
+  if (!split.ok()) return 1;
+  const RatingDataset& train = split->train;
+  const RatingDataset& test = split->test;
+
+  RsvdRecommender rsvd({.num_factors = 40,
+                        .learning_rate = 0.02,
+                        .regularization = 0.05,
+                        .num_epochs = 25,
+                        .use_biases = true});
+  if (!rsvd.Fit(train).ok()) return 1;
+
+  auto theta_g = ComputePreference(PreferenceModel::kGeneralized, train);
+  auto theta_t = ComputePreference(PreferenceModel::kTfidf, train);
+  if (!theta_g.ok() || !theta_t.ok()) return 1;
+
+  NormalizedAccuracyScorer accuracy(&rsvd);
+  Ganc ganc_g(&accuracy, *theta_g, CoverageKind::kDyn);
+  Ganc ganc_t(&accuracy, *theta_t, CoverageKind::kDyn);
+  RbtReranker rbt_pop(&rsvd, &train, {});
+  PraReranker pra(&rsvd, &train, {});
+
+  GancConfig config;
+  config.top_n = 5;
+  config.sample_size = sample_size;
+
+  std::printf("== Top-5 re-ranking comparison (RSVD base) ==\n");
+  const std::vector<AlgorithmEntry> entries = {
+      {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5); }},
+      {"RBT(RSVD, Pop)", [&] { return rbt_pop.RecommendAll(train, 5).value(); }},
+      {"PRA(RSVD, 10)", [&] { return pra.RecommendAll(train, 5).value(); }},
+      {"GANC(RSVD, thetaT, Dyn)",
+       [&] { return ganc_t.RecommendAll(train, config).value(); }},
+      {"GANC(RSVD, thetaG, Dyn)",
+       [&] { return ganc_g.RecommendAll(train, config).value(); }},
+  };
+  const auto results =
+      RunComparison(entries, train, test, MetricsConfig{.top_n = 5});
+  ComparisonTable(results, 5).Print();
+
+  // Personalization check: does long-tail go to the right users?
+  auto topn = ganc_g.RecommendAll(train, config);
+  if (!topn.ok()) return 1;
+  std::vector<double> rec_pop(static_cast<size_t>(train.num_users()), 0.0);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    double acc = 0.0;
+    for (ItemId i : (*topn)[static_cast<size_t>(u)]) {
+      acc += static_cast<double>(train.Popularity(i));
+    }
+    rec_pop[static_cast<size_t>(u)] =
+        acc / static_cast<double>((*topn)[static_cast<size_t>(u)].size());
+  }
+  std::printf(
+      "\nSpearman(theta_G, avg popularity of recommendations) = %.3f\n"
+      "(negative: users with high long-tail preference receive the\n"
+      " long-tail items; the popularity bias is corrected *per user*)\n",
+      SpearmanCorrelation(*theta_g, rec_pop));
+  return 0;
+}

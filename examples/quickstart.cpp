@@ -1,0 +1,79 @@
+// Quickstart: assemble GANC(PSVD, thetaG, Dyn) on a synthetic MovieLens-
+// style dataset and print the accuracy/novelty/coverage trade-off against
+// the raw accuracy recommender.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole public API: generate -> split -> fit -> learn
+// preferences -> re-rank -> evaluate.
+
+#include <cstdio>
+
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "recommender/psvd.h"
+#include "recommender/recommender.h"
+
+using namespace ganc;
+
+int main() {
+  // 1. Data: a popularity-biased synthetic corpus (swap in LoadRatingsFile
+  //    to read a real "user,item,rating" file instead).
+  SyntheticSpec spec = MovieLens100KSpec();
+  auto dataset = GenerateSynthetic(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto split = PerUserRatioSplit(*dataset, {.train_ratio = spec.kappa,
+                                            .seed = 42});
+  if (!split.ok()) {
+    std::fprintf(stderr, "split: %s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  const RatingDataset& train = split->train;
+  const RatingDataset& test = split->test;
+  std::printf("dataset: %lld ratings, %d users, %d items (density %.2f%%)\n",
+              static_cast<long long>(dataset->num_ratings()),
+              dataset->num_users(), dataset->num_items(),
+              dataset->Density() * 100.0);
+
+  // 2. Accuracy recommender: PureSVD with 100 factors.
+  PsvdRecommender psvd({.num_factors = 100});
+  if (auto s = psvd.Fit(train); !s.ok()) {
+    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  NormalizedAccuracyScorer accuracy(&psvd);
+
+  // 3. Long-tail novelty preferences theta^G, learned from interactions.
+  auto theta = ComputePreference(PreferenceModel::kGeneralized, train);
+  if (!theta.ok()) {
+    std::fprintf(stderr, "theta: %s\n", theta.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. GANC(PSVD100, thetaG, Dyn) with OSLG optimization.
+  Ganc ganc(&accuracy, *theta, CoverageKind::kDyn);
+  GancConfig config;
+  config.top_n = 5;
+  config.sample_size = 500;
+
+  // 5. Evaluate both against the paper's Table III metrics.
+  const std::vector<AlgorithmEntry> entries = {
+      {"PSVD100", [&] { return RecommendAllUsers(psvd, train, 5); }},
+      {"GANC(PSVD100, thetaG, Dyn)",
+       [&] { return ganc.RecommendAll(train, config).value(); }},
+  };
+  const auto results =
+      RunComparison(entries, train, test, MetricsConfig{.top_n = 5});
+  ComparisonTable(results, 5).Print();
+
+  std::printf(
+      "\nGANC trades a little F-measure for a large coverage/novelty gain;\n"
+      "tune the balance per user via theta and globally via sample_size.\n");
+  return 0;
+}

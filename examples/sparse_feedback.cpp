@@ -1,0 +1,85 @@
+// sparse_feedback: the paper's sparse-setting story (Section V-B).
+//
+//   build/examples/sparse_feedback
+//
+// On an MT-200K-like corpus (density ~0.16%, half the users below 10
+// ratings) a rating-prediction base model collapses, and the right move
+// is GANC's genericity: plug the non-personalized Pop model in as the
+// accuracy recommender. GANC(Pop, thetaG, Dyn) then *personalizes a
+// non-personalized algorithm* and stays competitive with latent-factor
+// models while covering far more of the catalog.
+
+#include <cstdio>
+
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/longtail.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "recommender/pop.h"
+#include "recommender/psvd.h"
+#include "recommender/recommender.h"
+#include "recommender/rsvd.h"
+
+using namespace ganc;
+
+int main() {
+  SyntheticSpec spec = MovieTweetings200KSpec();
+  spec.num_users = 2500;   // scaled to keep the example fast
+  spec.num_items = 4300;
+  auto dataset = GenerateSynthetic(spec);
+  if (!dataset.ok()) return 1;
+  auto split = PerUserRatioSplit(*dataset, {.train_ratio = spec.kappa,
+                                            .seed = 77});
+  if (!split.ok()) return 1;
+  const RatingDataset& train = split->train;
+  const RatingDataset& test = split->test;
+
+  const DatasetSummary summary = Summarize(spec.name, *dataset, &train);
+  std::printf(
+      "dataset %s: %lld ratings, density %.3f%%, long-tail %.1f%%, "
+      "%.1f%% of users below 10 ratings\n\n",
+      summary.name.c_str(), static_cast<long long>(summary.num_ratings),
+      summary.density_percent, summary.longtail_percent,
+      summary.infrequent_user_percent);
+
+  // Base models.
+  PopRecommender pop;
+  if (!pop.Fit(train).ok()) return 1;
+  RsvdRecommender rsvd({.num_factors = 40,
+                        .learning_rate = 0.01,
+                        .regularization = 0.01,
+                        .num_epochs = 25,
+                        .use_biases = true});
+  if (!rsvd.Fit(train).ok()) return 1;
+  PsvdRecommender psvd({.num_factors = 60});
+  if (!psvd.Fit(train).ok()) return 1;
+
+  auto theta = ComputePreference(PreferenceModel::kGeneralized, train);
+  if (!theta.ok()) return 1;
+
+  // In sparse settings the paper plugs Pop in as ARec (indicator scores).
+  TopNIndicatorScorer pop_accuracy(&pop, &train, 5);
+  Ganc ganc_pop(&pop_accuracy, *theta, CoverageKind::kDyn);
+  GancConfig config;
+  config.top_n = 5;
+  config.sample_size = 500;
+
+  const std::vector<AlgorithmEntry> entries = {
+      {"Pop", [&] { return RecommendAllUsers(pop, train, 5); }},
+      {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5); }},
+      {"PSVD60", [&] { return RecommendAllUsers(psvd, train, 5); }},
+      {"GANC(Pop, thetaG, Dyn)",
+       [&] { return ganc_pop.RecommendAll(train, config).value(); }},
+  };
+  const auto results =
+      RunComparison(entries, train, test, MetricsConfig{.top_n = 5});
+  ComparisonTable(results, 5).Print();
+
+  std::printf(
+      "\nShape to look for (paper Section V-B): RSVD's F-measure collapses\n"
+      "in this sparse regime, while GANC(Pop, ...) keeps Pop-level accuracy\n"
+      "and multiplies coverage — personalizing a non-personalized model.\n");
+  return 0;
+}

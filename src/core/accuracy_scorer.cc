@@ -1,0 +1,21 @@
+#include "core/accuracy_scorer.h"
+
+#include "util/stats.h"
+
+namespace ganc {
+
+std::vector<double> NormalizedAccuracyScorer::ScoreAll(UserId u) const {
+  std::vector<double> scores = base_->ScoreAll(u);
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+std::vector<double> TopNIndicatorScorer::ScoreAll(UserId u) const {
+  std::vector<double> scores(static_cast<size_t>(train_->num_items()), 0.0);
+  const std::vector<ItemId> top =
+      base_->RecommendTopN(u, train_->UnratedItems(u), top_n_);
+  for (ItemId i : top) scores[static_cast<size_t>(i)] = 1.0;
+  return scores;
+}
+
+}  // namespace ganc

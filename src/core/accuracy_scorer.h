@@ -1,0 +1,65 @@
+// Accuracy recommenders for GANC (Section III-A).
+//
+// GANC's value function needs a(i) in [0, 1] on the same scale as the
+// coverage score. Score-producing models (RSVD, PSVD, CofiR, ...) are
+// min-max normalized per user; the non-personalized Pop model, which does
+// not emit scores, contributes the indicator a(i) = 1[i in Pop's top-N
+// unseen items for u] exactly as the paper defines.
+
+#ifndef GANC_CORE_ACCURACY_SCORER_H_
+#define GANC_CORE_ACCURACY_SCORER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+/// Produces normalized accuracy scores a(i) in [0, 1] for all items.
+class AccuracyScorer {
+ public:
+  virtual ~AccuracyScorer() = default;
+
+  /// a(i) for every item in the catalog for user u, each in [0, 1].
+  virtual std::vector<double> ScoreAll(UserId u) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Per-user min-max normalization of an underlying Recommender's scores.
+class NormalizedAccuracyScorer : public AccuracyScorer {
+ public:
+  /// `base` must be fitted and outlive this scorer.
+  explicit NormalizedAccuracyScorer(const Recommender* base) : base_(base) {}
+
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override { return base_->name(); }
+
+ private:
+  const Recommender* base_;
+};
+
+/// Indicator accuracy for non-scoring models: a(i) = 1 iff i is in the
+/// base model's top-N unseen items for the user (paper's Pop adapter).
+class TopNIndicatorScorer : public AccuracyScorer {
+ public:
+  /// `base` and `train` must be fitted/valid and outlive this scorer.
+  TopNIndicatorScorer(const Recommender* base, const RatingDataset* train,
+                      int top_n)
+      : base_(base), train_(train), top_n_(top_n) {}
+
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override { return base_->name(); }
+
+ private:
+  const Recommender* base_;
+  const RatingDataset* train_;
+  int top_n_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_CORE_ACCURACY_SCORER_H_

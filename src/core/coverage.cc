@@ -1,0 +1,64 @@
+#include "core/coverage.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ganc {
+
+double RandCoverage::Score(UserId u, ItemId i) const {
+  // Stateless hash -> uniform: SplitMix64 finalizer over (seed, u, i).
+  uint64_t z = seed_ ^ (static_cast<uint64_t>(u) * 0x9E3779B97F4A7C15ULL) ^
+               (static_cast<uint64_t>(i) + 0xBF58476D1CE4E5B9ULL);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+StatCoverage::StatCoverage(const RatingDataset& train) {
+  score_.resize(static_cast<size_t>(train.num_items()));
+  for (ItemId i = 0; i < train.num_items(); ++i) {
+    score_[static_cast<size_t>(i)] =
+        1.0 / std::sqrt(static_cast<double>(train.Popularity(i)) + 1.0);
+  }
+}
+
+double StatCoverage::Score(UserId /*u*/, ItemId i) const {
+  return score_[static_cast<size_t>(i)];
+}
+
+double DynCoverage::Score(UserId /*u*/, ItemId i) const {
+  return 1.0 /
+         std::sqrt(static_cast<double>(counts_[static_cast<size_t>(i)]) + 1.0);
+}
+
+std::string CoverageKindName(CoverageKind kind) {
+  switch (kind) {
+    case CoverageKind::kRand:
+      return "Rand";
+    case CoverageKind::kStat:
+      return "Stat";
+    case CoverageKind::kDyn:
+      return "Dyn";
+  }
+  return "?";
+}
+
+std::unique_ptr<CoverageModel> MakeCoverage(CoverageKind kind,
+                                            const RatingDataset& train,
+                                            uint64_t seed) {
+  switch (kind) {
+    case CoverageKind::kRand:
+      return std::make_unique<RandCoverage>(train.num_items(), seed);
+    case CoverageKind::kStat:
+      return std::make_unique<StatCoverage>(train);
+    case CoverageKind::kDyn:
+      return std::make_unique<DynCoverage>(train.num_items());
+  }
+  return nullptr;
+}
+
+}  // namespace ganc

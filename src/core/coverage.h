@@ -1,0 +1,101 @@
+// Coverage recommenders for GANC (Section III-B).
+//
+//   Rand  c(u, i) ~ U(0, 1)            maximal-coverage control
+//   Stat  c(i) = 1 / sqrt(f_i^R + 1)   static long-tail promotion
+//   Dyn   c(i) = 1 / sqrt(f_i^A + 1)   diminishing-returns promotion based
+//                                      on the recommendations made so far
+//
+// Dyn is the submodularity-inducing component: every time an item is
+// recommended its future coverage gain shrinks, so OSLG steers later
+// (higher-theta) users toward still-uncovered items.
+
+#ifndef GANC_CORE_COVERAGE_H_
+#define GANC_CORE_COVERAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ganc {
+
+/// Coverage score provider c(u, i) in [0, 1].
+class CoverageModel {
+ public:
+  virtual ~CoverageModel() = default;
+
+  /// Coverage score of item i for user u.
+  virtual double Score(UserId u, ItemId i) const = 0;
+
+  /// Notifies the model that `i` was just recommended (no-op unless Dyn).
+  virtual void Observe(ItemId /*i*/) {}
+
+  /// True when Observe changes future scores (couples users' optima).
+  virtual bool IsDynamic() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Rand: uniform per (seed, user, item), deterministic and thread-safe.
+class RandCoverage : public CoverageModel {
+ public:
+  RandCoverage(int32_t num_items, uint64_t seed)
+      : num_items_(num_items), seed_(seed) {}
+
+  double Score(UserId u, ItemId i) const override;
+  std::string name() const override { return "Rand"; }
+
+ private:
+  int32_t num_items_;
+  uint64_t seed_;
+};
+
+/// Stat: monotone decreasing in train popularity; constant gain.
+class StatCoverage : public CoverageModel {
+ public:
+  explicit StatCoverage(const RatingDataset& train);
+
+  double Score(UserId u, ItemId i) const override;
+  std::string name() const override { return "Stat"; }
+
+ private:
+  std::vector<double> score_;  // 1 / sqrt(f_i^R + 1)
+};
+
+/// Dyn: decreasing in the running recommendation frequency f_i^A.
+class DynCoverage : public CoverageModel {
+ public:
+  explicit DynCoverage(int32_t num_items)
+      : counts_(static_cast<size_t>(num_items), 0) {}
+
+  double Score(UserId u, ItemId i) const override;
+  void Observe(ItemId i) override {
+    ++counts_[static_cast<size_t>(i)];
+  }
+  bool IsDynamic() const override { return true; }
+  std::string name() const override { return "Dyn"; }
+
+  /// Running recommendation frequencies f^A (the OSLG snapshot payload).
+  const std::vector<uint32_t>& counts() const { return counts_; }
+  void SetCounts(std::vector<uint32_t> counts) { counts_ = std::move(counts); }
+
+ private:
+  std::vector<uint32_t> counts_;
+};
+
+/// Which coverage recommender a GANC variant uses.
+enum class CoverageKind { kRand, kStat, kDyn };
+
+/// Human-readable name ("Rand"/"Stat"/"Dyn").
+std::string CoverageKindName(CoverageKind kind);
+
+/// Factory for the chosen kind.
+std::unique_ptr<CoverageModel> MakeCoverage(CoverageKind kind,
+                                            const RatingDataset& train,
+                                            uint64_t seed);
+
+}  // namespace ganc
+
+#endif  // GANC_CORE_COVERAGE_H_

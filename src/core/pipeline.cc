@@ -1,0 +1,61 @@
+#include "core/pipeline.h"
+
+namespace ganc {
+
+Result<std::unique_ptr<GancPipeline>> GancPipeline::Create(
+    std::unique_ptr<Recommender> base, const RatingDataset& train,
+    PipelineConfig config) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("pipeline needs a base recommender");
+  }
+  if (config.top_n <= 0) {
+    return Status::InvalidArgument("top_n must be positive");
+  }
+  if (config.fit_base) {
+    GANC_RETURN_NOT_OK(base->Fit(train));
+  }
+  Result<std::vector<double>> theta = ComputePreference(
+      config.theta_model, train, config.seed, config.constant_theta);
+  if (!theta.ok()) return theta.status();
+  return std::unique_ptr<GancPipeline>(new GancPipeline(
+      std::move(base), &train, config, std::move(theta).value()));
+}
+
+GancPipeline::GancPipeline(std::unique_ptr<Recommender> base,
+                           const RatingDataset* train, PipelineConfig config,
+                           std::vector<double> theta)
+    : base_(std::move(base)),
+      train_(train),
+      config_(config),
+      theta_(std::move(theta)) {
+  if (config_.indicator_accuracy) {
+    scorer_ = std::make_unique<TopNIndicatorScorer>(base_.get(), train_,
+                                                    config_.top_n);
+  } else {
+    scorer_ = std::make_unique<NormalizedAccuracyScorer>(base_.get());
+  }
+  ganc_ = std::make_unique<Ganc>(scorer_.get(), theta_, config_.coverage);
+}
+
+Result<TopNCollection> GancPipeline::RecommendAll() const {
+  GancConfig cfg;
+  cfg.top_n = config_.top_n;
+  cfg.sample_size = config_.sample_size;
+  cfg.seed = config_.seed;
+  cfg.pool = config_.pool;
+  return ganc_->RecommendAll(*train_, cfg);
+}
+
+std::vector<ItemId> GancPipeline::RecommendForUser(UserId u) const {
+  const std::unique_ptr<CoverageModel> coverage =
+      MakeCoverage(config_.coverage, *train_, config_.seed);
+  return GreedyTopNForUser(scorer_->ScoreAll(u),
+                           theta_[static_cast<size_t>(u)], *coverage, u,
+                           train_->UnratedItems(u), config_.top_n);
+}
+
+std::string GancPipeline::name() const {
+  return ganc_->Name(PreferenceModelName(config_.theta_model));
+}
+
+}  // namespace ganc

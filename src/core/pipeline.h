@@ -1,0 +1,90 @@
+// GancPipeline: the one-call public API.
+//
+// The decomposed API (fit a Recommender, compute a preference vector,
+// assemble Ganc) is what the benches and research code use; downstream
+// services usually want the whole paper pipeline behind one object:
+//
+//   auto pipeline = GancPipeline::Create(
+//       std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 100}),
+//       train, {});
+//   auto topn = pipeline->RecommendAll();
+//
+// The pipeline owns the base recommender, fits it if needed, learns the
+// configured theta model, and runs GANC with the configured coverage
+// recommender. The train set is borrowed and must outlive the pipeline.
+
+#ifndef GANC_CORE_PIPELINE_H_
+#define GANC_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/accuracy_scorer.h"
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/dataset.h"
+#include "recommender/recommender.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// End-to-end configuration for GancPipeline.
+struct PipelineConfig {
+  PreferenceModel theta_model = PreferenceModel::kGeneralized;
+  CoverageKind coverage = CoverageKind::kDyn;
+  int top_n = 5;
+  int sample_size = 500;
+  uint64_t seed = 42;
+  /// Use the top-N indicator accuracy adapter (the paper's Pop adapter)
+  /// instead of per-user min-max normalized scores.
+  bool indicator_accuracy = false;
+  /// Fit the base recommender inside Create (set false when it is
+  /// already fitted on `train`).
+  bool fit_base = true;
+  /// Constant for PreferenceModel::kConstant.
+  double constant_theta = 0.5;
+  /// Optional pool for the parallel phases.
+  ThreadPool* pool = nullptr;
+};
+
+/// Owns the assembled paper pipeline.
+class GancPipeline {
+ public:
+  /// Builds the pipeline: (optionally) fits `base` on `train`, learns the
+  /// theta model, and wires the GANC components. `train` is borrowed.
+  static Result<std::unique_ptr<GancPipeline>> Create(
+      std::unique_ptr<Recommender> base, const RatingDataset& train,
+      PipelineConfig config);
+
+  /// Runs GANC over every user's unrated train items.
+  Result<TopNCollection> RecommendAll() const;
+
+  /// Top-N for a single user (same mixing, user-local greedy; with Dyn
+  /// coverage this scores against an empty recommendation history).
+  std::vector<ItemId> RecommendForUser(UserId u) const;
+
+  /// The learned per-user preferences.
+  const std::vector<double>& theta() const { return theta_; }
+
+  /// The owned base recommender.
+  const Recommender& base() const { return *base_; }
+
+  /// "GANC(<base>, <theta>, <coverage>)".
+  std::string name() const;
+
+ private:
+  GancPipeline(std::unique_ptr<Recommender> base, const RatingDataset* train,
+               PipelineConfig config, std::vector<double> theta);
+
+  std::unique_ptr<Recommender> base_;
+  const RatingDataset* train_;
+  PipelineConfig config_;
+  std::vector<double> theta_;
+  std::unique_ptr<AccuracyScorer> scorer_;
+  std::unique_ptr<Ganc> ganc_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_CORE_PIPELINE_H_

@@ -1,0 +1,131 @@
+#include "core/preference_dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "data/longtail.h"
+#include "util/stats.h"
+
+namespace ganc {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+Result<ThetaTrajectory> EstimateThetaWindows(const RatingDataset& dataset,
+                                             const DynamicsOptions& options) {
+  if (options.num_windows < 2) {
+    return Status::InvalidArgument("need at least two windows");
+  }
+  if (options.model != PreferenceModel::kTfidf &&
+      options.model != PreferenceModel::kNormalized) {
+    return Status::InvalidArgument(
+        "windowed estimation supports thetaT and thetaN");
+  }
+  const int32_t w_count = options.num_windows;
+  const size_t n_users = static_cast<size_t>(dataset.num_users());
+
+  // Per-user interaction sequences in observation order.
+  std::vector<std::vector<ItemRating>> sequence(n_users);
+  for (const Rating& r : dataset.ratings()) {
+    sequence[static_cast<size_t>(r.user)].push_back({r.item, r.value});
+  }
+
+  // Global popularity statistics keep windows on a common scale.
+  const double num_users_d = static_cast<double>(dataset.num_users());
+  const LongTailInfo tail = ComputeLongTail(dataset);
+
+  ThetaTrajectory out;
+  out.num_windows = w_count;
+  out.theta_per_window.assign(static_cast<size_t>(w_count),
+                              std::vector<double>(n_users, kNan));
+
+  // Raw per-window values; thetaT is min-max normalized jointly at the end.
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (size_t u = 0; u < n_users; ++u) {
+    const auto& seq = sequence[u];
+    if (seq.empty()) continue;
+    for (int32_t w = 0; w < w_count; ++w) {
+      const size_t begin = seq.size() * static_cast<size_t>(w) /
+                           static_cast<size_t>(w_count);
+      const size_t end = seq.size() * static_cast<size_t>(w + 1) /
+                         static_cast<size_t>(w_count);
+      if (begin >= end) continue;  // user too inactive for this window
+      double value = 0.0;
+      if (options.model == PreferenceModel::kTfidf) {
+        for (size_t k = begin; k < end; ++k) {
+          const double pop = std::max<double>(
+              1.0, static_cast<double>(dataset.Popularity(seq[k].item)));
+          value += static_cast<double>(seq[k].value) *
+                   std::log(num_users_d / pop);
+        }
+        value /= static_cast<double>(end - begin);
+      } else {
+        int32_t in_tail = 0;
+        for (size_t k = begin; k < end; ++k) {
+          if (tail.Contains(seq[k].item)) ++in_tail;
+        }
+        value = static_cast<double>(in_tail) /
+                static_cast<double>(end - begin);
+      }
+      out.theta_per_window[static_cast<size_t>(w)][u] = value;
+      if (options.model == PreferenceModel::kTfidf) {
+        if (first) {
+          lo = hi = value;
+          first = false;
+        } else {
+          lo = std::min(lo, value);
+          hi = std::max(hi, value);
+        }
+      }
+    }
+  }
+  if (options.model == PreferenceModel::kTfidf && hi > lo) {
+    for (auto& window : out.theta_per_window) {
+      for (double& v : window) {
+        if (!std::isnan(v)) v = (v - lo) / (hi - lo);
+      }
+    }
+  }
+  return out;
+}
+
+DriftReport SummarizeDrift(const ThetaTrajectory& trajectory) {
+  DriftReport report;
+  const int32_t w_count = trajectory.num_windows;
+  if (w_count < 2 || trajectory.theta_per_window.empty()) return report;
+  const size_t n_users = trajectory.theta_per_window[0].size();
+
+  report.users_in_all_windows = 0;
+  for (size_t u = 0; u < n_users; ++u) {
+    bool all = true;
+    for (int32_t w = 0; w < w_count; ++w) {
+      if (std::isnan(trajectory.theta_per_window[static_cast<size_t>(w)][u])) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++report.users_in_all_windows;
+  }
+
+  for (int32_t w = 0; w + 1 < w_count; ++w) {
+    const auto& a = trajectory.theta_per_window[static_cast<size_t>(w)];
+    const auto& b = trajectory.theta_per_window[static_cast<size_t>(w + 1)];
+    std::vector<double> xa, xb;
+    double drift = 0.0;
+    for (size_t u = 0; u < n_users; ++u) {
+      if (std::isnan(a[u]) || std::isnan(b[u])) continue;
+      xa.push_back(a[u]);
+      xb.push_back(b[u]);
+      drift += std::abs(b[u] - a[u]);
+    }
+    report.adjacent_correlation.push_back(PearsonCorrelation(xa, xb));
+    report.mean_abs_drift.push_back(
+        xa.empty() ? 0.0 : drift / static_cast<double>(xa.size()));
+  }
+  return report;
+}
+
+}  // namespace ganc

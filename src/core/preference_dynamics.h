@@ -1,0 +1,65 @@
+// Temporal dynamics of long-tail novelty preference — the extension the
+// paper's conclusion names as future work ("we intend to explore the
+// temporal and topical dynamics of long-tail novelty preference").
+//
+// Each user's interaction sequence is partitioned into consecutive
+// windows (interaction order stands in for time when no timestamps are
+// available); a preference estimate is computed per window from only
+// that window's interactions, yielding a per-user theta trajectory.
+// Drift statistics over the trajectories quantify how stable the
+// long-tail preference signal is — the stability result that justifies
+// learning theta from historical data at all.
+
+#ifndef GANC_CORE_PREFERENCE_DYNAMICS_H_
+#define GANC_CORE_PREFERENCE_DYNAMICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/preference.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// Per-user preference trajectories over interaction windows.
+struct ThetaTrajectory {
+  /// theta[w][u] = user u's estimate from window w only. Users with no
+  /// interactions in a window get NaN there.
+  std::vector<std::vector<double>> theta_per_window;
+  int32_t num_windows = 0;
+};
+
+/// Options for EstimateThetaWindows.
+struct DynamicsOptions {
+  int32_t num_windows = 2;
+  /// Which estimator runs per window. thetaG needs enough data per
+  /// window; thetaT (the default) degrades more gracefully.
+  PreferenceModel model = PreferenceModel::kTfidf;
+  uint64_t seed = 51;
+};
+
+/// Splits every user's interaction sequence into `num_windows` equal
+/// consecutive chunks and computes the preference model inside each.
+/// Item popularity statistics are always taken from the full dataset so
+/// windows remain comparable.
+Result<ThetaTrajectory> EstimateThetaWindows(const RatingDataset& dataset,
+                                             const DynamicsOptions& options);
+
+/// Stability summary of a trajectory.
+struct DriftReport {
+  /// Pearson correlation between consecutive windows' theta vectors
+  /// (users present in both windows), one entry per window transition.
+  std::vector<double> adjacent_correlation;
+  /// Mean |theta_w+1 - theta_w| per transition.
+  std::vector<double> mean_abs_drift;
+  /// Number of users present in every window.
+  int32_t users_in_all_windows = 0;
+};
+
+/// Computes drift statistics; NaN window entries are skipped pairwise.
+DriftReport SummarizeDrift(const ThetaTrajectory& trajectory);
+
+}  // namespace ganc
+
+#endif  // GANC_CORE_PREFERENCE_DYNAMICS_H_

@@ -1,0 +1,15 @@
+#include "data/binarize.h"
+
+namespace ganc {
+
+Result<RatingDataset> Binarize(const RatingDataset& dataset,
+                               const BinarizeOptions& options) {
+  RatingDatasetBuilder builder(dataset.num_users(), dataset.num_items());
+  for (const Rating& r : dataset.ratings()) {
+    if (static_cast<double>(r.value) < options.min_rating) continue;
+    GANC_RETURN_NOT_OK(builder.Add(r.user, r.item, options.positive_value));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ganc

@@ -1,0 +1,34 @@
+// Implicit-feedback views of a rating dataset.
+//
+// The paper motivates CF from both ratings and "historical purchase
+// logs"; implicit-feedback models (BPR) and unary metrics operate on a
+// binarized interaction matrix. This module derives such views while
+// preserving user/item id spaces so theta estimates and GANC components
+// remain directly compatible.
+
+#ifndef GANC_DATA_BINARIZE_H_
+#define GANC_DATA_BINARIZE_H_
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// Options for Binarize.
+struct BinarizeOptions {
+  /// Interactions with rating below this are dropped entirely (0 keeps
+  /// every observation — pure "consumption" semantics).
+  double min_rating = 0.0;
+  /// Value assigned to kept interactions.
+  float positive_value = 1.0f;
+};
+
+/// Converts ratings to unary interactions: every observation with value
+/// >= min_rating becomes `positive_value`; the rest disappear. User/item
+/// universes are preserved (users may end up with empty profiles).
+Result<RatingDataset> Binarize(const RatingDataset& dataset,
+                               const BinarizeOptions& options = {});
+
+}  // namespace ganc
+
+#endif  // GANC_DATA_BINARIZE_H_

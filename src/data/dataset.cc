@@ -1,0 +1,132 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ganc {
+
+double RatingDataset::Density() const {
+  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(ratings_.size()) /
+         (static_cast<double>(num_users_) * static_cast<double>(num_items_));
+}
+
+std::vector<double> RatingDataset::PopularityVector() const {
+  std::vector<double> pop(static_cast<size_t>(num_items_), 0.0);
+  for (ItemId i = 0; i < num_items_; ++i) {
+    pop[static_cast<size_t>(i)] = static_cast<double>(Popularity(i));
+  }
+  return pop;
+}
+
+bool RatingDataset::HasRating(UserId u, ItemId i) const {
+  const auto& row = by_user_[static_cast<size_t>(u)];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), i,
+      [](const ItemRating& ir, ItemId target) { return ir.item < target; });
+  return it != row.end() && it->item == i;
+}
+
+Result<float> RatingDataset::GetRating(UserId u, ItemId i) const {
+  const auto& row = by_user_[static_cast<size_t>(u)];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), i,
+      [](const ItemRating& ir, ItemId target) { return ir.item < target; });
+  if (it == row.end() || it->item != i) {
+    return Status::NotFound("rating (" + std::to_string(u) + ", " +
+                            std::to_string(i) + ") not observed");
+  }
+  return it->value;
+}
+
+double RatingDataset::GlobalMeanRating() const {
+  if (ratings_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Rating& r : ratings_) acc += r.value;
+  return acc / static_cast<double>(ratings_.size());
+}
+
+std::vector<ItemId> RatingDataset::UnratedItems(UserId u) const {
+  const auto& row = by_user_[static_cast<size_t>(u)];
+  std::vector<ItemId> out;
+  out.reserve(static_cast<size_t>(num_items_) - row.size());
+  size_t cursor = 0;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    if (cursor < row.size() && row[cursor].item == i) {
+      ++cursor;
+      continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+RatingDatasetBuilder::RatingDatasetBuilder(int32_t num_users,
+                                           int32_t num_items)
+    : num_users_(num_users), num_items_(num_items) {
+  assert(num_users >= 0 && num_items >= 0);
+}
+
+Status RatingDatasetBuilder::Add(UserId user, ItemId item, float value) {
+  if (user < 0 || user >= num_users_) {
+    return Status::OutOfRange("user id " + std::to_string(user) +
+                              " outside [0, " + std::to_string(num_users_) +
+                              ")");
+  }
+  if (item < 0 || item >= num_items_) {
+    return Status::OutOfRange("item id " + std::to_string(item) +
+                              " outside [0, " + std::to_string(num_items_) +
+                              ")");
+  }
+  ratings_.push_back({user, item, value});
+  return Status::OK();
+}
+
+Result<RatingDataset> RatingDatasetBuilder::Build() && {
+  RatingDataset ds;
+  ds.num_users_ = num_users_;
+  ds.num_items_ = num_items_;
+  ds.ratings_ = std::move(ratings_);
+  ds.by_user_.assign(static_cast<size_t>(num_users_), {});
+  ds.by_item_.assign(static_cast<size_t>(num_items_), {});
+
+  // Pre-size rows to avoid repeated reallocation on large datasets.
+  std::vector<uint32_t> user_counts(static_cast<size_t>(num_users_), 0);
+  std::vector<uint32_t> item_counts(static_cast<size_t>(num_items_), 0);
+  for (const Rating& r : ds.ratings_) {
+    ++user_counts[static_cast<size_t>(r.user)];
+    ++item_counts[static_cast<size_t>(r.item)];
+  }
+  for (int32_t u = 0; u < num_users_; ++u) {
+    ds.by_user_[static_cast<size_t>(u)].reserve(
+        user_counts[static_cast<size_t>(u)]);
+  }
+  for (int32_t i = 0; i < num_items_; ++i) {
+    ds.by_item_[static_cast<size_t>(i)].reserve(
+        item_counts[static_cast<size_t>(i)]);
+  }
+  for (const Rating& r : ds.ratings_) {
+    ds.by_user_[static_cast<size_t>(r.user)].push_back({r.item, r.value});
+    ds.by_item_[static_cast<size_t>(r.item)].push_back({r.user, r.value});
+  }
+  for (auto& row : ds.by_user_) {
+    std::sort(row.begin(), row.end(),
+              [](const ItemRating& a, const ItemRating& b) {
+                return a.item < b.item;
+              });
+    for (size_t k = 1; k < row.size(); ++k) {
+      if (row[k].item == row[k - 1].item) {
+        return Status::InvalidArgument("duplicate (user, item) observation");
+      }
+    }
+  }
+  for (auto& col : ds.by_item_) {
+    std::sort(col.begin(), col.end(),
+              [](const UserRating& a, const UserRating& b) {
+                return a.user < b.user;
+              });
+  }
+  return ds;
+}
+
+}  // namespace ganc

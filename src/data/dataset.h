@@ -1,0 +1,129 @@
+// Sparse user-item rating data model (Section II-A of the paper).
+//
+// A RatingDataset stores a bag of (user, item, rating) observations plus
+// the per-user and per-item inverted indexes the algorithms need:
+//   I_u^R : items rated by user u          -> ItemsOf(u)
+//   U_i^R : users who rated item i         -> UsersOf(i)
+//   f_i^R : popularity of item i in train  -> Popularity(i)
+// Users and items are dense 0-based ids; loaders remap external ids.
+
+#ifndef GANC_DATA_DATASET_H_
+#define GANC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ganc {
+
+using UserId = int32_t;
+using ItemId = int32_t;
+
+/// One observed interaction: user u gave item i the value `rating`.
+struct Rating {
+  UserId user = 0;
+  ItemId item = 0;
+  float value = 0.0f;
+};
+
+/// An (item, rating) pair inside one user's profile.
+struct ItemRating {
+  ItemId item = 0;
+  float value = 0.0f;
+};
+
+/// A (user, rating) pair inside one item's audience.
+struct UserRating {
+  UserId user = 0;
+  float value = 0.0f;
+};
+
+/// Immutable sparse rating matrix with CSR-style per-user and CSC-style
+/// per-item views. Construct through RatingDatasetBuilder.
+class RatingDataset {
+ public:
+  RatingDataset() = default;
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int64_t num_ratings() const { return static_cast<int64_t>(ratings_.size()); }
+
+  /// Fraction of the full matrix that is observed, in [0,1].
+  double Density() const;
+
+  /// All observations in insertion order.
+  const std::vector<Rating>& ratings() const { return ratings_; }
+
+  /// Items rated by `u`, ascending by item id.
+  const std::vector<ItemRating>& ItemsOf(UserId u) const {
+    return by_user_[static_cast<size_t>(u)];
+  }
+
+  /// Users who rated `i`, ascending by user id.
+  const std::vector<UserRating>& UsersOf(ItemId i) const {
+    return by_item_[static_cast<size_t>(i)];
+  }
+
+  /// Number of train observations of item i (f_i^R = |U_i^R|).
+  int32_t Popularity(ItemId i) const {
+    return static_cast<int32_t>(by_item_[static_cast<size_t>(i)].size());
+  }
+
+  /// Popularity of every item as a dense vector indexed by item id.
+  std::vector<double> PopularityVector() const;
+
+  /// Number of items user u rated (|I_u^R|, "user activity").
+  int32_t Activity(UserId u) const {
+    return static_cast<int32_t>(by_user_[static_cast<size_t>(u)].size());
+  }
+
+  /// True when user u has rated item i (binary search in the user's row).
+  bool HasRating(UserId u, ItemId i) const;
+
+  /// Rating of u on i, or error when unobserved.
+  Result<float> GetRating(UserId u, ItemId i) const;
+
+  /// Mean of all rating values; 0 for an empty dataset.
+  double GlobalMeanRating() const;
+
+  /// All item ids NOT rated by u, ascending: the "all unseen train items"
+  /// candidate set from which every top-N set is drawn.
+  std::vector<ItemId> UnratedItems(UserId u) const;
+
+ private:
+  friend class RatingDatasetBuilder;
+
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  std::vector<Rating> ratings_;
+  std::vector<std::vector<ItemRating>> by_user_;
+  std::vector<std::vector<UserRating>> by_item_;
+};
+
+/// Accumulates observations, then finalizes the indexes.
+class RatingDatasetBuilder {
+ public:
+  /// Fixes the universe sizes |U| and |I| up front. Ids outside the range
+  /// are rejected at Add time.
+  RatingDatasetBuilder(int32_t num_users, int32_t num_items);
+
+  /// Adds one observation. Duplicate (u, i) pairs are rejected at Build.
+  Status Add(UserId user, ItemId item, float value);
+
+  /// Number of observations added so far.
+  int64_t size() const { return static_cast<int64_t>(ratings_.size()); }
+
+  /// Validates (no duplicate pairs) and builds the dataset.
+  Result<RatingDataset> Build() &&;
+
+ private:
+  int32_t num_users_;
+  int32_t num_items_;
+  std::vector<Rating> ratings_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_DATA_DATASET_H_

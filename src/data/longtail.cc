@@ -1,0 +1,76 @@
+#include "data/longtail.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ganc {
+
+LongTailInfo ComputeLongTail(const RatingDataset& train, double head_mass) {
+  const int32_t n_items = train.num_items();
+  LongTailInfo info;
+  info.is_long_tail.assign(static_cast<size_t>(n_items), true);
+
+  std::vector<ItemId> order(static_cast<size_t>(n_items));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    const int32_t pa = train.Popularity(a);
+    const int32_t pb = train.Popularity(b);
+    if (pa != pb) return pa > pb;  // decreasing popularity
+    return a < b;
+  });
+
+  const double total = static_cast<double>(train.num_ratings());
+  double cum = 0.0;
+  int64_t head_count = 0;
+  for (ItemId i : order) {
+    if (total > 0.0 && cum >= head_mass * total) break;
+    if (train.Popularity(i) == 0) break;  // unrated items are always tail
+    info.is_long_tail[static_cast<size_t>(i)] = false;
+    cum += static_cast<double>(train.Popularity(i));
+    ++head_count;
+  }
+
+  int32_t rated = 0;
+  int32_t tail_rated = 0;
+  for (ItemId i = 0; i < n_items; ++i) {
+    if (train.Popularity(i) > 0) {
+      ++rated;
+      if (info.is_long_tail[static_cast<size_t>(i)]) ++tail_rated;
+    }
+  }
+  info.num_rated_items = rated;
+  // |L| counts long-tail items within the rated catalog I^R, matching the
+  // paper's L% = |L| / |I^R|.
+  info.tail_size = tail_rated;
+  info.tail_percent =
+      rated > 0 ? 100.0 * static_cast<double>(tail_rated) /
+                      static_cast<double>(rated)
+                : 0.0;
+  (void)head_count;
+  return info;
+}
+
+DatasetSummary Summarize(const std::string& name, const RatingDataset& dataset,
+                         const RatingDataset* train) {
+  DatasetSummary s;
+  s.name = name;
+  s.num_ratings = dataset.num_ratings();
+  s.num_users = dataset.num_users();
+  s.num_items = dataset.num_items();
+  s.density_percent = dataset.Density() * 100.0;
+  const RatingDataset& tail_source = train != nullptr ? *train : dataset;
+  s.longtail_percent = ComputeLongTail(tail_source).tail_percent;
+  int32_t infrequent = 0;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    if (dataset.Activity(u) < 10) ++infrequent;
+  }
+  s.infrequent_user_percent =
+      dataset.num_users() > 0
+          ? 100.0 * static_cast<double>(infrequent) /
+                static_cast<double>(dataset.num_users())
+          : 0.0;
+  s.mean_rating = dataset.GlobalMeanRating();
+  return s;
+}
+
+}  // namespace ganc

@@ -1,0 +1,116 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ganc {
+
+Result<TrainTestSplit> PerUserRatioSplit(const RatingDataset& dataset,
+                                         const SplitOptions& options) {
+  if (options.train_ratio <= 0.0 || options.train_ratio > 1.0) {
+    return Status::InvalidArgument("train_ratio must be in (0, 1]");
+  }
+  Rng rng(options.seed);
+  RatingDatasetBuilder train_builder(dataset.num_users(), dataset.num_items());
+  RatingDatasetBuilder test_builder(dataset.num_users(), dataset.num_items());
+
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    std::vector<ItemRating> row = dataset.ItemsOf(u);
+    rng.Shuffle(&row);
+    const auto n = static_cast<int32_t>(row.size());
+    int32_t n_train = static_cast<int32_t>(
+        std::llround(options.train_ratio * static_cast<double>(n)));
+    n_train = std::clamp(n_train, std::min(options.min_train_per_user, n), n);
+    for (int32_t k = 0; k < n; ++k) {
+      Status s = (k < n_train)
+                     ? train_builder.Add(u, row[static_cast<size_t>(k)].item,
+                                         row[static_cast<size_t>(k)].value)
+                     : test_builder.Add(u, row[static_cast<size_t>(k)].item,
+                                        row[static_cast<size_t>(k)].value);
+      GANC_RETURN_NOT_OK(s);
+    }
+  }
+  Result<RatingDataset> train = std::move(train_builder).Build();
+  if (!train.ok()) return train.status();
+  Result<RatingDataset> test = std::move(test_builder).Build();
+  if (!test.ok()) return test.status();
+  return TrainTestSplit{std::move(train).value(), std::move(test).value()};
+}
+
+Result<RatingDataset> FilterInfrequentUsers(const RatingDataset& dataset,
+                                            int32_t min_ratings) {
+  if (min_ratings < 0) {
+    return Status::InvalidArgument("min_ratings must be non-negative");
+  }
+  std::vector<UserId> user_map(static_cast<size_t>(dataset.num_users()), -1);
+  int32_t next_user = 0;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    if (dataset.Activity(u) >= min_ratings) {
+      user_map[static_cast<size_t>(u)] = next_user++;
+    }
+  }
+  // Keep only items still referenced by surviving users.
+  std::vector<bool> item_used(static_cast<size_t>(dataset.num_items()), false);
+  for (const Rating& r : dataset.ratings()) {
+    if (user_map[static_cast<size_t>(r.user)] >= 0) {
+      item_used[static_cast<size_t>(r.item)] = true;
+    }
+  }
+  std::vector<ItemId> item_map(static_cast<size_t>(dataset.num_items()), -1);
+  int32_t next_item = 0;
+  for (ItemId i = 0; i < dataset.num_items(); ++i) {
+    if (item_used[static_cast<size_t>(i)]) {
+      item_map[static_cast<size_t>(i)] = next_item++;
+    }
+  }
+  RatingDatasetBuilder builder(next_user, next_item);
+  for (const Rating& r : dataset.ratings()) {
+    const UserId nu = user_map[static_cast<size_t>(r.user)];
+    if (nu < 0) continue;
+    GANC_RETURN_NOT_OK(
+        builder.Add(nu, item_map[static_cast<size_t>(r.item)], r.value));
+  }
+  return std::move(builder).Build();
+}
+
+Result<TrainTestSplit> HoldoutSplit(const RatingDataset& dataset,
+                                    const std::vector<bool>& is_test) {
+  if (is_test.size() != dataset.ratings().size()) {
+    return Status::InvalidArgument(
+        "is_test mask size must match the number of ratings");
+  }
+  // First pass: which users/items appear in train.
+  std::vector<bool> user_in_train(static_cast<size_t>(dataset.num_users()),
+                                  false);
+  std::vector<bool> item_in_train(static_cast<size_t>(dataset.num_items()),
+                                  false);
+  for (size_t k = 0; k < is_test.size(); ++k) {
+    if (!is_test[k]) {
+      const Rating& r = dataset.ratings()[k];
+      user_in_train[static_cast<size_t>(r.user)] = true;
+      item_in_train[static_cast<size_t>(r.item)] = true;
+    }
+  }
+  RatingDatasetBuilder train_builder(dataset.num_users(), dataset.num_items());
+  RatingDatasetBuilder test_builder(dataset.num_users(), dataset.num_items());
+  for (size_t k = 0; k < is_test.size(); ++k) {
+    const Rating& r = dataset.ratings()[k];
+    if (is_test[k]) {
+      // Drop probe ratings whose user or item never occurs in train.
+      if (user_in_train[static_cast<size_t>(r.user)] &&
+          item_in_train[static_cast<size_t>(r.item)]) {
+        GANC_RETURN_NOT_OK(test_builder.Add(r.user, r.item, r.value));
+      }
+    } else {
+      GANC_RETURN_NOT_OK(train_builder.Add(r.user, r.item, r.value));
+    }
+  }
+  Result<RatingDataset> train = std::move(train_builder).Build();
+  if (!train.ok()) return train.status();
+  Result<RatingDataset> test = std::move(test_builder).Build();
+  if (!test.ok()) return test.status();
+  return TrainTestSplit{std::move(train).value(), std::move(test).value()};
+}
+
+}  // namespace ganc

@@ -1,0 +1,57 @@
+// Train/test splitting (Section IV-A of the paper).
+//
+// The paper splits each dataset by keeping a fixed ratio kappa of every
+// user's ratings in the train set and moving the rest to test, so that an
+// infrequent user with 5 ratings at kappa = 0.8 keeps 4 in train and 1 in
+// test. Users below a minimum-activity threshold tau are filtered first.
+
+#ifndef GANC_DATA_SPLIT_H_
+#define GANC_DATA_SPLIT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// A train/test pair over the same user/item universe.
+struct TrainTestSplit {
+  RatingDataset train;
+  RatingDataset test;
+};
+
+/// Options for PerUserRatioSplit.
+struct SplitOptions {
+  /// Fraction of each user's ratings kept in train (paper's kappa).
+  double train_ratio = 0.8;
+  /// Every user keeps at least this many ratings in train (never produces
+  /// a user with an empty train profile unless they had zero ratings).
+  int32_t min_train_per_user = 1;
+  /// Seed for the per-user shuffles.
+  uint64_t seed = 42;
+};
+
+/// Splits `dataset` per user: each user's ratings are shuffled and
+/// round(kappa * n_u) of them (at least min_train_per_user) stay in train.
+/// User/item id spaces are preserved in both halves.
+Result<TrainTestSplit> PerUserRatioSplit(const RatingDataset& dataset,
+                                         const SplitOptions& options);
+
+/// Removes users with fewer than `min_ratings` observations (paper's tau
+/// filter, tau = 5 for MT-200K) and items left with no observations.
+/// Remaining users/items are re-indexed densely.
+Result<RatingDataset> FilterInfrequentUsers(const RatingDataset& dataset,
+                                            int32_t min_ratings);
+
+/// Netflix-probe-style split: a caller-provided predicate marks test
+/// observations; train keeps the rest. Users or items that end up absent
+/// from train have their test ratings dropped, mirroring the paper's
+/// "remove users in the probe set who do not appear in train" rule.
+Result<TrainTestSplit> HoldoutSplit(const RatingDataset& dataset,
+                                    const std::vector<bool>& is_test);
+
+}  // namespace ganc
+
+#endif  // GANC_DATA_SPLIT_H_

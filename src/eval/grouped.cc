@@ -1,0 +1,62 @@
+#include "eval/grouped.h"
+
+#include <cassert>
+
+namespace ganc {
+
+std::vector<GroupReport> EvaluateByActivity(
+    const RatingDataset& train, const RatingDataset& test,
+    const std::vector<std::vector<ItemId>>& topn, const MetricsConfig& config,
+    const GroupingConfig& grouping) {
+  const size_t num_groups = grouping.activity_bounds.size() + 1;
+  assert(grouping.names.size() == num_groups);
+
+  auto group_of = [&](UserId u) {
+    const int32_t act = train.Activity(u);
+    for (size_t g = 0; g < grouping.activity_bounds.size(); ++g) {
+      if (act < grouping.activity_bounds[g]) return g;
+    }
+    return num_groups - 1;
+  };
+
+  // Build per-group "masked" top-N collections: users outside the group
+  // get empty lists, and group metrics divide by the group size. We reuse
+  // EvaluateTopN on a restricted universe by evaluating each group's
+  // users against a filtered collection and rescaling the |U|-denominated
+  // metrics.
+  std::vector<GroupReport> reports(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    reports[g].name = grouping.names[g];
+  }
+
+  const double total_users = static_cast<double>(train.num_users());
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<std::vector<ItemId>> masked(
+        static_cast<size_t>(train.num_users()));
+    int32_t members = 0;
+    for (UserId u = 0; u < train.num_users(); ++u) {
+      if (group_of(u) == g) {
+        masked[static_cast<size_t>(u)] = topn[static_cast<size_t>(u)];
+        ++members;
+      }
+    }
+    reports[g].num_users = members;
+    if (members == 0) continue;
+    MetricsReport m = EvaluateTopN(train, test, masked, config);
+    // Precision/recall/LTAccuracy in EvaluateTopN divide by |U|; rescale
+    // to the group size. StratRecall's denominator also spans all users'
+    // relevant items, so it is *not* rescaled here — it stays a share of
+    // the global novelty-recall mass contributed by this group.
+    const double scale = total_users / static_cast<double>(members);
+    m.precision *= scale;
+    m.recall *= scale;
+    m.lt_accuracy *= scale;
+    m.f_measure = (m.precision + m.recall) > 0.0
+                      ? m.precision * m.recall / (m.precision + m.recall)
+                      : 0.0;
+    reports[g].metrics = m;
+  }
+  return reports;
+}
+
+}  // namespace ganc

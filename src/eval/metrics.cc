@@ -1,0 +1,145 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace ganc {
+
+MetricsReport EvaluateTopN(const RatingDataset& train,
+                           const RatingDataset& test,
+                           const std::vector<std::vector<ItemId>>& topn,
+                           const MetricsConfig& config) {
+  MetricsReport report;
+  const int32_t n_users = train.num_users();
+  const int32_t n_items = train.num_items();
+  const size_t n = static_cast<size_t>(config.top_n);
+  const LongTailInfo tail = ComputeLongTail(train);
+
+  double hits_total = 0.0;           // sum_u |IT+_u ∩ P_u|
+  double recall_sum = 0.0;           // sum_u hits_u / |IT+_u|
+  double lt_total = 0.0;             // sum_u |L ∩ P_u|
+  double strat_num = 0.0, strat_den = 0.0;
+  double ndcg_sum = 0.0;
+  int32_t ndcg_users = 0;
+  std::vector<double> rec_freq(static_cast<size_t>(n_items), 0.0);
+
+  for (UserId u = 0; u < n_users; ++u) {
+    // Relevant test items: rated >= threshold in test.
+    std::unordered_set<ItemId> relevant;
+    for (const ItemRating& ir : test.ItemsOf(u)) {
+      if (ir.value >= config.relevance_threshold) relevant.insert(ir.item);
+    }
+    // Stratified-recall denominator runs over IT+_u regardless of P_u.
+    for (ItemId i : relevant) {
+      const double f =
+          std::max<double>(1.0, static_cast<double>(train.Popularity(i)));
+      strat_den += std::pow(1.0 / f, config.strat_beta);
+    }
+
+    const auto& full_list = topn[static_cast<size_t>(u)];
+    const size_t len = std::min(full_list.size(), n);
+    double hits = 0.0;
+    double dcg = 0.0;
+    for (size_t k = 0; k < len; ++k) {
+      const ItemId i = full_list[k];
+      ++rec_freq[static_cast<size_t>(i)];
+      if (tail.Contains(i)) lt_total += 1.0;
+      if (relevant.count(i) > 0) {
+        hits += 1.0;
+        dcg += 1.0 / std::log2(static_cast<double>(k) + 2.0);
+        const double f =
+            std::max<double>(1.0, static_cast<double>(train.Popularity(i)));
+        strat_num += std::pow(1.0 / f, config.strat_beta);
+      }
+    }
+    hits_total += hits;
+    if (!relevant.empty()) {
+      recall_sum += hits / static_cast<double>(relevant.size());
+      double idcg = 0.0;
+      const size_t ideal = std::min(relevant.size(), n);
+      for (size_t k = 0; k < ideal; ++k) {
+        idcg += 1.0 / std::log2(static_cast<double>(k) + 2.0);
+      }
+      ndcg_sum += idcg > 0.0 ? dcg / idcg : 0.0;
+      ++ndcg_users;
+    }
+  }
+
+  const double users = static_cast<double>(n_users);
+  report.precision = hits_total / (static_cast<double>(n) * users);
+  report.recall = recall_sum / users;
+  report.f_measure =
+      (report.precision + report.recall) > 0.0
+          ? report.precision * report.recall /
+                (report.precision + report.recall)
+          : 0.0;
+  report.lt_accuracy = lt_total / (static_cast<double>(n) * users);
+  report.strat_recall = strat_den > 0.0 ? strat_num / strat_den : 0.0;
+
+  int32_t distinct = 0;
+  for (double f : rec_freq) {
+    if (f > 0.0) ++distinct;
+  }
+  report.coverage =
+      n_items > 0 ? static_cast<double>(distinct) / static_cast<double>(n_items)
+                  : 0.0;
+  report.gini = GiniCoefficient(rec_freq);
+  report.ndcg = ndcg_users > 0
+                    ? ndcg_sum / static_cast<double>(ndcg_users)
+                    : 0.0;
+  return report;
+}
+
+std::vector<std::string> MetricsRow(const MetricsReport& report,
+                                    int precision_digits) {
+  return {FormatDouble(report.f_measure, precision_digits),
+          FormatDouble(report.strat_recall, precision_digits),
+          FormatDouble(report.lt_accuracy, precision_digits),
+          FormatDouble(report.coverage, precision_digits),
+          FormatDouble(report.gini, precision_digits)};
+}
+
+namespace {
+/// 1-based competition ranks: best value gets rank 1; ties share the rank.
+std::vector<int> RanksDescending(const std::vector<double>& values,
+                                 bool higher_better) {
+  const size_t n = values.size();
+  std::vector<int> ranks(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const bool j_better = higher_better ? values[j] > values[i] + 1e-12
+                                          : values[j] < values[i] - 1e-12;
+      if (j_better) ++ranks[i];
+    }
+  }
+  return ranks;
+}
+}  // namespace
+
+std::vector<double> AverageRanks(const std::vector<MetricsReport>& reports) {
+  const size_t n = reports.size();
+  std::vector<double> f(n), s(n), l(n), c(n), g(n);
+  for (size_t i = 0; i < n; ++i) {
+    f[i] = reports[i].f_measure;
+    s[i] = reports[i].strat_recall;
+    l[i] = reports[i].lt_accuracy;
+    c[i] = reports[i].coverage;
+    g[i] = reports[i].gini;
+  }
+  const std::vector<int> rf = RanksDescending(f, true);
+  const std::vector<int> rs = RanksDescending(s, true);
+  const std::vector<int> rl = RanksDescending(l, true);
+  const std::vector<int> rc = RanksDescending(c, true);
+  const std::vector<int> rg = RanksDescending(g, false);  // lower gini wins
+  std::vector<double> avg(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    avg[i] = (rf[i] + rs[i] + rl[i] + rc[i] + rg[i]) / 5.0;
+  }
+  return avg;
+}
+
+}  // namespace ganc

@@ -1,0 +1,62 @@
+// Performance metrics (Table III of the paper).
+//
+// Local ranking accuracy: Precision@N, Recall@N, F-measure@N (computed per
+// user on highly-rated test items, averaged over all users).
+// Long-tail promotion:    LTAccuracy@N, StratRecall@N (beta = 0.5).
+// Coverage:               Coverage@N, Gini@N.
+// Plus NDCG@N as an auxiliary ranking-quality metric.
+
+#ifndef GANC_EVAL_METRICS_H_
+#define GANC_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/longtail.h"
+
+namespace ganc {
+
+/// Evaluation knobs.
+struct MetricsConfig {
+  int top_n = 5;
+  /// A test item is relevant when its rating is >= this (paper: 4).
+  double relevance_threshold = 4.0;
+  /// Stratified-recall popularity exponent (paper: 0.5).
+  double strat_beta = 0.5;
+};
+
+/// One evaluation's worth of metric values.
+struct MetricsReport {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;     ///< P*R/(P+R), the paper's definition
+  double lt_accuracy = 0.0;
+  double strat_recall = 0.0;
+  double coverage = 0.0;
+  double gini = 0.0;
+  double ndcg = 0.0;
+};
+
+/// Evaluates a top-N collection (one list per user, best-first) against
+/// the held-out test set. The long-tail set and popularity strata are
+/// computed on `train`. Lists longer than config.top_n are truncated.
+MetricsReport EvaluateTopN(const RatingDataset& train,
+                           const RatingDataset& test,
+                           const std::vector<std::vector<ItemId>>& topn,
+                           const MetricsConfig& config);
+
+/// Pretty row for tables: fixed-precision values in Table IV column order
+/// (F, StratRecall, LTAccuracy, Coverage, Gini).
+std::vector<std::string> MetricsRow(const MetricsReport& report,
+                                    int precision_digits = 4);
+
+/// Ranks algorithms per metric as in Table IV's parenthesized ranks and
+/// "Score" column: rank 1 = best F, StratRecall, LTAccuracy, Coverage and
+/// best (lowest) Gini; ties share the better rank. Returns the average
+/// rank across the five metrics per algorithm, in input order.
+std::vector<double> AverageRanks(const std::vector<MetricsReport>& reports);
+
+}  // namespace ganc
+
+#endif  // GANC_EVAL_METRICS_H_

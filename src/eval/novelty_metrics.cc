@@ -1,0 +1,64 @@
+#include "eval/novelty_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace ganc {
+
+double ExpectedPopularityComplement(
+    const RatingDataset& train,
+    const std::vector<std::vector<ItemId>>& topn, int top_n) {
+  std::vector<double> pop = train.PopularityVector();
+  MinMaxNormalize(&pop);
+  double acc = 0.0;
+  int64_t slots = 0;
+  for (const auto& list : topn) {
+    const size_t len = std::min(list.size(), static_cast<size_t>(top_n));
+    for (size_t k = 0; k < len; ++k) {
+      acc += 1.0 - pop[static_cast<size_t>(list[k])];
+      ++slots;
+    }
+  }
+  return slots > 0 ? acc / static_cast<double>(slots) : 0.0;
+}
+
+double RecommendationEntropy(const RatingDataset& train,
+                             const std::vector<std::vector<ItemId>>& topn,
+                             int top_n) {
+  std::vector<double> freq(static_cast<size_t>(train.num_items()), 0.0);
+  double total = 0.0;
+  for (const auto& list : topn) {
+    const size_t len = std::min(list.size(), static_cast<size_t>(top_n));
+    for (size_t k = 0; k < len; ++k) {
+      freq[static_cast<size_t>(list[k])] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total <= 0.0 || train.num_items() < 2) return 0.0;
+  double entropy = 0.0;
+  for (double f : freq) {
+    if (f <= 0.0) continue;
+    const double p = f / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy / std::log(static_cast<double>(train.num_items()));
+}
+
+double MeanRecommendedPopularity(
+    const RatingDataset& train,
+    const std::vector<std::vector<ItemId>>& topn, int top_n) {
+  double acc = 0.0;
+  int64_t slots = 0;
+  for (const auto& list : topn) {
+    const size_t len = std::min(list.size(), static_cast<size_t>(top_n));
+    for (size_t k = 0; k < len; ++k) {
+      acc += static_cast<double>(train.Popularity(list[k]));
+      ++slots;
+    }
+  }
+  return slots > 0 ? acc / static_cast<double>(slots) : 0.0;
+}
+
+}  // namespace ganc

@@ -1,0 +1,37 @@
+// Additional beyond-accuracy metrics from the novelty/diversity survey
+// literature the paper builds on (Castells/Vargas; Kaminskas & Bridge):
+// expected popularity complement, recommendation-distribution entropy,
+// and mean intra-list popularity. They complement Table III's
+// LTAccuracy / Coverage / Gini in the ablation benches.
+
+#ifndef GANC_EVAL_NOVELTY_METRICS_H_
+#define GANC_EVAL_NOVELTY_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ganc {
+
+/// Expected Popularity Complement @N: mean over all recommended slots of
+/// (1 - normalized popularity). 1 = pure long-tail, 0 = pure blockbusters.
+double ExpectedPopularityComplement(
+    const RatingDataset& train,
+    const std::vector<std::vector<ItemId>>& topn, int top_n);
+
+/// Shannon entropy of the recommendation frequency distribution,
+/// normalized by log(|I|) into [0, 1]. Higher = recommendations spread
+/// more evenly over the catalog (complements Gini).
+double RecommendationEntropy(const RatingDataset& train,
+                             const std::vector<std::vector<ItemId>>& topn,
+                             int top_n);
+
+/// Mean train popularity of recommended items (the raw quantity behind
+/// Figure 1-style audits of a recommender's output).
+double MeanRecommendedPopularity(
+    const RatingDataset& train,
+    const std::vector<std::vector<ItemId>>& topn, int top_n);
+
+}  // namespace ganc
+
+#endif  // GANC_EVAL_NOVELTY_METRICS_H_

@@ -1,0 +1,39 @@
+#include "eval/protocol.h"
+
+namespace ganc {
+
+std::string RankingProtocolName(RankingProtocol protocol) {
+  switch (protocol) {
+    case RankingProtocol::kAllUnrated:
+      return "all-unrated-items";
+    case RankingProtocol::kRatedTestItems:
+      return "rated-test-items";
+  }
+  return "?";
+}
+
+std::vector<std::vector<ItemId>> BuildTopN(const Recommender& model,
+                                           const RatingDataset& train,
+                                           const RatingDataset& test,
+                                           int top_n,
+                                           RankingProtocol protocol,
+                                           ThreadPool* pool) {
+  std::vector<std::vector<ItemId>> result(
+      static_cast<size_t>(train.num_users()));
+  ParallelFor(pool, 0, static_cast<size_t>(train.num_users()), [&](size_t uu) {
+    const UserId u = static_cast<UserId>(uu);
+    std::vector<ItemId> candidates;
+    if (protocol == RankingProtocol::kAllUnrated) {
+      candidates = train.UnratedItems(u);
+    } else {
+      candidates.reserve(test.ItemsOf(u).size());
+      for (const ItemRating& ir : test.ItemsOf(u)) {
+        candidates.push_back(ir.item);
+      }
+    }
+    result[uu] = model.RecommendTopN(u, candidates, top_n);
+  });
+  return result;
+}
+
+}  // namespace ganc

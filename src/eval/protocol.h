@@ -1,0 +1,41 @@
+// Test ranking protocols (Section IV-A and Appendix C).
+//
+// The protocol decides which items are ranked for each user at test time:
+//   * All unrated items:  rank everything outside the user's train
+//     profile — the realistic protocol the paper adopts;
+//   * Rated test-items:   rank only the user's observed test items — the
+//     biased protocol Appendix C demonstrates inflates accuracy.
+
+#ifndef GANC_EVAL_PROTOCOL_H_
+#define GANC_EVAL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "recommender/recommender.h"
+#include "util/thread_pool.h"
+
+namespace ganc {
+
+/// Which candidate set is ranked per user at test time.
+enum class RankingProtocol {
+  kAllUnrated,
+  kRatedTestItems,
+};
+
+/// Human-readable protocol name.
+std::string RankingProtocolName(RankingProtocol protocol);
+
+/// Builds per-user top-N lists for `model` under the chosen protocol.
+/// With kRatedTestItems, users whose test profile is empty get empty lists.
+std::vector<std::vector<ItemId>> BuildTopN(const Recommender& model,
+                                           const RatingDataset& train,
+                                           const RatingDataset& test,
+                                           int top_n,
+                                           RankingProtocol protocol,
+                                           ThreadPool* pool = nullptr);
+
+}  // namespace ganc
+
+#endif  // GANC_EVAL_PROTOCOL_H_

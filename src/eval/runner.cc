@@ -1,0 +1,69 @@
+#include "eval/runner.h"
+
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace ganc {
+
+std::vector<AlgorithmResult> RunComparison(
+    const std::vector<AlgorithmEntry>& entries, const RatingDataset& train,
+    const RatingDataset& test, const MetricsConfig& config) {
+  std::vector<AlgorithmResult> results;
+  results.reserve(entries.size());
+  std::vector<MetricsReport> reports;
+  for (const AlgorithmEntry& entry : entries) {
+    WallTimer timer;
+    const std::vector<std::vector<ItemId>> topn = entry.run();
+    AlgorithmResult r;
+    r.name = entry.name;
+    r.metrics = EvaluateTopN(train, test, topn, config);
+    r.seconds = timer.ElapsedSeconds();
+    reports.push_back(r.metrics);
+    results.push_back(std::move(r));
+  }
+  const std::vector<double> ranks = AverageRanks(reports);
+  for (size_t i = 0; i < results.size(); ++i) results[i].avg_rank = ranks[i];
+  return results;
+}
+
+TablePrinter ComparisonTable(const std::vector<AlgorithmResult>& results,
+                             int top_n) {
+  const std::string n = std::to_string(top_n);
+  TablePrinter table({"Alg", "F@" + n, "S@" + n, "L@" + n, "C@" + n,
+                      "G@" + n, "Score", "sec"});
+  for (const AlgorithmResult& r : results) {
+    std::vector<std::string> row = {r.name};
+    for (const std::string& cell : MetricsRow(r.metrics)) row.push_back(cell);
+    row.push_back(FormatDouble(r.avg_rank, 1));
+    row.push_back(FormatDouble(r.seconds, 1));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+MetricsReport MeanReport(const std::vector<MetricsReport>& reports) {
+  MetricsReport mean;
+  if (reports.empty()) return mean;
+  for (const MetricsReport& r : reports) {
+    mean.precision += r.precision;
+    mean.recall += r.recall;
+    mean.f_measure += r.f_measure;
+    mean.lt_accuracy += r.lt_accuracy;
+    mean.strat_recall += r.strat_recall;
+    mean.coverage += r.coverage;
+    mean.gini += r.gini;
+    mean.ndcg += r.ndcg;
+  }
+  const double n = static_cast<double>(reports.size());
+  mean.precision /= n;
+  mean.recall /= n;
+  mean.f_measure /= n;
+  mean.lt_accuracy /= n;
+  mean.strat_recall /= n;
+  mean.coverage /= n;
+  mean.gini /= n;
+  mean.ndcg /= n;
+  return mean;
+}
+
+}  // namespace ganc

@@ -1,0 +1,49 @@
+// Experiment runner: evaluates a set of named top-N collections against a
+// train/test split and renders paper-style comparison tables (Table IV's
+// metric columns plus the average-rank "Score").
+
+#ifndef GANC_EVAL_RUNNER_H_
+#define GANC_EVAL_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+namespace ganc {
+
+/// A named algorithm entry: the callback produces the top-N collection
+/// (so expensive models are only invoked when the runner needs them).
+struct AlgorithmEntry {
+  std::string name;
+  std::function<std::vector<std::vector<ItemId>>()> run;
+};
+
+/// Result row for one algorithm.
+struct AlgorithmResult {
+  std::string name;
+  MetricsReport metrics;
+  double avg_rank = 0.0;
+  double seconds = 0.0;
+};
+
+/// Runs every entry, evaluates it, computes Table IV-style average ranks.
+std::vector<AlgorithmResult> RunComparison(
+    const std::vector<AlgorithmEntry>& entries, const RatingDataset& train,
+    const RatingDataset& test, const MetricsConfig& config);
+
+/// Renders the comparison as a Table IV-shaped ASCII table
+/// (Alg | F@N | S@N | L@N | C@N | G@N | Score).
+TablePrinter ComparisonTable(const std::vector<AlgorithmResult>& results,
+                             int top_n);
+
+/// Averages metric reports element-wise (for the paper's 10-run averages
+/// of sampling-based GANC variants).
+MetricsReport MeanReport(const std::vector<MetricsReport>& reports);
+
+}  // namespace ganc
+
+#endif  // GANC_EVAL_RUNNER_H_

@@ -1,0 +1,70 @@
+#include "eval/sampled_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ganc {
+
+Result<SampledRankingReport> EvaluateSampledRanking(
+    const Recommender& model, const RatingDataset& train,
+    const RatingDataset& test, const SampledRankingOptions& options) {
+  if (options.top_n <= 0 || options.num_negatives <= 0) {
+    return Status::InvalidArgument(
+        "top_n and num_negatives must be positive");
+  }
+  if (train.num_items() != test.num_items() ||
+      train.num_users() != test.num_users()) {
+    return Status::InvalidArgument("train/test universes differ");
+  }
+  Rng rng(options.seed);
+  SampledRankingReport report;
+  double hits = 0.0, ndcg = 0.0;
+
+  // Walk test observations user-major so each user's scores are computed
+  // once per contiguous block of their positives.
+  for (UserId u = 0; u < test.num_users(); ++u) {
+    const auto& row = test.ItemsOf(u);
+    if (row.empty()) continue;
+    // A user whose train+test profile spans the catalog has no negatives.
+    if (train.Activity(u) + static_cast<int32_t>(row.size()) >=
+        train.num_items()) {
+      continue;
+    }
+    const std::vector<double> scores = model.ScoreAll(u);
+    for (const ItemRating& pos : row) {
+      if (options.max_positives > 0 &&
+          report.evaluated_positives >= options.max_positives) {
+        break;
+      }
+      // Rank = number of sampled negatives scoring strictly above the
+      // positive (ties resolved in the positive's favour, consistent with
+      // SelectTopK's deterministic ordering by construction below).
+      int rank = 0;
+      for (int k = 0; k < options.num_negatives; ++k) {
+        ItemId j;
+        do {
+          j = static_cast<ItemId>(
+              rng.UniformInt(static_cast<uint64_t>(train.num_items())));
+        } while (train.HasRating(u, j) || test.HasRating(u, j));
+        if (scores[static_cast<size_t>(j)] >
+            scores[static_cast<size_t>(pos.item)]) {
+          ++rank;
+        }
+      }
+      ++report.evaluated_positives;
+      if (rank < options.top_n) {
+        hits += 1.0;
+        ndcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+      }
+    }
+  }
+  if (report.evaluated_positives > 0) {
+    report.hit_rate = hits / static_cast<double>(report.evaluated_positives);
+    report.ndcg = ndcg / static_cast<double>(report.evaluated_positives);
+  }
+  return report;
+}
+
+}  // namespace ganc

@@ -1,0 +1,46 @@
+// Sampled ("1 + k negatives") ranking evaluation — the leave-one-out
+// protocol common in the implicit-feedback literature, provided as a
+// third protocol besides all-unrated and rated-test-items. For each test
+// positive, the model ranks it against `num_negatives` sampled unseen
+// items; hit rate and NDCG at N are averaged over test positives.
+//
+// Like the rated-test protocol, this is a *biased* but cheap estimate;
+// the all-unrated protocol remains the paper-faithful default.
+
+#ifndef GANC_EVAL_SAMPLED_RANKING_H_
+#define GANC_EVAL_SAMPLED_RANKING_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "recommender/recommender.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// Options for EvaluateSampledRanking.
+struct SampledRankingOptions {
+  int top_n = 10;
+  int num_negatives = 99;
+  /// Cap on evaluated test positives (0 = all), for large test sets.
+  int64_t max_positives = 0;
+  uint64_t seed = 61;
+};
+
+/// HR@N / NDCG@N over sampled candidate sets.
+struct SampledRankingReport {
+  double hit_rate = 0.0;
+  double ndcg = 0.0;
+  int64_t evaluated_positives = 0;
+};
+
+/// For every (capped) test observation, ranks the positive among
+/// num_negatives items unseen in BOTH train and test for that user.
+/// Requires a fitted model; scores come from Recommender::ScoreAll.
+Result<SampledRankingReport> EvaluateSampledRanking(
+    const Recommender& model, const RatingDataset& train,
+    const RatingDataset& test, const SampledRankingOptions& options);
+
+}  // namespace ganc
+
+#endif  // GANC_EVAL_SAMPLED_RANKING_H_

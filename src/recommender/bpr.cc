@@ -1,0 +1,120 @@
+#include "recommender/bpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ganc {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+BprRecommender::BprRecommender(BprConfig config) : config_(config) {}
+
+Status BprRecommender::Fit(const RatingDataset& train) {
+  if (config_.num_factors <= 0) {
+    return Status::InvalidArgument("num_factors must be positive");
+  }
+  if (train.num_ratings() == 0) {
+    return Status::InvalidArgument("BPR needs a non-empty train set");
+  }
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+  const size_t g = static_cast<size_t>(config_.num_factors);
+
+  Rng rng(config_.seed);
+  user_factors_.resize(static_cast<size_t>(num_users_) * g);
+  item_factors_.resize(static_cast<size_t>(num_items_) * g);
+  for (double& v : user_factors_) v = rng.Normal(0.0, 0.1);
+  for (double& v : item_factors_) v = rng.Normal(0.0, 0.1);
+  item_bias_.assign(static_cast<size_t>(num_items_), 0.0);
+
+  const int64_t triples_per_epoch = std::max<int64_t>(
+      1, static_cast<int64_t>(config_.samples_per_rating *
+                              static_cast<double>(train.num_ratings())));
+  const double lr = config_.learning_rate;
+  const double lam = config_.regularization;
+
+  for (int32_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+    for (int64_t t = 0; t < triples_per_epoch; ++t) {
+      // Sample a positive observation uniformly, then a negative item the
+      // user has not interacted with (rejection).
+      const Rating& pos = train.ratings()[static_cast<size_t>(
+          rng.UniformInt(train.ratings().size()))];
+      const UserId u = pos.user;
+      if (train.Activity(u) >= num_items_) continue;  // nothing unseen
+      ItemId j;
+      do {
+        j = static_cast<ItemId>(
+            rng.UniformInt(static_cast<uint64_t>(num_items_)));
+      } while (train.HasRating(u, j));
+
+      double* pu = &user_factors_[static_cast<size_t>(u) * g];
+      double* qi = &item_factors_[static_cast<size_t>(pos.item) * g];
+      double* qj = &item_factors_[static_cast<size_t>(j) * g];
+      double x = item_bias_[static_cast<size_t>(pos.item)] -
+                 item_bias_[static_cast<size_t>(j)];
+      for (size_t f = 0; f < g; ++f) x += pu[f] * (qi[f] - qj[f]);
+      const double grad = 1.0 - Sigmoid(x);  // d/dx of -ln sigma(x), negated
+
+      item_bias_[static_cast<size_t>(pos.item)] +=
+          lr * (grad - lam * item_bias_[static_cast<size_t>(pos.item)]);
+      item_bias_[static_cast<size_t>(j)] +=
+          lr * (-grad - lam * item_bias_[static_cast<size_t>(j)]);
+      for (size_t f = 0; f < g; ++f) {
+        const double puf = pu[f];
+        const double qif = qi[f];
+        const double qjf = qj[f];
+        pu[f] += lr * (grad * (qif - qjf) - lam * puf);
+        qi[f] += lr * (grad * puf - lam * qif);
+        qj[f] += lr * (-grad * puf - lam * qjf);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double BprRecommender::Score(UserId u, ItemId i) const {
+  const size_t g = static_cast<size_t>(config_.num_factors);
+  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
+  const double* qi = &item_factors_[static_cast<size_t>(i) * g];
+  double x = item_bias_[static_cast<size_t>(i)];
+  for (size_t f = 0; f < g; ++f) x += pu[f] * qi[f];
+  return x;
+}
+
+std::vector<double> BprRecommender::ScoreAll(UserId u) const {
+  std::vector<double> scores(static_cast<size_t>(num_items_));
+  for (ItemId i = 0; i < num_items_; ++i) {
+    scores[static_cast<size_t>(i)] = Score(u, i);
+  }
+  return scores;
+}
+
+double BprRecommender::PairwiseAccuracy(const RatingDataset& train,
+                                        const RatingDataset& test,
+                                        int32_t samples,
+                                        uint64_t seed) const {
+  if (test.num_ratings() == 0 || samples <= 0) return 0.0;
+  Rng rng(seed);
+  int32_t correct = 0, total = 0;
+  for (int32_t t = 0; t < samples; ++t) {
+    const Rating& pos = test.ratings()[static_cast<size_t>(
+        rng.UniformInt(test.ratings().size()))];
+    ItemId j;
+    int attempts = 0;
+    do {
+      j = static_cast<ItemId>(
+          rng.UniformInt(static_cast<uint64_t>(num_items_)));
+      if (++attempts > 64) break;
+    } while (train.HasRating(pos.user, j) || test.HasRating(pos.user, j));
+    if (attempts > 64) continue;
+    ++total;
+    if (Score(pos.user, pos.item) > Score(pos.user, j)) ++correct;
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace ganc

@@ -1,0 +1,82 @@
+#include "recommender/cofirank.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace ganc {
+
+CofiRecommender::CofiRecommender(CofiConfig config) : config_(config) {}
+
+Status CofiRecommender::Fit(const RatingDataset& train) {
+  if (config_.num_factors <= 0) {
+    return Status::InvalidArgument("num_factors must be positive");
+  }
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+  const size_t g = static_cast<size_t>(config_.num_factors);
+
+  // Per-user min-max normalization: the regression target is the user's
+  // relative preference, not the absolute rating value.
+  std::vector<float> lo(static_cast<size_t>(num_users_), 0.0f);
+  std::vector<float> range(static_cast<size_t>(num_users_), 1.0f);
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto& row = train.ItemsOf(u);
+    if (row.empty()) continue;
+    float mn = row[0].value, mx = row[0].value;
+    for (const ItemRating& ir : row) {
+      mn = std::min(mn, ir.value);
+      mx = std::max(mx, ir.value);
+    }
+    lo[static_cast<size_t>(u)] = mn;
+    range[static_cast<size_t>(u)] = std::max(mx - mn, 1e-6f);
+  }
+
+  Rng rng(config_.seed);
+  user_factors_.resize(static_cast<size_t>(num_users_) * g);
+  item_factors_.resize(static_cast<size_t>(num_items_) * g);
+  for (double& v : user_factors_) v = rng.Uniform() * 0.1;
+  for (double& v : item_factors_) v = rng.Uniform() * 0.1;
+
+  std::vector<size_t> order(train.ratings().size());
+  std::iota(order.begin(), order.end(), 0);
+  double lr = config_.learning_rate;
+  const double lam = config_.regularization;
+  for (int32_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const Rating& r = train.ratings()[idx];
+      const double target =
+          (static_cast<double>(r.value) - lo[static_cast<size_t>(r.user)]) /
+          range[static_cast<size_t>(r.user)];
+      double* pu = &user_factors_[static_cast<size_t>(r.user) * g];
+      double* qi = &item_factors_[static_cast<size_t>(r.item) * g];
+      double pred = 0.0;
+      for (size_t f = 0; f < g; ++f) pred += pu[f] * qi[f];
+      const double err = target - pred;
+      for (size_t f = 0; f < g; ++f) {
+        const double puf = pu[f];
+        pu[f] += lr * (err * qi[f] - lam * puf);
+        qi[f] += lr * (err * puf - lam * qi[f]);
+      }
+    }
+    lr *= config_.lr_decay;
+  }
+  return Status::OK();
+}
+
+std::vector<double> CofiRecommender::ScoreAll(UserId u) const {
+  const size_t g = static_cast<size_t>(config_.num_factors);
+  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
+  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
+  for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
+    const double* qi = &item_factors_[i * g];
+    double dot = 0.0;
+    for (size_t f = 0; f < g; ++f) dot += pu[f] * qi[f];
+    scores[i] = dot;
+  }
+  return scores;
+}
+
+}  // namespace ganc

@@ -1,0 +1,35 @@
+#include "recommender/item_knn.h"
+
+#include <cmath>
+
+namespace ganc {
+
+ItemKnnRecommender::ItemKnnRecommender(ItemKnnConfig config)
+    : config_(config) {}
+
+Status ItemKnnRecommender::Fit(const RatingDataset& train) {
+  if (config_.num_neighbors <= 0) {
+    return Status::InvalidArgument("num_neighbors must be positive");
+  }
+  num_items_ = train.num_items();
+  train_ = &train;
+  index_ = ItemSimilarityIndex(train, config_.num_neighbors,
+                               config_.max_profile, config_.seed);
+  return Status::OK();
+}
+
+std::vector<double> ItemKnnRecommender::ScoreAll(UserId u) const {
+  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
+  // Accumulate from the user's rated items outward: each rated item j
+  // pushes sim(i, j) * r_uj onto its neighbours i. Equivalent to scoring
+  // every i over its rated neighbours, but touches only |I_u| * k entries.
+  for (const ItemRating& ir : train_->ItemsOf(u)) {
+    for (const ItemNeighbor& nb : index_.NeighborsOf(ir.item)) {
+      scores[static_cast<size_t>(nb.item)] +=
+          static_cast<double>(nb.sim) * static_cast<double>(ir.value);
+    }
+  }
+  return scores;
+}
+
+}  // namespace ganc

@@ -1,0 +1,50 @@
+// Item-based k-nearest-neighbour recommender (Sarwar et al. 2001).
+//
+// Included as the classical neighbourhood baseline from the paper's
+// related-work discussion. Cosine similarity over item rating columns
+// (via ItemSimilarityIndex), score(u, i) = sum of sim(i, j) * r_uj over
+// the user's rated neighbours of i.
+
+#ifndef GANC_RECOMMENDER_ITEM_KNN_H_
+#define GANC_RECOMMENDER_ITEM_KNN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recommender/item_similarity.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+/// Hyper-parameters for ItemKnnRecommender.
+struct ItemKnnConfig {
+  int32_t num_neighbors = 50;
+  /// Profiles longer than this are subsampled during co-occurrence
+  /// accumulation to bound the quadratic blow-up on power users.
+  int32_t max_profile = 512;
+  uint64_t seed = 31;
+};
+
+/// Cosine item-item KNN.
+class ItemKnnRecommender : public Recommender {
+ public:
+  explicit ItemKnnRecommender(ItemKnnConfig config = {});
+
+  Status Fit(const RatingDataset& train) override;
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override { return "ItemKNN"; }
+
+  /// The fitted similarity index (for diagnostics and re-use).
+  const ItemSimilarityIndex& similarity_index() const { return index_; }
+
+ private:
+  ItemKnnConfig config_;
+  int32_t num_items_ = 0;
+  const RatingDataset* train_ = nullptr;  // borrowed; must outlive scoring
+  ItemSimilarityIndex index_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_ITEM_KNN_H_

@@ -1,0 +1,76 @@
+#include "recommender/item_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace ganc {
+
+ItemSimilarityIndex::ItemSimilarityIndex(const RatingDataset& train,
+                                         int32_t num_neighbors,
+                                         int32_t max_profile, uint64_t seed) {
+  const int32_t num_items = train.num_items();
+  neighbors_.assign(static_cast<size_t>(num_items), {});
+
+  std::vector<double> norms(static_cast<size_t>(num_items), 0.0);
+  for (const Rating& r : train.ratings()) {
+    norms[static_cast<size_t>(r.item)] +=
+        static_cast<double>(r.value) * static_cast<double>(r.value);
+  }
+  for (double& n : norms) n = std::sqrt(n);
+
+  Rng rng(seed);
+  std::vector<std::unordered_map<ItemId, double>> dots(
+      static_cast<size_t>(num_items));
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    std::vector<ItemRating> row = train.ItemsOf(u);
+    if (static_cast<int32_t>(row.size()) > max_profile) {
+      rng.Shuffle(&row);
+      row.resize(static_cast<size_t>(max_profile));
+    }
+    for (size_t a = 0; a < row.size(); ++a) {
+      for (size_t b = a + 1; b < row.size(); ++b) {
+        const double contrib = static_cast<double>(row[a].value) *
+                               static_cast<double>(row[b].value);
+        const ItemId lo = std::min(row[a].item, row[b].item);
+        const ItemId hi = std::max(row[a].item, row[b].item);
+        dots[static_cast<size_t>(lo)][hi] += contrib;
+      }
+    }
+  }
+
+  std::vector<std::vector<ItemNeighbor>> all(static_cast<size_t>(num_items));
+  for (ItemId lo = 0; lo < num_items; ++lo) {
+    for (const auto& [hi, dot] : dots[static_cast<size_t>(lo)]) {
+      const double denom =
+          norms[static_cast<size_t>(lo)] * norms[static_cast<size_t>(hi)];
+      if (denom <= 0.0) continue;
+      const float sim = static_cast<float>(dot / denom);
+      if (sim <= 0.0f) continue;
+      all[static_cast<size_t>(lo)].push_back({hi, sim});
+      all[static_cast<size_t>(hi)].push_back({lo, sim});
+    }
+  }
+  const size_t k = static_cast<size_t>(std::max(num_neighbors, 0));
+  for (ItemId i = 0; i < num_items; ++i) {
+    auto& cand = all[static_cast<size_t>(i)];
+    std::sort(cand.begin(), cand.end(),
+              [](const ItemNeighbor& a, const ItemNeighbor& b) {
+                if (a.sim != b.sim) return a.sim > b.sim;
+                return a.item < b.item;
+              });
+    if (cand.size() > k) cand.resize(k);
+    neighbors_[static_cast<size_t>(i)] = std::move(cand);
+  }
+}
+
+float ItemSimilarityIndex::Similarity(ItemId i, ItemId j) const {
+  for (const ItemNeighbor& nb : neighbors_[static_cast<size_t>(i)]) {
+    if (nb.item == j) return nb.sim;
+  }
+  return 0.0f;
+}
+
+}  // namespace ganc

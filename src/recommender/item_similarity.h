@@ -1,0 +1,53 @@
+// Item-item cosine similarity with truncated neighbour lists — the
+// shared kernel behind the item-KNN recommender and the MMR/topic-
+// diversification re-ranker.
+//
+// Similarities are computed by user-wise co-occurrence accumulation over
+// rating vectors; profiles longer than `max_profile` are subsampled to
+// bound the quadratic per-user cost on power users.
+
+#ifndef GANC_RECOMMENDER_ITEM_SIMILARITY_H_
+#define GANC_RECOMMENDER_ITEM_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ganc {
+
+/// One (neighbour item, cosine similarity) entry.
+struct ItemNeighbor {
+  ItemId item = 0;
+  float sim = 0.0f;
+};
+
+/// Truncated neighbour lists: per item, the up-to-k most cosine-similar
+/// items with positive similarity, sorted by decreasing similarity (ties
+/// by item id).
+class ItemSimilarityIndex {
+ public:
+  ItemSimilarityIndex() = default;
+
+  /// Builds the index over the train set.
+  ItemSimilarityIndex(const RatingDataset& train, int32_t num_neighbors,
+                      int32_t max_profile, uint64_t seed);
+
+  /// Neighbours of item i (possibly empty).
+  const std::vector<ItemNeighbor>& NeighborsOf(ItemId i) const {
+    return neighbors_[static_cast<size_t>(i)];
+  }
+
+  /// Similarity of (i, j): the stored value when j is among i's
+  /// neighbours, else 0. Symmetric up to truncation.
+  float Similarity(ItemId i, ItemId j) const;
+
+  int32_t num_items() const { return static_cast<int32_t>(neighbors_.size()); }
+
+ private:
+  std::vector<std::vector<ItemNeighbor>> neighbors_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_ITEM_SIMILARITY_H_

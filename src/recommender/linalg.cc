@@ -1,0 +1,225 @@
+#include "recommender/linalg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ganc {
+
+void FillGaussian(DenseMatrix* m, Rng* rng) {
+  for (double& v : m->data) v = rng->Normal();
+}
+
+void SparseTimesDense(const RatingDataset& train, const DenseMatrix& x,
+                      DenseMatrix* y) {
+  assert(x.rows == static_cast<size_t>(train.num_items()));
+  const size_t l = x.cols;
+  *y = DenseMatrix(static_cast<size_t>(train.num_users()), l);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    double* yrow = y->Row(static_cast<size_t>(u));
+    for (const ItemRating& ir : train.ItemsOf(u)) {
+      const double* xrow = x.Row(static_cast<size_t>(ir.item));
+      const double r = static_cast<double>(ir.value);
+      for (size_t c = 0; c < l; ++c) yrow[c] += r * xrow[c];
+    }
+  }
+}
+
+void SparseTransposeTimesDense(const RatingDataset& train,
+                               const DenseMatrix& x, DenseMatrix* y) {
+  assert(x.rows == static_cast<size_t>(train.num_users()));
+  const size_t l = x.cols;
+  *y = DenseMatrix(static_cast<size_t>(train.num_items()), l);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const double* xrow = x.Row(static_cast<size_t>(u));
+    for (const ItemRating& ir : train.ItemsOf(u)) {
+      double* yrow = y->Row(static_cast<size_t>(ir.item));
+      const double r = static_cast<double>(ir.value);
+      for (size_t c = 0; c < l; ++c) yrow[c] += r * xrow[c];
+    }
+  }
+}
+
+void OrthonormalizeColumns(DenseMatrix* m) {
+  const size_t n = m->rows;
+  const size_t l = m->cols;
+  for (size_t j = 0; j < l; ++j) {
+    // Subtract projections onto previous columns (two passes for stability).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t k = 0; k < j; ++k) {
+        double dot = 0.0;
+        for (size_t r = 0; r < n; ++r) dot += m->At(r, k) * m->At(r, j);
+        if (dot == 0.0) continue;
+        for (size_t r = 0; r < n; ++r) m->At(r, j) -= dot * m->At(r, k);
+      }
+    }
+    double norm = 0.0;
+    for (size_t r = 0; r < n; ++r) norm += m->At(r, j) * m->At(r, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (size_t r = 0; r < n; ++r) m->At(r, j) = 0.0;
+      continue;
+    }
+    for (size_t r = 0; r < n; ++r) m->At(r, j) /= norm;
+  }
+}
+
+DenseMatrix TransposeTimes(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows == b.rows);
+  DenseMatrix c(a.cols, b.cols);
+  for (size_t r = 0; r < a.rows; ++r) {
+    const double* arow = a.Row(r);
+    const double* brow = b.Row(r);
+    for (size_t i = 0; i < a.cols; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix Times(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.cols == b.rows);
+  DenseMatrix c(a.rows, b.cols);
+  for (size_t i = 0; i < a.rows; ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t k = 0; k < a.cols; ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b.Row(k);
+      for (size_t j = 0; j < b.cols; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+SymmetricEigen JacobiEigen(DenseMatrix a, int max_sweeps, double tol) {
+  assert(a.rows == a.cols);
+  const size_t n = a.rows;
+  DenseMatrix v(n, n);
+  for (size_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a.At(p, q) * a.At(p, q);
+    }
+    if (off < tol) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to A on both sides.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigen out;
+  out.eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) out.eigenvalues[i] = a.At(i, i);
+  // Sort by decreasing eigenvalue, permuting eigenvector columns.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return out.eigenvalues[x] > out.eigenvalues[y];
+  });
+  SymmetricEigen sorted;
+  sorted.eigenvalues.resize(n);
+  sorted.eigenvectors = DenseMatrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted.eigenvalues[j] = out.eigenvalues[order[j]];
+    for (size_t i = 0; i < n; ++i) {
+      sorted.eigenvectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return sorted;
+}
+
+TruncatedSvd RandomizedSvd(const RatingDataset& train, int rank,
+                           int oversample, int power_iterations,
+                           uint64_t seed) {
+  const size_t n_items = static_cast<size_t>(train.num_items());
+  const size_t l = std::min(n_items, static_cast<size_t>(rank + oversample));
+  Rng rng(seed);
+
+  // Range finder: Y = (A A^T)^q A Omega, orthonormalized between steps.
+  DenseMatrix omega(n_items, l);
+  FillGaussian(&omega, &rng);
+  DenseMatrix y;
+  SparseTimesDense(train, omega, &y);
+  OrthonormalizeColumns(&y);
+  for (int it = 0; it < power_iterations; ++it) {
+    DenseMatrix z;
+    SparseTransposeTimesDense(train, y, &z);
+    OrthonormalizeColumns(&z);
+    SparseTimesDense(train, z, &y);
+    OrthonormalizeColumns(&y);
+  }
+
+  // Project: B = Q^T A  (l x |I|), stored transposed as Bt = A^T Q.
+  DenseMatrix bt;  // |I| x l
+  SparseTransposeTimesDense(train, y, &bt);
+
+  // SVD of B via the l x l Gram matrix B B^T = Bt^T Bt.
+  DenseMatrix gram = TransposeTimes(bt, bt);
+  SymmetricEigen eig = JacobiEigen(std::move(gram));
+
+  const size_t g = std::min(static_cast<size_t>(rank), l);
+  TruncatedSvd out;
+  out.singular_values.resize(g);
+  out.u = DenseMatrix(static_cast<size_t>(train.num_users()), g);
+  out.v = DenseMatrix(n_items, g);
+
+  // Small factors: B = Us S Vt with Us = eigvec(BB^T), S = sqrt(eig).
+  for (size_t j = 0; j < g; ++j) {
+    const double sigma = std::sqrt(std::max(eig.eigenvalues[j], 0.0));
+    out.singular_values[j] = sigma;
+  }
+  // U = Q * Us (|U| x g).
+  DenseMatrix us(l, g);
+  for (size_t i = 0; i < l; ++i) {
+    for (size_t j = 0; j < g; ++j) us.At(i, j) = eig.eigenvectors.At(i, j);
+  }
+  out.u = Times(y, us);
+  // V columns: v_j = B^T us_j / sigma_j = Bt * us_j / sigma_j.
+  DenseMatrix btus = Times(bt, us);  // |I| x g
+  for (size_t i = 0; i < n_items; ++i) {
+    for (size_t j = 0; j < g; ++j) {
+      const double sigma = out.singular_values[j];
+      out.v.At(i, j) = sigma > 1e-12 ? btus.At(i, j) / sigma : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace ganc

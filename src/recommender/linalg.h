@@ -1,0 +1,80 @@
+// Small dense linear-algebra kernel used by the PureSVD implementation.
+//
+// We only need operations on tall-skinny (n x l, l <= a few hundred) and
+// small square (l x l) matrices: products with a sparse rating matrix,
+// modified Gram-Schmidt QR, and a cyclic Jacobi symmetric eigensolver.
+// This is deliberately not a general-purpose BLAS.
+
+#ifndef GANC_RECOMMENDER_LINALG_H_
+#define GANC_RECOMMENDER_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace ganc {
+
+/// Row-major dense matrix.
+struct DenseMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> data;
+
+  DenseMatrix() = default;
+  DenseMatrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+  double& At(size_t r, size_t c) { return data[r * cols + c]; }
+  double At(size_t r, size_t c) const { return data[r * cols + c]; }
+  double* Row(size_t r) { return &data[r * cols]; }
+  const double* Row(size_t r) const { return &data[r * cols]; }
+};
+
+/// Fills `m` with independent standard normal entries.
+void FillGaussian(DenseMatrix* m, Rng* rng);
+
+/// Y = A * X where A is the (zero-imputed) sparse |U| x |I| rating matrix
+/// of `train` and X is |I| x l. Y is resized to |U| x l.
+void SparseTimesDense(const RatingDataset& train, const DenseMatrix& x,
+                      DenseMatrix* y);
+
+/// Y = A^T * X where A is as above and X is |U| x l. Y is |I| x l.
+void SparseTransposeTimesDense(const RatingDataset& train,
+                               const DenseMatrix& x, DenseMatrix* y);
+
+/// In-place modified Gram-Schmidt: orthonormalizes the columns of `m`.
+/// Columns that become numerically zero are replaced with zeros.
+void OrthonormalizeColumns(DenseMatrix* m);
+
+/// C = A^T * B for equal-row-count inputs (result cols_A x cols_B).
+DenseMatrix TransposeTimes(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A * B (standard product).
+DenseMatrix Times(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Symmetric eigendecomposition via cyclic Jacobi rotations.
+/// `a` must be square symmetric; on return, eigenvalues[i] pairs with the
+/// i-th column of eigenvectors, sorted by decreasing eigenvalue.
+struct SymmetricEigen {
+  std::vector<double> eigenvalues;
+  DenseMatrix eigenvectors;  // columns are eigenvectors
+};
+SymmetricEigen JacobiEigen(DenseMatrix a, int max_sweeps = 60,
+                           double tol = 1e-12);
+
+/// Rank-g truncated SVD of the zero-imputed rating matrix via randomized
+/// subspace iteration (Halko et al.). Returns U (|U| x g), singular values
+/// (g), V (|I| x g), all sorted by decreasing singular value.
+struct TruncatedSvd {
+  DenseMatrix u;
+  std::vector<double> singular_values;
+  DenseMatrix v;
+};
+TruncatedSvd RandomizedSvd(const RatingDataset& train, int rank,
+                           int oversample = 10, int power_iterations = 2,
+                           uint64_t seed = 13);
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_LINALG_H_

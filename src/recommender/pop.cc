@@ -1,0 +1,17 @@
+#include "recommender/pop.h"
+
+#include "util/stats.h"
+
+namespace ganc {
+
+Status PopRecommender::Fit(const RatingDataset& train) {
+  popularity_ = train.PopularityVector();
+  MinMaxNormalize(&popularity_);
+  return Status::OK();
+}
+
+std::vector<double> PopRecommender::ScoreAll(UserId /*u*/) const {
+  return popularity_;
+}
+
+}  // namespace ganc

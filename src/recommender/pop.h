@@ -1,0 +1,31 @@
+// Most-popular (Pop) non-personalized recommender.
+//
+// Ranks items by train-set popularity f_i^R. The paper reports it as a
+// strong accuracy contender on popularity-biased data but with trivial,
+// low-novelty, low-coverage recommendations (Sections IV-A and V-B).
+
+#ifndef GANC_RECOMMENDER_POP_H_
+#define GANC_RECOMMENDER_POP_H_
+
+#include <string>
+#include <vector>
+
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+/// Scores every item by its (normalized) train popularity, identically for
+/// all users.
+class PopRecommender : public Recommender {
+ public:
+  Status Fit(const RatingDataset& train) override;
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override { return "Pop"; }
+
+ private:
+  std::vector<double> popularity_;  // normalized to [0, 1]
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_POP_H_

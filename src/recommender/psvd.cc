@@ -1,0 +1,48 @@
+#include "recommender/psvd.h"
+
+#include "recommender/linalg.h"
+
+namespace ganc {
+
+PsvdRecommender::PsvdRecommender(PsvdConfig config) : config_(config) {}
+
+Status PsvdRecommender::Fit(const RatingDataset& train) {
+  if (config_.num_factors <= 0) {
+    return Status::InvalidArgument("num_factors must be positive");
+  }
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+  TruncatedSvd svd =
+      RandomizedSvd(train, config_.num_factors, config_.oversample,
+                    config_.power_iterations, config_.seed);
+  const size_t g = svd.singular_values.size();
+  singular_values_ = svd.singular_values;
+  user_factors_.assign(static_cast<size_t>(num_users_) * g, 0.0);
+  item_factors_.assign(static_cast<size_t>(num_items_) * g, 0.0);
+  for (size_t u = 0; u < static_cast<size_t>(num_users_); ++u) {
+    for (size_t f = 0; f < g; ++f) {
+      user_factors_[u * g + f] = svd.u.At(u, f) * svd.singular_values[f];
+    }
+  }
+  for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
+    for (size_t f = 0; f < g; ++f) {
+      item_factors_[i * g + f] = svd.v.At(i, f);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> PsvdRecommender::ScoreAll(UserId u) const {
+  const size_t g = singular_values_.size();
+  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
+  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
+  for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
+    const double* qi = &item_factors_[i * g];
+    double dot = 0.0;
+    for (size_t f = 0; f < g; ++f) dot += pu[f] * qi[f];
+    scores[i] = dot;
+  }
+  return scores;
+}
+
+}  // namespace ganc

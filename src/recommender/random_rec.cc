@@ -1,0 +1,20 @@
+#include "recommender/random_rec.h"
+
+#include "util/rng.h"
+
+namespace ganc {
+
+Status RandomRecommender::Fit(const RatingDataset& train) {
+  num_items_ = train.num_items();
+  return Status::OK();
+}
+
+std::vector<double> RandomRecommender::ScoreAll(UserId u) const {
+  // A per-user forked stream keeps scoring deterministic and thread-safe.
+  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(u + 1)));
+  std::vector<double> scores(static_cast<size_t>(num_items_));
+  for (double& s : scores) s = rng.Uniform();
+  return scores;
+}
+
+}  // namespace ganc

@@ -1,0 +1,34 @@
+// Random (Rand) non-personalized recommender.
+//
+// Suggests unseen items uniformly at random: the paper's upper bound on
+// coverage/novelty and lower bound on accuracy. Scores are deterministic
+// per (seed, user, item) so repeated calls agree and threads don't race.
+
+#ifndef GANC_RECOMMENDER_RANDOM_REC_H_
+#define GANC_RECOMMENDER_RANDOM_REC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+/// Uniform random scores, stable per (seed, user, item).
+class RandomRecommender : public Recommender {
+ public:
+  explicit RandomRecommender(uint64_t seed = 99) : seed_(seed) {}
+
+  Status Fit(const RatingDataset& train) override;
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override { return "Rand"; }
+
+ private:
+  uint64_t seed_;
+  int32_t num_items_ = 0;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_RANDOM_REC_H_

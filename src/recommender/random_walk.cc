@@ -1,0 +1,76 @@
+#include "recommender/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ganc {
+
+RandomWalkRecommender::RandomWalkRecommender(RandomWalkConfig config)
+    : config_(config) {}
+
+Status RandomWalkRecommender::Fit(const RatingDataset& train) {
+  if (config_.beta < 0.0 || config_.beta > 1.0) {
+    return Status::InvalidArgument("beta must lie in [0, 1]");
+  }
+  if (config_.max_coraters <= 0) {
+    return Status::InvalidArgument("max_coraters must be positive");
+  }
+  train_ = &train;
+  item_penalty_.resize(static_cast<size_t>(train.num_items()));
+  for (ItemId i = 0; i < train.num_items(); ++i) {
+    item_penalty_[static_cast<size_t>(i)] = std::pow(
+        static_cast<double>(std::max(train.Popularity(i), 1)), config_.beta);
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomWalkRecommender::ScoreAll(UserId u) const {
+  const RatingDataset& train = *train_;
+  std::vector<double> scores(static_cast<size_t>(train.num_items()), 0.0);
+  const auto& row = train.ItemsOf(u);
+  if (row.empty()) return scores;
+
+  // Hop 1+2: mass over co-raters. Starting uniformly on the user's items,
+  // an item forwards its mass equally to its raters.
+  std::unordered_map<UserId, double> corater_mass;
+  const double start = 1.0 / static_cast<double>(row.size());
+  for (const ItemRating& ir : row) {
+    const auto& audience = train.UsersOf(ir.item);
+    if (audience.empty()) continue;
+    const double share = start / static_cast<double>(audience.size());
+    for (const UserRating& ur : audience) {
+      if (ur.user == u) continue;
+      corater_mass[ur.user] += share;
+    }
+  }
+
+  // Keep only the heaviest co-raters (bounds blockbuster fan-out).
+  std::vector<std::pair<UserId, double>> coraters(corater_mass.begin(),
+                                                  corater_mass.end());
+  if (static_cast<int32_t>(coraters.size()) > config_.max_coraters) {
+    std::nth_element(
+        coraters.begin(),
+        coraters.begin() + config_.max_coraters - 1, coraters.end(),
+        [](const auto& a, const auto& b) { return a.second > b.second; });
+    coraters.resize(static_cast<size_t>(config_.max_coraters));
+  }
+
+  // Hop 3: co-raters distribute mass equally over their items.
+  for (const auto& [s, mass] : coraters) {
+    const auto& srow = train.ItemsOf(s);
+    if (srow.empty()) continue;
+    const double share = mass / static_cast<double>(srow.size());
+    for (const ItemRating& ir : srow) {
+      scores[static_cast<size_t>(ir.item)] += share;
+    }
+  }
+
+  // Popularity discount: divide the visiting probability by pop^beta.
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > 0.0) scores[i] /= item_penalty_[i];
+  }
+  return scores;
+}
+
+}  // namespace ganc

@@ -1,0 +1,28 @@
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+std::vector<ItemId> Recommender::RecommendTopN(
+    UserId u, const std::vector<ItemId>& candidates, int n) const {
+  const std::vector<double> scores = ScoreAll(u);
+  const std::vector<ScoredItem> top =
+      SelectTopKFromScores(scores, candidates, static_cast<size_t>(n));
+  std::vector<ItemId> out;
+  out.reserve(top.size());
+  for (const ScoredItem& s : top) out.push_back(s.item);
+  return out;
+}
+
+std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,
+                                                   const RatingDataset& train,
+                                                   int n) {
+  std::vector<std::vector<ItemId>> result(
+      static_cast<size_t>(train.num_users()));
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    result[static_cast<size_t>(u)] =
+        model.RecommendTopN(u, train.UnratedItems(u), n);
+  }
+  return result;
+}
+
+}  // namespace ganc

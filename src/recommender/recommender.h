@@ -1,0 +1,52 @@
+// Common interface for base recommenders.
+//
+// Every model fits on a train RatingDataset and can score the whole
+// catalog for a user. Top-N generation always uses the shared SelectTopK
+// kernel so tie-breaking is deterministic across models.
+
+#ifndef GANC_RECOMMENDER_RECOMMENDER_H_
+#define GANC_RECOMMENDER_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+#include "util/top_k.h"
+
+namespace ganc {
+
+/// Abstract base recommender.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Trains on `train`. Must be called before scoring. Idempotent: fitting
+  /// again retrains from scratch.
+  virtual Status Fit(const RatingDataset& train) = 0;
+
+  /// Dense scores for every item in the catalog for user `u`; higher is
+  /// better. Scales differ between models; normalize before mixing
+  /// (see core/accuracy_recommender.h).
+  virtual std::vector<double> ScoreAll(UserId u) const = 0;
+
+  /// Model name for reports, e.g. "RSVD" or "PSVD100".
+  virtual std::string name() const = 0;
+
+  /// Top-N item ids among `candidates` in best-first order.
+  std::vector<ItemId> RecommendTopN(UserId u,
+                                    const std::vector<ItemId>& candidates,
+                                    int n) const;
+};
+
+/// Builds per-user top-N sets for all users over their unrated train items
+/// ("all unrated items" candidate generation). Returns one vector of item
+/// ids per user in best-first order.
+std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,
+                                                   const RatingDataset& train,
+                                                   int n);
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_RECOMMENDER_H_

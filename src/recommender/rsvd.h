@@ -1,0 +1,66 @@
+// Regularized SVD (RSVD): matrix factorization for rating prediction,
+// trained by stochastic gradient descent with L2 loss and L2
+// regularization — a from-scratch equivalent of the LIBMF configuration
+// the paper uses (Section IV-A, Appendix A / Table V).
+//
+// Model:  r_hat(u, i) = mu + b_u + b_i + <p_u, q_i>   (biases optional;
+// the paper's LIBMF setup is bias-free, so use_biases defaults to false).
+// The optional non-negativity projection reproduces RSVDN.
+
+#ifndef GANC_RECOMMENDER_RSVD_H_
+#define GANC_RECOMMENDER_RSVD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+/// Hyper-parameters for RsvdRecommender (defaults: ML-1M row of Table V).
+struct RsvdConfig {
+  int32_t num_factors = 100;      ///< g
+  double learning_rate = 0.03;    ///< eta
+  double regularization = 0.05;   ///< lambda (L2)
+  int32_t num_epochs = 30;
+  double lr_decay = 0.95;         ///< per-epoch multiplicative decay
+  bool use_biases = false;        ///< LIBMF-style plain MF when false
+  bool non_negative = false;      ///< RSVDN: project factors onto >= 0
+  double init_scale = 0.1;        ///< factor init: U(0, init_scale)
+  uint64_t seed = 17;
+};
+
+/// SGD-trained matrix factorization rating predictor.
+class RsvdRecommender : public Recommender {
+ public:
+  explicit RsvdRecommender(RsvdConfig config = {});
+
+  Status Fit(const RatingDataset& train) override;
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override {
+    return config_.non_negative ? "RSVDN" : "RSVD";
+  }
+
+  /// Predicted rating for a single (u, i) pair.
+  double Predict(UserId u, ItemId i) const;
+
+  /// Root-mean-square error over a held-out set (Table V reporting).
+  double Rmse(const RatingDataset& test) const;
+
+  const RsvdConfig& config() const { return config_; }
+
+ private:
+  RsvdConfig config_;
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  double global_mean_ = 0.0;
+  std::vector<double> user_factors_;  // |U| x g row-major
+  std::vector<double> item_factors_;  // |I| x g row-major
+  std::vector<double> user_bias_;
+  std::vector<double> item_bias_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_RSVD_H_

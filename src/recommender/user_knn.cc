@@ -1,0 +1,101 @@
+#include "recommender/user_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace ganc {
+
+UserKnnRecommender::UserKnnRecommender(UserKnnConfig config)
+    : config_(config) {}
+
+Status UserKnnRecommender::Fit(const RatingDataset& train) {
+  if (config_.num_neighbors <= 0) {
+    return Status::InvalidArgument("num_neighbors must be positive");
+  }
+  num_items_ = train.num_items();
+  train_ = &train;
+  const int32_t num_users = train.num_users();
+
+  // Per-user means and centered norms.
+  user_mean_.assign(static_cast<size_t>(num_users), 0.0);
+  std::vector<double> norms(static_cast<size_t>(num_users), 0.0);
+  for (UserId u = 0; u < num_users; ++u) {
+    const auto& row = train.ItemsOf(u);
+    if (row.empty()) continue;
+    double acc = 0.0;
+    for (const ItemRating& ir : row) acc += ir.value;
+    user_mean_[static_cast<size_t>(u)] =
+        acc / static_cast<double>(row.size());
+    for (const ItemRating& ir : row) {
+      const double c = ir.value - user_mean_[static_cast<size_t>(u)];
+      norms[static_cast<size_t>(u)] += c * c;
+    }
+    norms[static_cast<size_t>(u)] = std::sqrt(norms[static_cast<size_t>(u)]);
+  }
+
+  // Item-wise accumulation of centered co-ratings between user pairs.
+  Rng rng(config_.seed);
+  std::vector<std::unordered_map<UserId, double>> dots(
+      static_cast<size_t>(num_users));
+  for (ItemId i = 0; i < num_items_; ++i) {
+    std::vector<UserRating> col = train.UsersOf(i);
+    if (static_cast<int32_t>(col.size()) > config_.max_audience) {
+      rng.Shuffle(&col);
+      col.resize(static_cast<size_t>(config_.max_audience));
+    }
+    for (size_t a = 0; a < col.size(); ++a) {
+      const double ca =
+          col[a].value - user_mean_[static_cast<size_t>(col[a].user)];
+      for (size_t b = a + 1; b < col.size(); ++b) {
+        const double cb =
+            col[b].value - user_mean_[static_cast<size_t>(col[b].user)];
+        const UserId lo = std::min(col[a].user, col[b].user);
+        const UserId hi = std::max(col[a].user, col[b].user);
+        dots[static_cast<size_t>(lo)][hi] += ca * cb;
+      }
+    }
+  }
+
+  std::vector<std::vector<Neighbor>> all(static_cast<size_t>(num_users));
+  for (UserId lo = 0; lo < num_users; ++lo) {
+    for (const auto& [hi, dot] : dots[static_cast<size_t>(lo)]) {
+      const double denom =
+          norms[static_cast<size_t>(lo)] * norms[static_cast<size_t>(hi)];
+      if (denom <= 0.0) continue;
+      const float sim = static_cast<float>(dot / denom);
+      if (sim <= 0.0f) continue;  // keep positively correlated users only
+      all[static_cast<size_t>(lo)].push_back({hi, sim});
+      all[static_cast<size_t>(hi)].push_back({lo, sim});
+    }
+  }
+  neighbors_.assign(static_cast<size_t>(num_users), {});
+  const size_t k = static_cast<size_t>(config_.num_neighbors);
+  for (UserId u = 0; u < num_users; ++u) {
+    auto& cand = all[static_cast<size_t>(u)];
+    std::sort(cand.begin(), cand.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.sim != b.sim) return a.sim > b.sim;
+                return a.user < b.user;
+              });
+    if (cand.size() > k) cand.resize(k);
+    neighbors_[static_cast<size_t>(u)] = std::move(cand);
+  }
+  return Status::OK();
+}
+
+std::vector<double> UserKnnRecommender::ScoreAll(UserId u) const {
+  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
+  for (const Neighbor& nb : neighbors_[static_cast<size_t>(u)]) {
+    const double mean = user_mean_[static_cast<size_t>(nb.user)];
+    for (const ItemRating& ir : train_->ItemsOf(nb.user)) {
+      scores[static_cast<size_t>(ir.item)] +=
+          static_cast<double>(nb.sim) * (static_cast<double>(ir.value) - mean);
+    }
+  }
+  return scores;
+}
+
+}  // namespace ganc

@@ -1,0 +1,53 @@
+// User-based k-nearest-neighbour recommender (Herlocker et al. 1999) —
+// the earliest memory-based CF family in the paper's related work.
+//
+// Cosine similarity over mean-centered user rating rows, truncated to
+// the k most similar users; score(u, i) = sum over u's neighbours s who
+// rated i of sim(u, s) * (r_si - mean_s), i.e. neighbour-weighted
+// deviation from each neighbour's mean.
+
+#ifndef GANC_RECOMMENDER_USER_KNN_H_
+#define GANC_RECOMMENDER_USER_KNN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recommender/recommender.h"
+
+namespace ganc {
+
+/// Hyper-parameters for UserKnnRecommender.
+struct UserKnnConfig {
+  int32_t num_neighbors = 50;
+  /// Item audiences larger than this are subsampled when accumulating
+  /// user-user co-occurrences (popular items otherwise dominate cost).
+  int32_t max_audience = 512;
+  uint64_t seed = 33;
+};
+
+/// Cosine user-user KNN on mean-centered ratings.
+class UserKnnRecommender : public Recommender {
+ public:
+  explicit UserKnnRecommender(UserKnnConfig config = {});
+
+  Status Fit(const RatingDataset& train) override;
+  std::vector<double> ScoreAll(UserId u) const override;
+  std::string name() const override { return "UserKNN"; }
+
+ private:
+  struct Neighbor {
+    UserId user;
+    float sim;
+  };
+
+  UserKnnConfig config_;
+  int32_t num_items_ = 0;
+  const RatingDataset* train_ = nullptr;  // borrowed; must outlive scoring
+  std::vector<double> user_mean_;
+  std::vector<std::vector<Neighbor>> neighbors_;  // per user, by -sim
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_USER_KNN_H_

@@ -1,0 +1,89 @@
+#include "rerank/mmr.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace ganc {
+
+MmrReranker::MmrReranker(const Recommender* base, const RatingDataset* train,
+                         MmrConfig config)
+    : base_(base),
+      config_(config),
+      index_(*train, config.num_neighbors, config.max_profile, config.seed) {}
+
+std::string MmrReranker::name() const {
+  return "MMR(" + base_->name() + ", " + FormatDouble(config_.lambda, 1) + ")";
+}
+
+Result<RerankedCollection> MmrReranker::RecommendAll(
+    const RatingDataset& train, int top_n) const {
+  if (top_n <= 0) return Status::InvalidArgument("top_n must be positive");
+  if (config_.lambda < 0.0 || config_.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must lie in [0, 1]");
+  }
+  RerankedCollection result(static_cast<size_t>(train.num_users()));
+
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    // Candidate pool: head of the base ranking, with normalized relevance.
+    std::vector<ItemId> pool = base_->RecommendTopN(
+        u, train.UnratedItems(u), top_n * config_.pool_multiple);
+    const std::vector<double> all_scores = base_->ScoreAll(u);
+    std::vector<double> rel;
+    rel.reserve(pool.size());
+    for (ItemId i : pool) rel.push_back(all_scores[static_cast<size_t>(i)]);
+    MinMaxNormalize(&rel);
+
+    std::vector<bool> taken(pool.size(), false);
+    auto& out = result[static_cast<size_t>(u)];
+    out.reserve(static_cast<size_t>(top_n));
+    while (static_cast<int>(out.size()) < top_n && out.size() < pool.size()) {
+      double best = -1e300;
+      size_t best_idx = 0;
+      bool found = false;
+      for (size_t c = 0; c < pool.size(); ++c) {
+        if (taken[c]) continue;
+        double max_sim = 0.0;
+        for (ItemId chosen : out) {
+          max_sim = std::max(
+              max_sim,
+              static_cast<double>(index_.Similarity(pool[c], chosen)));
+        }
+        const double mmr =
+            config_.lambda * rel[c] - (1.0 - config_.lambda) * max_sim;
+        if (!found || mmr > best ||
+            (mmr == best && pool[c] < pool[best_idx])) {
+          best = mmr;
+          best_idx = c;
+          found = true;
+        }
+      }
+      if (!found) break;
+      taken[best_idx] = true;
+      out.push_back(pool[best_idx]);
+    }
+  }
+  return result;
+}
+
+double MmrReranker::IntraListSimilarity(const RerankedCollection& topn) const {
+  double acc = 0.0;
+  int64_t lists = 0;
+  for (const auto& list : topn) {
+    if (list.size() < 2) continue;
+    double pair_acc = 0.0;
+    int64_t pairs = 0;
+    for (size_t a = 0; a < list.size(); ++a) {
+      for (size_t b = a + 1; b < list.size(); ++b) {
+        pair_acc += static_cast<double>(index_.Similarity(list[a], list[b]));
+        ++pairs;
+      }
+    }
+    acc += pair_acc / static_cast<double>(pairs);
+    ++lists;
+  }
+  return lists > 0 ? acc / static_cast<double>(lists) : 0.0;
+}
+
+}  // namespace ganc

@@ -1,0 +1,103 @@
+#include "rerank/pra.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ganc {
+
+PraReranker::PraReranker(const Recommender* base, const RatingDataset* train,
+                         PraConfig config)
+    : base_(base), config_(config) {
+  pop_norm_ = train->PopularityVector();
+  MinMaxNormalize(&pop_norm_);
+
+  // Mean-and-deviation tendency heuristic over a sample of the user's
+  // rated items: users whose rated items are unpopular (low mean) get a
+  // low popularity target, i.e. a high novelty tendency.
+  Rng rng(config_.seed);
+  tendency_.assign(static_cast<size_t>(train->num_users()), 0.5);
+  for (UserId u = 0; u < train->num_users(); ++u) {
+    std::vector<ItemRating> row = train->ItemsOf(u);
+    if (row.empty()) continue;
+    if (static_cast<int>(row.size()) > config_.sample_size) {
+      rng.Shuffle(&row);
+      row.resize(static_cast<size_t>(config_.sample_size));
+    }
+    std::vector<double> pops;
+    pops.reserve(row.size());
+    for (const ItemRating& ir : row) {
+      pops.push_back(pop_norm_[static_cast<size_t>(ir.item)]);
+    }
+    const double target =
+        Mean(pops) - config_.deviation_weight * Stddev(pops);
+    tendency_[static_cast<size_t>(u)] = std::clamp(target, 0.0, 1.0);
+  }
+}
+
+std::string PraReranker::name() const {
+  return "PRA(" + base_->name() + ", " +
+         std::to_string(config_.exchangeable_size) + ")";
+}
+
+Result<RerankedCollection> PraReranker::RecommendAll(
+    const RatingDataset& train, int top_n) const {
+  if (top_n <= 0) return Status::InvalidArgument("top_n must be positive");
+  RerankedCollection result(static_cast<size_t>(train.num_users()));
+
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    // Base ranking head: top-(N + |X_u|) items by predicted score.
+    const std::vector<ItemId> head = base_->RecommendTopN(
+        u, train.UnratedItems(u),
+        top_n + config_.exchangeable_size);
+    std::vector<ItemId> list(head.begin(),
+                             head.begin() + std::min<size_t>(
+                                                head.size(),
+                                                static_cast<size_t>(top_n)));
+    std::vector<ItemId> exchangeable(
+        head.begin() + static_cast<long>(list.size()), head.end());
+
+    const double target = tendency_[static_cast<size_t>(u)];
+    auto list_mean_pop = [&](const std::vector<ItemId>& l) {
+      double acc = 0.0;
+      for (ItemId i : l) acc += pop_norm_[static_cast<size_t>(i)];
+      return l.empty() ? 0.0 : acc / static_cast<double>(l.size());
+    };
+
+    double current = std::abs(list_mean_pop(list) - target);
+    for (int step = 0; step < config_.max_steps; ++step) {
+      // "Optimal swap": evaluate every (list item, exchangeable item) pair
+      // and take the one that best moves the list toward the target.
+      double best = current;
+      size_t best_l = 0, best_x = 0;
+      bool found = false;
+      const double n = static_cast<double>(list.size());
+      const double mean_now = list_mean_pop(list);
+      for (size_t li = 0; li < list.size(); ++li) {
+        for (size_t xi = 0; xi < exchangeable.size(); ++xi) {
+          const double mean_after =
+              mean_now +
+              (pop_norm_[static_cast<size_t>(exchangeable[xi])] -
+               pop_norm_[static_cast<size_t>(list[li])]) /
+                  n;
+          const double dist = std::abs(mean_after - target);
+          if (dist + 1e-12 < best) {
+            best = dist;
+            best_l = li;
+            best_x = xi;
+            found = true;
+          }
+        }
+      }
+      if (!found) break;
+      std::swap(list[best_l], exchangeable[best_x]);
+      current = best;
+    }
+    result[static_cast<size_t>(u)] = std::move(list);
+  }
+  return result;
+}
+
+}  // namespace ganc

@@ -1,0 +1,63 @@
+// Personalized Ranking Adaptation (PRA), after Jugovac, Jannach & Lerche,
+// "Efficient optimization of multiple recommendation quality factors
+// according to individual user tendencies", ESWA 2017 — the paper's
+// novelty-based variant with the mean-and-deviation heuristic and the
+// "optimal swap" strategy (Section IV-A: S_u = min(|I_u^R|, 10),
+// |X_u| in {10, 20}, maxSteps = 20).
+//
+// PRA first estimates each user's novelty *tendency* from item popularity
+// statistics: the mean (shifted by the standard deviation) of the
+// normalized popularity of the user's rated items. It then greedily
+// adapts the head of the base ranking: starting from the base top-N, it
+// repeatedly performs the swap — replacing a list item by one from the
+// next-|X_u| exchangeable candidates — that brings the list's mean item
+// popularity closest to the user's tendency target, for at most maxSteps
+// swaps or until no swap improves the match.
+
+#ifndef GANC_RERANK_PRA_H_
+#define GANC_RERANK_PRA_H_
+
+#include <string>
+#include <vector>
+
+#include "recommender/recommender.h"
+#include "rerank/reranker.h"
+
+namespace ganc {
+
+/// Configuration for PraReranker.
+struct PraConfig {
+  int exchangeable_size = 10;  ///< |X_u|
+  int max_steps = 20;
+  /// Tendency heuristic: target = mean - deviation_weight * stddev of the
+  /// normalized popularity of the user's rated items (a sample of at most
+  /// sample_size items, the paper's S_u).
+  double deviation_weight = 0.5;
+  int sample_size = 10;
+  uint64_t seed = 37;
+};
+
+/// PRA(ARec, |X_u|) re-ranker.
+class PraReranker : public Reranker {
+ public:
+  /// `base` must be fitted on `train`; both must outlive this object.
+  PraReranker(const Recommender* base, const RatingDataset* train,
+              PraConfig config);
+
+  Result<RerankedCollection> RecommendAll(const RatingDataset& train,
+                                          int top_n) const override;
+  std::string name() const override;
+
+  /// The per-user novelty tendency targets (normalized popularity scale).
+  const std::vector<double>& tendency() const { return tendency_; }
+
+ private:
+  const Recommender* base_;
+  PraConfig config_;
+  std::vector<double> pop_norm_;   // normalized item popularity
+  std::vector<double> tendency_;  // per-user target mean popularity
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RERANK_PRA_H_

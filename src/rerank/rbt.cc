@@ -1,0 +1,81 @@
+#include "rerank/rbt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ganc {
+
+RbtReranker::RbtReranker(const Recommender* base, const RatingDataset* train,
+                         RbtConfig config)
+    : base_(base), config_(config) {
+  popularity_ = train->PopularityVector();
+  item_avg_rating_.assign(static_cast<size_t>(train->num_items()), 0.0);
+  for (ItemId i = 0; i < train->num_items(); ++i) {
+    const auto& col = train->UsersOf(i);
+    if (col.empty()) continue;
+    double acc = 0.0;
+    for (const UserRating& ur : col) acc += ur.value;
+    item_avg_rating_[static_cast<size_t>(i)] =
+        acc / static_cast<double>(col.size());
+  }
+}
+
+std::string RbtReranker::name() const {
+  return "RBT(" + base_->name() + ", " +
+         (config_.criterion == RbtCriterion::kPop ? "Pop" : "Avg") + ")";
+}
+
+Result<RerankedCollection> RbtReranker::RecommendAll(
+    const RatingDataset& train, int top_n) const {
+  if (top_n <= 0) return Status::InvalidArgument("top_n must be positive");
+  RerankedCollection result(static_cast<size_t>(train.num_users()));
+
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const std::vector<double> scores = base_->ScoreAll(u);
+    std::vector<ItemId> head, tail;
+    for (ItemId i : train.UnratedItems(u)) {
+      const double pred =
+          std::min(scores[static_cast<size_t>(i)], config_.rating_max);
+      if (pred < config_.min_threshold) continue;  // below T_H: dropped
+      (pred >= config_.rerank_threshold ? head : tail).push_back(i);
+    }
+    // Head: alternative criterion. Pop = ascending popularity (push the
+    // least-known confident items first); Avg = descending average rating.
+    if (config_.criterion == RbtCriterion::kPop) {
+      std::sort(head.begin(), head.end(), [&](ItemId a, ItemId b) {
+        const double pa = popularity_[static_cast<size_t>(a)];
+        const double pb = popularity_[static_cast<size_t>(b)];
+        if (pa != pb) return pa < pb;
+        return a < b;
+      });
+    } else {
+      std::sort(head.begin(), head.end(), [&](ItemId a, ItemId b) {
+        const double ra = item_avg_rating_[static_cast<size_t>(a)];
+        const double rb = item_avg_rating_[static_cast<size_t>(b)];
+        if (ra != rb) return ra > rb;
+        return a < b;
+      });
+    }
+    // Tail: standard predicted-rating order.
+    std::sort(tail.begin(), tail.end(), [&](ItemId a, ItemId b) {
+      const double sa = scores[static_cast<size_t>(a)];
+      const double sb = scores[static_cast<size_t>(b)];
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+
+    auto& out = result[static_cast<size_t>(u)];
+    out.reserve(static_cast<size_t>(top_n));
+    for (ItemId i : head) {
+      if (static_cast<int>(out.size()) >= top_n) break;
+      out.push_back(i);
+    }
+    for (ItemId i : tail) {
+      if (static_cast<int>(out.size()) >= top_n) break;
+      out.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace ganc

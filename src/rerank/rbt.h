@@ -1,0 +1,64 @@
+// Ranking-Based Techniques (RBT) re-ranking, after Adomavicius & Kwon,
+// "Improving Aggregate Recommendation Diversity Using Ranking-Based
+// Techniques", TKDE 2012 — the paper's configuration (Section IV-A):
+// T_max = 5, T_R = 4.5, T_H in {0, 1}.
+//
+// Standard ranking orders candidates by predicted rating. RBT splits the
+// candidates at the confidence threshold T_R:
+//   * items with predicted rating >= T_R are re-ranked by the alternative
+//     criterion — ascending train popularity (Pop criterion, most
+//     diversity-friendly) or descending item average rating (Avg
+//     criterion) — and recommended first;
+//   * items below T_R keep the standard predicted-rating order and fill
+//     any remaining slots.
+// Only items with predicted rating >= T_H participate at all, and
+// predictions are clamped to T_max.
+
+#ifndef GANC_RERANK_RBT_H_
+#define GANC_RERANK_RBT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "recommender/recommender.h"
+#include "rerank/reranker.h"
+
+namespace ganc {
+
+/// Alternative ranking criterion for the confident head.
+enum class RbtCriterion {
+  kPop,  ///< ascending train popularity (least popular first)
+  kAvg,  ///< descending item average train rating
+};
+
+/// Configuration for RbtReranker.
+struct RbtConfig {
+  RbtCriterion criterion = RbtCriterion::kPop;
+  double rating_max = 5.0;   ///< T_max
+  double rerank_threshold = 4.5;  ///< T_R
+  double min_threshold = 1.0;     ///< T_H
+};
+
+/// RBT(ARec, criterion) re-ranker.
+class RbtReranker : public Reranker {
+ public:
+  /// `base` must be fitted on `train` and outlive this object. The base
+  /// model must produce rating-scale scores (a rating predictor).
+  RbtReranker(const Recommender* base, const RatingDataset* train,
+              RbtConfig config);
+
+  Result<RerankedCollection> RecommendAll(const RatingDataset& train,
+                                          int top_n) const override;
+  std::string name() const override;
+
+ private:
+  const Recommender* base_;
+  RbtConfig config_;
+  std::vector<double> popularity_;    // f_i^R
+  std::vector<double> item_avg_rating_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RERANK_RBT_H_

@@ -1,0 +1,34 @@
+// Common interface for re-ranking baselines (the methods GANC is compared
+// against in Section V-A). A re-ranker post-processes a fitted base
+// recommender's scores into top-N sets for all users.
+
+#ifndef GANC_RERANK_RERANKER_H_
+#define GANC_RERANK_RERANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// One top-N list per user (same shape as core/ganc.h TopNCollection).
+using RerankedCollection = std::vector<std::vector<ItemId>>;
+
+/// Post-processor of a base recommender's output.
+class Reranker {
+ public:
+  virtual ~Reranker() = default;
+
+  /// Produces a top-N set for every user over their unrated train items.
+  virtual Result<RerankedCollection> RecommendAll(const RatingDataset& train,
+                                                  int top_n) const = 0;
+
+  /// Template-style name, e.g. "RBT(RSVD, Pop)".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RERANK_RERANKER_H_

@@ -1,0 +1,155 @@
+#include "rerank/resource_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace ganc {
+
+FiveDReranker::FiveDReranker(const Recommender* base,
+                             const RatingDataset* train, FiveDConfig config)
+    : base_(base), train_(train), config_(config) {
+  tail_ = ComputeLongTail(*train);
+
+  // Phase 1: rating-proportional resource allocation from users to items.
+  item_resource_.assign(static_cast<size_t>(train->num_items()), 0.0);
+  for (UserId u = 0; u < train->num_users(); ++u) {
+    const auto& row = train->ItemsOf(u);
+    double total = 0.0;
+    for (const ItemRating& ir : row) total += ir.value;
+    if (total <= 0.0) continue;
+    for (const ItemRating& ir : row) {
+      item_resource_[static_cast<size_t>(ir.item)] +=
+          static_cast<double>(ir.value) / total;
+    }
+  }
+
+  inv_popularity_.assign(static_cast<size_t>(train->num_items()), 0.0);
+  item_avg_rating_.assign(static_cast<size_t>(train->num_items()), 0.0);
+  for (ItemId i = 0; i < train->num_items(); ++i) {
+    inv_popularity_[static_cast<size_t>(i)] =
+        1.0 / std::sqrt(static_cast<double>(train->Popularity(i)) + 1.0);
+    const auto& col = train->UsersOf(i);
+    if (col.empty()) continue;
+    double acc = 0.0;
+    for (const UserRating& ur : col) acc += ur.value;
+    item_avg_rating_[static_cast<size_t>(i)] =
+        acc / static_cast<double>(col.size());
+  }
+}
+
+std::string FiveDReranker::name() const {
+  std::string n = "5D(" + base_->name();
+  if (config_.accuracy_filter) n += ", A";
+  if (config_.rank_by_rankings) n += ", RR";
+  return n + ")";
+}
+
+namespace {
+
+/// Per-user ascending ranks (0 = smallest value) for rank-by-rankings.
+std::vector<double> RanksOf(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size());
+  for (size_t r = 0; r < order.size(); ++r) {
+    ranks[order[r]] = static_cast<double>(r);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<RerankedCollection> FiveDReranker::RecommendAll(
+    const RatingDataset& train, int top_n) const {
+  if (top_n <= 0) return Status::InvalidArgument("top_n must be positive");
+
+  // Phase 2 denominator: sum over users of r_hat(s, i)^q per item.
+  std::vector<double> denom(static_cast<size_t>(train.num_items()), 0.0);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const std::vector<double> scores = base_->ScoreAll(u);
+    for (ItemId i = 0; i < train.num_items(); ++i) {
+      denom[static_cast<size_t>(i)] += std::pow(
+          std::max(scores[static_cast<size_t>(i)], 0.0), config_.q);
+    }
+  }
+
+  RerankedCollection result(static_cast<size_t>(train.num_users()));
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const std::vector<double> scores = base_->ScoreAll(u);
+    std::vector<ItemId> candidates = train.UnratedItems(u);
+
+    if (config_.accuracy_filter) {
+      // "A": keep the user's top-k predicted items only.
+      const size_t k = static_cast<size_t>(config_.accuracy_filter_multiple) *
+                       static_cast<size_t>(top_n);
+      if (candidates.size() > k) {
+        std::nth_element(candidates.begin(),
+                         candidates.begin() + static_cast<long>(k) - 1,
+                         candidates.end(), [&](ItemId a, ItemId b) {
+                           const double sa = scores[static_cast<size_t>(a)];
+                           const double sb = scores[static_cast<size_t>(b)];
+                           if (sa != sb) return sa > sb;
+                           return a < b;
+                         });
+        candidates.resize(k);
+      }
+    }
+
+    // The five dimensions over the candidate pool.
+    const size_t m = candidates.size();
+    std::vector<double> accuracy(m), balance(m), coverage(m), quality(m),
+        quantity(m);
+    for (size_t c = 0; c < m; ++c) {
+      const ItemId i = candidates[c];
+      const size_t si = static_cast<size_t>(i);
+      accuracy[c] = scores[si];
+      const double rel =
+          denom[si] > 0.0
+              ? std::pow(std::max(scores[si], 0.0), config_.q) / denom[si]
+              : 0.0;
+      balance[c] = item_resource_[si] * rel;
+      coverage[c] = inv_popularity_[si];
+      quality[c] = item_avg_rating_[si];
+      quantity[c] = tail_.Contains(i) ? 1.0 : 0.0;
+    }
+
+    std::vector<double> score(m, 0.0);
+    if (config_.rank_by_rankings) {
+      // "RR": scale-free Borda aggregation of the per-dimension ranks.
+      const std::vector<double> ra = RanksOf(accuracy);
+      const std::vector<double> rb = RanksOf(balance);
+      const std::vector<double> rc = RanksOf(coverage);
+      const std::vector<double> rq = RanksOf(quality);
+      const std::vector<double> rt = RanksOf(quantity);
+      for (size_t c = 0; c < m; ++c) {
+        score[c] = ra[c] + rb[c] + rc[c] + rq[c] + rt[c];
+      }
+    } else {
+      MinMaxNormalize(&accuracy);
+      MinMaxNormalize(&balance);
+      MinMaxNormalize(&coverage);
+      MinMaxNormalize(&quality);
+      for (size_t c = 0; c < m; ++c) {
+        score[c] = accuracy[c] + balance[c] + coverage[c] + quality[c] +
+                   quantity[c];
+      }
+    }
+
+    std::vector<ScoredItem> scored;
+    scored.reserve(m);
+    for (size_t c = 0; c < m; ++c) scored.push_back({candidates[c], score[c]});
+    const std::vector<ScoredItem> top =
+        SelectTopK(scored, static_cast<size_t>(top_n));
+    auto& out = result[static_cast<size_t>(u)];
+    out.reserve(top.size());
+    for (const ScoredItem& s : top) out.push_back(s.item);
+  }
+  return result;
+}
+
+}  // namespace ganc

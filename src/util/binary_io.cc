@@ -1,0 +1,153 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace ganc {
+
+namespace {
+
+constexpr uint64_t kVectorMagic = 0x47414E4356454331ULL;  // "GANCVEC1"
+constexpr uint64_t kTopNMagic = 0x47414E43544F5031ULL;    // "GANCTOP1"
+constexpr uint32_t kVersion = 1;
+
+Status WriteBlob(const std::string& path, uint64_t magic,
+                 const std::vector<uint8_t>& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const uint64_t checksum =
+      Fnv1aHash(payload.data(), payload.size());
+  const uint64_t size = payload.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadBlob(const std::string& path,
+                                      uint64_t expected_magic) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in) return Status::IOError("truncated header in " + path);
+  if (magic != expected_magic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported version in " + path);
+  }
+  // Sanity bound before allocation: refuse blobs beyond 16 GiB.
+  if (size > (1ULL << 34)) {
+    return Status::InvalidArgument("implausible payload size in " + path);
+  }
+  std::vector<uint8_t> payload(size);
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(size));
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) return Status::IOError("truncated payload in " + path);
+  if (checksum != Fnv1aHash(payload.data(), payload.size())) {
+    return Status::InvalidArgument("checksum mismatch in " + path);
+  }
+  return payload;
+}
+
+template <typename T>
+void Append(std::vector<uint8_t>* buf, const T& value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  buf->insert(buf->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+Status Extract(const std::vector<uint8_t>& buf, size_t* offset, T* out) {
+  if (*offset + sizeof(T) > buf.size()) {
+    return Status::InvalidArgument("payload underrun");
+  }
+  std::memcpy(out, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1aHash(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+Status WriteDoubleVector(const std::string& path,
+                         const std::vector<double>& values) {
+  std::vector<uint8_t> payload;
+  payload.reserve(sizeof(uint64_t) + values.size() * sizeof(double));
+  Append(&payload, static_cast<uint64_t>(values.size()));
+  for (double v : values) Append(&payload, v);
+  return WriteBlob(path, kVectorMagic, payload);
+}
+
+Result<std::vector<double>> ReadDoubleVector(const std::string& path) {
+  Result<std::vector<uint8_t>> blob = ReadBlob(path, kVectorMagic);
+  if (!blob.ok()) return blob.status();
+  size_t offset = 0;
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(Extract(*blob, &offset, &count));
+  if (offset + count * sizeof(double) != blob->size()) {
+    return Status::InvalidArgument("vector payload size mismatch in " + path);
+  }
+  std::vector<double> values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    GANC_RETURN_NOT_OK(Extract(*blob, &offset, &values[i]));
+  }
+  return values;
+}
+
+Status WriteTopNCollection(const std::string& path,
+                           const std::vector<std::vector<int32_t>>& topn) {
+  std::vector<uint8_t> payload;
+  Append(&payload, static_cast<uint64_t>(topn.size()));
+  for (const auto& list : topn) {
+    Append(&payload, static_cast<uint32_t>(list.size()));
+    for (int32_t item : list) Append(&payload, item);
+  }
+  return WriteBlob(path, kTopNMagic, payload);
+}
+
+Result<std::vector<std::vector<int32_t>>> ReadTopNCollection(
+    const std::string& path) {
+  Result<std::vector<uint8_t>> blob = ReadBlob(path, kTopNMagic);
+  if (!blob.ok()) return blob.status();
+  size_t offset = 0;
+  uint64_t users = 0;
+  GANC_RETURN_NOT_OK(Extract(*blob, &offset, &users));
+  if (users > (1ULL << 32)) {
+    return Status::InvalidArgument("implausible user count in " + path);
+  }
+  std::vector<std::vector<int32_t>> topn(users);
+  for (uint64_t u = 0; u < users; ++u) {
+    uint32_t len = 0;
+    GANC_RETURN_NOT_OK(Extract(*blob, &offset, &len));
+    topn[u].resize(len);
+    for (uint32_t k = 0; k < len; ++k) {
+      GANC_RETURN_NOT_OK(Extract(*blob, &offset, &topn[u][k]));
+    }
+  }
+  if (offset != blob->size()) {
+    return Status::InvalidArgument("trailing bytes in " + path);
+  }
+  return topn;
+}
+
+}  // namespace ganc

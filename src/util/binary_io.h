@@ -1,0 +1,42 @@
+// Checksummed binary persistence for the library's two cacheable
+// artifacts: learned preference vectors (theta) and top-N collections.
+//
+// Learning theta^G and building a full top-N collection are the two
+// expensive steps of the pipeline; production deployments cache both.
+// The format is deliberately simple: magic + version + payload +
+// FNV-1a checksum, little-endian, with every read validated so corrupt
+// or truncated files surface as Status errors instead of garbage.
+
+#ifndef GANC_UTIL_BINARY_IO_H_
+#define GANC_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ganc {
+
+/// FNV-1a 64-bit hash of a byte buffer (stable across platforms).
+uint64_t Fnv1aHash(const void* data, size_t size);
+
+/// Writes a double vector with header and checksum. Overwrites.
+Status WriteDoubleVector(const std::string& path,
+                         const std::vector<double>& values);
+
+/// Reads a vector written by WriteDoubleVector; fails on bad magic,
+/// version, truncation, or checksum mismatch.
+Result<std::vector<double>> ReadDoubleVector(const std::string& path);
+
+/// Writes a top-N collection (vector of int32 lists) with checksum.
+Status WriteTopNCollection(const std::string& path,
+                           const std::vector<std::vector<int32_t>>& topn);
+
+/// Reads a collection written by WriteTopNCollection.
+Result<std::vector<std::vector<int32_t>>> ReadTopNCollection(
+    const std::string& path);
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_BINARY_IO_H_

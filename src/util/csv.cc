@@ -1,0 +1,67 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ganc {
+
+namespace {
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, delim)) fields.push_back(Trim(field));
+  return fields;
+}
+
+Result<CsvTable> ReadDelimited(const std::string& path, char delim,
+                               bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first_content_line = true;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (first_content_line) {
+      first_content_line = false;
+      if (skip_header) continue;
+    }
+    table.rows.push_back(SplitLine(trimmed, delim));
+  }
+  return table;
+}
+
+Status WriteDelimited(const std::string& path, char delim,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << delim;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace ganc

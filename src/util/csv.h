@@ -1,0 +1,38 @@
+// Minimal delimited-text reading/writing.
+//
+// Used to load external rating files (MovieLens-style "user,item,rating"
+// rows, any delimiter) and to dump experiment series for plotting.
+
+#ifndef GANC_UTIL_CSV_H_
+#define GANC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ganc {
+
+/// Splits one line on `delim`, trimming surrounding whitespace per field.
+std::vector<std::string> SplitLine(const std::string& line, char delim);
+
+/// Parsed delimited file: rows of string fields.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads a delimited file. Skips empty lines; when `skip_header` is true the
+/// first non-empty line is dropped. Lines starting with '#' are comments.
+Result<CsvTable> ReadDelimited(const std::string& path, char delim,
+                               bool skip_header);
+
+/// Writes rows to `path` joined by `delim`. Overwrites existing content.
+Status WriteDelimited(const std::string& path, char delim,
+                      const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with fixed precision (helper for emitting tables).
+std::string FormatDouble(double v, int precision);
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_CSV_H_

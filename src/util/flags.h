@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the example/CLI binaries.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--verbose). Unknown flags are an error so typos fail loudly.
+
+#ifndef GANC_UTIL_FLAGS_H_
+#define GANC_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ganc {
+
+/// Parsed flags: name -> raw string value ("" for bare switches), plus
+/// positional arguments in order.
+class Flags {
+ public:
+  /// Parses argv. `known` lists the accepted flag names (without "--");
+  /// any other --flag is rejected.
+  static Result<Flags> Parse(int argc, const char* const* argv,
+                             const std::vector<std::string>& known);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Raw string value or `fallback`.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value; error when present but unparsable.
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value; error when present but unparsable.
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean switch: present (with no/true value) -> true; "false"/"0" ->
+  /// false.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_FLAGS_H_

@@ -1,0 +1,60 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The logger writes to stderr and is intentionally tiny: recommender
+// training loops log epoch summaries at kInfo, internal consistency
+// issues at kWarn/kError. Verbosity is a process-wide setting so bench
+// binaries can silence training chatter.
+
+#ifndef GANC_UTIL_LOGGING_H_
+#define GANC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ganc {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/// Sets the process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current process-wide log level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction when `level` is enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ganc
+
+#define GANC_LOG(level)                                               \
+  ::ganc::internal::LogMessage(::ganc::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // GANC_UTIL_LOGGING_H_

@@ -1,0 +1,29 @@
+#include "util/progress.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ganc {
+
+ProgressReporter::ProgressReporter(std::string label, size_t total)
+    : label_(std::move(label)), total_(total) {}
+
+void ProgressReporter::Update(size_t done) {
+  if (GetLogLevel() > LogLevel::kInfo) return;
+  const double now = timer_.ElapsedSeconds();
+  if (last_emit_seconds_ >= 0.0 && now - last_emit_seconds_ < 2.0) return;
+  last_emit_seconds_ = now;
+  std::fprintf(stderr, "[progress] %s: %zu/%zu (%.1fs)\n", label_.c_str(),
+               done, total_, now);
+}
+
+void ProgressReporter::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (GetLogLevel() > LogLevel::kInfo) return;
+  std::fprintf(stderr, "[progress] %s: done (%.1fs)\n", label_.c_str(),
+               timer_.ElapsedSeconds());
+}
+
+}  // namespace ganc

@@ -1,0 +1,35 @@
+// Lightweight stderr progress reporting for long-running training loops.
+
+#ifndef GANC_UTIL_PROGRESS_H_
+#define GANC_UTIL_PROGRESS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/timer.h"
+
+namespace ganc {
+
+/// Emits "label: k/total (elapsed)" lines at a throttled rate. Disabled
+/// entirely when the log level is above kInfo, so tests stay quiet.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::string label, size_t total);
+
+  /// Records completion of `done` units total; may emit a line.
+  void Update(size_t done);
+
+  /// Emits the final line (idempotent).
+  void Finish();
+
+ private:
+  std::string label_;
+  size_t total_;
+  WallTimer timer_;
+  double last_emit_seconds_ = -1.0;
+  bool finished_ = false;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_PROGRESS_H_

@@ -1,0 +1,181 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ganc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // Avoid the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA3EC647659359ACDULL); }
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  // Scaled probabilities; classify into under/over-full buckets.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers are full buckets.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  const size_t i = static_cast<size_t>(rng->UniformInt(prob_.size()));
+  return rng->Uniform() < prob_[i] ? i : alias_[i];
+}
+
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k, Rng* rng) {
+  assert(k <= n);
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::vector<size_t> out;
+  out.reserve(k);
+  std::vector<bool> taken(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t = static_cast<size_t>(rng->UniformInt(j + 1));
+    if (!taken[t]) {
+      taken[t] = true;
+      out.push_back(t);
+    } else {
+      taken[j] = true;
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, size_t k, Rng* rng) {
+  size_t positive = 0;
+  for (double w : weights) {
+    if (w > 0.0) ++positive;
+  }
+  assert(k <= positive);
+  AliasSampler sampler(weights);
+  std::vector<bool> taken(weights.size(), false);
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const size_t i = sampler.Sample(rng);
+    if (!taken[i]) {
+      taken[i] = true;
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ZipfWeights(size_t n, double exponent) {
+  std::vector<double> w(n);
+  for (size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -exponent);
+  }
+  return w;
+}
+
+}  // namespace ganc

@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ganc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << (i == 0 ? "| " : " | ");
+      out << cell;
+      out << std::string(widths[i] - cell.size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit(header_);
+  for (size_t i = 0; i < widths.size(); ++i) {
+    out << (i == 0 ? "|-" : "-|-") << std::string(widths[i], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace ganc

@@ -1,0 +1,36 @@
+// Console table formatting for the bench harnesses.
+//
+// Every bench binary prints the same rows/series the paper's tables and
+// figures report; this helper keeps the output aligned and readable.
+
+#ifndef GANC_UTIL_TABLE_H_
+#define GANC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ganc {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with column alignment and a header separator.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_TABLE_H_

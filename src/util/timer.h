@@ -1,0 +1,33 @@
+// Wall-clock timing helpers for benchmarks and progress reporting.
+
+#ifndef GANC_UTIL_TIMER_H_
+#define GANC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ganc {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_TIMER_H_

@@ -1,0 +1,70 @@
+// Top-k selection over scored items.
+//
+// Every recommender in this library ultimately reduces to "return the k
+// highest-scored candidate items"; this header centralizes that kernel so
+// tie-breaking is consistent everywhere (higher score first, then lower
+// item id for determinism).
+
+#ifndef GANC_UTIL_TOP_K_H_
+#define GANC_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace ganc {
+
+/// A scored candidate.
+struct ScoredItem {
+  int32_t item = 0;
+  double score = 0.0;
+};
+
+/// Ordering: higher score first; ties broken by smaller item id.
+inline bool ScoredBetter(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Returns the k best entries of `candidates` in best-first order.
+/// O(n log k) heap selection; stable deterministic tie-breaking.
+inline std::vector<ScoredItem> SelectTopK(
+    const std::vector<ScoredItem>& candidates, size_t k) {
+  if (k == 0) return {};
+  auto worse = [](const ScoredItem& a, const ScoredItem& b) {
+    return ScoredBetter(a, b);  // min-heap on "better": top() is worst kept
+  };
+  std::priority_queue<ScoredItem, std::vector<ScoredItem>, decltype(worse)>
+      heap(worse);
+  for (const ScoredItem& c : candidates) {
+    if (heap.size() < k) {
+      heap.push(c);
+    } else if (ScoredBetter(c, heap.top())) {
+      heap.pop();
+      heap.push(c);
+    }
+  }
+  std::vector<ScoredItem> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+/// Top-k over a dense score vector restricted to `candidates` item ids.
+inline std::vector<ScoredItem> SelectTopKFromScores(
+    const std::vector<double>& scores, const std::vector<int32_t>& candidates,
+    size_t k) {
+  std::vector<ScoredItem> scored;
+  scored.reserve(candidates.size());
+  for (int32_t item : candidates) {
+    scored.push_back({item, scores[static_cast<size_t>(item)]});
+  }
+  return SelectTopK(scored, k);
+}
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_TOP_K_H_

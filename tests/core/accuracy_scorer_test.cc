@@ -1,0 +1,88 @@
+#include "core/accuracy_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "recommender/pop.h"
+#include "recommender/rsvd.h"
+
+namespace ganc {
+namespace {
+
+TEST(NormalizedAccuracyScorerTest, UnitIntervalAndOrderPreserving) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender rsvd({.num_factors = 6, .num_epochs = 15});
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&rsvd);
+  const auto raw = rsvd.ScoreAll(0);
+  const auto norm = scorer.ScoreAll(0);
+  ASSERT_EQ(raw.size(), norm.size());
+  for (double v : norm) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Ranking preserved.
+  for (size_t i = 1; i < raw.size(); ++i) {
+    if (raw[i] > raw[i - 1]) {
+      EXPECT_GE(norm[i], norm[i - 1]);
+    } else if (raw[i] < raw[i - 1]) {
+      EXPECT_LE(norm[i], norm[i - 1]);
+    }
+  }
+}
+
+TEST(NormalizedAccuracyScorerTest, NamePassesThrough) {
+  PopRecommender pop;
+  NormalizedAccuracyScorer scorer(&pop);
+  EXPECT_EQ(scorer.name(), "Pop");
+}
+
+TEST(TopNIndicatorScorerTest, ExactlyTopNOnes) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  TopNIndicatorScorer scorer(&pop, &ds.value(), 5);
+  const auto a = scorer.ScoreAll(0);
+  int ones = 0;
+  for (double v : a) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    if (v == 1.0) ++ones;
+  }
+  EXPECT_EQ(ones, 5);
+}
+
+TEST(TopNIndicatorScorerTest, OnesAreUnseenPopTop) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  TopNIndicatorScorer scorer(&pop, &ds.value(), 5);
+  const UserId u = 0;
+  const auto a = scorer.ScoreAll(u);
+  const auto top = pop.RecommendTopN(u, ds->UnratedItems(u), 5);
+  for (ItemId i : top) EXPECT_DOUBLE_EQ(a[static_cast<size_t>(i)], 1.0);
+  // Items the user already rated never get accuracy credit.
+  for (const ItemRating& ir : ds->ItemsOf(u)) {
+    EXPECT_DOUBLE_EQ(a[static_cast<size_t>(ir.item)], 0.0);
+  }
+}
+
+TEST(TopNIndicatorScorerTest, DiffersAcrossUsersWithDifferentProfiles) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  TopNIndicatorScorer scorer(&pop, &ds.value(), 5);
+  // Find two users with different profiles; indicators usually differ
+  // because seen items are excluded.
+  bool found_difference = false;
+  for (UserId u = 1; u < ds->num_users() && !found_difference; ++u) {
+    if (scorer.ScoreAll(0) != scorer.ScoreAll(u)) found_difference = true;
+  }
+  EXPECT_TRUE(found_difference);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,165 @@
+// Edge cases for the GANC runner: starved candidate sets, degenerate
+// theta vectors, extreme sample sizes, and objective-value accounting for
+// the modular coverage kinds.
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/synthetic.h"
+#include "recommender/pop.h"
+
+namespace ganc {
+namespace {
+
+TEST(GancEdgeTest, UserWithFewerCandidatesThanN) {
+  // User 0 rated all but one item: the top-N list must contain exactly
+  // the remaining candidate.
+  RatingDatasetBuilder b(2, 4);
+  for (ItemId i = 0; i < 3; ++i) ASSERT_TRUE(b.Add(0, i, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  Ganc ganc(&scorer, {0.5, 0.5}, CoverageKind::kDyn);
+  GancConfig cfg;
+  cfg.top_n = 5;
+  cfg.sample_size = 0;
+  auto topn = ganc.RecommendAll(*ds, cfg);
+  ASSERT_TRUE(topn.ok());
+  EXPECT_EQ((*topn)[0], std::vector<ItemId>{3});
+  EXPECT_EQ((*topn)[1].size(), 3u);
+}
+
+TEST(GancEdgeTest, UserWithCompleteProfileGetsEmptyList) {
+  RatingDatasetBuilder b(2, 2);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  Ganc ganc(&scorer, {0.5, 0.5}, CoverageKind::kStat);
+  GancConfig cfg;
+  cfg.top_n = 2;
+  auto topn = ganc.RecommendAll(*ds, cfg);
+  ASSERT_TRUE(topn.ok());
+  EXPECT_TRUE((*topn)[0].empty());
+  EXPECT_EQ((*topn)[1], std::vector<ItemId>{1});
+}
+
+TEST(GancEdgeTest, SampleSizeLargerThanUsersFallsBackToFullGreedy) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  std::vector<double> theta(static_cast<size_t>(ds->num_users()), 0.5);
+  Ganc ganc(&scorer, theta, CoverageKind::kDyn);
+  GancConfig big;
+  big.top_n = 5;
+  big.sample_size = 10 * ds->num_users();
+  GancConfig full;
+  full.top_n = 5;
+  full.sample_size = 0;
+  auto a = ganc.RecommendAll(*ds, big);
+  auto b = ganc.RecommendAll(*ds, full);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(GancEdgeTest, ConstantThetaKdeStillSamples) {
+  // A degenerate (constant) theta distribution must not break the KDE
+  // sampling path.
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  Ganc ganc(&scorer,
+            ConstantPreference(ds->num_users(), 0.5), CoverageKind::kDyn);
+  GancConfig cfg;
+  cfg.top_n = 5;
+  cfg.sample_size = 20;
+  auto topn = ganc.RecommendAll(*ds, cfg);
+  ASSERT_TRUE(topn.ok());
+  for (const auto& pu : *topn) EXPECT_EQ(pu.size(), 5u);
+}
+
+TEST(GancEdgeTest, ThetaZeroAndOneBoundariesAccepted) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  std::vector<double> theta(static_cast<size_t>(ds->num_users()));
+  for (size_t u = 0; u < theta.size(); ++u) theta[u] = u % 2 ? 1.0 : 0.0;
+  Ganc ganc(&scorer, theta, CoverageKind::kDyn);
+  GancConfig cfg;
+  cfg.top_n = 3;
+  cfg.sample_size = 15;
+  EXPECT_TRUE(ganc.RecommendAll(*ds, cfg).ok());
+}
+
+TEST(CollectionValueEdgeTest, StatAndRandKindsAccounted) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  std::vector<double> theta(static_cast<size_t>(ds->num_users()), 0.5);
+  for (CoverageKind kind : {CoverageKind::kRand, CoverageKind::kStat}) {
+    Ganc ganc(&scorer, theta, kind);
+    GancConfig cfg;
+    cfg.top_n = 5;
+    auto topn = ganc.RecommendAll(*ds, cfg);
+    ASSERT_TRUE(topn.ok());
+    const double value =
+        CollectionValue(scorer, theta, kind, *ds, *topn, cfg.seed);
+    EXPECT_GT(value, 0.0);
+    // Per-user greedy is optimal for modular kinds: perturbing one user's
+    // list must not increase the value.
+    TopNCollection perturbed = *topn;
+    auto& list = perturbed[0];
+    if (!list.empty()) {
+      const auto unrated = ds->UnratedItems(0);
+      for (ItemId candidate : unrated) {
+        if (std::find(list.begin(), list.end(), candidate) == list.end()) {
+          list[0] = candidate;
+          break;
+        }
+      }
+      const double perturbed_value =
+          CollectionValue(scorer, theta, kind, *ds, perturbed, cfg.seed);
+      EXPECT_LE(perturbed_value, value + 1e-9);
+    }
+  }
+}
+
+TEST(GancEdgeTest, SingleUserDataset) {
+  RatingDatasetBuilder b(1, 10);
+  for (ItemId i = 0; i < 4; ++i) ASSERT_TRUE(b.Add(0, i, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  NormalizedAccuracyScorer scorer(&pop);
+  Ganc ganc(&scorer, {0.7}, CoverageKind::kDyn);
+  GancConfig cfg;
+  cfg.top_n = 3;
+  cfg.sample_size = 5;
+  auto topn = ganc.RecommendAll(*ds, cfg);
+  ASSERT_TRUE(topn.ok());
+  EXPECT_EQ((*topn)[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace ganc

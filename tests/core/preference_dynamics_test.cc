@@ -1,0 +1,116 @@
+#include "core/preference_dynamics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+RatingDataset Synthetic(int32_t users = 200, double activity = 30.0) {
+  auto spec = TinySpec();
+  spec.num_users = users;
+  spec.num_items = 250;
+  spec.mean_activity = activity;
+  auto ds = GenerateSynthetic(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(PreferenceDynamicsTest, ShapesAndRanges) {
+  const RatingDataset ds = Synthetic();
+  auto traj = EstimateThetaWindows(ds, {.num_windows = 3});
+  ASSERT_TRUE(traj.ok());
+  EXPECT_EQ(traj->num_windows, 3);
+  ASSERT_EQ(traj->theta_per_window.size(), 3u);
+  for (const auto& window : traj->theta_per_window) {
+    ASSERT_EQ(window.size(), static_cast<size_t>(ds.num_users()));
+    for (double v : window) {
+      if (!std::isnan(v)) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+TEST(PreferenceDynamicsTest, StationaryUsersShowPositiveCorrelation) {
+  // The generator's users have a *fixed* popularity-bias exponent, so
+  // their windowed theta estimates must correlate across windows — the
+  // stability property that justifies learning theta from history.
+  const RatingDataset ds = Synthetic(400, 40.0);
+  auto traj = EstimateThetaWindows(ds, {.num_windows = 2});
+  ASSERT_TRUE(traj.ok());
+  const DriftReport drift = SummarizeDrift(*traj);
+  ASSERT_EQ(drift.adjacent_correlation.size(), 1u);
+  EXPECT_GT(drift.adjacent_correlation[0], 0.2);
+  EXPECT_GT(drift.users_in_all_windows, 300);
+}
+
+TEST(PreferenceDynamicsTest, ThetaNVariantWorks) {
+  const RatingDataset ds = Synthetic();
+  auto traj = EstimateThetaWindows(
+      ds, {.num_windows = 2, .model = PreferenceModel::kNormalized});
+  ASSERT_TRUE(traj.ok());
+  const DriftReport drift = SummarizeDrift(*traj);
+  EXPECT_EQ(drift.adjacent_correlation.size(), 1u);
+}
+
+TEST(PreferenceDynamicsTest, InactiveWindowIsNan) {
+  // A user with a single rating cannot populate both windows.
+  RatingDatasetBuilder b(2, 5);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());
+  for (ItemId i = 0; i < 4; ++i) ASSERT_TRUE(b.Add(1, i, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto traj = EstimateThetaWindows(*ds, {.num_windows = 2});
+  ASSERT_TRUE(traj.ok());
+  const bool w0 = std::isnan(traj->theta_per_window[0][0]);
+  const bool w1 = std::isnan(traj->theta_per_window[1][0]);
+  EXPECT_TRUE(w0 || w1);   // one window starved
+  EXPECT_FALSE(w0 && w1);  // but not both
+  // The 4-rating user fills both windows.
+  EXPECT_FALSE(std::isnan(traj->theta_per_window[0][1]));
+  EXPECT_FALSE(std::isnan(traj->theta_per_window[1][1]));
+}
+
+TEST(PreferenceDynamicsTest, DriftCountsOnlySharedUsers) {
+  RatingDatasetBuilder b(2, 6);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());  // user 0: one rating -> one window
+  for (ItemId i = 0; i < 6; ++i) ASSERT_TRUE(b.Add(1, i, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto traj = EstimateThetaWindows(*ds, {.num_windows = 2});
+  ASSERT_TRUE(traj.ok());
+  const DriftReport drift = SummarizeDrift(*traj);
+  EXPECT_EQ(drift.users_in_all_windows, 1);
+}
+
+TEST(PreferenceDynamicsTest, InvalidOptionsRejected) {
+  const RatingDataset ds = Synthetic(50, 15.0);
+  EXPECT_FALSE(EstimateThetaWindows(ds, {.num_windows = 1}).ok());
+  EXPECT_FALSE(
+      EstimateThetaWindows(
+          ds, {.num_windows = 2, .model = PreferenceModel::kGeneralized})
+          .ok());
+}
+
+TEST(PreferenceDynamicsTest, Deterministic) {
+  const RatingDataset ds = Synthetic();
+  auto a = EstimateThetaWindows(ds, {.num_windows = 2});
+  auto b = EstimateThetaWindows(ds, {.num_windows = 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t w = 0; w < 2; ++w) {
+    for (size_t u = 0; u < a->theta_per_window[w].size(); ++u) {
+      const double va = a->theta_per_window[w][u];
+      const double vb = b->theta_per_window[w][u];
+      EXPECT_TRUE((std::isnan(va) && std::isnan(vb)) || va == vb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ganc

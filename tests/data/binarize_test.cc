@@ -1,0 +1,57 @@
+#include "data/binarize.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+TEST(BinarizeTest, KeepsEverythingAtZeroThreshold) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  auto bin = Binarize(*ds);
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->num_ratings(), ds->num_ratings());
+  for (const Rating& r : bin->ratings()) EXPECT_FLOAT_EQ(r.value, 1.0f);
+}
+
+TEST(BinarizeTest, ThresholdDropsWeakInteractions) {
+  RatingDatasetBuilder b(2, 3);
+  ASSERT_TRUE(b.Add(0, 0, 5.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 2.0f).ok());
+  ASSERT_TRUE(b.Add(1, 2, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto bin = Binarize(*ds, {.min_rating = 4.0});
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->num_ratings(), 2);
+  EXPECT_TRUE(bin->HasRating(0, 0));
+  EXPECT_FALSE(bin->HasRating(0, 1));
+  EXPECT_TRUE(bin->HasRating(1, 2));
+}
+
+TEST(BinarizeTest, PreservesUniverseSizes) {
+  RatingDatasetBuilder b(5, 7);
+  ASSERT_TRUE(b.Add(0, 0, 1.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto bin = Binarize(*ds, {.min_rating = 3.0});
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->num_users(), 5);
+  EXPECT_EQ(bin->num_items(), 7);
+  EXPECT_EQ(bin->num_ratings(), 0);  // the only rating was below threshold
+}
+
+TEST(BinarizeTest, CustomPositiveValue) {
+  RatingDatasetBuilder b(1, 1);
+  ASSERT_TRUE(b.Add(0, 0, 5.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto bin = Binarize(*ds, {.min_rating = 0.0, .positive_value = 2.5f});
+  ASSERT_TRUE(bin.ok());
+  EXPECT_FLOAT_EQ(bin->GetRating(0, 0).value(), 2.5f);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,125 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+RatingDataset SmallDataset() {
+  // 3 users, 4 items.
+  RatingDatasetBuilder b(3, 4);
+  EXPECT_TRUE(b.Add(0, 0, 5.0f).ok());
+  EXPECT_TRUE(b.Add(0, 1, 3.0f).ok());
+  EXPECT_TRUE(b.Add(1, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(1, 2, 2.0f).ok());
+  EXPECT_TRUE(b.Add(2, 0, 1.0f).ok());
+  auto ds = std::move(b).Build();
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(RatingDatasetTest, BasicCounts) {
+  const RatingDataset ds = SmallDataset();
+  EXPECT_EQ(ds.num_users(), 3);
+  EXPECT_EQ(ds.num_items(), 4);
+  EXPECT_EQ(ds.num_ratings(), 5);
+}
+
+TEST(RatingDatasetTest, Density) {
+  const RatingDataset ds = SmallDataset();
+  EXPECT_NEAR(ds.Density(), 5.0 / 12.0, 1e-12);
+}
+
+TEST(RatingDatasetTest, PerUserIndexSortedByItem) {
+  const RatingDataset ds = SmallDataset();
+  const auto& row = ds.ItemsOf(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].item, 0);
+  EXPECT_EQ(row[1].item, 2);
+  EXPECT_FLOAT_EQ(row[0].value, 4.0f);
+}
+
+TEST(RatingDatasetTest, PerItemIndexAndPopularity) {
+  const RatingDataset ds = SmallDataset();
+  EXPECT_EQ(ds.Popularity(0), 3);
+  EXPECT_EQ(ds.Popularity(1), 1);
+  EXPECT_EQ(ds.Popularity(3), 0);
+  const auto& col = ds.UsersOf(0);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0].user, 0);
+  EXPECT_EQ(col[2].user, 2);
+}
+
+TEST(RatingDatasetTest, PopularityVector) {
+  const RatingDataset ds = SmallDataset();
+  const auto pop = ds.PopularityVector();
+  ASSERT_EQ(pop.size(), 4u);
+  EXPECT_DOUBLE_EQ(pop[0], 3.0);
+  EXPECT_DOUBLE_EQ(pop[3], 0.0);
+}
+
+TEST(RatingDatasetTest, Activity) {
+  const RatingDataset ds = SmallDataset();
+  EXPECT_EQ(ds.Activity(0), 2);
+  EXPECT_EQ(ds.Activity(2), 1);
+}
+
+TEST(RatingDatasetTest, HasRatingAndGetRating) {
+  const RatingDataset ds = SmallDataset();
+  EXPECT_TRUE(ds.HasRating(0, 1));
+  EXPECT_FALSE(ds.HasRating(0, 2));
+  auto r = ds.GetRating(0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r.value(), 3.0f);
+  EXPECT_EQ(ds.GetRating(0, 3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RatingDatasetTest, GlobalMeanRating) {
+  const RatingDataset ds = SmallDataset();
+  EXPECT_NEAR(ds.GlobalMeanRating(), 3.0, 1e-12);
+}
+
+TEST(RatingDatasetTest, UnratedItems) {
+  const RatingDataset ds = SmallDataset();
+  const auto unrated = ds.UnratedItems(0);
+  EXPECT_EQ(unrated, (std::vector<ItemId>{2, 3}));
+  EXPECT_EQ(ds.UnratedItems(2), (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(RatingDatasetBuilderTest, RejectsOutOfRangeIds) {
+  RatingDatasetBuilder b(2, 2);
+  EXPECT_EQ(b.Add(2, 0, 1.0f).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.Add(-1, 0, 1.0f).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.Add(0, 2, 1.0f).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RatingDatasetBuilderTest, RejectsDuplicatePairs) {
+  RatingDatasetBuilder b(2, 2);
+  ASSERT_TRUE(b.Add(0, 0, 1.0f).ok());
+  ASSERT_TRUE(b.Add(0, 0, 2.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RatingDatasetBuilderTest, EmptyDatasetIsValid) {
+  RatingDatasetBuilder b(3, 3);
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_ratings(), 0);
+  EXPECT_DOUBLE_EQ(ds->GlobalMeanRating(), 0.0);
+  EXPECT_EQ(ds->UnratedItems(0).size(), 3u);
+}
+
+TEST(RatingDatasetTest, UserWithFullCatalogHasNoUnrated) {
+  RatingDatasetBuilder b(1, 3);
+  ASSERT_TRUE(b.Add(0, 0, 1.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 2.0f).ok());
+  ASSERT_TRUE(b.Add(0, 2, 3.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->UnratedItems(0).empty());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,113 @@
+#include "data/loader.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "ganc_loader_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LoaderTest, LoadsCsvAndRemapsIds) {
+  WriteFile("r.csv", "101,900,4.5\n101,901,3.0\n205,900,2.0\n");
+  auto loaded = LoadRatingsFile(Path("r.csv"), {});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.num_users(), 2);
+  EXPECT_EQ(loaded->dataset.num_items(), 2);
+  EXPECT_EQ(loaded->dataset.num_ratings(), 3);
+  EXPECT_EQ(loaded->user_ids[0], "101");
+  EXPECT_EQ(loaded->item_ids[1], "901");
+  auto r = loaded->dataset.GetRating(0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r.value(), 4.5f);
+}
+
+TEST_F(LoaderTest, CustomColumnsAndDelimiter) {
+  WriteFile("r.tsv", "4.0\tu1\ti1\n3.0\tu2\ti1\n");
+  LoaderOptions opts;
+  opts.delimiter = '\t';
+  opts.rating_column = 0;
+  opts.user_column = 1;
+  opts.item_column = 2;
+  auto loaded = LoadRatingsFile(Path("r.tsv"), opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.num_users(), 2);
+  EXPECT_EQ(loaded->dataset.num_items(), 1);
+}
+
+TEST_F(LoaderTest, RatingRemapAffine) {
+  // MovieTweetings-style 0..10 -> [1, 5]: scale 0.4, offset 1.
+  WriteFile("mt.csv", "u,i,10\nv,i,0\n");
+  LoaderOptions opts;
+  opts.rating_scale = 0.4;
+  opts.rating_offset = 1.0;
+  auto loaded = LoadRatingsFile(Path("mt.csv"), opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FLOAT_EQ(loaded->dataset.GetRating(0, 0).value(), 5.0f);
+  EXPECT_FLOAT_EQ(loaded->dataset.GetRating(1, 0).value(), 1.0f);
+}
+
+TEST_F(LoaderTest, DuplicateKeepLast) {
+  WriteFile("d.csv", "u,i,1\nu,i,5\n");
+  auto loaded = LoadRatingsFile(Path("d.csv"), {});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.num_ratings(), 1);
+  EXPECT_FLOAT_EQ(loaded->dataset.GetRating(0, 0).value(), 5.0f);
+}
+
+TEST_F(LoaderTest, MalformedRatingErrors) {
+  WriteFile("bad.csv", "u,i,not_a_number\n");
+  EXPECT_FALSE(LoadRatingsFile(Path("bad.csv"), {}).ok());
+}
+
+TEST_F(LoaderTest, TooFewColumnsErrors) {
+  WriteFile("short.csv", "u,i\n");
+  EXPECT_FALSE(LoadRatingsFile(Path("short.csv"), {}).ok());
+}
+
+TEST_F(LoaderTest, MissingFileErrors) {
+  EXPECT_EQ(LoadRatingsFile(Path("absent.csv"), {}).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(LoaderTest, SaveThenLoadRoundTrips) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(SaveRatingsFile(*ds, Path("round.csv")).ok());
+  auto loaded = LoadRatingsFile(Path("round.csv"), {});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.num_ratings(), ds->num_ratings());
+  EXPECT_EQ(loaded->dataset.num_users(), ds->num_users());
+}
+
+TEST_F(LoaderTest, HeaderSkipped) {
+  WriteFile("h.csv", "user,item,rating\nu,i,3\n");
+  LoaderOptions opts;
+  opts.skip_header = true;
+  auto loaded = LoadRatingsFile(Path("h.csv"), opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.num_ratings(), 1);
+}
+
+}  // namespace
+}  // namespace ganc

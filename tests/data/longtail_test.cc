@@ -1,0 +1,109 @@
+#include "data/longtail.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+// 4 items with popularity 8, 1, 1, 0: total 10 ratings, head mass 0.8
+// covered exactly by item 0, so items 1..3 are long-tail.
+RatingDataset SkewedDataset() {
+  RatingDatasetBuilder b(10, 4);
+  for (UserId u = 0; u < 8; ++u) EXPECT_TRUE(b.Add(u, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(8, 1, 4.0f).ok());
+  EXPECT_TRUE(b.Add(9, 2, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(ComputeLongTailTest, ParetoCutoff) {
+  const LongTailInfo info = ComputeLongTail(SkewedDataset());
+  EXPECT_FALSE(info.Contains(0));  // head
+  EXPECT_TRUE(info.Contains(1));
+  EXPECT_TRUE(info.Contains(2));
+  EXPECT_TRUE(info.Contains(3));  // unrated items are always tail
+}
+
+TEST(ComputeLongTailTest, TailPercentOverRatedItems) {
+  const LongTailInfo info = ComputeLongTail(SkewedDataset());
+  EXPECT_EQ(info.num_rated_items, 3);
+  EXPECT_EQ(info.tail_size, 2);  // items 1 and 2 (3 is unrated)
+  EXPECT_NEAR(info.tail_percent, 100.0 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(ComputeLongTailTest, HeadMassParameter) {
+  // With head_mass = 0.0 every rated item is tail... head loop takes none.
+  const LongTailInfo all_tail = ComputeLongTail(SkewedDataset(), 0.0);
+  EXPECT_TRUE(all_tail.Contains(0));
+  // With head_mass = 1.0 every rated item is head.
+  const LongTailInfo none_tail = ComputeLongTail(SkewedDataset(), 1.0);
+  EXPECT_FALSE(none_tail.Contains(0));
+  EXPECT_FALSE(none_tail.Contains(1));
+  EXPECT_FALSE(none_tail.Contains(2));
+  EXPECT_TRUE(none_tail.Contains(3));  // still unrated
+}
+
+TEST(ComputeLongTailTest, EmptyDataset) {
+  RatingDatasetBuilder b(2, 3);
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  const LongTailInfo info = ComputeLongTail(*ds);
+  EXPECT_EQ(info.num_rated_items, 0);
+  EXPECT_DOUBLE_EQ(info.tail_percent, 0.0);
+  EXPECT_TRUE(info.Contains(0));
+}
+
+TEST(ComputeLongTailTest, UniformPopularityMostlyHead) {
+  // 10 items, each popularity 2: head takes items until 80% of mass.
+  RatingDatasetBuilder b(2, 10);
+  for (UserId u = 0; u < 2; ++u) {
+    for (ItemId i = 0; i < 10; ++i) EXPECT_TRUE(b.Add(u, i, 3.0f).ok());
+  }
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  const LongTailInfo info = ComputeLongTail(*ds);
+  EXPECT_EQ(info.tail_size, 2);  // exactly the last 20% of mass
+}
+
+TEST(ComputeLongTailTest, SyntheticTailShareIsLarge) {
+  // Popularity-biased synthetic data should put most items in the tail,
+  // like the paper's 67-88% range (Table II).
+  auto spec = TinySpec();
+  spec.num_users = 150;
+  spec.num_items = 400;
+  spec.mean_activity = 15.0;
+  spec.zipf_exponent = 1.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  const LongTailInfo info = ComputeLongTail(*ds);
+  EXPECT_GT(info.tail_percent, 50.0);
+}
+
+TEST(SummarizeTest, TableIIRow) {
+  const RatingDataset ds = SkewedDataset();
+  const DatasetSummary s = Summarize("skew", ds);
+  EXPECT_EQ(s.name, "skew");
+  EXPECT_EQ(s.num_ratings, 10);
+  EXPECT_EQ(s.num_users, 10);
+  EXPECT_EQ(s.num_items, 4);
+  EXPECT_NEAR(s.density_percent, 100.0 * 10.0 / 40.0, 1e-9);
+  EXPECT_NEAR(s.mean_rating, 4.0, 1e-6);
+  EXPECT_NEAR(s.infrequent_user_percent, 100.0, 1e-9);  // all rated < 10
+}
+
+TEST(SummarizeTest, UsesTrainForTailWhenGiven) {
+  const RatingDataset ds = SkewedDataset();
+  RatingDatasetBuilder b(10, 4);
+  ASSERT_TRUE(b.Add(0, 3, 4.0f).ok());  // train where only item 3 is rated
+  auto train = std::move(b).Build();
+  ASSERT_TRUE(train.ok());
+  const DatasetSummary s = Summarize("skew", ds, &train.value());
+  // In that train, item 3 is the whole head -> 0% tail of rated items.
+  EXPECT_DOUBLE_EQ(s.longtail_percent, 0.0);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,168 @@
+#include "data/split.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+RatingDataset MakeUniform(int32_t users, int32_t items_per_user,
+                          int32_t items) {
+  RatingDatasetBuilder b(users, items);
+  for (UserId u = 0; u < users; ++u) {
+    for (int32_t k = 0; k < items_per_user; ++k) {
+      EXPECT_TRUE(b.Add(u, (u + k * 7) % items, 4.0f).ok());
+    }
+  }
+  auto ds = std::move(b).Build();
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(PerUserRatioSplitTest, KeepsRatioPerUser) {
+  const RatingDataset ds = MakeUniform(20, 10, 101);
+  auto split = PerUserRatioSplit(ds, {.train_ratio = 0.8, .seed = 1});
+  ASSERT_TRUE(split.ok());
+  for (UserId u = 0; u < 20; ++u) {
+    EXPECT_EQ(split->train.Activity(u), 8);
+    EXPECT_EQ(split->test.Activity(u), 2);
+  }
+}
+
+TEST(PerUserRatioSplitTest, InfrequentUserKeepsMostInTrain) {
+  // Paper: a 5-rating user at kappa = 0.8 keeps 4 train / 1 test.
+  RatingDatasetBuilder b(1, 10);
+  for (ItemId i = 0; i < 5; ++i) ASSERT_TRUE(b.Add(0, i, 3.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.8, .seed = 2});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.Activity(0), 4);
+  EXPECT_EQ(split->test.Activity(0), 1);
+}
+
+TEST(PerUserRatioSplitTest, DisjointAndComplete) {
+  const RatingDataset ds = MakeUniform(10, 8, 53);
+  auto split = PerUserRatioSplit(ds, {.train_ratio = 0.5, .seed = 3});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_ratings() + split->test.num_ratings(),
+            ds.num_ratings());
+  for (const Rating& r : split->test.ratings()) {
+    EXPECT_FALSE(split->train.HasRating(r.user, r.item));
+    EXPECT_TRUE(ds.HasRating(r.user, r.item));
+  }
+}
+
+TEST(PerUserRatioSplitTest, MinTrainPerUserRespected) {
+  RatingDatasetBuilder b(1, 10);
+  ASSERT_TRUE(b.Add(0, 0, 3.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 3.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(
+      *ds, {.train_ratio = 0.1, .min_train_per_user = 1, .seed = 4});
+  ASSERT_TRUE(split.ok());
+  EXPECT_GE(split->train.Activity(0), 1);
+}
+
+TEST(PerUserRatioSplitTest, DeterministicPerSeed) {
+  const RatingDataset ds = MakeUniform(15, 10, 71);
+  auto a = PerUserRatioSplit(ds, {.train_ratio = 0.5, .seed = 5});
+  auto b = PerUserRatioSplit(ds, {.train_ratio = 0.5, .seed = 5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (UserId u = 0; u < 15; ++u) {
+    EXPECT_EQ(a->train.ItemsOf(u).size(), b->train.ItemsOf(u).size());
+    for (size_t k = 0; k < a->train.ItemsOf(u).size(); ++k) {
+      EXPECT_EQ(a->train.ItemsOf(u)[k].item, b->train.ItemsOf(u)[k].item);
+    }
+  }
+}
+
+TEST(PerUserRatioSplitTest, InvalidRatioRejected) {
+  const RatingDataset ds = MakeUniform(2, 3, 11);
+  EXPECT_FALSE(PerUserRatioSplit(ds, {.train_ratio = 0.0}).ok());
+  EXPECT_FALSE(PerUserRatioSplit(ds, {.train_ratio = 1.5}).ok());
+}
+
+TEST(FilterInfrequentUsersTest, DropsBelowThreshold) {
+  RatingDatasetBuilder b(3, 5);
+  for (ItemId i = 0; i < 5; ++i) ASSERT_TRUE(b.Add(0, i, 3.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 3.0f).ok());
+  for (ItemId i = 0; i < 4; ++i) ASSERT_TRUE(b.Add(2, i, 3.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto filtered = FilterInfrequentUsers(*ds, 4);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_users(), 2);  // user 1 dropped
+  EXPECT_EQ(filtered->num_ratings(), 9);
+}
+
+TEST(FilterInfrequentUsersTest, ReindexesItems) {
+  RatingDatasetBuilder b(2, 10);
+  ASSERT_TRUE(b.Add(0, 9, 3.0f).ok());
+  ASSERT_TRUE(b.Add(0, 5, 3.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 3.0f).ok());  // will be filtered (activity 1 < 2)
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto filtered = FilterInfrequentUsers(*ds, 2);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_users(), 1);
+  EXPECT_EQ(filtered->num_items(), 2);  // items 5 and 9 remapped densely
+}
+
+TEST(FilterInfrequentUsersTest, ZeroThresholdKeepsAll) {
+  const RatingDataset ds = MakeUniform(5, 3, 17);
+  auto filtered = FilterInfrequentUsers(ds, 0);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_users(), 5);
+  EXPECT_EQ(filtered->num_ratings(), ds.num_ratings());
+}
+
+TEST(HoldoutSplitTest, MaskControlsMembership) {
+  const RatingDataset ds = MakeUniform(4, 5, 23);
+  std::vector<bool> mask(static_cast<size_t>(ds.num_ratings()), false);
+  mask[0] = mask[1] = true;
+  auto split = HoldoutSplit(ds, mask);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.num_ratings() + split->train.num_ratings(),
+            ds.num_ratings());
+  EXPECT_LE(split->test.num_ratings(), 2);
+}
+
+TEST(HoldoutSplitTest, DropsProbeOfUnseenUser) {
+  // User 1's only rating goes to test -> user 1 absent from train -> the
+  // probe rating must be dropped (paper's Netflix probe rule).
+  RatingDatasetBuilder b(2, 3);
+  ASSERT_TRUE(b.Add(0, 0, 3.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 3.0f).ok());
+  ASSERT_TRUE(b.Add(1, 2, 3.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  std::vector<bool> mask{false, false, true};
+  auto split = HoldoutSplit(*ds, mask);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.num_ratings(), 0);
+}
+
+TEST(HoldoutSplitTest, WrongMaskSizeRejected) {
+  const RatingDataset ds = MakeUniform(2, 2, 11);
+  EXPECT_FALSE(HoldoutSplit(ds, std::vector<bool>(3, false)).ok());
+}
+
+TEST(SplitOnSyntheticTest, PaperKappaBehaviour) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 6});
+  ASSERT_TRUE(split.ok());
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    const double n = static_cast<double>(ds->Activity(u));
+    EXPECT_NEAR(split->train.Activity(u), std::llround(0.5 * n), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ganc

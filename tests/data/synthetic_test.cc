@@ -1,0 +1,192 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/longtail.h"
+#include "util/stats.h"
+
+namespace ganc {
+namespace {
+
+TEST(SyntheticTest, RespectsDimensions) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 60);
+  EXPECT_EQ(ds->num_items(), 120);
+  EXPECT_GT(ds->num_ratings(), 0);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  auto a = GenerateSynthetic(TinySpec());
+  auto b = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_ratings(), b->num_ratings());
+  for (int64_t k = 0; k < a->num_ratings(); ++k) {
+    EXPECT_EQ(a->ratings()[static_cast<size_t>(k)].user,
+              b->ratings()[static_cast<size_t>(k)].user);
+    EXPECT_EQ(a->ratings()[static_cast<size_t>(k)].item,
+              b->ratings()[static_cast<size_t>(k)].item);
+    EXPECT_FLOAT_EQ(a->ratings()[static_cast<size_t>(k)].value,
+                    b->ratings()[static_cast<size_t>(k)].value);
+  }
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  auto spec = TinySpec();
+  auto a = GenerateSynthetic(spec);
+  spec.seed += 1;
+  auto b = GenerateSynthetic(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Totals will differ or at least the first few entries will.
+  bool differs = a->num_ratings() != b->num_ratings();
+  if (!differs) {
+    for (int64_t k = 0; k < std::min<int64_t>(50, a->num_ratings()); ++k) {
+      if (a->ratings()[static_cast<size_t>(k)].item !=
+          b->ratings()[static_cast<size_t>(k)].item) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, MinActivityEnforced) {
+  auto spec = TinySpec();
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    EXPECT_GE(ds->Activity(u), spec.min_activity);
+  }
+}
+
+TEST(SyntheticTest, RatingsOnScale) {
+  auto spec = TinySpec();
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  for (const Rating& r : ds->ratings()) {
+    EXPECT_GE(r.value, spec.rating_min);
+    EXPECT_LE(r.value, spec.rating_max);
+    const double steps = (r.value - spec.rating_min) / spec.rating_step;
+    EXPECT_NEAR(steps, std::round(steps), 1e-4);
+  }
+}
+
+TEST(SyntheticTest, HalfStarScale) {
+  auto spec = TinySpec();
+  spec.rating_min = 0.5;
+  spec.rating_step = 0.5;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  for (const Rating& r : ds->ratings()) {
+    const double steps = (r.value - 0.5) / 0.5;
+    EXPECT_NEAR(steps, std::round(steps), 1e-4);
+  }
+}
+
+TEST(SyntheticTest, PopularityIsSkewed) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  const std::vector<double> pop = ds->PopularityVector();
+  // Zipf-ish: the most popular item far exceeds the median.
+  EXPECT_GT(Max(pop), 4.0 * Quantile(pop, 0.5) + 1.0);
+  EXPECT_GT(GiniCoefficient(pop), 0.3);
+}
+
+TEST(SyntheticTest, Figure1ShapePopularityDecreasesWithActivity) {
+  // The paper's Figure 1: average popularity of a user's rated items
+  // decreases as the user's activity grows.
+  auto spec = TinySpec();
+  spec.num_users = 400;
+  spec.num_items = 500;
+  spec.mean_activity = 40.0;
+  spec.min_activity = 5;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  std::vector<double> activity, avg_pop;
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    const auto& row = ds->ItemsOf(u);
+    if (row.empty()) continue;
+    double acc = 0.0;
+    for (const ItemRating& ir : row) {
+      acc += static_cast<double>(ds->Popularity(ir.item));
+    }
+    activity.push_back(static_cast<double>(row.size()));
+    avg_pop.push_back(acc / static_cast<double>(row.size()));
+  }
+  EXPECT_LT(SpearmanCorrelation(activity, avg_pop), -0.3);
+}
+
+TEST(SyntheticTest, PresetDensitiesMatchTableII) {
+  // Check the two small presets end-to-end (larger ones in benches).
+  {
+    auto ds = GenerateSynthetic(MovieLens100KSpec());
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ(ds->num_users(), 943);
+    EXPECT_EQ(ds->num_items(), 1682);
+    EXPECT_NEAR(ds->Density() * 100.0, 6.30, 1.3);
+  }
+}
+
+TEST(SyntheticTest, MovieTweetingsHasManyInfrequentUsers) {
+  auto spec = MovieTweetings200KSpec();
+  spec.num_users = 1500;  // scaled-down smoke check of the shape
+  spec.num_items = 2600;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  int32_t below10 = 0;
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    if (ds->Activity(u) < 10) ++below10;
+  }
+  const double pct =
+      100.0 * static_cast<double>(below10) / static_cast<double>(ds->num_users());
+  EXPECT_GT(pct, 30.0);  // paper: 47.42%
+  EXPECT_LT(pct, 70.0);
+}
+
+TEST(SyntheticTest, InvalidSpecsRejected) {
+  auto spec = TinySpec();
+  spec.num_users = 0;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec = TinySpec();
+  spec.min_activity = spec.num_items + 1;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec = TinySpec();
+  spec.rating_step = 0.0;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+}
+
+TEST(SyntheticTest, NoDuplicatePairs) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());  // Build() would have failed on duplicates
+  // Spot check per-user rows are strictly increasing in item id.
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    const auto& row = ds->ItemsOf(u);
+    for (size_t k = 1; k < row.size(); ++k) {
+      EXPECT_LT(row[k - 1].item, row[k].item);
+    }
+  }
+}
+
+TEST(SyntheticTest, LongTailShareGrowsWithZipfExponent) {
+  auto mild = TinySpec();
+  mild.num_users = 300;
+  mild.num_items = 400;
+  mild.zipf_exponent = 0.4;
+  auto strong = mild;
+  strong.zipf_exponent = 1.4;
+  auto mild_ds = GenerateSynthetic(mild);
+  auto strong_ds = GenerateSynthetic(strong);
+  ASSERT_TRUE(mild_ds.ok());
+  ASSERT_TRUE(strong_ds.ok());
+  EXPECT_GT(ComputeLongTail(*strong_ds).tail_percent,
+            ComputeLongTail(*mild_ds).tail_percent);
+}
+
+}  // namespace
+}  // namespace ganc

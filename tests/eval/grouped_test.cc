@@ -1,0 +1,78 @@
+#include "eval/grouped.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "recommender/pop.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+TEST(GroupedTest, GroupSizesPartitionUsers) {
+  auto spec = MovieTweetings200KSpec();
+  spec.num_users = 500;
+  spec.num_items = 900;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.8, .seed = 16});
+  ASSERT_TRUE(split.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(split->train).ok());
+  const auto topn = RecommendAllUsers(pop, split->train, 5);
+  const auto groups = EvaluateByActivity(split->train, split->test, topn,
+                                         MetricsConfig{.top_n = 5});
+  ASSERT_EQ(groups.size(), 3u);
+  int32_t total = 0;
+  for (const auto& g : groups) total += g.num_users;
+  EXPECT_EQ(total, split->train.num_users());
+  // This sparse preset must actually have infrequent users.
+  EXPECT_GT(groups[0].num_users, 0);
+}
+
+TEST(GroupedTest, GroupMetricsMatchManualRestriction) {
+  // Two users in different bands; verify the group precision equals the
+  // per-group hand computation.
+  RatingDatasetBuilder tb(2, 30);
+  for (ItemId i = 0; i < 5; ++i) ASSERT_TRUE(tb.Add(0, i, 4.0f).ok());
+  for (ItemId i = 0; i < 12; ++i) ASSERT_TRUE(tb.Add(1, i, 4.0f).ok());
+  auto train = std::move(tb).Build();
+  ASSERT_TRUE(train.ok());
+  RatingDatasetBuilder sb(2, 30);
+  ASSERT_TRUE(sb.Add(0, 20, 5.0f).ok());
+  ASSERT_TRUE(sb.Add(1, 21, 5.0f).ok());
+  auto test = std::move(sb).Build();
+  ASSERT_TRUE(test.ok());
+
+  std::vector<std::vector<ItemId>> topn{{20, 22}, {23, 24}};
+  const auto groups = EvaluateByActivity(*train, *test, topn,
+                                         MetricsConfig{.top_n = 2});
+  // Group 0 = user 0 (activity 5 < 10): 1 hit of 2 slots -> P = 0.5.
+  EXPECT_EQ(groups[0].num_users, 1);
+  EXPECT_NEAR(groups[0].metrics.precision, 0.5, 1e-12);
+  // Group 1 = user 1 (activity 12 in [10, 50)): no hits.
+  EXPECT_EQ(groups[1].num_users, 1);
+  EXPECT_NEAR(groups[1].metrics.precision, 0.0, 1e-12);
+  // Group 2 empty.
+  EXPECT_EQ(groups[2].num_users, 0);
+}
+
+TEST(GroupedTest, CustomBounds) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  const auto topn = RecommendAllUsers(pop, *ds, 5);
+  GroupingConfig grouping;
+  grouping.activity_bounds = {8};
+  grouping.names = {"tiny", "rest"};
+  const auto groups = EvaluateByActivity(*ds, *ds, topn,
+                                         MetricsConfig{.top_n = 5}, grouping);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].name, "tiny");
+  EXPECT_EQ(groups[0].num_users + groups[1].num_users, ds->num_users());
+}
+
+}  // namespace
+}  // namespace ganc

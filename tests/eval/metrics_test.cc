@@ -1,0 +1,196 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+// Train: item 0 popular (head), items 1-3 tail. Test: user 0 relevantly
+// rated items 1 and 2; user 1 relevantly rated item 0.
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+
+  Fixture() {
+    RatingDatasetBuilder tb(10, 4);
+    for (UserId u = 0; u < 8; ++u) EXPECT_TRUE(tb.Add(u, 0, 4.0f).ok());
+    EXPECT_TRUE(tb.Add(8, 1, 4.0f).ok());
+    EXPECT_TRUE(tb.Add(9, 2, 4.0f).ok());
+    auto t = std::move(tb).Build();
+    EXPECT_TRUE(t.ok());
+    train = std::move(t).value();
+
+    RatingDatasetBuilder sb(10, 4);
+    EXPECT_TRUE(sb.Add(0, 1, 5.0f).ok());
+    EXPECT_TRUE(sb.Add(0, 2, 4.0f).ok());
+    EXPECT_TRUE(sb.Add(0, 3, 2.0f).ok());  // not relevant (< 4)
+    EXPECT_TRUE(sb.Add(1, 0, 5.0f).ok());
+    auto s = std::move(sb).Build();
+    EXPECT_TRUE(s.ok());
+    test = std::move(s).value();
+  }
+};
+
+std::vector<std::vector<ItemId>> EmptyLists(int users) {
+  return std::vector<std::vector<ItemId>>(static_cast<size_t>(users));
+}
+
+TEST(MetricsTest, PerfectHitForOneUser) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {1, 2};  // both relevant for user 0
+  const MetricsConfig cfg{.top_n = 2};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  // Precision: 2 hits / (2 * 10 users) = 0.1.
+  EXPECT_NEAR(m.precision, 0.1, 1e-12);
+  // Recall: user 0 got 2/2 = 1.0; averaged over 10 users = 0.1.
+  EXPECT_NEAR(m.recall, 0.1, 1e-12);
+  // F = P*R/(P+R) = 0.01/0.2 = 0.05.
+  EXPECT_NEAR(m.f_measure, 0.05, 1e-12);
+}
+
+TEST(MetricsTest, MissesScoreZero) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {3};  // rated 2.0 in test -> not relevant
+  const MetricsConfig cfg{.top_n = 1};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.0);
+}
+
+TEST(MetricsTest, LtAccuracyCountsTailItems) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {0, 1};  // head + tail
+  topn[1] = {2, 3};  // tail + tail
+  const MetricsConfig cfg{.top_n = 2};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  // 3 tail recommendations / (2 * 10).
+  EXPECT_NEAR(m.lt_accuracy, 3.0 / 20.0, 1e-12);
+}
+
+TEST(MetricsTest, CoverageCountsDistinctItems) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {0, 1};
+  topn[1] = {0, 2};
+  const MetricsConfig cfg{.top_n = 2};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  EXPECT_NEAR(m.coverage, 3.0 / 4.0, 1e-12);
+}
+
+TEST(MetricsTest, GiniZeroWhenUniform) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {0, 1};
+  topn[1] = {2, 3};
+  const MetricsConfig cfg{.top_n = 2};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  EXPECT_NEAR(m.gini, 0.0, 1e-12);  // every item recommended exactly once
+}
+
+TEST(MetricsTest, GiniHighWhenConcentrated) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  for (int u = 0; u < 10; ++u) topn[static_cast<size_t>(u)] = {0};
+  const MetricsConfig cfg{.top_n = 1};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  EXPECT_NEAR(m.gini, 0.75, 1e-12);  // all mass on 1 of 4 items
+}
+
+TEST(MetricsTest, StratRecallWeightsRareHits) {
+  Fixture f;
+  // User 0's relevant items: 1 (pop 1) and 2 (pop 1). User 1's: 0 (pop 8).
+  // Denominator = 2 * 1 + (1/8)^0.5.
+  const double denom = 2.0 + std::pow(1.0 / 8.0, 0.5);
+  {
+    auto topn = EmptyLists(10);
+    topn[0] = {1};  // rare hit
+    const MetricsConfig cfg{.top_n = 1};
+    const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+    EXPECT_NEAR(m.strat_recall, 1.0 / denom, 1e-9);
+  }
+  {
+    auto topn = EmptyLists(10);
+    topn[1] = {0};  // popular hit counts far less
+    const MetricsConfig cfg{.top_n = 1};
+    const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+    EXPECT_NEAR(m.strat_recall, std::pow(1.0 / 8.0, 0.5) / denom, 1e-9);
+  }
+}
+
+TEST(MetricsTest, NdcgOneForPerfectRanking) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {1, 2};
+  const MetricsConfig cfg{.top_n = 2};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  // Users with relevant items: user 0 (ndcg 1) and user 1 (ndcg 0).
+  EXPECT_NEAR(m.ndcg, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, ListsTruncatedToN) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {3, 1, 2};  // only first item counts at N=1
+  const MetricsConfig cfg{.top_n = 1};
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);  // item 3 is not relevant
+}
+
+TEST(MetricsTest, RelevanceThresholdConfigurable) {
+  Fixture f;
+  auto topn = EmptyLists(10);
+  topn[0] = {3};  // rated 2.0
+  MetricsConfig cfg{.top_n = 1};
+  cfg.relevance_threshold = 2.0;
+  const auto m = EvaluateTopN(f.train, f.test, topn, cfg);
+  EXPECT_GT(m.precision, 0.0);
+}
+
+TEST(MetricsRowTest, FormatsFiveColumns) {
+  MetricsReport r;
+  r.f_measure = 0.12345;
+  const auto row = MetricsRow(r, 3);
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], "0.123");
+}
+
+TEST(AverageRanksTest, TableIVRanking) {
+  MetricsReport a, b;
+  a.f_measure = 0.2;   // rank 1
+  b.f_measure = 0.1;   // rank 2
+  a.strat_recall = 0.1;
+  b.strat_recall = 0.1;  // tie -> both rank 1
+  a.lt_accuracy = 0.3;
+  b.lt_accuracy = 0.5;  // b rank 1
+  a.coverage = 0.4;
+  b.coverage = 0.6;     // b rank 1
+  a.gini = 0.9;
+  b.gini = 0.8;         // lower wins -> b rank 1
+  const auto ranks = AverageRanks({a, b});
+  EXPECT_NEAR(ranks[0], (1 + 1 + 2 + 2 + 2) / 5.0, 1e-12);
+  EXPECT_NEAR(ranks[1], (2 + 1 + 1 + 1 + 1) / 5.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyTestSetSafe) {
+  Fixture f;
+  RatingDatasetBuilder b(10, 4);
+  auto empty = std::move(b).Build();
+  ASSERT_TRUE(empty.ok());
+  auto topn = EmptyLists(10);
+  topn[0] = {0};
+  const MetricsConfig cfg{.top_n = 1};
+  const auto m = EvaluateTopN(f.train, *empty, topn, cfg);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.strat_recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_GT(m.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,90 @@
+#include "eval/novelty_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "recommender/pop.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+RatingDataset Ladder() {
+  // Popularity: item 0 -> 3, item 1 -> 1, item 2 -> 0.
+  RatingDatasetBuilder b(3, 3);
+  EXPECT_TRUE(b.Add(0, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(1, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(2, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(0, 1, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(EpcTest, ExtremesAreZeroAndOne) {
+  const RatingDataset ds = Ladder();
+  // Only the most popular item (normalized pop 1) -> EPC 0.
+  EXPECT_NEAR(ExpectedPopularityComplement(ds, {{0}, {0}, {0}}, 1), 0.0,
+              1e-12);
+  // Only the never-rated item (normalized pop 0) -> EPC 1.
+  EXPECT_NEAR(ExpectedPopularityComplement(ds, {{2}, {2}, {2}}, 1), 1.0,
+              1e-12);
+}
+
+TEST(EpcTest, MidValue) {
+  const RatingDataset ds = Ladder();
+  // Item 1: pop 1 of max 3 -> normalized 1/3 -> EPC = 2/3.
+  EXPECT_NEAR(ExpectedPopularityComplement(ds, {{1}, {}, {}}, 1), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(EntropyTest, SingleItemIsZero) {
+  const RatingDataset ds = Ladder();
+  EXPECT_NEAR(RecommendationEntropy(ds, {{0}, {0}, {0}}, 1), 0.0, 1e-12);
+}
+
+TEST(EntropyTest, UniformIsOne) {
+  const RatingDataset ds = Ladder();
+  EXPECT_NEAR(RecommendationEntropy(ds, {{0}, {1}, {2}}, 1), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, EmptyCollectionIsZero) {
+  const RatingDataset ds = Ladder();
+  EXPECT_DOUBLE_EQ(RecommendationEntropy(ds, {{}, {}, {}}, 5), 0.0);
+}
+
+TEST(MeanPopTest, ExactAverage) {
+  const RatingDataset ds = Ladder();
+  // Items 0 (pop 3) and 1 (pop 1): mean 2.
+  EXPECT_NEAR(MeanRecommendedPopularity(ds, {{0, 1}, {}, {}}, 2), 2.0, 1e-12);
+}
+
+TEST(NoveltyMetricsTest, PopVsRandOrdering) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*ds).ok());
+  RandomRecommender rnd(19);
+  ASSERT_TRUE(rnd.Fit(*ds).ok());
+  const auto pop_topn = RecommendAllUsers(pop, *ds, 5);
+  const auto rnd_topn = RecommendAllUsers(rnd, *ds, 5);
+  EXPECT_LT(ExpectedPopularityComplement(*ds, pop_topn, 5),
+            ExpectedPopularityComplement(*ds, rnd_topn, 5));
+  EXPECT_LT(RecommendationEntropy(*ds, pop_topn, 5),
+            RecommendationEntropy(*ds, rnd_topn, 5));
+  EXPECT_GT(MeanRecommendedPopularity(*ds, pop_topn, 5),
+            MeanRecommendedPopularity(*ds, rnd_topn, 5));
+}
+
+TEST(NoveltyMetricsTest, TruncationToN) {
+  const RatingDataset ds = Ladder();
+  // List longer than N: only the first slot counts.
+  EXPECT_NEAR(ExpectedPopularityComplement(ds, {{0, 2}, {}, {}}, 1), 0.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ganc

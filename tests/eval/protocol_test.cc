@@ -1,0 +1,112 @@
+#include "eval/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/random_rec.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 120;
+    spec.num_items = 150;
+    spec.mean_activity = 20.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 13});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+  }
+};
+
+TEST(ProtocolTest, Names) {
+  EXPECT_EQ(RankingProtocolName(RankingProtocol::kAllUnrated),
+            "all-unrated-items");
+  EXPECT_EQ(RankingProtocolName(RankingProtocol::kRatedTestItems),
+            "rated-test-items");
+}
+
+TEST(ProtocolTest, AllUnratedExcludesTrainItems) {
+  Fixture f;
+  RandomRecommender rec(1);
+  ASSERT_TRUE(rec.Fit(f.train).ok());
+  const auto topn = BuildTopN(rec, f.train, f.test, 5,
+                              RankingProtocol::kAllUnrated);
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    for (ItemId i : topn[static_cast<size_t>(u)]) {
+      EXPECT_FALSE(f.train.HasRating(u, i));
+    }
+  }
+}
+
+TEST(ProtocolTest, RatedTestRestrictsToTestItems) {
+  Fixture f;
+  RandomRecommender rec(2);
+  ASSERT_TRUE(rec.Fit(f.train).ok());
+  const auto topn = BuildTopN(rec, f.train, f.test, 5,
+                              RankingProtocol::kRatedTestItems);
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    for (ItemId i : topn[static_cast<size_t>(u)]) {
+      EXPECT_TRUE(f.test.HasRating(u, i));
+    }
+  }
+}
+
+TEST(ProtocolTest, RatedTestInflatesRandomAccuracy) {
+  // The Appendix C bias: Rand looks far more accurate when ranking only
+  // the user's observed test items.
+  Fixture f;
+  RandomRecommender rec(3);
+  ASSERT_TRUE(rec.Fit(f.train).ok());
+  const MetricsConfig cfg{.top_n = 5};
+  const auto honest = EvaluateTopN(
+      f.train, f.test,
+      BuildTopN(rec, f.train, f.test, 5, RankingProtocol::kAllUnrated), cfg);
+  const auto biased = EvaluateTopN(
+      f.train, f.test,
+      BuildTopN(rec, f.train, f.test, 5, RankingProtocol::kRatedTestItems),
+      cfg);
+  EXPECT_GT(biased.precision, 3.0 * honest.precision);
+}
+
+TEST(ProtocolTest, EmptyTestProfileGivesEmptyList) {
+  RatingDatasetBuilder tb(2, 5);
+  ASSERT_TRUE(tb.Add(0, 0, 4.0f).ok());
+  ASSERT_TRUE(tb.Add(1, 1, 4.0f).ok());
+  auto train = std::move(tb).Build();
+  ASSERT_TRUE(train.ok());
+  RatingDatasetBuilder sb(2, 5);
+  ASSERT_TRUE(sb.Add(0, 2, 4.0f).ok());  // user 1 has no test items
+  auto test = std::move(sb).Build();
+  ASSERT_TRUE(test.ok());
+  RandomRecommender rec(4);
+  ASSERT_TRUE(rec.Fit(*train).ok());
+  const auto topn =
+      BuildTopN(rec, *train, *test, 3, RankingProtocol::kRatedTestItems);
+  EXPECT_EQ(topn[0].size(), 1u);
+  EXPECT_TRUE(topn[1].empty());
+}
+
+TEST(ProtocolTest, ParallelMatchesSerial) {
+  Fixture f;
+  RandomRecommender rec(5);
+  ASSERT_TRUE(rec.Fit(f.train).ok());
+  const auto serial =
+      BuildTopN(rec, f.train, f.test, 5, RankingProtocol::kAllUnrated);
+  ThreadPool pool(4);
+  const auto parallel = BuildTopN(rec, f.train, f.test, 5,
+                                  RankingProtocol::kAllUnrated, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,90 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "recommender/pop.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 120;
+    spec.num_items = 150;
+    spec.mean_activity = 20.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 14});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+  }
+};
+
+TEST(RunnerTest, RunsEntriesAndRanksThem) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  RandomRecommender rnd(1);
+  ASSERT_TRUE(rnd.Fit(f.train).ok());
+
+  const std::vector<AlgorithmEntry> entries = {
+      {"Pop", [&] { return RecommendAllUsers(pop, f.train, 5); }},
+      {"Rand", [&] { return RecommendAllUsers(rnd, f.train, 5); }},
+  };
+  const MetricsConfig cfg{.top_n = 5};
+  const auto results = RunComparison(entries, f.train, f.test, cfg);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "Pop");
+  // Pop should win accuracy; Rand should win coverage.
+  EXPECT_GT(results[0].metrics.f_measure, results[1].metrics.f_measure);
+  EXPECT_GT(results[1].metrics.coverage, results[0].metrics.coverage);
+  // Average ranks are in [1, 2].
+  for (const auto& r : results) {
+    EXPECT_GE(r.avg_rank, 1.0);
+    EXPECT_LE(r.avg_rank, 2.0);
+    EXPECT_GE(r.seconds, 0.0);
+  }
+}
+
+TEST(RunnerTest, ComparisonTableRendersAllRows) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  const std::vector<AlgorithmEntry> entries = {
+      {"Pop", [&] { return RecommendAllUsers(pop, f.train, 5); }},
+  };
+  const auto results =
+      RunComparison(entries, f.train, f.test, MetricsConfig{.top_n = 5});
+  const std::string table = ComparisonTable(results, 5).ToString();
+  EXPECT_NE(table.find("Pop"), std::string::npos);
+  EXPECT_NE(table.find("F@5"), std::string::npos);
+  EXPECT_NE(table.find("Score"), std::string::npos);
+}
+
+TEST(MeanReportTest, AveragesElementwise) {
+  MetricsReport a, b;
+  a.f_measure = 0.2;
+  b.f_measure = 0.4;
+  a.coverage = 1.0;
+  b.coverage = 0.0;
+  const auto mean = MeanReport({a, b});
+  EXPECT_DOUBLE_EQ(mean.f_measure, 0.3);
+  EXPECT_DOUBLE_EQ(mean.coverage, 0.5);
+}
+
+TEST(MeanReportTest, EmptyInputSafe) {
+  const auto mean = MeanReport({});
+  EXPECT_DOUBLE_EQ(mean.f_measure, 0.0);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,123 @@
+#include "eval/sampled_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "data/binarize.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "recommender/bpr.h"
+#include "recommender/pop.h"
+#include "recommender/random_rec.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 200;
+    spec.num_items = 250;
+    spec.mean_activity = 30.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.7, .seed = 40});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+  }
+};
+
+TEST(SampledRankingTest, RandomModelNearTheoreticalHitRate) {
+  // With uniform scores, P(rank < N) = N / (negatives + 1).
+  Fixture f;
+  RandomRecommender rnd(3);
+  ASSERT_TRUE(rnd.Fit(f.train).ok());
+  auto report = EvaluateSampledRanking(
+      rnd, f.train, f.test, {.top_n = 10, .num_negatives = 99, .seed = 4});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->evaluated_positives, 500);
+  EXPECT_NEAR(report->hit_rate, 0.1, 0.03);
+}
+
+TEST(SampledRankingTest, PopBeatsRandom) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  RandomRecommender rnd(5);
+  ASSERT_TRUE(rnd.Fit(f.train).ok());
+  SampledRankingOptions opts{.top_n = 10, .num_negatives = 99, .seed = 6};
+  auto pop_r = EvaluateSampledRanking(pop, f.train, f.test, opts);
+  auto rnd_r = EvaluateSampledRanking(rnd, f.train, f.test, opts);
+  ASSERT_TRUE(pop_r.ok());
+  ASSERT_TRUE(rnd_r.ok());
+  EXPECT_GT(pop_r->hit_rate, 2.0 * rnd_r->hit_rate);
+  EXPECT_GT(pop_r->ndcg, rnd_r->ndcg);
+}
+
+TEST(SampledRankingTest, BprOnBinarizedDataBeatsRandom) {
+  Fixture f;
+  auto bin_train = Binarize(f.train);
+  ASSERT_TRUE(bin_train.ok());
+  BprRecommender bpr({.num_factors = 16, .num_epochs = 20});
+  ASSERT_TRUE(bpr.Fit(*bin_train).ok());
+  auto report = EvaluateSampledRanking(
+      bpr, *bin_train, f.test, {.top_n = 10, .num_negatives = 99, .seed = 7});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->hit_rate, 0.2);  // chance level is 0.1
+}
+
+TEST(SampledRankingTest, MaxPositivesCapRespected) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  auto report = EvaluateSampledRanking(
+      pop, f.train, f.test,
+      {.top_n = 10, .num_negatives = 20, .max_positives = 50, .seed = 8});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->evaluated_positives, 50 + 50);  // per-user block slack
+}
+
+TEST(SampledRankingTest, DeterministicPerSeed) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  SampledRankingOptions opts{.top_n = 5, .num_negatives = 50, .seed = 9};
+  auto a = EvaluateSampledRanking(pop, f.train, f.test, opts);
+  auto b = EvaluateSampledRanking(pop, f.train, f.test, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->hit_rate, b->hit_rate);
+  EXPECT_DOUBLE_EQ(a->ndcg, b->ndcg);
+}
+
+TEST(SampledRankingTest, InvalidOptionsRejected) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  EXPECT_FALSE(EvaluateSampledRanking(pop, f.train, f.test,
+                                      {.top_n = 0, .num_negatives = 10})
+                   .ok());
+  EXPECT_FALSE(EvaluateSampledRanking(pop, f.train, f.test,
+                                      {.top_n = 5, .num_negatives = 0})
+                   .ok());
+}
+
+TEST(SampledRankingTest, EmptyTestGivesZeroPositives) {
+  Fixture f;
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(f.train).ok());
+  RatingDatasetBuilder b(f.train.num_users(), f.train.num_items());
+  auto empty = std::move(b).Build();
+  ASSERT_TRUE(empty.ok());
+  auto report = EvaluateSampledRanking(pop, f.train, *empty,
+                                       {.top_n = 5, .num_negatives = 10});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->evaluated_positives, 0);
+  EXPECT_DOUBLE_EQ(report->hit_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,349 @@
+// Parameterized property tests: framework invariants swept across the
+// configuration space with TEST_P / INSTANTIATE_TEST_SUITE_P, per the
+// paper's definitions rather than any single fixture's numbers.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/ganc.h"
+#include "core/preference.h"
+#include "data/longtail.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/pop.h"
+#include "recommender/psvd.h"
+#include "util/stats.h"
+
+namespace ganc {
+namespace {
+
+// Shared fixture data (built once; parameterized tests only read it).
+struct World {
+  RatingDataset train;
+  RatingDataset test;
+  PsvdRecommender psvd{{.num_factors = 8}};
+  std::unique_ptr<NormalizedAccuracyScorer> scorer;
+
+  World() {
+    auto spec = TinySpec();
+    spec.num_users = 200;
+    spec.num_items = 220;
+    spec.mean_activity = 28.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 30});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+    EXPECT_TRUE(psvd.Fit(train).ok());
+    scorer = std::make_unique<NormalizedAccuracyScorer>(&psvd);
+  }
+};
+
+const World& GetWorld() {
+  static const World* world = new World();
+  return *world;
+}
+
+// ---------------------------------------------------------------------------
+// GANC output invariants across (coverage kind, theta model, N).
+
+using GancParam = std::tuple<CoverageKind, PreferenceModel, int>;
+
+class GancInvariantTest : public ::testing::TestWithParam<GancParam> {};
+
+TEST_P(GancInvariantTest, ListsAreValidAndComplete) {
+  const auto& [kind, model, n] = GetParam();
+  const World& w = GetWorld();
+  auto theta = ComputePreference(model, w.train);
+  ASSERT_TRUE(theta.ok());
+  Ganc ganc(w.scorer.get(), *theta, kind);
+  GancConfig cfg;
+  cfg.top_n = n;
+  cfg.sample_size = 40;
+  auto topn = ganc.RecommendAll(w.train, cfg);
+  ASSERT_TRUE(topn.ok());
+  ASSERT_EQ(topn->size(), static_cast<size_t>(w.train.num_users()));
+  for (UserId u = 0; u < w.train.num_users(); ++u) {
+    const auto& pu = (*topn)[static_cast<size_t>(u)];
+    // Exactly N items (the catalog always has enough unseen items here).
+    EXPECT_EQ(pu.size(), static_cast<size_t>(n));
+    // Distinct, in-range, and unseen.
+    std::set<ItemId> uniq(pu.begin(), pu.end());
+    EXPECT_EQ(uniq.size(), pu.size());
+    for (ItemId i : pu) {
+      EXPECT_GE(i, 0);
+      EXPECT_LT(i, w.train.num_items());
+      EXPECT_FALSE(w.train.HasRating(u, i));
+    }
+  }
+}
+
+TEST_P(GancInvariantTest, DeterministicAcrossRuns) {
+  const auto& [kind, model, n] = GetParam();
+  const World& w = GetWorld();
+  auto theta = ComputePreference(model, w.train);
+  ASSERT_TRUE(theta.ok());
+  Ganc ganc(w.scorer.get(), *theta, kind);
+  GancConfig cfg;
+  cfg.top_n = n;
+  cfg.sample_size = 40;
+  cfg.seed = 99;
+  auto a = ganc.RecommendAll(w.train, cfg);
+  auto b = ganc.RecommendAll(w.train, cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCoverageThetaN, GancInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(CoverageKind::kRand, CoverageKind::kStat,
+                          CoverageKind::kDyn),
+        ::testing::Values(PreferenceModel::kNormalized,
+                          PreferenceModel::kTfidf,
+                          PreferenceModel::kGeneralized,
+                          PreferenceModel::kConstant),
+        ::testing::Values(1, 5, 20)),
+    [](const ::testing::TestParamInfo<GancParam>& info) {
+      return CoverageKindName(std::get<0>(info.param)) +
+             PreferenceModelName(std::get<1>(info.param)) + "N" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Metric invariants across N.
+
+class MetricsInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsInvariantTest, AllMetricsInValidRanges) {
+  const int n = GetParam();
+  const World& w = GetWorld();
+  const auto topn = RecommendAllUsers(w.psvd, w.train, n);
+  const auto m = EvaluateTopN(w.train, w.test, topn,
+                              MetricsConfig{.top_n = n});
+  EXPECT_GE(m.precision, 0.0);
+  EXPECT_LE(m.precision, 1.0);
+  EXPECT_GE(m.recall, 0.0);
+  EXPECT_LE(m.recall, 1.0);
+  EXPECT_GE(m.f_measure, 0.0);
+  EXPECT_LE(m.f_measure, 0.5);  // P*R/(P+R) <= min(P,R)/2... <= 0.5
+  EXPECT_GE(m.lt_accuracy, 0.0);
+  EXPECT_LE(m.lt_accuracy, 1.0);
+  EXPECT_GE(m.strat_recall, 0.0);
+  EXPECT_LE(m.strat_recall, 1.0 + 1e-9);
+  EXPECT_GE(m.coverage, 0.0);
+  EXPECT_LE(m.coverage, 1.0);
+  EXPECT_GE(m.gini, 0.0);
+  EXPECT_LE(m.gini, 1.0);
+  EXPECT_GE(m.ndcg, 0.0);
+  EXPECT_LE(m.ndcg, 1.0 + 1e-9);
+}
+
+TEST_P(MetricsInvariantTest, RecallMonotoneInN) {
+  const int n = GetParam();
+  if (n >= 20) return;
+  const World& w = GetWorld();
+  // Same ranking, evaluated at N and a larger N: recall and coverage can
+  // only grow (lists are prefixes of the larger ranking).
+  const auto big = RecommendAllUsers(w.psvd, w.train, 25);
+  const auto m_small = EvaluateTopN(w.train, w.test, big,
+                                    MetricsConfig{.top_n = n});
+  const auto m_large = EvaluateTopN(w.train, w.test, big,
+                                    MetricsConfig{.top_n = n + 5});
+  EXPECT_GE(m_large.recall, m_small.recall - 1e-12);
+  EXPECT_GE(m_large.coverage, m_small.coverage - 1e-12);
+  EXPECT_GE(m_large.strat_recall, m_small.strat_recall - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(NSweep, MetricsInvariantTest,
+                         ::testing::Values(1, 3, 5, 10, 20));
+
+// ---------------------------------------------------------------------------
+// Split invariants across kappa.
+
+class SplitInvariantTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitInvariantTest, PartitionAndRatioHold) {
+  const double kappa = GetParam();
+  const World& w = GetWorld();
+  // Re-split the union of train+test (the original dataset's ratings).
+  RatingDatasetBuilder b(w.train.num_users(), w.train.num_items());
+  for (const Rating& r : w.train.ratings()) {
+    ASSERT_TRUE(b.Add(r.user, r.item, r.value).ok());
+  }
+  for (const Rating& r : w.test.ratings()) {
+    ASSERT_TRUE(b.Add(r.user, r.item, r.value).ok());
+  }
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = kappa, .seed = 31});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_ratings() + split->test.num_ratings(),
+            ds->num_ratings());
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    const double total = static_cast<double>(ds->Activity(u));
+    if (total == 0) continue;
+    EXPECT_NEAR(split->train.Activity(u), std::llround(kappa * total), 1.0);
+    EXPECT_GE(split->train.Activity(u), 1);
+  }
+  // Disjointness spot check.
+  for (int64_t k = 0; k < std::min<int64_t>(200, split->test.num_ratings());
+       ++k) {
+    const Rating& r = split->test.ratings()[static_cast<size_t>(k)];
+    EXPECT_FALSE(split->train.HasRating(r.user, r.item));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KappaSweep, SplitInvariantTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+// ---------------------------------------------------------------------------
+// Synthetic generator invariants across spec variations.
+
+struct SpecVariation {
+  const char* label;
+  double zipf;
+  double sigma;
+  int32_t min_activity;
+  double step;
+};
+
+class SyntheticInvariantTest
+    : public ::testing::TestWithParam<SpecVariation> {};
+
+TEST_P(SyntheticInvariantTest, StructuralInvariantsHold) {
+  const SpecVariation& v = GetParam();
+  auto spec = TinySpec();
+  spec.num_users = 120;
+  spec.num_items = 200;
+  spec.mean_activity = 20.0;
+  spec.zipf_exponent = v.zipf;
+  spec.activity_sigma = v.sigma;
+  spec.min_activity = v.min_activity;
+  spec.rating_step = v.step;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), spec.num_users);
+  EXPECT_EQ(ds->num_items(), spec.num_items);
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    EXPECT_GE(ds->Activity(u), spec.min_activity);
+  }
+  for (const Rating& r : ds->ratings()) {
+    EXPECT_GE(r.value, spec.rating_min);
+    EXPECT_LE(r.value, spec.rating_max);
+    const double steps = (r.value - spec.rating_min) / spec.rating_step;
+    EXPECT_NEAR(steps, std::round(steps), 1e-4);
+  }
+  // Determinism.
+  auto again = GenerateSynthetic(spec);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_ratings(), ds->num_ratings());
+}
+
+TEST_P(SyntheticInvariantTest, PopularityActivityAnticorrelation) {
+  const SpecVariation& v = GetParam();
+  if (v.sigma < 0.5) return;  // needs activity spread to measure
+  auto spec = TinySpec();
+  spec.num_users = 300;
+  spec.num_items = 400;
+  spec.mean_activity = 25.0;
+  spec.zipf_exponent = v.zipf;
+  spec.activity_sigma = v.sigma;
+  spec.min_activity = v.min_activity;
+  spec.rating_step = v.step;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  std::vector<double> activity, avg_pop;
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    const auto& row = ds->ItemsOf(u);
+    if (row.empty()) continue;
+    double acc = 0.0;
+    for (const ItemRating& ir : row) {
+      acc += static_cast<double>(ds->Popularity(ir.item));
+    }
+    activity.push_back(static_cast<double>(row.size()));
+    avg_pop.push_back(acc / static_cast<double>(row.size()));
+  }
+  EXPECT_LT(SpearmanCorrelation(activity, avg_pop), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecSweep, SyntheticInvariantTest,
+    ::testing::Values(SpecVariation{"mild", 0.8, 0.8, 5, 1.0},
+                      SpecVariation{"skewed", 1.6, 1.0, 5, 1.0},
+                      SpecVariation{"sparseusers", 1.2, 1.4, 4, 1.0},
+                      SpecVariation{"halfstar", 1.2, 1.0, 10, 0.5},
+                      SpecVariation{"tenlevels", 1.0, 0.9, 6, 0.4}),
+    [](const ::testing::TestParamInfo<SpecVariation>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// Preference model invariants across models.
+
+class PreferenceInvariantTest
+    : public ::testing::TestWithParam<PreferenceModel> {};
+
+TEST_P(PreferenceInvariantTest, UnitRangeAndSizeAndDeterminism) {
+  const PreferenceModel model = GetParam();
+  const World& w = GetWorld();
+  auto a = ComputePreference(model, w.train, 77, 0.4);
+  auto b = ComputePreference(model, w.train, 77, 0.4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->size(), static_cast<size_t>(w.train.num_users()));
+  for (double t : *a) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+    EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, PreferenceInvariantTest,
+    ::testing::Values(PreferenceModel::kActivity, PreferenceModel::kNormalized,
+                      PreferenceModel::kTfidf, PreferenceModel::kGeneralized,
+                      PreferenceModel::kRandom, PreferenceModel::kConstant),
+    [](const ::testing::TestParamInfo<PreferenceModel>& info) {
+      return PreferenceModelName(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Gini/coverage coupling: for a fixed collection shape, pushing more mass
+// onto fewer items must raise gini and lower coverage.
+
+class ConcentrationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcentrationTest, ConcentrationRaisesGini) {
+  const int distinct = GetParam();
+  const World& w = GetWorld();
+  // Everyone gets items 0..N-1 from a pool of `distinct` items.
+  std::vector<std::vector<ItemId>> topn(
+      static_cast<size_t>(w.train.num_users()));
+  for (UserId u = 0; u < w.train.num_users(); ++u) {
+    for (int k = 0; k < 5; ++k) {
+      topn[static_cast<size_t>(u)].push_back(
+          static_cast<ItemId>((u + k) % distinct));
+    }
+  }
+  const auto m = EvaluateTopN(w.train, w.test, topn,
+                              MetricsConfig{.top_n = 5});
+  EXPECT_NEAR(m.coverage,
+              static_cast<double>(std::min(distinct, w.train.num_items())) /
+                  static_cast<double>(w.train.num_items()),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSweep, ConcentrationTest,
+                         ::testing::Values(5, 20, 80, 200));
+
+}  // namespace
+}  // namespace ganc

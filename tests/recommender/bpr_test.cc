@@ -1,0 +1,97 @@
+#include "recommender/bpr.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace ganc {
+namespace {
+
+BprConfig FastConfig() {
+  BprConfig c;
+  c.num_factors = 16;
+  c.num_epochs = 25;
+  return c;
+}
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 250;
+    spec.num_items = 250;
+    spec.mean_activity = 35.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.7, .seed = 6});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+  }
+};
+
+TEST(BprTest, FitsAndScores) {
+  Fixture f;
+  BprRecommender bpr(FastConfig());
+  ASSERT_TRUE(bpr.Fit(f.train).ok());
+  EXPECT_EQ(bpr.ScoreAll(0).size(), static_cast<size_t>(f.train.num_items()));
+  EXPECT_EQ(bpr.name(), "BPR");
+}
+
+TEST(BprTest, PairwiseAccuracyBeatsChance) {
+  // BPR's objective is exactly pairwise ranking: held-out positives must
+  // outrank random unseen items clearly more than 50% of the time.
+  Fixture f;
+  BprRecommender bpr(FastConfig());
+  ASSERT_TRUE(bpr.Fit(f.train).ok());
+  const double auc = bpr.PairwiseAccuracy(f.train, f.test, 4000, 3);
+  EXPECT_GT(auc, 0.62);
+}
+
+TEST(BprTest, TrainPositivesOutrankUnseen) {
+  Fixture f;
+  BprRecommender bpr(FastConfig());
+  ASSERT_TRUE(bpr.Fit(f.train).ok());
+  int correct = 0, total = 0;
+  Rng rng(7);
+  for (int t = 0; t < 2000; ++t) {
+    const Rating& pos = f.train.ratings()[static_cast<size_t>(
+        rng.UniformInt(f.train.ratings().size()))];
+    const ItemId j = static_cast<ItemId>(
+        rng.UniformInt(static_cast<uint64_t>(f.train.num_items())));
+    if (f.train.HasRating(pos.user, j)) continue;
+    const auto s = bpr.ScoreAll(pos.user);
+    ++total;
+    if (s[static_cast<size_t>(pos.item)] > s[static_cast<size_t>(j)]) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.75);
+}
+
+TEST(BprTest, DeterministicPerSeed) {
+  Fixture f;
+  BprRecommender a(FastConfig()), b(FastConfig());
+  ASSERT_TRUE(a.Fit(f.train).ok());
+  ASSERT_TRUE(b.Fit(f.train).ok());
+  EXPECT_EQ(a.ScoreAll(5), b.ScoreAll(5));
+}
+
+TEST(BprTest, InvalidConfigAndEmptyDataRejected) {
+  Fixture f;
+  BprConfig c = FastConfig();
+  c.num_factors = 0;
+  EXPECT_FALSE(BprRecommender(c).Fit(f.train).ok());
+  RatingDatasetBuilder b(3, 3);
+  auto empty = std::move(b).Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(BprRecommender(FastConfig()).Fit(*empty).ok());
+}
+
+}  // namespace
+}  // namespace ganc

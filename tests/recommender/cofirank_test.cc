@@ -1,0 +1,102 @@
+#include "recommender/cofirank.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+CofiConfig FastConfig() {
+  CofiConfig c;
+  c.num_factors = 8;
+  c.num_epochs = 40;
+  return c;
+}
+
+TEST(CofiTest, FitsAndScores) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  CofiRecommender cofi(FastConfig());
+  ASSERT_TRUE(cofi.Fit(*ds).ok());
+  EXPECT_EQ(cofi.ScoreAll(0).size(), static_cast<size_t>(ds->num_items()));
+}
+
+TEST(CofiTest, NameIncludesFactors) {
+  EXPECT_EQ(CofiRecommender(FastConfig()).name(), "CofiR8");
+  EXPECT_EQ(CofiRecommender(CofiConfig{}).name(), "CofiR100");
+}
+
+TEST(CofiTest, LearnsRelativePreferences) {
+  // The model regresses per-user normalized ratings: a user's top-rated
+  // train item should usually outscore their bottom-rated one.
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  CofiRecommender cofi(FastConfig());
+  ASSERT_TRUE(cofi.Fit(*ds).ok());
+  int correct = 0, total = 0;
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    const auto& row = ds->ItemsOf(u);
+    if (row.size() < 2) continue;
+    const ItemRating* best = &row[0];
+    const ItemRating* worst = &row[0];
+    for (const ItemRating& ir : row) {
+      if (ir.value > best->value) best = &ir;
+      if (ir.value < worst->value) worst = &ir;
+    }
+    if (best->value == worst->value) continue;
+    const auto s = cofi.ScoreAll(u);
+    ++total;
+    if (s[static_cast<size_t>(best->item)] >
+        s[static_cast<size_t>(worst->item)]) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GE(static_cast<double>(correct) / total, 0.65);
+}
+
+TEST(CofiTest, BeatsRandomOnHeldOutRanking) {
+  auto spec = TinySpec();
+  spec.num_users = 250;
+  spec.num_items = 300;
+  spec.mean_activity = 40.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 3});
+  ASSERT_TRUE(split.ok());
+  CofiRecommender cofi(FastConfig());
+  ASSERT_TRUE(cofi.Fit(split->train).ok());
+  RandomRecommender rnd(9);
+  ASSERT_TRUE(rnd.Fit(split->train).ok());
+  const MetricsConfig cfg{.top_n = 5};
+  const auto cofi_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(cofi, split->train, 5), cfg);
+  const auto rnd_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(rnd, split->train, 5), cfg);
+  EXPECT_GT(cofi_m.recall, 1.5 * rnd_m.recall);
+}
+
+TEST(CofiTest, DeterministicPerSeed) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  CofiRecommender a(FastConfig()), b(FastConfig());
+  ASSERT_TRUE(a.Fit(*ds).ok());
+  ASSERT_TRUE(b.Fit(*ds).ok());
+  EXPECT_EQ(a.ScoreAll(2), b.ScoreAll(2));
+}
+
+TEST(CofiTest, InvalidConfigRejected) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  CofiConfig c;
+  c.num_factors = -1;
+  EXPECT_FALSE(CofiRecommender(c).Fit(*ds).ok());
+}
+
+}  // namespace
+}  // namespace ganc

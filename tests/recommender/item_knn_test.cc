@@ -1,0 +1,102 @@
+#include "recommender/item_knn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+TEST(ItemKnnTest, CoRatedItemsAreNeighbors) {
+  // Items 0 and 1 are always co-rated; item 2 never co-occurs with them.
+  RatingDatasetBuilder b(4, 3);
+  for (UserId u = 0; u < 3; ++u) {
+    ASSERT_TRUE(b.Add(u, 0, 5.0f).ok());
+    ASSERT_TRUE(b.Add(u, 1, 5.0f).ok());
+  }
+  ASSERT_TRUE(b.Add(3, 2, 5.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  ItemKnnRecommender knn({.num_neighbors = 5});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  // User 3 rated item 2 only; items 0 and 1 have no shared users -> score 0.
+  const auto s3 = knn.ScoreAll(3);
+  EXPECT_DOUBLE_EQ(s3[0], 0.0);
+  EXPECT_DOUBLE_EQ(s3[1], 0.0);
+  // A user who rated item 0 should see item 1 strongly.
+  RatingDatasetBuilder b2(1, 3);
+  ASSERT_TRUE(b2.Add(0, 0, 5.0f).ok());
+  // (fit stays on ds; score for user 0 of ds who rated 0 and 1)
+  const auto s0 = knn.ScoreAll(0);
+  EXPECT_GT(s0[1], 0.0);
+}
+
+TEST(ItemKnnTest, ScoreZeroForIsolatedUser) {
+  RatingDatasetBuilder b(2, 4);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 3, 4.0f).ok());  // user 1 shares nothing
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  ItemKnnRecommender knn({.num_neighbors = 3});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  const auto s = knn.ScoreAll(1);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(ItemKnnTest, NeighborTruncationBounded) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  ItemKnnRecommender knn({.num_neighbors = 3});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  // Scores exist and are finite.
+  const auto s = knn.ScoreAll(0);
+  for (double v : s) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ItemKnnTest, BeatsRandomOnHeldOut) {
+  auto spec = TinySpec();
+  spec.num_users = 250;
+  spec.num_items = 250;
+  spec.mean_activity = 35.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 4});
+  ASSERT_TRUE(split.ok());
+  ItemKnnRecommender knn({.num_neighbors = 30});
+  ASSERT_TRUE(knn.Fit(split->train).ok());
+  RandomRecommender rnd(11);
+  ASSERT_TRUE(rnd.Fit(split->train).ok());
+  const MetricsConfig cfg{.top_n = 5};
+  const auto knn_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(knn, split->train, 5), cfg);
+  const auto rnd_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(rnd, split->train, 5), cfg);
+  EXPECT_GT(knn_m.recall, 1.5 * rnd_m.recall);
+}
+
+TEST(ItemKnnTest, MaxProfileSubsamplingStillWorks) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  ItemKnnRecommender knn({.num_neighbors = 5, .max_profile = 4});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  const auto s = knn.ScoreAll(0);
+  EXPECT_EQ(s.size(), static_cast<size_t>(ds->num_items()));
+}
+
+TEST(ItemKnnTest, InvalidConfigRejected) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(ItemKnnRecommender({.num_neighbors = 0}).Fit(*ds).ok());
+}
+
+}  // namespace
+}  // namespace ganc

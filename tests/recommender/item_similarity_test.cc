@@ -1,0 +1,80 @@
+#include "recommender/item_similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+TEST(ItemSimilarityTest, PerfectCoRatingGivesCosineOne) {
+  // Items 0 and 1 rated identically by the same three users.
+  RatingDatasetBuilder b(3, 3);
+  for (UserId u = 0; u < 3; ++u) {
+    ASSERT_TRUE(b.Add(u, 0, 4.0f).ok());
+    ASSERT_TRUE(b.Add(u, 1, 4.0f).ok());
+  }
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  ItemSimilarityIndex index(*ds, 10, 512, 1);
+  EXPECT_NEAR(index.Similarity(0, 1), 1.0f, 1e-6);
+  EXPECT_NEAR(index.Similarity(1, 0), 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(index.Similarity(0, 2), 0.0f);
+}
+
+TEST(ItemSimilarityTest, PartialOverlapCosine) {
+  // Item 0 rated by users {0,1}, item 1 by {1,2}; overlap on user 1 only.
+  // With all ratings 1.0: dot = 1, norms = sqrt(2) each -> cos = 0.5.
+  RatingDatasetBuilder b(3, 2);
+  ASSERT_TRUE(b.Add(0, 0, 1.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 1.0f).ok());
+  ASSERT_TRUE(b.Add(1, 1, 1.0f).ok());
+  ASSERT_TRUE(b.Add(2, 1, 1.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  ItemSimilarityIndex index(*ds, 10, 512, 1);
+  EXPECT_NEAR(index.Similarity(0, 1), 0.5f, 1e-6);
+}
+
+TEST(ItemSimilarityTest, NeighborListsSortedAndTruncated) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  ItemSimilarityIndex index(*ds, 5, 512, 1);
+  for (ItemId i = 0; i < ds->num_items(); ++i) {
+    const auto& nbs = index.NeighborsOf(i);
+    EXPECT_LE(nbs.size(), 5u);
+    for (size_t k = 1; k < nbs.size(); ++k) {
+      EXPECT_GE(nbs[k - 1].sim, nbs[k].sim);
+    }
+    for (const auto& nb : nbs) {
+      EXPECT_GT(nb.sim, 0.0f);
+      EXPECT_NE(nb.item, i);  // no self-similarity entries
+    }
+  }
+}
+
+TEST(ItemSimilarityTest, DeterministicPerSeed) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  ItemSimilarityIndex a(*ds, 5, 8, 3);
+  ItemSimilarityIndex b(*ds, 5, 8, 3);
+  for (ItemId i = 0; i < ds->num_items(); ++i) {
+    ASSERT_EQ(a.NeighborsOf(i).size(), b.NeighborsOf(i).size());
+    for (size_t k = 0; k < a.NeighborsOf(i).size(); ++k) {
+      EXPECT_EQ(a.NeighborsOf(i)[k].item, b.NeighborsOf(i)[k].item);
+    }
+  }
+}
+
+TEST(ItemSimilarityTest, EmptyDatasetSafe) {
+  RatingDatasetBuilder b(2, 3);
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  ItemSimilarityIndex index(*ds, 5, 512, 1);
+  for (ItemId i = 0; i < 3; ++i) EXPECT_TRUE(index.NeighborsOf(i).empty());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,231 @@
+#include "recommender/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+RatingDataset TinyMatrix() {
+  // 3x3 rating matrix:
+  //   [5 3 0]
+  //   [4 0 0]
+  //   [0 1 2]
+  RatingDatasetBuilder b(3, 3);
+  EXPECT_TRUE(b.Add(0, 0, 5.0f).ok());
+  EXPECT_TRUE(b.Add(0, 1, 3.0f).ok());
+  EXPECT_TRUE(b.Add(1, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(2, 1, 1.0f).ok());
+  EXPECT_TRUE(b.Add(2, 2, 2.0f).ok());
+  auto ds = std::move(b).Build();
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(DenseMatrixTest, IndexingRowMajor) {
+  DenseMatrix m(2, 3);
+  m.At(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.data[5], 7.0);
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 7.0);
+}
+
+TEST(SparseTimesDenseTest, MatchesManual) {
+  const RatingDataset ds = TinyMatrix();
+  DenseMatrix x(3, 2);
+  // x = [[1, 0], [0, 1], [1, 1]]
+  x.At(0, 0) = 1.0;
+  x.At(1, 1) = 1.0;
+  x.At(2, 0) = 1.0;
+  x.At(2, 1) = 1.0;
+  DenseMatrix y;
+  SparseTimesDense(ds, x, &y);
+  ASSERT_EQ(y.rows, 3u);
+  ASSERT_EQ(y.cols, 2u);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 5.0);   // 5*1 + 3*0 + 0*1
+  EXPECT_DOUBLE_EQ(y.At(0, 1), 3.0);   // 5*0 + 3*1 + 0*1
+  EXPECT_DOUBLE_EQ(y.At(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(y.At(2, 0), 2.0);   // 1*0 + 2*1
+  EXPECT_DOUBLE_EQ(y.At(2, 1), 3.0);   // 1*1 + 2*1
+}
+
+TEST(SparseTransposeTimesDenseTest, MatchesManual) {
+  const RatingDataset ds = TinyMatrix();
+  DenseMatrix x(3, 1);
+  x.At(0, 0) = 1.0;
+  x.At(1, 0) = 2.0;
+  x.At(2, 0) = 3.0;
+  DenseMatrix y;
+  SparseTransposeTimesDense(ds, x, &y);
+  ASSERT_EQ(y.rows, 3u);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 5.0 + 8.0);      // A^T x, column 0: 5*1+4*2
+  EXPECT_DOUBLE_EQ(y.At(1, 0), 3.0 + 3.0);      // 3*1 + 1*3
+  EXPECT_DOUBLE_EQ(y.At(2, 0), 6.0);            // 2*3
+}
+
+TEST(OrthonormalizeTest, ColumnsBecomeOrthonormal) {
+  Rng rng(3);
+  DenseMatrix m(20, 5);
+  FillGaussian(&m, &rng);
+  OrthonormalizeColumns(&m);
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = 0; b < 5; ++b) {
+      double dot = 0.0;
+      for (size_t r = 0; r < 20; ++r) dot += m.At(r, a) * m.At(r, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(OrthonormalizeTest, DependentColumnZeroed) {
+  DenseMatrix m(4, 2);
+  for (size_t r = 0; r < 4; ++r) {
+    m.At(r, 0) = 1.0;
+    m.At(r, 1) = 2.0;  // linearly dependent on column 0
+  }
+  OrthonormalizeColumns(&m);
+  double norm1 = 0.0;
+  for (size_t r = 0; r < 4; ++r) norm1 += m.At(r, 1) * m.At(r, 1);
+  EXPECT_NEAR(norm1, 0.0, 1e-12);
+}
+
+TEST(TimesTest, SmallProduct) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 3.0;
+  a.At(1, 1) = 4.0;
+  b.At(0, 0) = 5.0;
+  b.At(0, 1) = 6.0;
+  b.At(1, 0) = 7.0;
+  b.At(1, 1) = 8.0;
+  const DenseMatrix c = Times(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(TransposeTimesTest, GramMatrix) {
+  Rng rng(5);
+  DenseMatrix a(10, 3);
+  FillGaussian(&a, &rng);
+  const DenseMatrix g = TransposeTimes(a, a);
+  ASSERT_EQ(g.rows, 3u);
+  ASSERT_EQ(g.cols, 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double manual = 0.0;
+      for (size_t r = 0; r < 10; ++r) manual += a.At(r, i) * a.At(r, j);
+      EXPECT_NEAR(g.At(i, j), manual, 1e-12);
+      EXPECT_NEAR(g.At(i, j), g.At(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a.At(0, 0) = 1.0;
+  a.At(1, 1) = 5.0;
+  a.At(2, 2) = 3.0;
+  const SymmetricEigen e = JacobiEigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] -> eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 2.0;
+  const SymmetricEigen e = JacobiEigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.eigenvectors.At(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Rng rng(7);
+  DenseMatrix half(6, 6);
+  FillGaussian(&half, &rng);
+  const DenseMatrix sym = TransposeTimes(half, half);  // SPD
+  const SymmetricEigen e = JacobiEigen(sym);
+  // A = V diag(lambda) V^T.
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      double rec = 0.0;
+      for (size_t k = 0; k < 6; ++k) {
+        rec += e.eigenvectors.At(i, k) * e.eigenvalues[k] *
+               e.eigenvectors.At(j, k);
+      }
+      EXPECT_NEAR(rec, sym.At(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(RandomizedSvdTest, ReconstructsLowRankMatrix) {
+  // Build an exactly rank-2 rating matrix and check the rank-2 SVD
+  // reconstructs it.
+  const size_t n_users = 15, n_items = 12;
+  Rng rng(11);
+  std::vector<double> u1(n_users), u2(n_users), v1(n_items), v2(n_items);
+  for (auto& v : u1) v = rng.Normal();
+  for (auto& v : u2) v = rng.Normal();
+  for (auto& v : v1) v = rng.Normal();
+  for (auto& v : v2) v = rng.Normal();
+  RatingDatasetBuilder b(static_cast<int32_t>(n_users),
+                         static_cast<int32_t>(n_items));
+  std::vector<std::vector<double>> dense(n_users,
+                                         std::vector<double>(n_items));
+  for (size_t u = 0; u < n_users; ++u) {
+    for (size_t i = 0; i < n_items; ++i) {
+      dense[u][i] = 3.0 * u1[u] * v1[i] + 1.5 * u2[u] * v2[i];
+      ASSERT_TRUE(b.Add(static_cast<UserId>(u), static_cast<ItemId>(i),
+                        static_cast<float>(dense[u][i]))
+                      .ok());
+    }
+  }
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  const TruncatedSvd svd = RandomizedSvd(*ds, 2, 6, 3, 1);
+  ASSERT_EQ(svd.singular_values.size(), 2u);
+  EXPECT_GT(svd.singular_values[0], svd.singular_values[1]);
+  for (size_t u = 0; u < n_users; ++u) {
+    for (size_t i = 0; i < n_items; ++i) {
+      double rec = 0.0;
+      for (size_t f = 0; f < 2; ++f) {
+        rec += svd.u.At(u, f) * svd.singular_values[f] * svd.v.At(i, f);
+      }
+      EXPECT_NEAR(rec, dense[u][i], 0.03 * (std::abs(dense[u][i]) + 1.0));
+    }
+  }
+}
+
+TEST(RandomizedSvdTest, SingularValuesDecreasing) {
+  const RatingDataset ds = TinyMatrix();
+  const TruncatedSvd svd = RandomizedSvd(ds, 3, 2, 2, 3);
+  for (size_t k = 1; k < svd.singular_values.size(); ++k) {
+    EXPECT_GE(svd.singular_values[k - 1], svd.singular_values[k] - 1e-9);
+  }
+}
+
+TEST(RandomizedSvdTest, VColumnsOrthonormal) {
+  const RatingDataset ds = TinyMatrix();
+  const TruncatedSvd svd = RandomizedSvd(ds, 2, 4, 2, 5);
+  for (size_t a = 0; a < 2; ++a) {
+    for (size_t b2 = 0; b2 < 2; ++b2) {
+      double dot = 0.0;
+      for (size_t i = 0; i < svd.v.rows; ++i) {
+        dot += svd.v.At(i, a) * svd.v.At(i, b2);
+      }
+      EXPECT_NEAR(dot, a == b2 ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,77 @@
+#include "recommender/pop.h"
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+RatingDataset PopularityLadder() {
+  // Item popularity: item 0 -> 3 users, item 1 -> 2, item 2 -> 1, item 3 -> 0.
+  RatingDatasetBuilder b(3, 4);
+  EXPECT_TRUE(b.Add(0, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(1, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(2, 0, 4.0f).ok());
+  EXPECT_TRUE(b.Add(0, 1, 4.0f).ok());
+  EXPECT_TRUE(b.Add(1, 1, 4.0f).ok());
+  EXPECT_TRUE(b.Add(0, 2, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(PopTest, ScoresFollowPopularity) {
+  const RatingDataset ds = PopularityLadder();
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(ds).ok());
+  const auto s = pop.ScoreAll(0);
+  EXPECT_GT(s[0], s[1]);
+  EXPECT_GT(s[1], s[2]);
+  EXPECT_GT(s[2], s[3]);
+}
+
+TEST(PopTest, ScoresNormalized) {
+  const RatingDataset ds = PopularityLadder();
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(ds).ok());
+  const auto s = pop.ScoreAll(0);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+}
+
+TEST(PopTest, SameForAllUsers) {
+  const RatingDataset ds = PopularityLadder();
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(ds).ok());
+  EXPECT_EQ(pop.ScoreAll(0), pop.ScoreAll(2));
+}
+
+TEST(PopTest, TopNExcludesRatedItems) {
+  const RatingDataset ds = PopularityLadder();
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(ds).ok());
+  // User 0 rated items 0, 1, 2 -> only item 3 is a candidate.
+  const auto top = pop.RecommendTopN(0, ds.UnratedItems(0), 2);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 3);
+  // User 2 rated only item 0 -> candidates 1, 2, 3 ranked by popularity.
+  const auto top2 = pop.RecommendTopN(2, ds.UnratedItems(2), 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1);
+  EXPECT_EQ(top2[1], 2);
+}
+
+TEST(PopTest, NameStable) {
+  EXPECT_EQ(PopRecommender().name(), "Pop");
+}
+
+TEST(PopTest, RecommendAllUsersShape) {
+  const RatingDataset ds = PopularityLadder();
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(ds).ok());
+  const auto all = RecommendAllUsers(pop, ds, 2);
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& list : all) EXPECT_LE(list.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,115 @@
+#include "recommender/psvd.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+TEST(PsvdTest, FitsAndScores) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PsvdRecommender psvd({.num_factors = 10});
+  ASSERT_TRUE(psvd.Fit(*ds).ok());
+  const auto s = psvd.ScoreAll(0);
+  EXPECT_EQ(s.size(), static_cast<size_t>(ds->num_items()));
+}
+
+TEST(PsvdTest, NameIncludesFactorCount) {
+  EXPECT_EQ(PsvdRecommender({.num_factors = 10}).name(), "PSVD10");
+  EXPECT_EQ(PsvdRecommender({.num_factors = 100}).name(), "PSVD100");
+}
+
+TEST(PsvdTest, SingularValuesDecreasing) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PsvdRecommender psvd({.num_factors = 8});
+  ASSERT_TRUE(psvd.Fit(*ds).ok());
+  const auto& sv = psvd.singular_values();
+  ASSERT_EQ(sv.size(), 8u);
+  for (size_t k = 1; k < sv.size(); ++k) EXPECT_GE(sv[k - 1], sv[k] - 1e-9);
+}
+
+TEST(PsvdTest, ScoresReflectAssociations) {
+  // A user's own highly-rated items should score above average even though
+  // they are excluded at recommendation time: PSVD reconstructs the matrix.
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PsvdRecommender psvd({.num_factors = 10});
+  ASSERT_TRUE(psvd.Fit(*ds).ok());
+  int better = 0, total = 0;
+  for (UserId u = 0; u < 20; ++u) {
+    const auto s = psvd.ScoreAll(u);
+    double mean = 0.0;
+    for (double v : s) mean += v;
+    mean /= static_cast<double>(s.size());
+    for (const ItemRating& ir : ds->ItemsOf(u)) {
+      if (ir.value >= 4.0f) {
+        ++total;
+        if (s[static_cast<size_t>(ir.item)] > mean) ++better;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(better) / total, 0.8);
+}
+
+TEST(PsvdTest, BeatsRandomOnRankingAccuracy) {
+  auto spec = TinySpec();
+  spec.num_users = 250;
+  spec.num_items = 300;
+  spec.mean_activity = 40.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 2});
+  ASSERT_TRUE(split.ok());
+
+  PsvdRecommender psvd({.num_factors = 10});
+  ASSERT_TRUE(psvd.Fit(split->train).ok());
+  RandomRecommender rnd(7);
+  ASSERT_TRUE(rnd.Fit(split->train).ok());
+
+  const MetricsConfig cfg{.top_n = 5};
+  const auto psvd_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(psvd, split->train, 5), cfg);
+  const auto rnd_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(rnd, split->train, 5), cfg);
+  EXPECT_GT(psvd_m.recall, 2.0 * rnd_m.recall);
+}
+
+TEST(PsvdTest, DeterministicPerSeed) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  PsvdRecommender a({.num_factors = 6, .seed = 3});
+  PsvdRecommender b({.num_factors = 6, .seed = 3});
+  ASSERT_TRUE(a.Fit(*ds).ok());
+  ASSERT_TRUE(b.Fit(*ds).ok());
+  EXPECT_EQ(a.ScoreAll(4), b.ScoreAll(4));
+}
+
+TEST(PsvdTest, RankCappedByCatalog) {
+  RatingDatasetBuilder bld(4, 3);
+  ASSERT_TRUE(bld.Add(0, 0, 5.0f).ok());
+  ASSERT_TRUE(bld.Add(1, 1, 4.0f).ok());
+  ASSERT_TRUE(bld.Add(2, 2, 3.0f).ok());
+  ASSERT_TRUE(bld.Add(3, 0, 2.0f).ok());
+  auto ds = std::move(bld).Build();
+  ASSERT_TRUE(ds.ok());
+  PsvdRecommender psvd({.num_factors = 10});  // rank > |I|
+  ASSERT_TRUE(psvd.Fit(*ds).ok());
+  EXPECT_LE(psvd.singular_values().size(), 3u);
+}
+
+TEST(PsvdTest, InvalidConfigRejected) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(PsvdRecommender({.num_factors = 0}).Fit(*ds).ok());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,73 @@
+#include "recommender/random_rec.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/stats.h"
+
+namespace ganc {
+namespace {
+
+TEST(RandomRecTest, ScoresInUnitInterval) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RandomRecommender rec(1);
+  ASSERT_TRUE(rec.Fit(*ds).ok());
+  const auto s = rec.ScoreAll(0);
+  ASSERT_EQ(s.size(), static_cast<size_t>(ds->num_items()));
+  for (double v : s) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomRecTest, DeterministicPerUser) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RandomRecommender rec(2);
+  ASSERT_TRUE(rec.Fit(*ds).ok());
+  EXPECT_EQ(rec.ScoreAll(5), rec.ScoreAll(5));
+}
+
+TEST(RandomRecTest, DifferentUsersGetDifferentScores) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RandomRecommender rec(3);
+  ASSERT_TRUE(rec.Fit(*ds).ok());
+  EXPECT_NE(rec.ScoreAll(0), rec.ScoreAll(1));
+}
+
+TEST(RandomRecTest, HighAggregateCoverage) {
+  // Random suggestion should cover most of the catalog across users —
+  // the paper's rationale for Rand as the coverage upper bound.
+  auto spec = TinySpec();
+  spec.num_users = 200;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  RandomRecommender rec(4);
+  ASSERT_TRUE(rec.Fit(*ds).ok());
+  std::set<ItemId> covered;
+  for (UserId u = 0; u < ds->num_users(); ++u) {
+    for (ItemId i : rec.RecommendTopN(u, ds->UnratedItems(u), 5)) {
+      covered.insert(i);
+    }
+  }
+  EXPECT_GT(static_cast<double>(covered.size()) /
+                static_cast<double>(ds->num_items()),
+            0.9);
+}
+
+TEST(RandomRecTest, SeedChangesRanking) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RandomRecommender a(5), b(6);
+  ASSERT_TRUE(a.Fit(*ds).ok());
+  ASSERT_TRUE(b.Fit(*ds).ok());
+  EXPECT_NE(a.RecommendTopN(0, ds->UnratedItems(0), 5),
+            b.RecommendTopN(0, ds->UnratedItems(0), 5));
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,107 @@
+#include "recommender/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/novelty_metrics.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+TEST(RandomWalkTest, ThreeHopMassReachesCoRatedItems) {
+  // u0 rated item 0; u1 rated items 0 and 1 -> the walk from u0 reaches
+  // item 1 through u1. Item 2 is unreachable.
+  RatingDatasetBuilder b(3, 3);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 1, 4.0f).ok());
+  ASSERT_TRUE(b.Add(2, 2, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  RandomWalkRecommender walk({.beta = 0.0});
+  ASSERT_TRUE(walk.Fit(*ds).ok());
+  const auto s = walk.ScoreAll(0);
+  EXPECT_GT(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(RandomWalkTest, WalkProbabilitiesExact) {
+  // From u0 (items {0}): item 0 -> raters {u0, u1} each 1/2; exclude u0.
+  // u1 (items {0, 1}) forwards 1/2 * 1/2 = 1/4 to each of items 0 and 1.
+  RatingDatasetBuilder b(2, 2);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 1, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  RandomWalkRecommender walk({.beta = 0.0});
+  ASSERT_TRUE(walk.Fit(*ds).ok());
+  const auto s = walk.ScoreAll(0);
+  EXPECT_NEAR(s[0], 0.25, 1e-12);
+  EXPECT_NEAR(s[1], 0.25, 1e-12);
+}
+
+TEST(RandomWalkTest, BetaPromotesLongTail) {
+  // Higher beta must lower the mean popularity of the recommendations.
+  auto spec = TinySpec();
+  spec.num_users = 200;
+  spec.num_items = 250;
+  spec.mean_activity = 25.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  RandomWalkRecommender mild({.beta = 0.0});
+  RandomWalkRecommender strong({.beta = 0.9});
+  ASSERT_TRUE(mild.Fit(*ds).ok());
+  ASSERT_TRUE(strong.Fit(*ds).ok());
+  const auto mild_topn = RecommendAllUsers(mild, *ds, 5);
+  const auto strong_topn = RecommendAllUsers(strong, *ds, 5);
+  EXPECT_LT(MeanRecommendedPopularity(*ds, strong_topn, 5),
+            MeanRecommendedPopularity(*ds, mild_topn, 5));
+}
+
+TEST(RandomWalkTest, BeatsRandomOnHeldOut) {
+  auto spec = TinySpec();
+  spec.num_users = 250;
+  spec.num_items = 250;
+  spec.mean_activity = 35.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 7});
+  ASSERT_TRUE(split.ok());
+  RandomWalkRecommender walk({.beta = 0.3});
+  ASSERT_TRUE(walk.Fit(split->train).ok());
+  RandomRecommender rnd(17);
+  ASSERT_TRUE(rnd.Fit(split->train).ok());
+  const MetricsConfig cfg{.top_n = 5};
+  const auto walk_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(walk, split->train, 5), cfg);
+  const auto rnd_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(rnd, split->train, 5), cfg);
+  EXPECT_GT(walk_m.recall, 2.0 * rnd_m.recall);
+}
+
+TEST(RandomWalkTest, EmptyProfileGivesZeroScores) {
+  RatingDatasetBuilder b(2, 3);
+  ASSERT_TRUE(b.Add(1, 0, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  RandomWalkRecommender walk(RandomWalkConfig{});
+  ASSERT_TRUE(walk.Fit(*ds).ok());
+  for (double v : walk.ScoreAll(0)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RandomWalkTest, InvalidConfigRejected) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(RandomWalkRecommender({.beta = -0.1}).Fit(*ds).ok());
+  EXPECT_FALSE(RandomWalkRecommender({.beta = 1.5}).Fit(*ds).ok());
+  EXPECT_FALSE(
+      RandomWalkRecommender({.beta = 0.5, .max_coraters = 0}).Fit(*ds).ok());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,143 @@
+#include "recommender/rsvd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace ganc {
+namespace {
+
+RsvdConfig FastConfig() {
+  RsvdConfig c;
+  c.num_factors = 8;
+  c.num_epochs = 40;
+  c.learning_rate = 0.02;
+  c.regularization = 0.02;
+  return c;
+}
+
+TEST(RsvdTest, FitsAndPredictsOnScale) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender rsvd(FastConfig());
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  // Predictions for observed pairs should be in a sane band around the
+  // rating scale.
+  for (int k = 0; k < 50; ++k) {
+    const Rating& r = ds->ratings()[static_cast<size_t>(k)];
+    const double pred = rsvd.Predict(r.user, r.item);
+    EXPECT_GT(pred, -1.0);
+    EXPECT_LT(pred, 7.5);
+  }
+}
+
+TEST(RsvdTest, TrainRmseBeatsGlobalMeanBaseline) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender rsvd(FastConfig());
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  const double model_rmse = rsvd.Rmse(*ds);
+  // Global-mean predictor RMSE = population stddev of ratings.
+  double mean = ds->GlobalMeanRating(), acc = 0.0;
+  for (const Rating& r : ds->ratings()) {
+    acc += (r.value - mean) * (r.value - mean);
+  }
+  const double baseline = std::sqrt(acc / static_cast<double>(ds->num_ratings()));
+  EXPECT_LT(model_rmse, baseline);
+}
+
+TEST(RsvdTest, GeneralizesToHeldOut) {
+  auto spec = TinySpec();
+  spec.num_users = 200;
+  spec.num_items = 200;
+  spec.mean_activity = 40.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.8, .seed = 1});
+  ASSERT_TRUE(split.ok());
+  RsvdRecommender rsvd(FastConfig());
+  ASSERT_TRUE(rsvd.Fit(split->train).ok());
+  // Test RMSE should beat the constant-3 predictor comfortably.
+  double acc = 0.0;
+  for (const Rating& r : split->test.ratings()) {
+    acc += (r.value - 3.0) * (r.value - 3.0);
+  }
+  const double const_rmse =
+      std::sqrt(acc / static_cast<double>(split->test.num_ratings()));
+  EXPECT_LT(rsvd.Rmse(split->test), const_rmse);
+}
+
+TEST(RsvdTest, DeterministicPerSeed) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender a(FastConfig()), b(FastConfig());
+  ASSERT_TRUE(a.Fit(*ds).ok());
+  ASSERT_TRUE(b.Fit(*ds).ok());
+  EXPECT_DOUBLE_EQ(a.Predict(0, 0), b.Predict(0, 0));
+  EXPECT_DOUBLE_EQ(a.Predict(3, 7), b.Predict(3, 7));
+}
+
+TEST(RsvdTest, NonNegativeVariantKeepsFactorsNonNegative) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdConfig c = FastConfig();
+  c.non_negative = true;
+  RsvdRecommender rsvdn(c);
+  ASSERT_TRUE(rsvdn.Fit(*ds).ok());
+  EXPECT_EQ(rsvdn.name(), "RSVDN");
+  // All predictions are dot products of non-negative vectors.
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId i = 0; i < 10; ++i) {
+      EXPECT_GE(rsvdn.Predict(u, i), 0.0);
+    }
+  }
+}
+
+TEST(RsvdTest, BiasVariantCentersOnGlobalMean) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdConfig c = FastConfig();
+  c.use_biases = true;
+  RsvdRecommender rsvd(c);
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  EXPECT_LT(rsvd.Rmse(*ds), 1.2);
+}
+
+TEST(RsvdTest, ScoreAllMatchesPredict) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender rsvd(FastConfig());
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  const auto scores = rsvd.ScoreAll(3);
+  for (ItemId i = 0; i < ds->num_items(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[static_cast<size_t>(i)], rsvd.Predict(3, i));
+  }
+}
+
+TEST(RsvdTest, InvalidConfigRejected) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdConfig c = FastConfig();
+  c.num_factors = 0;
+  EXPECT_FALSE(RsvdRecommender(c).Fit(*ds).ok());
+  c = FastConfig();
+  c.learning_rate = 0.0;
+  EXPECT_FALSE(RsvdRecommender(c).Fit(*ds).ok());
+}
+
+TEST(RsvdTest, RmseOnEmptyTestIsZero) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender rsvd(FastConfig());
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  RatingDatasetBuilder b(ds->num_users(), ds->num_items());
+  auto empty = std::move(b).Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_DOUBLE_EQ(rsvd.Rmse(*empty), 0.0);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,96 @@
+#include "recommender/user_knn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/random_rec.h"
+#include "recommender/recommender.h"
+
+namespace ganc {
+namespace {
+
+TEST(UserKnnTest, SimilarUserDrivesScores) {
+  // Users 0 and 1 agree on items 0/1 (same deviations); user 1 also rated
+  // item 2 above their mean -> user 0 should see item 2 positively.
+  RatingDatasetBuilder b(3, 4);
+  ASSERT_TRUE(b.Add(0, 0, 5.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 1.0f).ok());
+  ASSERT_TRUE(b.Add(1, 0, 5.0f).ok());
+  ASSERT_TRUE(b.Add(1, 1, 1.0f).ok());
+  ASSERT_TRUE(b.Add(1, 2, 5.0f).ok());
+  ASSERT_TRUE(b.Add(1, 3, 1.0f).ok());
+  ASSERT_TRUE(b.Add(2, 3, 3.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  UserKnnRecommender knn({.num_neighbors = 5});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  const auto s = knn.ScoreAll(0);
+  EXPECT_GT(s[2], 0.0);   // neighbour liked it (above mean)
+  EXPECT_LT(s[3], 0.0);   // neighbour disliked it (below mean)
+}
+
+TEST(UserKnnTest, NoOverlapMeansZeroScores) {
+  RatingDatasetBuilder b(2, 4);
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());
+  ASSERT_TRUE(b.Add(0, 1, 2.0f).ok());
+  ASSERT_TRUE(b.Add(1, 2, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 3, 2.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  UserKnnRecommender knn({.num_neighbors = 5});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  for (double v : knn.ScoreAll(0)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(UserKnnTest, BeatsRandomOnHeldOut) {
+  auto spec = TinySpec();
+  spec.num_users = 250;
+  spec.num_items = 250;
+  spec.mean_activity = 35.0;
+  auto ds = GenerateSynthetic(spec);
+  ASSERT_TRUE(ds.ok());
+  auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 5});
+  ASSERT_TRUE(split.ok());
+  UserKnnRecommender knn({.num_neighbors = 40});
+  ASSERT_TRUE(knn.Fit(split->train).ok());
+  RandomRecommender rnd(13);
+  ASSERT_TRUE(rnd.Fit(split->train).ok());
+  const MetricsConfig cfg{.top_n = 5};
+  const auto knn_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(knn, split->train, 5), cfg);
+  const auto rnd_m = EvaluateTopN(
+      split->train, split->test, RecommendAllUsers(rnd, split->train, 5), cfg);
+  EXPECT_GT(knn_m.recall, 1.5 * rnd_m.recall);
+}
+
+TEST(UserKnnTest, DeterministicPerSeed) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  UserKnnRecommender a({.num_neighbors = 10});
+  UserKnnRecommender b({.num_neighbors = 10});
+  ASSERT_TRUE(a.Fit(*ds).ok());
+  ASSERT_TRUE(b.Fit(*ds).ok());
+  EXPECT_EQ(a.ScoreAll(3), b.ScoreAll(3));
+}
+
+TEST(UserKnnTest, AudienceSubsamplingStillWorks) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  UserKnnRecommender knn({.num_neighbors = 10, .max_audience = 4});
+  ASSERT_TRUE(knn.Fit(*ds).ok());
+  const auto s = knn.ScoreAll(0);
+  for (double v : s) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(UserKnnTest, InvalidConfigRejected) {
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(UserKnnRecommender({.num_neighbors = 0}).Fit(*ds).ok());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,121 @@
+#include "rerank/mmr.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/recommender.h"
+#include "recommender/rsvd.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+  RsvdRecommender rsvd{{.num_factors = 8,
+                        .learning_rate = 0.02,
+                        .regularization = 0.02,
+                        .num_epochs = 25,
+                        .use_biases = true}};
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 150;
+    spec.num_items = 200;
+    spec.mean_activity = 25.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 15});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+    EXPECT_TRUE(rsvd.Fit(train).ok());
+  }
+};
+
+TEST(MmrTest, NameIncludesLambda) {
+  Fixture f;
+  MmrConfig cfg;
+  cfg.lambda = 0.5;
+  EXPECT_EQ(MmrReranker(&f.rsvd, &f.train, cfg).name(), "MMR(RSVD, 0.5)");
+}
+
+TEST(MmrTest, LambdaOneReproducesBaseRanking) {
+  Fixture f;
+  MmrConfig cfg;
+  cfg.lambda = 1.0;
+  MmrReranker mmr(&f.rsvd, &f.train, cfg);
+  auto topn = mmr.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  const auto base = RecommendAllUsers(f.rsvd, f.train, 5);
+  // With pure relevance, the greedy picks the same items (as sets).
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    std::set<ItemId> a((*topn)[static_cast<size_t>(u)].begin(),
+                       (*topn)[static_cast<size_t>(u)].end());
+    std::set<ItemId> b(base[static_cast<size_t>(u)].begin(),
+                       base[static_cast<size_t>(u)].end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(MmrTest, DiversificationLowersIntraListSimilarity) {
+  // Ziegler's headline effect: smaller lambda -> more diverse lists.
+  Fixture f;
+  MmrConfig relevant_cfg;
+  relevant_cfg.lambda = 1.0;
+  MmrConfig diverse_cfg;
+  diverse_cfg.lambda = 0.3;
+  MmrReranker relevant(&f.rsvd, &f.train, relevant_cfg);
+  MmrReranker diverse(&f.rsvd, &f.train, diverse_cfg);
+  auto rel_topn = relevant.RecommendAll(f.train, 5);
+  auto div_topn = diverse.RecommendAll(f.train, 5);
+  ASSERT_TRUE(rel_topn.ok());
+  ASSERT_TRUE(div_topn.ok());
+  EXPECT_LE(diverse.IntraListSimilarity(*div_topn),
+            relevant.IntraListSimilarity(*rel_topn) + 1e-9);
+}
+
+TEST(MmrTest, ListsAreValidUnseenItems) {
+  Fixture f;
+  MmrReranker mmr(&f.rsvd, &f.train, {});
+  auto topn = mmr.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    const auto& pu = (*topn)[static_cast<size_t>(u)];
+    EXPECT_EQ(pu.size(), 5u);
+    std::set<ItemId> uniq(pu.begin(), pu.end());
+    EXPECT_EQ(uniq.size(), 5u);
+    for (ItemId i : pu) EXPECT_FALSE(f.train.HasRating(u, i));
+  }
+}
+
+TEST(MmrTest, AccuracyCostIsBounded) {
+  // Diversification trades some accuracy; at lambda = 0.7 the F-measure
+  // should stay within a reasonable factor of the base ranking.
+  Fixture f;
+  MmrReranker mmr(&f.rsvd, &f.train, {});
+  auto topn = mmr.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  const MetricsConfig mcfg{.top_n = 5};
+  const auto mmr_m = EvaluateTopN(f.train, f.test, *topn, mcfg);
+  const auto base_m = EvaluateTopN(f.train, f.test,
+                                   RecommendAllUsers(f.rsvd, f.train, 5), mcfg);
+  EXPECT_GT(mmr_m.f_measure, 0.25 * base_m.f_measure);
+}
+
+TEST(MmrTest, InvalidInputsRejected) {
+  Fixture f;
+  MmrConfig bad;
+  bad.lambda = 1.5;
+  MmrReranker mmr(&f.rsvd, &f.train, bad);
+  EXPECT_FALSE(mmr.RecommendAll(f.train, 5).ok());
+  MmrReranker ok(&f.rsvd, &f.train, {});
+  EXPECT_FALSE(ok.RecommendAll(f.train, 0).ok());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,147 @@
+#include "rerank/pra.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/recommender.h"
+#include "recommender/rsvd.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+  RsvdRecommender rsvd{{.num_factors = 8,
+                        .learning_rate = 0.02,
+                        .regularization = 0.02,
+                        .num_epochs = 30,
+                        .use_biases = true}};
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 150;
+    spec.num_items = 200;
+    spec.mean_activity = 25.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 12});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+    EXPECT_TRUE(rsvd.Fit(train).ok());
+  }
+};
+
+TEST(PraTest, NameTemplate) {
+  Fixture f;
+  PraConfig cfg;
+  cfg.exchangeable_size = 20;
+  EXPECT_EQ(PraReranker(&f.rsvd, &f.train, cfg).name(), "PRA(RSVD, 20)");
+}
+
+TEST(PraTest, TendenciesInUnitInterval) {
+  Fixture f;
+  PraReranker pra(&f.rsvd, &f.train, {});
+  for (double t : pra.tendency()) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(PraTest, TendencyTracksRatedPopularity) {
+  // A user who rated only the most popular items must have a higher
+  // popularity tendency than one who rated only obscure ones.
+  RatingDatasetBuilder b(22, 6);
+  // Items 0-1 popular (rated by many), items 4-5 obscure.
+  for (UserId u = 2; u < 20; ++u) {
+    ASSERT_TRUE(b.Add(u, 0, 4.0f).ok());
+    ASSERT_TRUE(b.Add(u, 1, 4.0f).ok());
+  }
+  ASSERT_TRUE(b.Add(0, 0, 4.0f).ok());  // user 0: popular profile
+  ASSERT_TRUE(b.Add(0, 1, 4.0f).ok());
+  ASSERT_TRUE(b.Add(1, 4, 4.0f).ok());  // user 1: obscure profile
+  ASSERT_TRUE(b.Add(1, 5, 4.0f).ok());
+  ASSERT_TRUE(b.Add(20, 2, 4.0f).ok());
+  ASSERT_TRUE(b.Add(21, 3, 4.0f).ok());
+  auto ds = std::move(b).Build();
+  ASSERT_TRUE(ds.ok());
+  RsvdRecommender rsvd({.num_factors = 4, .num_epochs = 5});
+  ASSERT_TRUE(rsvd.Fit(*ds).ok());
+  PraReranker pra(&rsvd, &ds.value(), {});
+  EXPECT_GT(pra.tendency()[0], pra.tendency()[1]);
+}
+
+TEST(PraTest, ListsComeFromHeadAndExchangeable) {
+  Fixture f;
+  PraConfig cfg;
+  cfg.exchangeable_size = 10;
+  PraReranker pra(&f.rsvd, &f.train, cfg);
+  auto topn = pra.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    const auto head = f.rsvd.RecommendTopN(u, f.train.UnratedItems(u), 15);
+    const std::set<ItemId> pool(head.begin(), head.end());
+    ASSERT_EQ((*topn)[static_cast<size_t>(u)].size(), 5u);
+    for (ItemId i : (*topn)[static_cast<size_t>(u)]) {
+      EXPECT_TRUE(pool.count(i) > 0);
+    }
+  }
+}
+
+TEST(PraTest, SwapsMoveListTowardTarget) {
+  Fixture f;
+  PraReranker pra(&f.rsvd, &f.train, {});
+  auto pra_topn = pra.RecommendAll(f.train, 5);
+  ASSERT_TRUE(pra_topn.ok());
+  const auto base = RecommendAllUsers(f.rsvd, f.train, 5);
+  // For each user, PRA's list popularity must be at least as close to the
+  // target tendency as the base list's.
+  std::vector<double> pop = f.train.PopularityVector();
+  MinMaxNormalize(&pop);
+  auto mean_pop = [&](const std::vector<ItemId>& l) {
+    double acc = 0.0;
+    for (ItemId i : l) acc += pop[static_cast<size_t>(i)];
+    return acc / static_cast<double>(l.size());
+  };
+  int improved_or_equal = 0;
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    const double target = pra.tendency()[static_cast<size_t>(u)];
+    const double d_pra =
+        std::abs(mean_pop((*pra_topn)[static_cast<size_t>(u)]) - target);
+    const double d_base =
+        std::abs(mean_pop(base[static_cast<size_t>(u)]) - target);
+    if (d_pra <= d_base + 1e-9) ++improved_or_equal;
+  }
+  EXPECT_EQ(improved_or_equal, f.train.num_users());
+}
+
+TEST(PraTest, AccuracyStaysNearBase) {
+  // PRA only shuffles within the head, so F-measure should stay within a
+  // modest factor of the base model (paper Table IV shape).
+  Fixture f;
+  PraReranker pra(&f.rsvd, &f.train, {});
+  auto topn = pra.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  const MetricsConfig mcfg{.top_n = 5};
+  const auto pra_m = EvaluateTopN(f.train, f.test, *topn, mcfg);
+  const auto base_m = EvaluateTopN(f.train, f.test,
+                                   RecommendAllUsers(f.rsvd, f.train, 5), mcfg);
+  EXPECT_GT(pra_m.f_measure, 0.3 * base_m.f_measure);
+}
+
+TEST(PraTest, InvalidTopNRejected) {
+  Fixture f;
+  PraReranker pra(&f.rsvd, &f.train, {});
+  EXPECT_FALSE(pra.RecommendAll(f.train, 0).ok());
+}
+
+}  // namespace
+}  // namespace ganc

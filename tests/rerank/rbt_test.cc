@@ -1,0 +1,139 @@
+#include "rerank/rbt.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/recommender.h"
+#include "recommender/rsvd.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+  RsvdRecommender rsvd{{.num_factors = 8,
+                        .learning_rate = 0.02,
+                        .regularization = 0.02,
+                        .num_epochs = 30,
+                        .use_biases = true}};
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 150;
+    spec.num_items = 200;
+    spec.mean_activity = 25.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 10});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+    EXPECT_TRUE(rsvd.Fit(train).ok());
+  }
+};
+
+TEST(RbtTest, NameTemplates) {
+  Fixture f;
+  EXPECT_EQ(RbtReranker(&f.rsvd, &f.train, {}).name(), "RBT(RSVD, Pop)");
+  RbtConfig avg;
+  avg.criterion = RbtCriterion::kAvg;
+  EXPECT_EQ(RbtReranker(&f.rsvd, &f.train, avg).name(), "RBT(RSVD, Avg)");
+}
+
+TEST(RbtTest, ProducesValidLists) {
+  Fixture f;
+  RbtConfig cfg;
+  cfg.rerank_threshold = 4.0;
+  RbtReranker rbt(&f.rsvd, &f.train, cfg);
+  auto topn = rbt.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  ASSERT_EQ(topn->size(), static_cast<size_t>(f.train.num_users()));
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    for (ItemId i : (*topn)[static_cast<size_t>(u)]) {
+      EXPECT_FALSE(f.train.HasRating(u, i));
+    }
+  }
+}
+
+TEST(RbtTest, PopCriterionPrefersUnpopularConfidentItems) {
+  Fixture f;
+  RbtConfig cfg;
+  cfg.rerank_threshold = 3.8;  // wide head so re-ranking bites
+  RbtReranker rbt(&f.rsvd, &f.train, cfg);
+  auto rbt_topn = rbt.RecommendAll(f.train, 5);
+  ASSERT_TRUE(rbt_topn.ok());
+  const auto base_topn = RecommendAllUsers(f.rsvd, f.train, 5);
+  // Mean popularity of RBT(Pop) recommendations should not exceed the
+  // base model's.
+  auto mean_pop = [&](const std::vector<std::vector<ItemId>>& topn) {
+    double acc = 0.0;
+    int count = 0;
+    for (const auto& pu : topn) {
+      for (ItemId i : pu) {
+        acc += static_cast<double>(f.train.Popularity(i));
+        ++count;
+      }
+    }
+    return acc / count;
+  };
+  EXPECT_LE(mean_pop(*rbt_topn), mean_pop(base_topn) + 1e-9);
+}
+
+TEST(RbtTest, CoverageImprovesOverBase) {
+  Fixture f;
+  RbtConfig cfg;
+  cfg.rerank_threshold = 3.8;
+  RbtReranker rbt(&f.rsvd, &f.train, cfg);
+  auto rbt_topn = rbt.RecommendAll(f.train, 5);
+  ASSERT_TRUE(rbt_topn.ok());
+  const MetricsConfig mcfg{.top_n = 5};
+  const auto rbt_m = EvaluateTopN(f.train, f.test, *rbt_topn, mcfg);
+  const auto base_m = EvaluateTopN(f.train, f.test,
+                                   RecommendAllUsers(f.rsvd, f.train, 5), mcfg);
+  EXPECT_GE(rbt_m.coverage, base_m.coverage);
+}
+
+TEST(RbtTest, ThresholdAboveAllScoresFallsBackToStandardRanking) {
+  Fixture f;
+  RbtConfig cfg;
+  cfg.rerank_threshold = 100.0;  // empty head
+  cfg.min_threshold = -100.0;
+  RbtReranker rbt(&f.rsvd, &f.train, cfg);
+  auto topn = rbt.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  const auto base = RecommendAllUsers(f.rsvd, f.train, 5);
+  EXPECT_EQ(*topn, base);
+}
+
+TEST(RbtTest, MinThresholdFiltersLowPredictions) {
+  Fixture f;
+  RbtConfig cfg;
+  cfg.min_threshold = 100.0;  // everything filtered
+  RbtReranker rbt(&f.rsvd, &f.train, cfg);
+  auto topn = rbt.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  for (const auto& pu : *topn) EXPECT_TRUE(pu.empty());
+}
+
+TEST(RbtTest, AvgCriterionRanksHeadByItemAverage) {
+  Fixture f;
+  RbtConfig cfg;
+  cfg.criterion = RbtCriterion::kAvg;
+  cfg.rerank_threshold = 3.8;
+  RbtReranker rbt(&f.rsvd, &f.train, cfg);
+  auto topn = rbt.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  for (const auto& pu : *topn) EXPECT_LE(pu.size(), 5u);
+}
+
+TEST(RbtTest, InvalidTopNRejected) {
+  Fixture f;
+  RbtReranker rbt(&f.rsvd, &f.train, {});
+  EXPECT_FALSE(rbt.RecommendAll(f.train, 0).ok());
+}
+
+}  // namespace
+}  // namespace ganc

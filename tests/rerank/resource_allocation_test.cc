@@ -1,0 +1,129 @@
+#include "rerank/resource_allocation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "recommender/recommender.h"
+#include "recommender/rsvd.h"
+
+namespace ganc {
+namespace {
+
+struct Fixture {
+  RatingDataset train;
+  RatingDataset test;
+  RsvdRecommender rsvd{{.num_factors = 8,
+                        .learning_rate = 0.02,
+                        .regularization = 0.02,
+                        .num_epochs = 30,
+                        .use_biases = true}};
+
+  Fixture() {
+    auto spec = TinySpec();
+    spec.num_users = 150;
+    spec.num_items = 200;
+    spec.mean_activity = 25.0;
+    auto ds = GenerateSynthetic(spec);
+    EXPECT_TRUE(ds.ok());
+    auto split = PerUserRatioSplit(*ds, {.train_ratio = 0.5, .seed = 11});
+    EXPECT_TRUE(split.ok());
+    train = std::move(split->train);
+    test = std::move(split->test);
+    EXPECT_TRUE(rsvd.Fit(train).ok());
+  }
+};
+
+TEST(FiveDTest, NameTemplates) {
+  Fixture f;
+  EXPECT_EQ(FiveDReranker(&f.rsvd, &f.train, {}).name(), "5D(RSVD)");
+  FiveDConfig arr;
+  arr.accuracy_filter = true;
+  arr.rank_by_rankings = true;
+  EXPECT_EQ(FiveDReranker(&f.rsvd, &f.train, arr).name(), "5D(RSVD, A, RR)");
+}
+
+TEST(FiveDTest, ProducesValidUnseenLists) {
+  Fixture f;
+  FiveDReranker five(&f.rsvd, &f.train, {});
+  auto topn = five.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    EXPECT_EQ((*topn)[static_cast<size_t>(u)].size(), 5u);
+    for (ItemId i : (*topn)[static_cast<size_t>(u)]) {
+      EXPECT_FALSE(f.train.HasRating(u, i));
+    }
+  }
+}
+
+TEST(FiveDTest, PromotesLongTailAggressively) {
+  // Paper Table IV: plain 5D attains near-maximal LTAccuracy.
+  Fixture f;
+  FiveDReranker five(&f.rsvd, &f.train, {});
+  auto topn = five.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  const MetricsConfig mcfg{.top_n = 5};
+  const auto five_m = EvaluateTopN(f.train, f.test, *topn, mcfg);
+  const auto base_m = EvaluateTopN(f.train, f.test,
+                                   RecommendAllUsers(f.rsvd, f.train, 5), mcfg);
+  EXPECT_GT(five_m.lt_accuracy, base_m.lt_accuracy);
+  EXPECT_GT(five_m.lt_accuracy, 0.8);
+}
+
+TEST(FiveDTest, AccuracyFilterRestrictsToConfidentItems) {
+  Fixture f;
+  FiveDConfig cfg;
+  cfg.accuracy_filter = true;
+  cfg.accuracy_filter_multiple = 2;  // pool of 10 for N=5
+  FiveDReranker five(&f.rsvd, &f.train, cfg);
+  auto topn = five.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  // Every recommended item must be inside the user's top-10 predictions.
+  for (UserId u = 0; u < f.train.num_users(); ++u) {
+    const auto top10 = f.rsvd.RecommendTopN(u, f.train.UnratedItems(u), 10);
+    const std::set<ItemId> pool(top10.begin(), top10.end());
+    for (ItemId i : (*topn)[static_cast<size_t>(u)]) {
+      EXPECT_TRUE(pool.count(i) > 0);
+    }
+  }
+}
+
+TEST(FiveDTest, AccuracyFilterImprovesFMeasure) {
+  // Paper: 5D(RSVD, A, RR) is more accurate than plain 5D(RSVD).
+  Fixture f;
+  FiveDReranker plain(&f.rsvd, &f.train, {});
+  FiveDConfig cfg;
+  cfg.accuracy_filter = true;
+  cfg.rank_by_rankings = true;
+  FiveDReranker arr(&f.rsvd, &f.train, cfg);
+  auto plain_topn = plain.RecommendAll(f.train, 5);
+  auto arr_topn = arr.RecommendAll(f.train, 5);
+  ASSERT_TRUE(plain_topn.ok());
+  ASSERT_TRUE(arr_topn.ok());
+  const MetricsConfig mcfg{.top_n = 5};
+  const auto plain_m = EvaluateTopN(f.train, f.test, *plain_topn, mcfg);
+  const auto arr_m = EvaluateTopN(f.train, f.test, *arr_topn, mcfg);
+  EXPECT_GE(arr_m.f_measure, plain_m.f_measure);
+}
+
+TEST(FiveDTest, RankByRankingsIsScaleInvariant) {
+  Fixture f;
+  FiveDConfig cfg;
+  cfg.rank_by_rankings = true;
+  FiveDReranker five(&f.rsvd, &f.train, cfg);
+  auto topn = five.RecommendAll(f.train, 5);
+  ASSERT_TRUE(topn.ok());
+  for (const auto& pu : *topn) EXPECT_EQ(pu.size(), 5u);
+}
+
+TEST(FiveDTest, InvalidTopNRejected) {
+  Fixture f;
+  FiveDReranker five(&f.rsvd, &f.train, {});
+  EXPECT_FALSE(five.RecommendAll(f.train, -1).ok());
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,117 @@
+#include "util/binary_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "ganc_binio_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Flips one byte at `offset` in the file (corruption injection).
+  void CorruptByte(const std::string& path, std::streamoff offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(offset);
+    char c = 0;
+    f.read(&c, 1);
+    c ^= 0x5A;
+    f.seekp(offset);
+    f.write(&c, 1);
+  }
+
+  /// Truncates the file to `size` bytes.
+  void Truncate(const std::string& path, uintmax_t size) {
+    std::filesystem::resize_file(path, size);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BinaryIoTest, Fnv1aKnownValues) {
+  // FNV-1a 64 reference: hash of empty input is the offset basis.
+  EXPECT_EQ(Fnv1aHash("", 0), 0xCBF29CE484222325ULL);
+  // "a" -> well-known value.
+  EXPECT_EQ(Fnv1aHash("a", 1), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST_F(BinaryIoTest, DoubleVectorRoundTrip) {
+  const std::vector<double> v{0.0, 1.5, -2.25, 1e300, -1e-300};
+  ASSERT_TRUE(WriteDoubleVector(Path("v.bin"), v).ok());
+  auto back = ReadDoubleVector(Path("v.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+}
+
+TEST_F(BinaryIoTest, EmptyVectorRoundTrip) {
+  ASSERT_TRUE(WriteDoubleVector(Path("e.bin"), {}).ok());
+  auto back = ReadDoubleVector(Path("e.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(BinaryIoTest, TopNCollectionRoundTrip) {
+  const std::vector<std::vector<int32_t>> topn{{1, 2, 3}, {}, {7}};
+  ASSERT_TRUE(WriteTopNCollection(Path("t.bin"), topn).ok());
+  auto back = ReadTopNCollection(Path("t.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, topn);
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadDoubleVector(Path("absent.bin")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(BinaryIoTest, CorruptPayloadDetected) {
+  ASSERT_TRUE(WriteDoubleVector(Path("c.bin"), {1.0, 2.0, 3.0}).ok());
+  // Header is 20 bytes (magic 8 + version 4 + size 8); corrupt payload.
+  CorruptByte(Path("c.bin"), 25);
+  auto back = ReadDoubleVector(Path("c.bin"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinaryIoTest, CorruptMagicDetected) {
+  ASSERT_TRUE(WriteDoubleVector(Path("m.bin"), {1.0}).ok());
+  CorruptByte(Path("m.bin"), 0);
+  auto back = ReadDoubleVector(Path("m.bin"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(BinaryIoTest, TruncationDetected) {
+  ASSERT_TRUE(WriteDoubleVector(Path("tr.bin"), {1.0, 2.0, 3.0}).ok());
+  const auto full = std::filesystem::file_size(Path("tr.bin"));
+  Truncate(Path("tr.bin"), full - 4);
+  EXPECT_FALSE(ReadDoubleVector(Path("tr.bin")).ok());
+}
+
+TEST_F(BinaryIoTest, WrongTypeRejected) {
+  // A vector file read as a top-N collection must fail on magic.
+  ASSERT_TRUE(WriteDoubleVector(Path("x.bin"), {1.0}).ok());
+  EXPECT_FALSE(ReadTopNCollection(Path("x.bin")).ok());
+  ASSERT_TRUE(WriteTopNCollection(Path("y.bin"), {{1}}).ok());
+  EXPECT_FALSE(ReadDoubleVector(Path("y.bin")).ok());
+}
+
+TEST_F(BinaryIoTest, LargeVectorRoundTrip) {
+  std::vector<double> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i) * 0.5;
+  ASSERT_TRUE(WriteDoubleVector(Path("big.bin"), v).ok());
+  auto back = ReadDoubleVector(Path("big.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "ganc_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, SplitLineBasic) {
+  const auto f = SplitLine("a,b,c", ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST_F(CsvTest, SplitLineTrimsWhitespace) {
+  const auto f = SplitLine("  a , b\t, c ", ',');
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST_F(CsvTest, SplitLineTabDelimiter) {
+  const auto f = SplitLine("1\t2\t3.5", '\t');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[2], "3.5");
+}
+
+TEST_F(CsvTest, ReadSkipsCommentsAndBlankLines) {
+  WriteFile("a.csv", "# comment\n\n1,2,3\n\n4,5,6\n");
+  auto table = ReadDelimited(Path("a.csv"), ',', false);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST_F(CsvTest, ReadSkipHeader) {
+  WriteFile("b.csv", "user,item,rating\n1,2,3\n");
+  auto table = ReadDelimited(Path("b.csv"), ',', true);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "1");
+}
+
+TEST_F(CsvTest, ReadMissingFileErrors) {
+  auto table = ReadDelimited(Path("nope.csv"), ',', false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, WriteThenReadRoundTrips) {
+  const std::vector<std::vector<std::string>> rows{{"1", "2", "4.5"},
+                                                   {"3", "4", "2.0"}};
+  ASSERT_TRUE(WriteDelimited(Path("c.csv"), ',', rows).ok());
+  auto table = ReadDelimited(Path("c.csv"), ',', false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows, rows);
+}
+
+TEST_F(CsvTest, WriteToInvalidPathErrors) {
+  EXPECT_FALSE(
+      WriteDelimited("/nonexistent_dir_xyz/file.csv", ',', {}).ok());
+}
+
+TEST_F(CsvTest, FormatDoubleFixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 4), "1.0000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace ganc

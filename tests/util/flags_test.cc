@@ -1,0 +1,95 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+Result<Flags> ParseArgs(std::vector<const char*> argv,
+                        std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto f = ParseArgs({"--name=value"}, {"name"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetString("name", ""), "value");
+}
+
+TEST(FlagsTest, SpaceForm) {
+  auto f = ParseArgs({"--name", "value"}, {"name"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetString("name", ""), "value");
+}
+
+TEST(FlagsTest, BareSwitch) {
+  auto f = ParseArgs({"--verbose"}, {"verbose"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->GetBool("verbose", false));
+}
+
+TEST(FlagsTest, BoolFalseValues) {
+  auto f = ParseArgs({"--a=false", "--b=0", "--c=no"}, {"a", "b", "c"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->GetBool("a", true));
+  EXPECT_FALSE(f->GetBool("b", true));
+  EXPECT_FALSE(f->GetBool("c", true));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  auto f = ParseArgs({"--oops=1"}, {"name"});
+  ASSERT_FALSE(f.ok());
+  EXPECT_NE(f.status().message().find("oops"), std::string::npos);
+}
+
+TEST(FlagsTest, IntParsing) {
+  auto f = ParseArgs({"--n=42", "--bad=xyz"}, {"n", "bad"});
+  ASSERT_TRUE(f.ok());
+  auto n = f->GetInt("n", 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 42);
+  EXPECT_FALSE(f->GetInt("bad", 0).ok());
+  auto missing = f->GetInt("absent", 7);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, 7);
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  auto f = ParseArgs({"--x=0.5"}, {"x"});
+  ASSERT_TRUE(f.ok());
+  auto x = f->GetDouble("x", 0.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 0.5);
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  auto f = ParseArgs({"--n=-3", "--x=-0.25"}, {"n", "x"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f->GetInt("n", 0), -3);
+  EXPECT_DOUBLE_EQ(*f->GetDouble("x", 0.0), -0.25);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto f = ParseArgs({"input.csv", "--n=1", "other.txt"}, {"n"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->positional(),
+            (std::vector<std::string>{"input.csv", "other.txt"}));
+}
+
+TEST(FlagsTest, SwitchFollowedByFlagDoesNotConsumeIt) {
+  auto f = ParseArgs({"--verbose", "--n=2"}, {"verbose", "n"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->GetBool("verbose", false));
+  EXPECT_EQ(*f->GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, HasDetectsPresence) {
+  auto f = ParseArgs({"--a=1"}, {"a", "b"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->Has("a"));
+  EXPECT_FALSE(f->Has("b"));
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kSilent);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kSilent);
+}
+
+TEST_F(LoggingTest, DisabledLevelsDoNotCrashAndAreCheap) {
+  SetLogLevel(LogLevel::kSilent);
+  for (int i = 0; i < 1000; ++i) {
+    GANC_LOG(Debug) << "suppressed " << i;
+    GANC_LOG(Error) << "suppressed too " << i;
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, StreamAcceptsMixedTypes) {
+  SetLogLevel(LogLevel::kSilent);
+  GANC_LOG(Info) << "int " << 42 << " double " << 3.14 << " str "
+                 << std::string("x") << " bool " << true;
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingIsSafe) {
+  SetLogLevel(LogLevel::kSilent);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        GANC_LOG(Warn) << "thread " << t << " msg " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,217 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.Uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(static_cast<int64_t>(-5), 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(43);
+  Rng child = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> weights{1.0, 2.0, 7.0};
+  AliasSampler sampler(weights);
+  Rng rng(47);
+  std::vector<int> counts(3, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverDrawn) {
+  std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  AliasSampler sampler(weights);
+  Rng rng(53);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = sampler.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  AliasSampler sampler({5.0});
+  Rng rng(59);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(61);
+  const auto s = SampleWithoutReplacement(100, 30, &rng);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithoutReplacementTest, FullPopulation) {
+  Rng rng(67);
+  const auto s = SampleWithoutReplacement(10, 10, &rng);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, ZeroK) {
+  Rng rng(71);
+  EXPECT_TRUE(SampleWithoutReplacement(10, 0, &rng).empty());
+}
+
+TEST(WeightedSampleWithoutReplacementTest, RespectsZeroWeights) {
+  std::vector<double> weights{0.0, 1.0, 1.0, 0.0, 1.0};
+  Rng rng(73);
+  const auto s = WeightedSampleWithoutReplacement(weights, 3, &rng);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq, (std::set<size_t>{1, 2, 4}));
+}
+
+TEST(WeightedSampleWithoutReplacementTest, HeavyWeightSampledFirstMoreOften) {
+  std::vector<double> weights{10.0, 1.0, 1.0, 1.0};
+  int first_is_heavy = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const auto s = WeightedSampleWithoutReplacement(weights, 2, &rng);
+    if (s[0] == 0) ++first_is_heavy;
+  }
+  EXPECT_GT(first_is_heavy, 120);  // ~10/13 expected
+}
+
+TEST(ZipfWeightsTest, DecreasingAndNormalizable) {
+  const auto w = ZipfWeights(10, 1.0);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+}
+
+TEST(ZipfWeightsTest, ExponentZeroIsUniform) {
+  const auto w = ZipfWeights(5, 0.0);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+}  // namespace
+}  // namespace ganc

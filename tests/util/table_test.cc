@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Alg", "F@5"});
+  t.AddRow({"Pop", "0.07"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Alg"), std::string::npos);
+  EXPECT_NE(s.find("Pop"), std::string::npos);
+  EXPECT_NE(s.find("0.07"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  const std::string s = t.ToString();
+  // Three lines: header, separator, row; row has all three column slots.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"a-much-longer-name", "2"});
+  const std::string s = t.ToString();
+  // Every line has the same length when columns are padded.
+  size_t prev = std::string::npos;
+  size_t start = 0;
+  while (start < s.size()) {
+    const size_t end = s.find('\n', start);
+    const size_t len = end - start;
+    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"only"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, 1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, 0, 100, [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  ParallelFor(&pool, 5, 5, [&](size_t) { touched = true; });
+  ParallelFor(&pool, 7, 3, [&](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  ParallelFor(&pool, 10, 20, [&](size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelForTest, ResultMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<double> parallel_out(5000), serial_out(5000);
+  auto body = [](size_t i) { return static_cast<double>(i) * 0.5 + 1.0; };
+  ParallelFor(&pool, 0, 5000, [&](size_t i) { parallel_out[i] = body(i); });
+  for (size_t i = 0; i < 5000; ++i) serial_out[i] = body(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,72 @@
+#include "util/top_k.h"
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(SelectTopKTest, PicksHighestScores) {
+  std::vector<ScoredItem> items{{0, 0.1}, {1, 0.9}, {2, 0.5}, {3, 0.7}};
+  const auto top = SelectTopK(items, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 3);
+}
+
+TEST(SelectTopKTest, BestFirstOrder) {
+  std::vector<ScoredItem> items{{0, 1.0}, {1, 3.0}, {2, 2.0}};
+  const auto top = SelectTopK(items, 3);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 2);
+  EXPECT_EQ(top[2].item, 0);
+}
+
+TEST(SelectTopKTest, TieBreaksBySmallerItemId) {
+  std::vector<ScoredItem> items{{5, 0.5}, {2, 0.5}, {9, 0.5}, {1, 0.4}};
+  const auto top = SelectTopK(items, 2);
+  EXPECT_EQ(top[0].item, 2);
+  EXPECT_EQ(top[1].item, 5);
+}
+
+TEST(SelectTopKTest, KLargerThanInput) {
+  std::vector<ScoredItem> items{{0, 1.0}, {1, 2.0}};
+  const auto top = SelectTopK(items, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(SelectTopKTest, KZeroEmpty) {
+  std::vector<ScoredItem> items{{0, 1.0}};
+  EXPECT_TRUE(SelectTopK(items, 0).empty());
+  EXPECT_TRUE(SelectTopK({}, 5).empty());
+}
+
+TEST(SelectTopKTest, NegativeScores) {
+  std::vector<ScoredItem> items{{0, -3.0}, {1, -1.0}, {2, -2.0}};
+  const auto top = SelectTopK(items, 2);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 2);
+}
+
+TEST(SelectTopKFromScoresTest, RestrictsToCandidates) {
+  const std::vector<double> scores{0.9, 0.1, 0.8, 0.7};
+  const std::vector<int32_t> candidates{1, 2, 3};  // item 0 excluded
+  const auto top = SelectTopKFromScores(scores, candidates, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 2);
+  EXPECT_EQ(top[1].item, 3);
+}
+
+TEST(SelectTopKTest, LargeInputAgreesWithFullSort) {
+  std::vector<ScoredItem> items;
+  for (int32_t i = 0; i < 1000; ++i) {
+    items.push_back({i, static_cast<double>((i * 7919) % 1000)});
+  }
+  const auto top = SelectTopK(items, 25);
+  auto sorted = items;
+  std::sort(sorted.begin(), sorted.end(), ScoredBetter);
+  ASSERT_EQ(top.size(), 25u);
+  for (size_t k = 0; k < 25; ++k) EXPECT_EQ(top[k].item, sorted[k].item);
+}
+
+}  // namespace
+}  // namespace ganc
