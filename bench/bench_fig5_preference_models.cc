@@ -78,7 +78,7 @@ int main() {
       const MetricsConfig mcfg{.top_n = n};
       // Raw accuracy recommender baseline.
       {
-        const auto topn = RecommendAllUsers(*arec.model, train, n);
+        const auto topn = RecommendAllUsers(*arec.model, train, n, bench::SharedPool());
         const auto m = EvaluateTopN(train, data.test, topn, mcfg);
         std::vector<std::string> row = {"ARec"};
         for (const auto& cell : MetricsRow(m)) row.push_back(cell);

@@ -57,12 +57,12 @@ int main() {
     gcfg.sample_size = 500;
 
     const std::vector<AlgorithmEntry> entries = {
-        {"Rand", [&] { return RecommendAllUsers(rnd, train, 5); }},
-        {"Pop", [&] { return RecommendAllUsers(pop, train, 5); }},
-        {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5); }},
-        {cofi.name(), [&] { return RecommendAllUsers(cofi, train, 5); }},
-        {"PSVD10", [&] { return RecommendAllUsers(psvd10, train, 5); }},
-        {psvd100.name(), [&] { return RecommendAllUsers(psvd100, train, 5); }},
+        {"Rand", [&] { return RecommendAllUsers(rnd, train, 5, bench::SharedPool()); }},
+        {"Pop", [&] { return RecommendAllUsers(pop, train, 5, bench::SharedPool()); }},
+        {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5, bench::SharedPool()); }},
+        {cofi.name(), [&] { return RecommendAllUsers(cofi, train, 5, bench::SharedPool()); }},
+        {"PSVD10", [&] { return RecommendAllUsers(psvd10, train, 5, bench::SharedPool()); }},
+        {psvd100.name(), [&] { return RecommendAllUsers(psvd100, train, 5, bench::SharedPool()); }},
         {"PRA(" + arec.name() + ", 10)",
          [&] { return pra.RecommendAll(train, 5).value(); }},
         {"GANC(" + arec.name() + ", thetaG, Dyn)",

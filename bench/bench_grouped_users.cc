@@ -30,7 +30,7 @@ int main() {
     GancConfig cfg;
     cfg.top_n = 5;
     cfg.sample_size = 500;
-    const auto base_topn = RecommendAllUsers(pop, train, 5);
+    const auto base_topn = RecommendAllUsers(pop, train, 5, bench::SharedPool());
     const auto ganc_topn =
         RunGanc(scorer, theta, CoverageKind::kDyn, train, cfg);
 

@@ -56,7 +56,7 @@ int main() {
     gcfg.sample_size = 500;
 
     const std::vector<AlgorithmEntry> entries = {
-        {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5); }},
+        {"RSVD", [&] { return RecommendAllUsers(rsvd, train, 5, bench::SharedPool()); }},
         {"5D(RSVD)",
          [&] { return five_plain.RecommendAll(train, 5).value(); }},
         {"5D(RSVD, A, RR)",

@@ -160,11 +160,18 @@ std::vector<double> ThetaG(const RatingDataset& train) {
   return std::move(result).value().theta;
 }
 
+ThreadPool* SharedPool() {
+  static ThreadPool* pool = new ThreadPool(0);  // leaked: process-lifetime
+  return pool;
+}
+
 TopNCollection RunGanc(const AccuracyScorer& scorer,
                        const std::vector<double>& theta, CoverageKind kind,
                        const RatingDataset& train, const GancConfig& config) {
   Ganc ganc(&scorer, theta, kind);
-  auto topn = ganc.RecommendAll(train, config);
+  GancConfig cfg = config;
+  if (cfg.pool == nullptr) cfg.pool = SharedPool();
+  auto topn = ganc.RecommendAll(train, cfg);
   if (!topn.ok()) {
     std::fprintf(stderr, "GANC: %s\n", topn.status().ToString().c_str());
     std::exit(1);

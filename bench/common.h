@@ -67,7 +67,14 @@ PsvdRecommender FitPsvd(const RatingDataset& train, int factors);
 /// theta^G with bench-friendly solver limits.
 std::vector<double> ThetaG(const RatingDataset& train);
 
-/// Runs GANC and returns the collection; exits on error.
+/// Lazily-created process-wide worker pool (hardware concurrency) for the
+/// benches' batched scoring loops. Never destroyed; safe to share because
+/// every parallel path is deterministic.
+ThreadPool* SharedPool();
+
+/// Runs GANC and returns the collection; exits on error. A null
+/// config.pool is replaced by SharedPool() — batched parallel scoring is
+/// byte-identical to the serial path, so results are unaffected.
 TopNCollection RunGanc(const AccuracyScorer& scorer,
                        const std::vector<double>& theta, CoverageKind kind,
                        const RatingDataset& train, const GancConfig& config);

@@ -3,6 +3,8 @@
 // epoch, metric evaluation, and theta^G iterations.
 
 #include <cmath>
+#include <memory>
+#include <span>
 
 #include <benchmark/benchmark.h>
 
@@ -13,7 +15,9 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "recommender/recommender.h"
+#include "recommender/scoring_context.h"
 #include "util/kde.h"
+#include "util/thread_pool.h"
 #include "util/stats.h"
 #include "util/top_k.h"
 
@@ -114,6 +118,117 @@ void BM_ThetaGIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThetaGIteration);
+
+// --- Batched scoring path: allocating legacy calls vs the zero-allocation
+// ScoreInto / RecommendTopNInto / pooled RecommendAllUsers pipeline.
+
+const PsvdRecommender& BenchPsvd() {
+  static const PsvdRecommender* psvd = [] {
+    auto* model = new PsvdRecommender({.num_factors = 40});
+    (void)model->Fit(BenchTrain());
+    return model;
+  }();
+  return *psvd;
+}
+
+void BM_ScoreAll_Alloc(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psvd.ScoreAll(u));
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_ScoreAll_Alloc);
+
+void BM_ScoreInto_Reuse(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  ScoringContext ctx;
+  UserId u = 0;
+  for (auto _ : state) {
+    const std::span<double> out =
+        ctx.Scores(static_cast<size_t>(psvd.num_items()));
+    psvd.ScoreInto(u, out);
+    benchmark::DoNotOptimize(out.data());
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_ScoreInto_Reuse);
+
+// Pop's scoring is a plain copy, so this pair isolates the per-user
+// allocation cost that ScoreInto eliminates (PSVD above shows the
+// compute-bound case where scoring work dominates).
+void BM_ScoreAll_Alloc_Pop(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  PopRecommender pop;
+  (void)pop.Fit(train);
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pop.ScoreAll(u));
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_ScoreAll_Alloc_Pop);
+
+void BM_ScoreInto_Reuse_Pop(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  PopRecommender pop;
+  (void)pop.Fit(train);
+  ScoringContext ctx;
+  UserId u = 0;
+  for (auto _ : state) {
+    const std::span<double> out =
+        ctx.Scores(static_cast<size_t>(pop.num_items()));
+    pop.ScoreInto(u, out);
+    benchmark::DoNotOptimize(out.data());
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_ScoreInto_Reuse_Pop);
+
+void BM_RecommendTopN_Alloc(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        psvd.RecommendTopN(u, train.UnratedItems(u), 10));
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_RecommendTopN_Alloc);
+
+void BM_RecommendTopNInto_Reuse(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  ScoringContext ctx;
+  std::vector<ItemId> out;
+  UserId u = 0;
+  for (auto _ : state) {
+    train.UnratedItemsInto(u, &ctx.Candidates());
+    psvd.RecommendTopNInto(u, ctx.Candidates(), 10, ctx, out);
+    benchmark::DoNotOptimize(out.data());
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_RecommendTopNInto_Reuse);
+
+void BM_RecommendAllUsers(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RecommendAllUsers(psvd, train, 10, pool.get()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          train.num_users());
+}
+BENCHMARK(BM_RecommendAllUsers)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_EvaluateTopN(benchmark::State& state) {
   const RatingDataset& train = BenchTrain();

@@ -1,21 +1,34 @@
 #include "core/accuracy_scorer.h"
 
+#include <algorithm>
+
+#include "recommender/scoring_context.h"
 #include "util/stats.h"
 
 namespace ganc {
 
-std::vector<double> NormalizedAccuracyScorer::ScoreAll(UserId u) const {
-  std::vector<double> scores = base_->ScoreAll(u);
-  MinMaxNormalize(&scores);
+std::vector<double> AccuracyScorer::ScoreAll(UserId u) const {
+  std::vector<double> scores(static_cast<size_t>(num_items()));
+  ScoreInto(u, scores);
   return scores;
 }
 
-std::vector<double> TopNIndicatorScorer::ScoreAll(UserId u) const {
-  std::vector<double> scores(static_cast<size_t>(train_->num_items()), 0.0);
-  const std::vector<ItemId> top =
-      base_->RecommendTopN(u, train_->UnratedItems(u), top_n_);
-  for (ItemId i : top) scores[static_cast<size_t>(i)] = 1.0;
-  return scores;
+void NormalizedAccuracyScorer::ScoreInto(UserId u,
+                                         std::span<double> out) const {
+  base_->ScoreInto(u, out);
+  MinMaxNormalize(out);
+}
+
+void TopNIndicatorScorer::ScoreInto(UserId u, std::span<double> out) const {
+  // The adapter's scratch is thread_local rather than caller-provided so
+  // `out` can come from the caller's own ScoringContext without aliasing
+  // the buffers the inner RecommendTopNInto call writes through.
+  static thread_local ScoringContext ctx;
+  static thread_local std::vector<ItemId> top;
+  train_->UnratedItemsInto(u, &ctx.Candidates());
+  base_->RecommendTopNInto(u, ctx.Candidates(), top_n_, ctx, top);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (ItemId i : top) out[static_cast<size_t>(i)] = 1.0;
 }
 
 }  // namespace ganc

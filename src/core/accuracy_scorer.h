@@ -5,11 +5,15 @@
 // min-max normalized per user; the non-personalized Pop model, which does
 // not emit scores, contributes the indicator a(i) = 1[i in Pop's top-N
 // unseen items for u] exactly as the paper defines.
+//
+// Like Recommender, the scoring primitive is ScoreInto (batched loops
+// reuse one buffer per worker); ScoreAll is the allocating wrapper.
 
 #ifndef GANC_CORE_ACCURACY_SCORER_H_
 #define GANC_CORE_ACCURACY_SCORER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,8 +27,15 @@ class AccuracyScorer {
  public:
   virtual ~AccuracyScorer() = default;
 
-  /// a(i) for every item in the catalog for user u, each in [0, 1].
-  virtual std::vector<double> ScoreAll(UserId u) const = 0;
+  /// Catalog size the scorer produces scores over.
+  virtual int32_t num_items() const = 0;
+
+  /// Writes a(i) for every item in the catalog for user u into `out`
+  /// (exactly num_items() entries), each in [0, 1]. Thread-safe.
+  virtual void ScoreInto(UserId u, std::span<double> out) const = 0;
+
+  /// Allocating convenience wrapper over ScoreInto.
+  std::vector<double> ScoreAll(UserId u) const;
 
   virtual std::string name() const = 0;
 };
@@ -35,7 +46,8 @@ class NormalizedAccuracyScorer : public AccuracyScorer {
   /// `base` must be fitted and outlive this scorer.
   explicit NormalizedAccuracyScorer(const Recommender* base) : base_(base) {}
 
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return base_->num_items(); }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return base_->name(); }
 
  private:
@@ -51,7 +63,8 @@ class TopNIndicatorScorer : public AccuracyScorer {
                       int top_n)
       : base_(base), train_(train), top_n_(top_n) {}
 
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return train_->num_items(); }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return base_->name(); }
 
  private:

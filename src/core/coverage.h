@@ -12,8 +12,10 @@
 #ifndef GANC_CORE_COVERAGE_H_
 #define GANC_CORE_COVERAGE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +85,26 @@ class DynCoverage : public CoverageModel {
 
  private:
   std::vector<uint32_t> counts_;
+};
+
+/// Read-only Dyn scoring over borrowed counts. OSLG's parallel phase
+/// scores every out-of-sample user against the snapshot of their
+/// nearest-theta sampled user; this view does it without copying the
+/// count vector per user (the snapshot is never mutated there).
+class DynSnapshotView : public CoverageModel {
+ public:
+  explicit DynSnapshotView(std::span<const uint32_t> counts)
+      : counts_(counts) {}
+
+  double Score(UserId /*u*/, ItemId i) const override {
+    return 1.0 /
+           std::sqrt(static_cast<double>(counts_[static_cast<size_t>(i)]) +
+                     1.0);
+  }
+  std::string name() const override { return "Dyn"; }
+
+ private:
+  std::span<const uint32_t> counts_;
 };
 
 /// Which coverage recommender a GANC variant uses.

@@ -26,19 +26,28 @@ std::vector<ItemId> GreedyTopNForUser(const std::vector<double>& accuracy,
                                       const CoverageModel& coverage, UserId u,
                                       const std::vector<ItemId>& candidates,
                                       int top_n) {
-  std::vector<ScoredItem> scored;
-  scored.reserve(candidates.size());
-  for (ItemId i : candidates) {
-    const double v = (1.0 - theta_u) * accuracy[static_cast<size_t>(i)] +
-                     theta_u * coverage.Score(u, i);
-    scored.push_back({i, v});
-  }
-  const std::vector<ScoredItem> top =
-      SelectTopK(scored, static_cast<size_t>(top_n));
+  ScoringContext ctx;
   std::vector<ItemId> out;
+  GreedyTopNForUserInto(accuracy, theta_u, coverage, u, candidates, top_n,
+                        ctx, out);
+  return out;
+}
+
+void GreedyTopNForUserInto(std::span<const double> accuracy, double theta_u,
+                           const CoverageModel& coverage, UserId u,
+                           std::span<const ItemId> candidates, int top_n,
+                           ScoringContext& ctx, std::vector<ItemId>& out) {
+  std::vector<ScoredItem>& top = ctx.TopK();
+  SelectTopKByInto(
+      candidates, static_cast<size_t>(top_n),
+      [&](ItemId i) {
+        return (1.0 - theta_u) * accuracy[static_cast<size_t>(i)] +
+               theta_u * coverage.Score(u, i);
+      },
+      &top);
+  out.clear();
   out.reserve(top.size());
   for (const ScoredItem& s : top) out.push_back(s.item);
-  return out;
 }
 
 Result<TopNCollection> Ganc::RecommendAll(const RatingDataset& train,
@@ -65,14 +74,22 @@ TopNCollection Ganc::RunModular(const RatingDataset& train,
   // is each user's own mixed-score top-N, embarrassingly parallel.
   const std::unique_ptr<CoverageModel> coverage =
       MakeCoverage(coverage_, train, config.seed);
+  const size_t num_items = static_cast<size_t>(train.num_items());
   TopNCollection result(static_cast<size_t>(train.num_users()));
-  ParallelFor(config.pool, 0, static_cast<size_t>(train.num_users()),
-              [&](size_t uu) {
-                const UserId u = static_cast<UserId>(uu);
-                result[uu] = GreedyTopNForUser(
-                    accuracy_->ScoreAll(u), theta_[uu], *coverage, u,
-                    train.UnratedItems(u), config.top_n);
-              });
+  ParallelForChunks(
+      config.pool, 0, static_cast<size_t>(train.num_users()),
+      [&](size_t lo, size_t hi) {
+        ScoringContext ctx;
+        for (size_t uu = lo; uu < hi; ++uu) {
+          const UserId u = static_cast<UserId>(uu);
+          const std::span<double> acc = ctx.Scores(num_items);
+          accuracy_->ScoreInto(u, acc);
+          train.UnratedItemsInto(u, &ctx.Candidates());
+          GreedyTopNForUserInto(acc, theta_[uu], *coverage, u,
+                                ctx.Candidates(), config.top_n, ctx,
+                                result[uu]);
+        }
+      });
   return result;
 }
 
@@ -112,6 +129,7 @@ Result<TopNCollection> Ganc::RunOslg(const RatingDataset& train,
 
   TopNCollection result(n_users);
   std::vector<bool> in_sample(n_users, false);
+  const size_t num_items = static_cast<size_t>(train.num_items());
 
   // --- Lines 4-10: sequential locally greedy over the sample, snapshotting
   // the Dyn state F(theta_u) after each user.
@@ -120,16 +138,22 @@ Result<TopNCollection> Ganc::RunOslg(const RatingDataset& train,
   std::vector<double> snapshot_theta;
   snapshots.reserve(sample.size());
   snapshot_theta.reserve(sample.size());
-  for (size_t uu : sample) {
-    const UserId u = static_cast<UserId>(uu);
-    in_sample[uu] = true;
-    std::vector<ItemId> topn =
-        GreedyTopNForUser(accuracy_->ScoreAll(u), theta_[uu], dyn, u,
-                          train.UnratedItems(u), config.top_n);
-    for (ItemId i : topn) dyn.Observe(i);
-    snapshot_theta.push_back(theta_[uu]);
-    snapshots.push_back(dyn.counts());
-    result[uu] = std::move(topn);
+  {
+    ScoringContext ctx;
+    std::vector<ItemId> topn;
+    for (size_t uu : sample) {
+      const UserId u = static_cast<UserId>(uu);
+      in_sample[uu] = true;
+      const std::span<double> acc = ctx.Scores(num_items);
+      accuracy_->ScoreInto(u, acc);
+      train.UnratedItemsInto(u, &ctx.Candidates());
+      GreedyTopNForUserInto(acc, theta_[uu], dyn, u, ctx.Candidates(),
+                            config.top_n, ctx, topn);
+      for (ItemId i : topn) dyn.Observe(i);
+      snapshot_theta.push_back(theta_[uu]);
+      snapshots.push_back(dyn.counts());
+      result[uu] = topn;
+    }
   }
 
   if (full) return result;
@@ -164,13 +188,20 @@ Result<TopNCollection> Ganc::RunOslg(const RatingDataset& train,
     return best;
   };
 
-  ParallelFor(config.pool, 0, n_users, [&](size_t uu) {
-    if (in_sample[uu]) return;
-    const UserId u = static_cast<UserId>(uu);
-    DynCoverage local(train.num_items());
-    local.SetCounts(snapshots[nearest_snapshot(theta_[uu])]);
-    result[uu] = GreedyTopNForUser(accuracy_->ScoreAll(u), theta_[uu], local,
-                                   u, train.UnratedItems(u), config.top_n);
+  ParallelForChunks(config.pool, 0, n_users, [&](size_t lo, size_t hi) {
+    ScoringContext ctx;
+    for (size_t uu = lo; uu < hi; ++uu) {
+      if (in_sample[uu]) continue;
+      const UserId u = static_cast<UserId>(uu);
+      // The snapshot is never mutated in this phase, so a borrowing view
+      // replaces the per-user count-vector copy of the old code.
+      const DynSnapshotView local(snapshots[nearest_snapshot(theta_[uu])]);
+      const std::span<double> acc = ctx.Scores(num_items);
+      accuracy_->ScoreInto(u, acc);
+      train.UnratedItemsInto(u, &ctx.Candidates());
+      GreedyTopNForUserInto(acc, theta_[uu], local, u, ctx.Candidates(),
+                            config.top_n, ctx, result[uu]);
+    }
   });
   return result;
 }
@@ -190,8 +221,11 @@ double CollectionValue(const AccuracyScorer& accuracy,
       kind == CoverageKind::kDyn ? nullptr : MakeCoverage(kind, train, seed);
 
   double value = 0.0;
+  ScoringContext ctx;
   for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::vector<double> a = accuracy.ScoreAll(u);
+    const std::span<double> a =
+        ctx.Scores(static_cast<size_t>(train.num_items()));
+    accuracy.ScoreInto(u, a);
     const double t = theta[static_cast<size_t>(u)];
     double acc_sum = 0.0, cov_sum = 0.0;
     for (ItemId i : topn[static_cast<size_t>(u)]) {

@@ -23,12 +23,14 @@
 #define GANC_CORE_GANC_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/accuracy_scorer.h"
 #include "core/coverage.h"
 #include "data/dataset.h"
+#include "recommender/scoring_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +93,15 @@ std::vector<ItemId> GreedyTopNForUser(const std::vector<double>& accuracy,
                                       const CoverageModel& coverage, UserId u,
                                       const std::vector<ItemId>& candidates,
                                       int top_n);
+
+/// Allocation-free variant: selects through ctx's top-k heap and
+/// overwrites `out` (capacity reused). Identical output. Uses ctx.TopK
+/// only, so `accuracy` may live in ctx.Scores and `candidates` in
+/// ctx.Candidates.
+void GreedyTopNForUserInto(std::span<const double> accuracy, double theta_u,
+                           const CoverageModel& coverage, UserId u,
+                           std::span<const ItemId> candidates, int top_n,
+                           ScoringContext& ctx, std::vector<ItemId>& out);
 
 /// Aggregate objective value of a collection (Appendix B definition):
 /// sum_u (1-theta_u) a(P_u) + theta_u sum_{i in P_u} 1/sqrt(1 + f_i^P)

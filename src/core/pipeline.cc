@@ -11,6 +11,10 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Create(
   if (config.top_n <= 0) {
     return Status::InvalidArgument("top_n must be positive");
   }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (1 = serial, 0 = hardware concurrency)");
+  }
   if (config.fit_base) {
     GANC_RETURN_NOT_OK(base->Fit(train));
   }
@@ -35,6 +39,11 @@ GancPipeline::GancPipeline(std::unique_ptr<Recommender> base,
     scorer_ = std::make_unique<NormalizedAccuracyScorer>(base_.get());
   }
   ganc_ = std::make_unique<Ganc>(scorer_.get(), theta_, config_.coverage);
+  if (config_.pool == nullptr && config_.num_threads != 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        config_.num_threads > 1 ? static_cast<size_t>(config_.num_threads)
+                                : 0);
+  }
 }
 
 Result<TopNCollection> GancPipeline::RecommendAll() const {
@@ -42,16 +51,22 @@ Result<TopNCollection> GancPipeline::RecommendAll() const {
   cfg.top_n = config_.top_n;
   cfg.sample_size = config_.sample_size;
   cfg.seed = config_.seed;
-  cfg.pool = config_.pool;
+  cfg.pool = config_.pool != nullptr ? config_.pool : owned_pool_.get();
   return ganc_->RecommendAll(*train_, cfg);
 }
 
 std::vector<ItemId> GancPipeline::RecommendForUser(UserId u) const {
   const std::unique_ptr<CoverageModel> coverage =
       MakeCoverage(config_.coverage, *train_, config_.seed);
-  return GreedyTopNForUser(scorer_->ScoreAll(u),
-                           theta_[static_cast<size_t>(u)], *coverage, u,
-                           train_->UnratedItems(u), config_.top_n);
+  ScoringContext ctx;
+  const std::span<double> acc =
+      ctx.Scores(static_cast<size_t>(train_->num_items()));
+  scorer_->ScoreInto(u, acc);
+  train_->UnratedItemsInto(u, &ctx.Candidates());
+  std::vector<ItemId> out;
+  GreedyTopNForUserInto(acc, theta_[static_cast<size_t>(u)], *coverage, u,
+                        ctx.Candidates(), config_.top_n, ctx, out);
+  return out;
 }
 
 std::string GancPipeline::name() const {

@@ -46,6 +46,10 @@ struct PipelineConfig {
   double constant_theta = 0.5;
   /// Optional pool for the parallel phases.
   ThreadPool* pool = nullptr;
+  /// When `pool` is null, the pipeline owns a worker pool of this many
+  /// threads for the parallel phases: 1 = run serially (no pool),
+  /// 0 = hardware concurrency. Output is byte-identical either way.
+  int num_threads = 1;
 };
 
 /// Owns the assembled paper pipeline.
@@ -83,6 +87,7 @@ class GancPipeline {
   std::vector<double> theta_;
   std::unique_ptr<AccuracyScorer> scorer_;
   std::unique_ptr<Ganc> ganc_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // when config_.num_threads != 1
 };
 
 }  // namespace ganc

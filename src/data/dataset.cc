@@ -47,18 +47,24 @@ double RatingDataset::GlobalMeanRating() const {
 }
 
 std::vector<ItemId> RatingDataset::UnratedItems(UserId u) const {
-  const auto& row = by_user_[static_cast<size_t>(u)];
   std::vector<ItemId> out;
-  out.reserve(static_cast<size_t>(num_items_) - row.size());
+  UnratedItemsInto(u, &out);
+  return out;
+}
+
+void RatingDataset::UnratedItemsInto(UserId u,
+                                     std::vector<ItemId>* out) const {
+  const auto& row = by_user_[static_cast<size_t>(u)];
+  out->clear();
+  out->reserve(static_cast<size_t>(num_items_) - row.size());
   size_t cursor = 0;
   for (ItemId i = 0; i < num_items_; ++i) {
     if (cursor < row.size() && row[cursor].item == i) {
       ++cursor;
       continue;
     }
-    out.push_back(i);
+    out->push_back(i);
   }
-  return out;
 }
 
 RatingDatasetBuilder::RatingDatasetBuilder(int32_t num_users,

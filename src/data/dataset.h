@@ -92,6 +92,11 @@ class RatingDataset {
   /// candidate set from which every top-N set is drawn.
   std::vector<ItemId> UnratedItems(UserId u) const;
 
+  /// Allocation-free variant: overwrites `*out` with the unrated items of
+  /// `u`, reusing its capacity (the batched scoring path's candidate
+  /// generation).
+  void UnratedItemsInto(UserId u, std::vector<ItemId>* out) const;
+
  private:
   friend class RatingDatasetBuilder;
 

@@ -20,19 +20,25 @@ std::vector<std::vector<ItemId>> BuildTopN(const Recommender& model,
                                            ThreadPool* pool) {
   std::vector<std::vector<ItemId>> result(
       static_cast<size_t>(train.num_users()));
-  ParallelFor(pool, 0, static_cast<size_t>(train.num_users()), [&](size_t uu) {
-    const UserId u = static_cast<UserId>(uu);
-    std::vector<ItemId> candidates;
-    if (protocol == RankingProtocol::kAllUnrated) {
-      candidates = train.UnratedItems(u);
-    } else {
-      candidates.reserve(test.ItemsOf(u).size());
-      for (const ItemRating& ir : test.ItemsOf(u)) {
-        candidates.push_back(ir.item);
-      }
-    }
-    result[uu] = model.RecommendTopN(u, candidates, top_n);
-  });
+  ParallelForChunks(
+      pool, 0, static_cast<size_t>(train.num_users()),
+      [&](size_t lo, size_t hi) {
+        ScoringContext ctx;
+        for (size_t uu = lo; uu < hi; ++uu) {
+          const UserId u = static_cast<UserId>(uu);
+          std::vector<ItemId>& candidates = ctx.Candidates();
+          if (protocol == RankingProtocol::kAllUnrated) {
+            train.UnratedItemsInto(u, &candidates);
+          } else {
+            candidates.clear();
+            candidates.reserve(test.ItemsOf(u).size());
+            for (const ItemRating& ir : test.ItemsOf(u)) {
+              candidates.push_back(ir.item);
+            }
+          }
+          model.RecommendTopNInto(u, candidates, top_n, ctx, result[uu]);
+        }
+      });
   return result;
 }
 

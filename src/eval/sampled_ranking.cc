@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "recommender/scoring_context.h"
 #include "util/rng.h"
 
 namespace ganc {
@@ -21,9 +23,10 @@ Result<SampledRankingReport> EvaluateSampledRanking(
   Rng rng(options.seed);
   SampledRankingReport report;
   double hits = 0.0, ndcg = 0.0;
+  ScoringContext ctx;
 
   // Walk test observations user-major so each user's scores are computed
-  // once per contiguous block of their positives.
+  // once per contiguous block of their positives, into a reused buffer.
   for (UserId u = 0; u < test.num_users(); ++u) {
     const auto& row = test.ItemsOf(u);
     if (row.empty()) continue;
@@ -32,7 +35,9 @@ Result<SampledRankingReport> EvaluateSampledRanking(
         train.num_items()) {
       continue;
     }
-    const std::vector<double> scores = model.ScoreAll(u);
+    const std::span<double> scores =
+        ctx.Scores(static_cast<size_t>(train.num_items()));
+    model.ScoreInto(u, scores);
     for (const ItemRating& pos : row) {
       if (options.max_positives > 0 &&
           report.evaluated_positives >= options.max_positives) {

@@ -36,7 +36,8 @@ struct SampledRankingReport {
 
 /// For every (capped) test observation, ranks the positive among
 /// num_negatives items unseen in BOTH train and test for that user.
-/// Requires a fitted model; scores come from Recommender::ScoreAll.
+/// Requires a fitted model; scores come from Recommender::ScoreInto
+/// through a reused per-user buffer.
 Result<SampledRankingReport> EvaluateSampledRanking(
     const Recommender& model, const RatingDataset& train,
     const RatingDataset& test, const SampledRankingOptions& options);

@@ -85,12 +85,10 @@ double BprRecommender::Score(UserId u, ItemId i) const {
   return x;
 }
 
-std::vector<double> BprRecommender::ScoreAll(UserId u) const {
-  std::vector<double> scores(static_cast<size_t>(num_items_));
+void BprRecommender::ScoreInto(UserId u, std::span<double> out) const {
   for (ItemId i = 0; i < num_items_; ++i) {
-    scores[static_cast<size_t>(i)] = Score(u, i);
+    out[static_cast<size_t>(i)] = Score(u, i);
   }
-  return scores;
 }
 
 double BprRecommender::PairwiseAccuracy(const RatingDataset& train,

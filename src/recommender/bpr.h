@@ -36,7 +36,8 @@ class BprRecommender : public Recommender {
   explicit BprRecommender(BprConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "BPR"; }
 
   /// Mean pairwise ranking accuracy (AUC-style) over sampled triples from

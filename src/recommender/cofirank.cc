@@ -66,17 +66,15 @@ Status CofiRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> CofiRecommender::ScoreAll(UserId u) const {
+void CofiRecommender::ScoreInto(UserId u, std::span<double> out) const {
   const size_t g = static_cast<size_t>(config_.num_factors);
-  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
   const double* pu = &user_factors_[static_cast<size_t>(u) * g];
   for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
     const double* qi = &item_factors_[i * g];
     double dot = 0.0;
     for (size_t f = 0; f < g; ++f) dot += pu[f] * qi[f];
-    scores[i] = dot;
+    out[i] = dot;
   }
-  return scores;
 }
 
 }  // namespace ganc

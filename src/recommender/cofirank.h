@@ -39,7 +39,8 @@ class CofiRecommender : public Recommender {
   explicit CofiRecommender(CofiConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override {
     return "CofiR" + std::to_string(config_.num_factors);
   }

@@ -1,5 +1,6 @@
 #include "recommender/item_knn.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ganc {
@@ -18,18 +19,17 @@ Status ItemKnnRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> ItemKnnRecommender::ScoreAll(UserId u) const {
-  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
+void ItemKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
   // Accumulate from the user's rated items outward: each rated item j
   // pushes sim(i, j) * r_uj onto its neighbours i. Equivalent to scoring
   // every i over its rated neighbours, but touches only |I_u| * k entries.
   for (const ItemRating& ir : train_->ItemsOf(u)) {
     for (const ItemNeighbor& nb : index_.NeighborsOf(ir.item)) {
-      scores[static_cast<size_t>(nb.item)] +=
+      out[static_cast<size_t>(nb.item)] +=
           static_cast<double>(nb.sim) * static_cast<double>(ir.value);
     }
   }
-  return scores;
 }
 
 }  // namespace ganc

@@ -32,7 +32,8 @@ class ItemKnnRecommender : public Recommender {
   explicit ItemKnnRecommender(ItemKnnConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "ItemKNN"; }
 
   /// The fitted similarity index (for diagnostics and re-use).

@@ -1,5 +1,7 @@
 #include "recommender/pop.h"
 
+#include <algorithm>
+
 #include "util/stats.h"
 
 namespace ganc {
@@ -10,8 +12,8 @@ Status PopRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> PopRecommender::ScoreAll(UserId /*u*/) const {
-  return popularity_;
+void PopRecommender::ScoreInto(UserId /*u*/, std::span<double> out) const {
+  std::copy(popularity_.begin(), popularity_.end(), out.begin());
 }
 
 }  // namespace ganc

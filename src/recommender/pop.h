@@ -19,7 +19,10 @@ namespace ganc {
 class PopRecommender : public Recommender {
  public:
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override {
+    return static_cast<int32_t>(popularity_.size());
+  }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "Pop"; }
 
  private:

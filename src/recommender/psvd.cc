@@ -32,17 +32,15 @@ Status PsvdRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> PsvdRecommender::ScoreAll(UserId u) const {
+void PsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
   const size_t g = singular_values_.size();
-  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
   const double* pu = &user_factors_[static_cast<size_t>(u) * g];
   for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
     const double* qi = &item_factors_[i * g];
     double dot = 0.0;
     for (size_t f = 0; f < g; ++f) dot += pu[f] * qi[f];
-    scores[i] = dot;
+    out[i] = dot;
   }
-  return scores;
 }
 
 }  // namespace ganc

@@ -33,7 +33,8 @@ class PsvdRecommender : public Recommender {
   explicit PsvdRecommender(PsvdConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override {
     return "PSVD" + std::to_string(config_.num_factors);
   }

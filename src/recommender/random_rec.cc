@@ -9,12 +9,10 @@ Status RandomRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> RandomRecommender::ScoreAll(UserId u) const {
+void RandomRecommender::ScoreInto(UserId u, std::span<double> out) const {
   // A per-user forked stream keeps scoring deterministic and thread-safe.
   Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(u + 1)));
-  std::vector<double> scores(static_cast<size_t>(num_items_));
-  for (double& s : scores) s = rng.Uniform();
-  return scores;
+  for (double& s : out) s = rng.Uniform();
 }
 
 }  // namespace ganc

@@ -21,7 +21,8 @@ class RandomRecommender : public Recommender {
   explicit RandomRecommender(uint64_t seed = 99) : seed_(seed) {}
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "Rand"; }
 
  private:

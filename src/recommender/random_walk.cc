@@ -2,9 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace ganc {
+
+namespace {
+
+/// Per-thread walk scratch: a dense per-user mass accumulator plus the
+/// list of touched users (reset in O(touched), not O(|U|)). thread_local
+/// so concurrent ScoreInto calls on the same fitted model never share
+/// state and the walk allocates nothing once the buffers are warm.
+struct WalkScratch {
+  std::vector<double> mass;
+  std::vector<std::pair<UserId, double>> coraters;
+};
+
+}  // namespace
 
 RandomWalkRecommender::RandomWalkRecommender(RandomWalkConfig config)
     : config_(config) {}
@@ -25,15 +39,20 @@ Status RandomWalkRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> RandomWalkRecommender::ScoreAll(UserId u) const {
+void RandomWalkRecommender::ScoreInto(UserId u, std::span<double> out) const {
   const RatingDataset& train = *train_;
-  std::vector<double> scores(static_cast<size_t>(train.num_items()), 0.0);
+  std::fill(out.begin(), out.end(), 0.0);
   const auto& row = train.ItemsOf(u);
-  if (row.empty()) return scores;
+  if (row.empty()) return;
+
+  static thread_local WalkScratch scratch;
+  scratch.mass.resize(static_cast<size_t>(train.num_users()));
+  auto& coraters = scratch.coraters;
+  coraters.clear();
 
   // Hop 1+2: mass over co-raters. Starting uniformly on the user's items,
-  // an item forwards its mass equally to its raters.
-  std::unordered_map<UserId, double> corater_mass;
+  // an item forwards its mass equally to its raters. First touch of a
+  // co-rater records it, so resetting costs O(touched) afterwards.
   const double start = 1.0 / static_cast<double>(row.size());
   for (const ItemRating& ir : row) {
     const auto& audience = train.UsersOf(ir.item);
@@ -41,18 +60,27 @@ std::vector<double> RandomWalkRecommender::ScoreAll(UserId u) const {
     const double share = start / static_cast<double>(audience.size());
     for (const UserRating& ur : audience) {
       if (ur.user == u) continue;
-      corater_mass[ur.user] += share;
+      double& m = scratch.mass[static_cast<size_t>(ur.user)];
+      if (m == 0.0) coraters.emplace_back(ur.user, 0.0);
+      m += share;
     }
   }
+  for (auto& [s, mass] : coraters) {
+    mass = scratch.mass[static_cast<size_t>(s)];
+    scratch.mass[static_cast<size_t>(s)] = 0.0;  // reset for the next call
+  }
 
-  // Keep only the heaviest co-raters (bounds blockbuster fan-out).
-  std::vector<std::pair<UserId, double>> coraters(corater_mass.begin(),
-                                                  corater_mass.end());
+  // Keep only the heaviest co-raters (bounds blockbuster fan-out); ties
+  // broken by user id so the cut is independent of accumulation order.
+  const auto heavier = [](const std::pair<UserId, double>& a,
+                          const std::pair<UserId, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
   if (static_cast<int32_t>(coraters.size()) > config_.max_coraters) {
-    std::nth_element(
-        coraters.begin(),
-        coraters.begin() + config_.max_coraters - 1, coraters.end(),
-        [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::nth_element(coraters.begin(),
+                     coraters.begin() + config_.max_coraters - 1,
+                     coraters.end(), heavier);
     coraters.resize(static_cast<size_t>(config_.max_coraters));
   }
 
@@ -62,15 +90,14 @@ std::vector<double> RandomWalkRecommender::ScoreAll(UserId u) const {
     if (srow.empty()) continue;
     const double share = mass / static_cast<double>(srow.size());
     for (const ItemRating& ir : srow) {
-      scores[static_cast<size_t>(ir.item)] += share;
+      out[static_cast<size_t>(ir.item)] += share;
     }
   }
 
   // Popularity discount: divide the visiting probability by pop^beta.
-  for (size_t i = 0; i < scores.size(); ++i) {
-    if (scores[i] > 0.0) scores[i] /= item_penalty_[i];
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0.0) out[i] /= item_penalty_[i];
   }
-  return scores;
 }
 
 }  // namespace ganc

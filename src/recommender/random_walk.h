@@ -37,7 +37,10 @@ class RandomWalkRecommender : public Recommender {
   explicit RandomWalkRecommender(RandomWalkConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override {
+    return static_cast<int32_t>(item_penalty_.size());
+  }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "RP3b"; }
 
  private:

@@ -2,26 +2,49 @@
 
 namespace ganc {
 
+std::vector<double> Recommender::ScoreAll(UserId u) const {
+  std::vector<double> scores(static_cast<size_t>(num_items()));
+  ScoreInto(u, scores);
+  return scores;
+}
+
 std::vector<ItemId> Recommender::RecommendTopN(
     UserId u, const std::vector<ItemId>& candidates, int n) const {
-  const std::vector<double> scores = ScoreAll(u);
-  const std::vector<ScoredItem> top =
-      SelectTopKFromScores(scores, candidates, static_cast<size_t>(n));
+  ScoringContext ctx;
   std::vector<ItemId> out;
+  RecommendTopNInto(u, candidates, n, ctx, out);
+  return out;
+}
+
+void Recommender::RecommendTopNInto(UserId u,
+                                    std::span<const ItemId> candidates, int n,
+                                    ScoringContext& ctx,
+                                    std::vector<ItemId>& out) const {
+  const std::span<double> scores =
+      ctx.Scores(static_cast<size_t>(num_items()));
+  ScoreInto(u, scores);
+  std::vector<ScoredItem>& top = ctx.TopK();
+  SelectTopKFromScoresInto(scores, candidates, static_cast<size_t>(n), &top);
+  out.clear();
   out.reserve(top.size());
   for (const ScoredItem& s : top) out.push_back(s.item);
-  return out;
 }
 
 std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,
                                                    const RatingDataset& train,
-                                                   int n) {
+                                                   int n, ThreadPool* pool) {
   std::vector<std::vector<ItemId>> result(
       static_cast<size_t>(train.num_users()));
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    result[static_cast<size_t>(u)] =
-        model.RecommendTopN(u, train.UnratedItems(u), n);
-  }
+  ParallelForChunks(
+      pool, 0, static_cast<size_t>(train.num_users()),
+      [&](size_t lo, size_t hi) {
+        ScoringContext ctx;
+        for (size_t uu = lo; uu < hi; ++uu) {
+          const UserId u = static_cast<UserId>(uu);
+          train.UnratedItemsInto(u, &ctx.Candidates());
+          model.RecommendTopNInto(u, ctx.Candidates(), n, ctx, result[uu]);
+        }
+      });
   return result;
 }
 

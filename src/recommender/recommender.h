@@ -1,18 +1,24 @@
 // Common interface for base recommenders.
 //
 // Every model fits on a train RatingDataset and can score the whole
-// catalog for a user. Top-N generation always uses the shared SelectTopK
-// kernel so tie-breaking is deterministic across models.
+// catalog for a user. The scoring primitive is ScoreInto, which writes
+// into a caller-owned buffer so batched loops never allocate per user;
+// ScoreAll is the allocating convenience wrapper. Top-N generation always
+// uses the shared SelectTopK kernels so tie-breaking is deterministic
+// across models and across the sequential/parallel paths.
 
 #ifndef GANC_RECOMMENDER_RECOMMENDER_H_
 #define GANC_RECOMMENDER_RECOMMENDER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "recommender/scoring_context.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/top_k.h"
 
 namespace ganc {
@@ -26,10 +32,17 @@ class Recommender {
   /// again retrains from scratch.
   virtual Status Fit(const RatingDataset& train) = 0;
 
-  /// Dense scores for every item in the catalog for user `u`; higher is
-  /// better. Scales differ between models; normalize before mixing
-  /// (see core/accuracy_recommender.h).
-  virtual std::vector<double> ScoreAll(UserId u) const = 0;
+  /// Catalog size the fitted model scores over (0 before Fit).
+  virtual int32_t num_items() const = 0;
+
+  /// Writes a dense score for every item in the catalog for user `u` into
+  /// `out` (which must have exactly num_items() entries); higher is
+  /// better. Thread-safe on a fitted model. Scales differ between models;
+  /// normalize before mixing (see core/accuracy_scorer.h).
+  virtual void ScoreInto(UserId u, std::span<double> out) const = 0;
+
+  /// Allocating convenience wrapper over ScoreInto.
+  std::vector<double> ScoreAll(UserId u) const;
 
   /// Model name for reports, e.g. "RSVD" or "PSVD100".
   virtual std::string name() const = 0;
@@ -38,14 +51,25 @@ class Recommender {
   std::vector<ItemId> RecommendTopN(UserId u,
                                     const std::vector<ItemId>& candidates,
                                     int n) const;
+
+  /// Allocation-free top-N: scores through ctx's score buffer, selects
+  /// through ctx's top-k heap, and overwrites `out` (capacity reused).
+  /// Output is identical to RecommendTopN. Uses ctx.Scores and ctx.TopK;
+  /// `candidates` may alias ctx.Candidates().
+  void RecommendTopNInto(UserId u, std::span<const ItemId> candidates, int n,
+                         ScoringContext& ctx, std::vector<ItemId>& out) const;
 };
 
 /// Builds per-user top-N sets for all users over their unrated train items
 /// ("all unrated items" candidate generation). Returns one vector of item
-/// ids per user in best-first order.
+/// ids per user in best-first order. With a pool, users are scored in
+/// parallel chunks (one ScoringContext per chunk); because per-user
+/// scoring is deterministic and each user writes only its own slot, the
+/// output is byte-identical to the sequential path.
 std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,
                                                    const RatingDataset& train,
-                                                   int n);
+                                                   int n,
+                                                   ThreadPool* pool = nullptr);
 
 }  // namespace ganc
 

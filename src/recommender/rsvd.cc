@@ -94,12 +94,10 @@ double RsvdRecommender::Predict(UserId u, ItemId i) const {
   return pred;
 }
 
-std::vector<double> RsvdRecommender::ScoreAll(UserId u) const {
-  std::vector<double> scores(static_cast<size_t>(num_items_));
+void RsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
   for (ItemId i = 0; i < num_items_; ++i) {
-    scores[static_cast<size_t>(i)] = Predict(u, i);
+    out[static_cast<size_t>(i)] = Predict(u, i);
   }
-  return scores;
 }
 
 double RsvdRecommender::Rmse(const RatingDataset& test) const {

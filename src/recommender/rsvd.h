@@ -37,7 +37,8 @@ class RsvdRecommender : public Recommender {
   explicit RsvdRecommender(RsvdConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override {
     return config_.non_negative ? "RSVDN" : "RSVD";
   }

@@ -1,0 +1,17 @@
+#include "recommender/scoring_context.h"
+
+namespace ganc {
+
+std::span<double> ScoringContext::Buffer(size_t slot, size_t n) {
+  if (buffers_.size() <= slot) buffers_.resize(slot + 1);
+  std::vector<double>& buf = buffers_[slot];
+  buf.resize(n);  // shrinking keeps capacity: no reallocation churn
+  return {buf.data(), n};
+}
+
+std::vector<ItemId>& ScoringContext::Items(size_t slot) {
+  if (items_.size() <= slot) items_.resize(slot + 1);
+  return items_[slot];
+}
+
+}  // namespace ganc

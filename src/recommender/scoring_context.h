@@ -1,0 +1,72 @@
+// Reusable per-thread scratch for the batched, allocation-free scoring
+// path. Every hot loop that used to heap-allocate a catalog-sized score
+// vector per user (Recommender::ScoreAll, top-N selection, GANC's greedy,
+// the re-rankers) instead borrows buffers from a ScoringContext that is
+// created once per worker thread and amortizes all allocations across the
+// users the worker processes.
+//
+// A ScoringContext is NOT thread-safe; create one per thread (the chunked
+// parallel loops in recommender.cc / ganc.cc do exactly that). Buffer
+// contents are undefined between calls — every consumer must fully
+// overwrite what it reads.
+//
+// Slot conventions used by the framework (callers layering their own use
+// on top must avoid these while a framework call is in flight):
+//   Scores()  == Buffer(0)  dense per-item scores (RecommendTopNInto)
+//   TopK()                  heap/output of the top-k selection kernels
+//   Candidates() == Items(0) candidate item ids (UnratedItemsInto target)
+
+#ifndef GANC_RECOMMENDER_SCORING_CONTEXT_H_
+#define GANC_RECOMMENDER_SCORING_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/top_k.h"
+
+namespace ganc {
+
+/// Owns the reusable score/candidate/top-k buffers of one worker thread.
+class ScoringContext {
+ public:
+  ScoringContext() = default;
+
+  ScoringContext(const ScoringContext&) = delete;
+  ScoringContext& operator=(const ScoringContext&) = delete;
+
+  /// The primary dense score buffer, resized to `n` items.
+  std::span<double> Scores(size_t n) { return Buffer(0, n); }
+
+  /// A numbered double scratch buffer of exactly `n` entries. Slots are
+  /// independent; capacity is retained across calls.
+  std::span<double> Buffer(size_t slot, size_t n);
+
+  /// The primary candidate-id buffer (UnratedItemsInto target).
+  std::vector<ItemId>& Candidates() { return Items(0); }
+
+  /// A numbered item-id scratch vector (cleared by the consumer).
+  std::vector<ItemId>& Items(size_t slot);
+
+  /// Working heap / output of the top-k selection kernels.
+  std::vector<ScoredItem>& TopK() { return top_k_; }
+
+  /// Reusable byte flags (e.g. "already taken" marks in MMR).
+  std::vector<uint8_t>& Flags() { return flags_; }
+
+  /// Reusable index scratch (argsort orders, rank permutations).
+  std::vector<size_t>& Indices() { return indices_; }
+
+ private:
+  std::vector<std::vector<double>> buffers_;
+  std::vector<std::vector<ItemId>> items_;
+  std::vector<ScoredItem> top_k_;
+  std::vector<uint8_t> flags_;
+  std::vector<size_t> indices_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_SCORING_CONTEXT_H_

@@ -86,16 +86,15 @@ Status UserKnnRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
-std::vector<double> UserKnnRecommender::ScoreAll(UserId u) const {
-  std::vector<double> scores(static_cast<size_t>(num_items_), 0.0);
+void UserKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
   for (const Neighbor& nb : neighbors_[static_cast<size_t>(u)]) {
     const double mean = user_mean_[static_cast<size_t>(nb.user)];
     for (const ItemRating& ir : train_->ItemsOf(nb.user)) {
-      scores[static_cast<size_t>(ir.item)] +=
+      out[static_cast<size_t>(ir.item)] +=
           static_cast<double>(nb.sim) * (static_cast<double>(ir.value) - mean);
     }
   }
-  return scores;
 }
 
 }  // namespace ganc

@@ -32,7 +32,8 @@ class UserKnnRecommender : public Recommender {
   explicit UserKnnRecommender(UserKnnConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
-  std::vector<double> ScoreAll(UserId u) const override;
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "UserKNN"; }
 
  private:

@@ -1,9 +1,12 @@
 #include "rerank/mmr.h"
 
 #include <algorithm>
+#include <span>
 
+#include "recommender/scoring_context.h"
 #include "util/csv.h"
 #include "util/stats.h"
+#include "util/top_k.h"
 
 namespace ganc {
 
@@ -25,17 +28,28 @@ Result<RerankedCollection> MmrReranker::RecommendAll(
   }
   RerankedCollection result(static_cast<size_t>(train.num_users()));
 
+  // One scoring context amortizes every per-user buffer across the loop:
+  // base scores, candidate ids, the top-k pool, relevance, taken-flags.
+  ScoringContext ctx;
+  const size_t num_items = static_cast<size_t>(train.num_items());
   for (UserId u = 0; u < train.num_users(); ++u) {
     // Candidate pool: head of the base ranking, with normalized relevance.
-    std::vector<ItemId> pool = base_->RecommendTopN(
-        u, train.UnratedItems(u), top_n * config_.pool_multiple);
-    const std::vector<double> all_scores = base_->ScoreAll(u);
-    std::vector<double> rel;
-    rel.reserve(pool.size());
-    for (ItemId i : pool) rel.push_back(all_scores[static_cast<size_t>(i)]);
-    MinMaxNormalize(&rel);
+    // Selecting from the dense score buffer keeps the base scores on hand
+    // for the relevance term (the legacy path scored the user twice).
+    const std::span<double> scores = ctx.Scores(num_items);
+    base_->ScoreInto(u, scores);
+    train.UnratedItemsInto(u, &ctx.Candidates());
+    std::vector<ScoredItem>& pool = ctx.TopK();
+    SelectTopKFromScoresInto(
+        scores, ctx.Candidates(),
+        static_cast<size_t>(top_n) * static_cast<size_t>(config_.pool_multiple),
+        &pool);
+    const std::span<double> rel = ctx.Buffer(1, pool.size());
+    for (size_t c = 0; c < pool.size(); ++c) rel[c] = pool[c].score;
+    MinMaxNormalize(rel);
 
-    std::vector<bool> taken(pool.size(), false);
+    std::vector<uint8_t>& taken = ctx.Flags();
+    taken.assign(pool.size(), 0);
     auto& out = result[static_cast<size_t>(u)];
     out.reserve(static_cast<size_t>(top_n));
     while (static_cast<int>(out.size()) < top_n && out.size() < pool.size()) {
@@ -48,20 +62,20 @@ Result<RerankedCollection> MmrReranker::RecommendAll(
         for (ItemId chosen : out) {
           max_sim = std::max(
               max_sim,
-              static_cast<double>(index_.Similarity(pool[c], chosen)));
+              static_cast<double>(index_.Similarity(pool[c].item, chosen)));
         }
         const double mmr =
             config_.lambda * rel[c] - (1.0 - config_.lambda) * max_sim;
         if (!found || mmr > best ||
-            (mmr == best && pool[c] < pool[best_idx])) {
+            (mmr == best && pool[c].item < pool[best_idx].item)) {
           best = mmr;
           best_idx = c;
           found = true;
         }
       }
       if (!found) break;
-      taken[best_idx] = true;
-      out.push_back(pool[best_idx]);
+      taken[best_idx] = 1;
+      out.push_back(pool[best_idx].item);
     }
   }
   return result;

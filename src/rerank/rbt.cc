@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+
+#include "recommender/scoring_context.h"
 
 namespace ganc {
 
@@ -30,10 +33,17 @@ Result<RerankedCollection> RbtReranker::RecommendAll(
   if (top_n <= 0) return Status::InvalidArgument("top_n must be positive");
   RerankedCollection result(static_cast<size_t>(train.num_users()));
 
+  ScoringContext ctx;
+  const size_t num_items = static_cast<size_t>(train.num_items());
   for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::vector<double> scores = base_->ScoreAll(u);
-    std::vector<ItemId> head, tail;
-    for (ItemId i : train.UnratedItems(u)) {
+    const std::span<double> scores = ctx.Scores(num_items);
+    base_->ScoreInto(u, scores);
+    train.UnratedItemsInto(u, &ctx.Candidates());
+    std::vector<ItemId>& head = ctx.Items(1);
+    std::vector<ItemId>& tail = ctx.Items(2);
+    head.clear();
+    tail.clear();
+    for (ItemId i : ctx.Candidates()) {
       const double pred =
           std::min(scores[static_cast<size_t>(i)], config_.rating_max);
       if (pred < config_.min_threshold) continue;  // below T_H: dropped

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
+#include "recommender/scoring_context.h"
 #include "util/stats.h"
+#include "util/top_k.h"
 
 namespace ganc {
 
@@ -49,17 +52,17 @@ std::string FiveDReranker::name() const {
 
 namespace {
 
-/// Per-user ascending ranks (0 = smallest value) for rank-by-rankings.
-std::vector<double> RanksOf(const std::vector<double>& values) {
-  std::vector<size_t> order(values.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
+/// Per-user ascending ranks (0 = smallest value) for rank-by-rankings,
+/// written into `ranks` with `order` as reusable argsort scratch.
+void RanksInto(std::span<const double> values, std::vector<size_t>* order,
+               std::span<double> ranks) {
+  order->resize(values.size());
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(),
             [&](size_t a, size_t b) { return values[a] < values[b]; });
-  std::vector<double> ranks(values.size());
-  for (size_t r = 0; r < order.size(); ++r) {
-    ranks[order[r]] = static_cast<double>(r);
+  for (size_t r = 0; r < order->size(); ++r) {
+    ranks[(*order)[r]] = static_cast<double>(r);
   }
-  return ranks;
 }
 
 }  // namespace
@@ -68,10 +71,14 @@ Result<RerankedCollection> FiveDReranker::RecommendAll(
     const RatingDataset& train, int top_n) const {
   if (top_n <= 0) return Status::InvalidArgument("top_n must be positive");
 
+  ScoringContext ctx;
+  const size_t num_items = static_cast<size_t>(train.num_items());
+
   // Phase 2 denominator: sum over users of r_hat(s, i)^q per item.
-  std::vector<double> denom(static_cast<size_t>(train.num_items()), 0.0);
+  std::vector<double> denom(num_items, 0.0);
   for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::vector<double> scores = base_->ScoreAll(u);
+    const std::span<double> scores = ctx.Scores(num_items);
+    base_->ScoreInto(u, scores);
     for (ItemId i = 0; i < train.num_items(); ++i) {
       denom[static_cast<size_t>(i)] += std::pow(
           std::max(scores[static_cast<size_t>(i)], 0.0), config_.q);
@@ -80,8 +87,10 @@ Result<RerankedCollection> FiveDReranker::RecommendAll(
 
   RerankedCollection result(static_cast<size_t>(train.num_users()));
   for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::vector<double> scores = base_->ScoreAll(u);
-    std::vector<ItemId> candidates = train.UnratedItems(u);
+    const std::span<double> scores = ctx.Scores(num_items);
+    base_->ScoreInto(u, scores);
+    std::vector<ItemId>& candidates = ctx.Candidates();
+    train.UnratedItemsInto(u, &candidates);
 
     if (config_.accuracy_filter) {
       // "A": keep the user's top-k predicted items only.
@@ -100,10 +109,13 @@ Result<RerankedCollection> FiveDReranker::RecommendAll(
       }
     }
 
-    // The five dimensions over the candidate pool.
+    // The five dimensions over the candidate pool, in reusable buffers.
     const size_t m = candidates.size();
-    std::vector<double> accuracy(m), balance(m), coverage(m), quality(m),
-        quantity(m);
+    const std::span<double> accuracy = ctx.Buffer(1, m);
+    const std::span<double> balance = ctx.Buffer(2, m);
+    const std::span<double> coverage = ctx.Buffer(3, m);
+    const std::span<double> quality = ctx.Buffer(4, m);
+    const std::span<double> quantity = ctx.Buffer(5, m);
     for (size_t c = 0; c < m; ++c) {
       const ItemId i = candidates[c];
       const size_t si = static_cast<size_t>(i);
@@ -118,33 +130,38 @@ Result<RerankedCollection> FiveDReranker::RecommendAll(
       quantity[c] = tail_.Contains(i) ? 1.0 : 0.0;
     }
 
-    std::vector<double> score(m, 0.0);
+    const std::span<double> score = ctx.Buffer(6, m);
+    std::fill(score.begin(), score.end(), 0.0);
     if (config_.rank_by_rankings) {
-      // "RR": scale-free Borda aggregation of the per-dimension ranks.
-      const std::vector<double> ra = RanksOf(accuracy);
-      const std::vector<double> rb = RanksOf(balance);
-      const std::vector<double> rc = RanksOf(coverage);
-      const std::vector<double> rq = RanksOf(quality);
-      const std::vector<double> rt = RanksOf(quantity);
-      for (size_t c = 0; c < m; ++c) {
-        score[c] = ra[c] + rb[c] + rc[c] + rq[c] + rt[c];
+      // "RR": scale-free Borda aggregation of the per-dimension ranks,
+      // accumulated through one shared rank buffer.
+      const std::span<double> ranks = ctx.Buffer(7, m);
+      for (const std::span<double> dim :
+           {accuracy, balance, coverage, quality, quantity}) {
+        RanksInto(dim, &ctx.Indices(), ranks);
+        for (size_t c = 0; c < m; ++c) score[c] += ranks[c];
       }
     } else {
-      MinMaxNormalize(&accuracy);
-      MinMaxNormalize(&balance);
-      MinMaxNormalize(&coverage);
-      MinMaxNormalize(&quality);
+      MinMaxNormalize(accuracy);
+      MinMaxNormalize(balance);
+      MinMaxNormalize(coverage);
+      MinMaxNormalize(quality);
       for (size_t c = 0; c < m; ++c) {
         score[c] = accuracy[c] + balance[c] + coverage[c] + quality[c] +
                    quantity[c];
       }
     }
 
-    std::vector<ScoredItem> scored;
-    scored.reserve(m);
-    for (size_t c = 0; c < m; ++c) scored.push_back({candidates[c], score[c]});
-    const std::vector<ScoredItem> top =
-        SelectTopK(scored, static_cast<size_t>(top_n));
+    // Scatter the combined score into a dense per-item map so the shared
+    // top-k kernel keeps the legacy (score, item-id) tie-breaking even
+    // after the accuracy filter reordered `candidates`.
+    const std::span<double> score_map = ctx.Buffer(8, num_items);
+    for (size_t c = 0; c < m; ++c) {
+      score_map[static_cast<size_t>(candidates[c])] = score[c];
+    }
+    std::vector<ScoredItem>& top = ctx.TopK();
+    SelectTopKFromScoresInto(score_map, candidates,
+                             static_cast<size_t>(top_n), &top);
     auto& out = result[static_cast<size_t>(u)];
     out.reserve(top.size());
     for (const ScoredItem& s : top) out.push_back(s.item);

@@ -46,15 +46,19 @@ double Quantile(std::vector<double> x, double q) {
 }
 
 void MinMaxNormalize(std::vector<double>* x) {
-  if (x->empty()) return;
-  const double lo = Min(*x);
-  const double hi = Max(*x);
-  const double range = hi - lo;
+  MinMaxNormalize(std::span<double>(*x));
+}
+
+void MinMaxNormalize(std::span<double> x) {
+  if (x.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+  const double lo = *lo_it;
+  const double range = *hi_it - lo;
   if (range <= 0.0) {
-    std::fill(x->begin(), x->end(), 0.0);
+    std::fill(x.begin(), x.end(), 0.0);
     return;
   }
-  for (double& v : *x) v = (v - lo) / range;
+  for (double& v : x) v = (v - lo) / range;
 }
 
 void ClampAll(std::vector<double>* x, double lo, double hi) {

@@ -6,6 +6,7 @@
 #define GANC_UTIL_STATS_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace ganc {
@@ -32,6 +33,9 @@ double Quantile(std::vector<double> x, double q);
 /// Min-max normalization x_i <- (x_i - min) / (max - min), the paper's
 /// Section II-A normalization. A constant vector maps to all zeros.
 void MinMaxNormalize(std::vector<double>* x);
+
+/// Span overload for buffers borrowed from a ScoringContext.
+void MinMaxNormalize(std::span<double> x);
 
 /// Clamps every element into [lo, hi].
 void ClampAll(std::vector<double>* x, double lo, double hi);

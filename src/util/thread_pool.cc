@@ -61,10 +61,17 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body) {
+  ParallelForChunks(pool, begin, end, [&body](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;
   const size_t n = end - begin;
   if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
-    for (size_t i = begin; i < end; ++i) body(i);
+    body(begin, end);
     return;
   }
   const size_t chunks = std::min(n, pool->num_threads() * 4);
@@ -73,9 +80,7 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
     const size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
     const size_t hi = std::min(end, lo + chunk_size);
-    pool->Submit([lo, hi, &body] {
-      for (size_t i = lo; i < hi; ++i) body(i);
-    });
+    pool->Submit([lo, hi, &body] { body(lo, hi); });
   }
   pool->Wait();
 }

@@ -53,6 +53,16 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
 
+/// Chunked variant: splits [begin, end) into contiguous chunks (a few per
+/// worker) and runs body(chunk_begin, chunk_end) for each, blocking until
+/// all chunks complete. The chunk granularity lets callers hoist per-task
+/// state out of the element loop — the batched scoring path creates one
+/// ScoringContext per chunk so score buffers are reused across the chunk's
+/// users. Serial fallback (null pool / single worker / tiny range) runs
+/// one chunk covering the whole range.
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body);
+
 }  // namespace ganc
 
 #endif  // GANC_UTIL_THREAD_POOL_H_

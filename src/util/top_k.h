@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <queue>
+#include <span>
 #include <vector>
 
 namespace ganc {
@@ -53,16 +54,52 @@ inline std::vector<ScoredItem> SelectTopK(
   return out;
 }
 
+/// Allocation-free top-k over candidate item ids scored on the fly.
+/// `score_of(item)` maps an item id to its score; `*out` receives the k
+/// best entries in best-first order, reusing its capacity across calls.
+/// Tie-breaking is identical to SelectTopK (the ordering is total, so the
+/// result is unique). O(n log k), no heap allocation once warm.
+template <typename ScoreFn>
+void SelectTopKByInto(std::span<const int32_t> candidates, size_t k,
+                      ScoreFn&& score_of, std::vector<ScoredItem>* out) {
+  out->clear();
+  if (k == 0) return;
+  // Max-heap wrt ScoredBetter-as-less: the front is the worst kept entry.
+  const auto worse_on_top = [](const ScoredItem& a, const ScoredItem& b) {
+    return ScoredBetter(a, b);
+  };
+  for (int32_t item : candidates) {
+    const ScoredItem c{item, score_of(item)};
+    if (out->size() < k) {
+      out->push_back(c);
+      std::push_heap(out->begin(), out->end(), worse_on_top);
+    } else if (ScoredBetter(c, out->front())) {
+      std::pop_heap(out->begin(), out->end(), worse_on_top);
+      out->back() = c;
+      std::push_heap(out->begin(), out->end(), worse_on_top);
+    }
+  }
+  std::sort_heap(out->begin(), out->end(), worse_on_top);  // best-first
+}
+
+/// Allocation-free top-k over a dense score span restricted to
+/// `candidates` item ids.
+inline void SelectTopKFromScoresInto(std::span<const double> scores,
+                                     std::span<const int32_t> candidates,
+                                     size_t k, std::vector<ScoredItem>* out) {
+  SelectTopKByInto(
+      candidates, k,
+      [scores](int32_t item) { return scores[static_cast<size_t>(item)]; },
+      out);
+}
+
 /// Top-k over a dense score vector restricted to `candidates` item ids.
 inline std::vector<ScoredItem> SelectTopKFromScores(
     const std::vector<double>& scores, const std::vector<int32_t>& candidates,
     size_t k) {
-  std::vector<ScoredItem> scored;
-  scored.reserve(candidates.size());
-  for (int32_t item : candidates) {
-    scored.push_back({item, scores[static_cast<size_t>(item)]});
-  }
-  return SelectTopK(scored, k);
+  std::vector<ScoredItem> out;
+  SelectTopKFromScoresInto(scores, candidates, k, &out);
+  return out;
 }
 
 }  // namespace ganc

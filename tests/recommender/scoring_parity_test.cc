@@ -1,0 +1,235 @@
+// Parity suite for the batched zero-allocation scoring path: for every
+// recommender the ScoreInto / RecommendTopNInto / parallel
+// RecommendAllUsers results must be bit-identical to the legacy
+// allocating, sequential path — including tie-breaking, which the shared
+// SelectTopK kernels pin to (higher score, then lower item id).
+
+#include "recommender/recommender.h"
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_scorer.h"
+#include "core/ganc.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "recommender/bpr.h"
+#include "recommender/cofirank.h"
+#include "recommender/item_knn.h"
+#include "recommender/pop.h"
+#include "recommender/psvd.h"
+#include "recommender/random_rec.h"
+#include "recommender/random_walk.h"
+#include "recommender/rsvd.h"
+#include "recommender/scoring_context.h"
+#include "recommender/user_knn.h"
+#include "util/thread_pool.h"
+
+namespace ganc {
+namespace {
+
+RatingDataset MakeData() {
+  SyntheticSpec spec = TinySpec();
+  spec.num_users = 120;
+  spec.num_items = 220;
+  spec.mean_activity = 22.0;
+  auto ds = GenerateSynthetic(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+/// All eleven ScoreInto overrides ride on these nine fitted base models
+/// (the two AccuracyScorer adapters are exercised separately below).
+std::vector<std::unique_ptr<Recommender>> AllModels() {
+  std::vector<std::unique_ptr<Recommender>> models;
+  models.push_back(std::make_unique<PopRecommender>());
+  models.push_back(std::make_unique<RandomRecommender>(7));
+  models.push_back(std::make_unique<ItemKnnRecommender>(
+      ItemKnnConfig{.num_neighbors = 10}));
+  models.push_back(std::make_unique<UserKnnRecommender>(
+      UserKnnConfig{.num_neighbors = 10}));
+  models.push_back(
+      std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 8}));
+  models.push_back(std::make_unique<RsvdRecommender>(
+      RsvdConfig{.num_factors = 8, .num_epochs = 4}));
+  models.push_back(std::make_unique<BprRecommender>(
+      BprConfig{.num_factors = 8, .num_epochs = 4}));
+  models.push_back(std::make_unique<CofiRecommender>(
+      CofiConfig{.num_factors = 8, .num_epochs = 4}));
+  models.push_back(std::make_unique<RandomWalkRecommender>());
+  return models;
+}
+
+/// Scores all items identically: pure tie-break stress for top-N.
+class ConstantRecommender : public Recommender {
+ public:
+  Status Fit(const RatingDataset& train) override {
+    num_items_ = train.num_items();
+    return Status::OK();
+  }
+  int32_t num_items() const override { return num_items_; }
+  void ScoreInto(UserId /*u*/, std::span<double> out) const override {
+    std::fill(out.begin(), out.end(), 1.0);
+  }
+  std::string name() const override { return "Const"; }
+
+ private:
+  int32_t num_items_ = 0;
+};
+
+TEST(ScoringParityTest, ScoreIntoMatchesScoreAllBitwise) {
+  const RatingDataset train = MakeData();
+  for (auto& model : AllModels()) {
+    ASSERT_TRUE(model->Fit(train).ok()) << model->name();
+    ASSERT_EQ(model->num_items(), train.num_items()) << model->name();
+    ScoringContext ctx;
+    for (UserId u : {0, 1, 57, train.num_users() - 1}) {
+      const std::vector<double> legacy = model->ScoreAll(u);
+      const std::span<double> batched =
+          ctx.Scores(static_cast<size_t>(model->num_items()));
+      model->ScoreInto(u, batched);
+      ASSERT_EQ(legacy.size(), batched.size()) << model->name();
+      for (size_t i = 0; i < legacy.size(); ++i) {
+        ASSERT_EQ(legacy[i], batched[i])
+            << model->name() << " user " << u << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(ScoringParityTest, RecommendTopNIntoMatchesAllocating) {
+  const RatingDataset train = MakeData();
+  for (auto& model : AllModels()) {
+    ASSERT_TRUE(model->Fit(train).ok()) << model->name();
+    ScoringContext ctx;
+    std::vector<ItemId> batched;
+    for (UserId u : {0, 33, train.num_users() - 1}) {
+      const std::vector<ItemId> candidates = train.UnratedItems(u);
+      const std::vector<ItemId> legacy =
+          model->RecommendTopN(u, candidates, 10);
+      model->RecommendTopNInto(u, candidates, 10, ctx, batched);
+      EXPECT_EQ(legacy, batched) << model->name() << " user " << u;
+    }
+  }
+}
+
+TEST(ScoringParityTest, ParallelRecommendAllUsersIsByteIdentical) {
+  const RatingDataset train = MakeData();
+  ThreadPool pool(4);
+  for (auto& model : AllModels()) {
+    ASSERT_TRUE(model->Fit(train).ok()) << model->name();
+    const auto sequential = RecommendAllUsers(*model, train, 7);
+    const auto parallel = RecommendAllUsers(*model, train, 7, &pool);
+    EXPECT_EQ(sequential, parallel) << model->name();
+  }
+}
+
+TEST(ScoringParityTest, TieBreakingPrefersLowerItemIdInBothPaths) {
+  const RatingDataset train = MakeData();
+  ConstantRecommender constant;
+  ASSERT_TRUE(constant.Fit(train).ok());
+  ThreadPool pool(4);
+  const auto sequential = RecommendAllUsers(constant, train, 5);
+  const auto parallel = RecommendAllUsers(constant, train, 5, &pool);
+  EXPECT_EQ(sequential, parallel);
+  // With all scores tied the top-N must be the user's 5 smallest unrated
+  // item ids, in ascending order.
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const std::vector<ItemId> unrated = train.UnratedItems(u);
+    const std::vector<ItemId> expected(unrated.begin(), unrated.begin() + 5);
+    EXPECT_EQ(sequential[static_cast<size_t>(u)], expected) << "user " << u;
+  }
+}
+
+TEST(ScoringParityTest, AccuracyScorerAdaptersMatchLegacyPath) {
+  const RatingDataset train = MakeData();
+  PsvdRecommender psvd({.num_factors = 8});
+  ASSERT_TRUE(psvd.Fit(train).ok());
+  const NormalizedAccuracyScorer normalized(&psvd);
+  const TopNIndicatorScorer indicator(&psvd, &train, 5);
+  ScoringContext ctx;
+  for (const AccuracyScorer* scorer :
+       {static_cast<const AccuracyScorer*>(&normalized),
+        static_cast<const AccuracyScorer*>(&indicator)}) {
+    ASSERT_EQ(scorer->num_items(), train.num_items());
+    for (UserId u : {0, 19, train.num_users() - 1}) {
+      const std::vector<double> legacy = scorer->ScoreAll(u);
+      const std::span<double> batched =
+          ctx.Scores(static_cast<size_t>(scorer->num_items()));
+      scorer->ScoreInto(u, batched);
+      for (size_t i = 0; i < legacy.size(); ++i) {
+        ASSERT_EQ(legacy[i], batched[i])
+            << scorer->name() << " user " << u << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(ScoringParityTest, GancParallelMatchesSequentialForAllCoverages) {
+  const RatingDataset train = MakeData();
+  PsvdRecommender psvd({.num_factors = 8});
+  ASSERT_TRUE(psvd.Fit(train).ok());
+  const NormalizedAccuracyScorer scorer(&psvd);
+  std::vector<double> theta(static_cast<size_t>(train.num_users()));
+  for (size_t i = 0; i < theta.size(); ++i) {
+    theta[i] = static_cast<double>(i % 10) / 10.0;
+  }
+  ThreadPool pool(4);
+  for (CoverageKind kind :
+       {CoverageKind::kRand, CoverageKind::kStat, CoverageKind::kDyn}) {
+    const Ganc ganc(&scorer, theta, kind);
+    GancConfig serial_cfg;
+    serial_cfg.top_n = 5;
+    serial_cfg.sample_size = 30;  // exercises OSLG's parallel phase for Dyn
+    GancConfig pool_cfg = serial_cfg;
+    pool_cfg.pool = &pool;
+    const auto serial = ganc.RecommendAll(train, serial_cfg);
+    const auto parallel = ganc.RecommendAll(train, pool_cfg);
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    EXPECT_EQ(*serial, *parallel) << CoverageKindName(kind);
+  }
+}
+
+TEST(ScoringParityTest, PipelineOwnedPoolMatchesSerial) {
+  const RatingDataset train = MakeData();
+  PipelineConfig serial_cfg;
+  serial_cfg.top_n = 5;
+  serial_cfg.sample_size = 25;
+  auto serial = GancPipeline::Create(
+      std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 8}), train,
+      serial_cfg);
+  PipelineConfig pooled_cfg = serial_cfg;
+  pooled_cfg.num_threads = 4;
+  auto pooled = GancPipeline::Create(
+      std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 8}), train,
+      pooled_cfg);
+  ASSERT_TRUE(serial.ok() && pooled.ok());
+  const auto a = (*serial)->RecommendAll();
+  const auto b = (*pooled)->RecommendAll();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ScoringContextTest, BuffersAreSlotIndependentAndCapacityStable) {
+  ScoringContext ctx;
+  const std::span<double> a = ctx.Buffer(0, 64);
+  const std::span<double> b = ctx.Buffer(1, 64);
+  ASSERT_NE(a.data(), b.data());
+  a[0] = 1.0;
+  b[0] = 2.0;
+  EXPECT_EQ(ctx.Buffer(0, 64)[0], 1.0);
+  EXPECT_EQ(ctx.Buffer(1, 64)[0], 2.0);
+  // Shrinking then regrowing within capacity must not move the storage.
+  const double* data = ctx.Buffer(0, 64).data();
+  ctx.Buffer(0, 8);
+  EXPECT_EQ(ctx.Buffer(0, 64).data(), data);
+  EXPECT_EQ(ctx.Buffer(2, 5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,5 +1,8 @@
 #include "util/logging.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace ganc {

@@ -56,6 +56,52 @@ TEST(SelectTopKFromScoresTest, RestrictsToCandidates) {
   EXPECT_EQ(top[1].item, 3);
 }
 
+TEST(SelectTopKIntoTest, MatchesAllocatingKernelIncludingTies) {
+  // Heavy ties: only 13 distinct scores over 500 items.
+  std::vector<double> scores(500);
+  std::vector<int32_t> candidates;
+  for (int32_t i = 0; i < 500; ++i) {
+    scores[static_cast<size_t>(i)] = static_cast<double>((i * 31) % 13);
+    if (i % 3 != 0) candidates.push_back(i);
+  }
+  for (size_t k : {0u, 1u, 10u, 400u, 600u}) {
+    const auto legacy = SelectTopKFromScores(scores, candidates, k);
+    std::vector<ScoredItem> batched;
+    SelectTopKFromScoresInto(scores, candidates, k, &batched);
+    ASSERT_EQ(legacy.size(), batched.size()) << "k=" << k;
+    for (size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i].item, batched[i].item) << "k=" << k;
+      EXPECT_EQ(legacy[i].score, batched[i].score) << "k=" << k;
+    }
+  }
+}
+
+TEST(SelectTopKIntoTest, ReusesOutputCapacity) {
+  const std::vector<double> scores{0.3, 0.9, 0.1, 0.5};
+  const std::vector<int32_t> candidates{0, 1, 2, 3};
+  std::vector<ScoredItem> out;
+  SelectTopKFromScoresInto(scores, candidates, 3, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].item, 1);
+  const ScoredItem* data = out.data();
+  SelectTopKFromScoresInto(scores, candidates, 2, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.data(), data);  // no reallocation on a warm buffer
+  EXPECT_EQ(out[0].item, 1);
+  EXPECT_EQ(out[1].item, 3);
+}
+
+TEST(SelectTopKByIntoTest, ScoresOnTheFly) {
+  const std::vector<int32_t> candidates{4, 7, 2, 9};
+  std::vector<ScoredItem> out;
+  SelectTopKByInto(
+      candidates, 2, [](int32_t item) { return -static_cast<double>(item); },
+      &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].item, 2);  // highest score = smallest id under negation
+  EXPECT_EQ(out[1].item, 4);
+}
+
 TEST(SelectTopKTest, LargeInputAgreesWithFullSort) {
   std::vector<ScoredItem> items;
   for (int32_t i = 0; i < 1000; ++i) {

@@ -41,6 +41,7 @@ void Usage() {
       "                [--kappa=0.5] [--arec=pop|rsvd|psvd10|psvd100]\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
       "                [--top-n=5] [--sample-size=500] [--seed=42]\n"
+      "                [--threads=1]  (1 = serial, 0 = hardware)\n"
       "                [--theta-out=PATH] [--output=PATH] [--verbose]\n");
 }
 
@@ -104,9 +105,16 @@ int RunPipeline(const Flags& flags) {
   auto seed = flags.GetInt("seed", 42);
   auto top_n = flags.GetInt("top-n", 5);
   auto sample = flags.GetInt("sample-size", 500);
-  if (!kappa.ok() || !seed.ok() || !top_n.ok() || !sample.ok()) {
+  auto threads = flags.GetInt("threads", 1);
+  if (!kappa.ok() || !seed.ok() || !top_n.ok() || !sample.ok() ||
+      !threads.ok() || *threads < 0) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 1;
+  }
+  // Batched scoring is deterministic, so the pool only changes wall time.
+  std::unique_ptr<ThreadPool> pool;
+  if (*threads != 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(*threads));
   }
   Result<TrainTestSplit> split = PerUserRatioSplit(
       *dataset, {.train_ratio = *kappa,
@@ -182,6 +190,7 @@ int RunPipeline(const Flags& flags) {
   config.top_n = static_cast<int>(*top_n);
   config.sample_size = static_cast<int>(*sample);
   config.seed = static_cast<uint64_t>(*seed);
+  config.pool = pool.get();
 
   Result<TopNCollection> topn = ganc.RecommendAll(train, config);
   if (!topn.ok()) {
@@ -200,7 +209,8 @@ int RunPipeline(const Flags& flags) {
   const std::vector<AlgorithmEntry> entries = {
       {base->name(),
        [&] {
-         return RecommendAllUsers(*base, train, static_cast<int>(*top_n));
+         return RecommendAllUsers(*base, train, static_cast<int>(*top_n),
+                                  pool.get());
        }},
       {ganc.Name(PreferenceModelName(*model)), [&] { return *topn; }},
   };
@@ -217,7 +227,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known = {
       "dataset",     "ratings-file", "delimiter", "skip-header", "kappa",
       "arec",        "theta",        "crec",      "top-n",       "sample-size",
-      "seed",        "theta-out",    "output",    "verbose",     "help"};
+      "seed",        "threads",      "theta-out", "output",      "verbose",
+      "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
