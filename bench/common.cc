@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace ganc {
 namespace bench {
@@ -177,6 +178,25 @@ TopNCollection RunGanc(const AccuracyScorer& scorer,
     std::exit(1);
   }
   return std::move(topn).value();
+}
+
+std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int dst = 1;
+  for (int src = 1; src < *argc; ++src) {
+    const char* arg = argv[src];
+    if (std::strcmp(arg, "--json") == 0 && src + 1 < *argc) {
+      path = argv[++src];
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+      continue;
+    }
+    argv[dst++] = argv[src];
+  }
+  *argc = dst;
+  return path;
 }
 
 void Banner(const std::string& experiment, const std::string& description) {

@@ -82,6 +82,12 @@ TopNCollection RunGanc(const AccuracyScorer& scorer,
 /// Prints the standard bench banner (what figure/table, which scale).
 void Banner(const std::string& experiment, const std::string& description);
 
+/// Strips a `--json <path>` or `--json=<path>` argument from argv (so the
+/// remaining flags can be handed to another parser) and returns the path,
+/// or "" when absent. Used by bench mains that support machine-readable
+/// output snapshots (e.g. BENCH_scoring.json).
+std::string ExtractJsonFlag(int* argc, char** argv);
+
 }  // namespace bench
 }  // namespace ganc
 

@@ -1,10 +1,17 @@
 // google-benchmark micro-benchmarks for the performance-critical kernels:
 // greedy top-N selection, Dyn coverage updates, KDE sampling, one SGD
-// epoch, metric evaluation, and theta^G iterations.
+// epoch, metric evaluation, theta^G iterations, and the blocked
+// multi-user scoring engine.
+//
+// Pass `--json out.json` to additionally write the results as
+// google-benchmark JSON (the committed BENCH_scoring.json snapshot is
+// produced this way; see README "Performance").
 
 #include <cmath>
 #include <memory>
 #include <span>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -157,6 +164,65 @@ void BM_ScoreInto_Reuse(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreInto_Reuse);
 
+// The blocked FactorScoringEngine batch kernel vs the per-user scalar
+// loop above: same scores (bit-identical), one block of `range(0)` users
+// per call. Time is per batch; items_per_second counts user-item scores.
+void BM_ScoreBatchInto(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScoringContext ctx;
+  std::vector<UserId> users(batch);
+  UserId u = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < batch; ++b) {
+      users[b] = u;
+      u = (u + 1) % train.num_users();
+    }
+    const std::span<double> out = ctx.BatchScores(
+        batch * static_cast<size_t>(psvd.num_items()));
+    psvd.ScoreBatchInto(users, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch) * psvd.num_items());
+}
+BENCHMARK(BM_ScoreBatchInto)->Arg(8)->Arg(64);
+
+// Full-row top-k with the rated-item mask (the RecommendAllUsers
+// selection path) over precomputed score rows.
+void BM_SelectTopKDense(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const PsvdRecommender& psvd = BenchPsvd();
+  const size_t ni = static_cast<size_t>(psvd.num_items());
+  const size_t nu = static_cast<size_t>(train.num_users());
+  ScoringContext ctx;
+  std::vector<uint8_t> rated(ni, 0);
+  // Rows are precomputed so the measurement isolates selection.
+  std::vector<double> rows(nu * ni);
+  for (size_t uu = 0; uu < nu; ++uu) {
+    psvd.ScoreInto(static_cast<UserId>(uu),
+                   std::span<double>(rows).subspan(uu * ni, ni));
+  }
+  UserId u = 0;
+  for (auto _ : state) {
+    for (const ItemRating& ir : train.ItemsOf(u)) {
+      rated[static_cast<size_t>(ir.item)] = 1;
+    }
+    SelectTopKDenseInto(
+        std::span<const double>(rows).subspan(static_cast<size_t>(u) * ni, ni),
+        10,
+        [&](int32_t item) { return rated[static_cast<size_t>(item)] != 0; },
+        &ctx.TopK());
+    for (const ItemRating& ir : train.ItemsOf(u)) {
+      rated[static_cast<size_t>(ir.item)] = 0;
+    }
+    benchmark::DoNotOptimize(ctx.TopK().data());
+    u = (u + 1) % train.num_users();
+  }
+}
+BENCHMARK(BM_SelectTopKDense);
+
 // Pop's scoring is a plain copy, so this pair isolates the per-user
 // allocation cost that ScoreInto eliminates (PSVD above shows the
 // compute-bound case where scoring work dominates).
@@ -271,4 +337,25 @@ BENCHMARK(BM_OslgEndToEnd)->Arg(50)->Arg(200);
 }  // namespace
 }  // namespace ganc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json out.json` is shorthand for google-benchmark's own
+  // --benchmark_out/--benchmark_out_format pair, re-injected before
+  // Initialize so the library handles the file reporting.
+  const std::string json_path = ganc::bench::ExtractJsonFlag(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, format_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

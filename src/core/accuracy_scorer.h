@@ -6,8 +6,9 @@
 // not emit scores, contributes the indicator a(i) = 1[i in Pop's top-N
 // unseen items for u] exactly as the paper defines.
 //
-// Like Recommender, the scoring primitive is ScoreInto (batched loops
-// reuse one buffer per worker); ScoreAll is the allocating wrapper.
+// Like Recommender, the scoring primitives are ScoreInto and the
+// batch-major ScoreBatchInto (both adapters forward the batch to the
+// base model's blocked kernel); ScoreAll is the allocating wrapper.
 
 #ifndef GANC_CORE_ACCURACY_SCORER_H_
 #define GANC_CORE_ACCURACY_SCORER_H_
@@ -34,6 +35,13 @@ class AccuracyScorer {
   /// (exactly num_items() entries), each in [0, 1]. Thread-safe.
   virtual void ScoreInto(UserId u, std::span<double> out) const = 0;
 
+  /// Batch-major variant over a user batch (same layout and contract as
+  /// Recommender::ScoreBatchInto); must match per-user ScoreInto calls.
+  /// The default loops over ScoreInto; the adapters forward to the base
+  /// model's blocked kernel. Thread-safe.
+  virtual void ScoreBatchInto(std::span<const UserId> users,
+                              std::span<double> out) const;
+
   /// Allocating convenience wrapper over ScoreInto.
   std::vector<double> ScoreAll(UserId u) const;
 
@@ -48,6 +56,8 @@ class NormalizedAccuracyScorer : public AccuracyScorer {
 
   int32_t num_items() const override { return base_->num_items(); }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override { return base_->name(); }
 
  private:
@@ -65,6 +75,8 @@ class TopNIndicatorScorer : public AccuracyScorer {
 
   int32_t num_items() const override { return train_->num_items(); }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override { return base_->name(); }
 
  private:

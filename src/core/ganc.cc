@@ -74,21 +74,20 @@ TopNCollection Ganc::RunModular(const RatingDataset& train,
   // is each user's own mixed-score top-N, embarrassingly parallel.
   const std::unique_ptr<CoverageModel> coverage =
       MakeCoverage(coverage_, train, config.seed);
-  const size_t num_items = static_cast<size_t>(train.num_items());
   TopNCollection result(static_cast<size_t>(train.num_users()));
   ParallelForChunks(
       config.pool, 0, static_cast<size_t>(train.num_users()),
       [&](size_t lo, size_t hi) {
         ScoringContext ctx;
-        for (size_t uu = lo; uu < hi; ++uu) {
-          const UserId u = static_cast<UserId>(uu);
-          const std::span<double> acc = ctx.Scores(num_items);
-          accuracy_->ScoreInto(u, acc);
-          train.UnratedItemsInto(u, &ctx.Candidates());
-          GreedyTopNForUserInto(acc, theta_[uu], *coverage, u,
-                                ctx.Candidates(), config.top_n, ctx,
-                                result[uu]);
-        }
+        ForEachScoredUser(
+            *accuracy_, lo, hi, ctx,
+            [&](UserId u, std::span<const double> acc) {
+              const size_t uu = static_cast<size_t>(u);
+              train.UnratedItemsInto(u, &ctx.Candidates());
+              GreedyTopNForUserInto(acc, theta_[uu], *coverage, u,
+                                    ctx.Candidates(), config.top_n, ctx,
+                                    result[uu]);
+            });
       });
   return result;
 }
@@ -129,10 +128,11 @@ Result<TopNCollection> Ganc::RunOslg(const RatingDataset& train,
 
   TopNCollection result(n_users);
   std::vector<bool> in_sample(n_users, false);
-  const size_t num_items = static_cast<size_t>(train.num_items());
 
   // --- Lines 4-10: sequential locally greedy over the sample, snapshotting
-  // the Dyn state F(theta_u) after each user.
+  // the Dyn state F(theta_u) after each user. Accuracy scores do not
+  // depend on the evolving Dyn state, so they batch through the blocked
+  // kernel even though the greedy itself stays sequential.
   DynCoverage dyn(train.num_items());
   std::vector<std::vector<uint32_t>> snapshots;
   std::vector<double> snapshot_theta;
@@ -141,19 +141,20 @@ Result<TopNCollection> Ganc::RunOslg(const RatingDataset& train,
   {
     ScoringContext ctx;
     std::vector<ItemId> topn;
-    for (size_t uu : sample) {
-      const UserId u = static_cast<UserId>(uu);
-      in_sample[uu] = true;
-      const std::span<double> acc = ctx.Scores(num_items);
-      accuracy_->ScoreInto(u, acc);
-      train.UnratedItemsInto(u, &ctx.Candidates());
-      GreedyTopNForUserInto(acc, theta_[uu], dyn, u, ctx.Candidates(),
-                            config.top_n, ctx, topn);
-      for (ItemId i : topn) dyn.Observe(i);
-      snapshot_theta.push_back(theta_[uu]);
-      snapshots.push_back(dyn.counts());
-      result[uu] = topn;
-    }
+    std::vector<UserId> sample_users(sample.begin(), sample.end());
+    ForEachScoredUser(
+        *accuracy_, std::span<const UserId>(sample_users), ctx,
+        [&](UserId u, std::span<const double> acc) {
+          const size_t uu = static_cast<size_t>(u);
+          in_sample[uu] = true;
+          train.UnratedItemsInto(u, &ctx.Candidates());
+          GreedyTopNForUserInto(acc, theta_[uu], dyn, u, ctx.Candidates(),
+                                config.top_n, ctx, topn);
+          for (ItemId i : topn) dyn.Observe(i);
+          snapshot_theta.push_back(theta_[uu]);
+          snapshots.push_back(dyn.counts());
+          result[uu] = topn;
+        });
   }
 
   if (full) return result;
@@ -190,18 +191,23 @@ Result<TopNCollection> Ganc::RunOslg(const RatingDataset& train,
 
   ParallelForChunks(config.pool, 0, n_users, [&](size_t lo, size_t hi) {
     ScoringContext ctx;
+    std::vector<UserId>& users = ctx.BatchUsers();
+    users.clear();
     for (size_t uu = lo; uu < hi; ++uu) {
-      if (in_sample[uu]) continue;
-      const UserId u = static_cast<UserId>(uu);
-      // The snapshot is never mutated in this phase, so a borrowing view
-      // replaces the per-user count-vector copy of the old code.
-      const DynSnapshotView local(snapshots[nearest_snapshot(theta_[uu])]);
-      const std::span<double> acc = ctx.Scores(num_items);
-      accuracy_->ScoreInto(u, acc);
-      train.UnratedItemsInto(u, &ctx.Candidates());
-      GreedyTopNForUserInto(acc, theta_[uu], local, u, ctx.Candidates(),
-                            config.top_n, ctx, result[uu]);
+      if (!in_sample[uu]) users.push_back(static_cast<UserId>(uu));
     }
+    ForEachScoredUser(
+        *accuracy_, std::span<const UserId>(users), ctx,
+        [&](UserId u, std::span<const double> acc) {
+          const size_t uu = static_cast<size_t>(u);
+          // The snapshot is never mutated in this phase, so a borrowing
+          // view replaces the per-user count-vector copy of the old code.
+          const DynSnapshotView local(
+              snapshots[nearest_snapshot(theta_[uu])]);
+          train.UnratedItemsInto(u, &ctx.Candidates());
+          GreedyTopNForUserInto(acc, theta_[uu], local, u, ctx.Candidates(),
+                                config.top_n, ctx, result[uu]);
+        });
   });
   return result;
 }
@@ -222,22 +228,21 @@ double CollectionValue(const AccuracyScorer& accuracy,
 
   double value = 0.0;
   ScoringContext ctx;
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::span<double> a =
-        ctx.Scores(static_cast<size_t>(train.num_items()));
-    accuracy.ScoreInto(u, a);
-    const double t = theta[static_cast<size_t>(u)];
-    double acc_sum = 0.0, cov_sum = 0.0;
-    for (ItemId i : topn[static_cast<size_t>(u)]) {
-      acc_sum += a[static_cast<size_t>(i)];
-      cov_sum +=
-          kind == CoverageKind::kDyn
-              ? 1.0 / std::sqrt(1.0 + static_cast<double>(
-                                          counts[static_cast<size_t>(i)]))
-              : static_cov->Score(u, i);
-    }
-    value += (1.0 - t) * acc_sum + t * cov_sum;
-  }
+  ForEachScoredUser(
+      accuracy, 0, static_cast<size_t>(train.num_users()), ctx,
+      [&](UserId u, std::span<const double> a) {
+        const double t = theta[static_cast<size_t>(u)];
+        double acc_sum = 0.0, cov_sum = 0.0;
+        for (ItemId i : topn[static_cast<size_t>(u)]) {
+          acc_sum += a[static_cast<size_t>(i)];
+          cov_sum +=
+              kind == CoverageKind::kDyn
+                  ? 1.0 / std::sqrt(1.0 + static_cast<double>(
+                                              counts[static_cast<size_t>(i)]))
+                  : static_cov->Score(u, i);
+        }
+        value += (1.0 - t) * acc_sum + t * cov_sum;
+      });
   return value;
 }
 

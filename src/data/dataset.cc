@@ -54,17 +54,18 @@ std::vector<ItemId> RatingDataset::UnratedItems(UserId u) const {
 
 void RatingDataset::UnratedItemsInto(UserId u,
                                      std::vector<ItemId>* out) const {
+  // The user row is sorted by item id, so the unrated set is the gaps
+  // between consecutive rated items: fill each run of ids directly
+  // instead of testing every catalog item against the row cursor.
   const auto& row = by_user_[static_cast<size_t>(u)];
-  out->clear();
-  out->reserve(static_cast<size_t>(num_items_) - row.size());
-  size_t cursor = 0;
-  for (ItemId i = 0; i < num_items_; ++i) {
-    if (cursor < row.size() && row[cursor].item == i) {
-      ++cursor;
-      continue;
-    }
-    out->push_back(i);
+  out->resize(static_cast<size_t>(num_items_) - row.size());
+  ItemId* dst = out->data();
+  ItemId next = 0;
+  for (const ItemRating& ir : row) {
+    for (ItemId i = next; i < ir.item; ++i) *dst++ = i;
+    next = ir.item + 1;
   }
+  for (ItemId i = next; i < num_items_; ++i) *dst++ = i;
 }
 
 RatingDatasetBuilder::RatingDatasetBuilder(int32_t num_users,

@@ -24,20 +24,29 @@ std::vector<std::vector<ItemId>> BuildTopN(const Recommender& model,
       pool, 0, static_cast<size_t>(train.num_users()),
       [&](size_t lo, size_t hi) {
         ScoringContext ctx;
-        for (size_t uu = lo; uu < hi; ++uu) {
-          const UserId u = static_cast<UserId>(uu);
-          std::vector<ItemId>& candidates = ctx.Candidates();
-          if (protocol == RankingProtocol::kAllUnrated) {
-            train.UnratedItemsInto(u, &candidates);
-          } else {
-            candidates.clear();
-            candidates.reserve(test.ItemsOf(u).size());
-            for (const ItemRating& ir : test.ItemsOf(u)) {
-              candidates.push_back(ir.item);
-            }
-          }
-          model.RecommendTopNInto(u, candidates, top_n, ctx, result[uu]);
-        }
+        ForEachScoredUser(
+            model, lo, hi, ctx,
+            [&](UserId u, std::span<const double> scores) {
+              std::vector<ScoredItem>& top = ctx.TopK();
+              if (protocol == RankingProtocol::kAllUnrated) {
+                // Fills ctx.TopK(), i.e. `top`.
+                SelectTopKUnrated(scores, train, u,
+                                  static_cast<size_t>(top_n), ctx);
+              } else {
+                std::vector<ItemId>& candidates = ctx.Candidates();
+                candidates.clear();
+                candidates.reserve(test.ItemsOf(u).size());
+                for (const ItemRating& ir : test.ItemsOf(u)) {
+                  candidates.push_back(ir.item);
+                }
+                SelectTopKFromScoresInto(scores, candidates,
+                                         static_cast<size_t>(top_n), &top);
+              }
+              std::vector<ItemId>& out = result[static_cast<size_t>(u)];
+              out.clear();
+              out.reserve(top.size());
+              for (const ScoredItem& s : top) out.push_back(s.item);
+            });
       });
   return result;
 }

@@ -85,10 +85,21 @@ double BprRecommender::Score(UserId u, ItemId i) const {
   return x;
 }
 
+FactorView BprRecommender::View() const {
+  return {.user_factors = user_factors_.data(),
+          .item_factors = item_factors_.data(),
+          .item_bias = item_bias_.data(),
+          .num_items = num_items_,
+          .num_factors = static_cast<size_t>(config_.num_factors)};
+}
+
 void BprRecommender::ScoreInto(UserId u, std::span<double> out) const {
-  for (ItemId i = 0; i < num_items_; ++i) {
-    out[static_cast<size_t>(i)] = Score(u, i);
-  }
+  FactorScoringEngine(View()).ScoreInto(u, out);
+}
+
+void BprRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                    std::span<double> out) const {
+  FactorScoringEngine(View()).ScoreBatchInto(users, out);
 }
 
 double BprRecommender::PairwiseAccuracy(const RatingDataset& train,

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "recommender/factor_scoring_engine.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -38,6 +39,8 @@ class BprRecommender : public Recommender {
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override { return "BPR"; }
 
   /// Mean pairwise ranking accuracy (AUC-style) over sampled triples from
@@ -49,6 +52,7 @@ class BprRecommender : public Recommender {
 
  private:
   double Score(UserId u, ItemId i) const;
+  FactorView View() const;
 
   BprConfig config_;
   int32_t num_users_ = 0;

@@ -66,15 +66,20 @@ Status CofiRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
+FactorView CofiRecommender::View() const {
+  return {.user_factors = user_factors_.data(),
+          .item_factors = item_factors_.data(),
+          .num_items = num_items_,
+          .num_factors = static_cast<size_t>(config_.num_factors)};
+}
+
 void CofiRecommender::ScoreInto(UserId u, std::span<double> out) const {
-  const size_t g = static_cast<size_t>(config_.num_factors);
-  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
-  for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
-    const double* qi = &item_factors_[i * g];
-    double dot = 0.0;
-    for (size_t f = 0; f < g; ++f) dot += pu[f] * qi[f];
-    out[i] = dot;
-  }
+  FactorScoringEngine(View()).ScoreInto(u, out);
+}
+
+void CofiRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                     std::span<double> out) const {
+  FactorScoringEngine(View()).ScoreBatchInto(users, out);
 }
 
 }  // namespace ganc

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "recommender/factor_scoring_engine.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -41,11 +42,15 @@ class CofiRecommender : public Recommender {
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override {
     return "CofiR" + std::to_string(config_.num_factors);
   }
 
  private:
+  FactorView View() const;
+
   CofiConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;

@@ -1,0 +1,96 @@
+#include "recommender/factor_scoring_engine.h"
+
+#include <algorithm>
+
+namespace ganc {
+
+namespace {
+
+// The batch micro-kernel, specialized at compile time on which optional
+// terms exist: with the flags folded, the no-bias instantiation keeps a
+// branch- and load-free inner loop (measured ~20% faster than one
+// generic kernel testing the pointers per item).
+template <bool kHasItemBias, bool kHasUserBase>
+void BatchKernel(const FactorView& v, std::span<const UserId> users,
+                 std::span<double> out) {
+  constexpr size_t kU = FactorScoringEngine::kUserBlock;
+  const size_t g = v.num_factors;
+  const size_t ni = static_cast<size_t>(v.num_items);
+  const size_t batch = users.size();
+
+  for (size_t b0 = 0; b0 < batch; b0 += kU) {
+    const size_t bn = std::min(kU, batch - b0);
+    // A ragged final block keeps the inner loops fixed-width by pointing
+    // the dead lanes at the block's first user; only live lanes store.
+    const double* pu[kU];
+    double* o[kU];
+    double base[kU];
+    for (size_t b = 0; b < kU; ++b) {
+      const size_t lane = b < bn ? b : 0;
+      const size_t ub = static_cast<size_t>(users[b0 + lane]);
+      pu[b] = v.user_factors + ub * g;
+      o[b] = out.data() + (b0 + lane) * ni;
+      base[b] = kHasUserBase ? v.user_base[ub] : 0.0;
+    }
+    for (size_t i = 0; i < ni; ++i) {
+      const double* qi = v.item_factors + i * g;
+      // Bias terms enter each accumulator before the factor sum and every
+      // (u, i) pair keeps one accumulator walked in factor order — the
+      // same evaluation order as the scalar path, so batch scores are
+      // bit-identical to ScoreInto. The kU independent chains are what
+      // buys the speedup: they hide FMA latency and let the compiler
+      // vectorize across users, while q_i is loaded once per block
+      // instead of once per user.
+      double acc[kU];
+      if constexpr (kHasItemBias && kHasUserBase) {
+        const double bi = v.item_bias[i];
+        for (size_t b = 0; b < kU; ++b) acc[b] = base[b] + bi;
+      } else if constexpr (kHasItemBias) {
+        const double bi = v.item_bias[i];
+        for (size_t b = 0; b < kU; ++b) acc[b] = bi;
+      } else if constexpr (kHasUserBase) {
+        for (size_t b = 0; b < kU; ++b) acc[b] = base[b];
+      } else {
+        for (size_t b = 0; b < kU; ++b) acc[b] = 0.0;
+      }
+      for (size_t f = 0; f < g; ++f) {
+        const double qf = qi[f];
+        for (size_t b = 0; b < kU; ++b) acc[b] += pu[b][f] * qf;
+      }
+      for (size_t b = 0; b < bn; ++b) o[b][i] = acc[b];
+    }
+  }
+}
+
+}  // namespace
+
+void FactorScoringEngine::ScoreInto(UserId u, std::span<double> out) const {
+  const size_t g = v_.num_factors;
+  const size_t ni = static_cast<size_t>(v_.num_items);
+  const double* pu = v_.user_factors + static_cast<size_t>(u) * g;
+  const double base = v_.user_base ? v_.user_base[static_cast<size_t>(u)] : 0.0;
+  for (size_t i = 0; i < ni; ++i) {
+    const double* qi = v_.item_factors + i * g;
+    double acc = base;
+    if (v_.item_bias) acc += v_.item_bias[i];
+    for (size_t f = 0; f < g; ++f) acc += pu[f] * qi[f];
+    out[i] = acc;
+  }
+}
+
+void FactorScoringEngine::ScoreBatchInto(std::span<const UserId> users,
+                                         std::span<double> out) const {
+  if (v_.item_bias) {
+    if (v_.user_base) {
+      BatchKernel<true, true>(v_, users, out);
+    } else {
+      BatchKernel<true, false>(v_, users, out);
+    }
+  } else if (v_.user_base) {
+    BatchKernel<false, true>(v_, users, out);
+  } else {
+    BatchKernel<false, false>(v_, users, out);
+  }
+}
+
+}  // namespace ganc

@@ -32,15 +32,20 @@ Status PsvdRecommender::Fit(const RatingDataset& train) {
   return Status::OK();
 }
 
+FactorView PsvdRecommender::View() const {
+  return {.user_factors = user_factors_.data(),
+          .item_factors = item_factors_.data(),
+          .num_items = num_items_,
+          .num_factors = singular_values_.size()};
+}
+
 void PsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
-  const size_t g = singular_values_.size();
-  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
-  for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
-    const double* qi = &item_factors_[i * g];
-    double dot = 0.0;
-    for (size_t f = 0; f < g; ++f) dot += pu[f] * qi[f];
-    out[i] = dot;
-  }
+  FactorScoringEngine(View()).ScoreInto(u, out);
+}
+
+void PsvdRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                     std::span<double> out) const {
+  FactorScoringEngine(View()).ScoreBatchInto(users, out);
 }
 
 }  // namespace ganc

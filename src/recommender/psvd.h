@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "recommender/factor_scoring_engine.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -35,6 +36,8 @@ class PsvdRecommender : public Recommender {
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override {
     return "PSVD" + std::to_string(config_.num_factors);
   }
@@ -45,6 +48,8 @@ class PsvdRecommender : public Recommender {
   }
 
  private:
+  FactorView View() const;
+
   PsvdConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;

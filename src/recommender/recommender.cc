@@ -2,6 +2,14 @@
 
 namespace ganc {
 
+void Recommender::ScoreBatchInto(std::span<const UserId> users,
+                                 std::span<double> out) const {
+  const size_t ni = static_cast<size_t>(num_items());
+  for (size_t b = 0; b < users.size(); ++b) {
+    ScoreInto(users[b], out.subspan(b * ni, ni));
+  }
+}
+
 std::vector<double> Recommender::ScoreAll(UserId u) const {
   std::vector<double> scores(static_cast<size_t>(num_items()));
   ScoreInto(u, scores);
@@ -30,6 +38,31 @@ void Recommender::RecommendTopNInto(UserId u,
   for (const ScoredItem& s : top) out.push_back(s.item);
 }
 
+std::vector<ScoredItem>& SelectTopKUnrated(std::span<const double> scores,
+                                           const RatingDataset& train,
+                                           UserId u, size_t k,
+                                           ScoringContext& ctx) {
+  // "All unrated items" candidate generation is the whole catalog minus
+  // the user's short history, so instead of materializing a candidate
+  // list the dense top-k kernel scans the score row and skips rated
+  // items through a flag mask, marked and unmarked around the call so
+  // the mask stays zeroed between users.
+  std::vector<uint8_t>& rated = ctx.Flags();
+  if (rated.size() != scores.size()) rated.assign(scores.size(), 0);
+  for (const ItemRating& ir : train.ItemsOf(u)) {
+    rated[static_cast<size_t>(ir.item)] = 1;
+  }
+  std::vector<ScoredItem>& top = ctx.TopK();
+  SelectTopKDenseInto(
+      scores, k,
+      [&](int32_t item) { return rated[static_cast<size_t>(item)] != 0; },
+      &top);
+  for (const ItemRating& ir : train.ItemsOf(u)) {
+    rated[static_cast<size_t>(ir.item)] = 0;
+  }
+  return top;
+}
+
 std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,
                                                    const RatingDataset& train,
                                                    int n, ThreadPool* pool) {
@@ -39,11 +72,16 @@ std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,
       pool, 0, static_cast<size_t>(train.num_users()),
       [&](size_t lo, size_t hi) {
         ScoringContext ctx;
-        for (size_t uu = lo; uu < hi; ++uu) {
-          const UserId u = static_cast<UserId>(uu);
-          train.UnratedItemsInto(u, &ctx.Candidates());
-          model.RecommendTopNInto(u, ctx.Candidates(), n, ctx, result[uu]);
-        }
+        ForEachScoredUser(
+            model, lo, hi, ctx,
+            [&](UserId u, std::span<const double> scores) {
+              const std::vector<ScoredItem>& top = SelectTopKUnrated(
+                  scores, train, u, static_cast<size_t>(n), ctx);
+              std::vector<ItemId>& out = result[static_cast<size_t>(u)];
+              out.clear();
+              out.reserve(top.size());
+              for (const ScoredItem& s : top) out.push_back(s.item);
+            });
       });
   return result;
 }

@@ -1,21 +1,27 @@
 // Common interface for base recommenders.
 //
 // Every model fits on a train RatingDataset and can score the whole
-// catalog for a user. The scoring primitive is ScoreInto, which writes
-// into a caller-owned buffer so batched loops never allocate per user;
-// ScoreAll is the allocating convenience wrapper. Top-N generation always
-// uses the shared SelectTopK kernels so tie-breaking is deterministic
-// across models and across the sequential/parallel paths.
+// catalog for a user. The scoring primitives are ScoreInto (one user into
+// a caller-owned buffer) and ScoreBatchInto (a user batch into one
+// batch-major buffer); the latent-factor models override the batch path
+// with the cache-blocked FactorScoringEngine kernel, every other model
+// inherits the per-user loop. ScoreAll is the allocating convenience
+// wrapper. Top-N generation always uses the shared SelectTopK kernels so
+// tie-breaking is deterministic across models and across the
+// sequential/parallel paths.
 
 #ifndef GANC_RECOMMENDER_RECOMMENDER_H_
 #define GANC_RECOMMENDER_RECOMMENDER_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "recommender/factor_scoring_engine.h"
 #include "recommender/scoring_context.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -41,6 +47,15 @@ class Recommender {
   /// normalize before mixing (see core/accuracy_scorer.h).
   virtual void ScoreInto(UserId u, std::span<double> out) const = 0;
 
+  /// Writes dense catalog scores for every user in `users` into the
+  /// batch-major `out` (users.size() * num_items() entries; row b holds
+  /// the scores of users[b]). Must produce the same scores as per-user
+  /// ScoreInto calls. The default loops over ScoreInto; latent-factor
+  /// models override it with the blocked FactorScoringEngine kernel.
+  /// Thread-safe on a fitted model.
+  virtual void ScoreBatchInto(std::span<const UserId> users,
+                              std::span<double> out) const;
+
   /// Allocating convenience wrapper over ScoreInto.
   std::vector<double> ScoreAll(UserId u) const;
 
@@ -60,10 +75,62 @@ class Recommender {
                          ScoringContext& ctx, std::vector<ItemId>& out) const;
 };
 
+/// Users per ScoreBatchInto call in the framework's full-catalog loops:
+/// one FactorScoringEngine register block, small enough that a batch
+/// score buffer stays cache-resident at any catalog size. Defined from
+/// the engine constant so retuning the kernel block retunes every loop.
+inline constexpr size_t kScoreBatch = FactorScoringEngine::kUserBlock;
+
+/// Runs fn(u, scores_row) for every user in `users`, scoring in blocks of
+/// kScoreBatch through ctx's batch buffer. `scorer` is anything with
+/// num_items() and ScoreBatchInto(users, out) — a Recommender or an
+/// AccuracyScorer. fn may use every ctx buffer except BatchScores, which
+/// holds the in-flight block (the contiguous variant additionally owns
+/// ctx.BatchUsers()).
+template <typename Scorer, typename Fn>
+void ForEachScoredUser(const Scorer& scorer, std::span<const UserId> users,
+                       ScoringContext& ctx, Fn&& fn) {
+  const size_t ni = static_cast<size_t>(scorer.num_items());
+  for (size_t b0 = 0; b0 < users.size(); b0 += kScoreBatch) {
+    const size_t bn = std::min(kScoreBatch, users.size() - b0);
+    const std::span<double> batch = ctx.BatchScores(bn * ni);
+    scorer.ScoreBatchInto(users.subspan(b0, bn), batch);
+    for (size_t b = 0; b < bn; ++b) {
+      fn(users[b0 + b], std::span<const double>(batch.subspan(b * ni, ni)));
+    }
+  }
+}
+
+/// Contiguous-range variant: scores users [lo, hi) through
+/// ctx.BatchUsers() — the chunk shape every ParallelForChunks consumer
+/// gets.
+template <typename Scorer, typename Fn>
+void ForEachScoredUser(const Scorer& scorer, size_t lo, size_t hi,
+                       ScoringContext& ctx, Fn&& fn) {
+  std::vector<UserId>& users = ctx.BatchUsers();
+  users.clear();
+  for (size_t uu = lo; uu < hi; ++uu) users.push_back(static_cast<UserId>(uu));
+  ForEachScoredUser(scorer, std::span<const UserId>(users), ctx,
+                    std::forward<Fn>(fn));
+}
+
+/// Top-k over a dense score row restricted to the items `u` has NOT
+/// rated in `train` — the "all unrated items" candidate protocol without
+/// materializing a candidate list. Marks the user's rated items in
+/// ctx.Flags() (kept zeroed between calls), selects through the dense
+/// scan kernel into ctx.TopK(), unmarks, and returns ctx.TopK().
+/// Output is identical to SelectTopKFromScoresInto over the ascending
+/// unrated item ids.
+std::vector<ScoredItem>& SelectTopKUnrated(std::span<const double> scores,
+                                           const RatingDataset& train,
+                                           UserId u, size_t k,
+                                           ScoringContext& ctx);
+
 /// Builds per-user top-N sets for all users over their unrated train items
 /// ("all unrated items" candidate generation). Returns one vector of item
 /// ids per user in best-first order. With a pool, users are scored in
-/// parallel chunks (one ScoringContext per chunk); because per-user
+/// kScoreBatch blocks through the models' ScoreBatchInto kernel and fanned
+/// out in parallel chunks (one ScoringContext per chunk); because per-user
 /// scoring is deterministic and each user writes only its own slot, the
 /// output is byte-identical to the sequential path.
 std::vector<std::vector<ItemId>> RecommendAllUsers(const Recommender& model,

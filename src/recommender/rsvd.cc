@@ -79,7 +79,27 @@ Status RsvdRecommender::Fit(const RatingDataset& train) {
                     << std::sqrt(sq_err /
                                  static_cast<double>(train.num_ratings()));
   }
+  // Per-user scoring base for the factor engine: mu + b_u folds the two
+  // user-constant terms of Predict into one engine offset. Computed as
+  // (mu + b_u) so engine scores stay bit-identical to Predict's
+  // ((mu + b_u) + b_i) evaluation order.
+  user_base_.clear();
+  if (config_.use_biases) {
+    user_base_.resize(static_cast<size_t>(num_users_));
+    for (size_t u = 0; u < static_cast<size_t>(num_users_); ++u) {
+      user_base_[u] = global_mean_ + user_bias_[u];
+    }
+  }
   return Status::OK();
+}
+
+FactorView RsvdRecommender::View() const {
+  return {.user_factors = user_factors_.data(),
+          .item_factors = item_factors_.data(),
+          .item_bias = config_.use_biases ? item_bias_.data() : nullptr,
+          .user_base = config_.use_biases ? user_base_.data() : nullptr,
+          .num_items = num_items_,
+          .num_factors = static_cast<size_t>(config_.num_factors)};
 }
 
 double RsvdRecommender::Predict(UserId u, ItemId i) const {
@@ -95,9 +115,12 @@ double RsvdRecommender::Predict(UserId u, ItemId i) const {
 }
 
 void RsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
-  for (ItemId i = 0; i < num_items_; ++i) {
-    out[static_cast<size_t>(i)] = Predict(u, i);
-  }
+  FactorScoringEngine(View()).ScoreInto(u, out);
+}
+
+void RsvdRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                     std::span<double> out) const {
+  FactorScoringEngine(View()).ScoreBatchInto(users, out);
 }
 
 double RsvdRecommender::Rmse(const RatingDataset& test) const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "recommender/factor_scoring_engine.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -39,6 +40,8 @@ class RsvdRecommender : public Recommender {
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override {
     return config_.non_negative ? "RSVDN" : "RSVD";
   }
@@ -52,6 +55,8 @@ class RsvdRecommender : public Recommender {
   const RsvdConfig& config() const { return config_; }
 
  private:
+  FactorView View() const;
+
   RsvdConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
@@ -60,6 +65,7 @@ class RsvdRecommender : public Recommender {
   std::vector<double> item_factors_;  // |I| x g row-major
   std::vector<double> user_bias_;
   std::vector<double> item_bias_;
+  std::vector<double> user_base_;  // mu + b_u per user (biased mode only)
 };
 
 }  // namespace ganc

@@ -9,6 +9,11 @@ std::span<double> ScoringContext::Buffer(size_t slot, size_t n) {
   return {buf.data(), n};
 }
 
+std::span<double> ScoringContext::BatchScores(size_t n) {
+  batch_scores_.resize(n);  // shrinking keeps capacity
+  return {batch_scores_.data(), n};
+}
+
 std::vector<ItemId>& ScoringContext::Items(size_t slot) {
   if (items_.size() <= slot) items_.resize(slot + 1);
   return items_[slot];

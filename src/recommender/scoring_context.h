@@ -50,7 +50,17 @@ class ScoringContext {
   /// A numbered item-id scratch vector (cleared by the consumer).
   std::vector<ItemId>& Items(size_t slot);
 
-  /// Working heap / output of the top-k selection kernels.
+  /// The batch-major score buffer of the blocked scoring path, resized to
+  /// `n` (= batch size * num_items) entries. Distinct from every numbered
+  /// Buffer slot so consumers can keep per-user scratch live while a
+  /// score block is in flight.
+  std::span<double> BatchScores(size_t n);
+
+  /// The user-id list the contiguous ForEachScoredUser variant scores
+  /// through (capacity reused across blocks).
+  std::vector<UserId>& BatchUsers() { return batch_users_; }
+
+  /// Working scratch / output of the top-k selection kernels.
   std::vector<ScoredItem>& TopK() { return top_k_; }
 
   /// Reusable byte flags (e.g. "already taken" marks in MMR).
@@ -61,6 +71,8 @@ class ScoringContext {
 
  private:
   std::vector<std::vector<double>> buffers_;
+  std::vector<double> batch_scores_;
+  std::vector<UserId> batch_users_;
   std::vector<std::vector<ItemId>> items_;
   std::vector<ScoredItem> top_k_;
   std::vector<uint8_t> flags_;

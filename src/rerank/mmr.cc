@@ -29,15 +29,14 @@ Result<RerankedCollection> MmrReranker::RecommendAll(
   RerankedCollection result(static_cast<size_t>(train.num_users()));
 
   // One scoring context amortizes every per-user buffer across the loop:
-  // base scores, candidate ids, the top-k pool, relevance, taken-flags.
+  // batched base scores, candidate ids, the top-k pool, relevance,
+  // taken-flags.
   ScoringContext ctx;
-  const size_t num_items = static_cast<size_t>(train.num_items());
-  for (UserId u = 0; u < train.num_users(); ++u) {
+  ForEachScoredUser(*base_, 0, static_cast<size_t>(train.num_users()), ctx,
+                    [&](UserId u, std::span<const double> scores) {
     // Candidate pool: head of the base ranking, with normalized relevance.
-    // Selecting from the dense score buffer keeps the base scores on hand
+    // Selecting from the dense score row keeps the base scores on hand
     // for the relevance term (the legacy path scored the user twice).
-    const std::span<double> scores = ctx.Scores(num_items);
-    base_->ScoreInto(u, scores);
     train.UnratedItemsInto(u, &ctx.Candidates());
     std::vector<ScoredItem>& pool = ctx.TopK();
     SelectTopKFromScoresInto(
@@ -77,7 +76,7 @@ Result<RerankedCollection> MmrReranker::RecommendAll(
       taken[best_idx] = 1;
       out.push_back(pool[best_idx].item);
     }
-  }
+  });
   return result;
 }
 

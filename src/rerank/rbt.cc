@@ -34,10 +34,8 @@ Result<RerankedCollection> RbtReranker::RecommendAll(
   RerankedCollection result(static_cast<size_t>(train.num_users()));
 
   ScoringContext ctx;
-  const size_t num_items = static_cast<size_t>(train.num_items());
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::span<double> scores = ctx.Scores(num_items);
-    base_->ScoreInto(u, scores);
+  ForEachScoredUser(*base_, 0, static_cast<size_t>(train.num_users()), ctx,
+                    [&](UserId u, std::span<const double> scores) {
     train.UnratedItemsInto(u, &ctx.Candidates());
     std::vector<ItemId>& head = ctx.Items(1);
     std::vector<ItemId>& tail = ctx.Items(2);
@@ -84,7 +82,7 @@ Result<RerankedCollection> RbtReranker::RecommendAll(
       if (static_cast<int>(out.size()) >= top_n) break;
       out.push_back(i);
     }
-  }
+  });
   return result;
 }
 

@@ -53,13 +53,17 @@ std::string FiveDReranker::name() const {
 namespace {
 
 /// Per-user ascending ranks (0 = smallest value) for rank-by-rankings,
-/// written into `ranks` with `order` as reusable argsort scratch.
+/// written into `ranks` with `order` as reusable argsort scratch. Ties
+/// break by candidate position so the assigned ranks do not depend on
+/// how the caller happened to order equal-valued candidates.
 void RanksInto(std::span<const double> values, std::vector<size_t>* order,
                std::span<double> ranks) {
   order->resize(values.size());
   std::iota(order->begin(), order->end(), 0);
-  std::sort(order->begin(), order->end(),
-            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::sort(order->begin(), order->end(), [&](size_t a, size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
   for (size_t r = 0; r < order->size(); ++r) {
     ranks[(*order)[r]] = static_cast<double>(r);
   }
@@ -76,36 +80,35 @@ Result<RerankedCollection> FiveDReranker::RecommendAll(
 
   // Phase 2 denominator: sum over users of r_hat(s, i)^q per item.
   std::vector<double> denom(num_items, 0.0);
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::span<double> scores = ctx.Scores(num_items);
-    base_->ScoreInto(u, scores);
-    for (ItemId i = 0; i < train.num_items(); ++i) {
-      denom[static_cast<size_t>(i)] += std::pow(
-          std::max(scores[static_cast<size_t>(i)], 0.0), config_.q);
-    }
-  }
+  ForEachScoredUser(*base_, 0, static_cast<size_t>(train.num_users()), ctx,
+                    [&](UserId /*u*/, std::span<const double> scores) {
+                      for (size_t i = 0; i < num_items; ++i) {
+                        denom[i] += std::pow(std::max(scores[i], 0.0),
+                                             config_.q);
+                      }
+                    });
 
   RerankedCollection result(static_cast<size_t>(train.num_users()));
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::span<double> scores = ctx.Scores(num_items);
-    base_->ScoreInto(u, scores);
+  ForEachScoredUser(*base_, 0, static_cast<size_t>(train.num_users()), ctx,
+                    [&](UserId u, std::span<const double> scores) {
     std::vector<ItemId>& candidates = ctx.Candidates();
     train.UnratedItemsInto(u, &candidates);
 
     if (config_.accuracy_filter) {
-      // "A": keep the user's top-k predicted items only.
+      // "A": keep the user's top-k predicted items only, through the
+      // shared partial-selection kernel. The kept SET matches the old
+      // ad-hoc nth_element (same (score, item-id) comparator), but the
+      // kept candidates are now in deterministic best-first order where
+      // nth_element left an unspecified partition order — downstream
+      // rank assignment is made order-independent by RanksInto's index
+      // tie-break.
       const size_t k = static_cast<size_t>(config_.accuracy_filter_multiple) *
                        static_cast<size_t>(top_n);
       if (candidates.size() > k) {
-        std::nth_element(candidates.begin(),
-                         candidates.begin() + static_cast<long>(k) - 1,
-                         candidates.end(), [&](ItemId a, ItemId b) {
-                           const double sa = scores[static_cast<size_t>(a)];
-                           const double sb = scores[static_cast<size_t>(b)];
-                           if (sa != sb) return sa > sb;
-                           return a < b;
-                         });
-        candidates.resize(k);
+        std::vector<ScoredItem>& top = ctx.TopK();
+        SelectTopKFromScoresInto(scores, candidates, k, &top);
+        candidates.clear();
+        for (const ScoredItem& s : top) candidates.push_back(s.item);
       }
     }
 
@@ -165,7 +168,7 @@ Result<RerankedCollection> FiveDReranker::RecommendAll(
     auto& out = result[static_cast<size_t>(u)];
     out.reserve(top.size());
     for (const ScoredItem& s : top) out.push_back(s.item);
-  }
+  });
   return result;
 }
 

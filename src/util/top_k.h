@@ -4,13 +4,27 @@
 // highest-scored candidate items"; this header centralizes that kernel so
 // tie-breaking is consistent everywhere (higher score first, then lower
 // item id for determinism).
+//
+// The kernel replaces the legacy std::priority_queue selection with two
+// in-place regimes, picked by how dense k is in n (measured: either one
+// alone loses badly in the other's regime):
+//   sparse k (k << n, small): a threshold scan over the candidates with
+//     sorted insertion into the k-bounded output — the common reject path
+//     is a single comparison against the current worst kept entry, and
+//     improvements are rare (O(k log(n/k)) expected), so no heap
+//     maintenance is ever paid and the output stays sorted for free.
+//   dense k: materialize into the caller's reusable buffer, move the k
+//     best to the front with nth_element under the total ScoredBetter
+//     order, then sort the kept prefix (tie-aware; the order is total, so
+//     the result is unique and identical to the sparse path).
+// Both regimes reuse the caller's vector (ScoringContext::TopK() in the
+// framework loops), so selection allocates nothing once warm.
 
 #ifndef GANC_UTIL_TOP_K_H_
 #define GANC_UTIL_TOP_K_H_
 
 #include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <span>
 #include <vector>
 
@@ -28,58 +42,159 @@ inline bool ScoredBetter(const ScoredItem& a, const ScoredItem& b) {
   return a.item < b.item;
 }
 
+/// ScoredBetter as a stateless comparator type, so standard-library
+/// algorithms inline the comparison (a function pointer would not).
+struct ScoredBetterCmp {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return ScoredBetter(a, b);
+  }
+};
+
+/// Shrinks the materialized candidate buffer `*out` to its k best entries
+/// in best-first order (tie-aware: ScoredBetter is total, so the output
+/// is unique). The buffer keeps its capacity for reuse across calls.
+inline void PartialSelectBest(std::vector<ScoredItem>* out, size_t k) {
+  if (k == 0) {
+    out->clear();
+    return;
+  }
+  if (out->size() > k) {
+    std::nth_element(out->begin(),
+                     out->begin() + static_cast<ptrdiff_t>(k) - 1, out->end(),
+                     ScoredBetterCmp{});
+    out->resize(k);
+  }
+  std::sort(out->begin(), out->end(), ScoredBetterCmp{});
+}
+
+/// True when the threshold-scan regime is the right kernel for selecting
+/// k of n: k must be small in absolute terms (insertion shifts are O(k))
+/// and sparse in n (rejections dominate). Otherwise partial selection via
+/// nth_element over the materialized candidates wins.
+inline bool UseScanSelect(size_t k, size_t n) { return k <= 128 && k * 8 < n; }
+
+/// The sparse-k threshold scan: streams `emit(i)` for i in [0, n) into the
+/// k-bounded best-first `*out`. The current worst kept (score, item) is
+/// held in locals so the hot reject path is one score comparison with no
+/// memory traffic; improving candidates insertion-place (O(k), rare).
+/// The tie order is exactly ScoredBetter's, so output matches
+/// PartialSelectBest.
+template <typename EmitFn>
+void ScanSelectBestInto(size_t n, size_t k, EmitFn&& emit,
+                        std::vector<ScoredItem>* out) {
+  size_t have = 0;
+  double worst_score = 0.0;
+  int32_t worst_item = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const ScoredItem c = emit(i);
+    if (have == k) {
+      if (c.score < worst_score ||
+          (c.score == worst_score && c.item >= worst_item)) {
+        continue;
+      }
+      out->pop_back();
+    } else {
+      ++have;
+    }
+    out->insert(
+        std::upper_bound(out->begin(), out->end(), c, ScoredBetterCmp{}), c);
+    worst_score = out->back().score;
+    worst_item = out->back().item;
+  }
+}
+
 /// Returns the k best entries of `candidates` in best-first order.
-/// O(n log k) heap selection; stable deterministic tie-breaking.
+/// Average O(n + k log k); stable deterministic tie-breaking.
 inline std::vector<ScoredItem> SelectTopK(
     const std::vector<ScoredItem>& candidates, size_t k) {
-  if (k == 0) return {};
-  auto worse = [](const ScoredItem& a, const ScoredItem& b) {
-    return ScoredBetter(a, b);  // min-heap on "better": top() is worst kept
-  };
-  std::priority_queue<ScoredItem, std::vector<ScoredItem>, decltype(worse)>
-      heap(worse);
-  for (const ScoredItem& c : candidates) {
-    if (heap.size() < k) {
-      heap.push(c);
-    } else if (ScoredBetter(c, heap.top())) {
-      heap.pop();
-      heap.push(c);
-    }
+  std::vector<ScoredItem> out;
+  if (k == 0) return out;
+  if (UseScanSelect(k, candidates.size())) {
+    out.reserve(k);
+    ScanSelectBestInto(
+        candidates.size(), k, [&](size_t i) { return candidates[i]; }, &out);
+    return out;
   }
-  std::vector<ScoredItem> out(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    out[i] = heap.top();
-    heap.pop();
-  }
+  out = candidates;
+  PartialSelectBest(&out, k);
   return out;
 }
 
 /// Allocation-free top-k over candidate item ids scored on the fly.
 /// `score_of(item)` maps an item id to its score; `*out` receives the k
-/// best entries in best-first order, reusing its capacity across calls.
-/// Tie-breaking is identical to SelectTopK (the ordering is total, so the
-/// result is unique). O(n log k), no heap allocation once warm.
+/// best entries in best-first order. `*out` doubles as the selection
+/// scratch (in the dense-k regime its capacity grows to the candidate
+/// count once and is reused across calls). Tie-breaking is identical to
+/// SelectTopK.
 template <typename ScoreFn>
 void SelectTopKByInto(std::span<const int32_t> candidates, size_t k,
                       ScoreFn&& score_of, std::vector<ScoredItem>* out) {
   out->clear();
   if (k == 0) return;
-  // Max-heap wrt ScoredBetter-as-less: the front is the worst kept entry.
-  const auto worse_on_top = [](const ScoredItem& a, const ScoredItem& b) {
-    return ScoredBetter(a, b);
-  };
-  for (int32_t item : candidates) {
-    const ScoredItem c{item, score_of(item)};
-    if (out->size() < k) {
-      out->push_back(c);
-      std::push_heap(out->begin(), out->end(), worse_on_top);
-    } else if (ScoredBetter(c, out->front())) {
-      std::pop_heap(out->begin(), out->end(), worse_on_top);
-      out->back() = c;
-      std::push_heap(out->begin(), out->end(), worse_on_top);
-    }
+  if (UseScanSelect(k, candidates.size())) {
+    ScanSelectBestInto(
+        candidates.size(), k,
+        [&](size_t i) {
+          const int32_t item = candidates[i];
+          return ScoredItem{item, score_of(item)};
+        },
+        out);
+    return;
   }
-  std::sort_heap(out->begin(), out->end(), worse_on_top);  // best-first
+  out->reserve(candidates.size());
+  for (int32_t item : candidates) out->push_back({item, score_of(item)});
+  PartialSelectBest(out, k);
+}
+
+/// Allocation-free top-k over an entire dense score row, excluding items
+/// for which `skip(item)` is true. Equivalent to (and bit-identical with)
+/// SelectTopKFromScoresInto over the ascending list of non-skipped item
+/// ids, but walks the row sequentially — no candidate list is ever
+/// materialized, and the hot reject path is one score comparison, so the
+/// skip predicate only runs for candidates that would enter the top-k.
+/// This is the kernel behind the full-catalog "all unrated items"
+/// consumers, where candidates are the whole catalog minus a short
+/// per-user history.
+template <typename SkipFn>
+void SelectTopKDenseInto(std::span<const double> scores, size_t k,
+                         SkipFn&& skip, std::vector<ScoredItem>* out) {
+  out->clear();
+  if (k == 0) return;
+  if (UseScanSelect(k, scores.size())) {
+    // Seed phase: insert until k entries are held (skip runs first here,
+    // since every non-skipped item enters).
+    size_t i = 0;
+    for (; i < scores.size() && out->size() < k; ++i) {
+      const int32_t item = static_cast<int32_t>(i);
+      if (skip(item)) continue;
+      const ScoredItem c{item, scores[i]};
+      out->insert(
+          std::upper_bound(out->begin(), out->end(), c, ScoredBetterCmp{}), c);
+    }
+    // Scan phase. Item ids only increase, so every held entry has a
+    // smaller id than the current item and a score tie always loses —
+    // the reject test collapses to one comparison, and the skip
+    // predicate only runs for items that would enter the top-k.
+    double worst_score = out->empty() ? 0.0 : out->back().score;
+    for (; i < scores.size(); ++i) {
+      const double s = scores[i];
+      if (s <= worst_score) continue;
+      const int32_t item = static_cast<int32_t>(i);
+      if (skip(item)) continue;
+      out->pop_back();
+      const ScoredItem c{item, s};
+      out->insert(
+          std::upper_bound(out->begin(), out->end(), c, ScoredBetterCmp{}), c);
+      worst_score = out->back().score;
+    }
+    return;
+  }
+  out->reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int32_t item = static_cast<int32_t>(i);
+    if (!skip(item)) out->push_back({item, scores[i]});
+  }
+  PartialSelectBest(out, k);
 }
 
 /// Allocation-free top-k over a dense score span restricted to

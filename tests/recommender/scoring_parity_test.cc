@@ -102,6 +102,134 @@ TEST(ScoringParityTest, ScoreIntoMatchesScoreAllBitwise) {
   }
 }
 
+/// Batch-vs-single parity: ScoreBatchInto must reproduce per-user
+/// ScoreInto for every model (the factor models go through the blocked
+/// engine kernel, everything else through the default loop), across batch
+/// sizes that exercise full blocks, sub-block batches, and ragged final
+/// blocks. Blocked summation may legally reorder adds, so scores get a
+/// 1e-9 tolerance; top-N lists (including ties) must be identical.
+TEST(ScoringParityTest, ScoreBatchIntoMatchesSingleUserScoring) {
+  const RatingDataset train = MakeData();
+  const size_t ni = static_cast<size_t>(train.num_items());
+  for (auto& model : AllModels()) {
+    ASSERT_TRUE(model->Fit(train).ok()) << model->name();
+    ScoringContext ctx;
+    std::vector<double> single(ni);
+    std::vector<ItemId> top_single, top_batch;
+    for (const size_t batch_size : {1u, 7u, 8u, 64u}) {
+      // Starting at user 97 of 120 makes the 64-user batch wrap into a
+      // ragged final engine block no matter the block size.
+      for (const UserId first : {0, 97}) {
+        std::vector<UserId> users;
+        for (size_t b = 0; b < batch_size; ++b) {
+          users.push_back(
+              static_cast<UserId>((static_cast<size_t>(first) + b) %
+                                  static_cast<size_t>(train.num_users())));
+        }
+        const std::span<double> batch = ctx.BatchScores(batch_size * ni);
+        model->ScoreBatchInto(users, batch);
+        for (size_t b = 0; b < batch_size; ++b) {
+          const UserId u = users[b];
+          model->ScoreInto(u, single);
+          const std::span<const double> row = batch.subspan(b * ni, ni);
+          for (size_t i = 0; i < ni; ++i) {
+            ASSERT_NEAR(single[i], row[i], 1e-9)
+                << model->name() << " batch " << batch_size << " user " << u
+                << " item " << i;
+          }
+          const std::vector<ItemId> candidates = train.UnratedItems(u);
+          std::vector<ScoredItem>& top = ctx.TopK();
+          SelectTopKFromScoresInto(single, candidates, 10, &top);
+          top_single.clear();
+          for (const ScoredItem& s : top) top_single.push_back(s.item);
+          SelectTopKFromScoresInto(row, candidates, 10, &top);
+          top_batch.clear();
+          for (const ScoredItem& s : top) top_batch.push_back(s.item);
+          ASSERT_EQ(top_single, top_batch)
+              << model->name() << " batch " << batch_size << " user " << u;
+        }
+      }
+    }
+  }
+}
+
+/// The adapters' batch path must match their single-user path, including
+/// the indicator scorer's dense top-N selection.
+TEST(ScoringParityTest, AccuracyScorerBatchMatchesSingle) {
+  const RatingDataset train = MakeData();
+  const size_t ni = static_cast<size_t>(train.num_items());
+  PsvdRecommender psvd({.num_factors = 8});
+  ASSERT_TRUE(psvd.Fit(train).ok());
+  const NormalizedAccuracyScorer normalized(&psvd);
+  const TopNIndicatorScorer indicator(&psvd, &train, 5);
+  ScoringContext ctx;
+  std::vector<double> single(ni);
+  for (const AccuracyScorer* scorer :
+       {static_cast<const AccuracyScorer*>(&normalized),
+        static_cast<const AccuracyScorer*>(&indicator)}) {
+    for (const size_t batch_size : {1u, 7u, 8u, 64u}) {
+      std::vector<UserId> users;
+      for (size_t b = 0; b < batch_size; ++b) {
+        users.push_back(static_cast<UserId>(
+            (97 + b) % static_cast<size_t>(train.num_users())));
+      }
+      const std::span<double> batch = ctx.BatchScores(batch_size * ni);
+      scorer->ScoreBatchInto(users, batch);
+      for (size_t b = 0; b < batch_size; ++b) {
+        scorer->ScoreInto(users[b], single);
+        for (size_t i = 0; i < ni; ++i) {
+          ASSERT_NEAR(single[i], batch[b * ni + i], 1e-9)
+              << scorer->name() << " batch " << batch_size << " user "
+              << users[b] << " item " << i;
+        }
+      }
+    }
+  }
+}
+
+/// Tie-breaking through the new partial-selection top-k kernel: the
+/// dense-row path (mask-skipped scan) and the candidate-list path must
+/// both prefer lower item ids on equal scores, in every regime.
+TEST(ScoringParityTest, TopKKernelTieBreakingAcrossRegimes) {
+  // 13 distinct scores over 300 items: heavy ties everywhere.
+  const size_t n = 300;
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<double>((i * 31) % 13);
+  }
+  std::vector<ItemId> candidates;  // skip every 7th item
+  std::vector<uint8_t> skipped(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 7 == 0) {
+      skipped[i] = 1;
+    } else {
+      candidates.push_back(static_cast<ItemId>(i));
+    }
+  }
+  std::vector<ScoredItem> from_candidates, from_dense;
+  // k spans the scan regime (small k) and the nth_element regime (k
+  // dense in n), plus k > candidate count.
+  for (const size_t k : {1u, 5u, 10u, 120u, 250u, 400u}) {
+    SelectTopKFromScoresInto(scores, candidates, k, &from_candidates);
+    SelectTopKDenseInto(
+        scores, k, [&](int32_t item) { return skipped[item] != 0; },
+        &from_dense);
+    ASSERT_EQ(from_candidates.size(), from_dense.size()) << "k=" << k;
+    for (size_t i = 0; i < from_candidates.size(); ++i) {
+      ASSERT_EQ(from_candidates[i].item, from_dense[i].item)
+          << "k=" << k << " rank " << i;
+      ASSERT_EQ(from_candidates[i].score, from_dense[i].score)
+          << "k=" << k << " rank " << i;
+    }
+    // Within every tied score group the kept ids must be the smallest
+    // candidates, in ascending order.
+    for (size_t i = 0; i + 1 < from_dense.size(); ++i) {
+      ASSERT_TRUE(ScoredBetter(from_dense[i], from_dense[i + 1]))
+          << "k=" << k << " rank " << i;
+    }
+  }
+}
+
 TEST(ScoringParityTest, RecommendTopNIntoMatchesAllocating) {
   const RatingDataset train = MakeData();
   for (auto& model : AllModels()) {

@@ -102,6 +102,59 @@ TEST(SelectTopKByIntoTest, ScoresOnTheFly) {
   EXPECT_EQ(out[1].item, 4);
 }
 
+TEST(SelectTopKDenseTest, MatchesCandidateKernelWithSkips) {
+  std::vector<double> scores(500);
+  std::vector<int32_t> candidates;
+  std::vector<uint8_t> skip(500, 0);
+  for (int32_t i = 0; i < 500; ++i) {
+    scores[static_cast<size_t>(i)] = static_cast<double>((i * 31) % 13);
+    if (i % 3 == 0) {
+      skip[static_cast<size_t>(i)] = 1;
+    } else {
+      candidates.push_back(i);
+    }
+  }
+  for (const size_t k : {0u, 1u, 10u, 200u, 400u}) {
+    const auto expected = SelectTopKFromScores(scores, candidates, k);
+    std::vector<ScoredItem> dense;
+    SelectTopKDenseInto(
+        scores, k,
+        [&](int32_t item) { return skip[static_cast<size_t>(item)] != 0; },
+        &dense);
+    ASSERT_EQ(expected.size(), dense.size()) << "k=" << k;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].item, dense[i].item) << "k=" << k;
+      EXPECT_EQ(expected[i].score, dense[i].score) << "k=" << k;
+    }
+  }
+}
+
+TEST(SelectTopKDenseTest, SkipEverythingYieldsEmpty) {
+  const std::vector<double> scores{1.0, 2.0, 3.0};
+  std::vector<ScoredItem> out{{9, 9.0}};  // stale content must be cleared
+  SelectTopKDenseInto(scores, 2, [](int32_t) { return true; }, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SelectTopKTest, ScanAndPartialSelectRegimesAgree) {
+  // 4000 candidates straddle the kernel's regime switch: k = 10 uses the
+  // threshold scan, k = 600 materializes + nth_element. Both must yield
+  // the same unique ScoredBetter order as a full sort.
+  std::vector<ScoredItem> items;
+  for (int32_t i = 0; i < 4000; ++i) {
+    items.push_back({i, static_cast<double>((i * 7919) % 97)});
+  }
+  auto sorted = items;
+  std::sort(sorted.begin(), sorted.end(), ScoredBetter);
+  for (const size_t k : {10u, 129u, 600u}) {
+    const auto top = SelectTopK(items, k);
+    ASSERT_EQ(top.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(top[i].item, sorted[i].item) << "k=" << k << " rank " << i;
+    }
+  }
+}
+
 TEST(SelectTopKTest, LargeInputAgreesWithFullSort) {
   std::vector<ScoredItem> items;
   for (int32_t i = 0; i < 1000; ++i) {
