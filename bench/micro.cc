@@ -7,9 +7,12 @@
 // google-benchmark JSON (the committed BENCH_scoring.json snapshot is
 // produced this way; see README "Performance").
 
+#include <unistd.h>
+
 #include <cmath>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,8 +22,10 @@
 #include "core/coverage.h"
 #include "core/ganc.h"
 #include "core/preference.h"
+#include "data/loader.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "recommender/bpr.h"
 #include "recommender/recommender.h"
 #include "recommender/scoring_context.h"
 #include "util/kde.h"
@@ -317,6 +322,124 @@ void BM_GiniCoefficient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GiniCoefficient)->Arg(1000)->Arg(20000);
+
+// --- Persistence: artifact load vs training, and the binary dataset
+// cache vs re-parsing text. Cold-serve startup cost is load, not train;
+// these pairs quantify the gap (see README "Performance").
+
+template <typename Model>
+std::string SerializeModel(const Model& model) {
+  std::ostringstream os(std::ios::binary);
+  if (!model.Save(os).ok()) std::abort();
+  return os.str();
+}
+
+void BM_ModelTrain_PSVD40(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  for (auto _ : state) {
+    PsvdRecommender model({.num_factors = 40});
+    (void)model.Fit(train);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ModelTrain_PSVD40);
+
+void BM_ModelLoad_PSVD40(benchmark::State& state) {
+  const std::string artifact = SerializeModel(BenchPsvd());
+  for (auto _ : state) {
+    std::istringstream is(artifact, std::ios::binary);
+    PsvdRecommender model;
+    if (!model.Load(is, nullptr).ok()) std::abort();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(artifact.size()));
+}
+BENCHMARK(BM_ModelLoad_PSVD40);
+
+void BM_ModelTrain_RSVD16(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  for (auto _ : state) {
+    RsvdRecommender model({.num_factors = 16, .num_epochs = 30});
+    (void)model.Fit(train);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ModelTrain_RSVD16);
+
+void BM_ModelLoad_RSVD16(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  RsvdRecommender fitted({.num_factors = 16, .num_epochs = 30});
+  (void)fitted.Fit(train);
+  const std::string artifact = SerializeModel(fitted);
+  for (auto _ : state) {
+    std::istringstream is(artifact, std::ios::binary);
+    RsvdRecommender model;
+    if (!model.Load(is, nullptr).ok()) std::abort();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(artifact.size()));
+}
+BENCHMARK(BM_ModelLoad_RSVD16);
+
+void BM_ModelTrain_BPR16(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  for (auto _ : state) {
+    BprRecommender model({.num_factors = 16, .num_epochs = 30});
+    (void)model.Fit(train);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ModelTrain_BPR16);
+
+void BM_ModelLoad_BPR16(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  BprRecommender fitted({.num_factors = 16, .num_epochs = 30});
+  (void)fitted.Fit(train);
+  const std::string artifact = SerializeModel(fitted);
+  for (auto _ : state) {
+    std::istringstream is(artifact, std::ios::binary);
+    BprRecommender model;
+    if (!model.Load(is, nullptr).ok()) std::abort();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(artifact.size()));
+}
+BENCHMARK(BM_ModelLoad_BPR16);
+
+// Per-process temp path so concurrent micro runs never clobber each
+// other's bench files mid-iteration.
+std::string BenchTempPath(const char* suffix) {
+  return "/tmp/ganc_bench_" + std::to_string(::getpid()) + suffix;
+}
+
+void BM_DatasetParseText(benchmark::State& state) {
+  const std::string path = BenchTempPath(".csv");
+  if (!SaveRatingsFile(BenchTrain(), path).ok()) std::abort();
+  for (auto _ : state) {
+    auto loaded = LoadRatingsFile(path, {});
+    if (!loaded.ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          BenchTrain().num_ratings());
+}
+BENCHMARK(BM_DatasetParseText);
+
+void BM_DatasetCacheLoad(benchmark::State& state) {
+  const std::string path = BenchTempPath(".gdc");
+  if (!BenchTrain().SaveBinaryFile(path).ok()) std::abort();
+  for (auto _ : state) {
+    auto loaded = RatingDataset::LoadBinaryFile(path);
+    if (!loaded.ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          BenchTrain().num_ratings());
+}
+BENCHMARK(BM_DatasetCacheLoad);
 
 void BM_OslgEndToEnd(benchmark::State& state) {
   const RatingDataset& train = BenchTrain();

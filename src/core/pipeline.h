@@ -16,7 +16,9 @@
 #ifndef GANC_CORE_PIPELINE_H_
 #define GANC_CORE_PIPELINE_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "core/ganc.h"
 #include "core/preference.h"
 #include "data/dataset.h"
+#include "data/longtail.h"
 #include "recommender/recommender.h"
 #include "util/status.h"
 
@@ -61,6 +64,33 @@ class GancPipeline {
       std::unique_ptr<Recommender> base, const RatingDataset& train,
       PipelineConfig config);
 
+  /// Serializes the pipeline's offline state — hyper-parameters, the
+  /// learned theta vector, the train set's long-tail/coverage statistics,
+  /// and the fitted base model's own artifact — as one versioned binary
+  /// artifact (docs/FORMATS.md). Together with the binary dataset cache
+  /// this makes the whole train -> serve cycle restartable: a serving
+  /// process calls Load and skips base-model training and theta learning.
+  Status Save(std::ostream& os) const;
+
+  /// Save to a file path (overwrites).
+  Status SaveFile(const std::string& path) const;
+
+  /// Restores a pipeline saved by Save, rebinding it to `train` (which
+  /// must be the dataset the pipeline was trained on: user/item counts
+  /// are validated, and it must outlive the pipeline). `num_threads`
+  /// configures the restored pipeline's worker pool exactly like
+  /// PipelineConfig::num_threads (it is runtime state, not part of the
+  /// artifact). RecommendAll output is bit-identical to the saved
+  /// pipeline's.
+  static Result<std::unique_ptr<GancPipeline>> Load(std::istream& is,
+                                                    const RatingDataset& train,
+                                                    int num_threads = 1);
+
+  /// Load from a file path.
+  static Result<std::unique_ptr<GancPipeline>> LoadFile(
+      const std::string& path, const RatingDataset& train,
+      int num_threads = 1);
+
   /// Runs GANC over every user's unrated train items.
   Result<TopNCollection> RecommendAll() const;
 
@@ -71,6 +101,13 @@ class GancPipeline {
   /// The learned per-user preferences.
   const std::vector<double>& theta() const { return theta_; }
 
+  /// The configured recommendation list length.
+  int top_n() const { return config_.top_n; }
+
+  /// Long-tail/coverage statistics of the train set, computed at build
+  /// time and carried in the pipeline artifact for downstream reporting.
+  const LongTailInfo& tail() const { return tail_; }
+
   /// The owned base recommender.
   const Recommender& base() const { return *base_; }
 
@@ -79,12 +116,14 @@ class GancPipeline {
 
  private:
   GancPipeline(std::unique_ptr<Recommender> base, const RatingDataset* train,
-               PipelineConfig config, std::vector<double> theta);
+               PipelineConfig config, std::vector<double> theta,
+               LongTailInfo tail);
 
   std::unique_ptr<Recommender> base_;
   const RatingDataset* train_;
   PipelineConfig config_;
   std::vector<double> theta_;
+  LongTailInfo tail_;
   std::unique_ptr<AccuracyScorer> scorer_;
   std::unique_ptr<Ganc> ganc_;
   std::unique_ptr<ThreadPool> owned_pool_;  // when config_.num_threads != 1

@@ -1,9 +1,24 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "util/binary_io.h"
+#include "util/serialize.h"
+
 namespace ganc {
+
+namespace {
+
+// Dataset cache section ids (kind kDatasetCache; see docs/FORMATS.md).
+constexpr uint32_t kCacheDimsSection = 1;
+constexpr uint32_t kCacheOffsetsSection = 2;
+constexpr uint32_t kCacheItemsSection = 3;
+constexpr uint32_t kCacheValuesSection = 4;
+constexpr uint32_t kCacheOrderSection = 5;
+
+}  // namespace
 
 double RatingDataset::Density() const {
   if (num_users_ == 0 || num_items_ == 0) return 0.0;
@@ -66,6 +81,210 @@ void RatingDataset::UnratedItemsInto(UserId u,
     next = ir.item + 1;
   }
   for (ItemId i = next; i < num_items_; ++i) *dst++ = i;
+}
+
+uint64_t RatingDataset::Fingerprint() const {
+  Fnv1aHasher hasher;
+  const auto hash_u32 = [&](uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    hasher.Update(b, sizeof(b));
+  };
+  hash_u32(static_cast<uint32_t>(num_users_));
+  hash_u32(static_cast<uint32_t>(num_items_));
+  for (const auto& row : by_user_) {
+    hash_u32(static_cast<uint32_t>(row.size()));
+    for (const ItemRating& ir : row) {
+      hash_u32(static_cast<uint32_t>(ir.item));
+      hash_u32(std::bit_cast<uint32_t>(ir.value));
+    }
+  }
+  return hasher.digest();
+}
+
+Status RatingDataset::SaveBinary(std::ostream& os) const {
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kDatasetCache, 0));
+
+  PayloadWriter dims;
+  dims.WriteI32(num_users_);
+  dims.WriteI32(num_items_);
+  dims.WriteI64(num_ratings());
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheDimsSection, dims));
+
+  // CSR body from the canonical per-user index: row offsets, then item
+  // ids and values in user-major, item-ascending order.
+  const size_t nnz = ratings_.size();
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_users_) + 1, 0);
+  std::vector<int32_t> items(nnz);
+  std::vector<float> values(nnz);
+  size_t p = 0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    offsets[static_cast<size_t>(u)] = p;
+    for (const ItemRating& ir : by_user_[static_cast<size_t>(u)]) {
+      items[p] = ir.item;
+      values[p] = ir.value;
+      ++p;
+    }
+  }
+  offsets[static_cast<size_t>(num_users_)] = p;
+
+  // Observation-order section: maps each CSR position to its index in
+  // ratings_ so the loaded dataset reproduces the original insertion
+  // order exactly (seeded splits and SGD epochs depend on it).
+  std::vector<uint64_t> order(nnz);
+  for (size_t idx = 0; idx < nnz; ++idx) {
+    const Rating& r = ratings_[idx];
+    const auto& row = by_user_[static_cast<size_t>(r.user)];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), r.item,
+        [](const ItemRating& ir, ItemId target) { return ir.item < target; });
+    const size_t rank = static_cast<size_t>(it - row.begin());
+    order[offsets[static_cast<size_t>(r.user)] + rank] = idx;
+  }
+
+  PayloadWriter offsets_payload;
+  offsets_payload.WriteVecU64(offsets);
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheOffsetsSection, offsets_payload));
+  PayloadWriter items_payload;
+  items_payload.WriteVecI32(items);
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheItemsSection, items_payload));
+  PayloadWriter values_payload;
+  values_payload.WriteVecF32(values);
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheValuesSection, values_payload));
+  PayloadWriter order_payload;
+  order_payload.WriteVecU64(order);
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheOrderSection, order_payload));
+  return w.Finish();
+}
+
+Status RatingDataset::SaveBinaryFile(const std::string& path) const {
+  return WriteArtifactFile(
+      path, [&](std::ostream& os) { return SaveBinary(os); });
+}
+
+Result<RatingDataset> RatingDataset::LoadBinary(std::istream& is) {
+  ArtifactReader r(is);
+  Result<ArtifactHeader> header = r.ReadHeader();
+  if (!header.ok()) return header.status();
+  GANC_RETURN_NOT_OK(ExpectArtifact(*header, ArtifactKind::kDatasetCache, 0));
+
+  Result<ArtifactReader::Section> dims = r.ReadSectionExpect(
+      kCacheDimsSection);
+  if (!dims.ok()) return dims.status();
+  PayloadReader dr(dims->payload);
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int64_t num_ratings = 0;
+  GANC_RETURN_NOT_OK(dr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(dr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(dr.ReadI64(&num_ratings));
+  GANC_RETURN_NOT_OK(dr.ExpectEnd());
+  if (num_users < 0 || num_items < 0 || num_ratings < 0) {
+    return Status::InvalidArgument("negative dimensions in dataset cache");
+  }
+  const size_t nnz = static_cast<size_t>(num_ratings);
+
+  std::vector<uint64_t> offsets;
+  std::vector<int32_t> items;
+  std::vector<float> values;
+  std::vector<uint64_t> order;
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheOffsetsSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload);
+    GANC_RETURN_NOT_OK(pr.ReadVecU64(&offsets));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheItemsSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload);
+    GANC_RETURN_NOT_OK(pr.ReadVecI32(&items));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheValuesSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload);
+    GANC_RETURN_NOT_OK(pr.ReadVecF32(&values));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheOrderSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload);
+    GANC_RETURN_NOT_OK(pr.ReadVecU64(&order));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+
+  // Structural validation before touching any index.
+  if (offsets.size() != static_cast<size_t>(num_users) + 1 ||
+      items.size() != nnz || values.size() != nnz || order.size() != nnz) {
+    return Status::InvalidArgument("dataset cache section sizes disagree");
+  }
+  if (!offsets.empty() && (offsets.front() != 0 || offsets.back() != nnz)) {
+    return Status::InvalidArgument("dataset cache row offsets malformed");
+  }
+  for (size_t u = 0; u + 1 < offsets.size(); ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::InvalidArgument("dataset cache row offsets not sorted");
+    }
+    for (size_t p = offsets[u]; p < offsets[u + 1]; ++p) {
+      if (items[p] < 0 || items[p] >= num_items) {
+        return Status::InvalidArgument("item id out of range in dataset cache");
+      }
+      if (p > offsets[u] && items[p] <= items[p - 1]) {
+        return Status::InvalidArgument(
+            "dataset cache rows must be strictly item-ascending");
+      }
+    }
+  }
+  std::vector<bool> seen(nnz, false);
+  for (uint64_t idx : order) {
+    if (idx >= nnz || seen[idx]) {
+      return Status::InvalidArgument(
+          "dataset cache observation order is not a permutation");
+    }
+    seen[idx] = true;
+  }
+
+  RatingDataset ds;
+  ds.num_users_ = num_users;
+  ds.num_items_ = num_items;
+  ds.ratings_.resize(nnz);
+  ds.by_user_.assign(static_cast<size_t>(num_users), {});
+  ds.by_item_.assign(static_cast<size_t>(num_items), {});
+  std::vector<uint32_t> item_counts(static_cast<size_t>(num_items), 0);
+  for (int32_t i : items) ++item_counts[static_cast<size_t>(i)];
+  for (int32_t i = 0; i < num_items; ++i) {
+    ds.by_item_[static_cast<size_t>(i)].reserve(
+        item_counts[static_cast<size_t>(i)]);
+  }
+  for (int32_t u = 0; u < num_users; ++u) {
+    auto& row = ds.by_user_[static_cast<size_t>(u)];
+    row.reserve(offsets[static_cast<size_t>(u) + 1] -
+                offsets[static_cast<size_t>(u)]);
+    for (size_t p = offsets[static_cast<size_t>(u)];
+         p < offsets[static_cast<size_t>(u) + 1]; ++p) {
+      row.push_back({items[p], values[p]});
+      // Users are walked ascending, so per-item audiences come out
+      // user-ascending without a sort.
+      ds.by_item_[static_cast<size_t>(items[p])].push_back({u, values[p]});
+      ds.ratings_[order[p]] = {u, items[p], values[p]};
+    }
+  }
+  return ds;
+}
+
+Result<RatingDataset> RatingDataset::LoadBinaryFile(const std::string& path) {
+  return ReadArtifactFile(
+      path, [](std::istream& is) { return LoadBinary(is); });
 }
 
 RatingDatasetBuilder::RatingDatasetBuilder(int32_t num_users,

@@ -11,6 +11,8 @@
 #define GANC_DATA_DATASET_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -96,6 +98,35 @@ class RatingDataset {
   /// `u`, reusing its capacity (the batched scoring path's candidate
   /// generation).
   void UnratedItemsInto(UserId u, std::vector<ItemId>* out) const;
+
+  /// Serializes the dataset as a binary CSR cache (see docs/FORMATS.md):
+  /// per-user row offsets + item ids + float values, plus the original
+  /// observation order, checksummed per section. Written once after the
+  /// text loader; LoadBinary then skips parsing, id remapping, sorting,
+  /// and validation on every subsequent run.
+  Status SaveBinary(std::ostream& os) const;
+
+  /// SaveBinary to a file path (overwrites).
+  Status SaveBinaryFile(const std::string& path) const;
+
+  /// Restores a dataset written by SaveBinary. The result is exactly the
+  /// saved dataset: same dimensions, same ratings() order, same per-user
+  /// and per-item indexes — so anything downstream (splits, SGD epoch
+  /// order, scoring) is bit-identical to running from the text source.
+  /// Fails on bad magic, version or checksum mismatch, truncation, or
+  /// inconsistent CSR structure.
+  static Result<RatingDataset> LoadBinary(std::istream& is);
+
+  /// LoadBinary from a file path.
+  static Result<RatingDataset> LoadBinaryFile(const std::string& path);
+
+  /// Stable 64-bit content fingerprint: FNV-1a over the dimensions and
+  /// the canonical per-user (item, value) stream. Artifacts that borrow
+  /// the train dataset at load time (KNN/RP3b models, pipeline state)
+  /// store it and refuse rebinding to different data — e.g. the same
+  /// corpus split with a different seed. Insensitive to observation
+  /// order (two datasets with equal indexes fingerprint equally).
+  uint64_t Fingerprint() const;
 
  private:
   friend class RatingDatasetBuilder;

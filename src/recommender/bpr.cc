@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "recommender/model_io.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace ganc {
 
@@ -21,6 +24,7 @@ Status BprRecommender::Fit(const RatingDataset& train) {
     return Status::InvalidArgument("BPR needs a non-empty train set");
   }
   num_users_ = train.num_users();
+  train_fingerprint_ = train.Fingerprint();
   num_items_ = train.num_items();
   const size_t g = static_cast<size_t>(config_.num_factors);
 
@@ -124,6 +128,94 @@ double BprRecommender::PairwiseAccuracy(const RatingDataset& train,
     if (Score(pos.user, pos.item) > Score(pos.user, j)) ++correct;
   }
   return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+Status BprRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0) {
+    return Status::FailedPrecondition("cannot save unfitted BPR model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kModel,
+                                   static_cast<uint32_t>(ModelType::kBpr)));
+  PayloadWriter config;
+  config.WriteI32(config_.num_factors);
+  config.WriteF64(config_.learning_rate);
+  config.WriteF64(config_.regularization);
+  config.WriteF64(config_.samples_per_rating);
+  config.WriteI32(config_.num_epochs);
+  config.WriteU64(config_.seed);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(num_users_);
+  state.WriteI32(num_items_);
+  state.WriteU64(train_fingerprint_);
+  state.WriteVecF64(user_factors_);
+  state.WriteVecF64(item_factors_);
+  state.WriteVecF64(item_bias_);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status BprRecommender::Load(std::istream& is, const RatingDataset* train) {
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kBpr));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  BprConfig cfg;
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.learning_rate));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.regularization));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.samples_per_rating));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_epochs));
+  GANC_RETURN_NOT_OK(cr.ReadU64(&cfg.seed));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  if (cfg.num_factors <= 0) {
+    return Status::InvalidArgument("invalid BPR factor count in artifact");
+  }
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  uint64_t fingerprint = 0;
+  std::vector<double> p, q, bi;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&bi));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  const size_t g = static_cast<size_t>(cfg.num_factors);
+  if (num_users < 0 || num_items < 0 ||
+      p.size() != static_cast<size_t>(num_users) * g ||
+      q.size() != static_cast<size_t>(num_items) * g ||
+      bi.size() != static_cast<size_t>(num_items)) {
+    return Status::InvalidArgument("inconsistent BPR factor dimensions");
+  }
+  if (train != nullptr) {
+    if (num_users != train->num_users() || num_items != train->num_items()) {
+      return Status::InvalidArgument(
+          "BPR artifact dimensions do not match the provided dataset");
+    }
+    if (fingerprint != train->Fingerprint()) {
+      return Status::InvalidArgument(
+          "BPR artifact was trained on different data than the provided "
+          "dataset (fingerprint mismatch)");
+    }
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  num_users_ = num_users;
+  num_items_ = num_items;
+  train_fingerprint_ = fingerprint;
+  user_factors_ = std::move(p);
+  item_factors_ = std::move(q);
+  item_bias_ = std::move(bi);
+  return Status::OK();
 }
 
 }  // namespace ganc

@@ -42,6 +42,8 @@ class BprRecommender : public Recommender {
   void ScoreBatchInto(std::span<const UserId> users,
                       std::span<double> out) const override;
   std::string name() const override { return "BPR"; }
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
   /// Mean pairwise ranking accuracy (AUC-style) over sampled triples from
   /// a held-out set: fraction of (u, test-positive, unseen) pairs ranked
@@ -57,6 +59,7 @@ class BprRecommender : public Recommender {
   BprConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
+  uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
   std::vector<double> user_factors_;
   std::vector<double> item_factors_;
   std::vector<double> item_bias_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "recommender/model_io.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace ganc {
 
@@ -14,6 +17,7 @@ Status CofiRecommender::Fit(const RatingDataset& train) {
     return Status::InvalidArgument("num_factors must be positive");
   }
   num_users_ = train.num_users();
+  train_fingerprint_ = train.Fingerprint();
   num_items_ = train.num_items();
   const size_t g = static_cast<size_t>(config_.num_factors);
 
@@ -80,6 +84,90 @@ void CofiRecommender::ScoreInto(UserId u, std::span<double> out) const {
 void CofiRecommender::ScoreBatchInto(std::span<const UserId> users,
                                      std::span<double> out) const {
   FactorScoringEngine(View()).ScoreBatchInto(users, out);
+}
+
+Status CofiRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0) {
+    return Status::FailedPrecondition("cannot save unfitted CofiR model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kModel,
+                                   static_cast<uint32_t>(ModelType::kCofi)));
+  PayloadWriter config;
+  config.WriteI32(config_.num_factors);
+  config.WriteF64(config_.learning_rate);
+  config.WriteF64(config_.regularization);
+  config.WriteI32(config_.num_epochs);
+  config.WriteF64(config_.lr_decay);
+  config.WriteU64(config_.seed);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(num_users_);
+  state.WriteI32(num_items_);
+  state.WriteU64(train_fingerprint_);
+  state.WriteVecF64(user_factors_);
+  state.WriteVecF64(item_factors_);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status CofiRecommender::Load(std::istream& is, const RatingDataset* train) {
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kCofi));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  CofiConfig cfg;
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.learning_rate));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.regularization));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_epochs));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.lr_decay));
+  GANC_RETURN_NOT_OK(cr.ReadU64(&cfg.seed));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  if (cfg.num_factors <= 0) {
+    return Status::InvalidArgument("invalid CofiR factor count in artifact");
+  }
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  uint64_t fingerprint = 0;
+  std::vector<double> p, q;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  const size_t g = static_cast<size_t>(cfg.num_factors);
+  if (num_users < 0 || num_items < 0 ||
+      p.size() != static_cast<size_t>(num_users) * g ||
+      q.size() != static_cast<size_t>(num_items) * g) {
+    return Status::InvalidArgument("inconsistent CofiR factor dimensions");
+  }
+  if (train != nullptr) {
+    if (num_users != train->num_users() || num_items != train->num_items()) {
+      return Status::InvalidArgument(
+          "CofiR artifact dimensions do not match the provided dataset");
+    }
+    if (fingerprint != train->Fingerprint()) {
+      return Status::InvalidArgument(
+          "CofiR artifact was trained on different data than the provided "
+          "dataset (fingerprint mismatch)");
+    }
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  num_users_ = num_users;
+  num_items_ = num_items;
+  train_fingerprint_ = fingerprint;
+  user_factors_ = std::move(p);
+  item_factors_ = std::move(q);
+  return Status::OK();
 }
 
 }  // namespace ganc

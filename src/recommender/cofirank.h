@@ -47,6 +47,8 @@ class CofiRecommender : public Recommender {
   std::string name() const override {
     return "CofiR" + std::to_string(config_.num_factors);
   }
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
  private:
   FactorView View() const;
@@ -54,6 +56,7 @@ class CofiRecommender : public Recommender {
   CofiConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
+  uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
   std::vector<double> user_factors_;
   std::vector<double> item_factors_;
 };

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "recommender/model_io.h"
+#include "util/serialize.h"
 
 namespace ganc {
 
@@ -30,6 +34,116 @@ void ItemKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
           static_cast<double>(nb.sim) * static_cast<double>(ir.value);
     }
   }
+}
+
+Status ItemKnnRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0 || train_ == nullptr) {
+    return Status::FailedPrecondition("cannot save unfitted ItemKNN model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kModel,
+                                   static_cast<uint32_t>(ModelType::kItemKnn)));
+  PayloadWriter config;
+  config.WriteI32(config_.num_neighbors);
+  config.WriteI32(config_.max_profile);
+  config.WriteU64(config_.seed);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(num_items_);
+  state.WriteI32(train_->num_users());
+  state.WriteU64(train_->Fingerprint());
+  // Neighbour lists flattened into parallel vectors so the bulk
+  // memcpy read path applies (lengths, then all items, then all sims).
+  std::vector<uint64_t> lengths(static_cast<size_t>(num_items_));
+  std::vector<int32_t> items;
+  std::vector<float> sims;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    const auto& neighbors = index_.NeighborsOf(i);
+    lengths[static_cast<size_t>(i)] = neighbors.size();
+    for (const ItemNeighbor& nb : neighbors) {
+      items.push_back(nb.item);
+      sims.push_back(nb.sim);
+    }
+  }
+  state.WriteVecU64(lengths);
+  state.WriteVecI32(items);
+  state.WriteVecF32(sims);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status ItemKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
+  if (train == nullptr) {
+    return Status::FailedPrecondition(
+        "ItemKNN artifact requires a train dataset binding");
+  }
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kItemKnn));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  ItemKnnConfig cfg;
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_neighbors));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.max_profile));
+  GANC_RETURN_NOT_OK(cr.ReadU64(&cfg.seed));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_items = 0;
+  int32_t num_users = 0;
+  uint64_t fingerprint = 0;
+  std::vector<uint64_t> lengths;
+  std::vector<int32_t> items;
+  std::vector<float> sims;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadVecU64(&lengths));
+  GANC_RETURN_NOT_OK(sr.ReadVecI32(&items));
+  GANC_RETURN_NOT_OK(sr.ReadVecF32(&sims));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  if (num_items != train->num_items() || num_users != train->num_users()) {
+    return Status::InvalidArgument(
+        "ItemKNN artifact dimensions do not match the bound train dataset");
+  }
+  if (fingerprint != train->Fingerprint()) {
+    return Status::InvalidArgument(
+        "ItemKNN artifact was trained on different data than the bound "
+        "train dataset (fingerprint mismatch)");
+  }
+  if (static_cast<int32_t>(lengths.size()) != num_items ||
+      items.size() != sims.size()) {
+    return Status::InvalidArgument("inconsistent ItemKNN neighbour arrays");
+  }
+  std::vector<std::vector<ItemNeighbor>> lists(
+      static_cast<size_t>(num_items));
+  size_t pos = 0;
+  for (int32_t i = 0; i < num_items; ++i) {
+    const uint64_t len = lengths[static_cast<size_t>(i)];
+    if (len > items.size() - pos) {
+      return Status::InvalidArgument("neighbour list overruns ItemKNN state");
+    }
+    auto& list = lists[static_cast<size_t>(i)];
+    list.resize(len);
+    for (uint64_t k = 0; k < len; ++k, ++pos) {
+      list[k] = {items[pos], sims[pos]};
+      if (list[k].item < 0 || list[k].item >= num_items) {
+        return Status::InvalidArgument("neighbour id out of range in ItemKNN");
+      }
+    }
+  }
+  if (pos != items.size()) {
+    return Status::InvalidArgument("trailing neighbour entries in ItemKNN");
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  num_items_ = num_items;
+  train_ = train;
+  index_ = ItemSimilarityIndex::FromLists(std::move(lists));
+  return Status::OK();
 }
 
 }  // namespace ganc

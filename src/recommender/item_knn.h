@@ -35,6 +35,10 @@ class ItemKnnRecommender : public Recommender {
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "ItemKNN"; }
+  /// Stores the truncated similarity index; Load rebinds scoring to
+  /// `train` (required, dimensions must match).
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
   /// The fitted similarity index (for diagnostics and re-use).
   const ItemSimilarityIndex& similarity_index() const { return index_; }

@@ -66,6 +66,13 @@ ItemSimilarityIndex::ItemSimilarityIndex(const RatingDataset& train,
   }
 }
 
+ItemSimilarityIndex ItemSimilarityIndex::FromLists(
+    std::vector<std::vector<ItemNeighbor>> lists) {
+  ItemSimilarityIndex index;
+  index.neighbors_ = std::move(lists);
+  return index;
+}
+
 float ItemSimilarityIndex::Similarity(ItemId i, ItemId j) const {
   for (const ItemNeighbor& nb : neighbors_[static_cast<size_t>(i)]) {
     if (nb.item == j) return nb.sim;

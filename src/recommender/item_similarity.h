@@ -33,6 +33,11 @@ class ItemSimilarityIndex {
   ItemSimilarityIndex(const RatingDataset& train, int32_t num_neighbors,
                       int32_t max_profile, uint64_t seed);
 
+  /// Reconstructs an index from persisted neighbour lists (the ItemKNN
+  /// artifact Load path); `lists[i]` becomes NeighborsOf(i) verbatim.
+  static ItemSimilarityIndex FromLists(
+      std::vector<std::vector<ItemNeighbor>> lists);
+
   /// Neighbours of item i (possibly empty).
   const std::vector<ItemNeighbor>& NeighborsOf(ItemId i) const {
     return neighbors_[static_cast<size_t>(i)];

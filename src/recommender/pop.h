@@ -7,6 +7,7 @@
 #ifndef GANC_RECOMMENDER_POP_H_
 #define GANC_RECOMMENDER_POP_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,9 +25,12 @@ class PopRecommender : public Recommender {
   }
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "Pop"; }
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
  private:
   std::vector<double> popularity_;  // normalized to [0, 1]
+  uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
 };
 
 }  // namespace ganc

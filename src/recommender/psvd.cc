@@ -1,6 +1,10 @@
 #include "recommender/psvd.h"
 
+#include <utility>
+
 #include "recommender/linalg.h"
+#include "recommender/model_io.h"
+#include "util/serialize.h"
 
 namespace ganc {
 
@@ -12,6 +16,7 @@ Status PsvdRecommender::Fit(const RatingDataset& train) {
   }
   num_users_ = train.num_users();
   num_items_ = train.num_items();
+  train_fingerprint_ = train.Fingerprint();
   TruncatedSvd svd =
       RandomizedSvd(train, config_.num_factors, config_.oversample,
                     config_.power_iterations, config_.seed);
@@ -46,6 +51,87 @@ void PsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
 void PsvdRecommender::ScoreBatchInto(std::span<const UserId> users,
                                      std::span<double> out) const {
   FactorScoringEngine(View()).ScoreBatchInto(users, out);
+}
+
+Status PsvdRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0) {
+    return Status::FailedPrecondition("cannot save unfitted PSVD model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kModel,
+                                   static_cast<uint32_t>(ModelType::kPsvd)));
+  PayloadWriter config;
+  config.WriteI32(config_.num_factors);
+  config.WriteI32(config_.oversample);
+  config.WriteI32(config_.power_iterations);
+  config.WriteU64(config_.seed);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(num_users_);
+  state.WriteI32(num_items_);
+  state.WriteU64(train_fingerprint_);
+  state.WriteVecF64(singular_values_);
+  state.WriteVecF64(user_factors_);
+  state.WriteVecF64(item_factors_);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status PsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kPsvd));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  PsvdConfig cfg;
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.oversample));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.power_iterations));
+  GANC_RETURN_NOT_OK(cr.ReadU64(&cfg.seed));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  uint64_t fingerprint = 0;
+  std::vector<double> sigma, p, q;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&sigma));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  // Scoring rank is |sigma| (may be below num_factors on tiny matrices).
+  const size_t g = sigma.size();
+  if (num_users < 0 || num_items < 0 ||
+      p.size() != static_cast<size_t>(num_users) * g ||
+      q.size() != static_cast<size_t>(num_items) * g) {
+    return Status::InvalidArgument("inconsistent PSVD factor dimensions");
+  }
+  if (train != nullptr) {
+    if (num_users != train->num_users() || num_items != train->num_items()) {
+      return Status::InvalidArgument(
+          "PSVD artifact dimensions do not match the provided dataset");
+    }
+    if (fingerprint != train->Fingerprint()) {
+      return Status::InvalidArgument(
+          "PSVD artifact was trained on different data than the provided "
+          "dataset (fingerprint mismatch)");
+    }
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  num_users_ = num_users;
+  num_items_ = num_items;
+  train_fingerprint_ = fingerprint;
+  singular_values_ = std::move(sigma);
+  user_factors_ = std::move(p);
+  item_factors_ = std::move(q);
+  return Status::OK();
 }
 
 }  // namespace ganc

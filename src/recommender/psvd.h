@@ -41,6 +41,8 @@ class PsvdRecommender : public Recommender {
   std::string name() const override {
     return "PSVD" + std::to_string(config_.num_factors);
   }
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
   /// Singular values of the fitted factorization (decreasing).
   const std::vector<double>& singular_values() const {
@@ -53,6 +55,7 @@ class PsvdRecommender : public Recommender {
   PsvdConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
+  uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
   std::vector<double> user_factors_;  // |U| x g: rows of U * Sigma
   std::vector<double> item_factors_;  // |I| x g: rows of V
   std::vector<double> singular_values_;

@@ -24,10 +24,13 @@ class RandomRecommender : public Recommender {
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "Rand"; }
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
  private:
   uint64_t seed_;
   int32_t num_items_ = 0;
+  uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
 };
 
 }  // namespace ganc

@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "recommender/model_io.h"
+#include "util/serialize.h"
+
 namespace ganc {
 
 namespace {
@@ -98,6 +101,72 @@ void RandomWalkRecommender::ScoreInto(UserId u, std::span<double> out) const {
   for (size_t i = 0; i < out.size(); ++i) {
     if (out[i] > 0.0) out[i] /= item_penalty_[i];
   }
+}
+
+Status RandomWalkRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0 || train_ == nullptr) {
+    return Status::FailedPrecondition("cannot save unfitted RP3b model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(
+      ArtifactKind::kModel, static_cast<uint32_t>(ModelType::kRandomWalk)));
+  PayloadWriter config;
+  config.WriteF64(config_.beta);
+  config.WriteI32(config_.max_coraters);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(train_->num_users());  // walk graph dims for rebinding
+  state.WriteU64(train_->Fingerprint());
+  state.WriteVecF64(item_penalty_);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status RandomWalkRecommender::Load(std::istream& is,
+                                   const RatingDataset* train) {
+  if (train == nullptr) {
+    return Status::FailedPrecondition(
+        "RP3b artifact requires a train dataset binding");
+  }
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kRandomWalk));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  RandomWalkConfig cfg;
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.beta));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.max_coraters));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  if (cfg.beta < 0.0 || cfg.beta > 1.0 || cfg.max_coraters <= 0) {
+    return Status::InvalidArgument("invalid RP3b config in artifact");
+  }
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_users = 0;
+  uint64_t fingerprint = 0;
+  std::vector<double> penalty;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&penalty));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  if (num_users != train->num_users() ||
+      static_cast<int32_t>(penalty.size()) != train->num_items()) {
+    return Status::InvalidArgument(
+        "RP3b artifact dimensions do not match the bound train dataset");
+  }
+  if (fingerprint != train->Fingerprint()) {
+    return Status::InvalidArgument(
+        "RP3b artifact was trained on different data than the bound train "
+        "dataset (fingerprint mismatch)");
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  train_ = train;
+  item_penalty_ = std::move(penalty);
+  return Status::OK();
 }
 
 }  // namespace ganc

@@ -42,6 +42,10 @@ class RandomWalkRecommender : public Recommender {
   }
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "RP3b"; }
+  /// Stores beta, the fan-out cap, and the popularity penalties; Load
+  /// rebinds the walk to `train` (required, dimensions must match).
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
  private:
   RandomWalkConfig config_;

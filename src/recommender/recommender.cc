@@ -10,6 +10,17 @@ void Recommender::ScoreBatchInto(std::span<const UserId> users,
   }
 }
 
+Status Recommender::Save(std::ostream& /*os*/) const {
+  return Status::NotImplemented("model '" + name() +
+                                "' has no persistence support");
+}
+
+Status Recommender::Load(std::istream& /*is*/,
+                         const RatingDataset* /*train*/) {
+  return Status::NotImplemented("model '" + name() +
+                                "' has no persistence support");
+}
+
 std::vector<double> Recommender::ScoreAll(UserId u) const {
   std::vector<double> scores(static_cast<size_t>(num_items()));
   ScoreInto(u, scores);

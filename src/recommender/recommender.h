@@ -15,7 +15,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,26 +37,85 @@ class Recommender {
   virtual ~Recommender() = default;
 
   /// Trains on `train`. Must be called before scoring. Idempotent: fitting
-  /// again retrains from scratch.
+  /// again retrains from scratch. Models that keep a borrowed pointer to
+  /// `train` (ItemKNN, UserKNN, RP3b) require it to outlive all scoring
+  /// calls; the matrix-free models copy everything they need.
   virtual Status Fit(const RatingDataset& train) = 0;
 
-  /// Catalog size the fitted model scores over (0 before Fit).
+  /// Catalog size the fitted model scores over (0 before Fit/Load).
   virtual int32_t num_items() const = 0;
 
   /// Writes a dense score for every item in the catalog for user `u` into
-  /// `out` (which must have exactly num_items() entries); higher is
-  /// better. Thread-safe on a fitted model. Scales differ between models;
-  /// normalize before mixing (see core/accuracy_scorer.h).
+  /// `out`; higher is better.
+  ///
+  /// Contract:
+  ///  - `out` is caller-owned and must span exactly num_items() entries;
+  ///    the model overwrites every entry and never keeps a reference past
+  ///    the call (use ScoringContext::Scores to reuse one buffer across
+  ///    calls without per-user allocation).
+  ///  - Thread-safe on a fitted (or loaded) model: concurrent ScoreInto /
+  ///    ScoreBatchInto calls on distinct output buffers are safe. Fit and
+  ///    Load are NOT thread-safe against concurrent scoring.
+  ///  - Deterministic: the same fitted state yields bit-identical scores
+  ///    on every call (Rand derives scores from (seed, u, item), not from
+  ///    mutable generator state).
+  ///  - Scales differ between models; normalize before mixing (see
+  ///    core/accuracy_scorer.h).
   virtual void ScoreInto(UserId u, std::span<double> out) const = 0;
 
   /// Writes dense catalog scores for every user in `users` into the
   /// batch-major `out` (users.size() * num_items() entries; row b holds
-  /// the scores of users[b]). Must produce the same scores as per-user
-  /// ScoreInto calls. The default loops over ScoreInto; latent-factor
-  /// models override it with the blocked FactorScoringEngine kernel.
-  /// Thread-safe on a fitted model.
+  /// the scores of users[b]).
+  ///
+  /// Contract: same buffer-ownership and thread-safety rules as
+  /// ScoreInto, and the scores must be bit-identical to users.size()
+  /// per-user ScoreInto calls (pinned by the scoring parity suite). The
+  /// default loops over ScoreInto; the latent-factor models (PSVD, RSVD,
+  /// BPR, CofiR) override it with the blocked FactorScoringEngine kernel.
   virtual void ScoreBatchInto(std::span<const UserId> users,
                               std::span<double> out) const;
+
+  /// Serializes the fitted model as a versioned, checksummed binary
+  /// artifact (see docs/FORMATS.md) so a trained model can be served by
+  /// a different process via Load.
+  ///
+  /// Contract:
+  ///  - Requires a fitted model; saving an unfitted model is a
+  ///    FailedPrecondition error.
+  ///  - The artifact captures every input to scoring: a Load of the
+  ///    written bytes produces bit-identical ScoreInto / ScoreBatchInto
+  ///    output (and therefore identical top-N lists) on all models.
+  ///  - `os` must be a binary stream; the artifact is self-contained and
+  ///    self-describing (magic, format version, model type tag).
+  ///  - Const and thread-safe against concurrent scoring.
+  ///
+  /// The default implementation returns NotImplemented; every shipped
+  /// model overrides it. Use SaveModelFile / LoadModelFile
+  /// (recommender/model_io.h) for path-based round trips and
+  /// type-dispatching loads.
+  virtual Status Save(std::ostream& os) const;
+
+  /// Restores the state written by Save of the same concrete class,
+  /// replacing any previously fitted state.
+  ///
+  /// Contract:
+  ///  - Fails (without clobbering `*this`'s usable state guarantees) on
+  ///    bad magic, unsupported format version, wrong model type,
+  ///    truncation, or checksum mismatch.
+  ///  - `train` rebinds the dataset-backed models (ItemKNN, UserKNN,
+  ///    RP3b score against user profiles, so their artifacts store the
+  ///    learned structures but borrow the dataset): those models require
+  ///    `train` non-null with matching |U| x |I| dimensions AND a
+  ///    matching content fingerprint (RatingDataset::Fingerprint), and
+  ///    it must outlive scoring, exactly as after Fit. The
+  ///    self-contained models accept nullptr; when `train` is provided
+  ///    they validate their dimensions and stored train fingerprint
+  ///    against it, so a model is never silently served against a
+  ///    split it was not trained on.
+  ///  - Hyper-parameters stored in the artifact overwrite the instance's
+  ///    config, so name() and scoring behavior match the saved model.
+  ///  - Not thread-safe against concurrent scoring (like Fit).
+  virtual Status Load(std::istream& is, const RatingDataset* train);
 
   /// Allocating convenience wrapper over ScoreInto.
   std::vector<double> ScoreAll(UserId u) const;

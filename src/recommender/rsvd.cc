@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
+#include "recommender/model_io.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace ganc {
 
@@ -21,6 +24,7 @@ Status RsvdRecommender::Fit(const RatingDataset& train) {
   }
   num_users_ = train.num_users();
   num_items_ = train.num_items();
+  train_fingerprint_ = train.Fingerprint();
   global_mean_ = train.GlobalMeanRating();
   const size_t g = static_cast<size_t>(config_.num_factors);
 
@@ -131,6 +135,117 @@ double RsvdRecommender::Rmse(const RatingDataset& test) const {
     acc += err * err;
   }
   return std::sqrt(acc / static_cast<double>(test.num_ratings()));
+}
+
+Status RsvdRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0) {
+    return Status::FailedPrecondition("cannot save unfitted RSVD model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kModel,
+                                   static_cast<uint32_t>(ModelType::kRsvd)));
+  PayloadWriter config;
+  config.WriteI32(config_.num_factors);
+  config.WriteF64(config_.learning_rate);
+  config.WriteF64(config_.regularization);
+  config.WriteI32(config_.num_epochs);
+  config.WriteF64(config_.lr_decay);
+  config.WriteU8(config_.use_biases ? 1 : 0);
+  config.WriteU8(config_.non_negative ? 1 : 0);
+  config.WriteF64(config_.init_scale);
+  config.WriteU64(config_.seed);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(num_users_);
+  state.WriteI32(num_items_);
+  state.WriteU64(train_fingerprint_);
+  state.WriteF64(global_mean_);
+  state.WriteVecF64(user_factors_);
+  state.WriteVecF64(item_factors_);
+  state.WriteVecF64(user_bias_);
+  state.WriteVecF64(item_bias_);
+  state.WriteVecF64(user_base_);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status RsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kRsvd));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  RsvdConfig cfg;
+  uint8_t use_biases = 0;
+  uint8_t non_negative = 0;
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.learning_rate));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.regularization));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_epochs));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.lr_decay));
+  GANC_RETURN_NOT_OK(cr.ReadU8(&use_biases));
+  GANC_RETURN_NOT_OK(cr.ReadU8(&non_negative));
+  GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.init_scale));
+  GANC_RETURN_NOT_OK(cr.ReadU64(&cfg.seed));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  cfg.use_biases = use_biases != 0;
+  cfg.non_negative = non_negative != 0;
+  if (cfg.num_factors <= 0) {
+    return Status::InvalidArgument("invalid RSVD factor count in artifact");
+  }
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  uint64_t fingerprint = 0;
+  double global_mean = 0.0;
+  std::vector<double> p, q, bu, bi, base;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadF64(&global_mean));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&bu));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&bi));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&base));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  const size_t g = static_cast<size_t>(cfg.num_factors);
+  const size_t nu = static_cast<size_t>(num_users);
+  const size_t ni = static_cast<size_t>(num_items);
+  const bool biased_sizes_ok =
+      !cfg.use_biases ||
+      (bu.size() == nu && bi.size() == ni && base.size() == nu);
+  if (num_users < 0 || num_items < 0 || p.size() != nu * g ||
+      q.size() != ni * g || !biased_sizes_ok) {
+    return Status::InvalidArgument("inconsistent RSVD factor dimensions");
+  }
+  if (train != nullptr) {
+    if (num_users != train->num_users() || num_items != train->num_items()) {
+      return Status::InvalidArgument(
+          "RSVD artifact dimensions do not match the provided dataset");
+    }
+    if (fingerprint != train->Fingerprint()) {
+      return Status::InvalidArgument(
+          "RSVD artifact was trained on different data than the provided "
+          "dataset (fingerprint mismatch)");
+    }
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  num_users_ = num_users;
+  num_items_ = num_items;
+  train_fingerprint_ = fingerprint;
+  global_mean_ = global_mean;
+  user_factors_ = std::move(p);
+  item_factors_ = std::move(q);
+  user_bias_ = std::move(bu);
+  item_bias_ = std::move(bi);
+  user_base_ = std::move(base);
+  return Status::OK();
 }
 
 }  // namespace ganc

@@ -45,6 +45,8 @@ class RsvdRecommender : public Recommender {
   std::string name() const override {
     return config_.non_negative ? "RSVDN" : "RSVD";
   }
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
   /// Predicted rating for a single (u, i) pair.
   double Predict(UserId u, ItemId i) const;
@@ -60,6 +62,7 @@ class RsvdRecommender : public Recommender {
   RsvdConfig config_;
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
+  uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
   double global_mean_ = 0.0;
   std::vector<double> user_factors_;  // |U| x g row-major
   std::vector<double> item_factors_;  // |I| x g row-major

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
+#include "recommender/model_io.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace ganc {
 
@@ -95,6 +98,116 @@ void UserKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
           static_cast<double>(nb.sim) * (static_cast<double>(ir.value) - mean);
     }
   }
+}
+
+Status UserKnnRecommender::Save(std::ostream& os) const {
+  if (num_items() == 0 || train_ == nullptr) {
+    return Status::FailedPrecondition("cannot save unfitted UserKNN model");
+  }
+  ArtifactWriter w(os);
+  GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kModel,
+                                   static_cast<uint32_t>(ModelType::kUserKnn)));
+  PayloadWriter config;
+  config.WriteI32(config_.num_neighbors);
+  config.WriteI32(config_.max_audience);
+  config.WriteU64(config_.seed);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelConfigSection, config));
+  PayloadWriter state;
+  state.WriteI32(num_items_);
+  state.WriteU64(train_->Fingerprint());
+  state.WriteVecF64(user_mean_);
+  // Neighbour lists flattened into parallel vectors so the bulk
+  // memcpy read path applies (lengths, then all users, then all sims).
+  std::vector<uint64_t> lengths(neighbors_.size());
+  std::vector<int32_t> users;
+  std::vector<float> sims;
+  for (size_t u = 0; u < neighbors_.size(); ++u) {
+    lengths[u] = neighbors_[u].size();
+    for (const Neighbor& nb : neighbors_[u]) {
+      users.push_back(nb.user);
+      sims.push_back(nb.sim);
+    }
+  }
+  state.WriteVecU64(lengths);
+  state.WriteVecI32(users);
+  state.WriteVecF32(sims);
+  GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  return w.Finish();
+}
+
+Status UserKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
+  if (train == nullptr) {
+    return Status::FailedPrecondition(
+        "UserKNN artifact requires a train dataset binding");
+  }
+  ArtifactReader r(is);
+  GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kUserKnn));
+  Result<ArtifactReader::Section> config = r.ReadSectionExpect(
+      kModelConfigSection);
+  if (!config.ok()) return config.status();
+  PayloadReader cr(config->payload);
+  UserKnnConfig cfg;
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_neighbors));
+  GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.max_audience));
+  GANC_RETURN_NOT_OK(cr.ReadU64(&cfg.seed));
+  GANC_RETURN_NOT_OK(cr.ExpectEnd());
+  Result<ArtifactReader::Section> state = r.ReadSectionExpect(
+      kModelStateSection);
+  if (!state.ok()) return state.status();
+  PayloadReader sr(state->payload);
+  int32_t num_items = 0;
+  uint64_t fingerprint = 0;
+  std::vector<double> means;
+  std::vector<uint64_t> lengths;
+  std::vector<int32_t> users;
+  std::vector<float> sims;
+  GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
+  GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
+  GANC_RETURN_NOT_OK(sr.ReadVecF64(&means));
+  GANC_RETURN_NOT_OK(sr.ReadVecU64(&lengths));
+  GANC_RETURN_NOT_OK(sr.ReadVecI32(&users));
+  GANC_RETURN_NOT_OK(sr.ReadVecF32(&sims));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  const int32_t num_users = static_cast<int32_t>(means.size());
+  if (num_items != train->num_items() || num_users != train->num_users()) {
+    return Status::InvalidArgument(
+        "UserKNN artifact dimensions do not match the bound train dataset");
+  }
+  if (fingerprint != train->Fingerprint()) {
+    return Status::InvalidArgument(
+        "UserKNN artifact was trained on different data than the bound "
+        "train dataset (fingerprint mismatch)");
+  }
+  if (static_cast<int32_t>(lengths.size()) != num_users ||
+      users.size() != sims.size()) {
+    return Status::InvalidArgument("inconsistent UserKNN neighbour arrays");
+  }
+  std::vector<std::vector<Neighbor>> lists(static_cast<size_t>(num_users));
+  size_t pos = 0;
+  for (int32_t u = 0; u < num_users; ++u) {
+    const uint64_t len = lengths[static_cast<size_t>(u)];
+    if (len > users.size() - pos) {
+      return Status::InvalidArgument("neighbour list overruns UserKNN state");
+    }
+    auto& list = lists[static_cast<size_t>(u)];
+    list.resize(len);
+    for (uint64_t k = 0; k < len; ++k, ++pos) {
+      list[k] = {users[pos], sims[pos]};
+      if (list[k].user < 0 || list[k].user >= num_users) {
+        return Status::InvalidArgument("neighbour id out of range in UserKNN");
+      }
+    }
+  }
+  if (pos != users.size()) {
+    return Status::InvalidArgument("trailing neighbour entries in UserKNN");
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+  config_ = cfg;
+  num_items_ = num_items;
+  train_ = train;
+  user_mean_ = std::move(means);
+  neighbors_ = std::move(lists);
+  return Status::OK();
 }
 
 }  // namespace ganc

@@ -35,6 +35,10 @@ class UserKnnRecommender : public Recommender {
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "UserKNN"; }
+  /// Stores user means and truncated neighbour lists; Load rebinds
+  /// scoring to `train` (required, dimensions must match).
+  Status Save(std::ostream& os) const override;
+  Status Load(std::istream& is, const RatingDataset* train) override;
 
  private:
   struct Neighbor {

@@ -80,13 +80,16 @@ Status Extract(const std::vector<uint8_t>& buf, size_t* offset, T* out) {
 }  // namespace
 
 uint64_t Fnv1aHash(const void* data, size_t size) {
+  return Fnv1aHasher().Update(data, size).digest();
+}
+
+Fnv1aHasher& Fnv1aHasher::Update(const void* data, size_t size) {
   const auto* bytes = static_cast<const uint8_t*>(data);
-  uint64_t hash = 0xCBF29CE484222325ULL;
   for (size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001B3ULL;
+    hash_ ^= bytes[i];
+    hash_ *= 0x100000001B3ULL;
   }
-  return hash;
+  return *this;
 }
 
 Status WriteDoubleVector(const std::string& path,

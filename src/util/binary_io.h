@@ -21,6 +21,18 @@ namespace ganc {
 /// FNV-1a 64-bit hash of a byte buffer (stable across platforms).
 uint64_t Fnv1aHash(const void* data, size_t size);
 
+/// Incremental FNV-1a 64: Update in any chunking yields the same digest
+/// as one Fnv1aHash over the concatenation (used for dataset
+/// fingerprints that are streamed rather than buffered).
+class Fnv1aHasher {
+ public:
+  Fnv1aHasher& Update(const void* data, size_t size);
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
 /// Writes a double vector with header and checksum. Overwrites.
 Status WriteDoubleVector(const std::string& path,
                          const std::vector<double>& values);

@@ -1,0 +1,401 @@
+#include "util/serialize.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/binary_io.h"
+
+namespace ganc {
+
+namespace {
+
+// Bulk vector encoding: on little-endian hosts the in-memory layout is
+// already the wire layout, so vectors memcpy in one shot; the
+// element-wise path keeps big-endian hosts correct.
+constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
+
+template <typename T, typename WriteOne>
+void WriteVecGeneric(PayloadWriter* w, const std::vector<T>& v,
+                     WriteOne&& write_one) {
+  w->WriteU64(static_cast<uint64_t>(v.size()));
+  if constexpr (kHostIsLittleEndian) {
+    w->WriteBytes(v.data(), v.size() * sizeof(T));
+  } else {
+    for (const T& x : v) write_one(x);
+  }
+}
+
+}  // namespace
+
+void PayloadWriter::WriteU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  buf_.append(b, sizeof(b));
+}
+
+void PayloadWriter::WriteU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  buf_.append(b, sizeof(b));
+}
+
+void PayloadWriter::WriteF32(float v) { WriteU32(std::bit_cast<uint32_t>(v)); }
+
+void PayloadWriter::WriteF64(double v) { WriteU64(std::bit_cast<uint64_t>(v)); }
+
+void PayloadWriter::WriteBytes(const void* data, size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void PayloadWriter::WriteString(std::string_view s) {
+  WriteU64(static_cast<uint64_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void PayloadWriter::WriteVecF64(const std::vector<double>& v) {
+  WriteVecGeneric(this, v, [this](double x) { WriteF64(x); });
+}
+
+void PayloadWriter::WriteVecF32(const std::vector<float>& v) {
+  WriteVecGeneric(this, v, [this](float x) { WriteF32(x); });
+}
+
+void PayloadWriter::WriteVecI32(const std::vector<int32_t>& v) {
+  WriteVecGeneric(this, v, [this](int32_t x) { WriteI32(x); });
+}
+
+void PayloadWriter::WriteVecU64(const std::vector<uint64_t>& v) {
+  WriteVecGeneric(this, v, [this](uint64_t x) { WriteU64(x); });
+}
+
+Status PayloadReader::Require(size_t n) const {
+  // Compare against the remaining bytes (never pos_ + n, which can wrap
+  // for forged 64-bit lengths).
+  if (n > bytes_.size() - pos_) {
+    return Status::InvalidArgument("section payload underrun");
+  }
+  return Status::OK();
+}
+
+Status PayloadReader::ReadU8(uint8_t* out) {
+  GANC_RETURN_NOT_OK(Require(1));
+  *out = static_cast<uint8_t>(bytes_[pos_++]);
+  return Status::OK();
+}
+
+Status PayloadReader::ReadU32(uint32_t* out) {
+  GANC_RETURN_NOT_OK(Require(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status PayloadReader::ReadU64(uint64_t* out) {
+  GANC_RETURN_NOT_OK(Require(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status PayloadReader::ReadI32(int32_t* out) {
+  uint32_t v = 0;
+  GANC_RETURN_NOT_OK(ReadU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status PayloadReader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status PayloadReader::ReadF32(float* out) {
+  uint32_t v = 0;
+  GANC_RETURN_NOT_OK(ReadU32(&v));
+  *out = std::bit_cast<float>(v);
+  return Status::OK();
+}
+
+Status PayloadReader::ReadF64(double* out) {
+  uint64_t v = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&v));
+  *out = std::bit_cast<double>(v);
+  return Status::OK();
+}
+
+Status PayloadReader::ReadString(std::string* out) {
+  uint64_t len = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&len));
+  GANC_RETURN_NOT_OK(Require(len));
+  out->assign(bytes_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status PayloadReader::ReadVecF64(std::vector<double>* out) {
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining() / sizeof(double)) {  // divide: no u64 wrap
+    return Status::InvalidArgument("vector length exceeds section payload");
+  }
+  out->resize(count);
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(double));
+    pos_ += count * sizeof(double);
+    return Status::OK();
+  }
+  for (uint64_t i = 0; i < count; ++i) GANC_RETURN_NOT_OK(ReadF64(&(*out)[i]));
+  return Status::OK();
+}
+
+Status PayloadReader::ReadVecF32(std::vector<float>* out) {
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining() / sizeof(float)) {  // divide: no u64 wrap
+    return Status::InvalidArgument("vector length exceeds section payload");
+  }
+  out->resize(count);
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+    return Status::OK();
+  }
+  for (uint64_t i = 0; i < count; ++i) GANC_RETURN_NOT_OK(ReadF32(&(*out)[i]));
+  return Status::OK();
+}
+
+Status PayloadReader::ReadVecI32(std::vector<int32_t>* out) {
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining() / sizeof(int32_t)) {  // divide: no u64 wrap
+    return Status::InvalidArgument("vector length exceeds section payload");
+  }
+  out->resize(count);
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(int32_t));
+    pos_ += count * sizeof(int32_t);
+    return Status::OK();
+  }
+  for (uint64_t i = 0; i < count; ++i) GANC_RETURN_NOT_OK(ReadI32(&(*out)[i]));
+  return Status::OK();
+}
+
+Status PayloadReader::ReadVecU64(std::vector<uint64_t>* out) {
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining() / sizeof(uint64_t)) {  // divide: no u64 wrap
+    return Status::InvalidArgument("vector length exceeds section payload");
+  }
+  out->resize(count);
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(uint64_t));
+    pos_ += count * sizeof(uint64_t);
+    return Status::OK();
+  }
+  for (uint64_t i = 0; i < count; ++i) GANC_RETURN_NOT_OK(ReadU64(&(*out)[i]));
+  return Status::OK();
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in section payload");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void PutU32(std::ostream& os, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  os.write(b, sizeof(b));
+}
+
+void PutU64(std::ostream& os, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  os.write(b, sizeof(b));
+}
+
+Status GetU32(std::istream& is, uint32_t* out, const char* what) {
+  char b[4];
+  is.read(b, sizeof(b));
+  if (!is) return Status::IOError(std::string("truncated artifact: ") + what);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(b[i])) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status GetU64(std::istream& is, uint64_t* out, const char* what) {
+  char b[8];
+  is.read(b, sizeof(b));
+  if (!is) return Status::IOError(std::string("truncated artifact: ") + what);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(b[i])) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ArtifactWriter::WriteHeader(ArtifactKind kind, uint32_t type_tag) {
+  os_.write(kGancArtifactMagic, sizeof(kGancArtifactMagic));
+  PutU32(os_, kGancFormatVersion);
+  PutU32(os_, static_cast<uint32_t>(kind));
+  PutU32(os_, type_tag);
+  PutU32(os_, 0);  // reserved
+  if (!os_) return Status::IOError("artifact header write failed");
+  return Status::OK();
+}
+
+Status ArtifactWriter::WriteSection(uint32_t id, const PayloadWriter& payload) {
+  if (id == kEndSectionId) {
+    return Status::InvalidArgument("section id 0 is reserved for the end marker");
+  }
+  const std::string& buf = payload.buffer();
+  PutU32(os_, id);
+  PutU64(os_, static_cast<uint64_t>(buf.size()));
+  os_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  PutU64(os_, Fnv1aHash(buf.data(), buf.size()));
+  if (!os_) return Status::IOError("artifact section write failed");
+  return Status::OK();
+}
+
+Status ArtifactWriter::Finish() {
+  PutU32(os_, kEndSectionId);
+  PutU64(os_, 0);
+  PutU64(os_, Fnv1aHash(nullptr, 0));
+  os_.flush();
+  if (!os_) return Status::IOError("artifact end marker write failed");
+  return Status::OK();
+}
+
+Result<ArtifactHeader> ArtifactReader::ReadHeader() {
+  char magic[sizeof(kGancArtifactMagic)];
+  is_.read(magic, sizeof(magic));
+  if (!is_) return Status::IOError("truncated artifact: magic");
+  if (std::memcmp(magic, kGancArtifactMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("bad artifact magic (not a GANC artifact)");
+  }
+  ArtifactHeader header;
+  GANC_RETURN_NOT_OK(GetU32(is_, &header.version, "version"));
+  if (header.version != kGancFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported artifact format version " +
+        std::to_string(header.version) + " (this build reads version " +
+        std::to_string(kGancFormatVersion) + ")");
+  }
+  GANC_RETURN_NOT_OK(GetU32(is_, &header.kind, "artifact kind"));
+  GANC_RETURN_NOT_OK(GetU32(is_, &header.type_tag, "type tag"));
+  uint32_t reserved = 0;
+  GANC_RETURN_NOT_OK(GetU32(is_, &reserved, "reserved field"));
+  // Reserved-must-be-zero keeps the field usable for future flags (old
+  // readers reject artifacts that set bits they do not understand).
+  if (reserved != 0) {
+    return Status::InvalidArgument("reserved artifact header field not zero");
+  }
+  return header;
+}
+
+Result<ArtifactReader::Section> ArtifactReader::ReadSection() {
+  Section section;
+  GANC_RETURN_NOT_OK(GetU32(is_, &section.id, "section id"));
+  uint64_t size = 0;
+  GANC_RETURN_NOT_OK(GetU64(is_, &size, "section size"));
+  if (section.id == kEndSectionId && size != 0) {
+    return Status::InvalidArgument("end marker with non-zero payload");
+  }
+  if (size > kMaxSectionBytes) {
+    return Status::InvalidArgument("implausible section size");
+  }
+  // Read in bounded chunks so a truncated file with a forged huge size
+  // fails after one short read instead of allocating the claimed size
+  // up front.
+  constexpr uint64_t kReadChunk = 1 << 20;
+  section.payload.reserve(
+      static_cast<size_t>(std::min<uint64_t>(size, kReadChunk)));
+  std::string chunk;
+  for (uint64_t left = size; left > 0;) {
+    const size_t n = static_cast<size_t>(std::min(left, kReadChunk));
+    chunk.resize(n);
+    is_.read(chunk.data(), static_cast<std::streamsize>(n));
+    if (!is_) return Status::IOError("truncated artifact: section payload");
+    section.payload.append(chunk, 0, n);
+    left -= n;
+  }
+  uint64_t checksum = 0;
+  GANC_RETURN_NOT_OK(GetU64(is_, &checksum, "section checksum"));
+  if (!is_) return Status::IOError("truncated artifact: section payload");
+  if (checksum != Fnv1aHash(section.payload.data(), section.payload.size())) {
+    return Status::InvalidArgument(
+        "section " + std::to_string(section.id) + " checksum mismatch");
+  }
+  return section;
+}
+
+Result<ArtifactReader::Section> ArtifactReader::ReadSectionExpect(uint32_t id) {
+  Result<Section> section = ReadSection();
+  if (!section.ok()) return section.status();
+  if (section->id != id) {
+    return Status::InvalidArgument("expected artifact section " +
+                                   std::to_string(id) + ", found " +
+                                   std::to_string(section->id));
+  }
+  return section;
+}
+
+Status WriteArtifactFile(const std::string& path,
+                         const std::function<Status(std::ostream&)>& write) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  GANC_RETURN_NOT_OK(write(os));
+  os.close();
+  if (!os) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status ExpectEndOfArtifact(ArtifactReader& r) {
+  Result<ArtifactReader::Section> section = r.ReadSection();
+  if (!section.ok()) return section.status();
+  if (section->id != kEndSectionId) {
+    return Status::InvalidArgument("unexpected extra artifact section " +
+                                   std::to_string(section->id));
+  }
+  return Status::OK();
+}
+
+Status ExpectArtifact(const ArtifactHeader& header, ArtifactKind kind,
+                      uint32_t type_tag) {
+  if (header.kind != static_cast<uint32_t>(kind)) {
+    return Status::InvalidArgument(
+        "artifact kind mismatch: file holds kind " +
+        std::to_string(header.kind) + ", expected " +
+        std::to_string(static_cast<uint32_t>(kind)));
+  }
+  if (header.type_tag != type_tag) {
+    return Status::InvalidArgument(
+        "artifact type mismatch: file holds type " +
+        std::to_string(header.type_tag) + ", expected " +
+        std::to_string(type_tag));
+  }
+  return Status::OK();
+}
+
+}  // namespace ganc

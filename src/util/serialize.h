@@ -1,0 +1,193 @@
+// Shared reader/writer for the GANC binary artifact format: the on-disk
+// representation behind model artifacts (Recommender::Save/Load), the
+// binary dataset cache (RatingDataset::SaveBinary/LoadBinary), and
+// pipeline state (GancPipeline::Save/Load).
+//
+// An artifact is a fixed header (magic, format version, artifact kind,
+// type tag) followed by a sequence of independently checksummed
+// sections and a mandatory end marker:
+//
+//   [magic 8B] [version u32] [kind u32] [tag u32] [reserved u32]
+//   { [section id u32] [payload size u64] [payload] [FNV-1a u64] }*
+//   [end marker: id 0, size 0, FNV-1a of the empty payload]
+//
+// All integers and floats are little-endian; floats are raw IEEE-754
+// bits, so doubles round-trip bit-exactly. Every read is validated:
+// bad magic, an unknown version, a truncated stream, or a corrupted
+// section surfaces as a Status error, never as garbage state. The
+// normative spec lives in docs/FORMATS.md and must stay in sync with
+// the constants below (CI greps kGancFormatVersion in both files).
+
+#ifndef GANC_UTIL_SERIALIZE_H_
+#define GANC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ganc {
+
+/// Current on-disk format version, bumped on any incompatible layout
+/// change. Readers reject artifacts written with a different version.
+/// Keep docs/FORMATS.md in sync (CI greps the literal in both files).
+inline constexpr uint32_t kGancFormatVersion = 1;
+
+/// 8-byte file magic, "GANCART" + NUL.
+inline constexpr char kGancArtifactMagic[8] = {'G', 'A', 'N', 'C',
+                                               'A', 'R', 'T', '\0'};
+
+/// What an artifact holds; stored in the header so a model file is never
+/// mistaken for a dataset cache.
+enum class ArtifactKind : uint32_t {
+  kModel = 1,         ///< one fitted Recommender (tag = ModelType)
+  kDatasetCache = 2,  ///< a RatingDataset in CSR layout (tag = 0)
+  kPipeline = 3,      ///< GancPipeline offline state (tag = 0)
+};
+
+/// Section id 0 terminates the section list.
+inline constexpr uint32_t kEndSectionId = 0;
+
+/// Hard cap on a single section payload (refuses implausible sizes
+/// before allocating).
+inline constexpr uint64_t kMaxSectionBytes = 1ULL << 34;  // 16 GiB
+
+/// Accumulates a section payload in memory with little-endian encoding.
+/// Vector writers prepend a u64 element count.
+class PayloadWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteBytes(const void* data, size_t size);
+  /// u64 length + raw bytes.
+  void WriteString(std::string_view s);
+  void WriteVecF64(const std::vector<double>& v);
+  void WriteVecF32(const std::vector<float>& v);
+  void WriteVecI32(const std::vector<int32_t>& v);
+  void WriteVecU64(const std::vector<uint64_t>& v);
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Decodes a section payload. Every read checks for underrun; vector
+/// reads additionally bound the element count by the remaining bytes.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  Status ReadString(std::string* out);
+  Status ReadVecF64(std::vector<double>* out);
+  Status ReadVecF32(std::vector<float>* out);
+  Status ReadVecI32(std::vector<int32_t>* out);
+  Status ReadVecU64(std::vector<uint64_t>* out);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  /// Error when trailing bytes remain (catches layout drift).
+  Status ExpectEnd() const;
+
+ private:
+  Status Require(size_t n) const;
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// Parsed artifact header.
+struct ArtifactHeader {
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  uint32_t type_tag = 0;
+};
+
+/// Writes the header, then checksummed sections, then the end marker.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(std::ostream& os) : os_(os) {}
+
+  Status WriteHeader(ArtifactKind kind, uint32_t type_tag);
+  Status WriteSection(uint32_t id, const PayloadWriter& payload);
+  /// Writes the end marker; the artifact is incomplete without it.
+  Status Finish();
+
+ private:
+  std::ostream& os_;
+};
+
+/// Validating reader over an artifact stream.
+class ArtifactReader {
+ public:
+  struct Section {
+    uint32_t id = kEndSectionId;
+    std::string payload;
+  };
+
+  explicit ArtifactReader(std::istream& is) : is_(is) {}
+
+  /// Validates magic + version and returns the header.
+  Result<ArtifactHeader> ReadHeader();
+
+  /// Reads the next section (checksum verified). id == kEndSectionId
+  /// signals a well-formed end of artifact.
+  Result<Section> ReadSection();
+
+  /// Reads the next section and requires its id (the fixed-layout read
+  /// path every Load implementation uses).
+  Result<Section> ReadSectionExpect(uint32_t id);
+
+ private:
+  std::istream& is_;
+};
+
+/// Validates header kind/tag with descriptive errors ("artifact holds a
+/// dataset cache, expected a model", "model artifact holds type 6,
+/// expected 7").
+Status ExpectArtifact(const ArtifactHeader& header, ArtifactKind kind,
+                      uint32_t type_tag);
+
+/// Reads one more section and requires it to be the end marker — the
+/// shared epilogue of every Load implementation (rejects artifacts with
+/// unexpected trailing sections).
+Status ExpectEndOfArtifact(ArtifactReader& r);
+
+/// Opens `path` for binary writing (overwrites), runs `write` on the
+/// stream, and verifies the close — the shared file wrapper behind
+/// every SaveXxxFile entry point.
+Status WriteArtifactFile(const std::string& path,
+                         const std::function<Status(std::ostream&)>& write);
+
+/// Opens `path` for binary reading and runs `read` on the stream,
+/// returning whatever it returns (a Status or any Result<T>).
+template <typename Fn>
+auto ReadArtifactFile(const std::string& path, Fn&& read)
+    -> decltype(read(std::declval<std::istream&>())) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  return read(is);
+}
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_SERIALIZE_H_

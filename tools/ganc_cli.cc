@@ -1,33 +1,56 @@
-// ganc_cli: run the full GANC pipeline from the command line.
+// ganc_cli: train, persist, and serve the GANC pipeline from the
+// command line.
 //
-// Works on a real ratings file or a built-in synthetic preset:
+// Subcommands (no subcommand = `recommend`, the classic end-to-end run):
+//
+//   ganc_cli cache-dataset --ratings-file=ratings.csv --out=ratings.gdc
+//       Parse a text ratings file (or synthesize a preset) once and
+//       write the binary CSR dataset cache; later runs load it with
+//       --dataset-cache instead of re-parsing.
+//
+//   ganc_cli train --dataset-cache=ratings.gdc --arec=psvd100 \
+//            --save-model=psvd100.gam [--save-pipeline=pipeline.gap]
+//       Fit the accuracy recommender on the train split and save the
+//       model artifact; optionally learn theta and save the whole
+//       pipeline state.
+//
+//   ganc_cli recommend --dataset-cache=ratings.gdc \
+//            --load-model=psvd100.gam --output=topn.bin
+//       Skip training: load the artifact, run GANC, print the Table III
+//       metric bundle. With identical data/seed flags the output is
+//       byte-identical to a train-and-recommend run (CI pins this).
+//
+// Classic one-shot runs still work:
 //
 //   ganc_cli --dataset=ml100k --arec=psvd100 --theta=g --crec=dyn
 //            --top-n=5 --sample-size=500 --seed=42
-//   ganc_cli --ratings-file=ratings.csv --delimiter=, --kappa=0.8
-//            --arec=rsvd --theta=t --crec=dyn --output=topn.bin
-//
-// Prints the Table III metric bundle of the base recommender and the
-// GANC variant, optionally persisting the learned theta vector and the
-// top-N collection for downstream services.
 
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "core/ganc.h"
+#include "core/pipeline.h"
 #include "core/preference.h"
 #include "data/loader.h"
 #include "data/longtail.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/runner.h"
+#include "recommender/bpr.h"
+#include "recommender/cofirank.h"
+#include "recommender/item_knn.h"
+#include "recommender/model_io.h"
 #include "recommender/pop.h"
 #include "recommender/psvd.h"
+#include "recommender/random_rec.h"
+#include "recommender/random_walk.h"
 #include "recommender/rsvd.h"
+#include "recommender/user_knn.h"
 #include "util/binary_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 using namespace ganc;
 
@@ -36,16 +59,39 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ganc_cli [--dataset=ml100k|ml1m|ml10m|mt200k|netflix|tiny]\n"
-      "                [--ratings-file=PATH --delimiter=, --skip-header]\n"
-      "                [--kappa=0.5] [--arec=pop|rsvd|psvd10|psvd100]\n"
+      "usage: ganc_cli [train|recommend|cache-dataset] [flags]\n"
+      "\n"
+      "data source (all commands):\n"
+      "    [--dataset=ml100k|ml1m|ml10m|mt200k|netflix|tiny]\n"
+      "    [--ratings-file=PATH --delimiter=, --skip-header]\n"
+      "    [--dataset-cache=PATH]   (binary cache from `cache-dataset`)\n"
+      "    [--kappa=0.5] [--seed=42]\n"
+      "\n"
+      "cache-dataset:  --out=PATH  (writes the binary dataset cache)\n"
+      "\n"
+      "train:          [--arec=pop|rand|rp3b|itemknn|userknn|psvd10|\n"
+      "                 psvd100|rsvd|bpr|cofi]\n"
+      "                [--save-model=PATH] [--save-pipeline=PATH]\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
-      "                [--top-n=5] [--sample-size=500] [--seed=42]\n"
-      "                [--threads=1]  (1 = serial, 0 = hardware)\n"
+      "\n"
+      "recommend (default command):\n"
+      "                [--arec=...] | [--load-model=PATH] |\n"
+      "                [--load-pipeline=PATH]\n"
+      "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
+      "                [--top-n=5] [--sample-size=500] [--threads=1]\n"
       "                [--theta-out=PATH] [--output=PATH] [--verbose]\n");
 }
 
 Result<RatingDataset> LoadData(const Flags& flags) {
+  const std::string cache = flags.GetString("dataset-cache", "");
+  if (!cache.empty()) {
+    if (flags.Has("ratings-file") || flags.Has("dataset")) {
+      return Status::InvalidArgument(
+          "--dataset-cache conflicts with --ratings-file/--dataset (pick one "
+          "data source)");
+    }
+    return RatingDataset::LoadBinaryFile(cache);
+  }
   const std::string file = flags.GetString("ratings-file", "");
   if (!file.empty()) {
     LoaderOptions opts;
@@ -76,6 +122,34 @@ Result<RatingDataset> LoadData(const Flags& flags) {
   return GenerateSynthetic(spec);
 }
 
+Result<std::unique_ptr<Recommender>> BuildArec(const std::string& name) {
+  std::unique_ptr<Recommender> base;
+  if (name == "pop") {
+    base = std::make_unique<PopRecommender>();
+  } else if (name == "rand") {
+    base = std::make_unique<RandomRecommender>();
+  } else if (name == "rp3b") {
+    base = std::make_unique<RandomWalkRecommender>();
+  } else if (name == "itemknn") {
+    base = std::make_unique<ItemKnnRecommender>();
+  } else if (name == "userknn") {
+    base = std::make_unique<UserKnnRecommender>();
+  } else if (name == "rsvd") {
+    base = std::make_unique<RsvdRecommender>(RsvdConfig{.use_biases = true});
+  } else if (name == "psvd10") {
+    base = std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 10});
+  } else if (name == "psvd100") {
+    base = std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 100});
+  } else if (name == "bpr") {
+    base = std::make_unique<BprRecommender>();
+  } else if (name == "cofi") {
+    base = std::make_unique<CofiRecommender>();
+  } else {
+    return Status::InvalidArgument("unknown --arec '" + name + "'");
+  }
+  return base;
+}
+
 Result<PreferenceModel> ParseTheta(const std::string& s) {
   if (s == "a") return PreferenceModel::kActivity;
   if (s == "n") return PreferenceModel::kNormalized;
@@ -93,21 +167,203 @@ Result<CoverageKind> ParseCoverage(const std::string& s) {
   return Status::InvalidArgument("unknown coverage recommender '" + s + "'");
 }
 
-int RunPipeline(const Flags& flags) {
-  if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kInfo);
+// Loaded data + split shared by all commands. The split owns its own
+// train/test datasets; the full dataset is kept for summary reporting.
+struct Prepared {
+  RatingDataset dataset;
+  TrainTestSplit split;
+};
 
+// Shared epilogue of every recommend run: persist the collection when
+// requested and print the Table III comparison of base vs GANC.
+int ReportRun(const Recommender& base, const std::string& ganc_name,
+              const TopNCollection& topn, const RatingDataset& train,
+              const RatingDataset& test, int n, ThreadPool* pool,
+              const std::string& output) {
+  if (!output.empty()) {
+    if (Status s = WriteTopNCollection(output, topn); !s.ok()) {
+      std::fprintf(stderr, "output: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("top-N collection written to %s\n", output.c_str());
+  }
+  const std::vector<AlgorithmEntry> entries = {
+      {base.name(), [&] { return RecommendAllUsers(base, train, n, pool); }},
+      {ganc_name, [&] { return topn; }},
+  };
+  const auto results = RunComparison(entries, train, test,
+                                     MetricsConfig{.top_n = n});
+  ComparisonTable(results, n).Print();
+  return 0;
+}
+
+Result<Prepared> Prepare(const Flags& flags, bool print_summary) {
+  Result<RatingDataset> dataset = LoadData(flags);
+  if (!dataset.ok()) return dataset.status();
+  auto kappa = flags.GetDouble("kappa", 0.5);
+  auto seed = flags.GetInt("seed", 42);
+  if (!kappa.ok() || !seed.ok()) {
+    return Status::InvalidArgument("bad numeric flag");
+  }
+  Result<TrainTestSplit> split = PerUserRatioSplit(
+      *dataset, {.train_ratio = *kappa,
+                 .seed = static_cast<uint64_t>(*seed)});
+  if (!split.ok()) return split.status();
+  Prepared prepared{std::move(dataset).value(), std::move(split).value()};
+  if (print_summary) {
+    const DatasetSummary summary =
+        Summarize("input", prepared.dataset, &prepared.split.train);
+    std::printf("data: %lld ratings, %d users, %d items, d=%.3f%%, L=%.1f%%\n",
+                static_cast<long long>(summary.num_ratings),
+                summary.num_users, summary.num_items, summary.density_percent,
+                summary.longtail_percent);
+  }
+  return prepared;
+}
+
+int CacheDataset(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "cache-dataset requires --out=PATH\n");
+    return 1;
+  }
   Result<RatingDataset> dataset = LoadData(flags);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  auto kappa = flags.GetDouble("kappa", 0.5);
+  WallTimer timer;
+  if (Status s = dataset->SaveBinaryFile(out); !s.ok()) {
+    std::fprintf(stderr, "cache: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset cache written to %s (%lld ratings, %.1f ms)\n",
+              out.c_str(), static_cast<long long>(dataset->num_ratings()),
+              timer.ElapsedMillis());
+  return 0;
+}
+
+int Train(const Flags& flags) {
+  if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kInfo);
+  if (flags.Has("threads")) {
+    // Model fitting is serial; accepting the flag here would silently
+    // promise parallelism the command does not deliver.
+    std::fprintf(stderr, "train does not support --threads\n");
+    return 1;
+  }
+  const std::string model_out = flags.GetString("save-model", "");
+  const std::string pipeline_out = flags.GetString("save-pipeline", "");
+  if (model_out.empty() && pipeline_out.empty()) {
+    std::fprintf(stderr,
+                 "train requires --save-model=PATH or --save-pipeline=PATH\n");
+    return 1;
+  }
+  Result<Prepared> prepared = Prepare(flags, /*print_summary=*/true);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "load: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  const RatingDataset& train = prepared->split.train;
+
+  const std::string arec_name = flags.GetString("arec", "psvd100");
+  Result<std::unique_ptr<Recommender>> base = BuildArec(arec_name);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer fit_timer;
+  if (Status s = (*base)->Fit(train); !s.ok()) {
+    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %s in %.1f ms\n", (*base)->name().c_str(),
+              fit_timer.ElapsedMillis());
+
+  if (!model_out.empty()) {
+    WallTimer save_timer;
+    if (Status s = SaveModelFile(**base, model_out); !s.ok()) {
+      std::fprintf(stderr, "save-model: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("model artifact written to %s (%.1f ms)\n", model_out.c_str(),
+                save_timer.ElapsedMillis());
+  }
+
+  const std::string theta_out = flags.GetString("theta-out", "");
+  if (!theta_out.empty()) {
+    Result<PreferenceModel> model = ParseTheta(flags.GetString("theta", "g"));
+    auto seed = flags.GetInt("seed", 42);
+    if (!model.ok() || !seed.ok()) {
+      std::fprintf(stderr, "bad theta flag\n");
+      return 1;
+    }
+    Result<std::vector<double>> theta = ComputePreference(
+        *model, train, static_cast<uint64_t>(*seed));
+    if (!theta.ok()) {
+      std::fprintf(stderr, "theta: %s\n", theta.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = WriteDoubleVector(theta_out, *theta); !s.ok()) {
+      std::fprintf(stderr, "theta-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("theta written to %s\n", theta_out.c_str());
+  }
+
+  if (!pipeline_out.empty()) {
+    Result<PreferenceModel> model = ParseTheta(flags.GetString("theta", "g"));
+    Result<CoverageKind> crec = ParseCoverage(flags.GetString("crec", "dyn"));
+    auto top_n = flags.GetInt("top-n", 5);
+    auto sample = flags.GetInt("sample-size", 500);
+    auto seed = flags.GetInt("seed", 42);
+    if (!model.ok() || !crec.ok() || !top_n.ok() || !sample.ok() ||
+        !seed.ok()) {
+      std::fprintf(stderr, "bad pipeline flag\n");
+      return 1;
+    }
+    PipelineConfig config;
+    config.theta_model = *model;
+    config.coverage = *crec;
+    config.top_n = static_cast<int>(*top_n);
+    config.sample_size = static_cast<int>(*sample);
+    config.seed = static_cast<uint64_t>(*seed);
+    config.indicator_accuracy = arec_name == "pop";
+    config.fit_base = false;  // fitted above
+    Result<std::unique_ptr<GancPipeline>> pipeline = GancPipeline::Create(
+        std::move(base).value(), train, config);
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "pipeline: %s\n",
+                   pipeline.status().ToString().c_str());
+      return 1;
+    }
+    WallTimer save_timer;
+    if (Status s = (*pipeline)->SaveFile(pipeline_out); !s.ok()) {
+      std::fprintf(stderr, "save-pipeline: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pipeline artifact written to %s (%.1f ms)\n",
+                pipeline_out.c_str(), save_timer.ElapsedMillis());
+  }
+  return 0;
+}
+
+int Recommend(const Flags& flags) {
+  if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kInfo);
+
+  Result<Prepared> prepared = Prepare(flags, /*print_summary=*/true);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "load: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  const RatingDataset& train = prepared->split.train;
+  const RatingDataset& test = prepared->split.test;
+
   auto seed = flags.GetInt("seed", 42);
   auto top_n = flags.GetInt("top-n", 5);
   auto sample = flags.GetInt("sample-size", 500);
   auto threads = flags.GetInt("threads", 1);
-  if (!kappa.ok() || !seed.ok() || !top_n.ok() || !sample.ok() ||
-      !threads.ok() || *threads < 0) {
+  if (!seed.ok() || !top_n.ok() || !sample.ok() || !threads.ok() ||
+      *threads < 0) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 1;
   }
@@ -116,39 +372,78 @@ int RunPipeline(const Flags& flags) {
   if (*threads != 1) {
     pool = std::make_unique<ThreadPool>(static_cast<size_t>(*threads));
   }
-  Result<TrainTestSplit> split = PerUserRatioSplit(
-      *dataset, {.train_ratio = *kappa,
-                 .seed = static_cast<uint64_t>(*seed)});
-  if (!split.ok()) {
-    std::fprintf(stderr, "split: %s\n", split.status().ToString().c_str());
-    return 1;
-  }
-  const RatingDataset& train = split->train;
-  const RatingDataset& test = split->test;
-  const DatasetSummary summary = Summarize("input", *dataset, &train);
-  std::printf("data: %lld ratings, %d users, %d items, d=%.3f%%, L=%.1f%%\n",
-              static_cast<long long>(summary.num_ratings), summary.num_users,
-              summary.num_items, summary.density_percent,
-              summary.longtail_percent);
+  const std::string output = flags.GetString("output", "");
 
-  // Base recommender.
-  const std::string arec_name = flags.GetString("arec", "psvd100");
-  std::unique_ptr<Recommender> base;
-  if (arec_name == "pop") {
-    base = std::make_unique<PopRecommender>();
-  } else if (arec_name == "rsvd") {
-    base = std::make_unique<RsvdRecommender>(RsvdConfig{.use_biases = true});
-  } else if (arec_name == "psvd10") {
-    base = std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 10});
-  } else if (arec_name == "psvd100") {
-    base = std::make_unique<PsvdRecommender>(PsvdConfig{.num_factors = 100});
-  } else {
-    std::fprintf(stderr, "unknown --arec '%s'\n", arec_name.c_str());
-    return 1;
+  // Pipeline-artifact serving path: everything offline comes from the
+  // artifact; only the dataset is rebound.
+  const std::string pipeline_in = flags.GetString("load-pipeline", "");
+  if (!pipeline_in.empty()) {
+    // These knobs are baked into the artifact — refuse silently
+    // different behavior.
+    for (const char* baked : {"arec", "theta", "crec", "top-n",
+                              "sample-size", "theta-out", "load-model"}) {
+      if (flags.Has(baked)) {
+        std::fprintf(stderr,
+                     "--%s conflicts with --load-pipeline (it is stored in "
+                     "the pipeline artifact)\n",
+                     baked);
+        return 1;
+      }
+    }
+    WallTimer load_timer;
+    Result<std::unique_ptr<GancPipeline>> pipeline = GancPipeline::LoadFile(
+        pipeline_in, train, static_cast<int>(*threads));
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "load-pipeline: %s\n",
+                   pipeline.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("pipeline loaded from %s (%.1f ms)\n", pipeline_in.c_str(),
+                load_timer.ElapsedMillis());
+    Result<TopNCollection> topn = (*pipeline)->RecommendAll();
+    if (!topn.ok()) {
+      std::fprintf(stderr, "ganc: %s\n", topn.status().ToString().c_str());
+      return 1;
+    }
+    return ReportRun((*pipeline)->base(), (*pipeline)->name(), *topn, train,
+                     test, (*pipeline)->top_n(), pool.get(), output);
   }
-  if (Status s = base->Fit(train); !s.ok()) {
-    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
-    return 1;
+
+  // Base recommender: from a model artifact or trained in-process.
+  const std::string model_in = flags.GetString("load-model", "");
+  std::unique_ptr<Recommender> base;
+  if (!model_in.empty()) {
+    if (flags.Has("arec")) {
+      std::fprintf(stderr,
+                   "--arec conflicts with --load-model (the artifact is "
+                   "self-describing)\n");
+      return 1;
+    }
+    WallTimer load_timer;
+    Result<std::unique_ptr<Recommender>> loaded = LoadModelFile(model_in,
+                                                                &train);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load-model: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(loaded).value();
+    // Load was handed `train`, so dimensions and (where stored) the
+    // dataset fingerprint are already validated.
+    std::printf("model %s loaded from %s (%.1f ms)\n", base->name().c_str(),
+                model_in.c_str(), load_timer.ElapsedMillis());
+  } else {
+    Result<std::unique_ptr<Recommender>> built = BuildArec(
+        flags.GetString("arec", "psvd100"));
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(built).value();
+    if (Status s = base->Fit(train); !s.ok()) {
+      std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+      return 1;
+    }
   }
 
   // Preference model.
@@ -178,7 +473,7 @@ int RunPipeline(const Flags& flags) {
     std::fprintf(stderr, "%s\n", crec.status().ToString().c_str());
     return 1;
   }
-  const bool indicator = arec_name == "pop";
+  const bool indicator = base->name() == "Pop";
   NormalizedAccuracyScorer norm_scorer(base.get());
   TopNIndicatorScorer ind_scorer(base.get(), &train,
                                  static_cast<int>(*top_n));
@@ -197,38 +492,20 @@ int RunPipeline(const Flags& flags) {
     std::fprintf(stderr, "ganc: %s\n", topn.status().ToString().c_str());
     return 1;
   }
-  const std::string output = flags.GetString("output", "");
-  if (!output.empty()) {
-    if (Status s = WriteTopNCollection(output, *topn); !s.ok()) {
-      std::fprintf(stderr, "output: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("top-N collection written to %s\n", output.c_str());
-  }
-
-  const std::vector<AlgorithmEntry> entries = {
-      {base->name(),
-       [&] {
-         return RecommendAllUsers(*base, train, static_cast<int>(*top_n),
-                                  pool.get());
-       }},
-      {ganc.Name(PreferenceModelName(*model)), [&] { return *topn; }},
-  };
-  const auto results = RunComparison(
-      entries, train, test,
-      MetricsConfig{.top_n = static_cast<int>(*top_n)});
-  ComparisonTable(results, static_cast<int>(*top_n)).Print();
-  return 0;
+  return ReportRun(*base, ganc.Name(PreferenceModelName(*model)), *topn,
+                   train, test, static_cast<int>(*top_n), pool.get(), output);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> known = {
-      "dataset",     "ratings-file", "delimiter", "skip-header", "kappa",
-      "arec",        "theta",        "crec",      "top-n",       "sample-size",
-      "seed",        "threads",      "theta-out", "output",      "verbose",
-      "help"};
+      "dataset",       "ratings-file", "delimiter",     "skip-header",
+      "dataset-cache", "kappa",        "arec",          "theta",
+      "crec",          "top-n",        "sample-size",   "seed",
+      "threads",       "theta-out",    "output",        "out",
+      "save-model",    "save-pipeline", "load-model",   "load-pipeline",
+      "verbose",       "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -239,5 +516,19 @@ int main(int argc, char** argv) {
     Usage();
     return 0;
   }
-  return RunPipeline(*flags);
+  std::string command = "recommend";
+  if (!flags->positional().empty()) {
+    if (flags->positional().size() > 1) {
+      std::fprintf(stderr, "expected at most one subcommand\n");
+      Usage();
+      return 2;
+    }
+    command = flags->positional()[0];
+  }
+  if (command == "recommend") return Recommend(*flags);
+  if (command == "train") return Train(*flags);
+  if (command == "cache-dataset") return CacheDataset(*flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  Usage();
+  return 2;
 }
