@@ -26,8 +26,12 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "recommender/bpr.h"
+#include "recommender/item_knn.h"
+#include "recommender/item_similarity.h"
+#include "recommender/random_walk.h"
 #include "recommender/recommender.h"
 #include "recommender/scoring_context.h"
+#include "recommender/user_knn.h"
 #include "util/kde.h"
 #include "util/thread_pool.h"
 #include "util/stats.h"
@@ -440,6 +444,88 @@ void BM_DatasetCacheLoad(benchmark::State& state) {
                           BenchTrain().num_ratings());
 }
 BENCHMARK(BM_DatasetCacheLoad);
+
+// --- Sparse-model fast path: inverted-index KNN training, the id-sorted
+// similarity lookup, and the sparse models' batched scoring (see
+// BENCH_sparse.json for the PR 3 hash-map-builder baseline).
+
+void BM_KnnTrain_Item(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const int32_t max_profile = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    ItemKnnRecommender model({.max_profile = max_profile});
+    (void)model.Fit(train);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          train.num_ratings());
+}
+BENCHMARK(BM_KnnTrain_Item)->Arg(512)->Arg(32);
+
+void BM_KnnTrain_User(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const int32_t max_audience = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    UserKnnRecommender model({.max_audience = max_audience});
+    (void)model.Fit(train);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          train.num_ratings());
+}
+BENCHMARK(BM_KnnTrain_User)->Arg(512)->Arg(32);
+
+// One 64-user block per iteration through RP3b's dedicated batch walk;
+// items_per_second counts user-item scores.
+void BM_Rp3bScoreBatch(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  static const RandomWalkRecommender* rp3b = [] {
+    auto* model = new RandomWalkRecommender();
+    (void)model->Fit(BenchTrain());
+    return model;
+  }();
+  const size_t batch = 64;
+  const size_t ni = static_cast<size_t>(rp3b->num_items());
+  ScoringContext ctx;
+  std::vector<UserId> users(batch);
+  UserId u = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < batch; ++b) {
+      users[b] = u;
+      u = (u + 1) % train.num_users();
+    }
+    const std::span<double> out = ctx.BatchScores(batch * ni);
+    rp3b->ScoreBatchInto(users, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch * ni));
+}
+BENCHMARK(BM_Rp3bScoreBatch);
+
+// Random-pair Similarity(i, j) lookups (the MMR/RBT re-ranker hot call):
+// branchless binary search in the id-sorted view vs the legacy O(k)
+// scan of the best-first list. range(0) = num_neighbors k.
+void BM_SimilarityLookup(benchmark::State& state) {
+  const RatingDataset& train = BenchTrain();
+  const ItemSimilarityIndex index(
+      train, static_cast<int32_t>(state.range(0)), 512, 31);
+  Rng rng(9);
+  std::vector<std::pair<ItemId, ItemId>> pairs(4096);
+  for (auto& p : pairs) {
+    p.first = static_cast<ItemId>(
+        rng.UniformInt(static_cast<uint64_t>(train.num_items())));
+    p.second = static_cast<ItemId>(
+        rng.UniformInt(static_cast<uint64_t>(train.num_items())));
+  }
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Similarity(pairs[q].first, pairs[q].second));
+    q = (q + 1) % pairs.size();
+  }
+}
+BENCHMARK(BM_SimilarityLookup)->Arg(50)->Arg(200);
 
 void BM_OslgEndToEnd(benchmark::State& state) {
   const RatingDataset& train = BenchTrain();

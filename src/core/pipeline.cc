@@ -30,25 +30,37 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Create(
     return Status::InvalidArgument(
         "num_threads must be >= 0 (1 = serial, 0 = hardware concurrency)");
   }
+  std::unique_ptr<ThreadPool> owned_pool = MakeOwnedPool(config);
   if (config.fit_base) {
-    GANC_RETURN_NOT_OK(base->Fit(train));
+    ThreadPool* fit_pool =
+        config.pool != nullptr ? config.pool : owned_pool.get();
+    GANC_RETURN_NOT_OK(base->Fit(train, fit_pool));
   }
   Result<std::vector<double>> theta = ComputePreference(
       config.theta_model, train, config.seed, config.constant_theta);
   if (!theta.ok()) return theta.status();
-  return std::unique_ptr<GancPipeline>(
-      new GancPipeline(std::move(base), &train, config,
-                       std::move(theta).value(), ComputeLongTail(train)));
+  return std::unique_ptr<GancPipeline>(new GancPipeline(
+      std::move(base), &train, config, std::move(theta).value(),
+      ComputeLongTail(train), std::move(owned_pool)));
+}
+
+std::unique_ptr<ThreadPool> GancPipeline::MakeOwnedPool(
+    const PipelineConfig& c) {
+  if (c.pool != nullptr || c.num_threads == 1) return nullptr;
+  return std::make_unique<ThreadPool>(
+      c.num_threads > 1 ? static_cast<size_t>(c.num_threads) : 0);
 }
 
 GancPipeline::GancPipeline(std::unique_ptr<Recommender> base,
                            const RatingDataset* train, PipelineConfig config,
-                           std::vector<double> theta, LongTailInfo tail)
+                           std::vector<double> theta, LongTailInfo tail,
+                           std::unique_ptr<ThreadPool> owned_pool)
     : base_(std::move(base)),
       train_(train),
       config_(config),
       theta_(std::move(theta)),
-      tail_(std::move(tail)) {
+      tail_(std::move(tail)),
+      owned_pool_(std::move(owned_pool)) {
   if (config_.indicator_accuracy) {
     scorer_ = std::make_unique<TopNIndicatorScorer>(base_.get(), train_,
                                                     config_.top_n);
@@ -56,11 +68,6 @@ GancPipeline::GancPipeline(std::unique_ptr<Recommender> base,
     scorer_ = std::make_unique<NormalizedAccuracyScorer>(base_.get());
   }
   ganc_ = std::make_unique<Ganc>(scorer_.get(), theta_, config_.coverage);
-  if (config_.pool == nullptr && config_.num_threads != 1) {
-    owned_pool_ = std::make_unique<ThreadPool>(
-        config_.num_threads > 1 ? static_cast<size_t>(config_.num_threads)
-                                : 0);
-  }
 }
 
 Status GancPipeline::Save(std::ostream& os) const {
@@ -208,7 +215,8 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Load(
   }
   return std::unique_ptr<GancPipeline>(
       new GancPipeline(std::move(base).value(), &train, config,
-                       std::move(theta), std::move(tail)));
+                       std::move(theta), std::move(tail),
+                       MakeOwnedPool(config)));
 }
 
 Result<std::unique_ptr<GancPipeline>> GancPipeline::LoadFile(

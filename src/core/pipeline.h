@@ -117,7 +117,12 @@ class GancPipeline {
  private:
   GancPipeline(std::unique_ptr<Recommender> base, const RatingDataset* train,
                PipelineConfig config, std::vector<double> theta,
-               LongTailInfo tail);
+               LongTailInfo tail, std::unique_ptr<ThreadPool> owned_pool);
+
+  /// The worker pool `config` asks the pipeline to own (null when a
+  /// caller pool is set or num_threads == 1). Built before base-model
+  /// fitting so pool-aware fits (the KNN similarity sweeps) use it too.
+  static std::unique_ptr<ThreadPool> MakeOwnedPool(const PipelineConfig& c);
 
   std::unique_ptr<Recommender> base_;
   const RatingDataset* train_;

@@ -36,6 +36,7 @@ class BprRecommender : public Recommender {
  public:
   explicit BprRecommender(BprConfig config = {});
 
+  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;

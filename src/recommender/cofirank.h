@@ -39,6 +39,7 @@ class CofiRecommender : public Recommender {
  public:
   explicit CofiRecommender(CofiConfig config = {});
 
+  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;

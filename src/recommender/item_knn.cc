@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "recommender/model_io.h"
+#include "recommender/sparse_similarity.h"
 #include "util/serialize.h"
 
 namespace ganc {
@@ -13,13 +14,17 @@ ItemKnnRecommender::ItemKnnRecommender(ItemKnnConfig config)
     : config_(config) {}
 
 Status ItemKnnRecommender::Fit(const RatingDataset& train) {
+  return Fit(train, nullptr);
+}
+
+Status ItemKnnRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
   if (config_.num_neighbors <= 0) {
     return Status::InvalidArgument("num_neighbors must be positive");
   }
   num_items_ = train.num_items();
   train_ = &train;
   index_ = ItemSimilarityIndex(train, config_.num_neighbors,
-                               config_.max_profile, config_.seed);
+                               config_.max_profile, config_.seed, pool);
   return Status::OK();
 }
 
@@ -32,6 +37,22 @@ void ItemKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
     for (const ItemNeighbor& nb : index_.NeighborsOf(ir.item)) {
       out[static_cast<size_t>(nb.item)] +=
           static_cast<double>(nb.sim) * static_cast<double>(ir.value);
+    }
+  }
+}
+
+void ItemKnnRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                        std::span<double> out) const {
+  const size_t ni = static_cast<size_t>(num_items_);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (size_t b = 0; b < users.size(); ++b) {
+    const std::span<double> row = out.subspan(b * ni, ni);
+    for (const ItemRating& ir : train_->ItemsOf(users[b])) {
+      const double value = static_cast<double>(ir.value);
+      for (const ItemNeighbor& nb : index_.NeighborsOf(ir.item)) {
+        row[static_cast<size_t>(nb.item)] +=
+            static_cast<double>(nb.sim) * value;
+      }
     }
   }
 }
@@ -52,22 +73,7 @@ Status ItemKnnRecommender::Save(std::ostream& os) const {
   state.WriteI32(num_items_);
   state.WriteI32(train_->num_users());
   state.WriteU64(train_->Fingerprint());
-  // Neighbour lists flattened into parallel vectors so the bulk
-  // memcpy read path applies (lengths, then all items, then all sims).
-  std::vector<uint64_t> lengths(static_cast<size_t>(num_items_));
-  std::vector<int32_t> items;
-  std::vector<float> sims;
-  for (ItemId i = 0; i < num_items_; ++i) {
-    const auto& neighbors = index_.NeighborsOf(i);
-    lengths[static_cast<size_t>(i)] = neighbors.size();
-    for (const ItemNeighbor& nb : neighbors) {
-      items.push_back(nb.item);
-      sims.push_back(nb.sim);
-    }
-  }
-  state.WriteVecU64(lengths);
-  state.WriteVecI32(items);
-  state.WriteVecF32(sims);
+  WriteNeighborLists(state, index_.offsets(), index_.entries());
   GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
   return w.Finish();
 }
@@ -95,16 +101,9 @@ Status ItemKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
   int32_t num_items = 0;
   int32_t num_users = 0;
   uint64_t fingerprint = 0;
-  std::vector<uint64_t> lengths;
-  std::vector<int32_t> items;
-  std::vector<float> sims;
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
   GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
-  GANC_RETURN_NOT_OK(sr.ReadVecU64(&lengths));
-  GANC_RETURN_NOT_OK(sr.ReadVecI32(&items));
-  GANC_RETURN_NOT_OK(sr.ReadVecF32(&sims));
-  GANC_RETURN_NOT_OK(sr.ExpectEnd());
   if (num_items != train->num_items() || num_users != train->num_users()) {
     return Status::InvalidArgument(
         "ItemKNN artifact dimensions do not match the bound train dataset");
@@ -114,35 +113,17 @@ Status ItemKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
         "ItemKNN artifact was trained on different data than the bound "
         "train dataset (fingerprint mismatch)");
   }
-  if (static_cast<int32_t>(lengths.size()) != num_items ||
-      items.size() != sims.size()) {
-    return Status::InvalidArgument("inconsistent ItemKNN neighbour arrays");
-  }
-  std::vector<std::vector<ItemNeighbor>> lists(
-      static_cast<size_t>(num_items));
-  size_t pos = 0;
-  for (int32_t i = 0; i < num_items; ++i) {
-    const uint64_t len = lengths[static_cast<size_t>(i)];
-    if (len > items.size() - pos) {
-      return Status::InvalidArgument("neighbour list overruns ItemKNN state");
-    }
-    auto& list = lists[static_cast<size_t>(i)];
-    list.resize(len);
-    for (uint64_t k = 0; k < len; ++k, ++pos) {
-      list[k] = {items[pos], sims[pos]};
-      if (list[k].item < 0 || list[k].item >= num_items) {
-        return Status::InvalidArgument("neighbour id out of range in ItemKNN");
-      }
-    }
-  }
-  if (pos != items.size()) {
-    return Status::InvalidArgument("trailing neighbour entries in ItemKNN");
-  }
+  std::vector<size_t> offsets;
+  std::vector<ItemNeighbor> entries;
+  GANC_RETURN_NOT_OK(ReadNeighborLists(sr, num_items, num_items, "ItemKNN",
+                                       &offsets, &entries));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
   GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
   config_ = cfg;
   num_items_ = num_items;
   train_ = train;
-  index_ = ItemSimilarityIndex::FromLists(std::move(lists));
+  index_ = ItemSimilarityIndex::FromFlat(std::move(offsets),
+                                         std::move(entries));
   return Status::OK();
 }
 

@@ -32,8 +32,17 @@ class ItemKnnRecommender : public Recommender {
   explicit ItemKnnRecommender(ItemKnnConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
+  /// Pool-aware fit: the similarity sweep shards items across `pool`
+  /// with a deterministic merge, so the fitted model (and its saved
+  /// artifact) is byte-identical to the serial fit.
+  Status Fit(const RatingDataset& train, ThreadPool* pool) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  /// Batched scatter over the flat similarity index: one bulk zero-fill
+  /// for the whole block, then per-user neighbour accumulation.
+  /// Bit-identical to per-user ScoreInto.
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override { return "ItemKNN"; }
   /// Stores the truncated similarity index; Load rebinds scoring to
   /// `train` (required, dimensions must match).

@@ -2,18 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
 
-#include "util/rng.h"
+#include "recommender/sparse_similarity.h"
 
 namespace ganc {
 
 ItemSimilarityIndex::ItemSimilarityIndex(const RatingDataset& train,
                                          int32_t num_neighbors,
-                                         int32_t max_profile, uint64_t seed) {
+                                         int32_t max_profile, uint64_t seed,
+                                         ThreadPool* pool) {
   const int32_t num_items = train.num_items();
-  neighbors_.assign(static_cast<size_t>(num_items), {});
 
+  // Full-vector norms, accumulated in observation order (the legacy
+  // builder's exact summation order).
   std::vector<double> norms(static_cast<size_t>(num_items), 0.0);
   for (const Rating& r : train.ratings()) {
     norms[static_cast<size_t>(r.item)] +=
@@ -21,63 +23,51 @@ ItemSimilarityIndex::ItemSimilarityIndex(const RatingDataset& train,
   }
   for (double& n : norms) n = std::sqrt(n);
 
-  Rng rng(seed);
-  std::vector<std::unordered_map<ItemId, double>> dots(
-      static_cast<size_t>(num_items));
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    std::vector<ItemRating> row = train.ItemsOf(u);
-    if (static_cast<int32_t>(row.size()) > max_profile) {
-      rng.Shuffle(&row);
-      row.resize(static_cast<size_t>(max_profile));
-    }
-    for (size_t a = 0; a < row.size(); ++a) {
-      for (size_t b = a + 1; b < row.size(); ++b) {
-        const double contrib = static_cast<double>(row[a].value) *
-                               static_cast<double>(row[b].value);
-        const ItemId lo = std::min(row[a].item, row[b].item);
-        const ItemId hi = std::max(row[a].item, row[b].item);
-        dots[static_cast<size_t>(lo)][hi] += contrib;
-      }
-    }
-  }
-
-  std::vector<std::vector<ItemNeighbor>> all(static_cast<size_t>(num_items));
-  for (ItemId lo = 0; lo < num_items; ++lo) {
-    for (const auto& [hi, dot] : dots[static_cast<size_t>(lo)]) {
-      const double denom =
-          norms[static_cast<size_t>(lo)] * norms[static_cast<size_t>(hi)];
-      if (denom <= 0.0) continue;
-      const float sim = static_cast<float>(dot / denom);
-      if (sim <= 0.0f) continue;
-      all[static_cast<size_t>(lo)].push_back({hi, sim});
-      all[static_cast<size_t>(hi)].push_back({lo, sim});
-    }
-  }
-  const size_t k = static_cast<size_t>(std::max(num_neighbors, 0));
-  for (ItemId i = 0; i < num_items; ++i) {
-    auto& cand = all[static_cast<size_t>(i)];
-    std::sort(cand.begin(), cand.end(),
-              [](const ItemNeighbor& a, const ItemNeighbor& b) {
-                if (a.sim != b.sim) return a.sim > b.sim;
-                return a.item < b.item;
-              });
-    if (cand.size() > k) cand.resize(k);
-    neighbors_[static_cast<size_t>(i)] = std::move(cand);
-  }
+  const SparseMatrix sampled = SampleUserProfiles(train, max_profile, seed);
+  const SparseMatrix by_item = Transpose(sampled, num_items);
+  NeighborLists<ItemNeighbor> lists = SparseCosineTopK<ItemNeighbor>(
+      by_item, sampled, norms, num_neighbors, pool);
+  offsets_ = std::move(lists.offsets);
+  entries_ = std::move(lists.entries);
+  BuildByIdView();
 }
 
-ItemSimilarityIndex ItemSimilarityIndex::FromLists(
-    std::vector<std::vector<ItemNeighbor>> lists) {
+ItemSimilarityIndex ItemSimilarityIndex::FromFlat(
+    std::vector<size_t> offsets, std::vector<ItemNeighbor> entries) {
   ItemSimilarityIndex index;
-  index.neighbors_ = std::move(lists);
+  index.offsets_ = std::move(offsets);
+  index.entries_ = std::move(entries);
+  index.BuildByIdView();
   return index;
 }
 
-float ItemSimilarityIndex::Similarity(ItemId i, ItemId j) const {
-  for (const ItemNeighbor& nb : neighbors_[static_cast<size_t>(i)]) {
-    if (nb.item == j) return nb.sim;
+void ItemSimilarityIndex::BuildByIdView() {
+  by_id_ = entries_;
+  for (size_t r = 0; r + 1 < offsets_.size(); ++r) {
+    std::sort(by_id_.begin() + static_cast<ptrdiff_t>(offsets_[r]),
+              by_id_.begin() + static_cast<ptrdiff_t>(offsets_[r + 1]),
+              [](const ItemNeighbor& a, const ItemNeighbor& b) {
+                return a.item < b.item;
+              });
   }
-  return 0.0f;
+}
+
+float ItemSimilarityIndex::Similarity(ItemId i, ItemId j) const {
+  const size_t r = static_cast<size_t>(i);
+  const ItemNeighbor* base = by_id_.data() + offsets_[r];
+  size_t n = offsets_[r + 1] - offsets_[r];
+  if (n == 0) return 0.0f;
+  // Branchless binary search: the halving step is a conditional move,
+  // not a branch, so the k-entry lookup costs log2(k) predictable steps
+  // instead of the linear scan's k (or a mispredicting lower_bound).
+  while (n > 1) {
+    const size_t half = n / 2;
+    // The multiply-by-bool form compiles to setcc+imul (no branch);
+    // a ternary here regresses to a mispredicting conditional jump.
+    base += static_cast<size_t>(base[half - 1].item < j) * half;
+    n -= half;
+  }
+  return base->item == j ? base->sim : 0.0f;
 }
 
 }  // namespace ganc

@@ -2,17 +2,24 @@
 // shared kernel behind the item-KNN recommender and the MMR/topic-
 // diversification re-ranker.
 //
-// Similarities are computed by user-wise co-occurrence accumulation over
-// rating vectors; profiles longer than `max_profile` are subsampled to
-// bound the quadratic per-user cost on power users.
+// Similarities are computed by the inverted-index sweep in
+// recommender/sparse_similarity.h (dense accumulator + touched-list
+// reset over a pre-sampled CSR view); profiles longer than
+// `max_profile` are subsampled to bound the quadratic per-user cost on
+// power users. Neighbour lists are stored flat (one offsets array over
+// one contiguous entry array) so batch scoring streams them without
+// per-item pointer chasing, plus an id-sorted secondary view so
+// Similarity(i, j) is a binary search instead of a linear scan.
 
 #ifndef GANC_RECOMMENDER_ITEM_SIMILARITY_H_
 #define GANC_RECOMMENDER_ITEM_SIMILARITY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/thread_pool.h"
 
 namespace ganc {
 
@@ -29,28 +36,44 @@ class ItemSimilarityIndex {
  public:
   ItemSimilarityIndex() = default;
 
-  /// Builds the index over the train set.
+  /// Builds the index over the train set. With a pool the row sweep is
+  /// sharded across its workers; the result is identical either way.
   ItemSimilarityIndex(const RatingDataset& train, int32_t num_neighbors,
-                      int32_t max_profile, uint64_t seed);
+                      int32_t max_profile, uint64_t seed,
+                      ThreadPool* pool = nullptr);
 
-  /// Reconstructs an index from persisted neighbour lists (the ItemKNN
-  /// artifact Load path); `lists[i]` becomes NeighborsOf(i) verbatim.
-  static ItemSimilarityIndex FromLists(
-      std::vector<std::vector<ItemNeighbor>> lists);
+  /// Reconstructs an index from persisted flat neighbour lists (the
+  /// ItemKNN artifact Load path): entries of item i live at
+  /// [offsets[i], offsets[i+1]) and become NeighborsOf(i) verbatim.
+  static ItemSimilarityIndex FromFlat(std::vector<size_t> offsets,
+                                      std::vector<ItemNeighbor> entries);
 
-  /// Neighbours of item i (possibly empty).
-  const std::vector<ItemNeighbor>& NeighborsOf(ItemId i) const {
-    return neighbors_[static_cast<size_t>(i)];
+  /// Neighbours of item i (possibly empty), best-first.
+  std::span<const ItemNeighbor> NeighborsOf(ItemId i) const {
+    const size_t r = static_cast<size_t>(i);
+    return {entries_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
   }
 
   /// Similarity of (i, j): the stored value when j is among i's
-  /// neighbours, else 0. Symmetric up to truncation.
+  /// neighbours, else 0. Symmetric up to truncation. Binary search in
+  /// the id-sorted view — O(log k), not O(k).
   float Similarity(ItemId i, ItemId j) const;
 
-  int32_t num_items() const { return static_cast<int32_t>(neighbors_.size()); }
+  int32_t num_items() const {
+    return offsets_.empty() ? 0 : static_cast<int32_t>(offsets_.size() - 1);
+  }
+
+  /// Flat storage, exposed for the ItemKNN artifact writer.
+  std::span<const size_t> offsets() const { return offsets_; }
+  std::span<const ItemNeighbor> entries() const { return entries_; }
 
  private:
-  std::vector<std::vector<ItemNeighbor>> neighbors_;
+  /// Rebuilds by_id_ (per-row ascending-id copy of entries_).
+  void BuildByIdView();
+
+  std::vector<size_t> offsets_;        // num_items + 1
+  std::vector<ItemNeighbor> entries_;  // best-first per item
+  std::vector<ItemNeighbor> by_id_;    // same rows, ascending item id
 };
 
 }  // namespace ganc

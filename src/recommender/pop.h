@@ -19,6 +19,7 @@ namespace ganc {
 /// all users.
 class PopRecommender : public Recommender {
  public:
+  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override {
     return static_cast<int32_t>(popularity_.size());

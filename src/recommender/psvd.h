@@ -33,6 +33,7 @@ class PsvdRecommender : public Recommender {
  public:
   explicit PsvdRecommender(PsvdConfig config = {});
 
+  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;

@@ -20,6 +20,7 @@ class RandomRecommender : public Recommender {
  public:
   explicit RandomRecommender(uint64_t seed = 99) : seed_(seed) {}
 
+  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;

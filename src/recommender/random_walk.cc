@@ -39,32 +39,61 @@ Status RandomWalkRecommender::Fit(const RatingDataset& train) {
     item_penalty_[static_cast<size_t>(i)] = std::pow(
         static_cast<double>(std::max(train.Popularity(i), 1)), config_.beta);
   }
+  BuildWalkGraph(train);
   return Status::OK();
 }
 
-void RandomWalkRecommender::ScoreInto(UserId u, std::span<double> out) const {
-  const RatingDataset& train = *train_;
-  std::fill(out.begin(), out.end(), 0.0);
-  const auto& row = train.ItemsOf(u);
-  if (row.empty()) return;
+void RandomWalkRecommender::BuildWalkGraph(const RatingDataset& train) {
+  const size_t nnz = static_cast<size_t>(train.num_ratings());
+  user_offsets_.clear();
+  user_offsets_.reserve(static_cast<size_t>(train.num_users()) + 1);
+  user_offsets_.push_back(0);
+  user_items_.clear();
+  user_items_.reserve(nnz);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    for (const ItemRating& ir : train.ItemsOf(u)) {
+      user_items_.push_back(ir.item);
+    }
+    user_offsets_.push_back(user_items_.size());
+  }
+  item_offsets_.clear();
+  item_offsets_.reserve(static_cast<size_t>(train.num_items()) + 1);
+  item_offsets_.push_back(0);
+  item_users_.clear();
+  item_users_.reserve(nnz);
+  for (ItemId i = 0; i < train.num_items(); ++i) {
+    for (const UserRating& ur : train.UsersOf(i)) {
+      item_users_.push_back(ur.user);
+    }
+    item_offsets_.push_back(item_users_.size());
+  }
+}
+
+void RandomWalkRecommender::WalkInto(UserId u, std::span<double> out) const {
+  const size_t row_begin = user_offsets_[static_cast<size_t>(u)];
+  const size_t row_end = user_offsets_[static_cast<size_t>(u) + 1];
+  if (row_begin == row_end) return;
 
   static thread_local WalkScratch scratch;
-  scratch.mass.resize(static_cast<size_t>(train.num_users()));
+  scratch.mass.resize(user_offsets_.size() - 1);
   auto& coraters = scratch.coraters;
   coraters.clear();
 
   // Hop 1+2: mass over co-raters. Starting uniformly on the user's items,
   // an item forwards its mass equally to its raters. First touch of a
   // co-rater records it, so resetting costs O(touched) afterwards.
-  const double start = 1.0 / static_cast<double>(row.size());
-  for (const ItemRating& ir : row) {
-    const auto& audience = train.UsersOf(ir.item);
-    if (audience.empty()) continue;
-    const double share = start / static_cast<double>(audience.size());
-    for (const UserRating& ur : audience) {
-      if (ur.user == u) continue;
-      double& m = scratch.mass[static_cast<size_t>(ur.user)];
-      if (m == 0.0) coraters.emplace_back(ur.user, 0.0);
+  const double start = 1.0 / static_cast<double>(row_end - row_begin);
+  for (size_t e = row_begin; e < row_end; ++e) {
+    const size_t i = static_cast<size_t>(user_items_[e]);
+    const size_t aud_begin = item_offsets_[i];
+    const size_t aud_end = item_offsets_[i + 1];
+    if (aud_begin == aud_end) continue;
+    const double share = start / static_cast<double>(aud_end - aud_begin);
+    for (size_t a = aud_begin; a < aud_end; ++a) {
+      const UserId s = item_users_[a];
+      if (s == u) continue;
+      double& m = scratch.mass[static_cast<size_t>(s)];
+      if (m == 0.0) coraters.emplace_back(s, 0.0);
       m += share;
     }
   }
@@ -89,17 +118,33 @@ void RandomWalkRecommender::ScoreInto(UserId u, std::span<double> out) const {
 
   // Hop 3: co-raters distribute mass equally over their items.
   for (const auto& [s, mass] : coraters) {
-    const auto& srow = train.ItemsOf(s);
-    if (srow.empty()) continue;
-    const double share = mass / static_cast<double>(srow.size());
-    for (const ItemRating& ir : srow) {
-      out[static_cast<size_t>(ir.item)] += share;
+    const size_t srow_begin = user_offsets_[static_cast<size_t>(s)];
+    const size_t srow_end = user_offsets_[static_cast<size_t>(s) + 1];
+    if (srow_begin == srow_end) continue;
+    const double share =
+        mass / static_cast<double>(srow_end - srow_begin);
+    for (size_t e = srow_begin; e < srow_end; ++e) {
+      out[static_cast<size_t>(user_items_[e])] += share;
     }
   }
 
   // Popularity discount: divide the visiting probability by pop^beta.
   for (size_t i = 0; i < out.size(); ++i) {
     if (out[i] > 0.0) out[i] /= item_penalty_[i];
+  }
+}
+
+void RandomWalkRecommender::ScoreInto(UserId u, std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  WalkInto(u, out);
+}
+
+void RandomWalkRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                           std::span<double> out) const {
+  const size_t ni = item_penalty_.size();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (size_t b = 0; b < users.size(); ++b) {
+    WalkInto(users[b], out.subspan(b * ni, ni));
   }
 }
 
@@ -166,6 +211,7 @@ Status RandomWalkRecommender::Load(std::istream& is,
   config_ = cfg;
   train_ = train;
   item_penalty_ = std::move(penalty);
+  BuildWalkGraph(*train);
   return Status::OK();
 }
 

@@ -9,6 +9,11 @@
 //   beta = 0    plain P3 walk (popularity-driven, accurate)
 //   beta -> 1   strong long-tail promotion (the "challenging the long
 //               tail" regime).
+//
+// Fit flattens both directions of the bipartite graph into CSR arrays
+// (user -> items, item -> users, ids only), so the walk streams flat
+// index ranges instead of pointer-chasing the dataset's per-row
+// vectors; rating values play no role in the uniform walk.
 
 #ifndef GANC_RECOMMENDER_RANDOM_WALK_H_
 #define GANC_RECOMMENDER_RANDOM_WALK_H_
@@ -34,6 +39,8 @@ struct RandomWalkConfig {
 /// Three-step bipartite random walk with popularity discounting.
 class RandomWalkRecommender : public Recommender {
  public:
+  using Recommender::Fit;
+
   explicit RandomWalkRecommender(RandomWalkConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
@@ -41,16 +48,33 @@ class RandomWalkRecommender : public Recommender {
     return static_cast<int32_t>(item_penalty_.size());
   }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  /// Batched walk: one bulk zero-fill for the whole block, then the
+  /// per-user three-hop walk into each row (shared per-thread scratch).
+  /// Bit-identical to per-user ScoreInto.
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override { return "RP3b"; }
   /// Stores beta, the fan-out cap, and the popularity penalties; Load
-  /// rebinds the walk to `train` (required, dimensions must match).
+  /// rebinds the walk to `train` (required, dimensions must match) and
+  /// rebuilds the CSR walk graph from it.
   Status Save(std::ostream& os) const override;
   Status Load(std::istream& is, const RatingDataset* train) override;
 
  private:
+  /// Flattens `train`'s bipartite adjacency into the CSR walk graph.
+  void BuildWalkGraph(const RatingDataset& train);
+
+  /// The three-hop walk for one user into a zeroed score row.
+  void WalkInto(UserId u, std::span<double> out) const;
+
   RandomWalkConfig config_;
   const RatingDataset* train_ = nullptr;  // borrowed; must outlive scoring
   std::vector<double> item_penalty_;      // popularity^beta per item
+  // CSR walk graph: both directions of the bipartite adjacency.
+  std::vector<size_t> user_offsets_;  // |U| + 1
+  std::vector<ItemId> user_items_;
+  std::vector<size_t> item_offsets_;  // |I| + 1
+  std::vector<UserId> item_users_;
 };
 
 }  // namespace ganc

@@ -2,6 +2,10 @@
 
 namespace ganc {
 
+Status Recommender::Fit(const RatingDataset& train, ThreadPool* /*pool*/) {
+  return Fit(train);
+}
+
 void Recommender::ScoreBatchInto(std::span<const UserId> users,
                                  std::span<double> out) const {
   const size_t ni = static_cast<size_t>(num_items());

@@ -4,8 +4,9 @@
 // catalog for a user. The scoring primitives are ScoreInto (one user into
 // a caller-owned buffer) and ScoreBatchInto (a user batch into one
 // batch-major buffer); the latent-factor models override the batch path
-// with the cache-blocked FactorScoringEngine kernel, every other model
-// inherits the per-user loop. ScoreAll is the allocating convenience
+// with the cache-blocked FactorScoringEngine kernel, the sparse models
+// (ItemKNN, UserKNN, RP3b) with flat-CSR scatter loops, and the rest
+// inherit the per-user loop. ScoreAll is the allocating convenience
 // wrapper. Top-N generation always uses the shared SelectTopK kernels so
 // tie-breaking is deterministic across models and across the
 // sequential/parallel paths.
@@ -42,6 +43,18 @@ class Recommender {
   /// calls; the matrix-free models copy everything they need.
   virtual Status Fit(const RatingDataset& train) = 0;
 
+  /// Pool-aware training overload. Models with parallelizable fits
+  /// (ItemKNN and UserKNN shard their similarity sweeps over the pool's
+  /// workers with a deterministic merge) override this; everything else
+  /// inherits the default, which ignores the pool and runs the serial
+  /// fit.
+  ///
+  /// Contract: the fitted state — and therefore every score and every
+  /// saved artifact byte — is identical for any pool, including none
+  /// (pinned by the sparse parity suite). A null pool always means
+  /// serial.
+  virtual Status Fit(const RatingDataset& train, ThreadPool* pool);
+
   /// Catalog size the fitted model scores over (0 before Fit/Load).
   virtual int32_t num_items() const = 0;
 
@@ -71,7 +84,9 @@ class Recommender {
   /// ScoreInto, and the scores must be bit-identical to users.size()
   /// per-user ScoreInto calls (pinned by the scoring parity suite). The
   /// default loops over ScoreInto; the latent-factor models (PSVD, RSVD,
-  /// BPR, CofiR) override it with the blocked FactorScoringEngine kernel.
+  /// BPR, CofiR) override it with the blocked FactorScoringEngine kernel,
+  /// and the sparse models (ItemKNN, UserKNN, RP3b) with flat-CSR batch
+  /// scatter loops (one bulk zero-fill per block).
   virtual void ScoreBatchInto(std::span<const UserId> users,
                               std::span<double> out) const;
 

@@ -37,6 +37,7 @@ class RsvdRecommender : public Recommender {
  public:
   explicit RsvdRecommender(RsvdConfig config = {});
 
+  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;

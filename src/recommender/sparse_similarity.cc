@@ -1,0 +1,100 @@
+#include "recommender/sparse_similarity.h"
+
+#include "util/rng.h"
+
+namespace ganc {
+
+SparseMatrix SampleUserProfiles(const RatingDataset& train,
+                                int32_t max_profile, uint64_t seed) {
+  const int32_t num_users = train.num_users();
+  SparseMatrix m;
+  m.offsets.reserve(static_cast<size_t>(num_users) + 1);
+  m.offsets.push_back(0);
+  const size_t cap = std::min<size_t>(
+      static_cast<size_t>(train.num_ratings()),
+      static_cast<size_t>(num_users) *
+          static_cast<size_t>(std::max(max_profile, 0)));
+  m.ids.reserve(cap);
+  m.values.reserve(cap);
+  // One sequential Rng, draws consumed only for oversized rows in user
+  // order: the exact sequence the legacy in-loop sampling produced.
+  // Rows within the cap stream straight from the dataset (Shuffle
+  // mutates, so only oversized rows pay the copy).
+  Rng rng(seed);
+  std::vector<ItemRating> sampled;
+  for (UserId u = 0; u < num_users; ++u) {
+    const std::vector<ItemRating>* row = &train.ItemsOf(u);
+    if (static_cast<int32_t>(row->size()) > max_profile) {
+      sampled = *row;
+      rng.Shuffle(&sampled);
+      sampled.resize(static_cast<size_t>(max_profile));
+      row = &sampled;
+    }
+    for (const ItemRating& ir : *row) {
+      m.ids.push_back(ir.item);
+      m.values.push_back(static_cast<double>(ir.value));
+    }
+    m.offsets.push_back(m.ids.size());
+  }
+  return m;
+}
+
+SparseMatrix SampleItemAudiences(const RatingDataset& train,
+                                 int32_t max_audience, uint64_t seed,
+                                 std::span<const double> user_mean) {
+  const int32_t num_items = train.num_items();
+  SparseMatrix m;
+  m.offsets.reserve(static_cast<size_t>(num_items) + 1);
+  m.offsets.push_back(0);
+  const size_t cap = std::min<size_t>(
+      static_cast<size_t>(train.num_ratings()),
+      static_cast<size_t>(num_items) *
+          static_cast<size_t>(std::max(max_audience, 0)));
+  m.ids.reserve(cap);
+  m.values.reserve(cap);
+  Rng rng(seed);
+  std::vector<UserRating> sampled;
+  for (ItemId i = 0; i < num_items; ++i) {
+    const std::vector<UserRating>* col = &train.UsersOf(i);
+    if (static_cast<int32_t>(col->size()) > max_audience) {
+      sampled = *col;
+      rng.Shuffle(&sampled);
+      sampled.resize(static_cast<size_t>(max_audience));
+      col = &sampled;
+    }
+    for (const UserRating& ur : *col) {
+      m.ids.push_back(ur.user);
+      m.values.push_back(static_cast<double>(ur.value) -
+                         user_mean[static_cast<size_t>(ur.user)]);
+    }
+    m.offsets.push_back(m.ids.size());
+  }
+  return m;
+}
+
+SparseMatrix Transpose(const SparseMatrix& m, int32_t num_cols) {
+  SparseMatrix t;
+  t.offsets.assign(static_cast<size_t>(num_cols) + 1, 0);
+  for (const int32_t id : m.ids) {
+    ++t.offsets[static_cast<size_t>(id) + 1];
+  }
+  for (size_t c = 0; c < static_cast<size_t>(num_cols); ++c) {
+    t.offsets[c + 1] += t.offsets[c];
+  }
+  t.ids.resize(m.ids.size());
+  t.values.resize(m.values.size());
+  std::vector<size_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
+  // Rows visited in ascending order, so each transposed row collects its
+  // ids ascending — the sweep's per-pair accumulation-order contract.
+  const size_t rows = m.rows();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t e = m.offsets[r]; e < m.offsets[r + 1]; ++e) {
+      const size_t dst = cursor[static_cast<size_t>(m.ids[e])]++;
+      t.ids[dst] = static_cast<int32_t>(r);
+      t.values[dst] = m.values[e];
+    }
+  }
+  return t;
+}
+
+}  // namespace ganc

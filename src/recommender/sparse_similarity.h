@@ -1,0 +1,316 @@
+// Shared inverted-index training kernel for the sparse neighborhood
+// models (ItemKNN's item-item index and UserKNN's user-user lists).
+//
+// Both models reduce to the same computation: truncated cosine top-k
+// over the rows of a sparse entity x feature matrix (items x users for
+// ItemKNN, users x items for UserKNN). The legacy builders accumulated
+// co-rating dot products into one hash map per row — O(sum |row|^2)
+// node allocations and rehashes. This kernel sweeps the matrix in CSR
+// form with a dense per-row accumulator and a touched-list reset (the
+// same trick as RP3b's WalkScratch), so the hot loop is two array
+// indexations and one fused multiply-add, and resetting costs
+// O(touched) instead of O(entities).
+//
+// Bit-compatibility contract: for every entity pair the dot-product
+// contributions are added in ascending feature-id order — exactly the
+// order the legacy builders used (users 0..U-1 for ItemKNN, items
+// 0..I-1 for UserKNN) — and the final selection uses the shared
+// tie-aware top-k kernel (higher sim first, then lower id), whose total
+// order makes the result independent of accumulation-list order. The
+// produced neighbour lists are therefore bit-identical to the hash-map
+// builders', including the `max_profile` / `max_audience` RNG
+// subsampling, which is hoisted into a pre-sampled CSR view built with
+// the same seed and draw sequence (see SampleUserProfiles /
+// SampleItemAudiences). Rows are independent, so the sweep parallelizes
+// over a ThreadPool with a deterministic per-row merge: threaded and
+// serial fits produce identical artifacts.
+
+#ifndef GANC_RECOMMENDER_SPARSE_SIMILARITY_H_
+#define GANC_RECOMMENDER_SPARSE_SIMILARITY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/top_k.h"
+
+namespace ganc {
+
+/// Minimal CSR matrix: per-row (id, value) entry lists over a dense
+/// 0-based id universe. Values are double so accumulation matches the
+/// legacy builders' double arithmetic exactly.
+struct SparseMatrix {
+  std::vector<size_t> offsets;  ///< rows + 1 (offsets[0] == 0)
+  std::vector<int32_t> ids;     ///< column id per entry
+  std::vector<double> values;   ///< value per entry
+
+  size_t rows() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::span<const int32_t> IdsOf(size_t r) const {
+    return {ids.data() + offsets[r], offsets[r + 1] - offsets[r]};
+  }
+  std::span<const double> ValuesOf(size_t r) const {
+    return {values.data() + offsets[r], offsets[r + 1] - offsets[r]};
+  }
+};
+
+/// The pre-sampled user -> (item, value) view ItemKNN trains on:
+/// profiles longer than `max_profile` are Fisher-Yates subsampled with
+/// an Rng seeded `seed`, consuming draws in exactly the sequence the
+/// legacy in-loop sampling used (users ascending, draws only for
+/// oversized rows).
+SparseMatrix SampleUserProfiles(const RatingDataset& train,
+                                int32_t max_profile, uint64_t seed);
+
+/// The pre-sampled item -> (user, value - user_mean) view UserKNN
+/// trains on: audiences longer than `max_audience` are subsampled
+/// (items ascending, same draw sequence as the legacy builder), and
+/// values are mean-centered per user.
+SparseMatrix SampleItemAudiences(const RatingDataset& train,
+                                 int32_t max_audience, uint64_t seed,
+                                 std::span<const double> user_mean);
+
+/// CSR transpose over a `num_cols`-wide id universe. Because rows are
+/// visited in ascending order, every output row lists its ids in
+/// ascending order — the property the sweep's bit-compatibility
+/// contract relies on.
+SparseMatrix Transpose(const SparseMatrix& m, int32_t num_cols);
+
+/// Per-worker scratch of the similarity sweep: dense dot-product
+/// accumulator plus first-touch bookkeeping (reset in O(touched)) and
+/// reusable candidate/selection buffers for the top-k kernel.
+struct SparseSweepScratch {
+  std::vector<double> acc;
+  std::vector<uint8_t> seen;
+  std::vector<int32_t> touched;
+  std::vector<ScoredItem> cands;
+  std::vector<ScoredItem> selected;
+};
+
+/// Flat truncated neighbour lists: entries of row r live at
+/// [offsets[r], offsets[r+1]), best-first (higher sim, then lower id).
+template <typename NeighborT>
+struct NeighborLists {
+  std::vector<size_t> offsets;    ///< rows + 1
+  std::vector<NeighborT> entries;
+
+  size_t rows() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::span<const NeighborT> Row(size_t r) const {
+    return {entries.data() + offsets[r], offsets[r + 1] - offsets[r]};
+  }
+};
+
+/// The inverted-index sweep. `entity_features` holds each entity's
+/// feature list in ascending feature-id order (it is the transpose of
+/// the sampled view); `feature_entities` is the sampled view itself
+/// (arbitrary within-row order — per-pair accumulation order is fixed
+/// by the outer, ascending-feature loop). `norms[e]` is entity e's
+/// (full, unsampled) rating-vector norm. Keeps the `num_neighbors`
+/// best positive-cosine neighbours per row via the shared tie-aware
+/// top-k kernel. `pool` shards rows; output is identical with or
+/// without it.
+template <typename NeighborT>
+NeighborLists<NeighborT> SparseCosineTopK(const SparseMatrix& entity_features,
+                                          const SparseMatrix& feature_entities,
+                                          std::span<const double> norms,
+                                          int32_t num_neighbors,
+                                          ThreadPool* pool = nullptr) {
+  const size_t rows = entity_features.rows();
+  const size_t k = static_cast<size_t>(std::max(num_neighbors, 0));
+  // Two harvest regimes with identical output (an entity enters a row's
+  // candidate list iff its accumulated dot yields sim > 0, and an
+  // untouched accumulator is exactly 0):
+  //   dense: the inner loop is a bare gather-FMA-scatter and the harvest
+  //     scans/resets the whole accumulator — right when co-rating is
+  //     dense enough that most rows touch most entities.
+  //   touched-list: first-touch bookkeeping keeps the reset O(touched) —
+  //     right for huge, sparsely overlapping universes.
+  // The sweep does sum |features(e)|^2 accumulator updates in total
+  // (feature f fans out |entities(f)| contributions |entities(f)| times);
+  // dense harvesting adds rows^2 scan steps, so it wins when that is at
+  // most ~one extra step per update.
+  size_t sweep_work = 0;
+  for (size_t f = 0; f < feature_entities.rows(); ++f) {
+    const size_t n = feature_entities.offsets[f + 1] -
+                     feature_entities.offsets[f];
+    sweep_work += n * n;
+  }
+  const bool dense_harvest = rows * rows <= sweep_work;
+  // Per-row result slots: each row is written only by the shard that owns
+  // it, so the merge below is deterministic for any chunking.
+  std::vector<std::vector<NeighborT>> all(rows);
+  ParallelForChunks(pool, 0, rows, [&](size_t lo, size_t hi) {
+    static thread_local SparseSweepScratch scratch;
+    scratch.acc.resize(rows, 0.0);
+    if (!dense_harvest) scratch.seen.resize(rows, 0);
+    double* const acc = scratch.acc.data();
+    for (size_t r = lo; r < hi; ++r) {
+      // Sweep: every co-occurring entity accumulates its dot product
+      // with r, contributions arriving in ascending feature-id order.
+      // Self-pairs (e == r) accumulate too and are skipped at harvest —
+      // cheaper than a branch in the innermost loop.
+      const std::span<const int32_t> feats = entity_features.IdsOf(r);
+      const std::span<const double> fvals = entity_features.ValuesOf(r);
+      for (size_t a = 0; a < feats.size(); ++a) {
+        const double v_rf = fvals[a];
+        const size_t f = static_cast<size_t>(feats[a]);
+        const size_t begin = feature_entities.offsets[f];
+        const size_t end = feature_entities.offsets[f + 1];
+        const int32_t* const ents = feature_entities.ids.data();
+        const double* const evals = feature_entities.values.data();
+        if (dense_harvest) {
+          for (size_t b = begin; b < end; ++b) {
+            acc[static_cast<size_t>(ents[b])] += v_rf * evals[b];
+          }
+        } else {
+          for (size_t b = begin; b < end; ++b) {
+            const size_t e = static_cast<size_t>(ents[b]);
+            if (!scratch.seen[e]) {
+              scratch.seen[e] = 1;
+              scratch.touched.push_back(static_cast<int32_t>(e));
+            }
+            acc[e] += v_rf * evals[b];
+          }
+        }
+      }
+      // Harvest + reset: cosine from the full-vector norms, positive
+      // similarities only (the legacy builders' filter).
+      scratch.cands.clear();
+      const double norm_r = norms[r];
+      const auto harvest = [&](size_t e) {
+        const double dot = acc[e];
+        acc[e] = 0.0;
+        // Only dot > 0 can yield sim > 0 (denominators are positive), so
+        // everything else — including untouched zeros — skips the divide.
+        if (!(dot > 0.0) || e == r) return;
+        const double denom = norm_r * norms[e];
+        if (denom <= 0.0) return;
+        const float sim = static_cast<float>(dot / denom);
+        if (sim <= 0.0f) return;
+        scratch.cands.push_back(
+            {static_cast<int32_t>(e), static_cast<double>(sim)});
+      };
+      if (dense_harvest) {
+        for (size_t e = 0; e < rows; ++e) harvest(e);
+      } else {
+        for (const int32_t e : scratch.touched) {
+          scratch.seen[static_cast<size_t>(e)] = 0;
+          harvest(static_cast<size_t>(e));
+        }
+        scratch.touched.clear();
+      }
+      if (k == 0) continue;
+      // Shared tie-aware selection (top_k.h regimes) instead of a full
+      // sort: the order is total, so the kept set and its order are
+      // unique regardless of candidate enumeration order.
+      const std::vector<ScoredItem>* best;
+      if (UseScanSelect(k, scratch.cands.size())) {
+        scratch.selected.clear();
+        ScanSelectBestInto(
+            scratch.cands.size(), k,
+            [&](size_t i) { return scratch.cands[i]; }, &scratch.selected);
+        best = &scratch.selected;
+      } else {
+        PartialSelectBest(&scratch.cands, k);
+        best = &scratch.cands;
+      }
+      std::vector<NeighborT>& row = all[r];
+      row.reserve(best->size());
+      for (const ScoredItem& s : *best) {
+        row.push_back(NeighborT{s.item, static_cast<float>(s.score)});
+      }
+    }
+  });
+  // Deterministic merge: flatten in row order.
+  NeighborLists<NeighborT> lists;
+  lists.offsets.resize(rows + 1, 0);
+  size_t total = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    lists.offsets[r] = total;
+    total += all[r].size();
+  }
+  lists.offsets[rows] = total;
+  lists.entries.reserve(total);
+  for (size_t r = 0; r < rows; ++r) {
+    lists.entries.insert(lists.entries.end(), all[r].begin(), all[r].end());
+  }
+  return lists;
+}
+
+/// Writes flat neighbour lists as the lengths / ids / sims triple both
+/// KNN artifacts use (bulk-memcpy read path, exact capacity reserved up
+/// front). NeighborT is any {int32 id-like, float sim} aggregate.
+template <typename NeighborT>
+void WriteNeighborLists(PayloadWriter& w, std::span<const size_t> offsets,
+                        std::span<const NeighborT> entries) {
+  std::vector<uint64_t> lengths;
+  std::vector<int32_t> ids;
+  std::vector<float> sims;
+  if (!offsets.empty()) lengths.reserve(offsets.size() - 1);
+  ids.reserve(entries.size());
+  sims.reserve(entries.size());
+  for (size_t r = 0; r + 1 < offsets.size(); ++r) {
+    lengths.push_back(offsets[r + 1] - offsets[r]);
+  }
+  for (const NeighborT& nb : entries) {
+    const auto& [id, sim] = nb;
+    ids.push_back(id);
+    sims.push_back(sim);
+  }
+  w.WriteVecU64(lengths);
+  w.WriteVecI32(ids);
+  w.WriteVecF32(sims);
+}
+
+/// Reads lists written by WriteNeighborLists back into flat form,
+/// validating row count, id range [0, max_id), and exact length/entry
+/// consistency. `what` names the model in error messages ("ItemKNN").
+template <typename NeighborT>
+Status ReadNeighborLists(PayloadReader& r, int32_t num_rows, int32_t max_id,
+                         const std::string& what,
+                         std::vector<size_t>* offsets,
+                         std::vector<NeighborT>* entries) {
+  std::vector<uint64_t> lengths;
+  std::vector<int32_t> ids;
+  std::vector<float> sims;
+  GANC_RETURN_NOT_OK(r.ReadVecU64(&lengths));
+  GANC_RETURN_NOT_OK(r.ReadVecI32(&ids));
+  GANC_RETURN_NOT_OK(r.ReadVecF32(&sims));
+  if (static_cast<int32_t>(lengths.size()) != num_rows ||
+      ids.size() != sims.size()) {
+    return Status::InvalidArgument("inconsistent " + what +
+                                   " neighbour arrays");
+  }
+  offsets->assign(static_cast<size_t>(num_rows) + 1, 0);
+  size_t pos = 0;
+  for (int32_t row = 0; row < num_rows; ++row) {
+    const uint64_t len = lengths[static_cast<size_t>(row)];
+    if (len > ids.size() - pos) {
+      return Status::InvalidArgument("neighbour list overruns " + what +
+                                     " state");
+    }
+    pos += static_cast<size_t>(len);
+    (*offsets)[static_cast<size_t>(row) + 1] = pos;
+  }
+  if (pos != ids.size()) {
+    return Status::InvalidArgument("trailing neighbour entries in " + what);
+  }
+  entries->clear();
+  entries->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] < 0 || ids[i] >= max_id) {
+      return Status::InvalidArgument("neighbour id out of range in " + what);
+    }
+    entries->push_back(NeighborT{ids[i], sims[i]});
+  }
+  return Status::OK();
+}
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_SPARSE_SIMILARITY_H_

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <utility>
 
 #include "recommender/model_io.h"
-#include "util/rng.h"
+#include "recommender/sparse_similarity.h"
 #include "util/serialize.h"
 
 namespace ganc {
@@ -15,6 +14,10 @@ UserKnnRecommender::UserKnnRecommender(UserKnnConfig config)
     : config_(config) {}
 
 Status UserKnnRecommender::Fit(const RatingDataset& train) {
+  return Fit(train, nullptr);
+}
+
+Status UserKnnRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
   if (config_.num_neighbors <= 0) {
     return Status::InvalidArgument("num_neighbors must be positive");
   }
@@ -39,63 +42,64 @@ Status UserKnnRecommender::Fit(const RatingDataset& train) {
     norms[static_cast<size_t>(u)] = std::sqrt(norms[static_cast<size_t>(u)]);
   }
 
-  // Item-wise accumulation of centered co-ratings between user pairs.
-  Rng rng(config_.seed);
-  std::vector<std::unordered_map<UserId, double>> dots(
-      static_cast<size_t>(num_users));
-  for (ItemId i = 0; i < num_items_; ++i) {
-    std::vector<UserRating> col = train.UsersOf(i);
-    if (static_cast<int32_t>(col.size()) > config_.max_audience) {
-      rng.Shuffle(&col);
-      col.resize(static_cast<size_t>(config_.max_audience));
-    }
-    for (size_t a = 0; a < col.size(); ++a) {
-      const double ca =
-          col[a].value - user_mean_[static_cast<size_t>(col[a].user)];
-      for (size_t b = a + 1; b < col.size(); ++b) {
-        const double cb =
-            col[b].value - user_mean_[static_cast<size_t>(col[b].user)];
-        const UserId lo = std::min(col[a].user, col[b].user);
-        const UserId hi = std::max(col[a].user, col[b].user);
-        dots[static_cast<size_t>(lo)][hi] += ca * cb;
-      }
-    }
-  }
-
-  std::vector<std::vector<Neighbor>> all(static_cast<size_t>(num_users));
-  for (UserId lo = 0; lo < num_users; ++lo) {
-    for (const auto& [hi, dot] : dots[static_cast<size_t>(lo)]) {
-      const double denom =
-          norms[static_cast<size_t>(lo)] * norms[static_cast<size_t>(hi)];
-      if (denom <= 0.0) continue;
-      const float sim = static_cast<float>(dot / denom);
-      if (sim <= 0.0f) continue;  // keep positively correlated users only
-      all[static_cast<size_t>(lo)].push_back({hi, sim});
-      all[static_cast<size_t>(hi)].push_back({lo, sim});
-    }
-  }
-  neighbors_.assign(static_cast<size_t>(num_users), {});
-  const size_t k = static_cast<size_t>(config_.num_neighbors);
-  for (UserId u = 0; u < num_users; ++u) {
-    auto& cand = all[static_cast<size_t>(u)];
-    std::sort(cand.begin(), cand.end(),
-              [](const Neighbor& a, const Neighbor& b) {
-                if (a.sim != b.sim) return a.sim > b.sim;
-                return a.user < b.user;
-              });
-    if (cand.size() > k) cand.resize(k);
-    neighbors_[static_cast<size_t>(u)] = std::move(cand);
-  }
+  // Inverted-index sweep over the pre-sampled, pre-centered audiences:
+  // per user pair the centered co-ratings accumulate in ascending item
+  // order, exactly as the legacy item-outer hash-map builder did.
+  const SparseMatrix sampled = SampleItemAudiences(
+      train, config_.max_audience, config_.seed, user_mean_);
+  const SparseMatrix by_user = Transpose(sampled, num_users);
+  NeighborLists<Neighbor> lists = SparseCosineTopK<Neighbor>(
+      by_user, sampled, norms, config_.num_neighbors, pool);
+  neighbor_offsets_ = std::move(lists.offsets);
+  neighbors_ = std::move(lists.entries);
+  BuildScoringRows(train);
   return Status::OK();
+}
+
+void UserKnnRecommender::BuildScoringRows(const RatingDataset& train) {
+  const int32_t num_users = train.num_users();
+  row_offsets_.clear();
+  row_offsets_.reserve(static_cast<size_t>(num_users) + 1);
+  row_offsets_.push_back(0);
+  row_items_.clear();
+  row_centered_.clear();
+  row_items_.reserve(static_cast<size_t>(train.num_ratings()));
+  row_centered_.reserve(static_cast<size_t>(train.num_ratings()));
+  for (UserId u = 0; u < num_users; ++u) {
+    const double mean = user_mean_[static_cast<size_t>(u)];
+    for (const ItemRating& ir : train.ItemsOf(u)) {
+      row_items_.push_back(ir.item);
+      row_centered_.push_back(static_cast<double>(ir.value) - mean);
+    }
+    row_offsets_.push_back(row_items_.size());
+  }
 }
 
 void UserKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
   std::fill(out.begin(), out.end(), 0.0);
-  for (const Neighbor& nb : neighbors_[static_cast<size_t>(u)]) {
-    const double mean = user_mean_[static_cast<size_t>(nb.user)];
-    for (const ItemRating& ir : train_->ItemsOf(nb.user)) {
-      out[static_cast<size_t>(ir.item)] +=
-          static_cast<double>(nb.sim) * (static_cast<double>(ir.value) - mean);
+  for (const Neighbor& nb : NeighborsOf(u)) {
+    const double sim = static_cast<double>(nb.sim);
+    const size_t begin = row_offsets_[static_cast<size_t>(nb.user)];
+    const size_t end = row_offsets_[static_cast<size_t>(nb.user) + 1];
+    for (size_t e = begin; e < end; ++e) {
+      out[static_cast<size_t>(row_items_[e])] += sim * row_centered_[e];
+    }
+  }
+}
+
+void UserKnnRecommender::ScoreBatchInto(std::span<const UserId> users,
+                                        std::span<double> out) const {
+  const size_t ni = static_cast<size_t>(num_items_);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (size_t b = 0; b < users.size(); ++b) {
+    const std::span<double> row = out.subspan(b * ni, ni);
+    for (const Neighbor& nb : NeighborsOf(users[b])) {
+      const double sim = static_cast<double>(nb.sim);
+      const size_t begin = row_offsets_[static_cast<size_t>(nb.user)];
+      const size_t end = row_offsets_[static_cast<size_t>(nb.user) + 1];
+      for (size_t e = begin; e < end; ++e) {
+        row[static_cast<size_t>(row_items_[e])] += sim * row_centered_[e];
+      }
     }
   }
 }
@@ -116,21 +120,8 @@ Status UserKnnRecommender::Save(std::ostream& os) const {
   state.WriteI32(num_items_);
   state.WriteU64(train_->Fingerprint());
   state.WriteVecF64(user_mean_);
-  // Neighbour lists flattened into parallel vectors so the bulk
-  // memcpy read path applies (lengths, then all users, then all sims).
-  std::vector<uint64_t> lengths(neighbors_.size());
-  std::vector<int32_t> users;
-  std::vector<float> sims;
-  for (size_t u = 0; u < neighbors_.size(); ++u) {
-    lengths[u] = neighbors_[u].size();
-    for (const Neighbor& nb : neighbors_[u]) {
-      users.push_back(nb.user);
-      sims.push_back(nb.sim);
-    }
-  }
-  state.WriteVecU64(lengths);
-  state.WriteVecI32(users);
-  state.WriteVecF32(sims);
+  WriteNeighborLists(state, std::span<const size_t>(neighbor_offsets_),
+                     std::span<const Neighbor>(neighbors_));
   GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
   return w.Finish();
 }
@@ -158,16 +149,9 @@ Status UserKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
   std::vector<double> means;
-  std::vector<uint64_t> lengths;
-  std::vector<int32_t> users;
-  std::vector<float> sims;
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
   GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
   GANC_RETURN_NOT_OK(sr.ReadVecF64(&means));
-  GANC_RETURN_NOT_OK(sr.ReadVecU64(&lengths));
-  GANC_RETURN_NOT_OK(sr.ReadVecI32(&users));
-  GANC_RETURN_NOT_OK(sr.ReadVecF32(&sims));
-  GANC_RETURN_NOT_OK(sr.ExpectEnd());
   const int32_t num_users = static_cast<int32_t>(means.size());
   if (num_items != train->num_items() || num_users != train->num_users()) {
     return Status::InvalidArgument(
@@ -178,35 +162,19 @@ Status UserKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
         "UserKNN artifact was trained on different data than the bound "
         "train dataset (fingerprint mismatch)");
   }
-  if (static_cast<int32_t>(lengths.size()) != num_users ||
-      users.size() != sims.size()) {
-    return Status::InvalidArgument("inconsistent UserKNN neighbour arrays");
-  }
-  std::vector<std::vector<Neighbor>> lists(static_cast<size_t>(num_users));
-  size_t pos = 0;
-  for (int32_t u = 0; u < num_users; ++u) {
-    const uint64_t len = lengths[static_cast<size_t>(u)];
-    if (len > users.size() - pos) {
-      return Status::InvalidArgument("neighbour list overruns UserKNN state");
-    }
-    auto& list = lists[static_cast<size_t>(u)];
-    list.resize(len);
-    for (uint64_t k = 0; k < len; ++k, ++pos) {
-      list[k] = {users[pos], sims[pos]};
-      if (list[k].user < 0 || list[k].user >= num_users) {
-        return Status::InvalidArgument("neighbour id out of range in UserKNN");
-      }
-    }
-  }
-  if (pos != users.size()) {
-    return Status::InvalidArgument("trailing neighbour entries in UserKNN");
-  }
+  std::vector<size_t> offsets;
+  std::vector<Neighbor> entries;
+  GANC_RETURN_NOT_OK(ReadNeighborLists(sr, num_users, num_users, "UserKNN",
+                                       &offsets, &entries));
+  GANC_RETURN_NOT_OK(sr.ExpectEnd());
   GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
   config_ = cfg;
   num_items_ = num_items;
   train_ = train;
   user_mean_ = std::move(means);
-  neighbors_ = std::move(lists);
+  neighbor_offsets_ = std::move(offsets);
+  neighbors_ = std::move(entries);
+  BuildScoringRows(*train);
   return Status::OK();
 }
 

@@ -4,12 +4,17 @@
 // Cosine similarity over mean-centered user rating rows, truncated to
 // the k most similar users; score(u, i) = sum over u's neighbours s who
 // rated i of sim(u, s) * (r_si - mean_s), i.e. neighbour-weighted
-// deviation from each neighbour's mean.
+// deviation from each neighbour's mean. Similarities are built by the
+// shared inverted-index sweep (recommender/sparse_similarity.h); for
+// scoring, the train rows are pre-centered into flat CSR arrays at
+// Fit/Load time so the hot loop streams (item, deviation) pairs with no
+// per-neighbour pointer chasing or re-centering.
 
 #ifndef GANC_RECOMMENDER_USER_KNN_H_
 #define GANC_RECOMMENDER_USER_KNN_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,8 +37,17 @@ class UserKnnRecommender : public Recommender {
   explicit UserKnnRecommender(UserKnnConfig config = {});
 
   Status Fit(const RatingDataset& train) override;
+  /// Pool-aware fit: the similarity sweep shards users across `pool`
+  /// with a deterministic merge, so the fitted model (and its saved
+  /// artifact) is byte-identical to the serial fit.
+  Status Fit(const RatingDataset& train, ThreadPool* pool) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
+  /// Batched accumulation over the pre-centered CSR rows: one bulk
+  /// zero-fill for the whole block, then per-user neighbour scatter.
+  /// Bit-identical to per-user ScoreInto.
+  void ScoreBatchInto(std::span<const UserId> users,
+                      std::span<double> out) const override;
   std::string name() const override { return "UserKNN"; }
   /// Stores user means and truncated neighbour lists; Load rebinds
   /// scoring to `train` (required, dimensions must match).
@@ -42,15 +56,30 @@ class UserKnnRecommender : public Recommender {
 
  private:
   struct Neighbor {
-    UserId user;
-    float sim;
+    UserId user = 0;
+    float sim = 0.0f;
   };
+
+  /// Neighbours of user u (possibly empty), best-first.
+  std::span<const Neighbor> NeighborsOf(UserId u) const {
+    const size_t r = static_cast<size_t>(u);
+    return {neighbors_.data() + neighbor_offsets_[r],
+            neighbor_offsets_[r + 1] - neighbor_offsets_[r]};
+  }
+
+  /// Flattens the bound train set into pre-centered CSR scoring rows.
+  void BuildScoringRows(const RatingDataset& train);
 
   UserKnnConfig config_;
   int32_t num_items_ = 0;
   const RatingDataset* train_ = nullptr;  // borrowed; must outlive scoring
   std::vector<double> user_mean_;
-  std::vector<std::vector<Neighbor>> neighbors_;  // per user, by -sim
+  std::vector<size_t> neighbor_offsets_;  // |U| + 1
+  std::vector<Neighbor> neighbors_;       // flat, per user by -sim
+  // Pre-centered train rows (value - user_mean) for the scoring scatter.
+  std::vector<size_t> row_offsets_;  // |U| + 1
+  std::vector<ItemId> row_items_;
+  std::vector<double> row_centered_;
 };
 
 }  // namespace ganc

@@ -68,6 +68,27 @@ TEST(ItemSimilarityTest, DeterministicPerSeed) {
   }
 }
 
+TEST(ItemSimilarityTest, LookupFindsEveryStoredNeighborAndNoOthers) {
+  // The binary-search lookup must hit every (i, j) the best-first lists
+  // hold — including each row's first and last id-sorted entry — and
+  // return 0 for absent pairs.
+  auto ds = GenerateSynthetic(TinySpec());
+  ASSERT_TRUE(ds.ok());
+  ItemSimilarityIndex index(*ds, 5, 512, 1);
+  for (ItemId i = 0; i < ds->num_items(); ++i) {
+    std::vector<bool> present(static_cast<size_t>(ds->num_items()), false);
+    for (const auto& nb : index.NeighborsOf(i)) {
+      EXPECT_FLOAT_EQ(index.Similarity(i, nb.item), nb.sim);
+      present[static_cast<size_t>(nb.item)] = true;
+    }
+    for (ItemId j = 0; j < ds->num_items(); ++j) {
+      if (!present[static_cast<size_t>(j)]) {
+        EXPECT_FLOAT_EQ(index.Similarity(i, j), 0.0f) << i << "," << j;
+      }
+    }
+  }
+}
+
 TEST(ItemSimilarityTest, EmptyDatasetSafe) {
   RatingDatasetBuilder b(2, 3);
   auto ds = std::move(b).Build();

@@ -73,6 +73,8 @@ void Usage() {
       "                 psvd100|rsvd|bpr|cofi]\n"
       "                [--save-model=PATH] [--save-pipeline=PATH]\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
+      "                [--threads=1]   (parallel KNN similarity sweeps;\n"
+      "                 artifacts are byte-identical to --threads=1)\n"
       "\n"
       "recommend (default command):\n"
       "                [--arec=...] | [--load-model=PATH] |\n"
@@ -245,11 +247,16 @@ int CacheDataset(const Flags& flags) {
 
 int Train(const Flags& flags) {
   if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kInfo);
-  if (flags.Has("threads")) {
-    // Model fitting is serial; accepting the flag here would silently
-    // promise parallelism the command does not deliver.
-    std::fprintf(stderr, "train does not support --threads\n");
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok() || *threads < 0) {
+    std::fprintf(stderr, "bad --threads flag\n");
     return 1;
+  }
+  // Pool-aware fits merge deterministically, so the pool only changes
+  // wall time — the saved artifacts are byte-identical to --threads=1.
+  std::unique_ptr<ThreadPool> pool;
+  if (*threads != 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(*threads));
   }
   const std::string model_out = flags.GetString("save-model", "");
   const std::string pipeline_out = flags.GetString("save-pipeline", "");
@@ -272,7 +279,7 @@ int Train(const Flags& flags) {
     return 1;
   }
   WallTimer fit_timer;
-  if (Status s = (*base)->Fit(train); !s.ok()) {
+  if (Status s = (*base)->Fit(train, pool.get()); !s.ok()) {
     std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
     return 1;
   }
@@ -440,7 +447,7 @@ int Recommend(const Flags& flags) {
       return 1;
     }
     base = std::move(built).value();
-    if (Status s = base->Fit(train); !s.ok()) {
+    if (Status s = base->Fit(train, pool.get()); !s.ok()) {
       std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
       return 1;
     }
