@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <sstream>
@@ -32,6 +33,7 @@
 #include "recommender/recommender.h"
 #include "recommender/scoring_context.h"
 #include "recommender/user_knn.h"
+#include "serve/recommendation_service.h"
 #include "util/kde.h"
 #include "util/thread_pool.h"
 #include "util/stats.h"
@@ -526,6 +528,122 @@ void BM_SimilarityLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimilarityLookup)->Arg(50)->Arg(200);
+
+// --- Online serving layer (src/serve) ---------------------------------
+//
+// The throughput pair is the committed BENCH_serving.json story: the
+// same PSVD40 snapshot served through the request micro-batcher vs the
+// one-request-at-a-time baseline, hammered by 8 client threads. The
+// batched path amortizes the blocked 8-user kernel across concurrent
+// requests; the unbatched path scores each request alone. Caches are
+// off so every request pays live scoring.
+
+// Serving-shaped corpus: a catalog in the thousands (production
+// catalogs are 1e4..1e6 items), so a request's cost is dominated by the
+// full-catalog scoring pass the batcher amortizes — at toy catalog
+// sizes the fixed per-request cost (wakeups, cache key, selection)
+// drowns the kernel.
+const RatingDataset& ServeBenchTrain() {
+  static const RatingDataset* train = [] {
+    auto spec = TinySpec();
+    spec.num_users = 300;
+    spec.num_items = 6000;
+    spec.mean_activity = 40.0;
+    auto ds = GenerateSynthetic(spec);
+    return new RatingDataset(std::move(ds).value());
+  }();
+  return *train;
+}
+
+const PsvdRecommender& ServeModel() {
+  static const PsvdRecommender* model = [] {
+    auto* m = new PsvdRecommender(PsvdConfig{.num_factors = 40});
+    (void)m->Fit(ServeBenchTrain());
+    return m;
+  }();
+  return *model;
+}
+
+// Services are created once and leaked (their worker threads must not
+// outlive a destroyed condition variable at static-destruction time —
+// the SharedPool convention).
+RecommendationService* MakeServeService(bool micro_batching,
+                                        size_t cache_capacity) {
+  ServiceConfig config;
+  config.micro_batching = micro_batching;
+  config.cache_capacity = cache_capacity;
+  config.num_workers = 1;
+  config.default_n = 10;
+  auto service =
+      RecommendationService::Create(ServeModel(), ServeBenchTrain(), config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "serve bench: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  return service->release();
+}
+
+void ServeThroughputLoop(benchmark::State& state,
+                         RecommendationService* service) {
+  const int32_t num_users = service->num_users();
+  UserId u = static_cast<UserId>(
+      (state.thread_index() * 131) % num_users);
+  std::vector<ItemId> out;
+  for (auto _ : state) {
+    if (!service->TopNInto(u, 10, {}, &out).ok()) {
+      state.SkipWithError("TopN failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+    u = static_cast<UserId>((u + 1) % num_users);
+  }
+  state.SetItemsProcessed(state.iterations());
+  const ServeStats stats = service->stats();
+  state.counters["mean_batch_fill"] = benchmark::Counter(
+      stats.MeanBatchFill(), benchmark::Counter::kAvgThreads);
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  static RecommendationService* service = MakeServeService(
+      /*micro_batching=*/true, /*cache_capacity=*/0);
+  ServeThroughputLoop(state, service);
+}
+BENCHMARK(BM_ServeThroughput)->Threads(8)->UseRealTime();
+
+void BM_ServeThroughputUnbatched(benchmark::State& state) {
+  static RecommendationService* service = MakeServeService(
+      /*micro_batching=*/false, /*cache_capacity=*/0);
+  ServeThroughputLoop(state, service);
+}
+BENCHMARK(BM_ServeThroughputUnbatched)->Threads(8)->UseRealTime();
+
+// Lone-request latency through the scheduler: no concurrent traffic, so
+// the bounded-wait flush must dispatch immediately (this bench is the
+// regression guard for that policy — a timer stall would show up as
+// ~max_batch_wait per request).
+void BM_ServeLatency(benchmark::State& state) {
+  static RecommendationService* service = MakeServeService(
+      /*micro_batching=*/true, /*cache_capacity=*/0);
+  ServeThroughputLoop(state, service);
+}
+BENCHMARK(BM_ServeLatency);
+
+// Repeated identical request: the sharded LRU hit path.
+void BM_ServeCacheHit(benchmark::State& state) {
+  static RecommendationService* service = MakeServeService(
+      /*micro_batching=*/true, /*cache_capacity=*/4096);
+  std::vector<ItemId> out;
+  for (auto _ : state) {
+    if (!service->TopNInto(7, 10, {}, &out).ok()) {
+      state.SkipWithError("TopN failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCacheHit);
 
 void BM_OslgEndToEnd(benchmark::State& state) {
   const RatingDataset& train = BenchTrain();

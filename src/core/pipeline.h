@@ -111,6 +111,17 @@ class GancPipeline {
   /// The owned base recommender.
   const Recommender& base() const { return *base_; }
 
+  /// The assembled accuracy scorer (the base model behind the configured
+  /// normalization adapter). The serving layer batches request scoring
+  /// through this instead of re-deriving the adapter choice.
+  const AccuracyScorer& scorer() const { return *scorer_; }
+
+  /// The configured coverage recommender kind and the seed it is built
+  /// with (RecommendationService rebuilds the per-request coverage model
+  /// from these, matching RecommendForUser exactly).
+  CoverageKind coverage_kind() const { return config_.coverage; }
+  uint64_t seed() const { return config_.seed; }
+
   /// "GANC(<base>, <theta>, <coverage>)".
   std::string name() const;
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "data/synthetic.h"
 #include "util/csv.h"
 
 namespace ganc {
@@ -88,6 +89,46 @@ Status SaveRatingsFile(const RatingDataset& dataset, const std::string& path,
                     FormatDouble(r.value, 2)});
   }
   return WriteDelimited(path, delimiter, rows);
+}
+
+Result<RatingDataset> LoadDatasetFromFlags(const Flags& flags) {
+  const std::string cache = flags.GetString("dataset-cache", "");
+  if (!cache.empty()) {
+    if (flags.Has("ratings-file") || flags.Has("dataset")) {
+      return Status::InvalidArgument(
+          "--dataset-cache conflicts with --ratings-file/--dataset (pick one "
+          "data source)");
+    }
+    return RatingDataset::LoadBinaryFile(cache);
+  }
+  const std::string file = flags.GetString("ratings-file", "");
+  if (!file.empty()) {
+    LoaderOptions opts;
+    const std::string delim = flags.GetString("delimiter", ",");
+    opts.delimiter = delim.empty() ? ',' : delim[0];
+    opts.skip_header = flags.GetBool("skip-header", false);
+    Result<LoadedDataset> loaded = LoadRatingsFile(file, opts);
+    if (!loaded.ok()) return loaded.status();
+    return std::move(loaded).value().dataset;
+  }
+  const std::string name = flags.GetString("dataset", "ml100k");
+  SyntheticSpec spec;
+  if (name == "ml100k") {
+    spec = MovieLens100KSpec();
+  } else if (name == "ml1m") {
+    spec = MovieLens1MSpec();
+  } else if (name == "ml10m") {
+    spec = MovieLens10MScaledSpec();
+  } else if (name == "mt200k") {
+    spec = MovieTweetings200KSpec();
+  } else if (name == "netflix") {
+    spec = NetflixScaledSpec();
+  } else if (name == "tiny") {
+    spec = TinySpec();
+  } else {
+    return Status::InvalidArgument("unknown dataset preset '" + name + "'");
+  }
+  return GenerateSynthetic(spec);
 }
 
 }  // namespace ganc

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/flags.h"
 #include "util/status.h"
 
 namespace ganc {
@@ -50,6 +51,16 @@ Result<LoadedDataset> LoadRatingsFile(const std::string& path,
 /// interchange/export helper for the examples).
 Status SaveRatingsFile(const RatingDataset& dataset, const std::string& path,
                        char delimiter = ',');
+
+/// The shared data-source resolution of the command-line tools
+/// (`ganc_cli`, `ganc_serve`): exactly one of
+///   --dataset-cache=PATH   binary CSR cache (conflicts with the others)
+///   --ratings-file=PATH    delimited text (--delimiter, --skip-header)
+///   --dataset=NAME         synthetic preset (ml100k ml1m ml10m mt200k
+///                          netflix tiny); the default, NAME ml100k
+/// One implementation so a serving process can never resolve the same
+/// flags to different data than the training run did.
+Result<RatingDataset> LoadDatasetFromFlags(const Flags& flags);
 
 }  // namespace ganc
 

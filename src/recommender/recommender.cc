@@ -56,25 +56,29 @@ void Recommender::RecommendTopNInto(UserId u,
 std::vector<ScoredItem>& SelectTopKUnrated(std::span<const double> scores,
                                            const RatingDataset& train,
                                            UserId u, size_t k,
-                                           ScoringContext& ctx) {
+                                           ScoringContext& ctx,
+                                           std::span<const ItemId> exclusions) {
   // "All unrated items" candidate generation is the whole catalog minus
-  // the user's short history, so instead of materializing a candidate
-  // list the dense top-k kernel scans the score row and skips rated
-  // items through a flag mask, marked and unmarked around the call so
-  // the mask stays zeroed between users.
-  std::vector<uint8_t>& rated = ctx.Flags();
-  if (rated.size() != scores.size()) rated.assign(scores.size(), 0);
+  // the user's short history (and any request-time exclusions), so
+  // instead of materializing a candidate list the dense top-k kernel
+  // scans the score row and skips masked items through a flag mask,
+  // marked and unmarked around the call so the mask stays zeroed
+  // between users.
+  std::vector<uint8_t>& masked = ctx.Flags();
+  if (masked.size() != scores.size()) masked.assign(scores.size(), 0);
   for (const ItemRating& ir : train.ItemsOf(u)) {
-    rated[static_cast<size_t>(ir.item)] = 1;
+    masked[static_cast<size_t>(ir.item)] = 1;
   }
+  for (const ItemId i : exclusions) masked[static_cast<size_t>(i)] = 1;
   std::vector<ScoredItem>& top = ctx.TopK();
   SelectTopKDenseInto(
       scores, k,
-      [&](int32_t item) { return rated[static_cast<size_t>(item)] != 0; },
+      [&](int32_t item) { return masked[static_cast<size_t>(item)] != 0; },
       &top);
   for (const ItemRating& ir : train.ItemsOf(u)) {
-    rated[static_cast<size_t>(ir.item)] = 0;
+    masked[static_cast<size_t>(ir.item)] = 0;
   }
+  for (const ItemId i : exclusions) masked[static_cast<size_t>(i)] = 0;
   return top;
 }
 

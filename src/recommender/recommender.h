@@ -68,7 +68,12 @@ class Recommender {
   ///    calls without per-user allocation).
   ///  - Thread-safe on a fitted (or loaded) model: concurrent ScoreInto /
   ///    ScoreBatchInto calls on distinct output buffers are safe. Fit and
-  ///    Load are NOT thread-safe against concurrent scoring.
+  ///    Load are NOT thread-safe against concurrent scoring. The scratch
+  ///    behind the buffers is a different matter: a ScoringContext is
+  ///    owned by exactly one thread for its whole life (create one per
+  ///    worker — never hand a context between threads, even with
+  ///    external synchronization; debug builds abort on violation, see
+  ///    scoring_context.h).
   ///  - Deterministic: the same fitted state yields bit-identical scores
   ///    on every call (Rand derives scores from (seed, u, item), not from
   ///    mutable generator state).
@@ -192,15 +197,17 @@ void ForEachScoredUser(const Scorer& scorer, size_t lo, size_t hi,
 
 /// Top-k over a dense score row restricted to the items `u` has NOT
 /// rated in `train` — the "all unrated items" candidate protocol without
-/// materializing a candidate list. Marks the user's rated items in
-/// ctx.Flags() (kept zeroed between calls), selects through the dense
-/// scan kernel into ctx.TopK(), unmarks, and returns ctx.TopK().
-/// Output is identical to SelectTopKFromScoresInto over the ascending
-/// unrated item ids.
+/// materializing a candidate list. Marks the user's rated items (plus
+/// any `exclusions`, the serving layer's session deltas — ids must be
+/// in range) in ctx.Flags() (kept zeroed between calls), selects through
+/// the dense scan kernel into ctx.TopK(), unmarks, and returns
+/// ctx.TopK(). Output is identical to SelectTopKFromScoresInto over the
+/// ascending unrated, non-excluded item ids.
 std::vector<ScoredItem>& SelectTopKUnrated(std::span<const double> scores,
                                            const RatingDataset& train,
                                            UserId u, size_t k,
-                                           ScoringContext& ctx);
+                                           ScoringContext& ctx,
+                                           std::span<const ItemId> exclusions = {});
 
 /// Builds per-user top-N sets for all users over their unrated train items
 /// ("all unrated items" candidate generation). Returns one vector of item

@@ -3,6 +3,7 @@
 namespace ganc {
 
 std::span<double> ScoringContext::Buffer(size_t slot, size_t n) {
+  CheckOwner();
   if (buffers_.size() <= slot) buffers_.resize(slot + 1);
   std::vector<double>& buf = buffers_[slot];
   buf.resize(n);  // shrinking keeps capacity: no reallocation churn
@@ -10,11 +11,13 @@ std::span<double> ScoringContext::Buffer(size_t slot, size_t n) {
 }
 
 std::span<double> ScoringContext::BatchScores(size_t n) {
+  CheckOwner();
   batch_scores_.resize(n);  // shrinking keeps capacity
   return {batch_scores_.data(), n};
 }
 
 std::vector<ItemId>& ScoringContext::Items(size_t slot) {
+  CheckOwner();
   if (items_.size() <= slot) items_.resize(slot + 1);
   return items_[slot];
 }

@@ -6,9 +6,14 @@
 // users the worker processes.
 //
 // A ScoringContext is NOT thread-safe; create one per thread (the chunked
-// parallel loops in recommender.cc / ganc.cc do exactly that). Buffer
-// contents are undefined between calls — every consumer must fully
-// overwrite what it reads.
+// parallel loops in recommender.cc / ganc.cc and the serving scheduler's
+// workers do exactly that). Ownership is one-thread-for-life: the context
+// binds to the first thread that borrows a buffer, and debug builds abort
+// when any other thread touches it afterwards — handing a context between
+// threads, even with external synchronization, is a contract violation
+// (see Recommender scoring contract in recommender.h). Buffer contents
+// are undefined between calls — every consumer must fully overwrite what
+// it reads.
 //
 // Slot conventions used by the framework (callers layering their own use
 // on top must avoid these while a framework call is in flight):
@@ -19,9 +24,12 @@
 #ifndef GANC_RECOMMENDER_SCORING_CONTEXT_H_
 #define GANC_RECOMMENDER_SCORING_CONTEXT_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "data/dataset.h"
@@ -58,18 +66,51 @@ class ScoringContext {
 
   /// The user-id list the contiguous ForEachScoredUser variant scores
   /// through (capacity reused across blocks).
-  std::vector<UserId>& BatchUsers() { return batch_users_; }
+  std::vector<UserId>& BatchUsers() {
+    CheckOwner();
+    return batch_users_;
+  }
 
   /// Working scratch / output of the top-k selection kernels.
-  std::vector<ScoredItem>& TopK() { return top_k_; }
+  std::vector<ScoredItem>& TopK() {
+    CheckOwner();
+    return top_k_;
+  }
 
   /// Reusable byte flags (e.g. "already taken" marks in MMR).
-  std::vector<uint8_t>& Flags() { return flags_; }
+  std::vector<uint8_t>& Flags() {
+    CheckOwner();
+    return flags_;
+  }
 
   /// Reusable index scratch (argsort orders, rank permutations).
-  std::vector<size_t>& Indices() { return indices_; }
+  std::vector<size_t>& Indices() {
+    CheckOwner();
+    return indices_;
+  }
 
  private:
+  /// Debug-only enforcement of the one-thread-for-life ownership rule:
+  /// the first accessor call binds the context to the calling thread and
+  /// any later access from a different thread aborts. Compiled out in
+  /// release builds (zero cost on the hot path).
+  void CheckOwner() {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id unowned{};
+    if (!owner_.compare_exchange_strong(unowned, self,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      assert(unowned == self &&
+             "ScoringContext borrowed from a second thread: contexts are "
+             "one-per-worker, create a new one instead of sharing");
+      (void)self;
+    }
+#endif
+  }
+
+  friend class ScoringContextOwnershipTestPeer;
+
   std::vector<std::vector<double>> buffers_;
   std::vector<double> batch_scores_;
   std::vector<UserId> batch_users_;
@@ -77,6 +118,9 @@ class ScoringContext {
   std::vector<ScoredItem> top_k_;
   std::vector<uint8_t> flags_;
   std::vector<size_t> indices_;
+  // Present in every build so the class layout does not depend on
+  // NDEBUG (mixed-mode linking stays safe); only read in debug.
+  std::atomic<std::thread::id> owner_{};
 };
 
 }  // namespace ganc

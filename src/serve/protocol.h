@@ -1,0 +1,67 @@
+// Newline-delimited request protocol spoken by `ganc_serve` over
+// stdin/stdout and TCP. One request per line, one response line per
+// request; the normative grammar lives in docs/SERVING.md:
+//
+//   TOPN user=<id> [n=<len>] [session=<token>] [exclude=<id>,<id>,...]
+//   CONSUME session=<token> user=<id> items=<id>,<id>,...
+//   STATS
+//   PING
+//   QUIT
+//
+// Responses are "OK ..." or "ERR <message>". A served list is
+//
+//   OK user=<id> n=<len> items=<id>,<id>,...
+//
+// which is also exactly what `ganc_cli topn` emits offline, so a serve
+// transcript can be diffed against offline top-N with no parsing (CI
+// does).
+//
+// This module is pure string <-> struct translation — no sockets, no
+// service calls — so the frontend and the protocol tests share one
+// implementation.
+
+#ifndef GANC_SERVE_PROTOCOL_H_
+#define GANC_SERVE_PROTOCOL_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace ganc {
+
+/// Request verbs.
+enum class ServeCommand { kTopN, kConsume, kStats, kPing, kQuit };
+
+/// One parsed request line.
+struct ServeRequest {
+  ServeCommand command = ServeCommand::kPing;
+  UserId user = -1;            ///< TOPN / CONSUME
+  int n = 0;                   ///< TOPN; 0 = server default
+  std::string session;         ///< optional TOPN session / CONSUME target
+  std::vector<ItemId> items;   ///< TOPN exclude= / CONSUME items=
+};
+
+/// Parses one request line (without the trailing newline). Unknown
+/// verbs, unknown keys, malformed numbers, and missing required keys are
+/// InvalidArgument errors.
+Result<ServeRequest> ParseServeRequest(std::string_view line);
+
+/// "OK user=<u> n=<n> items=<comma list>" (items= present even when
+/// empty).
+std::string FormatTopNResponse(UserId user, int n,
+                               std::span<const ItemId> items);
+
+/// "OK <body>".
+std::string FormatOk(std::string_view body);
+
+/// "ERR <message>" (newlines in the message are replaced so the
+/// response stays one line).
+std::string FormatError(std::string_view message);
+
+}  // namespace ganc
+
+#endif  // GANC_SERVE_PROTOCOL_H_

@@ -1,0 +1,50 @@
+#include "serve/session_overlay.h"
+
+#include <algorithm>
+
+namespace ganc {
+
+void SessionOverlay::MarkConsumed(UserId u, std::span<const ItemId> items) {
+  if (items.empty()) return;
+  std::vector<ItemId>& set = consumed_[u];
+  const size_t before = set.size();
+  set.insert(set.end(), items.begin(), items.end());
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  total_ += set.size() - before;
+}
+
+std::span<const ItemId> SessionOverlay::ConsumedOf(UserId u) const {
+  const auto it = consumed_.find(u);
+  if (it == consumed_.end()) return {};
+  return it->second;
+}
+
+void SessionRegistry::MarkConsumed(const std::string& session, UserId u,
+                                   std::span<const ItemId> items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_[session].MarkConsumed(u, items);
+}
+
+void SessionRegistry::CollectExclusions(const std::string& session, UserId u,
+                                        std::span<const ItemId> extra,
+                                        std::vector<ItemId>* out) const {
+  out->assign(extra.begin(), extra.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(session);
+    if (it != sessions_.end()) {
+      const std::span<const ItemId> consumed = it->second.ConsumedOf(u);
+      out->insert(out->end(), consumed.begin(), consumed.end());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+size_t SessionRegistry::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace ganc

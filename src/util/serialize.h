@@ -50,6 +50,7 @@ enum class ArtifactKind : uint32_t {
   kModel = 1,         ///< one fitted Recommender (tag = ModelType)
   kDatasetCache = 2,  ///< a RatingDataset in CSR layout (tag = 0)
   kPipeline = 3,      ///< GancPipeline offline state (tag = 0)
+  kTopNStore = 4,     ///< precomputed serving top-N lists (tag = 0)
 };
 
 /// Section id 0 terminates the section list.

@@ -1,0 +1,305 @@
+// Serve protocol: parse/format unit coverage, plus an end-to-end round
+// trip through a real `ganc_serve` subprocess — stdin/stdout and TCP —
+// against an artifact trained by `ganc_cli` in this test. The binaries'
+// paths arrive via compile definitions (see CMakeLists.txt); when tools
+// are not built the subprocess tests skip themselves.
+
+#include "serve/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(ServeProtocolTest, ParsesTopN) {
+  Result<ServeRequest> r =
+      ParseServeRequest("TOPN user=3 n=10 session=abc exclude=1,2,9");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->command, ServeCommand::kTopN);
+  EXPECT_EQ(r->user, 3);
+  EXPECT_EQ(r->n, 10);
+  EXPECT_EQ(r->session, "abc");
+  EXPECT_EQ(r->items, (std::vector<ItemId>{1, 2, 9}));
+}
+
+TEST(ServeProtocolTest, TopNDefaultsAreOptional) {
+  Result<ServeRequest> r = ParseServeRequest("TOPN user=7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->user, 7);
+  EXPECT_EQ(r->n, 0);
+  EXPECT_TRUE(r->session.empty());
+  EXPECT_TRUE(r->items.empty());
+}
+
+TEST(ServeProtocolTest, ParsesConsumeStatsPingQuit) {
+  Result<ServeRequest> c =
+      ParseServeRequest("CONSUME session=s user=1 items=4,5");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->command, ServeCommand::kConsume);
+  EXPECT_EQ(c->items, (std::vector<ItemId>{4, 5}));
+  EXPECT_EQ(ParseServeRequest("STATS")->command, ServeCommand::kStats);
+  EXPECT_EQ(ParseServeRequest("PING")->command, ServeCommand::kPing);
+  EXPECT_EQ(ParseServeRequest("QUIT")->command, ServeCommand::kQuit);
+}
+
+TEST(ServeProtocolTest, ToleratesExtraWhitespaceAndCarriageReturn) {
+  Result<ServeRequest> r = ParseServeRequest("  TOPN   user=2\tn=3\r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->user, 2);
+  EXPECT_EQ(r->n, 3);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseServeRequest("").ok());
+  EXPECT_FALSE(ParseServeRequest("NOPE user=1").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN").ok());             // missing user
+  EXPECT_FALSE(ParseServeRequest("TOPN user=x").ok());      // bad number
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 bogus").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 k=5").ok());  // unknown key
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 items=2").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 exclude=1,,2").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 exclude=").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 exclude=1,2,").ok());
+  EXPECT_FALSE(ParseServeRequest("CONSUME session=s user=1 items=").ok());
+  EXPECT_FALSE(ParseServeRequest("CONSUME user=1 items=2").ok());
+  EXPECT_FALSE(ParseServeRequest("CONSUME session=s user=1").ok());
+  EXPECT_FALSE(ParseServeRequest("CONSUME session=s user=1 exclude=2").ok());
+  EXPECT_FALSE(ParseServeRequest("PING now").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 session=").ok());
+}
+
+TEST(ServeProtocolTest, RejectsIntegersThatOverflow32Bits) {
+  // 2^32 + 3 must not silently wrap onto user 3.
+  EXPECT_FALSE(ParseServeRequest("TOPN user=4294967299").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 n=4294967296").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 exclude=9999999999999").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=99999999999999999999").ok());
+  Result<ServeRequest> edge =
+      ParseServeRequest("TOPN user=2147483647 n=2147483647");
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge->user, 2147483647);
+}
+
+TEST(ServeProtocolTest, FormatsResponses) {
+  const std::vector<ItemId> items = {5, 1, 9};
+  EXPECT_EQ(FormatTopNResponse(3, 5, items), "OK user=3 n=5 items=5,1,9");
+  EXPECT_EQ(FormatTopNResponse(0, 2, {}), "OK user=0 n=2 items=");
+  EXPECT_EQ(FormatOk("pong"), "OK pong");
+  EXPECT_EQ(FormatOk(""), "OK");
+  EXPECT_EQ(FormatError("bad\nthing"), "ERR bad thing");
+}
+
+#if defined(GANC_SERVE_BINARY) && defined(GANC_CLI_BINARY)
+
+// Runs `argv` to completion, inheriting the parent's environment;
+// returns the exit code.
+int RunToCompletion(const std::vector<std::string>& argv) {
+  std::vector<char*> args;
+  for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+  args.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(args[0], args.data());
+    _exit(127);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// A ganc_serve child wired to the test through stdin/stdout pipes.
+class ServeProcess {
+ public:
+  explicit ServeProcess(const std::vector<std::string>& extra_flags) {
+    int to_child[2], from_child[2];
+    EXPECT_EQ(pipe(to_child), 0);
+    EXPECT_EQ(pipe(from_child), 0);
+    pid_ = fork();
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<std::string> argv = {GANC_SERVE_BINARY};
+      argv.insert(argv.end(), extra_flags.begin(), extra_flags.end());
+      std::vector<char*> args;
+      for (const std::string& a : argv) {
+        args.push_back(const_cast<char*>(a.c_str()));
+      }
+      args.push_back(nullptr);
+      execv(args[0], args.data());
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    in_ = fdopen(from_child[0], "r");
+    out_fd_ = to_child[1];
+  }
+
+  ~ServeProcess() {
+    if (out_fd_ >= 0) close(out_fd_);
+    if (in_ != nullptr) fclose(in_);
+    if (pid_ > 0) waitpid(pid_, nullptr, 0);
+  }
+
+  void Send(const std::string& line) {
+    const std::string with_newline = line + "\n";
+    ASSERT_EQ(write(out_fd_, with_newline.data(), with_newline.size()),
+              static_cast<ssize_t>(with_newline.size()));
+  }
+
+  std::string ReadLine() {
+    char* line = nullptr;
+    size_t cap = 0;
+    const ssize_t len = getline(&line, &cap, in_);
+    std::string out;
+    if (len > 0) {
+      out.assign(line, static_cast<size_t>(len));
+      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+      }
+    }
+    free(line);
+    return out;
+  }
+
+  /// Closes stdin (EOF -> clean shutdown) and reaps the child.
+  int CloseAndWait() {
+    close(out_fd_);
+    out_fd_ = -1;
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  FILE* in_ = nullptr;
+  int out_fd_ = -1;
+};
+
+// Trains a tiny artifact once for all subprocess tests.
+class GancServeSubprocessTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(testing::TempDir() + "/ganc_serve_test");
+    (void)RunToCompletion({"/bin/mkdir", "-p", *dir_});
+    cache_ = new std::string(*dir_ + "/tiny.gdc");
+    model_ = new std::string(*dir_ + "/psvd10.gam");
+    ASSERT_EQ(RunToCompletion({GANC_CLI_BINARY, "cache-dataset",
+                               "--dataset=tiny", "--out=" + *cache_}),
+              0);
+    ASSERT_EQ(RunToCompletion({GANC_CLI_BINARY, "train",
+                               "--dataset-cache=" + *cache_, "--arec=psvd10",
+                               "--seed=7", "--save-model=" + *model_}),
+              0);
+  }
+
+  static std::vector<std::string> ServeFlags() {
+    return {"--dataset-cache=" + *cache_, "--seed=7", "--model=" + *model_,
+            "--default-n=5"};
+  }
+
+  static std::string* dir_;
+  static std::string* cache_;
+  static std::string* model_;
+};
+
+std::string* GancServeSubprocessTest::dir_ = nullptr;
+std::string* GancServeSubprocessTest::cache_ = nullptr;
+std::string* GancServeSubprocessTest::model_ = nullptr;
+
+TEST_F(GancServeSubprocessTest, StdinRoundTripAndSessionFlow) {
+  ServeProcess serve(ServeFlags());
+  serve.Send("PING");
+  EXPECT_EQ(serve.ReadLine(), "OK pong");
+  serve.Send("TOPN user=3 n=5");
+  const std::string base = serve.ReadLine();
+  ASSERT_EQ(base.rfind("OK user=3 n=5 items=", 0), 0u) << base;
+  // Extract the first two served items and consume them in a session.
+  const std::string csv = base.substr(std::strlen("OK user=3 n=5 items="));
+  const size_t c1 = csv.find(',');
+  const size_t c2 = csv.find(',', c1 + 1);
+  ASSERT_NE(c2, std::string::npos);
+  const std::string first_two = csv.substr(0, c2);
+  serve.Send("CONSUME session=s1 user=3 items=" + first_two);
+  EXPECT_EQ(serve.ReadLine(), "OK consumed=2");
+  serve.Send("TOPN user=3 n=5 session=s1");
+  const std::string masked = serve.ReadLine();
+  ASSERT_EQ(masked.rfind("OK user=3 n=5 items=", 0), 0u);
+  // The consumed items must be gone and the explicit-exclude request
+  // must serve the identical list.
+  EXPECT_EQ(masked.find(first_two), std::string::npos);
+  serve.Send("TOPN user=3 n=5 exclude=" + first_two);
+  EXPECT_EQ(serve.ReadLine(), masked);
+  // Determinism across repeats (second answer comes from the cache).
+  serve.Send("TOPN user=3 n=5");
+  EXPECT_EQ(serve.ReadLine(), base);
+  serve.Send("NOT-A-COMMAND");
+  EXPECT_EQ(serve.ReadLine().rfind("ERR ", 0), 0u);
+  serve.Send("QUIT");
+  EXPECT_EQ(serve.ReadLine(), "OK bye");
+  EXPECT_EQ(serve.CloseAndWait(), 0);
+}
+
+TEST_F(GancServeSubprocessTest, TcpRoundTripOnEphemeralPort) {
+  std::vector<std::string> flags = ServeFlags();
+  flags.push_back("--port=0");
+  ServeProcess serve(flags);
+  const std::string listening = serve.ReadLine();
+  ASSERT_EQ(listening.rfind("LISTENING port=", 0), 0u) << listening;
+  const int port = std::stoi(listening.substr(std::strlen("LISTENING port=")));
+  ASSERT_GT(port, 0);
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "TOPN user=1 n=5\nPING\n";
+  ASSERT_EQ(write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  FILE* stream = fdopen(fd, "r");
+  ASSERT_NE(stream, nullptr);
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len = getline(&line, &cap, stream);
+  ASSERT_GT(len, 0);
+  std::string topn(line, static_cast<size_t>(len));
+  EXPECT_EQ(topn.rfind("OK user=1 n=5 items=", 0), 0u) << topn;
+  len = getline(&line, &cap, stream);
+  ASSERT_GT(len, 0);
+  EXPECT_EQ(std::string(line, static_cast<size_t>(len)), "OK pong\n");
+  free(line);
+  fclose(stream);
+
+  // stdin EOF shuts the server down cleanly with the listener open.
+  EXPECT_EQ(serve.CloseAndWait(), 0);
+}
+
+#else
+
+TEST(GancServeSubprocessTest, SkippedWithoutToolBinaries) {
+  GTEST_SKIP() << "ganc_serve/ganc_cli binaries not built";
+}
+
+#endif  // GANC_SERVE_BINARY && GANC_CLI_BINARY
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,97 @@
+// SessionOverlay / SessionRegistry: consumed-item bookkeeping and the
+// exclusion lists handed to the serving layer.
+
+#include "serve/session_overlay.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+std::vector<ItemId> List(std::initializer_list<ItemId> items) {
+  return std::vector<ItemId>(items);
+}
+
+TEST(SessionOverlayTest, StartsEmpty) {
+  SessionOverlay overlay;
+  EXPECT_TRUE(overlay.ConsumedOf(3).empty());
+  EXPECT_EQ(overlay.num_users(), 0u);
+  EXPECT_EQ(overlay.total_consumed(), 0u);
+}
+
+TEST(SessionOverlayTest, MergesSortedUnique) {
+  SessionOverlay overlay;
+  overlay.MarkConsumed(3, List({9, 2, 9}));
+  overlay.MarkConsumed(3, List({5, 2}));
+  const std::span<const ItemId> consumed = overlay.ConsumedOf(3);
+  EXPECT_EQ(std::vector<ItemId>(consumed.begin(), consumed.end()),
+            List({2, 5, 9}));
+  EXPECT_EQ(overlay.num_users(), 1u);
+  EXPECT_EQ(overlay.total_consumed(), 3u);
+}
+
+TEST(SessionOverlayTest, UsersAreIndependent) {
+  SessionOverlay overlay;
+  overlay.MarkConsumed(1, List({7}));
+  overlay.MarkConsumed(2, List({8}));
+  EXPECT_EQ(overlay.ConsumedOf(1).size(), 1u);
+  EXPECT_EQ(overlay.ConsumedOf(1)[0], 7);
+  EXPECT_EQ(overlay.ConsumedOf(2)[0], 8);
+}
+
+TEST(SessionRegistryTest, CollectMergesOverlayAndExtraSorted) {
+  SessionRegistry registry;
+  registry.MarkConsumed("s1", 4, List({10, 3}));
+  std::vector<ItemId> out;
+  registry.CollectExclusions("s1", 4, List({7, 3, 99}), &out);
+  EXPECT_EQ(out, List({3, 7, 10, 99}));
+}
+
+TEST(SessionRegistryTest, UnknownSessionYieldsJustExtras) {
+  SessionRegistry registry;
+  std::vector<ItemId> out;
+  registry.CollectExclusions("nope", 1, List({5, 5, 2}), &out);
+  EXPECT_EQ(out, List({2, 5}));
+  // Collect never creates a session.
+  EXPECT_EQ(registry.num_sessions(), 0u);
+}
+
+TEST(SessionRegistryTest, SessionsAreIsolated) {
+  SessionRegistry registry;
+  registry.MarkConsumed("a", 1, List({1}));
+  registry.MarkConsumed("b", 1, List({2}));
+  std::vector<ItemId> out;
+  registry.CollectExclusions("a", 1, {}, &out);
+  EXPECT_EQ(out, List({1}));
+  registry.CollectExclusions("b", 1, {}, &out);
+  EXPECT_EQ(out, List({2}));
+  EXPECT_EQ(registry.num_sessions(), 2u);
+}
+
+TEST(SessionRegistryTest, ConcurrentMarkAndCollect) {
+  SessionRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, t] {
+      std::vector<ItemId> out;
+      for (int i = 0; i < 500; ++i) {
+        const ItemId item = static_cast<ItemId>(t * 1000 + i);
+        registry.MarkConsumed("shared", 0, List({item}));
+        registry.CollectExclusions("shared", 0, {}, &out);
+        // Own writes are always visible.
+        ASSERT_TRUE(std::binary_search(out.begin(), out.end(), item));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<ItemId> out;
+  registry.CollectExclusions("shared", 0, {}, &out);
+  EXPECT_EQ(out.size(), 4u * 500u);
+}
+
+}  // namespace
+}  // namespace ganc

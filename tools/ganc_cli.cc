@@ -26,6 +26,7 @@
 //            --top-n=5 --sample-size=500 --seed=42
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -47,6 +48,9 @@
 #include "recommender/random_walk.h"
 #include "recommender/rsvd.h"
 #include "recommender/user_knn.h"
+#include "serve/protocol.h"
+#include "serve/recommendation_service.h"
+#include "serve/topn_store.h"
 #include "util/binary_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -81,47 +85,19 @@ void Usage() {
       "                [--load-pipeline=PATH]\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
       "                [--top-n=5] [--sample-size=500] [--threads=1]\n"
-      "                [--theta-out=PATH] [--output=PATH] [--verbose]\n");
-}
-
-Result<RatingDataset> LoadData(const Flags& flags) {
-  const std::string cache = flags.GetString("dataset-cache", "");
-  if (!cache.empty()) {
-    if (flags.Has("ratings-file") || flags.Has("dataset")) {
-      return Status::InvalidArgument(
-          "--dataset-cache conflicts with --ratings-file/--dataset (pick one "
-          "data source)");
-    }
-    return RatingDataset::LoadBinaryFile(cache);
-  }
-  const std::string file = flags.GetString("ratings-file", "");
-  if (!file.empty()) {
-    LoaderOptions opts;
-    const std::string delim = flags.GetString("delimiter", ",");
-    opts.delimiter = delim.empty() ? ',' : delim[0];
-    opts.skip_header = flags.GetBool("skip-header", false);
-    Result<LoadedDataset> loaded = LoadRatingsFile(file, opts);
-    if (!loaded.ok()) return loaded.status();
-    return std::move(loaded).value().dataset;
-  }
-  const std::string name = flags.GetString("dataset", "ml100k");
-  SyntheticSpec spec;
-  if (name == "ml100k") {
-    spec = MovieLens100KSpec();
-  } else if (name == "ml1m") {
-    spec = MovieLens1MSpec();
-  } else if (name == "ml10m") {
-    spec = MovieLens10MScaledSpec();
-  } else if (name == "mt200k") {
-    spec = MovieTweetings200KSpec();
-  } else if (name == "netflix") {
-    spec = NetflixScaledSpec();
-  } else if (name == "tiny") {
-    spec = TinySpec();
-  } else {
-    return Status::InvalidArgument("unknown dataset preset '" + name + "'");
-  }
-  return GenerateSynthetic(spec);
+      "                [--theta-out=PATH] [--output=PATH] [--verbose]\n"
+      "\n"
+      "inspect PATH:   dump an artifact's header and section table\n"
+      "\n"
+      "topn:           --load-model=PATH | --load-pipeline=PATH\n"
+      "                [--top-n=10] [--users=N]   (first N users; 0 = all)\n"
+      "                Prints one serve-protocol response line per user,\n"
+      "                byte-comparable with a ganc_serve transcript.\n"
+      "\n"
+      "precompute-topn: --load-model=PATH | --load-pipeline=PATH\n"
+      "                --out=PATH [--top-n=10] [--head-users=N]\n"
+      "                Builds the precomputed top-N store artifact for\n"
+      "                the N most active users (0 = everyone).\n");
 }
 
 Result<std::unique_ptr<Recommender>> BuildArec(const std::string& name) {
@@ -200,7 +176,7 @@ int ReportRun(const Recommender& base, const std::string& ganc_name,
 }
 
 Result<Prepared> Prepare(const Flags& flags, bool print_summary) {
-  Result<RatingDataset> dataset = LoadData(flags);
+  Result<RatingDataset> dataset = LoadDatasetFromFlags(flags);
   if (!dataset.ok()) return dataset.status();
   auto kappa = flags.GetDouble("kappa", 0.5);
   auto seed = flags.GetInt("seed", 42);
@@ -229,7 +205,7 @@ int CacheDataset(const Flags& flags) {
     std::fprintf(stderr, "cache-dataset requires --out=PATH\n");
     return 1;
   }
-  Result<RatingDataset> dataset = LoadData(flags);
+  Result<RatingDataset> dataset = LoadDatasetFromFlags(flags);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
     return 1;
@@ -503,6 +479,189 @@ int Recommend(const Flags& flags) {
                    train, test, static_cast<int>(*top_n), pool.get(), output);
 }
 
+// Shared by `topn` and `precompute-topn`: bind the train split and build
+// an unbatched serving snapshot from --load-model / --load-pipeline.
+// `prepared` keeps the split alive for the service's lifetime.
+Result<std::unique_ptr<RecommendationService>> BuildService(
+    const Flags& flags, const Prepared& prepared, int default_n) {
+  const std::string model_in = flags.GetString("load-model", "");
+  const std::string pipeline_in = flags.GetString("load-pipeline", "");
+  if (model_in.empty() == pipeline_in.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of --load-model / --load-pipeline is required");
+  }
+  ServiceConfig config;
+  config.micro_batching = false;  // offline dumps: no scheduler threads
+  config.cache_capacity = 0;
+  config.default_n = default_n;
+  return model_in.empty()
+             ? RecommendationService::LoadPipelineService(
+                   pipeline_in, prepared.split.train, config)
+             : RecommendationService::LoadModelService(
+                   model_in, prepared.split.train, config);
+}
+
+// `topn`: print the offline top-N of the first --users users in the
+// serve-protocol response format, so `diff` against a ganc_serve
+// transcript needs no parsing (the serve smoke CI job does exactly
+// that).
+int TopNDump(const Flags& flags) {
+  auto top_n = flags.GetInt("top-n", 10);
+  auto user_count = flags.GetInt("users", 0);
+  if (!top_n.ok() || !user_count.ok() || *top_n <= 0 || *user_count < 0) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 1;
+  }
+  Result<Prepared> prepared = Prepare(flags, /*print_summary=*/false);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "load: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<RecommendationService>> service =
+      BuildService(flags, *prepared, static_cast<int>(*top_n));
+  if (!service.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  int32_t users = (*service)->num_users();
+  if (*user_count > 0 && *user_count < users) {
+    users = static_cast<int32_t>(*user_count);
+  }
+  std::vector<ItemId> items;
+  for (UserId u = 0; u < users; ++u) {
+    if (Status s = (*service)->TopNInto(u, static_cast<int>(*top_n), {},
+                                        &items);
+        !s.ok()) {
+      std::fprintf(stderr, "topn: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                FormatTopNResponse(u, static_cast<int>(*top_n), items)
+                    .c_str());
+  }
+  return 0;
+}
+
+// `precompute-topn`: materialize the serving store artifact for the
+// most active users.
+int PrecomputeTopN(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "precompute-topn requires --out=PATH\n");
+    return 1;
+  }
+  auto top_n = flags.GetInt("top-n", 10);
+  auto head = flags.GetInt("head-users", 0);
+  if (!top_n.ok() || !head.ok() || *top_n <= 0 || *head < 0) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 1;
+  }
+  Result<Prepared> prepared = Prepare(flags, /*print_summary=*/true);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "load: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<RecommendationService>> service =
+      BuildService(flags, *prepared, static_cast<int>(*top_n));
+  if (!service.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<UserId> users = HeadUsersByActivity(
+      prepared->split.train, static_cast<size_t>(*head));
+  WallTimer timer;
+  Result<TopNStore> store =
+      (*service)->BuildStore(users, static_cast<int>(*top_n));
+  if (!store.ok()) {
+    std::fprintf(stderr, "build: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = store->SaveFile(out); !s.ok()) {
+    std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "top-N store written to %s (%zu lists of up to %d items for %s, "
+      "%.1f ms)\n",
+      out.c_str(), store->num_lists(), store->top_n(),
+      store->source().c_str(), timer.ElapsedMillis());
+  return 0;
+}
+
+// `inspect`: dump an artifact's header and section table using the
+// validating reader, so a broken file is diagnosed instead of decoded.
+int Inspect(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  ArtifactReader reader(is);
+  Result<ArtifactHeader> header = reader.ReadHeader();
+  if (!header.ok()) {
+    std::fprintf(stderr, "header: %s\n", header.status().ToString().c_str());
+    return 1;
+  }
+  const char* kind_name = "?";
+  switch (static_cast<ArtifactKind>(header->kind)) {
+    case ArtifactKind::kModel:
+      kind_name = "model";
+      break;
+    case ArtifactKind::kDatasetCache:
+      kind_name = "dataset-cache";
+      break;
+    case ArtifactKind::kPipeline:
+      kind_name = "pipeline";
+      break;
+    case ArtifactKind::kTopNStore:
+      kind_name = "topn-store";
+      break;
+  }
+  const char* model_name = nullptr;
+  if (static_cast<ArtifactKind>(header->kind) == ArtifactKind::kModel) {
+    switch (static_cast<ModelType>(header->type_tag)) {
+      case ModelType::kPop: model_name = "Pop"; break;
+      case ModelType::kRandom: model_name = "Random"; break;
+      case ModelType::kRandomWalk: model_name = "RP3b"; break;
+      case ModelType::kItemKnn: model_name = "ItemKNN"; break;
+      case ModelType::kUserKnn: model_name = "UserKNN"; break;
+      case ModelType::kPsvd: model_name = "PSVD"; break;
+      case ModelType::kRsvd: model_name = "RSVD"; break;
+      case ModelType::kBpr: model_name = "BPR"; break;
+      case ModelType::kCofi: model_name = "CofiRank"; break;
+    }
+  }
+  std::printf("%s: GANC artifact, format version %u\n", path.c_str(),
+              header->version);
+  std::printf("  kind: %u (%s)\n", header->kind, kind_name);
+  if (model_name != nullptr) {
+    std::printf("  type tag: %u (%s)\n", header->type_tag, model_name);
+  } else {
+    std::printf("  type tag: %u\n", header->type_tag);
+  }
+  size_t total_payload = 0;
+  for (int section = 0;; ++section) {
+    Result<ArtifactReader::Section> s = reader.ReadSection();
+    if (!s.ok()) {
+      std::fprintf(stderr, "section %d: %s\n", section,
+                   s.status().ToString().c_str());
+      return 1;
+    }
+    if (s->id == kEndSectionId) break;
+    // ReadSection already verified the stored checksum matches this.
+    const uint64_t checksum = Fnv1aHash(s->payload.data(), s->payload.size());
+    std::printf("  section %u: %zu bytes, fnv1a %016llx (verified)\n", s->id,
+                s->payload.size(),
+                static_cast<unsigned long long>(checksum));
+    total_payload += s->payload.size();
+  }
+  std::printf("  end marker present; %zu payload bytes total\n",
+              total_payload);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -512,7 +671,7 @@ int main(int argc, char** argv) {
       "crec",          "top-n",        "sample-size",   "seed",
       "threads",       "theta-out",    "output",        "out",
       "save-model",    "save-pipeline", "load-model",   "load-pipeline",
-      "verbose",       "help"};
+      "users",         "head-users",   "verbose",       "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -525,16 +684,28 @@ int main(int argc, char** argv) {
   }
   std::string command = "recommend";
   if (!flags->positional().empty()) {
-    if (flags->positional().size() > 1) {
-      std::fprintf(stderr, "expected at most one subcommand\n");
+    command = flags->positional()[0];
+    // `inspect` takes the artifact path as a second positional.
+    const size_t max_positional = command == "inspect" ? 2 : 1;
+    if (flags->positional().size() > max_positional) {
+      std::fprintf(stderr, "too many positional arguments\n");
       Usage();
       return 2;
     }
-    command = flags->positional()[0];
   }
   if (command == "recommend") return Recommend(*flags);
   if (command == "train") return Train(*flags);
   if (command == "cache-dataset") return CacheDataset(*flags);
+  if (command == "topn") return TopNDump(*flags);
+  if (command == "precompute-topn") return PrecomputeTopN(*flags);
+  if (command == "inspect") {
+    if (flags->positional().size() != 2) {
+      std::fprintf(stderr, "inspect requires an artifact path\n");
+      Usage();
+      return 2;
+    }
+    return Inspect(flags->positional()[1]);
+  }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   Usage();
   return 2;

@@ -1,0 +1,473 @@
+// ganc_serve: the online serving frontend.
+//
+// Loads a trained artifact once and answers TOPN requests over the
+// newline-delimited protocol (src/serve/protocol.h, grammar in
+// docs/SERVING.md) on stdin/stdout and, with --port, on a POSIX TCP
+// socket (one thread per connection; all connections share the service,
+// its micro-batcher, result cache, and session registry). Dependency
+// free: nothing beyond the C++ standard library and POSIX sockets.
+//
+//   ganc_cli cache-dataset --dataset=tiny --out=tiny.gdc
+//   ganc_cli train --dataset-cache=tiny.gdc --arec=psvd10 --seed=7 \
+//            --save-model=psvd10.gam
+//   ganc_serve --dataset-cache=tiny.gdc --seed=7 --model=psvd10.gam \
+//              --default-n=5 [--port=0] [--store=head.gts]
+//
+// The process serves stdin until EOF or a QUIT line, then dumps the
+// request/hit-rate/latency counters to stderr. `--port=0` binds an
+// ephemeral port; the assigned port is announced on stdout as
+// "LISTENING port=<p>" before request processing starts (the subprocess
+// tests key on this). `--daemon` detaches the lifetime from stdin for
+// TCP-only deployments (systemd/containers close stdin at launch):
+// the listener serves until SIGINT/SIGTERM, which also shut down
+// cleanly with the stats dump.
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/loader.h"
+#include "data/split.h"
+#include "serve/protocol.h"
+#include "serve/recommendation_service.h"
+#include "serve/session_overlay.h"
+#include "serve/topn_store.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace ganc;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ganc_serve --model=PATH|--pipeline=PATH [flags]\n"
+      "\n"
+      "snapshot (same data flags as ganc_cli, split must match training):\n"
+      "    --dataset-cache=PATH | --ratings-file=PATH | --dataset=NAME\n"
+      "    [--kappa=0.5] [--seed=42]\n"
+      "    --model=PATH | --pipeline=PATH   (artifact to serve)\n"
+      "    [--store=PATH]     (precomputed top-N store artifact)\n"
+      "\n"
+      "serving:\n"
+      "    [--default-n=10]   (list length when a request omits n=)\n"
+      "    [--workers=1] [--batch-wait-us=200] [--cache-capacity=4096]\n"
+      "    [--unbatched]      (one-request-at-a-time baseline path)\n"
+      "    [--port=N]         (also serve TCP; 0 = ephemeral, the chosen\n"
+      "                        port is announced as LISTENING port=N)\n"
+      "    [--daemon]         (with --port: stdin EOF does not stop the\n"
+      "                        server; run until SIGINT/SIGTERM)\n"
+      "\n"
+      "protocol (one request per line; see docs/SERVING.md):\n"
+      "    TOPN user=3 [n=10] [session=abc] [exclude=1,2]\n"
+      "    CONSUME session=abc user=3 items=4,5\n"
+      "    STATS | PING | QUIT\n");
+}
+
+// Shared per-process serving state: one snapshot, one session registry.
+struct Server {
+  std::unique_ptr<RecommendationService> service;
+  SessionRegistry sessions;
+};
+
+// SIGINT/SIGTERM request a clean shutdown (stats still dumped) — the
+// stop path for TCP-only deployments whose stdin is closed at launch.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*sig*/) { g_stop_requested = 1; }
+
+// Handles one request line; returns the response line (no newline).
+// Sets *quit for QUIT.
+std::string HandleLine(Server& server, const std::string& line, bool* quit) {
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  if (!parsed.ok()) return FormatError(parsed.status().message());
+  ServeRequest& req = *parsed;
+  switch (req.command) {
+    case ServeCommand::kTopN: {
+      std::vector<ItemId> exclusions;
+      std::span<const ItemId> excl = req.items;
+      if (!req.session.empty()) {
+        server.sessions.CollectExclusions(req.session, req.user, req.items,
+                                          &exclusions);
+        excl = exclusions;
+      }
+      std::vector<ItemId> items;
+      if (Status s = server.service->TopNInto(req.user, req.n, excl, &items);
+          !s.ok()) {
+        return FormatError(s.message());
+      }
+      const int n = req.n == 0 ? server.service->default_n() : req.n;
+      return FormatTopNResponse(req.user, n, items);
+    }
+    case ServeCommand::kConsume: {
+      for (const ItemId i : req.items) {
+        if (i < 0 || i >= server.service->num_items()) {
+          return FormatError("consumed item id out of range");
+        }
+      }
+      if (req.user < 0 || req.user >= server.service->num_users()) {
+        return FormatError("user id out of range");
+      }
+      server.sessions.MarkConsumed(req.session, req.user, req.items);
+      return FormatOk("consumed=" + std::to_string(req.items.size()));
+    }
+    case ServeCommand::kStats: {
+      const ServeStats s = server.service->stats();
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "requests=%llu cache_hits=%llu store_hits=%llu "
+                    "live=%llu batches=%llu mean_fill=%.2f",
+                    static_cast<unsigned long long>(s.requests),
+                    static_cast<unsigned long long>(s.cache_hits),
+                    static_cast<unsigned long long>(s.store_hits),
+                    static_cast<unsigned long long>(s.live_scored),
+                    static_cast<unsigned long long>(s.batches),
+                    s.MeanBatchFill());
+      return FormatOk(buf);
+    }
+    case ServeCommand::kPing:
+      return FormatOk("pong");
+    case ServeCommand::kQuit:
+      *quit = true;
+      return FormatOk("bye");
+  }
+  return FormatError("unreachable");
+}
+
+// Writes the whole buffer, riding out short writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = write(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// One live TCP connection. `mu` serializes the socket's close against
+// the shutdown path: the serving thread fcloses under it, StopListener
+// shutdown()s under it, so a shutdown can never hit a recycled fd and
+// an idle client can never block server exit.
+struct Connection {
+  std::mutex mu;
+  int fd = -1;
+  bool closed = false;
+  std::thread thread;
+};
+
+// Serves one TCP connection until EOF/QUIT. Reads are buffered through
+// a FILE*, responses go out with raw write() — one stdio stream must
+// not interleave reads and writes on a socket.
+void ServeConnection(Server& server, Connection& conn) {
+  FILE* in = fdopen(conn.fd, "r");
+  if (in == nullptr) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    close(conn.fd);
+    conn.closed = true;
+    return;
+  }
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len;
+  bool quit = false;
+  while (!quit && (len = getline(&line, &cap, in)) != -1) {
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    std::string response =
+        HandleLine(server, std::string(line, static_cast<size_t>(len)), &quit);
+    response.push_back('\n');
+    if (!WriteAll(conn.fd, response.data(), response.size())) break;
+  }
+  free(line);
+  std::lock_guard<std::mutex> lock(conn.mu);
+  fclose(in);  // closes conn.fd
+  conn.closed = true;
+}
+
+// TCP listener state shared with the accept thread.
+struct Listener {
+  int fd = -1;
+  std::thread accept_thread;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::atomic<bool> stopping{false};
+};
+
+// Binds 127.0.0.1:port (0 = ephemeral); returns the bound port or an
+// error.
+Result<int> StartListener(Listener& listener, Server& server, int port) {
+  listener.fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener.fd < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  setsockopt(listener.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listener.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind() failed: " + std::string(strerror(errno)));
+  }
+  if (listen(listener.fd, 16) < 0) {
+    return Status::IOError("listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listener.fd, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len) < 0) {
+    return Status::IOError("getsockname() failed");
+  }
+  const int bound = ntohs(addr.sin_port);
+  listener.accept_thread = std::thread([&listener, &server] {
+    for (;;) {
+      const int fd = accept(listener.fd, nullptr, nullptr);
+      if (fd < 0) return;  // listener closed during shutdown
+      if (listener.stopping.load()) {
+        close(fd);
+        return;
+      }
+      std::lock_guard<std::mutex> lock(listener.mu);
+      // Reap finished connections so a long-running server holds
+      // resources proportional to *concurrent* clients, not total ones.
+      std::erase_if(listener.connections,
+                    [](const std::unique_ptr<Connection>& c) {
+                      std::lock_guard<std::mutex> conn_lock(c->mu);
+                      if (!c->closed) return false;
+                      c->thread.join();
+                      return true;
+                    });
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      Connection& ref = *conn;
+      ref.thread =
+          std::thread([&server, &ref] { ServeConnection(server, ref); });
+      listener.connections.push_back(std::move(conn));
+    }
+  });
+  return bound;
+}
+
+void StopListener(Listener& listener) {
+  if (listener.fd < 0) return;
+  listener.stopping.store(true);
+  shutdown(listener.fd, SHUT_RDWR);
+  close(listener.fd);
+  if (listener.accept_thread.joinable()) listener.accept_thread.join();
+  std::lock_guard<std::mutex> lock(listener.mu);
+  for (const std::unique_ptr<Connection>& conn : listener.connections) {
+    // Unblock serving threads stuck in getline() on idle clients; the
+    // per-connection mutex guarantees the fd has not been recycled.
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    if (!conn->closed) shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (const std::unique_ptr<Connection>& conn : listener.connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void DumpStats(const Server& server, double uptime_ms) {
+  const ServeStats s = server.service->stats();
+  std::fprintf(stderr,
+               "--- ganc_serve shutdown ---\n"
+               "source:       %s (snapshot v%llu)\n"
+               "uptime:       %.1f ms\n"
+               "requests:     %llu\n"
+               "cache hits:   %llu (%.1f%%)\n"
+               "store hits:   %llu\n"
+               "live scored:  %llu in %llu batches (mean fill %.2f, "
+               "%llu full, %llu timer flushes)\n"
+               "latency:      mean %.1f us, max %llu us\n"
+               "sessions:     %zu\n",
+               server.service->source().c_str(),
+               static_cast<unsigned long long>(
+                   server.service->snapshot_version()),
+               uptime_ms, static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.cache_hits),
+               100.0 * s.CacheHitRate(),
+               static_cast<unsigned long long>(s.store_hits),
+               static_cast<unsigned long long>(s.live_scored),
+               static_cast<unsigned long long>(s.batches), s.MeanBatchFill(),
+               static_cast<unsigned long long>(s.full_batches),
+               static_cast<unsigned long long>(s.waited_flushes),
+               s.MeanLatencyUs(),
+               static_cast<unsigned long long>(s.latency_us_max),
+               server.sessions.num_sessions());
+}
+
+int Run(const Flags& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  const std::string pipeline_path = flags.GetString("pipeline", "");
+  if ((model_path.empty() == pipeline_path.empty())) {
+    std::fprintf(stderr,
+                 "exactly one of --model / --pipeline is required\n");
+    Usage();
+    return 2;
+  }
+  auto kappa = flags.GetDouble("kappa", 0.5);
+  auto seed = flags.GetInt("seed", 42);
+  auto port_flag = flags.GetInt("port", -1);
+  auto workers = flags.GetInt("workers", 1);
+  auto batch_wait = flags.GetInt("batch-wait-us", 200);
+  auto cache_capacity = flags.GetInt("cache-capacity", 4096);
+  auto default_n = flags.GetInt("default-n", 10);
+  if (!kappa.ok() || !seed.ok() || !port_flag.ok() || !workers.ok() ||
+      !batch_wait.ok() || !cache_capacity.ok() || !default_n.ok() ||
+      *cache_capacity < 0 || *port_flag > 65535) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+
+  // The shared resolver guarantees the serving process binds the same
+  // data the training run did for the same flags.
+  Result<RatingDataset> dataset = LoadDatasetFromFlags(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Result<TrainTestSplit> split = PerUserRatioSplit(
+      *dataset, {.train_ratio = *kappa, .seed = static_cast<uint64_t>(*seed)});
+  if (!split.ok()) {
+    std::fprintf(stderr, "split: %s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  const RatingDataset& train = split->train;
+
+  ServiceConfig config;
+  config.num_workers = static_cast<int>(*workers);
+  config.max_batch_wait_us = static_cast<int>(*batch_wait);
+  config.cache_capacity = static_cast<size_t>(*cache_capacity);
+  config.micro_batching = !flags.GetBool("unbatched", false);
+  config.default_n = static_cast<int>(*default_n);
+
+  WallTimer up_timer;
+  Result<std::unique_ptr<RecommendationService>> service =
+      model_path.empty()
+          ? RecommendationService::LoadPipelineService(pipeline_path, train,
+                                                       config)
+          : RecommendationService::LoadModelService(model_path, train, config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  Server server;
+  server.service = std::move(service).value();
+
+  const std::string store_path = flags.GetString("store", "");
+  if (!store_path.empty()) {
+    Result<TopNStore> store = TopNStore::LoadFile(store_path);
+    if (!store.ok()) {
+      std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = server.service->AttachStore(
+            std::make_shared<const TopNStore>(std::move(store).value()));
+        !s.ok()) {
+      std::fprintf(stderr, "store: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "serving %s (%s, snapshot v%llu) in %.1f ms; "
+               "%d users, %d items\n",
+               server.service->source().c_str(),
+               server.service->micro_batching() ? "micro-batched"
+                                                : "unbatched",
+               static_cast<unsigned long long>(
+                   server.service->snapshot_version()),
+               up_timer.ElapsedMillis(), server.service->num_users(),
+               server.service->num_items());
+
+  const bool daemon = flags.GetBool("daemon", false);
+  if (daemon && *port_flag < 0) {
+    std::fprintf(stderr, "--daemon requires --port\n");
+    return 2;
+  }
+  Listener listener;
+  if (*port_flag >= 0) {
+    Result<int> bound = StartListener(listener, server,
+                                      static_cast<int>(*port_flag));
+    if (!bound.ok()) {
+      std::fprintf(stderr, "listen: %s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("LISTENING port=%d\n", *bound);
+    std::fflush(stdout);
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  // stdin loop on the main thread.
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len;
+  bool quit = false;
+  while (!quit && (len = getline(&line, &cap, stdin)) != -1) {
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    const std::string response =
+        HandleLine(server, std::string(line, static_cast<size_t>(len)), &quit);
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  free(line);
+
+  // Daemon mode (--daemon): stdin EOF does not stop the TCP listener —
+  // the launch environment may close stdin outright (systemd,
+  // containers) — serving continues until SIGINT/SIGTERM. A stdin QUIT
+  // still shuts down immediately, and without --daemon EOF keeps its
+  // pipe-friendly meaning: drain requests, shut down.
+  if (!quit && daemon && listener.fd >= 0) {
+    timespec tick{0, 100 * 1000 * 1000};  // 100 ms
+    while (g_stop_requested == 0) nanosleep(&tick, nullptr);
+  }
+
+  StopListener(listener);
+  DumpStats(server, up_timer.ElapsedMillis());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> known = {
+      "dataset",        "ratings-file", "delimiter",   "skip-header",
+      "dataset-cache",  "kappa",        "seed",        "model",
+      "pipeline",       "store",        "port",        "workers",
+      "batch-wait-us",  "cache-capacity", "default-n", "unbatched",
+      "daemon",         "help"};
+  Result<Flags> flags = Flags::Parse(argc, argv, known);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    Usage();
+    return 2;
+  }
+  if (flags->GetBool("help", false)) {
+    Usage();
+    return 0;
+  }
+  if (!flags->positional().empty()) {
+    std::fprintf(stderr, "ganc_serve takes no positional arguments\n");
+    Usage();
+    return 2;
+  }
+  return Run(*flags);
+}
