@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
@@ -27,6 +28,9 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "recommender/bpr.h"
+#include "recommender/factor_kernels.h"
+#include "recommender/factor_scoring_engine.h"
+#include "recommender/factor_store.h"
 #include "recommender/item_knn.h"
 #include "recommender/item_similarity.h"
 #include "recommender/random_walk.h"
@@ -505,6 +509,50 @@ void BM_Rp3bScoreBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_Rp3bScoreBatch);
 
+// The sparse KNN batch scatter loops (the prefetch-tuning targets; see
+// docs/ARCHITECTURE.md "Hardware-adaptive scoring kernels" for the
+// measured before/after). One 64-user block per iteration.
+template <typename Model>
+void SparseScoreBatchLoop(benchmark::State& state, const Model& model) {
+  const RatingDataset& train = BenchTrain();
+  const size_t batch = 64;
+  const size_t ni = static_cast<size_t>(model.num_items());
+  ScoringContext ctx;
+  std::vector<UserId> users(batch);
+  UserId u = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < batch; ++b) {
+      users[b] = u;
+      u = (u + 1) % train.num_users();
+    }
+    const std::span<double> out = ctx.BatchScores(batch * ni);
+    model.ScoreBatchInto(users, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch * ni));
+}
+
+void BM_ItemKnnScoreBatch(benchmark::State& state) {
+  static const ItemKnnRecommender* knn = [] {
+    auto* model = new ItemKnnRecommender({.num_neighbors = 50});
+    (void)model->Fit(BenchTrain());
+    return model;
+  }();
+  SparseScoreBatchLoop(state, *knn);
+}
+BENCHMARK(BM_ItemKnnScoreBatch);
+
+void BM_UserKnnScoreBatch(benchmark::State& state) {
+  static const UserKnnRecommender* knn = [] {
+    auto* model = new UserKnnRecommender({.num_neighbors = 50});
+    (void)model->Fit(BenchTrain());
+    return model;
+  }();
+  SparseScoreBatchLoop(state, *knn);
+}
+BENCHMARK(BM_UserKnnScoreBatch);
+
 // Random-pair Similarity(i, j) lookups (the MMR/RBT re-ranker hot call):
 // branchless binary search in the id-sorted view vs the legacy O(k)
 // scan of the best-first list. range(0) = num_neighbors k.
@@ -645,6 +693,92 @@ void BM_ServeCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeCacheHit);
 
+// --- Runtime-dispatched factor kernels -------------------------------
+//
+// ScoreBatchInto per dispatch variant x table precision — the committed
+// BENCH_kernel.json story. Registered dynamically (not via BENCHMARK)
+// because the variant set is a host property: only variants the CPU can
+// actually run are timed. Each benchmark pins its variant with
+// ForceKernelVariant and reports the resident factor-table bytes of the
+// precision it scores from.
+
+const FactorStore& KernelBenchStore(FactorPrecision precision) {
+  // One fp64 table set (500 x 40 users, 800 x 40 items, serve-shaped)
+  // narrowed/quantized per precision, so the three stores score the
+  // same model.
+  static const auto* stores = [] {
+    auto* built = new std::array<FactorStore, 3>();
+    Rng rng(11);
+    const size_t nu = 500, ni = 800, g = 40;
+    std::vector<double> user(nu * g);
+    std::vector<double> item(ni * g);
+    for (double& v : user) v = rng.Uniform() - 0.5;
+    for (double& v : item) v = rng.Uniform() - 0.5;
+    const FactorPrecision precisions[3] = {FactorPrecision::kFp64,
+                                           FactorPrecision::kFp32,
+                                           FactorPrecision::kInt8};
+    for (size_t p = 0; p < 3; ++p) {
+      (*built)[p].AdoptFp64(user, item, nu, ni, g);
+      if (!(*built)[p].SetPrecision(precisions[p]).ok()) std::abort();
+    }
+    return built;
+  }();
+  switch (precision) {
+    case FactorPrecision::kFp64: return (*stores)[0];
+    case FactorPrecision::kFp32: return (*stores)[1];
+    case FactorPrecision::kInt8: return (*stores)[2];
+  }
+  std::abort();
+}
+
+void FactorScoreLoop(benchmark::State& state, KernelVariant variant,
+                     FactorPrecision precision) {
+  if (!ForceKernelVariant(variant).ok()) {
+    state.SkipWithError("variant unsupported on this host");
+    return;
+  }
+  const FactorStore& store = KernelBenchStore(precision);
+  FactorView view;
+  store.BindView(&view);
+  view.num_items = static_cast<int32_t>(store.item_rows());
+  const FactorScoringEngine engine(view);
+  const size_t batch = 64;
+  const size_t ni = store.item_rows();
+  ScoringContext ctx;
+  std::vector<UserId> users(batch);
+  UserId u = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < batch; ++b) {
+      users[b] = u;
+      u = (u + 1) % static_cast<UserId>(store.user_rows());
+    }
+    const std::span<double> out = ctx.BatchScores(batch * ni);
+    engine.ScoreBatchInto(users, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch * ni));
+  state.counters["factor_table_bytes"] = benchmark::Counter(
+      static_cast<double>(store.ResidentBytes()));
+  ResetKernelDispatch();
+}
+
+void RegisterFactorScoreBenchmarks() {
+  for (const KernelVariant v : SupportedKernelVariants()) {
+    for (const FactorPrecision p :
+         {FactorPrecision::kFp64, FactorPrecision::kFp32,
+          FactorPrecision::kInt8}) {
+      const std::string name = std::string("BM_FactorScore_") +
+                               KernelVariantName(v) + "_" +
+                               FactorPrecisionName(p);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [v, p](benchmark::State& state) {
+            FactorScoreLoop(state, v, p);
+          });
+    }
+  }
+}
+
 void BM_OslgEndToEnd(benchmark::State& state) {
   const RatingDataset& train = BenchTrain();
   PopRecommender pop;
@@ -677,6 +811,7 @@ int main(int argc, char** argv) {
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());
   }
+  ganc::RegisterFactorScoreBenchmarks();
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {

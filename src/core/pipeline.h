@@ -111,6 +111,16 @@ class GancPipeline {
   /// The owned base recommender.
   const Recommender& base() const { return *base_; }
 
+  /// Compacts the base model's factor tables to `p` (fp64 models only;
+  /// see Recommender::SetFactorPrecision). Scoring through the pipeline
+  /// picks up the new precision immediately.
+  Status SetFactorPrecision(FactorPrecision p) {
+    return base_->SetFactorPrecision(p);
+  }
+  FactorPrecision factor_precision() const {
+    return base_->factor_precision();
+  }
+
   /// The assembled accuracy scorer (the base model behind the configured
   /// normalization adapter). The serving layer batches request scoring
   /// through this instead of re-deriving the adapter choice.

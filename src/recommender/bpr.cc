@@ -29,10 +29,10 @@ Status BprRecommender::Fit(const RatingDataset& train) {
   const size_t g = static_cast<size_t>(config_.num_factors);
 
   Rng rng(config_.seed);
-  user_factors_.resize(static_cast<size_t>(num_users_) * g);
-  item_factors_.resize(static_cast<size_t>(num_items_) * g);
-  for (double& v : user_factors_) v = rng.Normal(0.0, 0.1);
-  for (double& v : item_factors_) v = rng.Normal(0.0, 0.1);
+  std::vector<double> user_factors(static_cast<size_t>(num_users_) * g);
+  std::vector<double> item_factors(static_cast<size_t>(num_items_) * g);
+  for (double& v : user_factors) v = rng.Normal(0.0, 0.1);
+  for (double& v : item_factors) v = rng.Normal(0.0, 0.1);
   item_bias_.assign(static_cast<size_t>(num_items_), 0.0);
 
   const int64_t triples_per_epoch = std::max<int64_t>(
@@ -55,9 +55,9 @@ Status BprRecommender::Fit(const RatingDataset& train) {
             rng.UniformInt(static_cast<uint64_t>(num_items_)));
       } while (train.HasRating(u, j));
 
-      double* pu = &user_factors_[static_cast<size_t>(u) * g];
-      double* qi = &item_factors_[static_cast<size_t>(pos.item) * g];
-      double* qj = &item_factors_[static_cast<size_t>(j) * g];
+      double* pu = &user_factors[static_cast<size_t>(u) * g];
+      double* qi = &item_factors[static_cast<size_t>(pos.item) * g];
+      double* qj = &item_factors[static_cast<size_t>(j) * g];
       double x = item_bias_[static_cast<size_t>(pos.item)] -
                  item_bias_[static_cast<size_t>(j)];
       for (size_t f = 0; f < g; ++f) x += pu[f] * (qi[f] - qj[f]);
@@ -77,24 +77,22 @@ Status BprRecommender::Fit(const RatingDataset& train) {
       }
     }
   }
+  factors_.AdoptFp64(std::move(user_factors), std::move(item_factors),
+                     static_cast<size_t>(num_users_),
+                     static_cast<size_t>(num_items_), g);
   return Status::OK();
 }
 
 double BprRecommender::Score(UserId u, ItemId i) const {
-  const size_t g = static_cast<size_t>(config_.num_factors);
-  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
-  const double* qi = &item_factors_[static_cast<size_t>(i) * g];
-  double x = item_bias_[static_cast<size_t>(i)];
-  for (size_t f = 0; f < g; ++f) x += pu[f] * qi[f];
-  return x;
+  return FactorScoringEngine(View()).ScoreOne(u, i);
 }
 
 FactorView BprRecommender::View() const {
-  return {.user_factors = user_factors_.data(),
-          .item_factors = item_factors_.data(),
-          .item_bias = item_bias_.data(),
-          .num_items = num_items_,
-          .num_factors = static_cast<size_t>(config_.num_factors)};
+  FactorView v;
+  factors_.BindView(&v);
+  v.item_bias = item_bias_.data();
+  v.num_items = num_items_;
+  return v;
 }
 
 void BprRecommender::ScoreInto(UserId u, std::span<double> out) const {
@@ -149,10 +147,11 @@ Status BprRecommender::Save(std::ostream& os) const {
   state.WriteI32(num_users_);
   state.WriteI32(num_items_);
   state.WriteU64(train_fingerprint_);
-  state.WriteVecF64(user_factors_);
-  state.WriteVecF64(item_factors_);
   state.WriteVecF64(item_bias_);
   GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  PayloadWriter factors;
+  factors_.Save(&factors);
+  GANC_RETURN_NOT_OK(w.WriteSection(kFactorTableSection, factors));
   return w.Finish();
 }
 
@@ -181,18 +180,23 @@ Status BprRecommender::Load(std::istream& is, const RatingDataset* train) {
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
-  std::vector<double> p, q, bi;
+  std::vector<double> bi;
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
   GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
   GANC_RETURN_NOT_OK(sr.ReadVecF64(&bi));
   GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
+      kFactorTableSection);
+  if (!factors.ok()) return factors.status();
+  PayloadReader fr(factors->payload);
+  FactorStore store;
+  GANC_RETURN_NOT_OK(store.Load(&fr));
+  GANC_RETURN_NOT_OK(fr.ExpectEnd());
   const size_t g = static_cast<size_t>(cfg.num_factors);
-  if (num_users < 0 || num_items < 0 ||
-      p.size() != static_cast<size_t>(num_users) * g ||
-      q.size() != static_cast<size_t>(num_items) * g ||
+  if (num_users < 0 || num_items < 0 || store.num_factors() != g ||
+      store.user_rows() != static_cast<size_t>(num_users) ||
+      store.item_rows() != static_cast<size_t>(num_items) ||
       bi.size() != static_cast<size_t>(num_items)) {
     return Status::InvalidArgument("inconsistent BPR factor dimensions");
   }
@@ -212,8 +216,7 @@ Status BprRecommender::Load(std::istream& is, const RatingDataset* train) {
   num_users_ = num_users;
   num_items_ = num_items;
   train_fingerprint_ = fingerprint;
-  user_factors_ = std::move(p);
-  item_factors_ = std::move(q);
+  factors_ = std::move(store);
   item_bias_ = std::move(bi);
   return Status::OK();
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "recommender/factor_scoring_engine.h"
+#include "recommender/factor_store.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -45,6 +46,12 @@ class BprRecommender : public Recommender {
   std::string name() const override { return "BPR"; }
   Status Save(std::ostream& os) const override;
   Status Load(std::istream& is, const RatingDataset* train) override;
+  Status SetFactorPrecision(FactorPrecision p) override {
+    return factors_.SetPrecision(p);
+  }
+  FactorPrecision factor_precision() const override {
+    return factors_.precision();
+  }
 
   /// Mean pairwise ranking accuracy (AUC-style) over sampled triples from
   /// a held-out set: fraction of (u, test-positive, unseen) pairs ranked
@@ -61,8 +68,7 @@ class BprRecommender : public Recommender {
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
-  std::vector<double> user_factors_;
-  std::vector<double> item_factors_;
+  FactorStore factors_;
   std::vector<double> item_bias_;
 };
 

@@ -38,10 +38,10 @@ Status CofiRecommender::Fit(const RatingDataset& train) {
   }
 
   Rng rng(config_.seed);
-  user_factors_.resize(static_cast<size_t>(num_users_) * g);
-  item_factors_.resize(static_cast<size_t>(num_items_) * g);
-  for (double& v : user_factors_) v = rng.Uniform() * 0.1;
-  for (double& v : item_factors_) v = rng.Uniform() * 0.1;
+  std::vector<double> user_factors(static_cast<size_t>(num_users_) * g);
+  std::vector<double> item_factors(static_cast<size_t>(num_items_) * g);
+  for (double& v : user_factors) v = rng.Uniform() * 0.1;
+  for (double& v : item_factors) v = rng.Uniform() * 0.1;
 
   std::vector<size_t> order(train.ratings().size());
   std::iota(order.begin(), order.end(), 0);
@@ -54,8 +54,8 @@ Status CofiRecommender::Fit(const RatingDataset& train) {
       const double target =
           (static_cast<double>(r.value) - lo[static_cast<size_t>(r.user)]) /
           range[static_cast<size_t>(r.user)];
-      double* pu = &user_factors_[static_cast<size_t>(r.user) * g];
-      double* qi = &item_factors_[static_cast<size_t>(r.item) * g];
+      double* pu = &user_factors[static_cast<size_t>(r.user) * g];
+      double* qi = &item_factors[static_cast<size_t>(r.item) * g];
       double pred = 0.0;
       for (size_t f = 0; f < g; ++f) pred += pu[f] * qi[f];
       const double err = target - pred;
@@ -67,14 +67,17 @@ Status CofiRecommender::Fit(const RatingDataset& train) {
     }
     lr *= config_.lr_decay;
   }
+  factors_.AdoptFp64(std::move(user_factors), std::move(item_factors),
+                     static_cast<size_t>(num_users_),
+                     static_cast<size_t>(num_items_), g);
   return Status::OK();
 }
 
 FactorView CofiRecommender::View() const {
-  return {.user_factors = user_factors_.data(),
-          .item_factors = item_factors_.data(),
-          .num_items = num_items_,
-          .num_factors = static_cast<size_t>(config_.num_factors)};
+  FactorView v;
+  factors_.BindView(&v);
+  v.num_items = num_items_;
+  return v;
 }
 
 void CofiRecommender::ScoreInto(UserId u, std::span<double> out) const {
@@ -105,9 +108,10 @@ Status CofiRecommender::Save(std::ostream& os) const {
   state.WriteI32(num_users_);
   state.WriteI32(num_items_);
   state.WriteU64(train_fingerprint_);
-  state.WriteVecF64(user_factors_);
-  state.WriteVecF64(item_factors_);
   GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  PayloadWriter factors;
+  factors_.Save(&factors);
+  GANC_RETURN_NOT_OK(w.WriteSection(kFactorTableSection, factors));
   return w.Finish();
 }
 
@@ -136,17 +140,21 @@ Status CofiRecommender::Load(std::istream& is, const RatingDataset* train) {
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
-  std::vector<double> p, q;
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
   GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
   GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
+      kFactorTableSection);
+  if (!factors.ok()) return factors.status();
+  PayloadReader fr(factors->payload);
+  FactorStore store;
+  GANC_RETURN_NOT_OK(store.Load(&fr));
+  GANC_RETURN_NOT_OK(fr.ExpectEnd());
   const size_t g = static_cast<size_t>(cfg.num_factors);
-  if (num_users < 0 || num_items < 0 ||
-      p.size() != static_cast<size_t>(num_users) * g ||
-      q.size() != static_cast<size_t>(num_items) * g) {
+  if (num_users < 0 || num_items < 0 || store.num_factors() != g ||
+      store.user_rows() != static_cast<size_t>(num_users) ||
+      store.item_rows() != static_cast<size_t>(num_items)) {
     return Status::InvalidArgument("inconsistent CofiR factor dimensions");
   }
   if (train != nullptr) {
@@ -165,8 +173,7 @@ Status CofiRecommender::Load(std::istream& is, const RatingDataset* train) {
   num_users_ = num_users;
   num_items_ = num_items;
   train_fingerprint_ = fingerprint;
-  user_factors_ = std::move(p);
-  item_factors_ = std::move(q);
+  factors_ = std::move(store);
   return Status::OK();
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "recommender/factor_scoring_engine.h"
+#include "recommender/factor_store.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -50,6 +51,12 @@ class CofiRecommender : public Recommender {
   }
   Status Save(std::ostream& os) const override;
   Status Load(std::istream& is, const RatingDataset* train) override;
+  Status SetFactorPrecision(FactorPrecision p) override {
+    return factors_.SetPrecision(p);
+  }
+  FactorPrecision factor_precision() const override {
+    return factors_.precision();
+  }
 
  private:
   FactorView View() const;
@@ -58,8 +65,7 @@ class CofiRecommender : public Recommender {
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
-  std::vector<double> user_factors_;
-  std::vector<double> item_factors_;
+  FactorStore factors_;
 };
 
 }  // namespace ganc

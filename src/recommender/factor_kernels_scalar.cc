@@ -1,0 +1,199 @@
+// Scalar reference kernels: the PR 2 register-blocked 8-user fp64
+// kernel (moved here verbatim from factor_scoring_engine.cc), plus its
+// fp32 and int8 counterparts. Every SIMD variant is defined as
+// bit-identical to this TU; it is compiled with -ffp-contract=off so
+// the reference itself never fuses a mul+add (see CMakeLists.txt).
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "recommender/factor_kernels_impl.h"
+
+namespace ganc {
+namespace internal {
+namespace {
+
+// The fp64 batch micro-kernel, specialized at compile time on which
+// optional terms exist: with the flags folded, the no-bias
+// instantiation keeps a branch- and load-free inner loop (measured
+// ~20% faster than one generic kernel testing the pointers per item).
+template <bool kHasItemBias, bool kHasUserBase>
+void ScalarBatchF64(const FactorView& v, std::span<const UserId> users,
+                    std::span<double> out) {
+  const size_t g = v.num_factors;
+  const size_t ni = static_cast<size_t>(v.num_items);
+  const size_t batch = users.size();
+
+  for (size_t b0 = 0; b0 < batch; b0 += kU) {
+    const size_t bn = std::min(kU, batch - b0);
+    // A ragged final block keeps the inner loops fixed-width by pointing
+    // the dead lanes at the block's first user; only live lanes store.
+    const double* pu[kU];
+    double* o[kU];
+    double base[kU];
+    for (size_t b = 0; b < kU; ++b) {
+      const size_t lane = b < bn ? b : 0;
+      const size_t ub = static_cast<size_t>(users[b0 + lane]);
+      pu[b] = v.user_factors + ub * g;
+      o[b] = out.data() + (b0 + lane) * ni;
+      base[b] = kHasUserBase ? v.user_base[ub] : 0.0;
+    }
+    for (size_t i = 0; i < ni; ++i) {
+      const double* qi = v.item_factors + i * g;
+      // Bias terms enter each accumulator before the factor sum and every
+      // (u, i) pair keeps one accumulator walked in factor order — the
+      // same evaluation order as the scalar single-user path, so batch
+      // scores are bit-identical to ScoreInto. The kU independent chains
+      // are what buys the speedup: they hide FMA latency and let the
+      // compiler vectorize across users, while q_i is loaded once per
+      // block instead of once per user.
+      double acc[kU];
+      if constexpr (kHasItemBias && kHasUserBase) {
+        const double bi = v.item_bias[i];
+        for (size_t b = 0; b < kU; ++b) acc[b] = base[b] + bi;
+      } else if constexpr (kHasItemBias) {
+        const double bi = v.item_bias[i];
+        for (size_t b = 0; b < kU; ++b) acc[b] = bi;
+      } else if constexpr (kHasUserBase) {
+        for (size_t b = 0; b < kU; ++b) acc[b] = base[b];
+      } else {
+        for (size_t b = 0; b < kU; ++b) acc[b] = 0.0;
+      }
+      for (size_t f = 0; f < g; ++f) {
+        const double qf = qi[f];
+        for (size_t b = 0; b < kU; ++b) acc[b] += pu[b][f] * qf;
+      }
+      for (size_t b = 0; b < bn; ++b) o[b][i] = acc[b];
+    }
+  }
+}
+
+// fp32: identical block structure with float accumulators; bias terms
+// narrow to float before entering the accumulator, the final value
+// widens back to double for the output row.
+template <bool kHasItemBias, bool kHasUserBase>
+void ScalarBatchF32(const FactorView& v, std::span<const UserId> users,
+                    std::span<double> out) {
+  const size_t g = v.num_factors;
+  const size_t ni = static_cast<size_t>(v.num_items);
+  const size_t batch = users.size();
+
+  for (size_t b0 = 0; b0 < batch; b0 += kU) {
+    const size_t bn = std::min(kU, batch - b0);
+    const float* pu[kU];
+    double* o[kU];
+    float base[kU];
+    for (size_t b = 0; b < kU; ++b) {
+      const size_t lane = b < bn ? b : 0;
+      const size_t ub = static_cast<size_t>(users[b0 + lane]);
+      pu[b] = v.user_factors_f32 + ub * g;
+      o[b] = out.data() + (b0 + lane) * ni;
+      base[b] = kHasUserBase ? static_cast<float>(v.user_base[ub]) : 0.0f;
+    }
+    for (size_t i = 0; i < ni; ++i) {
+      const float* qi = v.item_factors_f32 + i * g;
+      const float bi =
+          kHasItemBias ? static_cast<float>(v.item_bias[i]) : 0.0f;
+      float acc[kU];
+      for (size_t b = 0; b < kU; ++b) {
+        acc[b] = BiasTermF32<kHasItemBias, kHasUserBase>(base[b], bi);
+      }
+      for (size_t f = 0; f < g; ++f) {
+        const float qf = qi[f];
+        for (size_t b = 0; b < kU; ++b) acc[b] += pu[b][f] * qf;
+      }
+      for (size_t b = 0; b < bn; ++b) {
+        o[b][i] = static_cast<double>(acc[b]);
+      }
+    }
+  }
+}
+
+// int8: per-lane exact integer dot, then the shared DequantDot combine.
+template <bool kHasItemBias, bool kHasUserBase>
+void ScalarBatchI8(const FactorView& v, std::span<const UserId> users,
+                   std::span<double> out) {
+  const size_t g = v.num_factors;
+  const size_t ni = static_cast<size_t>(v.num_items);
+  const size_t batch = users.size();
+
+  for (size_t b0 = 0; b0 < batch; b0 += kU) {
+    const size_t bn = std::min(kU, batch - b0);
+    const int8_t* pq[kU];
+    double* o[kU];
+    double base[kU];
+    float su[kU];
+    float cu[kU];
+    int32_t sp[kU];
+    for (size_t b = 0; b < kU; ++b) {
+      const size_t lane = b < bn ? b : 0;
+      const size_t ub = static_cast<size_t>(users[b0 + lane]);
+      pq[b] = v.user_q8 + ub * g;
+      o[b] = out.data() + (b0 + lane) * ni;
+      base[b] = kHasUserBase ? v.user_base[ub] : 0.0;
+      su[b] = v.user_scale[ub];
+      cu[b] = v.user_center[ub];
+      sp[b] = v.user_qsum[ub];
+    }
+    for (size_t i = 0; i < ni; ++i) {
+      const int8_t* qq = v.item_q8 + i * g;
+      const double bi = kHasItemBias ? v.item_bias[i] : 0.0;
+      const float si = v.item_scale[i];
+      const float ci = v.item_center[i];
+      const int32_t sq = v.item_qsum[i];
+      int32_t d[kU];
+      for (size_t b = 0; b < kU; ++b) d[b] = 0;
+      for (size_t f = 0; f < g; ++f) {
+        const int32_t qf = qq[f];
+        for (size_t b = 0; b < kU; ++b) {
+          d[b] += static_cast<int32_t>(pq[b][f]) * qf;
+        }
+      }
+      for (size_t b = 0; b < bn; ++b) {
+        o[b][i] = BiasTermF64<kHasItemBias, kHasUserBase>(base[b], bi) +
+                  DequantDot(g, su[b], cu[b], sp[b], si, ci, sq, d[b]);
+      }
+    }
+  }
+}
+
+void ScalarF64(const FactorView& v, std::span<const UserId> users,
+               std::span<double> out) {
+  if (v.item_bias) {
+    if (v.user_base) return ScalarBatchF64<true, true>(v, users, out);
+    return ScalarBatchF64<true, false>(v, users, out);
+  }
+  if (v.user_base) return ScalarBatchF64<false, true>(v, users, out);
+  return ScalarBatchF64<false, false>(v, users, out);
+}
+
+void ScalarF32(const FactorView& v, std::span<const UserId> users,
+               std::span<double> out) {
+  if (v.item_bias) {
+    if (v.user_base) return ScalarBatchF32<true, true>(v, users, out);
+    return ScalarBatchF32<true, false>(v, users, out);
+  }
+  if (v.user_base) return ScalarBatchF32<false, true>(v, users, out);
+  return ScalarBatchF32<false, false>(v, users, out);
+}
+
+void ScalarI8(const FactorView& v, std::span<const UserId> users,
+              std::span<double> out) {
+  if (v.item_bias) {
+    if (v.user_base) return ScalarBatchI8<true, true>(v, users, out);
+    return ScalarBatchI8<true, false>(v, users, out);
+  }
+  if (v.user_base) return ScalarBatchI8<false, true>(v, users, out);
+  return ScalarBatchI8<false, false>(v, users, out);
+}
+
+}  // namespace
+
+const KernelOps& ScalarKernelOps() {
+  static const KernelOps ops{&ScalarF64, &ScalarF32, &ScalarI8};
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace ganc

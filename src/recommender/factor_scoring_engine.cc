@@ -1,95 +1,150 @@
+// Scalar single-user / single-pair scoring paths. The batch path lives
+// in the kernel TUs (factor_kernels*.cc); this TU is compiled with
+// -ffp-contract=off like them, so the scalar reference the kernels are
+// measured against never fuses a mul+add they keep separate.
+
 #include "recommender/factor_scoring_engine.h"
 
-#include <algorithm>
+#include <cstdint>
 
 namespace ganc {
 
 namespace {
 
-// The batch micro-kernel, specialized at compile time on which optional
-// terms exist: with the flags folded, the no-bias instantiation keeps a
-// branch- and load-free inner loop (measured ~20% faster than one
-// generic kernel testing the pointers per item).
-template <bool kHasItemBias, bool kHasUserBase>
-void BatchKernel(const FactorView& v, std::span<const UserId> users,
-                 std::span<double> out) {
-  constexpr size_t kU = FactorScoringEngine::kUserBlock;
+// One user's catalog loop at each precision. The accumulation orders
+// here are the reference the batch kernels replay per lane.
+
+void ScoreIntoF64(const FactorView& v, UserId u, std::span<double> out) {
   const size_t g = v.num_factors;
   const size_t ni = static_cast<size_t>(v.num_items);
-  const size_t batch = users.size();
-
-  for (size_t b0 = 0; b0 < batch; b0 += kU) {
-    const size_t bn = std::min(kU, batch - b0);
-    // A ragged final block keeps the inner loops fixed-width by pointing
-    // the dead lanes at the block's first user; only live lanes store.
-    const double* pu[kU];
-    double* o[kU];
-    double base[kU];
-    for (size_t b = 0; b < kU; ++b) {
-      const size_t lane = b < bn ? b : 0;
-      const size_t ub = static_cast<size_t>(users[b0 + lane]);
-      pu[b] = v.user_factors + ub * g;
-      o[b] = out.data() + (b0 + lane) * ni;
-      base[b] = kHasUserBase ? v.user_base[ub] : 0.0;
-    }
-    for (size_t i = 0; i < ni; ++i) {
-      const double* qi = v.item_factors + i * g;
-      // Bias terms enter each accumulator before the factor sum and every
-      // (u, i) pair keeps one accumulator walked in factor order — the
-      // same evaluation order as the scalar path, so batch scores are
-      // bit-identical to ScoreInto. The kU independent chains are what
-      // buys the speedup: they hide FMA latency and let the compiler
-      // vectorize across users, while q_i is loaded once per block
-      // instead of once per user.
-      double acc[kU];
-      if constexpr (kHasItemBias && kHasUserBase) {
-        const double bi = v.item_bias[i];
-        for (size_t b = 0; b < kU; ++b) acc[b] = base[b] + bi;
-      } else if constexpr (kHasItemBias) {
-        const double bi = v.item_bias[i];
-        for (size_t b = 0; b < kU; ++b) acc[b] = bi;
-      } else if constexpr (kHasUserBase) {
-        for (size_t b = 0; b < kU; ++b) acc[b] = base[b];
-      } else {
-        for (size_t b = 0; b < kU; ++b) acc[b] = 0.0;
-      }
-      for (size_t f = 0; f < g; ++f) {
-        const double qf = qi[f];
-        for (size_t b = 0; b < kU; ++b) acc[b] += pu[b][f] * qf;
-      }
-      for (size_t b = 0; b < bn; ++b) o[b][i] = acc[b];
-    }
-  }
-}
-
-}  // namespace
-
-void FactorScoringEngine::ScoreInto(UserId u, std::span<double> out) const {
-  const size_t g = v_.num_factors;
-  const size_t ni = static_cast<size_t>(v_.num_items);
-  const double* pu = v_.user_factors + static_cast<size_t>(u) * g;
-  const double base = v_.user_base ? v_.user_base[static_cast<size_t>(u)] : 0.0;
+  const double* pu = v.user_factors + static_cast<size_t>(u) * g;
+  const double base = v.user_base ? v.user_base[static_cast<size_t>(u)] : 0.0;
   for (size_t i = 0; i < ni; ++i) {
-    const double* qi = v_.item_factors + i * g;
+    const double* qi = v.item_factors + i * g;
     double acc = base;
-    if (v_.item_bias) acc += v_.item_bias[i];
+    if (v.item_bias) acc += v.item_bias[i];
     for (size_t f = 0; f < g; ++f) acc += pu[f] * qi[f];
     out[i] = acc;
   }
 }
 
+void ScoreIntoF32(const FactorView& v, UserId u, std::span<double> out) {
+  const size_t g = v.num_factors;
+  const size_t ni = static_cast<size_t>(v.num_items);
+  const float* pu = v.user_factors_f32 + static_cast<size_t>(u) * g;
+  const float base =
+      v.user_base ? static_cast<float>(v.user_base[static_cast<size_t>(u)])
+                  : 0.0f;
+  for (size_t i = 0; i < ni; ++i) {
+    const float* qi = v.item_factors_f32 + i * g;
+    // Mirrors the batch kernels' compile-time bias combos exactly: the
+    // bias terms narrow to float and enter the accumulator in the same
+    // order for each present/absent combination.
+    float acc;
+    if (v.item_bias) {
+      const float bi = static_cast<float>(v.item_bias[i]);
+      acc = v.user_base ? base + bi : bi;
+    } else {
+      acc = v.user_base ? base : 0.0f;
+    }
+    for (size_t f = 0; f < g; ++f) acc += pu[f] * qi[f];
+    out[i] = static_cast<double>(acc);
+  }
+}
+
+void ScoreIntoI8(const FactorView& v, UserId u, std::span<double> out) {
+  const size_t g = v.num_factors;
+  const size_t ni = static_cast<size_t>(v.num_items);
+  const size_t uu = static_cast<size_t>(u);
+  const int8_t* pq = v.user_q8 + uu * g;
+  const double base = v.user_base ? v.user_base[uu] : 0.0;
+  const float su = v.user_scale[uu];
+  const float cu = v.user_center[uu];
+  const int32_t sp = v.user_qsum[uu];
+  for (size_t i = 0; i < ni; ++i) {
+    const int8_t* qq = v.item_q8 + i * g;
+    int32_t d = 0;
+    for (size_t f = 0; f < g; ++f) {
+      d += static_cast<int32_t>(pq[f]) * static_cast<int32_t>(qq[f]);
+    }
+    double acc;
+    if (v.item_bias) {
+      acc = v.user_base ? base + v.item_bias[i] : v.item_bias[i];
+    } else {
+      acc = v.user_base ? base : 0.0;
+    }
+    out[i] = acc + DequantDot(g, su, cu, sp, v.item_scale[i], v.item_center[i],
+                              v.item_qsum[i], d);
+  }
+}
+
+}  // namespace
+
+double FactorScoringEngine::ScoreOne(UserId u, ItemId i) const {
+  const size_t g = v_.num_factors;
+  const size_t uu = static_cast<size_t>(u);
+  const size_t ii = static_cast<size_t>(i);
+  switch (v_.precision) {
+    case FactorPrecision::kFp64: {
+      const double* pu = v_.user_factors + uu * g;
+      const double* qi = v_.item_factors + ii * g;
+      double acc = v_.user_base ? v_.user_base[uu] : 0.0;
+      if (v_.item_bias) acc += v_.item_bias[ii];
+      for (size_t f = 0; f < g; ++f) acc += pu[f] * qi[f];
+      return acc;
+    }
+    case FactorPrecision::kFp32: {
+      const float* pu = v_.user_factors_f32 + uu * g;
+      const float* qi = v_.item_factors_f32 + ii * g;
+      const float base =
+          v_.user_base ? static_cast<float>(v_.user_base[uu]) : 0.0f;
+      float acc;
+      if (v_.item_bias) {
+        const float bi = static_cast<float>(v_.item_bias[ii]);
+        acc = v_.user_base ? base + bi : bi;
+      } else {
+        acc = v_.user_base ? base : 0.0f;
+      }
+      for (size_t f = 0; f < g; ++f) acc += pu[f] * qi[f];
+      return static_cast<double>(acc);
+    }
+    case FactorPrecision::kInt8: {
+      const int8_t* pq = v_.user_q8 + uu * g;
+      const int8_t* qq = v_.item_q8 + ii * g;
+      int32_t d = 0;
+      for (size_t f = 0; f < g; ++f) {
+        d += static_cast<int32_t>(pq[f]) * static_cast<int32_t>(qq[f]);
+      }
+      double acc;
+      if (v_.item_bias) {
+        acc = v_.user_base ? v_.user_base[uu] + v_.item_bias[ii]
+                           : v_.item_bias[ii];
+      } else {
+        acc = v_.user_base ? v_.user_base[uu] : 0.0;
+      }
+      return acc + DequantDot(g, v_.user_scale[uu], v_.user_center[uu],
+                              v_.user_qsum[uu], v_.item_scale[ii],
+                              v_.item_center[ii], v_.item_qsum[ii], d);
+    }
+  }
+  return 0.0;
+}
+
+void FactorScoringEngine::ScoreInto(UserId u, std::span<double> out) const {
+  switch (v_.precision) {
+    case FactorPrecision::kFp64: return ScoreIntoF64(v_, u, out);
+    case FactorPrecision::kFp32: return ScoreIntoF32(v_, u, out);
+    case FactorPrecision::kInt8: return ScoreIntoI8(v_, u, out);
+  }
+}
+
 void FactorScoringEngine::ScoreBatchInto(std::span<const UserId> users,
                                          std::span<double> out) const {
-  if (v_.item_bias) {
-    if (v_.user_base) {
-      BatchKernel<true, true>(v_, users, out);
-    } else {
-      BatchKernel<true, false>(v_, users, out);
-    }
-  } else if (v_.user_base) {
-    BatchKernel<false, true>(v_, users, out);
-  } else {
-    BatchKernel<false, false>(v_, users, out);
+  const KernelOps& ops = ActiveKernelOps();
+  switch (v_.precision) {
+    case FactorPrecision::kFp64: return ops.batch_f64(v_, users, out);
+    case FactorPrecision::kFp32: return ops.batch_f32(v_, users, out);
+    case FactorPrecision::kInt8: return ops.batch_i8(v_, users, out);
   }
 }
 

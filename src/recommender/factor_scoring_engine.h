@@ -6,24 +6,22 @@
 // models construct it on the fly inside their Score* overrides, so
 // there is no lifetime coupling and refitting can never dangle it.
 //
-// Two paths share the view:
+// Three paths share the view (which since PR 6 is precision-typed, see
+// factor_view.h):
+//   ScoreOne        one (user, item) score — the scalar dot used by
+//                   training-time Predict/Score call sites.
 //   ScoreInto       one user, the classic scalar dot-product loop.
-//   ScoreBatchInto  a user batch, computed by a register-blocked
-//                   micro-kernel (kUserBlock users x g factors x one item
-//                   at a time): the innermost loop runs kUserBlock
-//                   independent accumulators over one broadcast item
-//                   factor, so each q_i streams through cache once per
-//                   user block instead of once per user and the
-//                   independent chains hide FMA latency / vectorize
-//                   across users. Wider tilings (packing the user block
-//                   transposed, 2-D user x item tiles) were measured
-//                   slower on this kernel's sizes — register pressure
-//                   beats the extra reuse — so the block is deliberately
-//                   one-dimensional.
+//   ScoreBatchInto  a user batch, routed through the runtime-dispatched
+//                   kernel table (factor_kernels.h): scalar reference or
+//                   a SIMD variant picked per process by cpuid gating +
+//                   a startup micro-probe (GANC_KERNEL overrides).
 //
-// Both paths accumulate each (u, i) dot product in factor order with a
-// single accumulator, so batch scores are bit-identical to the scalar
-// path (parity is pinned by tests/recommender/scoring_parity_test.cc).
+// Parity contract: at fp64, every dispatch variant is bit-identical to
+// ScoreInto (each (u, i) pair keeps one accumulator walked in factor
+// order; kernel TUs compile with -ffp-contract=off). fp32 and int8
+// scores are likewise bit-identical *across variants*, and track the
+// fp64 path within float rounding / quantization error (pinned by the
+// tolerance tier in tests/recommender/factor_precision_test.cc).
 
 #ifndef GANC_RECOMMENDER_FACTOR_SCORING_ENGINE_H_
 #define GANC_RECOMMENDER_FACTOR_SCORING_ENGINE_H_
@@ -33,36 +31,33 @@
 #include <span>
 
 #include "data/dataset.h"
+#include "recommender/factor_kernels.h"
+#include "recommender/factor_view.h"
 
 namespace ganc {
 
-/// Borrowed view of a fitted latent-factor model's parameters.
-struct FactorView {
-  const double* user_factors = nullptr;  ///< |U| x g row-major
-  const double* item_factors = nullptr;  ///< |I| x g row-major
-  const double* item_bias = nullptr;     ///< optional |I| (may be null)
-  const double* user_base = nullptr;     ///< optional |U| offsets (may be null)
-  int32_t num_items = 0;
-  size_t num_factors = 0;  ///< g
-};
-
 /// Blocked multi-user scoring over a FactorView. Cheap to construct per
-/// call; thread-safe (both paths use only stack scratch).
+/// call; thread-safe (scratch is per-thread).
 class FactorScoringEngine {
  public:
   /// Users per register block: the inner kernel runs this many
   /// independent accumulator chains per item factor broadcast. 8 is the
   /// measured sweet spot (4 ties, 16+ spills registers).
-  static constexpr size_t kUserBlock = 8;
+  static constexpr size_t kUserBlock = kFactorKernelUserBlock;
 
   explicit FactorScoringEngine(const FactorView& view) : v_(view) {}
+
+  /// One (u, i) score at the view's precision. Bit-identical to the
+  /// corresponding entry of ScoreInto.
+  double ScoreOne(UserId u, ItemId i) const;
 
   /// Scalar path: catalog scores for one user into `out` (num_items).
   void ScoreInto(UserId u, std::span<double> out) const;
 
   /// Blocked path: catalog scores for every user in `users` into the
   /// batch-major `out` (users.size() * num_items; row b = users[b]).
-  /// Bit-identical to calling ScoreInto per user.
+  /// Bit-identical to calling ScoreInto per user, for every dispatch
+  /// variant.
   void ScoreBatchInto(std::span<const UserId> users,
                       std::span<double> out) const;
 

@@ -1,0 +1,98 @@
+// Owning storage for a latent-factor model's user/item tables at a
+// selectable precision (see factor_view.h for the precision semantics).
+//
+// Lifecycle: Fit produces fp64 tables and hands them over with
+// AdoptFp64(); SetPrecision() then optionally narrows them to fp32 or
+// quantizes to int8 — and *drops* the fp64 originals, which is the
+// point (a compacted model's resident factor bytes shrink 2x / ~8x).
+// Because narrowing is lossy, precision conversions only run off fp64
+// tables: fp32 -> int8 is an error (re-fit or reload the fp64
+// artifact).
+//
+// Persistence: the store serializes as its own artifact section
+// (kFactorTableSection, docs/FORMATS.md §factor tables) holding only
+// the active precision's tables, so a quantized artifact cold-loads
+// without ever materializing the fp64 table.
+
+#ifndef GANC_RECOMMENDER_FACTOR_STORE_H_
+#define GANC_RECOMMENDER_FACTOR_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "recommender/factor_view.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace ganc {
+
+class FactorStore {
+ public:
+  /// Takes ownership of fitted fp64 tables (user: rows_u x g, item:
+  /// rows_i x g, row-major). Resets precision to fp64.
+  void AdoptFp64(std::vector<double> user, std::vector<double> item,
+                 size_t user_rows, size_t item_rows, size_t num_factors);
+
+  /// Converts the tables to `p` in place. fp64 -> {fp64, fp32, int8}
+  /// and identity conversions succeed; anything else is an error (the
+  /// fp64 source is gone once compacted).
+  Status SetPrecision(FactorPrecision p);
+
+  FactorPrecision precision() const { return precision_; }
+  bool empty() const { return user_rows_ == 0 && item_rows_ == 0; }
+  size_t num_factors() const { return num_factors_; }
+  size_t user_rows() const { return user_rows_; }
+  size_t item_rows() const { return item_rows_; }
+
+  /// Points the view's factor-table fields (precision, typed pointers,
+  /// num_factors) at this store. Bias fields and num_items are the
+  /// caller's.
+  void BindView(FactorView* view) const;
+
+  /// fp64 row access for training-time code paths; requires fp64.
+  const std::vector<double>& user_f64() const { return user_f64_; }
+  const std::vector<double>& item_f64() const { return item_f64_; }
+
+  /// Bytes resident in the active factor tables (incl. quantization
+  /// side tables) — the number BENCH_kernel.json reports.
+  size_t ResidentBytes() const;
+
+  /// Serializes the active tables as one section payload.
+  void Save(PayloadWriter* w) const;
+
+  /// Parses a section payload written by Save(); validates the
+  /// precision tag and every table length against the header counts.
+  Status Load(PayloadReader* r);
+
+  void Clear();
+
+ private:
+  struct QuantizedRows {
+    std::vector<int8_t> q;      // rows x g
+    std::vector<float> scale;   // rows
+    std::vector<float> center;  // rows
+    std::vector<int32_t> qsum;  // rows, sum_f q[row][f]
+  };
+
+  static QuantizedRows Quantize(const std::vector<double>& src, size_t rows,
+                                size_t g);
+  Status LoadQuantized(PayloadReader* r, QuantizedRows* out, size_t rows,
+                       const char* side) const;
+
+  FactorPrecision precision_ = FactorPrecision::kFp64;
+  size_t user_rows_ = 0;
+  size_t item_rows_ = 0;
+  size_t num_factors_ = 0;
+
+  std::vector<double> user_f64_;
+  std::vector<double> item_f64_;
+  std::vector<float> user_f32_;
+  std::vector<float> item_f32_;
+  QuantizedRows user_q_;
+  QuantizedRows item_q_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_RECOMMENDER_FACTOR_STORE_H_

@@ -36,9 +36,12 @@ enum class ModelType : uint32_t {
 };
 
 /// Section ids shared by all model artifacts: hyper-parameters first,
-/// learned state second.
+/// learned state second; the latent-factor models (PSVD, RSVD, BPR,
+/// CofiR) append their factor tables as a third section at whatever
+/// precision is active (FactorStore, docs/FORMATS.md §factor tables).
 inline constexpr uint32_t kModelConfigSection = 1;
 inline constexpr uint32_t kModelStateSection = 2;
+inline constexpr uint32_t kFactorTableSection = 3;
 
 /// Reads the artifact header from `r` and validates kind/type. The
 /// shared prologue of every Recommender::Load implementation.

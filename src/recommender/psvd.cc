@@ -22,26 +22,29 @@ Status PsvdRecommender::Fit(const RatingDataset& train) {
                     config_.power_iterations, config_.seed);
   const size_t g = svd.singular_values.size();
   singular_values_ = svd.singular_values;
-  user_factors_.assign(static_cast<size_t>(num_users_) * g, 0.0);
-  item_factors_.assign(static_cast<size_t>(num_items_) * g, 0.0);
+  std::vector<double> p(static_cast<size_t>(num_users_) * g, 0.0);
+  std::vector<double> q(static_cast<size_t>(num_items_) * g, 0.0);
   for (size_t u = 0; u < static_cast<size_t>(num_users_); ++u) {
     for (size_t f = 0; f < g; ++f) {
-      user_factors_[u * g + f] = svd.u.At(u, f) * svd.singular_values[f];
+      p[u * g + f] = svd.u.At(u, f) * svd.singular_values[f];
     }
   }
   for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
     for (size_t f = 0; f < g; ++f) {
-      item_factors_[i * g + f] = svd.v.At(i, f);
+      q[i * g + f] = svd.v.At(i, f);
     }
   }
+  factors_.AdoptFp64(std::move(p), std::move(q),
+                     static_cast<size_t>(num_users_),
+                     static_cast<size_t>(num_items_), g);
   return Status::OK();
 }
 
 FactorView PsvdRecommender::View() const {
-  return {.user_factors = user_factors_.data(),
-          .item_factors = item_factors_.data(),
-          .num_items = num_items_,
-          .num_factors = singular_values_.size()};
+  FactorView v;
+  factors_.BindView(&v);
+  v.num_items = num_items_;
+  return v;
 }
 
 void PsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
@@ -71,9 +74,10 @@ Status PsvdRecommender::Save(std::ostream& os) const {
   state.WriteI32(num_items_);
   state.WriteU64(train_fingerprint_);
   state.WriteVecF64(singular_values_);
-  state.WriteVecF64(user_factors_);
-  state.WriteVecF64(item_factors_);
   GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  PayloadWriter factors;
+  factors_.Save(&factors);
+  GANC_RETURN_NOT_OK(w.WriteSection(kFactorTableSection, factors));
   return w.Finish();
 }
 
@@ -97,19 +101,24 @@ Status PsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
-  std::vector<double> sigma, p, q;
+  std::vector<double> sigma;
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
   GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
   GANC_RETURN_NOT_OK(sr.ReadVecF64(&sigma));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
   GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
+      kFactorTableSection);
+  if (!factors.ok()) return factors.status();
+  PayloadReader fr(factors->payload);
+  FactorStore store;
+  GANC_RETURN_NOT_OK(store.Load(&fr));
+  GANC_RETURN_NOT_OK(fr.ExpectEnd());
   // Scoring rank is |sigma| (may be below num_factors on tiny matrices).
   const size_t g = sigma.size();
-  if (num_users < 0 || num_items < 0 ||
-      p.size() != static_cast<size_t>(num_users) * g ||
-      q.size() != static_cast<size_t>(num_items) * g) {
+  if (num_users < 0 || num_items < 0 || store.num_factors() != g ||
+      store.user_rows() != static_cast<size_t>(num_users) ||
+      store.item_rows() != static_cast<size_t>(num_items)) {
     return Status::InvalidArgument("inconsistent PSVD factor dimensions");
   }
   if (train != nullptr) {
@@ -129,8 +138,7 @@ Status PsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   num_items_ = num_items;
   train_fingerprint_ = fingerprint;
   singular_values_ = std::move(sigma);
-  user_factors_ = std::move(p);
-  item_factors_ = std::move(q);
+  factors_ = std::move(store);
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "recommender/factor_scoring_engine.h"
+#include "recommender/factor_store.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -44,6 +45,12 @@ class PsvdRecommender : public Recommender {
   }
   Status Save(std::ostream& os) const override;
   Status Load(std::istream& is, const RatingDataset* train) override;
+  Status SetFactorPrecision(FactorPrecision p) override {
+    return factors_.SetPrecision(p);
+  }
+  FactorPrecision factor_precision() const override {
+    return factors_.precision();
+  }
 
   /// Singular values of the fitted factorization (decreasing).
   const std::vector<double>& singular_values() const {
@@ -57,8 +64,7 @@ class PsvdRecommender : public Recommender {
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
-  std::vector<double> user_factors_;  // |U| x g: rows of U * Sigma
-  std::vector<double> item_factors_;  // |I| x g: rows of V
+  FactorStore factors_;  // P = U * Sigma (|U| x g), Q = V (|I| x g)
   std::vector<double> singular_values_;
 };
 

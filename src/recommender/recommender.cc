@@ -14,6 +14,13 @@ void Recommender::ScoreBatchInto(std::span<const UserId> users,
   }
 }
 
+Status Recommender::SetFactorPrecision(FactorPrecision p) {
+  if (p == FactorPrecision::kFp64) return Status::OK();
+  return Status::InvalidArgument(
+      "model '" + name() + "' has no latent factor tables to compact to " +
+      FactorPrecisionName(p));
+}
+
 Status Recommender::Save(std::ostream& /*os*/) const {
   return Status::NotImplemented("model '" + name() +
                                 "' has no persistence support");

@@ -137,6 +137,21 @@ class Recommender {
   ///  - Not thread-safe against concurrent scoring (like Fit).
   virtual Status Load(std::istream& is, const RatingDataset* train);
 
+  /// Converts the model's factor tables to `p` in place (see
+  /// factor_view.h for the precision semantics). The latent-factor
+  /// models (PSVD, RSVD, BPR, CofiR) override this to materialize the
+  /// compact tables and drop the fp64 originals; converting a compacted
+  /// model again is an error there (narrowing is one-way). Every other
+  /// model accepts only kFp64 (a no-op) and rejects the compact
+  /// precisions — it has no factor tables to compact.
+  virtual Status SetFactorPrecision(FactorPrecision p);
+
+  /// Active factor-table precision; kFp64 for models without factor
+  /// tables. Surfaces in the serve snapshot (see serve layer).
+  virtual FactorPrecision factor_precision() const {
+    return FactorPrecision::kFp64;
+  }
+
   /// Allocating convenience wrapper over ScoreInto.
   std::vector<double> ScoreAll(UserId u) const;
 

@@ -29,12 +29,12 @@ Status RsvdRecommender::Fit(const RatingDataset& train) {
   const size_t g = static_cast<size_t>(config_.num_factors);
 
   Rng rng(config_.seed);
-  user_factors_.resize(static_cast<size_t>(num_users_) * g);
-  item_factors_.resize(static_cast<size_t>(num_items_) * g);
+  std::vector<double> user_factors(static_cast<size_t>(num_users_) * g);
+  std::vector<double> item_factors(static_cast<size_t>(num_items_) * g);
   // LIBMF-style non-negative uniform init keeps early predictions near the
   // data scale and satisfies the RSVDN constraint from the start.
-  for (double& v : user_factors_) v = rng.Uniform() * config_.init_scale;
-  for (double& v : item_factors_) v = rng.Uniform() * config_.init_scale;
+  for (double& v : user_factors) v = rng.Uniform() * config_.init_scale;
+  for (double& v : item_factors) v = rng.Uniform() * config_.init_scale;
   user_bias_.assign(static_cast<size_t>(num_users_), 0.0);
   item_bias_.assign(static_cast<size_t>(num_items_), 0.0);
 
@@ -52,8 +52,8 @@ Status RsvdRecommender::Fit(const RatingDataset& train) {
     double sq_err = 0.0;
     for (size_t idx : order) {
       const Rating& r = train.ratings()[idx];
-      double* pu = &user_factors_[static_cast<size_t>(r.user) * g];
-      double* qi = &item_factors_[static_cast<size_t>(r.item) * g];
+      double* pu = &user_factors[static_cast<size_t>(r.user) * g];
+      double* qi = &item_factors[static_cast<size_t>(r.item) * g];
       double pred = base;
       if (config_.use_biases) {
         pred += user_bias_[static_cast<size_t>(r.user)] +
@@ -94,28 +94,26 @@ Status RsvdRecommender::Fit(const RatingDataset& train) {
       user_base_[u] = global_mean_ + user_bias_[u];
     }
   }
+  factors_.AdoptFp64(std::move(user_factors), std::move(item_factors),
+                     static_cast<size_t>(num_users_),
+                     static_cast<size_t>(num_items_), g);
   return Status::OK();
 }
 
 FactorView RsvdRecommender::View() const {
-  return {.user_factors = user_factors_.data(),
-          .item_factors = item_factors_.data(),
-          .item_bias = config_.use_biases ? item_bias_.data() : nullptr,
-          .user_base = config_.use_biases ? user_base_.data() : nullptr,
-          .num_items = num_items_,
-          .num_factors = static_cast<size_t>(config_.num_factors)};
+  FactorView v;
+  factors_.BindView(&v);
+  v.item_bias = config_.use_biases ? item_bias_.data() : nullptr;
+  v.user_base = config_.use_biases ? user_base_.data() : nullptr;
+  v.num_items = num_items_;
+  return v;
 }
 
 double RsvdRecommender::Predict(UserId u, ItemId i) const {
-  const size_t g = static_cast<size_t>(config_.num_factors);
-  const double* pu = &user_factors_[static_cast<size_t>(u) * g];
-  const double* qi = &item_factors_[static_cast<size_t>(i) * g];
-  double pred = config_.use_biases
-                    ? global_mean_ + user_bias_[static_cast<size_t>(u)] +
-                          item_bias_[static_cast<size_t>(i)]
-                    : 0.0;
-  for (size_t f = 0; f < g; ++f) pred += pu[f] * qi[f];
-  return pred;
+  // ScoreOne keeps the historical ((mu + b_u) + b_i) + <p, q> evaluation
+  // order via the precomputed user_base_ rows, so fp64 predictions are
+  // bit-identical to the pre-FactorStore implementation.
+  return FactorScoringEngine(View()).ScoreOne(u, i);
 }
 
 void RsvdRecommender::ScoreInto(UserId u, std::span<double> out) const {
@@ -160,12 +158,13 @@ Status RsvdRecommender::Save(std::ostream& os) const {
   state.WriteI32(num_items_);
   state.WriteU64(train_fingerprint_);
   state.WriteF64(global_mean_);
-  state.WriteVecF64(user_factors_);
-  state.WriteVecF64(item_factors_);
   state.WriteVecF64(user_bias_);
   state.WriteVecF64(item_bias_);
   state.WriteVecF64(user_base_);
   GANC_RETURN_NOT_OK(w.WriteSection(kModelStateSection, state));
+  PayloadWriter factors;
+  factors_.Save(&factors);
+  GANC_RETURN_NOT_OK(w.WriteSection(kFactorTableSection, factors));
   return w.Finish();
 }
 
@@ -202,25 +201,31 @@ Status RsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
   double global_mean = 0.0;
-  std::vector<double> p, q, bu, bi, base;
+  std::vector<double> bu, bi, base;
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_users));
   GANC_RETURN_NOT_OK(sr.ReadI32(&num_items));
   GANC_RETURN_NOT_OK(sr.ReadU64(&fingerprint));
   GANC_RETURN_NOT_OK(sr.ReadF64(&global_mean));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&p));
-  GANC_RETURN_NOT_OK(sr.ReadVecF64(&q));
   GANC_RETURN_NOT_OK(sr.ReadVecF64(&bu));
   GANC_RETURN_NOT_OK(sr.ReadVecF64(&bi));
   GANC_RETURN_NOT_OK(sr.ReadVecF64(&base));
   GANC_RETURN_NOT_OK(sr.ExpectEnd());
+  Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
+      kFactorTableSection);
+  if (!factors.ok()) return factors.status();
+  PayloadReader fr(factors->payload);
+  FactorStore store;
+  GANC_RETURN_NOT_OK(store.Load(&fr));
+  GANC_RETURN_NOT_OK(fr.ExpectEnd());
   const size_t g = static_cast<size_t>(cfg.num_factors);
   const size_t nu = static_cast<size_t>(num_users);
   const size_t ni = static_cast<size_t>(num_items);
   const bool biased_sizes_ok =
       !cfg.use_biases ||
       (bu.size() == nu && bi.size() == ni && base.size() == nu);
-  if (num_users < 0 || num_items < 0 || p.size() != nu * g ||
-      q.size() != ni * g || !biased_sizes_ok) {
+  if (num_users < 0 || num_items < 0 || store.num_factors() != g ||
+      store.user_rows() != nu || store.item_rows() != ni ||
+      !biased_sizes_ok) {
     return Status::InvalidArgument("inconsistent RSVD factor dimensions");
   }
   if (train != nullptr) {
@@ -240,8 +245,7 @@ Status RsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   num_items_ = num_items;
   train_fingerprint_ = fingerprint;
   global_mean_ = global_mean;
-  user_factors_ = std::move(p);
-  item_factors_ = std::move(q);
+  factors_ = std::move(store);
   user_bias_ = std::move(bu);
   item_bias_ = std::move(bi);
   user_base_ = std::move(base);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "recommender/factor_scoring_engine.h"
+#include "recommender/factor_store.h"
 #include "recommender/recommender.h"
 
 namespace ganc {
@@ -48,8 +49,15 @@ class RsvdRecommender : public Recommender {
   }
   Status Save(std::ostream& os) const override;
   Status Load(std::istream& is, const RatingDataset* train) override;
+  Status SetFactorPrecision(FactorPrecision p) override {
+    return factors_.SetPrecision(p);
+  }
+  FactorPrecision factor_precision() const override {
+    return factors_.precision();
+  }
 
-  /// Predicted rating for a single (u, i) pair.
+  /// Predicted rating for a single (u, i) pair, at the active factor
+  /// precision.
   double Predict(UserId u, ItemId i) const;
 
   /// Root-mean-square error over a held-out set (Table V reporting).
@@ -65,8 +73,7 @@ class RsvdRecommender : public Recommender {
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set
   double global_mean_ = 0.0;
-  std::vector<double> user_factors_;  // |U| x g row-major
-  std::vector<double> item_factors_;  // |I| x g row-major
+  FactorStore factors_;  // P (|U| x g), Q (|I| x g)
   std::vector<double> user_bias_;
   std::vector<double> item_bias_;
   std::vector<double> user_base_;  // mu + b_u per user (biased mode only)

@@ -5,7 +5,7 @@ namespace ganc {
 std::span<double> ScoringContext::Buffer(size_t slot, size_t n) {
   CheckOwner();
   if (buffers_.size() <= slot) buffers_.resize(slot + 1);
-  std::vector<double>& buf = buffers_[slot];
+  AlignedVector<double>& buf = buffers_[slot];
   buf.resize(n);  // shrinking keeps capacity: no reallocation churn
   return {buf.data(), n};
 }

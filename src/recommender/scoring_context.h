@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/aligned.h"
 #include "util/top_k.h"
 
 namespace ganc {
@@ -111,8 +112,11 @@ class ScoringContext {
 
   friend class ScoringContextOwnershipTestPeer;
 
-  std::vector<std::vector<double>> buffers_;
-  std::vector<double> batch_scores_;
+  // Score buffers are 64-byte aligned so the SIMD scoring kernels (and
+  // anything else walking them with vector loads) start on a cache-line
+  // boundary regardless of allocator behavior.
+  std::vector<AlignedVector<double>> buffers_;
+  AlignedVector<double> batch_scores_;
   std::vector<UserId> batch_users_;
   std::vector<std::vector<ItemId>> items_;
   std::vector<ScoredItem> top_k_;

@@ -59,6 +59,7 @@ Status RecommendationService::Init(const Recommender* model,
     }
     model_ = model;
     source_ = model->name();
+    factor_precision_ = model->factor_precision();
   } else {
     scorer_ = &pipeline->scorer();
     theta_ = &pipeline->theta();
@@ -72,6 +73,7 @@ Status RecommendationService::Init(const Recommender* model,
     coverage_ = MakeCoverage(pipeline->coverage_kind(), *train_,
                              pipeline->seed());
     source_ = pipeline->name();
+    factor_precision_ = pipeline->factor_precision();
   }
   num_items_ = train_->num_items();
   if (config_.cache_capacity > 0) {
@@ -120,6 +122,10 @@ RecommendationService::LoadModelService(const std::string& path,
   std::unique_ptr<RecommendationService> service(
       new RecommendationService(train, config));
   service->owned_model_ = std::move(model).value();
+  if (config.factor_precision != FactorPrecision::kFp64) {
+    GANC_RETURN_NOT_OK(
+        service->owned_model_->SetFactorPrecision(config.factor_precision));
+  }
   GANC_RETURN_NOT_OK(service->Init(service->owned_model_.get(), nullptr));
   return service;
 }
@@ -134,6 +140,10 @@ RecommendationService::LoadPipelineService(const std::string& path,
   std::unique_ptr<RecommendationService> service(
       new RecommendationService(train, config));
   service->owned_pipeline_ = std::move(pipeline).value();
+  if (config.factor_precision != FactorPrecision::kFp64) {
+    GANC_RETURN_NOT_OK(
+        service->owned_pipeline_->SetFactorPrecision(config.factor_precision));
+  }
   GANC_RETURN_NOT_OK(service->Init(nullptr, service->owned_pipeline_.get()));
   return service;
 }

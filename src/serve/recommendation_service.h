@@ -48,6 +48,7 @@
 
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "recommender/factor_view.h"
 #include "recommender/recommender.h"
 #include "serve/micro_batcher.h"
 #include "serve/result_cache.h"
@@ -72,6 +73,11 @@ struct ServiceConfig {
   bool micro_batching = true;
   /// List length served when a request passes n = 0.
   int default_n = 10;
+  /// Factor-table precision the Load*Service constructors compact the
+  /// owned snapshot to after loading (kFp64 = keep the artifact's own
+  /// precision). Ignored by the borrowing Create overloads — compact the
+  /// model before handing it in.
+  FactorPrecision factor_precision = FactorPrecision::kFp64;
 };
 
 /// Aggregated serving counters (monotonic; snapshot via stats()).
@@ -167,6 +173,10 @@ class RecommendationService {
 
   int32_t num_users() const { return train_->num_users(); }
   int32_t num_items() const { return num_items_; }
+
+  /// Factor-table precision of the serving snapshot (kFp64 for models
+  /// without latent factor tables).
+  FactorPrecision factor_precision() const { return factor_precision_; }
   int default_n() const { return config_.default_n; }
   bool micro_batching() const { return config_.micro_batching; }
 
@@ -198,6 +208,7 @@ class RecommendationService {
   uint64_t version_ = 0;
   int32_t num_items_ = 0;
   std::string source_;
+  FactorPrecision factor_precision_ = FactorPrecision::kFp64;
 
   // Snapshot scoring state. Model mode sets model_; pipeline mode sets
   // scorer_/theta_/coverage_.

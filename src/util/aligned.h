@@ -1,0 +1,66 @@
+// Over-aligned storage for scoring scratch buffers.
+//
+// The SIMD batch kernels load 64-byte vectors and the scatter kernels
+// stream whole cache lines, so the buffers they run over are allocated
+// on 64-byte boundaries: one aligned load per register instead of a
+// split pair, and no score row sharing a cache line with an unrelated
+// allocation.
+
+#ifndef GANC_UTIL_ALIGNED_H_
+#define GANC_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace ganc {
+
+/// Cache-line / widest-vector alignment used by the scoring buffers.
+inline constexpr size_t kScoringAlignment = 64;
+
+/// Minimal C++17 aligned allocator: std::allocator semantics with every
+/// allocation on an `Alignment` boundary.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kScoringAlignment>>;
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_ALIGNED_H_

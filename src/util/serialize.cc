@@ -68,6 +68,11 @@ void PayloadWriter::WriteVecU64(const std::vector<uint64_t>& v) {
   WriteVecGeneric(this, v, [this](uint64_t x) { WriteU64(x); });
 }
 
+void PayloadWriter::WriteVecI8(const std::vector<int8_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size());  // single bytes: no endianness
+}
+
 Status PayloadReader::Require(size_t n) const {
   // Compare against the remaining bytes (never pos_ + n, which can wrap
   // for forged 64-bit lengths).
@@ -205,6 +210,18 @@ Status PayloadReader::ReadVecU64(std::vector<uint64_t>* out) {
     return Status::OK();
   }
   for (uint64_t i = 0; i < count; ++i) GANC_RETURN_NOT_OK(ReadU64(&(*out)[i]));
+  return Status::OK();
+}
+
+Status PayloadReader::ReadVecI8(std::vector<int8_t>* out) {
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining()) {
+    return Status::InvalidArgument("vector length exceeds section payload");
+  }
+  out->resize(count);
+  std::memcpy(out->data(), bytes_.data() + pos_, count);
+  pos_ += count;
   return Status::OK();
 }
 

@@ -38,7 +38,7 @@ namespace ganc {
 /// Current on-disk format version, bumped on any incompatible layout
 /// change. Readers reject artifacts written with a different version.
 /// Keep docs/FORMATS.md in sync (CI greps the literal in both files).
-inline constexpr uint32_t kGancFormatVersion = 1;
+inline constexpr uint32_t kGancFormatVersion = 2;
 
 /// 8-byte file magic, "GANCART" + NUL.
 inline constexpr char kGancArtifactMagic[8] = {'G', 'A', 'N', 'C',
@@ -78,6 +78,7 @@ class PayloadWriter {
   void WriteVecF32(const std::vector<float>& v);
   void WriteVecI32(const std::vector<int32_t>& v);
   void WriteVecU64(const std::vector<uint64_t>& v);
+  void WriteVecI8(const std::vector<int8_t>& v);
 
   const std::string& buffer() const { return buf_; }
 
@@ -103,6 +104,7 @@ class PayloadReader {
   Status ReadVecF32(std::vector<float>* out);
   Status ReadVecI32(std::vector<int32_t>* out);
   Status ReadVecU64(std::vector<uint64_t>* out);
+  Status ReadVecI8(std::vector<int8_t>* out);
 
   size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }

@@ -40,6 +40,8 @@
 #include "eval/runner.h"
 #include "recommender/bpr.h"
 #include "recommender/cofirank.h"
+#include "recommender/factor_kernels.h"
+#include "recommender/factor_view.h"
 #include "recommender/item_knn.h"
 #include "recommender/model_io.h"
 #include "recommender/pop.h"
@@ -63,7 +65,7 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ganc_cli [train|recommend|cache-dataset] [flags]\n"
+      "usage: ganc_cli [train|recommend|cache-dataset|kernels] [flags]\n"
       "\n"
       "data source (all commands):\n"
       "    [--dataset=ml100k|ml1m|ml10m|mt200k|netflix|tiny]\n"
@@ -76,6 +78,8 @@ void Usage() {
       "train:          [--arec=pop|rand|rp3b|itemknn|userknn|psvd10|\n"
       "                 psvd100|rsvd|bpr|cofi]\n"
       "                [--save-model=PATH] [--save-pipeline=PATH]\n"
+      "                [--factor-precision=fp64|fp32|int8]  (compact the\n"
+      "                 fitted factor tables before saving/serving)\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
       "                [--threads=1]   (parallel KNN similarity sweeps;\n"
       "                 artifacts are byte-identical to --threads=1)\n"
@@ -85,19 +89,25 @@ void Usage() {
       "                [--load-pipeline=PATH]\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
       "                [--top-n=5] [--sample-size=500] [--threads=1]\n"
+      "                [--factor-precision=fp64|fp32|int8]\n"
       "                [--theta-out=PATH] [--output=PATH] [--verbose]\n"
       "\n"
       "inspect PATH:   dump an artifact's header and section table\n"
       "\n"
       "topn:           --load-model=PATH | --load-pipeline=PATH\n"
       "                [--top-n=10] [--users=N]   (first N users; 0 = all)\n"
+      "                [--factor-precision=fp64|fp32|int8]\n"
       "                Prints one serve-protocol response line per user,\n"
       "                byte-comparable with a ganc_serve transcript.\n"
       "\n"
       "precompute-topn: --load-model=PATH | --load-pipeline=PATH\n"
       "                --out=PATH [--top-n=10] [--head-users=N]\n"
       "                Builds the precomputed top-N store artifact for\n"
-      "                the N most active users (0 = everyone).\n");
+      "                the N most active users (0 = everyone).\n"
+      "\n"
+      "kernels:        report the scoring kernel dispatch (variants,\n"
+      "                probe timings, active choice); --list prints one\n"
+      "                host-supported GANC_KERNEL name per line.\n");
 }
 
 Result<std::unique_ptr<Recommender>> BuildArec(const std::string& name) {
@@ -143,6 +153,22 @@ Result<CoverageKind> ParseCoverage(const std::string& s) {
   if (s == "stat") return CoverageKind::kStat;
   if (s == "dyn") return CoverageKind::kDyn;
   return Status::InvalidArgument("unknown coverage recommender '" + s + "'");
+}
+
+// --factor-precision, shared by every command that holds a fitted model.
+// Absent or "fp64" keeps the model's current tables (a loaded artifact
+// may already be compact).
+Result<FactorPrecision> FactorPrecisionFlag(const Flags& flags) {
+  return ParseFactorPrecision(flags.GetString("factor-precision", "fp64"));
+}
+
+Status ApplyFactorPrecision(const Flags& flags, Recommender* model) {
+  Result<FactorPrecision> p = FactorPrecisionFlag(flags);
+  if (!p.ok()) return p.status();
+  if (*p == FactorPrecision::kFp64) return Status::OK();
+  GANC_RETURN_NOT_OK(model->SetFactorPrecision(*p));
+  std::printf("factor tables compacted to %s\n", FactorPrecisionName(*p));
+  return Status::OK();
 }
 
 // Loaded data + split shared by all commands. The split owns its own
@@ -261,6 +287,10 @@ int Train(const Flags& flags) {
   }
   std::printf("trained %s in %.1f ms\n", (*base)->name().c_str(),
               fit_timer.ElapsedMillis());
+  if (Status s = ApplyFactorPrecision(flags, base->get()); !s.ok()) {
+    std::fprintf(stderr, "factor-precision: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   if (!model_out.empty()) {
     WallTimer save_timer;
@@ -383,6 +413,17 @@ int Recommend(const Flags& flags) {
     }
     std::printf("pipeline loaded from %s (%.1f ms)\n", pipeline_in.c_str(),
                 load_timer.ElapsedMillis());
+    Result<FactorPrecision> p = FactorPrecisionFlag(flags);
+    Status precision_status =
+        p.ok() ? (*p == FactorPrecision::kFp64
+                      ? Status::OK()
+                      : (*pipeline)->SetFactorPrecision(*p))
+               : p.status();
+    if (!precision_status.ok()) {
+      std::fprintf(stderr, "factor-precision: %s\n",
+                   precision_status.ToString().c_str());
+      return 1;
+    }
     Result<TopNCollection> topn = (*pipeline)->RecommendAll();
     if (!topn.ok()) {
       std::fprintf(stderr, "ganc: %s\n", topn.status().ToString().c_str());
@@ -427,6 +468,10 @@ int Recommend(const Flags& flags) {
       std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
       return 1;
     }
+  }
+  if (Status s = ApplyFactorPrecision(flags, base.get()); !s.ok()) {
+    std::fprintf(stderr, "factor-precision: %s\n", s.ToString().c_str());
+    return 1;
   }
 
   // Preference model.
@@ -494,6 +539,9 @@ Result<std::unique_ptr<RecommendationService>> BuildService(
   config.micro_batching = false;  // offline dumps: no scheduler threads
   config.cache_capacity = 0;
   config.default_n = default_n;
+  Result<FactorPrecision> precision = FactorPrecisionFlag(flags);
+  if (!precision.ok()) return precision.status();
+  config.factor_precision = *precision;
   return model_in.empty()
              ? RecommendationService::LoadPipelineService(
                    pipeline_in, prepared.split.train, config)
@@ -590,6 +638,35 @@ int PrecomputeTopN(const Flags& flags) {
   return 0;
 }
 
+// `kernels`: report the scoring kernel dispatch state. `--list` prints
+// only the host-supported GANC_KERNEL names, one per line — CI loops
+// the parity suite over exactly that output.
+int Kernels(const Flags& flags) {
+  if (flags.GetBool("list", false)) {
+    for (KernelVariant v : SupportedKernelVariants()) {
+      std::printf("%s\n", KernelVariantName(v));
+    }
+    return 0;
+  }
+  const KernelVariant active = ActiveKernelVariant();
+  const std::vector<double> probe = KernelProbeNsPerUser();
+  std::printf("scoring kernel dispatch (block of %zu users):\n",
+              kFactorKernelUserBlock);
+  for (size_t i = 0; i < kNumKernelVariants; ++i) {
+    const KernelVariant v = static_cast<KernelVariant>(i);
+    std::printf("  %-7s %-11s", KernelVariantName(v),
+                KernelVariantSupported(v) ? "supported" : "unsupported");
+    if (probe[i] > 0.0) {
+      std::printf("  probe %8.1f ns/user", probe[i]);
+    }
+    if (v == active) std::printf("  <-- active");
+    std::printf("\n");
+  }
+  std::printf("active: %s (selected by %s)\n", KernelVariantName(active),
+              ActiveKernelSelection());
+  return 0;
+}
+
 // `inspect`: dump an artifact's header and section table using the
 // validating reader, so a broken file is diagnosed instead of decoded.
 int Inspect(const std::string& path) {
@@ -671,7 +748,8 @@ int main(int argc, char** argv) {
       "crec",          "top-n",        "sample-size",   "seed",
       "threads",       "theta-out",    "output",        "out",
       "save-model",    "save-pipeline", "load-model",   "load-pipeline",
-      "users",         "head-users",   "verbose",       "help"};
+      "users",         "head-users",   "factor-precision", "list",
+      "verbose",       "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -698,6 +776,7 @@ int main(int argc, char** argv) {
   if (command == "cache-dataset") return CacheDataset(*flags);
   if (command == "topn") return TopNDump(*flags);
   if (command == "precompute-topn") return PrecomputeTopN(*flags);
+  if (command == "kernels") return Kernels(*flags);
   if (command == "inspect") {
     if (flags->positional().size() != 2) {
       std::fprintf(stderr, "inspect requires an artifact path\n");

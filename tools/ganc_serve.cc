@@ -63,6 +63,9 @@ void Usage() {
       "    [--kappa=0.5] [--seed=42]\n"
       "    --model=PATH | --pipeline=PATH   (artifact to serve)\n"
       "    [--store=PATH]     (precomputed top-N store artifact)\n"
+      "    [--factor-precision=fp64|fp32|int8]  (compact the snapshot's\n"
+      "                        factor tables after load; fp64 = keep the\n"
+      "                        artifact's own precision)\n"
       "\n"
       "serving:\n"
       "    [--default-n=10]   (list length when a request omits n=)\n"
@@ -286,6 +289,7 @@ void DumpStats(const Server& server, double uptime_ms) {
   std::fprintf(stderr,
                "--- ganc_serve shutdown ---\n"
                "source:       %s (snapshot v%llu)\n"
+               "precision:    %s factor tables\n"
                "uptime:       %.1f ms\n"
                "requests:     %llu\n"
                "cache hits:   %llu (%.1f%%)\n"
@@ -297,6 +301,7 @@ void DumpStats(const Server& server, double uptime_ms) {
                server.service->source().c_str(),
                static_cast<unsigned long long>(
                    server.service->snapshot_version()),
+               FactorPrecisionName(server.service->factor_precision()),
                uptime_ms, static_cast<unsigned long long>(s.requests),
                static_cast<unsigned long long>(s.cache_hits),
                100.0 * s.CacheHitRate(),
@@ -354,6 +359,13 @@ int Run(const Flags& flags) {
   config.cache_capacity = static_cast<size_t>(*cache_capacity);
   config.micro_batching = !flags.GetBool("unbatched", false);
   config.default_n = static_cast<int>(*default_n);
+  Result<FactorPrecision> precision = ParseFactorPrecision(
+      flags.GetString("factor-precision", "fp64"));
+  if (!precision.ok()) {
+    std::fprintf(stderr, "%s\n", precision.status().ToString().c_str());
+    return 2;
+  }
+  config.factor_precision = *precision;
 
   WallTimer up_timer;
   Result<std::unique_ptr<RecommendationService>> service =
@@ -384,11 +396,12 @@ int Run(const Flags& flags) {
     }
   }
   std::fprintf(stderr,
-               "serving %s (%s, snapshot v%llu) in %.1f ms; "
+               "serving %s (%s, %s factors, snapshot v%llu) in %.1f ms; "
                "%d users, %d items\n",
                server.service->source().c_str(),
                server.service->micro_batching() ? "micro-batched"
                                                 : "unbatched",
+               FactorPrecisionName(server.service->factor_precision()),
                static_cast<unsigned long long>(
                    server.service->snapshot_version()),
                up_timer.ElapsedMillis(), server.service->num_users(),
@@ -453,7 +466,7 @@ int main(int argc, char** argv) {
       "dataset-cache",  "kappa",        "seed",        "model",
       "pipeline",       "store",        "port",        "workers",
       "batch-wait-us",  "cache-capacity", "default-n", "unbatched",
-      "daemon",         "help"};
+      "factor-precision", "daemon",     "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
