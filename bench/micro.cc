@@ -33,6 +33,7 @@
 #include "recommender/factor_store.h"
 #include "recommender/item_knn.h"
 #include "recommender/item_similarity.h"
+#include "recommender/model_io.h"
 #include "recommender/random_walk.h"
 #include "recommender/recommender.h"
 #include "recommender/scoring_context.h"
@@ -450,6 +451,68 @@ void BM_DatasetCacheLoad(benchmark::State& state) {
                           BenchTrain().num_ratings());
 }
 BENCHMARK(BM_DatasetCacheLoad);
+
+// Mapped cold open: header + O(users) sections only, no row
+// materialization — the out-of-core serving start path. Contrast with
+// BM_DatasetCacheLoad's full eager parse of the same file.
+void BM_DatasetCacheMappedOpen(benchmark::State& state) {
+  const std::string path = BenchTempPath("_mmap.gdc");
+  if (!BenchTrain().SaveBinaryFile(path).ok()) std::abort();
+  for (auto _ : state) {
+    auto loaded = RatingDataset::LoadMappedFile(path);
+    if (!loaded.ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          BenchTrain().num_ratings());
+}
+BENCHMARK(BM_DatasetCacheMappedOpen);
+
+// Mapped open + EnsureResident: the lazy path paying its deferred
+// O(nnz) validation and CSC build — total work comparable to the eager
+// loader, split so serving never pays it.
+void BM_DatasetCacheMappedResident(benchmark::State& state) {
+  const std::string path = BenchTempPath("_mmapr.gdc");
+  if (!BenchTrain().SaveBinaryFile(path).ok()) std::abort();
+  for (auto _ : state) {
+    auto loaded = RatingDataset::LoadMappedFile(path);
+    if (!loaded.ok() || !loaded->EnsureResident().ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          BenchTrain().num_ratings());
+}
+BENCHMARK(BM_DatasetCacheMappedResident);
+
+// Mapped model load: factor tables borrowed from the file mapping
+// instead of copied (contrast with BM_ModelLoad_PSVD40).
+void BM_ModelLoadMapped_PSVD40(benchmark::State& state) {
+  const std::string path = BenchTempPath("_mmap.gam");
+  if (!SaveModelFile(BenchPsvd(), path).ok()) std::abort();
+  for (auto _ : state) {
+    auto loaded = LoadModelFileMapped(path, nullptr);
+    if (!loaded.ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+}
+BENCHMARK(BM_ModelLoadMapped_PSVD40);
+
+// Streaming power-law corpus generation (the 1M-user scale harness's
+// writer) at a bench-friendly size.
+void BM_ScaleSynthStream(benchmark::State& state) {
+  ScaleSyntheticSpec spec = PowerLawScaleSpec(2000);
+  spec.num_items = 1000;
+  const std::string path = BenchTempPath("_scale.gdc");
+  int64_t nnz = 0;
+  for (auto _ : state) {
+    auto result = GenerateSyntheticStream(spec, path);
+    if (!result.ok()) std::abort();
+    nnz = *result;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nnz);
+}
+BENCHMARK(BM_ScaleSynthStream);
 
 // --- Sparse-model fast path: inverted-index KNN training, the id-sorted
 // similarity lookup, and the sparse models' batched scoring (see

@@ -127,7 +127,7 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Load(
   Result<ArtifactReader::Section> config_section = r.ReadSectionExpect(
       kPipelineConfigSection);
   if (!config_section.ok()) return config_section.status();
-  PayloadReader cr(config_section->payload);
+  PayloadReader cr(config_section->payload());
   PipelineConfig config;
   uint32_t theta_model = 0;
   uint32_t coverage = 0;
@@ -165,7 +165,7 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Load(
   Result<ArtifactReader::Section> theta_section = r.ReadSectionExpect(
       kPipelineThetaSection);
   if (!theta_section.ok()) return theta_section.status();
-  PayloadReader tr(theta_section->payload);
+  PayloadReader tr(theta_section->payload());
   std::vector<double> theta;
   GANC_RETURN_NOT_OK(tr.ReadVecF64(&theta));
   GANC_RETURN_NOT_OK(tr.ExpectEnd());
@@ -177,7 +177,7 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Load(
   Result<ArtifactReader::Section> tail_section = r.ReadSectionExpect(
       kPipelineTailSection);
   if (!tail_section.ok()) return tail_section.status();
-  PayloadReader lr(tail_section->payload);
+  PayloadReader lr(tail_section->payload());
   LongTailInfo tail;
   uint64_t tail_items = 0;
   GANC_RETURN_NOT_OK(lr.ReadI32(&tail.tail_size));
@@ -200,7 +200,7 @@ Result<std::unique_ptr<GancPipeline>> GancPipeline::Load(
   Result<ArtifactReader::Section> model_section = r.ReadSectionExpect(
       kPipelineModelSection);
   if (!model_section.ok()) return model_section.status();
-  PayloadReader mr(model_section->payload);
+  PayloadReader mr(model_section->payload());
   std::string model_bytes;
   GANC_RETURN_NOT_OK(mr.ReadString(&model_bytes));
   GANC_RETURN_NOT_OK(mr.ExpectEnd());

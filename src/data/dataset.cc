@@ -12,17 +12,81 @@ namespace ganc {
 namespace {
 
 // Dataset cache section ids (kind kDatasetCache; see docs/FORMATS.md).
+// v2 wrote dims/offsets/items/values/order; v3 replaces the split
+// items+values arrays with one contiguous rows section (borrowable as
+// ItemRating spans) and adds the stored fingerprint.
 constexpr uint32_t kCacheDimsSection = 1;
 constexpr uint32_t kCacheOffsetsSection = 2;
-constexpr uint32_t kCacheItemsSection = 3;
-constexpr uint32_t kCacheValuesSection = 4;
+constexpr uint32_t kCacheItemsSection = 3;    // v2 only
+constexpr uint32_t kCacheValuesSection = 4;   // v2 only
 constexpr uint32_t kCacheOrderSection = 5;
+constexpr uint32_t kCacheRowsSection = 6;     // v3
+constexpr uint32_t kCacheFingerprintSection = 7;  // v3
+
+// Reads a [count u64][ItemRating...] vector from a section payload,
+// copying into owned storage (the stream-load path).
+Status ReadRowsVec(PayloadReader* pr, std::vector<ItemRating>* out) {
+  if constexpr (kGancHostIsLittleEndian) {
+    std::span<const ItemRating> rows;
+    GANC_RETURN_NOT_OK(pr->BorrowVec(&rows));
+    out->assign(rows.begin(), rows.end());
+    return Status::OK();
+  }
+  uint64_t count = 0;
+  GANC_RETURN_NOT_OK(pr->ReadU64(&count));
+  if (count > pr->remaining() / sizeof(ItemRating)) {
+    return Status::InvalidArgument("vector length exceeds section payload");
+  }
+  out->resize(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    GANC_RETURN_NOT_OK(pr->ReadI32(&(*out)[k].item));
+    GANC_RETURN_NOT_OK(pr->ReadF32(&(*out)[k].value));
+  }
+  return Status::OK();
+}
+
+Status ValidateOffsets(std::span<const uint64_t> offsets, int32_t num_users,
+                       int32_t num_items, uint64_t nnz) {
+  if (offsets.size() != static_cast<size_t>(num_users) + 1) {
+    return Status::InvalidArgument("dataset cache section sizes disagree");
+  }
+  if (offsets.front() != 0 || offsets.back() != nnz) {
+    return Status::InvalidArgument("dataset cache row offsets malformed");
+  }
+  for (size_t u = 0; u + 1 < offsets.size(); ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::InvalidArgument("dataset cache row offsets not sorted");
+    }
+    if (offsets[u + 1] - offsets[u] > static_cast<uint64_t>(num_items)) {
+      return Status::InvalidArgument(
+          "dataset cache row longer than the item universe");
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
+struct RatingDataset::MappedState {
+  std::shared_ptr<const MappedArtifact> artifact;
+  std::once_flag once;
+  Status status;
+};
+
+RatingDataset::RatingDataset() = default;
+RatingDataset::~RatingDataset() = default;
+RatingDataset::RatingDataset(RatingDataset&&) noexcept = default;
+RatingDataset& RatingDataset::operator=(RatingDataset&&) noexcept = default;
+
+void RatingDataset::BindOwnedViews() {
+  user_offsets_view_ = user_offsets_;
+  rows_view_ = user_rows_;
+  order_view_ = {};
+}
+
 double RatingDataset::Density() const {
   if (num_users_ == 0 || num_items_ == 0) return 0.0;
-  return static_cast<double>(ratings_.size()) /
+  return static_cast<double>(nnz_) /
          (static_cast<double>(num_users_) * static_cast<double>(num_items_));
 }
 
@@ -35,7 +99,7 @@ std::vector<double> RatingDataset::PopularityVector() const {
 }
 
 bool RatingDataset::HasRating(UserId u, ItemId i) const {
-  const auto& row = by_user_[static_cast<size_t>(u)];
+  const auto row = ItemsOf(u);
   auto it = std::lower_bound(
       row.begin(), row.end(), i,
       [](const ItemRating& ir, ItemId target) { return ir.item < target; });
@@ -43,7 +107,7 @@ bool RatingDataset::HasRating(UserId u, ItemId i) const {
 }
 
 Result<float> RatingDataset::GetRating(UserId u, ItemId i) const {
-  const auto& row = by_user_[static_cast<size_t>(u)];
+  const auto row = ItemsOf(u);
   auto it = std::lower_bound(
       row.begin(), row.end(), i,
       [](const ItemRating& ir, ItemId target) { return ir.item < target; });
@@ -72,7 +136,7 @@ void RatingDataset::UnratedItemsInto(UserId u,
   // The user row is sorted by item id, so the unrated set is the gaps
   // between consecutive rated items: fill each run of ids directly
   // instead of testing every catalog item against the row cursor.
-  const auto& row = by_user_[static_cast<size_t>(u)];
+  const auto row = ItemsOf(u);
   out->resize(static_cast<size_t>(num_items_) - row.size());
   ItemId* dst = out->data();
   ItemId next = 0;
@@ -84,6 +148,7 @@ void RatingDataset::UnratedItemsInto(UserId u,
 }
 
 uint64_t RatingDataset::Fingerprint() const {
+  if (fingerprint_ != 0) return fingerprint_;
   Fnv1aHasher hasher;
   const auto hash_u32 = [&](uint32_t v) {
     uint8_t b[4];
@@ -92,7 +157,8 @@ uint64_t RatingDataset::Fingerprint() const {
   };
   hash_u32(static_cast<uint32_t>(num_users_));
   hash_u32(static_cast<uint32_t>(num_items_));
-  for (const auto& row : by_user_) {
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto row = ItemsOf(u);
     hash_u32(static_cast<uint32_t>(row.size()));
     for (const ItemRating& ir : row) {
       hash_u32(static_cast<uint32_t>(ir.item));
@@ -102,65 +168,276 @@ uint64_t RatingDataset::Fingerprint() const {
   return hasher.digest();
 }
 
+Status RatingDataset::ValidateRowsAndIndex() const {
+  // O(nnz) structural checks the eager loaders run at load time and a
+  // mapped dataset defers to first resident use: rows strictly
+  // item-ascending and in range, observation order a permutation.
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto row = ItemsOf(u);
+    for (size_t k = 0; k < row.size(); ++k) {
+      if (row[k].item < 0 || row[k].item >= num_items_) {
+        return Status::InvalidArgument("item id out of range in dataset cache");
+      }
+      if (k > 0 && row[k].item <= row[k - 1].item) {
+        return Status::InvalidArgument(
+            "dataset cache rows must be strictly item-ascending");
+      }
+    }
+  }
+  const size_t nnz = static_cast<size_t>(nnz_);
+  if (!order_view_.empty()) {
+    std::vector<bool> seen(nnz, false);
+    for (uint64_t idx : order_view_) {
+      if (idx >= nnz || seen[idx]) {
+        return Status::InvalidArgument(
+            "dataset cache observation order is not a permutation");
+      }
+      seen[idx] = true;
+    }
+  }
+
+  // CSC item index: walking users ascending yields user-ascending
+  // audiences without a sort.
+  item_offsets_.assign(static_cast<size_t>(num_items_) + 1, 0);
+  for (const ItemRating& ir : rows_view_) {
+    ++item_offsets_[static_cast<size_t>(ir.item) + 1];
+  }
+  for (size_t i = 1; i < item_offsets_.size(); ++i) {
+    item_offsets_[i] += item_offsets_[i - 1];
+  }
+  item_cols_.resize(nnz);
+  std::vector<uint64_t> cursor(item_offsets_.begin(), item_offsets_.end() - 1);
+  ratings_.resize(nnz);
+  for (UserId u = 0; u < num_users_; ++u) {
+    const size_t begin = static_cast<size_t>(user_offsets_view_[u]);
+    const auto row = ItemsOf(u);
+    for (size_t k = 0; k < row.size(); ++k) {
+      const ItemRating& ir = row[k];
+      item_cols_[cursor[static_cast<size_t>(ir.item)]++] = {u, ir.value};
+      const size_t p = begin + k;
+      const size_t idx = order_view_.empty() ? p : order_view_[p];
+      ratings_[idx] = {u, ir.item, ir.value};
+    }
+  }
+  return Status::OK();
+}
+
+Status RatingDataset::Materialize() const { return ValidateRowsAndIndex(); }
+
+Status RatingDataset::EnsureResident() const {
+  if (mapped_ == nullptr) return Status::OK();
+  std::call_once(mapped_->once, [this] { mapped_->status = Materialize(); });
+  return mapped_->status;
+}
+
 Status RatingDataset::SaveBinary(std::ostream& os) const {
+  // The observation-order section needs ratings(); a mapped dataset
+  // must materialize (and thereby fully validate) before re-saving.
+  GANC_RETURN_NOT_OK(EnsureResident());
   ArtifactWriter w(os);
   GANC_RETURN_NOT_OK(w.WriteHeader(ArtifactKind::kDatasetCache, 0));
 
   PayloadWriter dims;
   dims.WriteI32(num_users_);
   dims.WriteI32(num_items_);
-  dims.WriteI64(num_ratings());
+  dims.WriteI64(nnz_);
   GANC_RETURN_NOT_OK(w.WriteSection(kCacheDimsSection, dims));
 
-  // CSR body from the canonical per-user index: row offsets, then item
-  // ids and values in user-major, item-ascending order.
-  const size_t nnz = ratings_.size();
-  std::vector<uint64_t> offsets(static_cast<size_t>(num_users_) + 1, 0);
-  std::vector<int32_t> items(nnz);
-  std::vector<float> values(nnz);
-  size_t p = 0;
-  for (UserId u = 0; u < num_users_; ++u) {
-    offsets[static_cast<size_t>(u)] = p;
-    for (const ItemRating& ir : by_user_[static_cast<size_t>(u)]) {
-      items[p] = ir.item;
-      values[p] = ir.value;
-      ++p;
-    }
+  const size_t nnz = static_cast<size_t>(nnz_);
+  PayloadWriter offsets_payload;
+  {
+    std::vector<uint64_t> offsets(user_offsets_view_.begin(),
+                                  user_offsets_view_.end());
+    offsets_payload.WriteVecU64(offsets);
   }
-  offsets[static_cast<size_t>(num_users_)] = p;
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheOffsetsSection, offsets_payload));
+
+  PayloadWriter rows_payload;
+  rows_payload.WriteVecRaw(rows_view_.data(), rows_view_.size());
+  GANC_RETURN_NOT_OK(w.WriteSection(kCacheRowsSection, rows_payload));
 
   // Observation-order section: maps each CSR position to its index in
   // ratings_ so the loaded dataset reproduces the original insertion
-  // order exactly (seeded splits and SGD epochs depend on it).
+  // order exactly (seeded splits and SGD epochs depend on it). An
+  // identity permutation (user-major sources like the synthetic
+  // streamer) is stored as an empty vector.
   std::vector<uint64_t> order(nnz);
   for (size_t idx = 0; idx < nnz; ++idx) {
     const Rating& r = ratings_[idx];
-    const auto& row = by_user_[static_cast<size_t>(r.user)];
+    const auto row = ItemsOf(r.user);
     const auto it = std::lower_bound(
         row.begin(), row.end(), r.item,
         [](const ItemRating& ir, ItemId target) { return ir.item < target; });
     const size_t rank = static_cast<size_t>(it - row.begin());
-    order[offsets[static_cast<size_t>(r.user)] + rank] = idx;
+    order[static_cast<size_t>(user_offsets_view_[r.user]) + rank] = idx;
   }
-
-  PayloadWriter offsets_payload;
-  offsets_payload.WriteVecU64(offsets);
-  GANC_RETURN_NOT_OK(w.WriteSection(kCacheOffsetsSection, offsets_payload));
-  PayloadWriter items_payload;
-  items_payload.WriteVecI32(items);
-  GANC_RETURN_NOT_OK(w.WriteSection(kCacheItemsSection, items_payload));
-  PayloadWriter values_payload;
-  values_payload.WriteVecF32(values);
-  GANC_RETURN_NOT_OK(w.WriteSection(kCacheValuesSection, values_payload));
+  bool identity = true;
+  for (size_t p = 0; p < nnz && identity; ++p) identity = order[p] == p;
+  if (identity) order.clear();
   PayloadWriter order_payload;
   order_payload.WriteVecU64(order);
   GANC_RETURN_NOT_OK(w.WriteSection(kCacheOrderSection, order_payload));
+
+  PayloadWriter fingerprint_payload;
+  fingerprint_payload.WriteU64(Fingerprint());
+  GANC_RETURN_NOT_OK(
+      w.WriteSection(kCacheFingerprintSection, fingerprint_payload));
   return w.Finish();
 }
 
 Status RatingDataset::SaveBinaryFile(const std::string& path) const {
   return WriteArtifactFile(
       path, [&](std::ostream& os) { return SaveBinary(os); });
+}
+
+// Owns the ArtifactWriter so dataset.h need not include serialize.h.
+class DatasetCacheStreamWriter::ArtifactWriterHolder {
+ public:
+  explicit ArtifactWriterHolder(std::ostream& os) : writer(os) {}
+  ArtifactWriter writer;
+};
+
+DatasetCacheStreamWriter::~DatasetCacheStreamWriter() = default;
+
+DatasetCacheStreamWriter::DatasetCacheStreamWriter(
+    std::ostream& os, int32_t num_users, int32_t num_items,
+    std::vector<uint64_t> row_counts)
+    : num_users_(num_users),
+      num_items_(num_items),
+      row_counts_(std::move(row_counts)),
+      writer_(std::make_unique<ArtifactWriterHolder>(os)) {}
+
+Result<std::unique_ptr<DatasetCacheStreamWriter>>
+DatasetCacheStreamWriter::Create(std::ostream& os, int32_t num_users,
+                                 int32_t num_items,
+                                 std::span<const uint64_t> row_counts) {
+  if (num_users < 0 || num_items < 0) {
+    return Status::InvalidArgument("dataset dimensions must be non-negative");
+  }
+  if (row_counts.size() != static_cast<size_t>(num_users)) {
+    return Status::InvalidArgument(
+        "row_counts must have one entry per user");
+  }
+  uint64_t nnz = 0;
+  for (uint64_t c : row_counts) {
+    if (c > static_cast<uint64_t>(num_items)) {
+      return Status::InvalidArgument(
+          "declared row longer than the item universe");
+    }
+    nnz += c;
+  }
+  auto w = std::unique_ptr<DatasetCacheStreamWriter>(
+      new DatasetCacheStreamWriter(
+          os, num_users, num_items,
+          std::vector<uint64_t>(row_counts.begin(), row_counts.end())));
+  w->nnz_ = static_cast<int64_t>(nnz);
+  ArtifactWriter& aw = w->writer_->writer;
+  GANC_RETURN_NOT_OK(aw.WriteHeader(ArtifactKind::kDatasetCache, 0));
+
+  PayloadWriter dims;
+  dims.WriteI32(num_users);
+  dims.WriteI32(num_items);
+  dims.WriteI64(w->nnz_);
+  GANC_RETURN_NOT_OK(aw.WriteSection(kCacheDimsSection, dims));
+
+  PayloadWriter offsets_payload;
+  {
+    std::vector<uint64_t> offsets(static_cast<size_t>(num_users) + 1, 0);
+    for (size_t u = 0; u < row_counts.size(); ++u) {
+      offsets[u + 1] = offsets[u] + row_counts[u];
+    }
+    offsets_payload.WriteVecU64(offsets);
+  }
+  GANC_RETURN_NOT_OK(aw.WriteSection(kCacheOffsetsSection, offsets_payload));
+
+  // The fingerprint hashes dims first, then each appended row — the
+  // same u32-chunk stream as RatingDataset::Fingerprint().
+  const auto hash_u32 = [&w](uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    w->fingerprint_.Update(b, sizeof(b));
+  };
+  hash_u32(static_cast<uint32_t>(num_users));
+  hash_u32(static_cast<uint32_t>(num_items));
+
+  // Rows section, streamed: [count u64] then nnz raw ItemRating pairs.
+  GANC_RETURN_NOT_OK(aw.BeginSection(
+      kCacheRowsSection, 8 + nnz * sizeof(ItemRating)));
+  uint8_t count_le[8];
+  for (int i = 0; i < 8; ++i) {
+    count_le[i] = static_cast<uint8_t>(nnz >> (8 * i));
+  }
+  GANC_RETURN_NOT_OK(aw.AppendSectionBytes(count_le, sizeof(count_le)));
+  return w;
+}
+
+Status DatasetCacheStreamWriter::AppendRow(std::span<const ItemRating> row) {
+  if (next_user_ >= num_users_) {
+    return Status::InvalidArgument("AppendRow called after the last user");
+  }
+  if (row.size() != row_counts_[static_cast<size_t>(next_user_)]) {
+    return Status::InvalidArgument(
+        "row length does not match the declared count for user " +
+        std::to_string(next_user_));
+  }
+  for (size_t k = 0; k < row.size(); ++k) {
+    if (row[k].item < 0 || row[k].item >= num_items_) {
+      return Status::InvalidArgument("item id out of range in appended row");
+    }
+    if (k > 0 && row[k].item <= row[k - 1].item) {
+      return Status::InvalidArgument(
+          "appended rows must be strictly item-ascending");
+    }
+  }
+  const auto hash_u32 = [this](uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    fingerprint_.Update(b, sizeof(b));
+  };
+  hash_u32(static_cast<uint32_t>(row.size()));
+  for (const ItemRating& ir : row) {
+    hash_u32(static_cast<uint32_t>(ir.item));
+    hash_u32(std::bit_cast<uint32_t>(ir.value));
+  }
+  ArtifactWriter& aw = writer_->writer;
+  if constexpr (kGancHostIsLittleEndian) {
+    GANC_RETURN_NOT_OK(
+        aw.AppendSectionBytes(row.data(), row.size() * sizeof(ItemRating)));
+  } else {
+    for (const ItemRating& ir : row) {
+      uint8_t b[8];
+      const uint32_t item = static_cast<uint32_t>(ir.item);
+      const uint32_t bits = std::bit_cast<uint32_t>(ir.value);
+      for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(item >> (8 * i));
+      for (int i = 0; i < 4; ++i) {
+        b[4 + i] = static_cast<uint8_t>(bits >> (8 * i));
+      }
+      GANC_RETURN_NOT_OK(aw.AppendSectionBytes(b, sizeof(b)));
+    }
+  }
+  ++next_user_;
+  return Status::OK();
+}
+
+Status DatasetCacheStreamWriter::Finish() {
+  if (next_user_ != num_users_) {
+    return Status::InvalidArgument(
+        "Finish called before every declared row was appended");
+  }
+  ArtifactWriter& aw = writer_->writer;
+  GANC_RETURN_NOT_OK(aw.EndSection());
+
+  // Rows arrived in CSR order == insertion order: identity permutation,
+  // stored as the empty vector (matches SaveBinary's encoding).
+  PayloadWriter order_payload;
+  order_payload.WriteVecU64({});
+  GANC_RETURN_NOT_OK(aw.WriteSection(kCacheOrderSection, order_payload));
+
+  PayloadWriter fingerprint_payload;
+  fingerprint_payload.WriteU64(fingerprint_.digest());
+  GANC_RETURN_NOT_OK(
+      aw.WriteSection(kCacheFingerprintSection, fingerprint_payload));
+  return aw.Finish();
 }
 
 Result<RatingDataset> RatingDataset::LoadBinary(std::istream& is) {
@@ -172,7 +449,7 @@ Result<RatingDataset> RatingDataset::LoadBinary(std::istream& is) {
   Result<ArtifactReader::Section> dims = r.ReadSectionExpect(
       kCacheDimsSection);
   if (!dims.ok()) return dims.status();
-  PayloadReader dr(dims->payload);
+  PayloadReader dr(dims->payload());
   int32_t num_users = 0;
   int32_t num_items = 0;
   int64_t num_ratings = 0;
@@ -185,106 +462,187 @@ Result<RatingDataset> RatingDataset::LoadBinary(std::istream& is) {
   }
   const size_t nnz = static_cast<size_t>(num_ratings);
 
-  std::vector<uint64_t> offsets;
-  std::vector<int32_t> items;
-  std::vector<float> values;
+  RatingDataset ds;
+  ds.num_users_ = num_users;
+  ds.num_items_ = num_items;
+  ds.nnz_ = num_ratings;
   std::vector<uint64_t> order;
   {
     Result<ArtifactReader::Section> s = r.ReadSectionExpect(
         kCacheOffsetsSection);
     if (!s.ok()) return s.status();
-    PayloadReader pr(s->payload);
-    GANC_RETURN_NOT_OK(pr.ReadVecU64(&offsets));
+    PayloadReader pr(s->payload());
+    GANC_RETURN_NOT_OK(pr.ReadVecU64(&ds.user_offsets_));
     GANC_RETURN_NOT_OK(pr.ExpectEnd());
   }
-  {
-    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
-        kCacheItemsSection);
-    if (!s.ok()) return s.status();
-    PayloadReader pr(s->payload);
-    GANC_RETURN_NOT_OK(pr.ReadVecI32(&items));
-    GANC_RETURN_NOT_OK(pr.ExpectEnd());
-  }
-  {
-    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
-        kCacheValuesSection);
-    if (!s.ok()) return s.status();
-    PayloadReader pr(s->payload);
-    GANC_RETURN_NOT_OK(pr.ReadVecF32(&values));
-    GANC_RETURN_NOT_OK(pr.ExpectEnd());
-  }
-  {
-    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
-        kCacheOrderSection);
-    if (!s.ok()) return s.status();
-    PayloadReader pr(s->payload);
-    GANC_RETURN_NOT_OK(pr.ReadVecU64(&order));
-    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  if (header->version >= 3) {
+    {
+      Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+          kCacheRowsSection);
+      if (!s.ok()) return s.status();
+      PayloadReader pr(s->payload());
+      GANC_RETURN_NOT_OK(ReadRowsVec(&pr, &ds.user_rows_));
+      GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    }
+    {
+      Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+          kCacheOrderSection);
+      if (!s.ok()) return s.status();
+      PayloadReader pr(s->payload());
+      GANC_RETURN_NOT_OK(pr.ReadVecU64(&order));
+      GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    }
+    {
+      Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+          kCacheFingerprintSection);
+      if (!s.ok()) return s.status();
+      PayloadReader pr(s->payload());
+      GANC_RETURN_NOT_OK(pr.ReadU64(&ds.fingerprint_));
+      GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    }
+  } else {
+    // v2 layout: split item-id and value arrays, mandatory order.
+    std::vector<int32_t> items;
+    std::vector<float> values;
+    {
+      Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+          kCacheItemsSection);
+      if (!s.ok()) return s.status();
+      PayloadReader pr(s->payload());
+      GANC_RETURN_NOT_OK(pr.ReadVecI32(&items));
+      GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    }
+    {
+      Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+          kCacheValuesSection);
+      if (!s.ok()) return s.status();
+      PayloadReader pr(s->payload());
+      GANC_RETURN_NOT_OK(pr.ReadVecF32(&values));
+      GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    }
+    {
+      Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+          kCacheOrderSection);
+      if (!s.ok()) return s.status();
+      PayloadReader pr(s->payload());
+      GANC_RETURN_NOT_OK(pr.ReadVecU64(&order));
+      GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    }
+    if (items.size() != values.size()) {
+      return Status::InvalidArgument("dataset cache section sizes disagree");
+    }
+    ds.user_rows_.resize(items.size());
+    for (size_t p = 0; p < items.size(); ++p) {
+      ds.user_rows_[p] = {items[p], values[p]};
+    }
+    if (order.size() != nnz) {
+      return Status::InvalidArgument("dataset cache section sizes disagree");
+    }
   }
   GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
 
   // Structural validation before touching any index.
-  if (offsets.size() != static_cast<size_t>(num_users) + 1 ||
-      items.size() != nnz || values.size() != nnz || order.size() != nnz) {
+  if (ds.user_rows_.size() != nnz ||
+      (!order.empty() && order.size() != nnz)) {
     return Status::InvalidArgument("dataset cache section sizes disagree");
   }
-  if (!offsets.empty() && (offsets.front() != 0 || offsets.back() != nnz)) {
-    return Status::InvalidArgument("dataset cache row offsets malformed");
-  }
-  for (size_t u = 0; u + 1 < offsets.size(); ++u) {
-    if (offsets[u] > offsets[u + 1]) {
-      return Status::InvalidArgument("dataset cache row offsets not sorted");
-    }
-    for (size_t p = offsets[u]; p < offsets[u + 1]; ++p) {
-      if (items[p] < 0 || items[p] >= num_items) {
-        return Status::InvalidArgument("item id out of range in dataset cache");
-      }
-      if (p > offsets[u] && items[p] <= items[p - 1]) {
-        return Status::InvalidArgument(
-            "dataset cache rows must be strictly item-ascending");
-      }
-    }
-  }
-  std::vector<bool> seen(nnz, false);
-  for (uint64_t idx : order) {
-    if (idx >= nnz || seen[idx]) {
-      return Status::InvalidArgument(
-          "dataset cache observation order is not a permutation");
-    }
-    seen[idx] = true;
-  }
-
-  RatingDataset ds;
-  ds.num_users_ = num_users;
-  ds.num_items_ = num_items;
-  ds.ratings_.resize(nnz);
-  ds.by_user_.assign(static_cast<size_t>(num_users), {});
-  ds.by_item_.assign(static_cast<size_t>(num_items), {});
-  std::vector<uint32_t> item_counts(static_cast<size_t>(num_items), 0);
-  for (int32_t i : items) ++item_counts[static_cast<size_t>(i)];
-  for (int32_t i = 0; i < num_items; ++i) {
-    ds.by_item_[static_cast<size_t>(i)].reserve(
-        item_counts[static_cast<size_t>(i)]);
-  }
-  for (int32_t u = 0; u < num_users; ++u) {
-    auto& row = ds.by_user_[static_cast<size_t>(u)];
-    row.reserve(offsets[static_cast<size_t>(u) + 1] -
-                offsets[static_cast<size_t>(u)]);
-    for (size_t p = offsets[static_cast<size_t>(u)];
-         p < offsets[static_cast<size_t>(u) + 1]; ++p) {
-      row.push_back({items[p], values[p]});
-      // Users are walked ascending, so per-item audiences come out
-      // user-ascending without a sort.
-      ds.by_item_[static_cast<size_t>(items[p])].push_back({u, values[p]});
-      ds.ratings_[order[p]] = {u, items[p], values[p]};
-    }
-  }
+  GANC_RETURN_NOT_OK(
+      ValidateOffsets(ds.user_offsets_, num_users, num_items, nnz));
+  ds.BindOwnedViews();
+  ds.order_view_ = order;  // local: consumed by the eager build below
+  Status built = ds.ValidateRowsAndIndex();
+  ds.order_view_ = {};
+  GANC_RETURN_NOT_OK(built);
   return ds;
 }
 
 Result<RatingDataset> RatingDataset::LoadBinaryFile(const std::string& path) {
   return ReadArtifactFile(
       path, [](std::istream& is) { return LoadBinary(is); });
+}
+
+Result<RatingDataset> RatingDataset::LoadMappedFile(const std::string& path) {
+  Result<std::shared_ptr<const MappedArtifact>> mapped =
+      OpenMappedArtifact(path);
+  if (!mapped.ok()) return mapped.status();
+  ArtifactReader r(*mapped);
+  Result<ArtifactHeader> header = r.ReadHeader();
+  if (!header.ok()) return header.status();
+  GANC_RETURN_NOT_OK(ExpectArtifact(*header, ArtifactKind::kDatasetCache, 0));
+
+  RatingDataset ds;
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheDimsSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload());
+    int64_t num_ratings = 0;
+    GANC_RETURN_NOT_OK(pr.ReadI32(&ds.num_users_));
+    GANC_RETURN_NOT_OK(pr.ReadI32(&ds.num_items_));
+    GANC_RETURN_NOT_OK(pr.ReadI64(&num_ratings));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+    if (ds.num_users_ < 0 || ds.num_items_ < 0 || num_ratings < 0) {
+      return Status::InvalidArgument("negative dimensions in dataset cache");
+    }
+    ds.nnz_ = num_ratings;
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheOffsetsSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload());
+    GANC_RETURN_NOT_OK(pr.BorrowVec(&ds.user_offsets_view_));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheRowsSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload());
+    GANC_RETURN_NOT_OK(pr.BorrowVec(&ds.rows_view_));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheOrderSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload());
+    GANC_RETURN_NOT_OK(pr.BorrowVec(&ds.order_view_));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  {
+    Result<ArtifactReader::Section> s = r.ReadSectionExpect(
+        kCacheFingerprintSection);
+    if (!s.ok()) return s.status();
+    PayloadReader pr(s->payload());
+    GANC_RETURN_NOT_OK(pr.ReadU64(&ds.fingerprint_));
+    GANC_RETURN_NOT_OK(pr.ExpectEnd());
+  }
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+
+  // Cold-load validation is O(users): section sizes and the offset
+  // table. Row contents are validated by EnsureResident() before any
+  // consumer indexes by item id; until then rows are only read as
+  // bounded spans.
+  const uint64_t nnz = static_cast<uint64_t>(ds.nnz_);
+  if (ds.rows_view_.size() != nnz ||
+      (!ds.order_view_.empty() && ds.order_view_.size() != nnz)) {
+    return Status::InvalidArgument("dataset cache section sizes disagree");
+  }
+  GANC_RETURN_NOT_OK(ValidateOffsets(ds.user_offsets_view_, ds.num_users_,
+                                     ds.num_items_, nnz));
+  ds.mapped_ = std::make_unique<MappedState>();
+  ds.mapped_->artifact = std::move(*mapped);
+  return ds;
+}
+
+Result<RatingDataset> RatingDataset::LoadFileAuto(const std::string& path,
+                                                  bool prefer_mmap) {
+  if (prefer_mmap) {
+    Result<RatingDataset> mapped = LoadMappedFile(path);
+    if (mapped.ok() || !IsMmapFallback(mapped.status())) return mapped;
+  }
+  return LoadBinaryFile(path);
 }
 
 RatingDatasetBuilder::RatingDatasetBuilder(int32_t num_users,
@@ -313,45 +671,61 @@ Result<RatingDataset> RatingDatasetBuilder::Build() && {
   ds.num_users_ = num_users_;
   ds.num_items_ = num_items_;
   ds.ratings_ = std::move(ratings_);
-  ds.by_user_.assign(static_cast<size_t>(num_users_), {});
-  ds.by_item_.assign(static_cast<size_t>(num_items_), {});
+  ds.nnz_ = static_cast<int64_t>(ds.ratings_.size());
+  const size_t nnz = ds.ratings_.size();
 
-  // Pre-size rows to avoid repeated reallocation on large datasets.
-  std::vector<uint32_t> user_counts(static_cast<size_t>(num_users_), 0);
-  std::vector<uint32_t> item_counts(static_cast<size_t>(num_items_), 0);
+  // CSR: counting sort by user (insertion order preserved per row),
+  // then sort each row by item and reject duplicates.
+  ds.user_offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
   for (const Rating& r : ds.ratings_) {
-    ++user_counts[static_cast<size_t>(r.user)];
-    ++item_counts[static_cast<size_t>(r.item)];
+    ++ds.user_offsets_[static_cast<size_t>(r.user) + 1];
+  }
+  for (size_t u = 1; u < ds.user_offsets_.size(); ++u) {
+    ds.user_offsets_[u] += ds.user_offsets_[u - 1];
+  }
+  ds.user_rows_.resize(nnz);
+  {
+    std::vector<uint64_t> cursor(ds.user_offsets_.begin(),
+                                 ds.user_offsets_.end() - 1);
+    for (const Rating& r : ds.ratings_) {
+      ds.user_rows_[cursor[static_cast<size_t>(r.user)]++] = {r.item, r.value};
+    }
   }
   for (int32_t u = 0; u < num_users_; ++u) {
-    ds.by_user_[static_cast<size_t>(u)].reserve(
-        user_counts[static_cast<size_t>(u)]);
-  }
-  for (int32_t i = 0; i < num_items_; ++i) {
-    ds.by_item_[static_cast<size_t>(i)].reserve(
-        item_counts[static_cast<size_t>(i)]);
-  }
-  for (const Rating& r : ds.ratings_) {
-    ds.by_user_[static_cast<size_t>(r.user)].push_back({r.item, r.value});
-    ds.by_item_[static_cast<size_t>(r.item)].push_back({r.user, r.value});
-  }
-  for (auto& row : ds.by_user_) {
-    std::sort(row.begin(), row.end(),
-              [](const ItemRating& a, const ItemRating& b) {
-                return a.item < b.item;
-              });
-    for (size_t k = 1; k < row.size(); ++k) {
-      if (row[k].item == row[k - 1].item) {
+    const auto begin = ds.user_rows_.begin() +
+                       static_cast<ptrdiff_t>(ds.user_offsets_[u]);
+    const auto end = ds.user_rows_.begin() +
+                     static_cast<ptrdiff_t>(ds.user_offsets_[u + 1]);
+    std::sort(begin, end, [](const ItemRating& a, const ItemRating& b) {
+      return a.item < b.item;
+    });
+    for (auto it = begin; it != end; ++it) {
+      if (it != begin && it->item == (it - 1)->item) {
         return Status::InvalidArgument("duplicate (user, item) observation");
       }
     }
   }
-  for (auto& col : ds.by_item_) {
-    std::sort(col.begin(), col.end(),
-              [](const UserRating& a, const UserRating& b) {
-                return a.user < b.user;
-              });
+
+  // CSC: walking users ascending yields user-ascending audiences.
+  ds.item_offsets_.assign(static_cast<size_t>(num_items_) + 1, 0);
+  for (const ItemRating& ir : ds.user_rows_) {
+    ++ds.item_offsets_[static_cast<size_t>(ir.item) + 1];
   }
+  for (size_t i = 1; i < ds.item_offsets_.size(); ++i) {
+    ds.item_offsets_[i] += ds.item_offsets_[i - 1];
+  }
+  ds.item_cols_.resize(nnz);
+  {
+    std::vector<uint64_t> cursor(ds.item_offsets_.begin(),
+                                 ds.item_offsets_.end() - 1);
+    for (int32_t u = 0; u < num_users_; ++u) {
+      for (size_t p = ds.user_offsets_[u]; p < ds.user_offsets_[u + 1]; ++p) {
+        const ItemRating& ir = ds.user_rows_[p];
+        ds.item_cols_[cursor[static_cast<size_t>(ir.item)]++] = {u, ir.value};
+      }
+    }
+  }
+  ds.BindOwnedViews();
   return ds;
 }
 

@@ -6,19 +6,39 @@
 //   U_i^R : users who rated item i         -> UsersOf(i)
 //   f_i^R : popularity of item i in train  -> Popularity(i)
 // Users and items are dense 0-based ids; loaders remap external ids.
+//
+// Storage is flat CSR (row offsets + one contiguous (item, value)
+// array), exposed through spans. The spans either view owned vectors
+// (builder / stream loads: everything materialized and fully validated
+// up front) or borrow straight out of a memory-mapped v3 dataset cache
+// (LoadMappedFile): cold-start then touches O(users) bytes — dims,
+// offsets, fingerprint — and user rows page in on demand. The CSC item
+// index and the insertion-order ratings() vector are derived data; in
+// mapped mode they are materialized lazily by EnsureResident(), which
+// also performs the O(nnz) row validation that the eager loaders do at
+// load time. Callers that index by row item ids (training, splits,
+// live scoring) must go through EnsureResident() first; the
+// store-backed serving path never needs to.
 
 #ifndef GANC_DATA_DATASET_H_
 #define GANC_DATA_DATASET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
+#include <memory>
+#include <mutex>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/binary_io.h"
 #include "util/status.h"
 
 namespace ganc {
+
+class MappedArtifact;
 
 using UserId = int32_t;
 using ItemId = int32_t;
@@ -30,11 +50,14 @@ struct Rating {
   float value = 0.0f;
 };
 
-/// An (item, rating) pair inside one user's profile.
+/// An (item, rating) pair inside one user's profile. The in-memory
+/// layout doubles as the v3 wire layout of the dataset-cache rows
+/// section on little-endian hosts (see docs/FORMATS.md).
 struct ItemRating {
   ItemId item = 0;
   float value = 0.0f;
 };
+static_assert(sizeof(ItemRating) == 8);
 
 /// A (user, rating) pair inside one item's audience.
 struct UserRating {
@@ -43,42 +66,61 @@ struct UserRating {
 };
 
 /// Immutable sparse rating matrix with CSR-style per-user and CSC-style
-/// per-item views. Construct through RatingDatasetBuilder.
+/// per-item views. Construct through RatingDatasetBuilder or the binary
+/// cache loaders. Move-only: the CSR spans alias either owned heap
+/// buffers (which transfer on move) or a shared file mapping.
 class RatingDataset {
  public:
-  RatingDataset() = default;
+  RatingDataset();
+  ~RatingDataset();
+  RatingDataset(RatingDataset&&) noexcept;
+  RatingDataset& operator=(RatingDataset&&) noexcept;
+  RatingDataset(const RatingDataset&) = delete;
+  RatingDataset& operator=(const RatingDataset&) = delete;
 
   int32_t num_users() const { return num_users_; }
   int32_t num_items() const { return num_items_; }
-  int64_t num_ratings() const { return static_cast<int64_t>(ratings_.size()); }
+  int64_t num_ratings() const { return nnz_; }
 
   /// Fraction of the full matrix that is observed, in [0,1].
   double Density() const;
 
-  /// All observations in insertion order.
+  /// All observations in insertion order. Requires residency (mapped
+  /// datasets: EnsureResident() first).
   const std::vector<Rating>& ratings() const { return ratings_; }
 
   /// Items rated by `u`, ascending by item id.
-  const std::vector<ItemRating>& ItemsOf(UserId u) const {
-    return by_user_[static_cast<size_t>(u)];
+  std::span<const ItemRating> ItemsOf(UserId u) const {
+    const size_t uu = static_cast<size_t>(u);
+    const size_t begin = static_cast<size_t>(user_offsets_view_[uu]);
+    const size_t end = static_cast<size_t>(user_offsets_view_[uu + 1]);
+    return rows_view_.subspan(begin, end - begin);
   }
 
-  /// Users who rated `i`, ascending by user id.
-  const std::vector<UserRating>& UsersOf(ItemId i) const {
-    return by_item_[static_cast<size_t>(i)];
+  /// Users who rated `i`, ascending by user id. Requires residency.
+  std::span<const UserRating> UsersOf(ItemId i) const {
+    const size_t ii = static_cast<size_t>(i);
+    const size_t begin = static_cast<size_t>(item_offsets_[ii]);
+    const size_t end = static_cast<size_t>(item_offsets_[ii + 1]);
+    return {item_cols_.data() + begin, end - begin};
   }
 
   /// Number of train observations of item i (f_i^R = |U_i^R|).
+  /// Requires residency.
   int32_t Popularity(ItemId i) const {
-    return static_cast<int32_t>(by_item_[static_cast<size_t>(i)].size());
+    const size_t ii = static_cast<size_t>(i);
+    return static_cast<int32_t>(item_offsets_[ii + 1] - item_offsets_[ii]);
   }
 
   /// Popularity of every item as a dense vector indexed by item id.
+  /// Requires residency.
   std::vector<double> PopularityVector() const;
 
   /// Number of items user u rated (|I_u^R|, "user activity").
   int32_t Activity(UserId u) const {
-    return static_cast<int32_t>(by_user_[static_cast<size_t>(u)].size());
+    const size_t uu = static_cast<size_t>(u);
+    return static_cast<int32_t>(user_offsets_view_[uu + 1] -
+                                user_offsets_view_[uu]);
   }
 
   /// True when user u has rated item i (binary search in the user's row).
@@ -87,7 +129,8 @@ class RatingDataset {
   /// Rating of u on i, or error when unobserved.
   Result<float> GetRating(UserId u, ItemId i) const;
 
-  /// Mean of all rating values; 0 for an empty dataset.
+  /// Mean of all rating values; 0 for an empty dataset. Requires
+  /// residency.
   double GlobalMeanRating() const;
 
   /// All item ids NOT rated by u, ascending: the "all unseen train items"
@@ -99,43 +142,144 @@ class RatingDataset {
   /// generation).
   void UnratedItemsInto(UserId u, std::vector<ItemId>* out) const;
 
+  /// For a mapped dataset: validates every row (strictly item-ascending,
+  /// ids in range — the checks the eager loaders run up front) and
+  /// materializes the CSC item index and ratings() order, exactly once.
+  /// Returns the cached validation error on corrupt row data. No-op
+  /// (always OK) for eagerly loaded datasets. Thread-safe.
+  Status EnsureResident() const;
+
+  /// True when the CSR rows are borrowed from a file mapping.
+  bool IsMapped() const { return mapped_ != nullptr; }
+
   /// Serializes the dataset as a binary CSR cache (see docs/FORMATS.md):
-  /// per-user row offsets + item ids + float values, plus the original
-  /// observation order, checksummed per section. Written once after the
-  /// text loader; LoadBinary then skips parsing, id remapping, sorting,
-  /// and validation on every subsequent run.
+  /// per-user row offsets, one contiguous (item id, value) rows array,
+  /// the original observation order, and the content fingerprint,
+  /// checksummed per section. Written once after the text loader;
+  /// LoadBinary then skips parsing, id remapping, sorting, and
+  /// validation on every subsequent run.
   Status SaveBinary(std::ostream& os) const;
 
   /// SaveBinary to a file path (overwrites).
   Status SaveBinaryFile(const std::string& path) const;
 
-  /// Restores a dataset written by SaveBinary. The result is exactly the
-  /// saved dataset: same dimensions, same ratings() order, same per-user
-  /// and per-item indexes — so anything downstream (splits, SGD epoch
-  /// order, scoring) is bit-identical to running from the text source.
-  /// Fails on bad magic, version or checksum mismatch, truncation, or
-  /// inconsistent CSR structure.
+  /// Restores a dataset written by SaveBinary (v3) or by an older v2
+  /// writer. The result is exactly the saved dataset: same dimensions,
+  /// same ratings() order, same per-user and per-item indexes — so
+  /// anything downstream (splits, SGD epoch order, scoring) is
+  /// bit-identical to running from the text source. Fails on bad magic,
+  /// version or checksum mismatch, truncation, or inconsistent CSR
+  /// structure.
   static Result<RatingDataset> LoadBinary(std::istream& is);
 
   /// LoadBinary from a file path.
   static Result<RatingDataset> LoadBinaryFile(const std::string& path);
+
+  /// Opens a v3 dataset cache as a zero-copy view over a file mapping:
+  /// O(users) validation and resident memory, rows paged in on use.
+  /// Returns kFailedPrecondition for pre-v3 caches and kNotImplemented
+  /// without platform mmap (both mean "use LoadBinaryFile").
+  static Result<RatingDataset> LoadMappedFile(const std::string& path);
+
+  /// LoadMappedFile when possible, transparent fallback to the stream
+  /// loader otherwise (or always, when `prefer_mmap` is false).
+  static Result<RatingDataset> LoadFileAuto(const std::string& path,
+                                            bool prefer_mmap);
 
   /// Stable 64-bit content fingerprint: FNV-1a over the dimensions and
   /// the canonical per-user (item, value) stream. Artifacts that borrow
   /// the train dataset at load time (KNN/RP3b models, pipeline state)
   /// store it and refuse rebinding to different data — e.g. the same
   /// corpus split with a different seed. Insensitive to observation
-  /// order (two datasets with equal indexes fingerprint equally).
+  /// order (two datasets with equal indexes fingerprint equally). For
+  /// datasets loaded from a v3 cache this returns the stored
+  /// fingerprint without touching the rows.
   uint64_t Fingerprint() const;
 
  private:
   friend class RatingDatasetBuilder;
 
+  struct MappedState;
+
+  /// Points the views at the owned vectors (eager modes).
+  void BindOwnedViews();
+  /// Shared O(nnz) structural checks + CSC/ratings build.
+  Status ValidateRowsAndIndex() const;
+  Status Materialize() const;
+
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
-  std::vector<Rating> ratings_;
-  std::vector<std::vector<ItemRating>> by_user_;
-  std::vector<std::vector<UserRating>> by_item_;
+  int64_t nnz_ = 0;
+  /// Stored fingerprint from a v3 cache; 0 = compute on demand.
+  uint64_t fingerprint_ = 0;
+
+  // Owned CSR storage (empty when the views borrow from a mapping).
+  std::vector<uint64_t> user_offsets_;
+  std::vector<ItemRating> user_rows_;
+  // Derived data: owned, lazily materialized in mapped mode (mutable is
+  // confined to the EnsureResident() critical section).
+  mutable std::vector<Rating> ratings_;
+  mutable std::vector<uint64_t> item_offsets_;
+  mutable std::vector<UserRating> item_cols_;
+
+  // CSR views: into the owned vectors or into the mapping.
+  std::span<const uint64_t> user_offsets_view_;
+  std::span<const ItemRating> rows_view_;
+  // Mapped only: CSR-position -> ratings() index (empty = identity).
+  std::span<const uint64_t> order_view_;
+
+  std::unique_ptr<MappedState> mapped_;
+};
+
+/// Streams a v3 dataset cache to disk one user row at a time, without
+/// ever materializing a RatingDataset — the O(users)-memory path the
+/// 1M-user synthetic scale generator writes through. Usage:
+///
+///   auto w = DatasetCacheStreamWriter::Create(os, users, items, counts);
+///   for (UserId u = 0; u < users; ++u) w->AppendRow(row_of(u));
+///   w->Finish();
+///
+/// `row_counts` fixes every row length up front (it becomes the offsets
+/// section, which precedes the rows in the file). Rows must arrive in
+/// user order, strictly item-ascending, with exactly the declared
+/// length. Appended rows are hashed incrementally, so the stored
+/// fingerprint section matches RatingDataset::Fingerprint() of the
+/// loaded cache; rows arrive in CSR order, so the observation-order
+/// section is the identity (stored empty). The resulting file is
+/// byte-identical to SaveBinaryFile of the equivalent in-memory dataset.
+class DatasetCacheStreamWriter {
+ public:
+  /// Validates dimensions/counts and writes everything up to the first
+  /// rows byte. `os` must outlive the writer.
+  static Result<std::unique_ptr<DatasetCacheStreamWriter>> Create(
+      std::ostream& os, int32_t num_users, int32_t num_items,
+      std::span<const uint64_t> row_counts);
+
+  ~DatasetCacheStreamWriter();
+
+  /// Appends the next user's row (validated against the declared count).
+  Status AppendRow(std::span<const ItemRating> row);
+
+  /// Closes the rows section and writes order, fingerprint, and the end
+  /// marker. Required: without it the artifact is truncated.
+  Status Finish();
+
+  int64_t nnz() const { return nnz_; }
+
+ private:
+  DatasetCacheStreamWriter(std::ostream& os, int32_t num_users,
+                           int32_t num_items,
+                           std::vector<uint64_t> row_counts);
+
+  class ArtifactWriterHolder;
+
+  int32_t num_users_;
+  int32_t num_items_;
+  int64_t nnz_ = 0;
+  UserId next_user_ = 0;
+  std::vector<uint64_t> row_counts_;
+  Fnv1aHasher fingerprint_;
+  std::unique_ptr<ArtifactWriterHolder> writer_;
 };
 
 /// Accumulates observations, then finalizes the indexes.

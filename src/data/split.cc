@@ -16,7 +16,8 @@ Result<TrainTestSplit> PerUserRatioSplit(const RatingDataset& dataset,
   RatingDatasetBuilder test_builder(dataset.num_users(), dataset.num_items());
 
   for (UserId u = 0; u < dataset.num_users(); ++u) {
-    std::vector<ItemRating> row = dataset.ItemsOf(u);
+    const auto full_row = dataset.ItemsOf(u);
+    std::vector<ItemRating> row(full_row.begin(), full_row.end());
     rng.Shuffle(&row);
     const auto n = static_cast<int32_t>(row.size());
     int32_t n_train = static_cast<int32_t>(

@@ -8,6 +8,8 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace ganc {
 
@@ -234,6 +236,212 @@ SyntheticSpec NetflixScaledSpec() {
   s.seed = 104;
   return s;
 }
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-user seeds so user u's
+// generator stream is independent of (seed, u') for every other user.
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Inverse-CDF sampler over Zipf weights (i+1)^-e with a bucket table
+// that narrows each draw's binary search to ~1/kBuckets of the catalog:
+// O(items) build, O(log(items/kBuckets)) per draw.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(int32_t num_items, double exponent)
+      : cum_(static_cast<size_t>(num_items)) {
+    double acc = 0.0;
+    for (int32_t i = 0; i < num_items; ++i) {
+      acc += std::pow(static_cast<double>(i) + 1.0, -exponent);
+      cum_[static_cast<size_t>(i)] = acc;
+    }
+    total_ = acc;
+    bucket_start_.resize(kBuckets + 1);
+    size_t next = 0;
+    for (size_t k = 0; k < kBuckets; ++k) {
+      const double edge = total_ * static_cast<double>(k) /
+                          static_cast<double>(kBuckets);
+      while (next < cum_.size() && cum_[next] <= edge) ++next;
+      bucket_start_[k] = next;
+    }
+    bucket_start_[kBuckets] = cum_.size();
+  }
+
+  ItemId Sample(Rng* rng) const {
+    const double x = rng->Uniform() * total_;
+    size_t k = static_cast<size_t>(x / total_ * kBuckets);
+    if (k >= kBuckets) k = kBuckets - 1;
+    const auto begin = cum_.begin() + static_cast<long>(bucket_start_[k]);
+    const auto end = cum_.begin() + static_cast<long>(bucket_start_[k + 1]);
+    auto it = std::upper_bound(begin, end, x);
+    if (it == cum_.end()) --it;
+    return static_cast<ItemId>(it - cum_.begin());
+  }
+
+ private:
+  static constexpr size_t kBuckets = 4096;
+  std::vector<double> cum_;
+  std::vector<size_t> bucket_start_;
+  double total_ = 0.0;
+};
+
+// Replayable per-user activity draw: the first draws of user u's
+// generator, identical in the counting and row-generation passes.
+int32_t DrawScaleActivity(const ScaleSyntheticSpec& spec, Rng* rng) {
+  const double extra_mean = std::max(
+      1.0, spec.mean_activity - static_cast<double>(spec.min_activity));
+  const double sigma = spec.activity_sigma;
+  const double mu = std::log(extra_mean) - 0.5 * sigma * sigma;
+  const int32_t cap = std::max(
+      1, static_cast<int32_t>(spec.max_activity_frac *
+                              static_cast<double>(spec.num_items)));
+  const double extra = std::exp(rng->Normal(mu, sigma));
+  int32_t a = spec.min_activity +
+              static_cast<int32_t>(std::min(extra, 1e9));
+  return std::min({a, cap, spec.num_items});
+}
+
+// Generates user u's full sorted row. `taken` is caller-provided
+// scratch of size num_items holding the id of the last user that
+// claimed each slot (any value != u works as "free").
+void GenerateScaleRow(const ScaleSyntheticSpec& spec, const ZipfSampler& zipf,
+                      std::span<const float> item_bias, UserId u,
+                      std::vector<UserId>* taken,
+                      std::vector<ItemRating>* row) {
+  Rng rng(MixSeed(spec.seed, static_cast<uint64_t>(u)));
+  const int32_t a = DrawScaleActivity(spec, &rng);
+  row->clear();
+  row->reserve(static_cast<size_t>(a));
+  // Distinct Zipf draws by rejection; the activity cap keeps the
+  // acceptance rate high. The deterministic tail fill is a safety net
+  // for degenerate specs (near-total catalog coverage).
+  int64_t attempts = 0;
+  const int64_t max_attempts = 64 * static_cast<int64_t>(a) + 1024;
+  std::vector<ItemId> picked;
+  picked.reserve(static_cast<size_t>(a));
+  while (static_cast<int32_t>(picked.size()) < a && attempts < max_attempts) {
+    ++attempts;
+    const ItemId i = zipf.Sample(&rng);
+    if ((*taken)[static_cast<size_t>(i)] == u) continue;
+    (*taken)[static_cast<size_t>(i)] = u;
+    picked.push_back(i);
+  }
+  for (ItemId i = 0; static_cast<int32_t>(picked.size()) < a; ++i) {
+    if ((*taken)[static_cast<size_t>(i)] == u) continue;
+    (*taken)[static_cast<size_t>(i)] = u;
+    picked.push_back(i);
+  }
+  std::sort(picked.begin(), picked.end());
+
+  const double user_bias = rng.Normal(0.0, spec.user_bias_sd);
+  for (ItemId i : picked) {
+    const double value = spec.mean_rating + user_bias +
+                         static_cast<double>(item_bias[static_cast<size_t>(i)]) +
+                         rng.Normal(0.0, spec.noise_sd);
+    row->push_back({i, Quantize(value, spec.rating_min, spec.rating_max,
+                                spec.rating_step)});
+  }
+}
+
+}  // namespace
+
+Result<int64_t> GenerateSyntheticStream(const ScaleSyntheticSpec& spec,
+                                        const std::string& out_path,
+                                        ThreadPool* pool) {
+  if (spec.num_users <= 0 || spec.num_items <= 0) {
+    return Status::InvalidArgument("scale spec needs positive dimensions");
+  }
+  if (spec.num_users > static_cast<int64_t>(INT32_MAX)) {
+    return Status::InvalidArgument("scale spec exceeds the 2^31 user limit");
+  }
+  if (spec.rating_step <= 0.0 || spec.rating_max <= spec.rating_min) {
+    return Status::InvalidArgument("invalid rating scale");
+  }
+  if (spec.max_activity_frac <= 0.0 || spec.max_activity_frac > 0.5) {
+    return Status::InvalidArgument(
+        "max_activity_frac must be in (0, 0.5] to keep rejection sampling "
+        "effective");
+  }
+  const int32_t num_users = static_cast<int32_t>(spec.num_users);
+
+  const ZipfSampler zipf(spec.num_items, spec.zipf_exponent);
+  // Item biases come from a dedicated stream so they are independent of
+  // every per-user stream.
+  std::vector<float> item_bias(static_cast<size_t>(spec.num_items));
+  {
+    Rng item_rng(MixSeed(spec.seed, 0x1A7EB1A5ULL + spec.num_users));
+    for (auto& b : item_bias) {
+      b = static_cast<float>(item_rng.Normal(0.0, spec.item_bias_sd));
+    }
+  }
+
+  // Pass 1 — row counts (replayed as the prefix of each user's stream).
+  std::vector<uint64_t> counts(static_cast<size_t>(num_users));
+  for (UserId u = 0; u < num_users; ++u) {
+    Rng rng(MixSeed(spec.seed, static_cast<uint64_t>(u)));
+    counts[static_cast<size_t>(u)] =
+        static_cast<uint64_t>(DrawScaleActivity(spec, &rng));
+  }
+
+  // Pass 2 — stream rows through the cache writer in fixed-size blocks:
+  // workers fill a block's rows in parallel (each user from its own
+  // generator, so the bytes are thread-count-invariant), the writer
+  // appends them in user order. Peak memory is O(users + block).
+  int64_t nnz = -1;
+  Status write_status = WriteArtifactFile(out_path, [&](std::ostream& os) {
+    Result<std::unique_ptr<DatasetCacheStreamWriter>> writer =
+        DatasetCacheStreamWriter::Create(os, num_users, spec.num_items,
+                                         counts);
+    if (!writer.ok()) return writer.status();
+    nnz = (*writer)->nnz();
+
+    constexpr size_t kBlockUsers = 8192;
+    std::vector<std::vector<ItemRating>> block_rows(kBlockUsers);
+    for (size_t block = 0; block < static_cast<size_t>(num_users);
+         block += kBlockUsers) {
+      const size_t block_end =
+          std::min(block + kBlockUsers, static_cast<size_t>(num_users));
+      ParallelForChunks(
+          pool, block, block_end, [&](size_t chunk_begin, size_t chunk_end) {
+            std::vector<UserId> taken(static_cast<size_t>(spec.num_items),
+                                      -1);
+            for (size_t u = chunk_begin; u < chunk_end; ++u) {
+              GenerateScaleRow(spec, zipf, item_bias,
+                               static_cast<UserId>(u), &taken,
+                               &block_rows[u - block]);
+            }
+          });
+      for (size_t u = block; u < block_end; ++u) {
+        GANC_RETURN_NOT_OK((*writer)->AppendRow(block_rows[u - block]));
+      }
+    }
+    return (*writer)->Finish();
+  });
+  GANC_RETURN_NOT_OK(write_status);
+  GANC_LOG(Info) << "streamed synthetic scale corpus '" << spec.name
+                 << "': " << nnz << " ratings -> " << out_path;
+  return nnz;
+}
+
+ScaleSyntheticSpec PowerLawScaleSpec(int64_t num_users) {
+  ScaleSyntheticSpec s;
+  s.name = "powerlaw-" + std::to_string(num_users);
+  s.num_users = num_users;
+  s.num_items = 20000;
+  s.mean_activity = 24.0;
+  s.min_activity = 5;
+  s.activity_sigma = 0.9;
+  s.zipf_exponent = 0.9;
+  s.seed = 1;
+  return s;
+}
+
+ScaleSyntheticSpec PowerLaw1MSpec() { return PowerLawScaleSpec(1000000); }
 
 SyntheticSpec TinySpec() {
   SyntheticSpec s;

@@ -28,6 +28,8 @@
 
 namespace ganc {
 
+class ThreadPool;
+
 /// Full parameterization of the generator. Defaults give a medium-density
 /// MovieLens-like corpus.
 struct SyntheticSpec {
@@ -106,6 +108,62 @@ SyntheticSpec NetflixScaledSpec();
 
 /// Tiny corpus for unit tests (fast, but still popularity-biased).
 SyntheticSpec TinySpec();
+
+/// Parameterization of the streaming scale generator — a lighter model
+/// than SyntheticSpec (no MNAR latent-affinity selection, whose O(|I|)
+/// per-user weight sweep would make million-user corpora quadratic):
+/// Zipf item popularity, log-normal user activity, biased rating
+/// values. What the scale harness needs — a power-law corpus too big to
+/// hold as triples — at O(nnz) generation cost and O(users) memory.
+struct ScaleSyntheticSpec {
+  std::string name = "scale";
+
+  int64_t num_users = 100000;
+  int32_t num_items = 20000;
+
+  /// Target mean ratings per user (including min_activity).
+  double mean_activity = 24.0;
+  int32_t min_activity = 5;
+  /// Log-normal sigma of the activity tail.
+  double activity_sigma = 0.9;
+  /// Cap on one user's profile as a fraction of the catalog (keeps the
+  /// distinct-item rejection sampling cheap; must stay well below 1).
+  double max_activity_frac = 0.1;
+
+  /// Zipf exponent of item popularity: item i drawn with weight
+  /// (i+1)^-zipf_exponent (item 0 most popular).
+  double zipf_exponent = 0.9;
+
+  /// Rating-value model: mean + user bias + item bias + noise,
+  /// quantized to the scale.
+  double mean_rating = 3.6;
+  double user_bias_sd = 0.4;
+  double item_bias_sd = 0.4;
+  double noise_sd = 0.5;
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+  double rating_step = 0.5;
+
+  uint64_t seed = 1;
+};
+
+/// Streams a ScaleSyntheticSpec corpus straight into a v3 dataset-cache
+/// file (DatasetCacheStreamWriter): O(users) resident memory regardless
+/// of nnz. Every user's row is derived from an independent
+/// splitmix-derived generator seeded by (spec.seed, u), so the output
+/// file is byte-identical for any `pool` (including none) — threads
+/// change wall time only. Returns the generated nnz.
+Result<int64_t> GenerateSyntheticStream(const ScaleSyntheticSpec& spec,
+                                        const std::string& out_path,
+                                        ThreadPool* pool = nullptr);
+
+/// Power-law preset for the out-of-core scale harness, parameterized by
+/// user count (catalog and activity stay fixed so corpora at different
+/// scales are directly comparable; ~24 ratings/user, d ~ 0.12%).
+ScaleSyntheticSpec PowerLawScaleSpec(int64_t num_users);
+
+/// The 1M-user point of the scale harness (~24M ratings, ~190 MB rows).
+ScaleSyntheticSpec PowerLaw1MSpec();
 
 }  // namespace ganc
 

@@ -155,13 +155,12 @@ Status BprRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status BprRecommender::Load(std::istream& is, const RatingDataset* train) {
-  ArtifactReader r(is);
+Status BprRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kBpr));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   BprConfig cfg;
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
   GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.learning_rate));
@@ -176,7 +175,7 @@ Status BprRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader sr(state->payload);
+  PayloadReader sr(state->payload());
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
@@ -189,10 +188,8 @@ Status BprRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
       kFactorTableSection);
   if (!factors.ok()) return factors.status();
-  PayloadReader fr(factors->payload);
   FactorStore store;
-  GANC_RETURN_NOT_OK(store.Load(&fr));
-  GANC_RETURN_NOT_OK(fr.ExpectEnd());
+  GANC_RETURN_NOT_OK(store.LoadFromSection(r, *factors));
   const size_t g = static_cast<size_t>(cfg.num_factors);
   if (num_users < 0 || num_items < 0 || store.num_factors() != g ||
       store.user_rows() != static_cast<size_t>(num_users) ||

@@ -45,7 +45,8 @@ class BprRecommender : public Recommender {
                       std::span<double> out) const override;
   std::string name() const override { return "BPR"; }
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
   Status SetFactorPrecision(FactorPrecision p) override {
     return factors_.SetPrecision(p);
   }

@@ -115,13 +115,12 @@ Status CofiRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status CofiRecommender::Load(std::istream& is, const RatingDataset* train) {
-  ArtifactReader r(is);
+Status CofiRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kCofi));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   CofiConfig cfg;
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
   GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.learning_rate));
@@ -136,7 +135,7 @@ Status CofiRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader sr(state->payload);
+  PayloadReader sr(state->payload());
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
@@ -147,10 +146,8 @@ Status CofiRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
       kFactorTableSection);
   if (!factors.ok()) return factors.status();
-  PayloadReader fr(factors->payload);
   FactorStore store;
-  GANC_RETURN_NOT_OK(store.Load(&fr));
-  GANC_RETURN_NOT_OK(fr.ExpectEnd());
+  GANC_RETURN_NOT_OK(store.LoadFromSection(r, *factors));
   const size_t g = static_cast<size_t>(cfg.num_factors);
   if (num_users < 0 || num_items < 0 || store.num_factors() != g ||
       store.user_rows() != static_cast<size_t>(num_users) ||

@@ -15,7 +15,12 @@ namespace {
 constexpr double kQuantSteps = 254.0;
 constexpr int32_t kQuantMax = 127;
 
-std::vector<float> NarrowToF32(const std::vector<double>& src) {
+// Every table inside the factor section is preceded by this alignment
+// (v3 only; the scalar header is 25 bytes, so padding is required for
+// the first table and harmless for the rest).
+constexpr size_t kTableAlign = 8;
+
+std::vector<float> NarrowToF32(std::span<const double> src) {
   std::vector<float> out(src.size());
   for (size_t i = 0; i < src.size(); ++i) out[i] = static_cast<float>(src[i]);
   return out;
@@ -33,9 +38,20 @@ void FactorStore::AdoptFp64(std::vector<double> user, std::vector<double> item,
   item_rows_ = item_rows;
   num_factors_ = num_factors;
   precision_ = FactorPrecision::kFp64;
+  RebindViews();
 }
 
-FactorStore::QuantizedRows FactorStore::Quantize(const std::vector<double>& src,
+void FactorStore::RebindViews() {
+  user_f64_view_ = user_f64_;
+  item_f64_view_ = item_f64_;
+  user_f32_view_ = user_f32_;
+  item_f32_view_ = item_f32_;
+  user_qv_ = {user_q_.q, user_q_.scale, user_q_.center, user_q_.qsum};
+  item_qv_ = {item_q_.q, item_q_.scale, item_q_.center, item_q_.qsum};
+  keepalive_.reset();
+}
+
+FactorStore::QuantizedRows FactorStore::Quantize(std::span<const double> src,
                                                  size_t rows, size_t g) {
   QuantizedRows out;
   out.q.resize(rows * g);
@@ -87,12 +103,12 @@ Status FactorStore::SetPrecision(FactorPrecision p) {
   }
   switch (p) {
     case FactorPrecision::kFp32:
-      user_f32_ = NarrowToF32(user_f64_);
-      item_f32_ = NarrowToF32(item_f64_);
+      user_f32_ = NarrowToF32(user_f64_view_);
+      item_f32_ = NarrowToF32(item_f64_view_);
       break;
     case FactorPrecision::kInt8:
-      user_q_ = Quantize(user_f64_, user_rows_, num_factors_);
-      item_q_ = Quantize(item_f64_, item_rows_, num_factors_);
+      user_q_ = Quantize(user_f64_view_, user_rows_, num_factors_);
+      item_q_ = Quantize(item_f64_view_, item_rows_, num_factors_);
       break;
     case FactorPrecision::kFp64:
       break;  // unreachable: handled by the identity check above
@@ -102,6 +118,7 @@ Status FactorStore::SetPrecision(FactorPrecision p) {
   item_f64_.clear();
   item_f64_.shrink_to_fit();
   precision_ = p;
+  RebindViews();  // drops the mapping reference, if any
   return Status::OK();
 }
 
@@ -110,22 +127,22 @@ void FactorStore::BindView(FactorView* view) const {
   view->num_factors = num_factors_;
   switch (precision_) {
     case FactorPrecision::kFp64:
-      view->user_factors = user_f64_.data();
-      view->item_factors = item_f64_.data();
+      view->user_factors = user_f64_view_.data();
+      view->item_factors = item_f64_view_.data();
       break;
     case FactorPrecision::kFp32:
-      view->user_factors_f32 = user_f32_.data();
-      view->item_factors_f32 = item_f32_.data();
+      view->user_factors_f32 = user_f32_view_.data();
+      view->item_factors_f32 = item_f32_view_.data();
       break;
     case FactorPrecision::kInt8:
-      view->user_q8 = user_q_.q.data();
-      view->item_q8 = item_q_.q.data();
-      view->user_scale = user_q_.scale.data();
-      view->user_center = user_q_.center.data();
-      view->user_qsum = user_q_.qsum.data();
-      view->item_scale = item_q_.scale.data();
-      view->item_center = item_q_.center.data();
-      view->item_qsum = item_q_.qsum.data();
+      view->user_q8 = user_qv_.q.data();
+      view->item_q8 = item_qv_.q.data();
+      view->user_scale = user_qv_.scale.data();
+      view->user_center = user_qv_.center.data();
+      view->user_qsum = user_qv_.qsum.data();
+      view->item_scale = item_qv_.scale.data();
+      view->item_center = item_qv_.center.data();
+      view->item_qsum = item_qv_.qsum.data();
       break;
   }
 }
@@ -133,15 +150,15 @@ void FactorStore::BindView(FactorView* view) const {
 size_t FactorStore::ResidentBytes() const {
   switch (precision_) {
     case FactorPrecision::kFp64:
-      return (user_f64_.size() + item_f64_.size()) * sizeof(double);
+      return (user_f64_view_.size() + item_f64_view_.size()) * sizeof(double);
     case FactorPrecision::kFp32:
-      return (user_f32_.size() + item_f32_.size()) * sizeof(float);
+      return (user_f32_view_.size() + item_f32_view_.size()) * sizeof(float);
     case FactorPrecision::kInt8:
-      return user_q_.q.size() + item_q_.q.size() +
-             (user_q_.scale.size() + user_q_.center.size() +
-              item_q_.scale.size() + item_q_.center.size()) *
+      return user_qv_.q.size() + item_qv_.q.size() +
+             (user_qv_.scale.size() + user_qv_.center.size() +
+              item_qv_.scale.size() + item_qv_.center.size()) *
                  sizeof(float) +
-             (user_q_.qsum.size() + item_q_.qsum.size()) * sizeof(int32_t);
+             (user_qv_.qsum.size() + item_qv_.qsum.size()) * sizeof(int32_t);
   }
   return 0;
 }
@@ -151,48 +168,37 @@ void FactorStore::Save(PayloadWriter* w) const {
   w->WriteU64(num_factors_);
   w->WriteU64(user_rows_);
   w->WriteU64(item_rows_);
+  auto vec_f64 = [w](std::span<const double> v) {
+    w->AlignTo(kTableAlign);
+    w->WriteVecRaw(v.data(), v.size());
+  };
+  auto vec_f32 = [w](std::span<const float> v) {
+    w->AlignTo(kTableAlign);
+    w->WriteVecRaw(v.data(), v.size());
+  };
   switch (precision_) {
     case FactorPrecision::kFp64:
-      w->WriteVecF64(user_f64_);
-      w->WriteVecF64(item_f64_);
+      vec_f64(user_f64_view_);
+      vec_f64(item_f64_view_);
       break;
     case FactorPrecision::kFp32:
-      w->WriteVecF32(user_f32_);
-      w->WriteVecF32(item_f32_);
+      vec_f32(user_f32_view_);
+      vec_f32(item_f32_view_);
       break;
     case FactorPrecision::kInt8:
-      for (const QuantizedRows* q : {&user_q_, &item_q_}) {
-        w->WriteVecI8(q->q);
-        w->WriteVecF32(q->scale);
-        w->WriteVecF32(q->center);
-        w->WriteVecI32(q->qsum);
+      for (const QuantizedRowsView* q : {&user_qv_, &item_qv_}) {
+        w->AlignTo(kTableAlign);
+        w->WriteVecRaw(q->q.data(), q->q.size());
+        vec_f32(q->scale);
+        vec_f32(q->center);
+        w->AlignTo(kTableAlign);
+        w->WriteVecRaw(q->qsum.data(), q->qsum.size());
       }
       break;
   }
 }
 
-Status FactorStore::LoadQuantized(PayloadReader* r, QuantizedRows* out,
-                                  size_t rows, const char* side) const {
-  GANC_RETURN_NOT_OK(r->ReadVecI8(&out->q));
-  GANC_RETURN_NOT_OK(r->ReadVecF32(&out->scale));
-  GANC_RETURN_NOT_OK(r->ReadVecF32(&out->center));
-  GANC_RETURN_NOT_OK(r->ReadVecI32(&out->qsum));
-  if (out->q.size() != rows * num_factors_) {
-    return Status::InvalidArgument(
-        std::string("factor table section: ") + side +
-        " int8 code table has wrong length");
-  }
-  if (out->scale.size() != rows || out->center.size() != rows ||
-      out->qsum.size() != rows) {
-    return Status::InvalidArgument(
-        std::string("factor table section: ") + side +
-        " quantization side tables (scale/center/qsum) have wrong length");
-  }
-  return Status::OK();
-}
-
-Status FactorStore::Load(PayloadReader* r) {
-  Clear();
+Status FactorStore::ReadScalarHeader(PayloadReader* r) {
   uint8_t tag = 0;
   GANC_RETURN_NOT_OK(r->ReadU8(&tag));
   if (tag != static_cast<uint8_t>(FactorPrecision::kFp64) &&
@@ -216,9 +222,68 @@ Status FactorStore::Load(PayloadReader* r) {
   user_rows_ = static_cast<size_t>(user_rows);
   item_rows_ = static_cast<size_t>(item_rows);
   precision_ = static_cast<FactorPrecision>(tag);
+  return Status::OK();
+}
+
+Status FactorStore::LoadQuantizedOwned(PayloadReader* r, bool aligned,
+                                       QuantizedRows* out, size_t rows,
+                                       const char* side) const {
+  if (aligned) GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->ReadVecI8(&out->q));
+  if (aligned) GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->ReadVecF32(&out->scale));
+  if (aligned) GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->ReadVecF32(&out->center));
+  if (aligned) GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->ReadVecI32(&out->qsum));
+  if (out->q.size() != rows * num_factors_) {
+    return Status::InvalidArgument(
+        std::string("factor table section: ") + side +
+        " int8 code table has wrong length");
+  }
+  if (out->scale.size() != rows || out->center.size() != rows ||
+      out->qsum.size() != rows) {
+    return Status::InvalidArgument(
+        std::string("factor table section: ") + side +
+        " quantization side tables (scale/center/qsum) have wrong length");
+  }
+  return Status::OK();
+}
+
+Status FactorStore::LoadQuantizedBorrowed(PayloadReader* r,
+                                          QuantizedRowsView* out, size_t rows,
+                                          const char* side) const {
+  GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->BorrowVec(&out->q));
+  GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->BorrowVec(&out->scale));
+  GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->BorrowVec(&out->center));
+  GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+  GANC_RETURN_NOT_OK(r->BorrowVec(&out->qsum));
+  if (out->q.size() != rows * num_factors_) {
+    return Status::InvalidArgument(
+        std::string("factor table section: ") + side +
+        " int8 code table has wrong length");
+  }
+  if (out->scale.size() != rows || out->center.size() != rows ||
+      out->qsum.size() != rows) {
+    return Status::InvalidArgument(
+        std::string("factor table section: ") + side +
+        " quantization side tables (scale/center/qsum) have wrong length");
+  }
+  return Status::OK();
+}
+
+Status FactorStore::LoadOwned(PayloadReader* r, bool aligned) {
+  auto skip = [&]() -> Status {
+    return aligned ? r->SkipAlign(kTableAlign) : Status::OK();
+  };
   switch (precision_) {
     case FactorPrecision::kFp64:
+      GANC_RETURN_NOT_OK(skip());
       GANC_RETURN_NOT_OK(r->ReadVecF64(&user_f64_));
+      GANC_RETURN_NOT_OK(skip());
       GANC_RETURN_NOT_OK(r->ReadVecF64(&item_f64_));
       if (user_f64_.size() != user_rows_ * num_factors_ ||
           item_f64_.size() != item_rows_ * num_factors_) {
@@ -227,7 +292,9 @@ Status FactorStore::Load(PayloadReader* r) {
       }
       break;
     case FactorPrecision::kFp32:
+      GANC_RETURN_NOT_OK(skip());
       GANC_RETURN_NOT_OK(r->ReadVecF32(&user_f32_));
+      GANC_RETURN_NOT_OK(skip());
       GANC_RETURN_NOT_OK(r->ReadVecF32(&item_f32_));
       if (user_f32_.size() != user_rows_ * num_factors_ ||
           item_f32_.size() != item_rows_ * num_factors_) {
@@ -236,11 +303,70 @@ Status FactorStore::Load(PayloadReader* r) {
       }
       break;
     case FactorPrecision::kInt8:
-      GANC_RETURN_NOT_OK(LoadQuantized(r, &user_q_, user_rows_, "user"));
-      GANC_RETURN_NOT_OK(LoadQuantized(r, &item_q_, item_rows_, "item"));
+      GANC_RETURN_NOT_OK(
+          LoadQuantizedOwned(r, aligned, &user_q_, user_rows_, "user"));
+      GANC_RETURN_NOT_OK(
+          LoadQuantizedOwned(r, aligned, &item_q_, item_rows_, "item"));
+      break;
+  }
+  RebindViews();
+  return Status::OK();
+}
+
+Status FactorStore::LoadBorrowed(PayloadReader* r) {
+  switch (precision_) {
+    case FactorPrecision::kFp64:
+      GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+      GANC_RETURN_NOT_OK(r->BorrowVec(&user_f64_view_));
+      GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+      GANC_RETURN_NOT_OK(r->BorrowVec(&item_f64_view_));
+      if (user_f64_view_.size() != user_rows_ * num_factors_ ||
+          item_f64_view_.size() != item_rows_ * num_factors_) {
+        return Status::InvalidArgument(
+            "factor table section: fp64 tables have wrong length");
+      }
+      break;
+    case FactorPrecision::kFp32:
+      GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+      GANC_RETURN_NOT_OK(r->BorrowVec(&user_f32_view_));
+      GANC_RETURN_NOT_OK(r->SkipAlign(kTableAlign));
+      GANC_RETURN_NOT_OK(r->BorrowVec(&item_f32_view_));
+      if (user_f32_view_.size() != user_rows_ * num_factors_ ||
+          item_f32_view_.size() != item_rows_ * num_factors_) {
+        return Status::InvalidArgument(
+            "factor table section: fp32 tables have wrong length");
+      }
+      break;
+    case FactorPrecision::kInt8:
+      GANC_RETURN_NOT_OK(
+          LoadQuantizedBorrowed(r, &user_qv_, user_rows_, "user"));
+      GANC_RETURN_NOT_OK(
+          LoadQuantizedBorrowed(r, &item_qv_, item_rows_, "item"));
       break;
   }
   return Status::OK();
+}
+
+Status FactorStore::Load(PayloadReader* r, bool aligned) {
+  Clear();
+  GANC_RETURN_NOT_OK(ReadScalarHeader(r));
+  return LoadOwned(r, aligned);
+}
+
+Status FactorStore::LoadFromSection(ArtifactReader& r,
+                                    const ArtifactReader::Section& sec) {
+  Clear();
+  Result<ArtifactHeader> header = r.Header();
+  if (!header.ok()) return header.status();
+  PayloadReader pr(sec.payload());
+  if (sec.is_mapped) {
+    GANC_RETURN_NOT_OK(ReadScalarHeader(&pr));
+    GANC_RETURN_NOT_OK(LoadBorrowed(&pr));
+    keepalive_ = r.mapped_artifact();
+  } else {
+    GANC_RETURN_NOT_OK(Load(&pr, header->version >= 3));
+  }
+  return pr.ExpectEnd();
 }
 
 void FactorStore::Clear() {
@@ -252,6 +378,7 @@ void FactorStore::Clear() {
   item_f32_.clear();
   user_q_ = QuantizedRows{};
   item_q_ = QuantizedRows{};
+  RebindViews();
 }
 
 }  // namespace ganc

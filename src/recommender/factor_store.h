@@ -1,5 +1,5 @@
-// Owning storage for a latent-factor model's user/item tables at a
-// selectable precision (see factor_view.h for the precision semantics).
+// Storage for a latent-factor model's user/item tables at a selectable
+// precision (see factor_view.h for the precision semantics).
 //
 // Lifecycle: Fit produces fp64 tables and hands them over with
 // AdoptFp64(); SetPrecision() then optionally narrows them to fp32 or
@@ -8,6 +8,13 @@
 // Because narrowing is lossy, precision conversions only run off fp64
 // tables: fp32 -> int8 is an error (re-fit or reload the fp64
 // artifact).
+//
+// Ownership: all table access goes through spans that view either
+// owned vectors (fitted or stream-loaded stores) or a memory-mapped
+// artifact's factor-table section (LoadFromSection over a mapped
+// reader). Mapped tables feed the SIMD scoring kernels in place — the
+// v3 format 8-aligns every table inside the section precisely so no
+// copy is needed. A keepalive pins the mapping for the store's life.
 //
 // Persistence: the store serializes as its own artifact section
 // (kFactorTableSection, docs/FORMATS.md §factor tables) holding only
@@ -19,6 +26,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "recommender/factor_view.h"
@@ -36,7 +45,9 @@ class FactorStore {
 
   /// Converts the tables to `p` in place. fp64 -> {fp64, fp32, int8}
   /// and identity conversions succeed; anything else is an error (the
-  /// fp64 source is gone once compacted).
+  /// fp64 source is gone once compacted). Compacting a mapped fp64
+  /// store materializes owned compact tables and releases the mapping
+  /// reference.
   Status SetPrecision(FactorPrecision p);
 
   FactorPrecision precision() const { return precision_; }
@@ -44,6 +55,8 @@ class FactorStore {
   size_t num_factors() const { return num_factors_; }
   size_t user_rows() const { return user_rows_; }
   size_t item_rows() const { return item_rows_; }
+  /// True when the active tables are borrowed from a file mapping.
+  bool IsMapped() const { return keepalive_ != nullptr; }
 
   /// Points the view's factor-table fields (precision, typed pointers,
   /// num_factors) at this store. Bias fields and num_items are the
@@ -51,19 +64,31 @@ class FactorStore {
   void BindView(FactorView* view) const;
 
   /// fp64 row access for training-time code paths; requires fp64.
-  const std::vector<double>& user_f64() const { return user_f64_; }
-  const std::vector<double>& item_f64() const { return item_f64_; }
+  std::span<const double> user_f64() const { return user_f64_view_; }
+  std::span<const double> item_f64() const { return item_f64_view_; }
 
-  /// Bytes resident in the active factor tables (incl. quantization
-  /// side tables) — the number BENCH_kernel.json reports.
+  /// Bytes in the active factor tables (incl. quantization side
+  /// tables) — the number BENCH_kernel.json reports. For a mapped
+  /// store these bytes are file-backed page cache, not private RSS.
   size_t ResidentBytes() const;
 
-  /// Serializes the active tables as one section payload.
+  /// Serializes the active tables as one section payload, 8-aligning
+  /// every table relative to the payload start (v3 sections start
+  /// 64-byte aligned in the file, so in-payload alignment is file
+  /// alignment — the property mapped loads rely on).
   void Save(PayloadWriter* w) const;
 
-  /// Parses a section payload written by Save(); validates the
-  /// precision tag and every table length against the header counts.
-  Status Load(PayloadReader* r);
+  /// Parses a section payload written by Save() into owned tables.
+  /// `aligned` selects the layout: v3 payloads carry alignment padding
+  /// before each table, pre-v3 payloads are packed.
+  Status Load(PayloadReader* r, bool aligned);
+
+  /// Parses the factor-table section: borrows the tables zero-copy
+  /// when `sec` is mapped (keepalive = the reader's mapping), copies
+  /// into owned vectors otherwise. Pre-v3 stream payloads have no
+  /// alignment padding; the artifact version picks the layout.
+  Status LoadFromSection(ArtifactReader& r,
+                         const ArtifactReader::Section& sec);
 
   void Clear();
 
@@ -74,23 +99,46 @@ class FactorStore {
     std::vector<float> center;  // rows
     std::vector<int32_t> qsum;  // rows, sum_f q[row][f]
   };
+  struct QuantizedRowsView {
+    std::span<const int8_t> q;
+    std::span<const float> scale;
+    std::span<const float> center;
+    std::span<const int32_t> qsum;
+  };
 
-  static QuantizedRows Quantize(const std::vector<double>& src, size_t rows,
+  static QuantizedRows Quantize(std::span<const double> src, size_t rows,
                                 size_t g);
-  Status LoadQuantized(PayloadReader* r, QuantizedRows* out, size_t rows,
-                       const char* side) const;
+  Status ReadScalarHeader(PayloadReader* r);
+  Status LoadOwned(PayloadReader* r, bool aligned);
+  Status LoadBorrowed(PayloadReader* r);
+  Status LoadQuantizedOwned(PayloadReader* r, bool aligned, QuantizedRows* out,
+                            size_t rows, const char* side) const;
+  Status LoadQuantizedBorrowed(PayloadReader* r, QuantizedRowsView* out,
+                               size_t rows, const char* side) const;
+  /// Points the views at the owned vectors (the non-mapped state).
+  void RebindViews();
 
   FactorPrecision precision_ = FactorPrecision::kFp64;
   size_t user_rows_ = 0;
   size_t item_rows_ = 0;
   size_t num_factors_ = 0;
 
+  // Owned storage (empty when the views borrow from a mapping).
   std::vector<double> user_f64_;
   std::vector<double> item_f64_;
   std::vector<float> user_f32_;
   std::vector<float> item_f32_;
   QuantizedRows user_q_;
   QuantizedRows item_q_;
+
+  // The active tables: views over the owned vectors or the mapping.
+  std::span<const double> user_f64_view_;
+  std::span<const double> item_f64_view_;
+  std::span<const float> user_f32_view_;
+  std::span<const float> item_f32_view_;
+  QuantizedRowsView user_qv_;
+  QuantizedRowsView item_qv_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace ganc

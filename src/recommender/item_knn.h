@@ -47,7 +47,8 @@ class ItemKnnRecommender : public Recommender {
   /// Stores the truncated similarity index; Load rebinds scoring to
   /// `train` (required, dimensions must match).
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
 
   /// The fitted similarity index (for diagnostics and re-use).
   const ItemSimilarityIndex& similarity_index() const { return index_; }

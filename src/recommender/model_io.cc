@@ -13,7 +13,9 @@
 namespace ganc {
 
 Status ReadModelHeader(ArtifactReader& r, ModelType type) {
-  Result<ArtifactHeader> header = r.ReadHeader();
+  // Header(), not ReadHeader(): the factory has already consumed the
+  // header bytes to learn the type, so the cached copy must be reused.
+  Result<ArtifactHeader> header = r.Header();
   if (!header.ok()) return header.status();
   return ExpectArtifact(*header, ArtifactKind::kModel,
                         static_cast<uint32_t>(type));
@@ -24,16 +26,12 @@ Status SaveModelFile(const Recommender& model, const std::string& path) {
       path, [&](std::ostream& os) { return model.Save(os); });
 }
 
-Result<std::unique_ptr<Recommender>> LoadModel(std::istream& is,
+Result<std::unique_ptr<Recommender>> LoadModel(ArtifactReader& r,
                                                const RatingDataset* train) {
-  // Peek the header to learn the concrete type, then rewind so the
-  // model's own Load re-validates the whole artifact.
-  const std::istream::pos_type start = is.tellg();
-  if (start == std::istream::pos_type(-1)) {
-    return Status::IOError("model stream is not seekable");
-  }
-  ArtifactReader r(is);
-  Result<ArtifactHeader> header = r.ReadHeader();
+  // Read the header to learn the concrete type; the model's Load picks
+  // up from the cached header (via ReadModelHeader) — no rewind, so
+  // unseekable streams and mapped artifacts both work.
+  Result<ArtifactHeader> header = r.Header();
   if (!header.ok()) return header.status();
   if (header->kind != static_cast<uint32_t>(ArtifactKind::kModel)) {
     return Status::InvalidArgument("artifact is not a model (kind " +
@@ -73,16 +71,39 @@ Result<std::unique_ptr<Recommender>> LoadModel(std::istream& is,
     return Status::InvalidArgument("unknown model type tag " +
                                    std::to_string(header->type_tag));
   }
-  is.clear();
-  is.seekg(start);
-  GANC_RETURN_NOT_OK(model->Load(is, train));
+  GANC_RETURN_NOT_OK(model->Load(r, train));
   return model;
+}
+
+Result<std::unique_ptr<Recommender>> LoadModel(std::istream& is,
+                                               const RatingDataset* train) {
+  ArtifactReader r(is);
+  return LoadModel(r, train);
 }
 
 Result<std::unique_ptr<Recommender>> LoadModelFile(const std::string& path,
                                                    const RatingDataset* train) {
   return ReadArtifactFile(
       path, [&](std::istream& is) { return LoadModel(is, train); });
+}
+
+Result<std::unique_ptr<Recommender>> LoadModelFileMapped(
+    const std::string& path, const RatingDataset* train) {
+  Result<std::shared_ptr<const MappedArtifact>> mapped =
+      OpenMappedArtifact(path);
+  if (!mapped.ok()) return mapped.status();
+  ArtifactReader r(std::move(*mapped));
+  return LoadModel(r, train);
+}
+
+Result<std::unique_ptr<Recommender>> LoadModelFileAuto(
+    const std::string& path, bool prefer_mmap, const RatingDataset* train) {
+  if (prefer_mmap) {
+    Result<std::unique_ptr<Recommender>> mapped =
+        LoadModelFileMapped(path, train);
+    if (mapped.ok() || !IsMmapFallback(mapped.status())) return mapped;
+  }
+  return LoadModelFile(path, train);
 }
 
 }  // namespace ganc

@@ -35,18 +35,17 @@ Status PopRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status PopRecommender::Load(std::istream& is, const RatingDataset* train) {
-  ArtifactReader r(is);
+Status PopRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kPop));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   GANC_RETURN_NOT_OK(cr.ExpectEnd());
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader pr(state->payload);
+  PayloadReader pr(state->payload());
   uint64_t fingerprint = 0;
   std::vector<double> popularity;
   GANC_RETURN_NOT_OK(pr.ReadU64(&fingerprint));

@@ -27,7 +27,8 @@ class PopRecommender : public Recommender {
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "Pop"; }
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
 
  private:
   std::vector<double> popularity_;  // normalized to [0, 1]

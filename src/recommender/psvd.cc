@@ -81,13 +81,12 @@ Status PsvdRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status PsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
-  ArtifactReader r(is);
+Status PsvdRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kPsvd));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   PsvdConfig cfg;
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_factors));
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.oversample));
@@ -97,7 +96,7 @@ Status PsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader sr(state->payload);
+  PayloadReader sr(state->payload());
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
@@ -110,10 +109,8 @@ Status PsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
       kFactorTableSection);
   if (!factors.ok()) return factors.status();
-  PayloadReader fr(factors->payload);
   FactorStore store;
-  GANC_RETURN_NOT_OK(store.Load(&fr));
-  GANC_RETURN_NOT_OK(fr.ExpectEnd());
+  GANC_RETURN_NOT_OK(store.LoadFromSection(r, *factors));
   // Scoring rank is |sigma| (may be below num_factors on tiny matrices).
   const size_t g = sigma.size();
   if (num_users < 0 || num_items < 0 || store.num_factors() != g ||

@@ -44,7 +44,8 @@ class PsvdRecommender : public Recommender {
     return "PSVD" + std::to_string(config_.num_factors);
   }
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
   Status SetFactorPrecision(FactorPrecision p) override {
     return factors_.SetPrecision(p);
   }

@@ -26,7 +26,8 @@ class RandomRecommender : public Recommender {
   void ScoreInto(UserId u, std::span<double> out) const override;
   std::string name() const override { return "Rand"; }
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
 
  private:
   uint64_t seed_;

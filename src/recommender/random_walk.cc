@@ -167,18 +167,17 @@ Status RandomWalkRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status RandomWalkRecommender::Load(std::istream& is,
+Status RandomWalkRecommender::Load(ArtifactReader& r,
                                    const RatingDataset* train) {
   if (train == nullptr) {
     return Status::FailedPrecondition(
         "RP3b artifact requires a train dataset binding");
   }
-  ArtifactReader r(is);
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kRandomWalk));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   RandomWalkConfig cfg;
   GANC_RETURN_NOT_OK(cr.ReadF64(&cfg.beta));
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.max_coraters));
@@ -189,7 +188,7 @@ Status RandomWalkRecommender::Load(std::istream& is,
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader sr(state->payload);
+  PayloadReader sr(state->payload());
   int32_t num_users = 0;
   uint64_t fingerprint = 0;
   std::vector<double> penalty;

@@ -58,7 +58,8 @@ class RandomWalkRecommender : public Recommender {
   /// rebinds the walk to `train` (required, dimensions must match) and
   /// rebuilds the CSR walk graph from it.
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
 
  private:
   /// Flattens `train`'s bipartite adjacency into the CSR walk graph.

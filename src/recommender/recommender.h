@@ -26,6 +26,7 @@
 #include "data/dataset.h"
 #include "recommender/factor_scoring_engine.h"
 #include "recommender/scoring_context.h"
+#include "util/serialize.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/top_k.h"
@@ -135,7 +136,15 @@ class Recommender {
   ///  - Hyper-parameters stored in the artifact overwrite the instance's
   ///    config, so name() and scoring behavior match the saved model.
   ///  - Not thread-safe against concurrent scoring (like Fit).
-  virtual Status Load(std::istream& is, const RatingDataset* train);
+  ///
+  /// The stream overload is a convenience wrapper that builds an
+  /// ArtifactReader over `is` and dispatches to the reader overload —
+  /// the virtual hook every model implements. The reader form is
+  /// backend-agnostic: over a mapped artifact (ArtifactReader's mmap
+  /// backend) the factor-table models borrow their tables zero-copy
+  /// from the mapping instead of materializing them.
+  Status Load(std::istream& is, const RatingDataset* train);
+  virtual Status Load(ArtifactReader& r, const RatingDataset* train);
 
   /// Converts the model's factor tables to `p` in place (see
   /// factor_view.h for the precision semantics). The latent-factor

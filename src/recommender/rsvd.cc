@@ -168,13 +168,12 @@ Status RsvdRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status RsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
-  ArtifactReader r(is);
+Status RsvdRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kRsvd));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   RsvdConfig cfg;
   uint8_t use_biases = 0;
   uint8_t non_negative = 0;
@@ -196,7 +195,7 @@ Status RsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader sr(state->payload);
+  PayloadReader sr(state->payload());
   int32_t num_users = 0;
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
@@ -213,10 +212,8 @@ Status RsvdRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> factors = r.ReadSectionExpect(
       kFactorTableSection);
   if (!factors.ok()) return factors.status();
-  PayloadReader fr(factors->payload);
   FactorStore store;
-  GANC_RETURN_NOT_OK(store.Load(&fr));
-  GANC_RETURN_NOT_OK(fr.ExpectEnd());
+  GANC_RETURN_NOT_OK(store.LoadFromSection(r, *factors));
   const size_t g = static_cast<size_t>(cfg.num_factors);
   const size_t nu = static_cast<size_t>(num_users);
   const size_t ni = static_cast<size_t>(num_items);

@@ -48,7 +48,8 @@ class RsvdRecommender : public Recommender {
     return config_.non_negative ? "RSVDN" : "RSVD";
   }
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
   Status SetFactorPrecision(FactorPrecision p) override {
     return factors_.SetPrecision(p);
   }

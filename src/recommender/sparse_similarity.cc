@@ -23,14 +23,14 @@ SparseMatrix SampleUserProfiles(const RatingDataset& train,
   Rng rng(seed);
   std::vector<ItemRating> sampled;
   for (UserId u = 0; u < num_users; ++u) {
-    const std::vector<ItemRating>* row = &train.ItemsOf(u);
-    if (static_cast<int32_t>(row->size()) > max_profile) {
-      sampled = *row;
+    std::span<const ItemRating> row = train.ItemsOf(u);
+    if (static_cast<int32_t>(row.size()) > max_profile) {
+      sampled.assign(row.begin(), row.end());
       rng.Shuffle(&sampled);
       sampled.resize(static_cast<size_t>(max_profile));
-      row = &sampled;
+      row = sampled;
     }
-    for (const ItemRating& ir : *row) {
+    for (const ItemRating& ir : row) {
       m.ids.push_back(ir.item);
       m.values.push_back(static_cast<double>(ir.value));
     }
@@ -55,14 +55,14 @@ SparseMatrix SampleItemAudiences(const RatingDataset& train,
   Rng rng(seed);
   std::vector<UserRating> sampled;
   for (ItemId i = 0; i < num_items; ++i) {
-    const std::vector<UserRating>* col = &train.UsersOf(i);
-    if (static_cast<int32_t>(col->size()) > max_audience) {
-      sampled = *col;
+    std::span<const UserRating> col = train.UsersOf(i);
+    if (static_cast<int32_t>(col.size()) > max_audience) {
+      sampled.assign(col.begin(), col.end());
       rng.Shuffle(&sampled);
       sampled.resize(static_cast<size_t>(max_audience));
-      col = &sampled;
+      col = sampled;
     }
-    for (const UserRating& ur : *col) {
+    for (const UserRating& ur : col) {
       m.ids.push_back(ur.user);
       m.values.push_back(static_cast<double>(ur.value) -
                          user_mean[static_cast<size_t>(ur.user)]);

@@ -126,17 +126,16 @@ Status UserKnnRecommender::Save(std::ostream& os) const {
   return w.Finish();
 }
 
-Status UserKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
+Status UserKnnRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   if (train == nullptr) {
     return Status::FailedPrecondition(
         "UserKNN artifact requires a train dataset binding");
   }
-  ArtifactReader r(is);
   GANC_RETURN_NOT_OK(ReadModelHeader(r, ModelType::kUserKnn));
   Result<ArtifactReader::Section> config = r.ReadSectionExpect(
       kModelConfigSection);
   if (!config.ok()) return config.status();
-  PayloadReader cr(config->payload);
+  PayloadReader cr(config->payload());
   UserKnnConfig cfg;
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.num_neighbors));
   GANC_RETURN_NOT_OK(cr.ReadI32(&cfg.max_audience));
@@ -145,7 +144,7 @@ Status UserKnnRecommender::Load(std::istream& is, const RatingDataset* train) {
   Result<ArtifactReader::Section> state = r.ReadSectionExpect(
       kModelStateSection);
   if (!state.ok()) return state.status();
-  PayloadReader sr(state->payload);
+  PayloadReader sr(state->payload());
   int32_t num_items = 0;
   uint64_t fingerprint = 0;
   std::vector<double> means;

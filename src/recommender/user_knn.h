@@ -52,7 +52,8 @@ class UserKnnRecommender : public Recommender {
   /// Stores user means and truncated neighbour lists; Load rebinds
   /// scoring to `train` (required, dimensions must match).
   Status Save(std::ostream& os) const override;
-  Status Load(std::istream& is, const RatingDataset* train) override;
+  using Recommender::Load;
+  Status Load(ArtifactReader& r, const RatingDataset* train) override;
 
  private:
   struct Neighbor {

@@ -20,7 +20,8 @@ PraReranker::PraReranker(const Recommender* base, const RatingDataset* train,
   Rng rng(config_.seed);
   tendency_.assign(static_cast<size_t>(train->num_users()), 0.5);
   for (UserId u = 0; u < train->num_users(); ++u) {
-    std::vector<ItemRating> row = train->ItemsOf(u);
+    const auto full_row = train->ItemsOf(u);
+    std::vector<ItemRating> row(full_row.begin(), full_row.end());
     if (row.empty()) continue;
     if (static_cast<int>(row.size()) > config_.sample_size) {
       rng.Shuffle(&row);

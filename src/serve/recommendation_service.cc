@@ -61,6 +61,9 @@ Status RecommendationService::Init(const Recommender* model,
     source_ = model->name();
     factor_precision_ = model->factor_precision();
   } else {
+    // Pipeline mode scores against user profiles and builds a coverage
+    // model over the rows up front — a mapped dataset must materialize.
+    GANC_RETURN_NOT_OK(train_->EnsureResident());
     scorer_ = &pipeline->scorer();
     theta_ = &pipeline->theta();
     if (theta_->size() != static_cast<size_t>(train_->num_users())) {
@@ -117,7 +120,8 @@ Result<std::unique_ptr<RecommendationService>>
 RecommendationService::LoadModelService(const std::string& path,
                                         const RatingDataset& train,
                                         ServiceConfig config) {
-  Result<std::unique_ptr<Recommender>> model = LoadModelFile(path, &train);
+  Result<std::unique_ptr<Recommender>> model =
+      LoadModelFileAuto(path, config.mmap_artifacts, &train);
   if (!model.ok()) return model.status();
   std::unique_ptr<RecommendationService> service(
       new RecommendationService(train, config));
@@ -210,6 +214,12 @@ Status RecommendationService::TopNInto(UserId user, int n,
       return Status::OK();
     }
   }
+
+  // First live-scored request against a mapped snapshot pays the
+  // one-time O(nnz) row validation + materialization; cache and store
+  // hits above never do, which is what keeps a store-backed cold start
+  // O(users) no matter the dataset size.
+  GANC_RETURN_NOT_OK(train_->EnsureResident());
 
   BatchRequest req;
   req.user = user;
@@ -324,6 +334,7 @@ Result<TopNStore> RecommendationService::BuildStore(
   if (n <= 0) {
     return Status::InvalidArgument("store list length must be positive");
   }
+  GANC_RETURN_NOT_OK(train_->EnsureResident());  // live path below
   std::vector<std::pair<UserId, std::vector<ItemId>>> lists;
   lists.reserve(users.size());
   for (const UserId u : users) {

@@ -14,11 +14,14 @@ constexpr uint32_t kStoreMetaSection = 1;
 constexpr uint32_t kStoreOffsetsSection = 2;
 constexpr uint32_t kStoreItemsSection = 3;
 
-// Shared invariant check behind FromLists and Load: offsets/items must
-// form a valid flat store for the declared dimensions.
+// Shared invariant check behind FromLists and the loaders: offsets must
+// form a valid flat store for the declared dimensions. The per-item id
+// range scan is O(total items) and is skipped for mapped opens (stored
+// ids are only ever emitted, never used as indices), keeping the mapped
+// cold path O(users) regardless of file size.
 Status ValidateFlat(int32_t num_users, int32_t num_items, int32_t top_n,
-                    const std::vector<uint64_t>& offsets,
-                    const std::vector<ItemId>& items) {
+                    std::span<const uint64_t> offsets,
+                    std::span<const ItemId> items, bool scan_items) {
   if (num_users < 0 || num_items < 0 || top_n <= 0) {
     return Status::InvalidArgument("top-N store has invalid dimensions");
   }
@@ -33,15 +36,17 @@ Status ValidateFlat(int32_t num_users, int32_t num_items, int32_t top_n,
           "top-N store list lengths are inconsistent");
     }
   }
-  for (const ItemId i : items) {
-    if (i < 0 || i >= num_items) {
-      return Status::InvalidArgument("top-N store item id out of range");
+  if (scan_items) {
+    for (const ItemId i : items) {
+      if (i < 0 || i >= num_items) {
+        return Status::InvalidArgument("top-N store item id out of range");
+      }
     }
   }
   return Status::OK();
 }
 
-size_t CountLists(const std::vector<uint64_t>& offsets) {
+size_t CountLists(std::span<const uint64_t> offsets) {
   size_t lists = 0;
   for (size_t u = 0; u + 1 < offsets.size(); ++u) {
     if (offsets[u + 1] > offsets[u]) ++lists;
@@ -88,13 +93,14 @@ Result<TopNStore> TopNStore::FromLists(
   }
   store.offsets_.back() = store.items_.size();
   GANC_RETURN_NOT_OK(ValidateFlat(num_users, num_items, top_n, store.offsets_,
-                                  store.items_));
+                                  store.items_, /*scan_items=*/true));
   store.num_lists_ = CountLists(store.offsets_);
+  store.BindOwnedViews();
   return store;
 }
 
 Status TopNStore::Save(std::ostream& os) const {
-  if (offsets_.empty()) {
+  if (offsets_view_.empty()) {
     return Status::FailedPrecondition("cannot save an empty top-N store");
   }
   ArtifactWriter w(os);
@@ -109,11 +115,11 @@ Status TopNStore::Save(std::ostream& os) const {
   GANC_RETURN_NOT_OK(w.WriteSection(kStoreMetaSection, meta));
 
   PayloadWriter offsets;
-  offsets.WriteVecU64(offsets_);
+  offsets.WriteVecRaw(offsets_view_.data(), offsets_view_.size());
   GANC_RETURN_NOT_OK(w.WriteSection(kStoreOffsetsSection, offsets));
 
   PayloadWriter items;
-  items.WriteVecI32(items_);
+  items.WriteVecRaw(items_view_.data(), items_view_.size());
   GANC_RETURN_NOT_OK(w.WriteSection(kStoreItemsSection, items));
   return w.Finish();
 }
@@ -131,7 +137,7 @@ Result<TopNStore> TopNStore::Load(std::istream& is) {
   Result<ArtifactReader::Section> meta = r.ReadSectionExpect(kStoreMetaSection);
   if (!meta.ok()) return meta.status();
   TopNStore store;
-  PayloadReader mr(meta->payload);
+  PayloadReader mr(meta->payload());
   GANC_RETURN_NOT_OK(mr.ReadI32(&store.num_users_));
   GANC_RETURN_NOT_OK(mr.ReadI32(&store.num_items_));
   GANC_RETURN_NOT_OK(mr.ReadI32(&store.top_n_));
@@ -142,26 +148,81 @@ Result<TopNStore> TopNStore::Load(std::istream& is) {
   Result<ArtifactReader::Section> offsets =
       r.ReadSectionExpect(kStoreOffsetsSection);
   if (!offsets.ok()) return offsets.status();
-  PayloadReader orr(offsets->payload);
+  PayloadReader orr(offsets->payload());
   GANC_RETURN_NOT_OK(orr.ReadVecU64(&store.offsets_));
   GANC_RETURN_NOT_OK(orr.ExpectEnd());
 
   Result<ArtifactReader::Section> items =
       r.ReadSectionExpect(kStoreItemsSection);
   if (!items.ok()) return items.status();
-  PayloadReader ir(items->payload);
+  PayloadReader ir(items->payload());
   GANC_RETURN_NOT_OK(ir.ReadVecI32(&store.items_));
   GANC_RETURN_NOT_OK(ir.ExpectEnd());
   GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
 
   GANC_RETURN_NOT_OK(ValidateFlat(store.num_users_, store.num_items_,
-                                  store.top_n_, store.offsets_, store.items_));
+                                  store.top_n_, store.offsets_, store.items_,
+                                  /*scan_items=*/true));
   store.num_lists_ = CountLists(store.offsets_);
+  store.BindOwnedViews();
   return store;
 }
 
 Result<TopNStore> TopNStore::LoadFile(const std::string& path) {
   return ReadArtifactFile(path, [](std::istream& is) { return Load(is); });
+}
+
+Result<TopNStore> TopNStore::LoadFileMapped(const std::string& path) {
+  Result<std::shared_ptr<const MappedArtifact>> mapped =
+      OpenMappedArtifact(path);
+  if (!mapped.ok()) return mapped.status();
+  GANC_RETURN_NOT_OK(
+      ExpectArtifact((*mapped)->header(), ArtifactKind::kTopNStore, 0));
+  ArtifactReader r(*mapped);
+  Result<ArtifactHeader> header = r.ReadHeader();
+  if (!header.ok()) return header.status();
+
+  Result<ArtifactReader::Section> meta = r.ReadSectionExpect(kStoreMetaSection);
+  if (!meta.ok()) return meta.status();
+  TopNStore store;
+  PayloadReader mr(meta->payload());
+  GANC_RETURN_NOT_OK(mr.ReadI32(&store.num_users_));
+  GANC_RETURN_NOT_OK(mr.ReadI32(&store.num_items_));
+  GANC_RETURN_NOT_OK(mr.ReadI32(&store.top_n_));
+  GANC_RETURN_NOT_OK(mr.ReadU64(&store.train_fingerprint_));
+  GANC_RETURN_NOT_OK(mr.ReadString(&store.source_));
+  GANC_RETURN_NOT_OK(mr.ExpectEnd());
+
+  Result<ArtifactReader::Section> offsets =
+      r.ReadSectionExpect(kStoreOffsetsSection);
+  if (!offsets.ok()) return offsets.status();
+  PayloadReader orr(offsets->payload());
+  GANC_RETURN_NOT_OK(orr.BorrowVec(&store.offsets_view_));
+  GANC_RETURN_NOT_OK(orr.ExpectEnd());
+
+  Result<ArtifactReader::Section> items =
+      r.ReadSectionExpect(kStoreItemsSection);
+  if (!items.ok()) return items.status();
+  PayloadReader ir(items->payload());
+  GANC_RETURN_NOT_OK(ir.BorrowVec(&store.items_view_));
+  GANC_RETURN_NOT_OK(ir.ExpectEnd());
+  GANC_RETURN_NOT_OK(ExpectEndOfArtifact(r));
+
+  GANC_RETURN_NOT_OK(ValidateFlat(store.num_users_, store.num_items_,
+                                  store.top_n_, store.offsets_view_,
+                                  store.items_view_, /*scan_items=*/false));
+  store.num_lists_ = CountLists(store.offsets_view_);
+  store.mapped_ = std::move(*mapped);
+  return store;
+}
+
+Result<TopNStore> TopNStore::LoadFileAuto(const std::string& path,
+                                          bool prefer_mmap) {
+  if (prefer_mmap) {
+    Result<TopNStore> mapped = LoadFileMapped(path);
+    if (mapped.ok() || !IsMmapFallback(mapped.status())) return mapped;
+  }
+  return LoadFile(path);
 }
 
 std::vector<UserId> HeadUsersByActivity(const RatingDataset& train,

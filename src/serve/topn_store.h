@@ -27,14 +27,24 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace ganc {
 
-/// Immutable flat store of per-user precomputed top-N lists.
+/// Immutable flat store of per-user precomputed top-N lists. The flat
+/// arrays are exposed through spans that either view owned vectors
+/// (FromLists / stream Load) or borrow from a memory-mapped v3
+/// artifact (LoadFileMapped): cold-open then validates offsets in
+/// O(users) and pages lists in on first request. Move-only: the spans
+/// alias owned heap buffers or the shared mapping.
 class TopNStore {
  public:
   TopNStore() = default;
+  TopNStore(TopNStore&&) noexcept = default;
+  TopNStore& operator=(TopNStore&&) noexcept = default;
+  TopNStore(const TopNStore&) = delete;
+  TopNStore& operator=(const TopNStore&) = delete;
 
   /// Assembles a store from (user, list) pairs. `lists` need not cover
   /// every user and may arrive in any order; ids must be unique and in
@@ -49,8 +59,8 @@ class TopNStore {
   /// the store. Borrowed from the store.
   std::span<const ItemId> ListFor(UserId u) const {
     const size_t uu = static_cast<size_t>(u);
-    return std::span<const ItemId>(items_).subspan(
-        offsets_[uu], offsets_[uu + 1] - offsets_[uu]);
+    return items_view_.subspan(offsets_view_[uu],
+                               offsets_view_[uu + 1] - offsets_view_[uu]);
   }
 
   int32_t num_users() const { return num_users_; }
@@ -64,7 +74,9 @@ class TopNStore {
   /// Users with a non-empty precomputed list.
   size_t num_lists() const { return num_lists_; }
   /// Total stored item ids.
-  size_t total_items() const { return items_.size(); }
+  size_t total_items() const { return items_view_.size(); }
+  /// True when the flat arrays are borrowed from a file mapping.
+  bool IsMapped() const { return mapped_ != nullptr; }
 
   /// Serializes the store as a kind-4 artifact (docs/FORMATS.md).
   Status Save(std::ostream& os) const;
@@ -76,15 +88,38 @@ class TopNStore {
   static Result<TopNStore> Load(std::istream& is);
   static Result<TopNStore> LoadFile(const std::string& path);
 
+  /// Opens a v3 store artifact as a zero-copy view over a file
+  /// mapping: O(users) offset validation up front, item lists paged in
+  /// on use (stored ids are only ever emitted, never indexed, so the
+  /// per-item range scan of the stream loader is skipped). Returns
+  /// kFailedPrecondition for pre-v3 artifacts and kNotImplemented
+  /// without platform mmap (both mean "use LoadFile").
+  static Result<TopNStore> LoadFileMapped(const std::string& path);
+
+  /// LoadFileMapped when possible, transparent fallback to the stream
+  /// loader otherwise (or always, when `prefer_mmap` is false).
+  static Result<TopNStore> LoadFileAuto(const std::string& path,
+                                        bool prefer_mmap);
+
  private:
+  void BindOwnedViews() {
+    offsets_view_ = offsets_;
+    items_view_ = items_;
+  }
+
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   int32_t top_n_ = 0;
   uint64_t train_fingerprint_ = 0;
   std::string source_;
   size_t num_lists_ = 0;
-  std::vector<uint64_t> offsets_;  // num_users_ + 1 entries
-  std::vector<ItemId> items_;      // flattened lists, user-major
+  // Owned storage (empty when the views borrow from a mapping).
+  std::vector<uint64_t> offsets_;
+  std::vector<ItemId> items_;
+  // num_users_ + 1 offsets over the flattened user-major lists.
+  std::span<const uint64_t> offsets_view_;
+  std::span<const ItemId> items_view_;
+  std::shared_ptr<const MappedArtifact> mapped_;
 };
 
 /// The `count` most active users of `train` (ties broken by smaller id),

@@ -1,7 +1,6 @@
 #include "util/serialize.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "util/binary_io.h"
 
@@ -9,20 +8,19 @@ namespace ganc {
 
 namespace {
 
-// Bulk vector encoding: on little-endian hosts the in-memory layout is
-// already the wire layout, so vectors memcpy in one shot; the
-// element-wise path keeps big-endian hosts correct.
-constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
-
 template <typename T, typename WriteOne>
 void WriteVecGeneric(PayloadWriter* w, const std::vector<T>& v,
                      WriteOne&& write_one) {
   w->WriteU64(static_cast<uint64_t>(v.size()));
-  if constexpr (kHostIsLittleEndian) {
+  if constexpr (kGancHostIsLittleEndian) {
     w->WriteBytes(v.data(), v.size() * sizeof(T));
   } else {
     for (const T& x : v) write_one(x);
   }
+}
+
+uint64_t PaddingFor(uint64_t offset) {
+  return (kSectionAlignment - offset % kSectionAlignment) % kSectionAlignment;
 }
 
 }  // namespace
@@ -50,6 +48,10 @@ void PayloadWriter::WriteBytes(const void* data, size_t size) {
 void PayloadWriter::WriteString(std::string_view s) {
   WriteU64(static_cast<uint64_t>(s.size()));
   buf_.append(s.data(), s.size());
+}
+
+void PayloadWriter::AlignTo(size_t alignment) {
+  buf_.append((alignment - buf_.size() % alignment) % alignment, '\0');
 }
 
 void PayloadWriter::WriteVecF64(const std::vector<double>& v) {
@@ -149,6 +151,18 @@ Status PayloadReader::ReadString(std::string* out) {
   return Status::OK();
 }
 
+Status PayloadReader::SkipAlign(size_t alignment) {
+  const size_t pad = (alignment - pos_ % alignment) % alignment;
+  GANC_RETURN_NOT_OK(Require(pad));
+  for (size_t i = 0; i < pad; ++i) {
+    if (bytes_[pos_ + i] != '\0') {
+      return Status::InvalidArgument("nonzero padding in section payload");
+    }
+  }
+  pos_ += pad;
+  return Status::OK();
+}
+
 Status PayloadReader::ReadVecF64(std::vector<double>* out) {
   uint64_t count = 0;
   GANC_RETURN_NOT_OK(ReadU64(&count));
@@ -156,7 +170,7 @@ Status PayloadReader::ReadVecF64(std::vector<double>* out) {
     return Status::InvalidArgument("vector length exceeds section payload");
   }
   out->resize(count);
-  if constexpr (kHostIsLittleEndian) {
+  if constexpr (kGancHostIsLittleEndian) {
     std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(double));
     pos_ += count * sizeof(double);
     return Status::OK();
@@ -172,7 +186,7 @@ Status PayloadReader::ReadVecF32(std::vector<float>* out) {
     return Status::InvalidArgument("vector length exceeds section payload");
   }
   out->resize(count);
-  if constexpr (kHostIsLittleEndian) {
+  if constexpr (kGancHostIsLittleEndian) {
     std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(float));
     pos_ += count * sizeof(float);
     return Status::OK();
@@ -188,7 +202,7 @@ Status PayloadReader::ReadVecI32(std::vector<int32_t>* out) {
     return Status::InvalidArgument("vector length exceeds section payload");
   }
   out->resize(count);
-  if constexpr (kHostIsLittleEndian) {
+  if constexpr (kGancHostIsLittleEndian) {
     std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(int32_t));
     pos_ += count * sizeof(int32_t);
     return Status::OK();
@@ -204,7 +218,7 @@ Status PayloadReader::ReadVecU64(std::vector<uint64_t>* out) {
     return Status::InvalidArgument("vector length exceeds section payload");
   }
   out->resize(count);
-  if constexpr (kHostIsLittleEndian) {
+  if constexpr (kGancHostIsLittleEndian) {
     std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(uint64_t));
     pos_ += count * sizeof(uint64_t);
     return Status::OK();
@@ -246,28 +260,49 @@ void PutU64(std::ostream& os, uint64_t v) {
   os.write(b, sizeof(b));
 }
 
-Status GetU32(std::istream& is, uint32_t* out, const char* what) {
-  char b[4];
-  is.read(b, sizeof(b));
-  if (!is) return Status::IOError(std::string("truncated artifact: ") + what);
+uint32_t DecodeU32(const char* b) {
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<uint32_t>(static_cast<uint8_t>(b[i])) << (8 * i);
   }
-  *out = v;
-  return Status::OK();
+  return v;
 }
 
-Status GetU64(std::istream& is, uint64_t* out, const char* what) {
-  char b[8];
-  is.read(b, sizeof(b));
-  if (!is) return Status::IOError(std::string("truncated artifact: ") + what);
+uint64_t DecodeU64(const char* b) {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<uint64_t>(static_cast<uint8_t>(b[i])) << (8 * i);
   }
-  *out = v;
-  return Status::OK();
+  return v;
+}
+
+constexpr size_t kHeaderBytes = 24;
+
+// Parses and validates the fixed 24-byte header. Accepts every version
+// the stream reader supports; mapped-specific restrictions are layered
+// on in MappedArtifact::Open.
+Result<ArtifactHeader> ParseHeaderBytes(const char* b) {
+  if (std::memcmp(b, kGancArtifactMagic, sizeof(kGancArtifactMagic)) != 0) {
+    return Status::InvalidArgument("bad artifact magic (not a GANC artifact)");
+  }
+  ArtifactHeader header;
+  header.version = DecodeU32(b + 8);
+  if (header.version < kMinSupportedReadVersion ||
+      header.version > kGancFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported artifact format version " +
+        std::to_string(header.version) + " (this build reads versions " +
+        std::to_string(kMinSupportedReadVersion) + ".." +
+        std::to_string(kGancFormatVersion) + ")");
+  }
+  header.kind = DecodeU32(b + 12);
+  header.type_tag = DecodeU32(b + 16);
+  // Reserved-must-be-zero keeps the field usable for future flags (old
+  // readers reject artifacts that set bits they do not understand).
+  if (DecodeU32(b + 20) != 0) {
+    return Status::InvalidArgument("reserved artifact header field not zero");
+  }
+  return header;
 }
 
 }  // namespace
@@ -279,6 +314,21 @@ Status ArtifactWriter::WriteHeader(ArtifactKind kind, uint32_t type_tag) {
   PutU32(os_, type_tag);
   PutU32(os_, 0);  // reserved
   if (!os_) return Status::IOError("artifact header write failed");
+  pos_ = kHeaderBytes;
+  return Status::OK();
+}
+
+Status ArtifactWriter::WriteSectionPrefix(uint32_t id, uint64_t size) {
+  PutU32(os_, id);
+  PutU64(os_, size);
+  pos_ += 12;
+  const uint64_t pad = PaddingFor(pos_);
+  if (pad > 0) {
+    static constexpr char kZeros[kSectionAlignment] = {};
+    os_.write(kZeros, static_cast<std::streamsize>(pad));
+    pos_ += pad;
+  }
+  if (!os_) return Status::IOError("artifact section write failed");
   return Status::OK();
 }
 
@@ -286,81 +336,265 @@ Status ArtifactWriter::WriteSection(uint32_t id, const PayloadWriter& payload) {
   if (id == kEndSectionId) {
     return Status::InvalidArgument("section id 0 is reserved for the end marker");
   }
+  if (in_section_) {
+    return Status::FailedPrecondition("streaming section still open");
+  }
   const std::string& buf = payload.buffer();
-  PutU32(os_, id);
-  PutU64(os_, static_cast<uint64_t>(buf.size()));
+  GANC_RETURN_NOT_OK(WriteSectionPrefix(id, buf.size()));
   os_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   PutU64(os_, Fnv1aHash(buf.data(), buf.size()));
+  pos_ += buf.size() + 8;
+  if (!os_) return Status::IOError("artifact section write failed");
+  return Status::OK();
+}
+
+Status ArtifactWriter::BeginSection(uint32_t id, uint64_t size) {
+  if (id == kEndSectionId) {
+    return Status::InvalidArgument("section id 0 is reserved for the end marker");
+  }
+  if (in_section_) {
+    return Status::FailedPrecondition("streaming section still open");
+  }
+  if (size > kMaxSectionBytes) {
+    return Status::InvalidArgument("implausible section size");
+  }
+  GANC_RETURN_NOT_OK(WriteSectionPrefix(id, size));
+  in_section_ = true;
+  declared_ = size;
+  appended_ = 0;
+  hasher_ = Fnv1aHasher();
+  return Status::OK();
+}
+
+Status ArtifactWriter::AppendSectionBytes(const void* data, size_t size) {
+  if (!in_section_) {
+    return Status::FailedPrecondition("no streaming section open");
+  }
+  if (appended_ + size > declared_) {
+    return Status::InvalidArgument("streaming section overflows declared size");
+  }
+  os_.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!os_) return Status::IOError("artifact section write failed");
+  hasher_.Update(data, size);
+  appended_ += size;
+  pos_ += size;
+  return Status::OK();
+}
+
+Status ArtifactWriter::EndSection() {
+  if (!in_section_) {
+    return Status::FailedPrecondition("no streaming section open");
+  }
+  if (appended_ != declared_) {
+    return Status::InvalidArgument("streaming section size mismatch");
+  }
+  PutU64(os_, hasher_.digest());
+  pos_ += 8;
+  in_section_ = false;
   if (!os_) return Status::IOError("artifact section write failed");
   return Status::OK();
 }
 
 Status ArtifactWriter::Finish() {
+  if (in_section_) {
+    return Status::FailedPrecondition("streaming section still open");
+  }
   PutU32(os_, kEndSectionId);
   PutU64(os_, 0);
   PutU64(os_, Fnv1aHash(nullptr, 0));
+  pos_ += 20;
   os_.flush();
   if (!os_) return Status::IOError("artifact end marker write failed");
   return Status::OK();
 }
 
+Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
+  Result<MmapRegion> region = MmapRegion::Map(path);
+  if (!region.ok()) return region.status();
+  MappedArtifact artifact;
+  artifact.region_ = std::move(region).value();
+  artifact.path_ = path;
+  if (artifact.region_.size() < kHeaderBytes) {
+    return Status::IOError("truncated artifact: magic");
+  }
+  Result<ArtifactHeader> header = ParseHeaderBytes(artifact.region_.data());
+  if (!header.ok()) return header.status();
+  if (header->version < 3) {
+    // Pre-v3 artifacts carry no alignment guarantee; the caller falls
+    // back to the (still fully supported) stream reader.
+    return Status::FailedPrecondition(
+        "artifact format version " + std::to_string(header->version) +
+        " predates the mmap path; use the stream reader");
+  }
+  artifact.header_ = *header;
+  return artifact;
+}
+
+Result<std::shared_ptr<const MappedArtifact>> OpenMappedArtifact(
+    const std::string& path) {
+  Result<MappedArtifact> artifact = MappedArtifact::Open(path);
+  if (!artifact.ok()) return artifact.status();
+  return std::shared_ptr<const MappedArtifact>(
+      std::make_shared<MappedArtifact>(std::move(artifact).value()));
+}
+
+bool IsMmapFallback(const Status& status) {
+  return status.code() == StatusCode::kNotImplemented ||
+         status.code() == StatusCode::kFailedPrecondition;
+}
+
+ArtifactReader::ArtifactReader(std::shared_ptr<const MappedArtifact> mapped)
+    : mapped_(std::move(mapped)) {}
+
+Status ArtifactReader::GetU32(uint32_t* out, const char* what) {
+  if (mapped_ != nullptr) {
+    const std::string_view bytes = mapped_->bytes();
+    if (4 > bytes.size() - pos_) {
+      return Status::IOError(std::string("truncated artifact: ") + what);
+    }
+    *out = DecodeU32(bytes.data() + pos_);
+    pos_ += 4;
+    return Status::OK();
+  }
+  char b[4];
+  is_->read(b, sizeof(b));
+  if (!*is_) return Status::IOError(std::string("truncated artifact: ") + what);
+  *out = DecodeU32(b);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status ArtifactReader::GetU64(uint64_t* out, const char* what) {
+  if (mapped_ != nullptr) {
+    const std::string_view bytes = mapped_->bytes();
+    if (8 > bytes.size() - pos_) {
+      return Status::IOError(std::string("truncated artifact: ") + what);
+    }
+    *out = DecodeU64(bytes.data() + pos_);
+    pos_ += 8;
+    return Status::OK();
+  }
+  char b[8];
+  is_->read(b, sizeof(b));
+  if (!*is_) return Status::IOError(std::string("truncated artifact: ") + what);
+  *out = DecodeU64(b);
+  pos_ += 8;
+  return Status::OK();
+}
+
 Result<ArtifactHeader> ArtifactReader::ReadHeader() {
-  char magic[sizeof(kGancArtifactMagic)];
-  is_.read(magic, sizeof(magic));
-  if (!is_) return Status::IOError("truncated artifact: magic");
-  if (std::memcmp(magic, kGancArtifactMagic, sizeof(magic)) != 0) {
-    return Status::InvalidArgument("bad artifact magic (not a GANC artifact)");
+  if (mapped_ != nullptr) {
+    // MappedArtifact::Open already validated the header.
+    header_ = mapped_->header();
+    header_read_ = true;
+    pos_ = kHeaderBytes;
+    return header_;
   }
-  ArtifactHeader header;
-  GANC_RETURN_NOT_OK(GetU32(is_, &header.version, "version"));
-  if (header.version != kGancFormatVersion) {
-    return Status::InvalidArgument(
-        "unsupported artifact format version " +
-        std::to_string(header.version) + " (this build reads version " +
-        std::to_string(kGancFormatVersion) + ")");
+  char b[kHeaderBytes];
+  is_->read(b, sizeof(b));
+  if (!*is_) return Status::IOError("truncated artifact: magic");
+  Result<ArtifactHeader> header = ParseHeaderBytes(b);
+  if (!header.ok()) return header.status();
+  header_ = *header;
+  header_read_ = true;
+  pos_ += kHeaderBytes;
+  return header_;
+}
+
+Result<ArtifactHeader> ArtifactReader::Header() {
+  if (header_read_) return header_;
+  return ReadHeader();
+}
+
+Status ArtifactReader::SkipPadding() {
+  if (header_.version < 3) return Status::OK();
+  const uint64_t pad = PaddingFor(pos_);
+  if (pad == 0) return Status::OK();
+  if (mapped_ != nullptr) {
+    const std::string_view bytes = mapped_->bytes();
+    if (pad > bytes.size() - pos_) {
+      return Status::IOError("truncated artifact: section padding");
+    }
+    for (uint64_t i = 0; i < pad; ++i) {
+      if (bytes[pos_ + i] != '\0') {
+        return Status::InvalidArgument("nonzero section padding");
+      }
+    }
+    pos_ += pad;
+    return Status::OK();
   }
-  GANC_RETURN_NOT_OK(GetU32(is_, &header.kind, "artifact kind"));
-  GANC_RETURN_NOT_OK(GetU32(is_, &header.type_tag, "type tag"));
-  uint32_t reserved = 0;
-  GANC_RETURN_NOT_OK(GetU32(is_, &reserved, "reserved field"));
-  // Reserved-must-be-zero keeps the field usable for future flags (old
-  // readers reject artifacts that set bits they do not understand).
-  if (reserved != 0) {
-    return Status::InvalidArgument("reserved artifact header field not zero");
+  char b[kSectionAlignment];
+  is_->read(b, static_cast<std::streamsize>(pad));
+  if (!*is_) return Status::IOError("truncated artifact: section padding");
+  for (uint64_t i = 0; i < pad; ++i) {
+    if (b[i] != '\0') {
+      return Status::InvalidArgument("nonzero section padding");
+    }
   }
-  return header;
+  pos_ += pad;
+  return Status::OK();
 }
 
 Result<ArtifactReader::Section> ArtifactReader::ReadSection() {
+  if (!header_read_) {
+    return Status::FailedPrecondition(
+        "artifact header must be read before sections");
+  }
   Section section;
-  GANC_RETURN_NOT_OK(GetU32(is_, &section.id, "section id"));
+  section.is_mapped = mapped_ != nullptr;
+  GANC_RETURN_NOT_OK(GetU32(&section.id, "section id"));
   uint64_t size = 0;
-  GANC_RETURN_NOT_OK(GetU64(is_, &size, "section size"));
+  GANC_RETURN_NOT_OK(GetU64(&size, "section size"));
   if (section.id == kEndSectionId && size != 0) {
     return Status::InvalidArgument("end marker with non-zero payload");
   }
   if (size > kMaxSectionBytes) {
     return Status::InvalidArgument("implausible section size");
   }
+  // The end marker is never padded (there is no payload to align).
+  if (section.id != kEndSectionId) {
+    GANC_RETURN_NOT_OK(SkipPadding());
+  }
+  if (mapped_ != nullptr) {
+    const std::string_view bytes = mapped_->bytes();
+    if (size > bytes.size() - pos_) {
+      return Status::IOError("truncated artifact: section payload");
+    }
+    section.view_ = bytes.substr(pos_, size);
+    pos_ += size;
+    uint64_t checksum = 0;
+    GANC_RETURN_NOT_OK(GetU64(&checksum, "section checksum"));
+    // Out-of-core policy: hashing a huge mapped payload would fault in
+    // every page up front, so only small sections (metadata, offsets)
+    // are verified here. Bulk sections stay bounds-checked; the stream
+    // reader remains the fully validating path.
+    if (size <= kMappedChecksumVerifyBytes &&
+        checksum != Fnv1aHash(section.view_.data(), section.view_.size())) {
+      return Status::InvalidArgument(
+          "section " + std::to_string(section.id) + " checksum mismatch");
+    }
+    return section;
+  }
   // Read in bounded chunks so a truncated file with a forged huge size
   // fails after one short read instead of allocating the claimed size
   // up front.
   constexpr uint64_t kReadChunk = 1 << 20;
-  section.payload.reserve(
+  section.owned_.reserve(
       static_cast<size_t>(std::min<uint64_t>(size, kReadChunk)));
   std::string chunk;
   for (uint64_t left = size; left > 0;) {
     const size_t n = static_cast<size_t>(std::min(left, kReadChunk));
     chunk.resize(n);
-    is_.read(chunk.data(), static_cast<std::streamsize>(n));
-    if (!is_) return Status::IOError("truncated artifact: section payload");
-    section.payload.append(chunk, 0, n);
+    is_->read(chunk.data(), static_cast<std::streamsize>(n));
+    if (!*is_) return Status::IOError("truncated artifact: section payload");
+    section.owned_.append(chunk, 0, n);
     left -= n;
   }
+  pos_ += size;
   uint64_t checksum = 0;
-  GANC_RETURN_NOT_OK(GetU64(is_, &checksum, "section checksum"));
-  if (!is_) return Status::IOError("truncated artifact: section payload");
-  if (checksum != Fnv1aHash(section.payload.data(), section.payload.size())) {
+  GANC_RETURN_NOT_OK(GetU64(&checksum, "section checksum"));
+  if (checksum != Fnv1aHash(section.owned_.data(), section.owned_.size())) {
     return Status::InvalidArgument(
         "section " + std::to_string(section.id) + " checksum mismatch");
   }

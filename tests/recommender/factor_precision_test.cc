@@ -155,7 +155,8 @@ TEST(FactorStoreTest, PayloadRoundTripsEveryPrecision) {
     store.Save(&w);
     PayloadReader r(w.buffer());
     FactorStore loaded;
-    ASSERT_TRUE(loaded.Load(&r).ok()) << FactorPrecisionName(precision);
+    ASSERT_TRUE(loaded.Load(&r, /*aligned=*/true).ok())
+        << FactorPrecisionName(precision);
     ASSERT_TRUE(r.AtEnd());
     EXPECT_EQ(loaded.precision(), precision);
     EXPECT_EQ(loaded.num_factors(), store.num_factors());
@@ -173,7 +174,7 @@ TEST(FactorStoreTest, LoadRejectsUnknownPrecisionTag) {
   corrupted[0] = static_cast<char>(9);  // no such precision
   PayloadReader r(corrupted);
   FactorStore loaded;
-  const Status s = loaded.Load(&r);
+  const Status s = loaded.Load(&r, /*aligned=*/true);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("unknown precision tag 9"), std::string::npos);
 }
@@ -187,7 +188,7 @@ TEST(FactorStoreTest, LoadRejectsTruncatedQuantizedSection) {
   const std::string truncated = full.substr(0, full.size() / 2);
   PayloadReader r(truncated);
   FactorStore loaded;
-  EXPECT_FALSE(loaded.Load(&r).ok());
+  EXPECT_FALSE(loaded.Load(&r, /*aligned=*/true).ok());
 }
 
 TEST(FactorStoreTest, LoadRejectsShortQuantizationSideTable) {
@@ -211,7 +212,7 @@ TEST(FactorStoreTest, LoadRejectsShortQuantizationSideTable) {
   w.WriteVecI32(std::vector<int32_t>(item_rows, 3));
   PayloadReader r(w.buffer());
   FactorStore loaded;
-  const Status s = loaded.Load(&r);
+  const Status s = loaded.Load(&r, /*aligned=*/false);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find(
                 "user quantization side tables (scale/center/qsum) have "
@@ -232,7 +233,7 @@ TEST(FactorStoreTest, LoadRejectsWrongCodeTableLength) {
   w.WriteVecI32(std::vector<int32_t>(2, 3));
   PayloadReader r(w.buffer());
   FactorStore loaded;
-  const Status s = loaded.Load(&r);
+  const Status s = loaded.Load(&r, /*aligned=*/false);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("user int8 code table has wrong length"),
             std::string::npos);
@@ -246,7 +247,7 @@ TEST(FactorStoreTest, LoadRejectsEmptyDimensions) {
   w.WriteU64(2);
   PayloadReader r(w.buffer());
   FactorStore loaded;
-  const Status s = loaded.Load(&r);
+  const Status s = loaded.Load(&r, /*aligned=*/false);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("empty dimensions"), std::string::npos);
 }

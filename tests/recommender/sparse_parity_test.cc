@@ -56,7 +56,8 @@ std::vector<std::vector<ItemNeighbor>> ReferenceItemLists(
   std::vector<std::unordered_map<ItemId, double>> dots(
       static_cast<size_t>(num_items));
   for (UserId u = 0; u < train.num_users(); ++u) {
-    std::vector<ItemRating> row = train.ItemsOf(u);
+    const auto full_row = train.ItemsOf(u);
+    std::vector<ItemRating> row(full_row.begin(), full_row.end());
     if (static_cast<int32_t>(row.size()) > max_profile) {
       rng.Shuffle(&row);
       row.resize(static_cast<size_t>(max_profile));
@@ -129,7 +130,8 @@ ReferenceUserKnn ReferenceUserFit(const RatingDataset& train,
   std::vector<std::unordered_map<UserId, double>> dots(
       static_cast<size_t>(num_users));
   for (ItemId i = 0; i < train.num_items(); ++i) {
-    std::vector<UserRating> col = train.UsersOf(i);
+    const auto full_col = train.UsersOf(i);
+    std::vector<UserRating> col(full_col.begin(), full_col.end());
     if (static_cast<int32_t>(col.size()) > max_audience) {
       rng.Shuffle(&col);
       col.resize(static_cast<size_t>(max_audience));

@@ -165,10 +165,10 @@ TEST(ArtifactTest, HeaderAndSectionsRoundTrip) {
   EXPECT_EQ(header->type_tag, 42u);
   Result<ArtifactReader::Section> s1 = r.ReadSectionExpect(1);
   ASSERT_TRUE(s1.ok());
-  EXPECT_EQ(s1->payload, "config");
+  EXPECT_EQ(s1->payload(), "config");
   Result<ArtifactReader::Section> s2 = r.ReadSectionExpect(2);
   ASSERT_TRUE(s2.ok());
-  EXPECT_EQ(s2->payload, "state-bytes");
+  EXPECT_EQ(s2->payload(), "state-bytes");
   EXPECT_TRUE(ExpectEndOfArtifact(r).ok());
 }
 
@@ -195,14 +195,28 @@ TEST(ArtifactTest, WrongVersionRejected) {
 TEST(ArtifactTest, CorruptSectionPayloadRejected) {
   std::string artifact = WriteArtifact(ArtifactKind::kModel, 1,
                                        {{1, "payload-bytes"}});
-  // Header is 24 bytes, section header 12; flip a payload byte.
-  artifact[24 + 12 + 3] ^= 0x5A;
+  // Header is 24 bytes, section header 12, then v3 zero-padding up to
+  // the 64-byte payload boundary; flip a payload byte.
+  artifact[64 + 3] ^= 0x5A;
   std::istringstream is(artifact, std::ios::binary);
   ArtifactReader r(is);
   ASSERT_TRUE(r.ReadHeader().ok());
   Result<ArtifactReader::Section> s = r.ReadSection();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(ArtifactTest, CorruptSectionPaddingRejected) {
+  std::string artifact = WriteArtifact(ArtifactKind::kModel, 1,
+                                       {{1, "payload-bytes"}});
+  // A nonzero byte inside the v3 alignment padding is corruption too.
+  artifact[24 + 12 + 3] ^= 0x5A;
+  std::istringstream is(artifact, std::ios::binary);
+  ArtifactReader r(is);
+  ASSERT_TRUE(r.ReadHeader().ok());
+  Result<ArtifactReader::Section> s = r.ReadSection();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("padding"), std::string::npos);
 }
 
 TEST(ArtifactTest, TruncatedSectionRejected) {

@@ -25,10 +25,13 @@
 //   ganc_cli --dataset=ml100k --arec=psvd100 --theta=g --crec=dyn
 //            --top-n=5 --sample-size=500 --seed=42
 
+#include <algorithm>
+#include <numeric>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/ganc.h"
 #include "core/pipeline.h"
@@ -55,6 +58,8 @@
 #include "serve/topn_store.h"
 #include "util/binary_io.h"
 #include "util/flags.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -65,15 +70,25 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ganc_cli [train|recommend|cache-dataset|kernels] [flags]\n"
+      "usage: ganc_cli [train|recommend|cache-dataset|synth|kernels] "
+      "[flags]\n"
       "\n"
       "data source (all commands):\n"
       "    [--dataset=ml100k|ml1m|ml10m|mt200k|netflix|tiny]\n"
       "    [--ratings-file=PATH --delimiter=, --skip-header]\n"
       "    [--dataset-cache=PATH]   (binary cache from `cache-dataset`)\n"
-      "    [--kappa=0.5] [--seed=42]\n"
+      "    [--kappa=0.5] [--seed=42] [--mmap=true]\n"
+      "    --mmap controls zero-copy file mapping of v3 artifacts\n"
+      "    (dataset caches and model loads); --kappa=1 serves the whole\n"
+      "    corpus as the train split without a materializing re-split.\n"
       "\n"
       "cache-dataset:  --out=PATH  (writes the binary dataset cache)\n"
+      "\n"
+      "synth:          --out=PATH --users=N [--items=N]\n"
+      "                [--mean-activity=24] [--seed=1] [--threads=1]\n"
+      "                Streams a power-law scale corpus into a v3 dataset\n"
+      "                cache with O(users) memory; byte-identical output\n"
+      "                for any --threads value.\n"
       "\n"
       "train:          [--arec=pop|rand|rp3b|itemknn|userknn|psvd10|\n"
       "                 psvd100|rsvd|bpr|cofi]\n"
@@ -96,6 +111,8 @@ void Usage() {
       "\n"
       "topn:           --load-model=PATH | --load-pipeline=PATH\n"
       "                [--top-n=10] [--users=N]   (first N users; 0 = all)\n"
+      "                [--head-users=N]  (N most active users instead,\n"
+      "                 matching a precompute-topn store's coverage)\n"
       "                [--factor-precision=fp64|fp32|int8]\n"
       "                Prints one serve-protocol response line per user,\n"
       "                byte-comparable with a ganc_serve transcript.\n"
@@ -209,14 +226,39 @@ Result<Prepared> Prepare(const Flags& flags, bool print_summary) {
   if (!kappa.ok() || !seed.ok()) {
     return Status::InvalidArgument("bad numeric flag");
   }
-  Result<TrainTestSplit> split = PerUserRatioSplit(
-      *dataset, {.train_ratio = *kappa,
-                 .seed = static_cast<uint64_t>(*seed)});
-  if (!split.ok()) return split.status();
-  Prepared prepared{std::move(dataset).value(), std::move(split).value()};
+  Prepared prepared;
+  const bool whole_corpus = *kappa == 1.0;
+  if (whole_corpus) {
+    // kappa = 1 ("the whole corpus is the train split", serving runs):
+    // move the loaded dataset in directly instead of rebuilding it
+    // through PerUserRatioSplit, which would materialize a mapped
+    // cache's rows into owned triples.
+    RatingDatasetBuilder empty_test(dataset->num_users(),
+                                    dataset->num_items());
+    Result<RatingDataset> test = std::move(empty_test).Build();
+    if (!test.ok()) return test.status();
+    prepared.split.train = std::move(dataset).value();
+    prepared.split.test = std::move(test).value();
+  } else {
+    // The splitter and the summary's popularity index walk rows and
+    // ratings(); a mapped cache materializes once, up front.
+    GANC_RETURN_NOT_OK(dataset->EnsureResident());
+    Result<TrainTestSplit> split = PerUserRatioSplit(
+        *dataset, {.train_ratio = *kappa,
+                   .seed = static_cast<uint64_t>(*seed)});
+    if (!split.ok()) return split.status();
+    prepared.dataset = std::move(dataset).value();
+    prepared.split = std::move(split).value();
+  }
+  // Every CLI command scores or summarizes through the train split's
+  // derived indexes, so a mapped kappa=1 train materializes here, once.
+  // (ganc_serve's store-backed path is the one that stays lazy.)
+  GANC_RETURN_NOT_OK(prepared.split.train.EnsureResident());
   if (print_summary) {
+    const RatingDataset& full =
+        whole_corpus ? prepared.split.train : prepared.dataset;
     const DatasetSummary summary =
-        Summarize("input", prepared.dataset, &prepared.split.train);
+        Summarize("input", full, &prepared.split.train);
     std::printf("data: %lld ratings, %d users, %d items, d=%.3f%%, L=%.1f%%\n",
                 static_cast<long long>(summary.num_ratings),
                 summary.num_users, summary.num_items, summary.density_percent,
@@ -444,8 +486,8 @@ int Recommend(const Flags& flags) {
       return 1;
     }
     WallTimer load_timer;
-    Result<std::unique_ptr<Recommender>> loaded = LoadModelFile(model_in,
-                                                                &train);
+    Result<std::unique_ptr<Recommender>> loaded = LoadModelFileAuto(
+        model_in, flags.GetBool("mmap", true), &train);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load-model: %s\n",
                    loaded.status().ToString().c_str());
@@ -539,6 +581,7 @@ Result<std::unique_ptr<RecommendationService>> BuildService(
   config.micro_batching = false;  // offline dumps: no scheduler threads
   config.cache_capacity = 0;
   config.default_n = default_n;
+  config.mmap_artifacts = flags.GetBool("mmap", true);
   Result<FactorPrecision> precision = FactorPrecisionFlag(flags);
   if (!precision.ok()) return precision.status();
   config.factor_precision = *precision;
@@ -549,15 +592,22 @@ Result<std::unique_ptr<RecommendationService>> BuildService(
                    model_in, prepared.split.train, config);
 }
 
-// `topn`: print the offline top-N of the first --users users in the
+// `topn`: print the offline top-N of the first --users users (or, with
+// --head-users, the most active users in store-coverage order) in the
 // serve-protocol response format, so `diff` against a ganc_serve
-// transcript needs no parsing (the serve smoke CI job does exactly
+// transcript needs no parsing (the serve smoke CI jobs do exactly
 // that).
 int TopNDump(const Flags& flags) {
   auto top_n = flags.GetInt("top-n", 10);
   auto user_count = flags.GetInt("users", 0);
-  if (!top_n.ok() || !user_count.ok() || *top_n <= 0 || *user_count < 0) {
+  auto head = flags.GetInt("head-users", 0);
+  if (!top_n.ok() || !user_count.ok() || !head.ok() || *top_n <= 0 ||
+      *user_count < 0 || *head < 0) {
     std::fprintf(stderr, "bad numeric flag\n");
+    return 1;
+  }
+  if (*user_count > 0 && *head > 0) {
+    std::fprintf(stderr, "--users and --head-users are exclusive\n");
     return 1;
   }
   Result<Prepared> prepared = Prepare(flags, /*print_summary=*/false);
@@ -572,12 +622,20 @@ int TopNDump(const Flags& flags) {
                  service.status().ToString().c_str());
     return 1;
   }
-  int32_t users = (*service)->num_users();
-  if (*user_count > 0 && *user_count < users) {
-    users = static_cast<int32_t>(*user_count);
+  std::vector<UserId> targets;
+  if (*head > 0) {
+    targets = HeadUsersByActivity(prepared->split.train,
+                                  static_cast<size_t>(*head));
+  } else {
+    int32_t users = (*service)->num_users();
+    if (*user_count > 0 && *user_count < users) {
+      users = static_cast<int32_t>(*user_count);
+    }
+    targets.resize(static_cast<size_t>(users));
+    std::iota(targets.begin(), targets.end(), UserId{0});
   }
   std::vector<ItemId> items;
-  for (UserId u = 0; u < users; ++u) {
+  for (UserId u : targets) {
     if (Status s = (*service)->TopNInto(u, static_cast<int>(*top_n), {},
                                         &items);
         !s.ok()) {
@@ -638,6 +696,50 @@ int PrecomputeTopN(const Flags& flags) {
   return 0;
 }
 
+// `synth`: stream a power-law scale corpus straight into a v3 dataset
+// cache. O(users) memory regardless of the rating count, so the 1M-user
+// harness point never holds its ~24M ratings in RAM.
+int Synth(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "synth requires --out=PATH\n");
+    return 1;
+  }
+  auto users = flags.GetInt("users", 100000);
+  auto items = flags.GetInt("items", 0);
+  auto mean_activity = flags.GetDouble("mean-activity", 0.0);
+  auto seed = flags.GetInt("seed", 1);
+  auto threads = flags.GetInt("threads", 1);
+  if (!users.ok() || !items.ok() || !mean_activity.ok() || !seed.ok() ||
+      !threads.ok() || *users <= 0 || *items < 0 || *threads < 0) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 1;
+  }
+  ScaleSyntheticSpec spec = PowerLawScaleSpec(*users);
+  if (*items > 0) spec.num_items = static_cast<int32_t>(*items);
+  if (*mean_activity > 0.0) spec.mean_activity = *mean_activity;
+  spec.seed = static_cast<uint64_t>(*seed);
+  // Rows are generated from per-user seeded streams, so the output file
+  // is byte-identical for every --threads value.
+  std::unique_ptr<ThreadPool> pool;
+  if (*threads != 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(*threads));
+  }
+  WallTimer timer;
+  Result<int64_t> nnz = GenerateSyntheticStream(spec, out, pool.get());
+  if (!nnz.ok()) {
+    std::fprintf(stderr, "synth: %s\n", nnz.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "scale corpus '%s' written to %s (%lld ratings, %lld users x %d "
+      "items, %.1f ms)\n",
+      spec.name.c_str(), out.c_str(), static_cast<long long>(*nnz),
+      static_cast<long long>(spec.num_users), spec.num_items,
+      timer.ElapsedMillis());
+  return 0;
+}
+
 // `kernels`: report the scoring kernel dispatch state. `--list` prints
 // only the host-supported GANC_KERNEL names, one per line — CI loops
 // the parity suite over exactly that output.
@@ -665,6 +767,102 @@ int Kernels(const Flags& flags) {
   std::printf("active: %s (selected by %s)\n", KernelVariantName(active),
               ActiveKernelSelection());
   return 0;
+}
+
+// Prints a min/max/mean summary of one per-row quantization side table.
+void PrintRowParamSummary(const char* label, const std::vector<float>& v) {
+  if (v.empty()) {
+    std::printf("    %s: empty\n", label);
+    return;
+  }
+  float lo = v[0];
+  float hi = v[0];
+  double sum = 0.0;
+  for (float x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sum += static_cast<double>(x);
+  }
+  std::printf("    %s: min %.6g  max %.6g  mean %.6g\n", label,
+              static_cast<double>(lo), static_cast<double>(hi),
+              sum / static_cast<double>(v.size()));
+}
+
+// Decodes a latent-factor model's factor-table section: the scalar
+// header is shared by every precision; int8 adds per-row quantization
+// side tables worth summarizing. v3 payloads 8-align each table (the
+// zero-copy mmap requirement); v2 payloads are packed.
+Status InspectFactorSection(uint32_t version, std::string_view payload) {
+  PayloadReader r(payload);
+  uint8_t tag = 0;
+  uint64_t g = 0;
+  uint64_t user_rows = 0;
+  uint64_t item_rows = 0;
+  GANC_RETURN_NOT_OK(r.ReadU8(&tag));
+  GANC_RETURN_NOT_OK(r.ReadU64(&g));
+  GANC_RETURN_NOT_OK(r.ReadU64(&user_rows));
+  GANC_RETURN_NOT_OK(r.ReadU64(&item_rows));
+  if (tag < 1 || tag > 3) {
+    return Status::InvalidArgument("unknown factor precision tag " +
+                                   std::to_string(static_cast<int>(tag)));
+  }
+  const auto precision = static_cast<FactorPrecision>(tag);
+  std::printf(
+      "    factor tables: %s, g=%llu, %llu user rows, %llu item rows%s\n",
+      FactorPrecisionName(precision), static_cast<unsigned long long>(g),
+      static_cast<unsigned long long>(user_rows),
+      static_cast<unsigned long long>(item_rows),
+      version >= 3 ? ", 8-aligned" : ", packed (v2)");
+  const bool aligned = version >= 3;
+  const auto skip = [&]() -> Status {
+    return aligned ? r.SkipAlign(8) : Status::OK();
+  };
+  switch (precision) {
+    case FactorPrecision::kFp64: {
+      for (const char* side : {"user", "item"}) {
+        std::vector<double> table;
+        GANC_RETURN_NOT_OK(skip());
+        GANC_RETURN_NOT_OK(r.ReadVecF64(&table));
+        std::printf("    %s table: %zu doubles (%zu bytes)\n", side,
+                    table.size(), table.size() * sizeof(double));
+      }
+      break;
+    }
+    case FactorPrecision::kFp32: {
+      for (const char* side : {"user", "item"}) {
+        std::vector<float> table;
+        GANC_RETURN_NOT_OK(skip());
+        GANC_RETURN_NOT_OK(r.ReadVecF32(&table));
+        std::printf("    %s table: %zu floats (%zu bytes)\n", side,
+                    table.size(), table.size() * sizeof(float));
+      }
+      break;
+    }
+    case FactorPrecision::kInt8: {
+      for (const char* side : {"user", "item"}) {
+        std::vector<int8_t> q;
+        std::vector<float> scale;
+        std::vector<float> center;
+        std::vector<int32_t> qsum;
+        GANC_RETURN_NOT_OK(skip());
+        GANC_RETURN_NOT_OK(r.ReadVecI8(&q));
+        GANC_RETURN_NOT_OK(skip());
+        GANC_RETURN_NOT_OK(r.ReadVecF32(&scale));
+        GANC_RETURN_NOT_OK(skip());
+        GANC_RETURN_NOT_OK(r.ReadVecF32(&center));
+        GANC_RETURN_NOT_OK(skip());
+        GANC_RETURN_NOT_OK(r.ReadVecI32(&qsum));
+        std::printf("    %s codes: %zu int8 (%zu rows x %llu)\n", side,
+                    q.size(), scale.size(),
+                    static_cast<unsigned long long>(g));
+        const std::string prefix(side);
+        PrintRowParamSummary((prefix + " scale").c_str(), scale);
+        PrintRowParamSummary((prefix + " center").c_str(), center);
+      }
+      break;
+    }
+  }
+  return r.ExpectEnd();
 }
 
 // `inspect`: dump an artifact's header and section table using the
@@ -710,8 +908,11 @@ int Inspect(const std::string& path) {
       case ModelType::kCofi: model_name = "CofiRank"; break;
     }
   }
-  std::printf("%s: GANC artifact, format version %u\n", path.c_str(),
-              header->version);
+  std::printf("%s: GANC artifact, format version %u%s\n", path.c_str(),
+              header->version,
+              header->version >= 3
+                  ? " (64-byte aligned payloads, mmap-able)"
+                  : " (packed payloads, stream-only)");
   std::printf("  kind: %u (%s)\n", header->kind, kind_name);
   if (model_name != nullptr) {
     std::printf("  type tag: %u (%s)\n", header->type_tag, model_name);
@@ -728,11 +929,32 @@ int Inspect(const std::string& path) {
     }
     if (s->id == kEndSectionId) break;
     // ReadSection already verified the stored checksum matches this.
-    const uint64_t checksum = Fnv1aHash(s->payload.data(), s->payload.size());
+    const uint64_t checksum = Fnv1aHash(s->payload().data(), s->payload().size());
     std::printf("  section %u: %zu bytes, fnv1a %016llx (verified)\n", s->id,
-                s->payload.size(),
+                s->payload().size(),
                 static_cast<unsigned long long>(checksum));
-    total_payload += s->payload.size();
+    total_payload += s->payload().size();
+    const auto kind = static_cast<ArtifactKind>(header->kind);
+    if (kind == ArtifactKind::kModel && s->id == kFactorTableSection) {
+      if (Status fs = InspectFactorSection(header->version, s->payload());
+          !fs.ok()) {
+        std::fprintf(stderr, "  factor table decode: %s\n",
+                     fs.ToString().c_str());
+        return 1;
+      }
+    }
+    if (kind == ArtifactKind::kDatasetCache && s->id == 1) {
+      // Dataset-cache dims section: [users i32][items i32][nnz i64].
+      PayloadReader dr(s->payload());
+      int32_t nu = 0;
+      int32_t ni = 0;
+      int64_t nr = 0;
+      if (dr.ReadI32(&nu).ok() && dr.ReadI32(&ni).ok() &&
+          dr.ReadI64(&nr).ok() && dr.ExpectEnd().ok()) {
+        std::printf("    dims: %d users x %d items, %lld ratings\n", nu, ni,
+                    static_cast<long long>(nr));
+      }
+    }
   }
   std::printf("  end marker present; %zu payload bytes total\n",
               total_payload);
@@ -749,7 +971,8 @@ int main(int argc, char** argv) {
       "threads",       "theta-out",    "output",        "out",
       "save-model",    "save-pipeline", "load-model",   "load-pipeline",
       "users",         "head-users",   "factor-precision", "list",
-      "verbose",       "help"};
+      "mmap",          "items",        "mean-activity", "verbose",
+      "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -777,6 +1000,7 @@ int main(int argc, char** argv) {
   if (command == "topn") return TopNDump(*flags);
   if (command == "precompute-topn") return PrecomputeTopN(*flags);
   if (command == "kernels") return Kernels(*flags);
+  if (command == "synth") return Synth(*flags);
   if (command == "inspect") {
     if (flags->positional().size() != 2) {
       std::fprintf(stderr, "inspect requires an artifact path\n");

@@ -66,6 +66,11 @@ void Usage() {
       "    [--factor-precision=fp64|fp32|int8]  (compact the snapshot's\n"
       "                        factor tables after load; fp64 = keep the\n"
       "                        artifact's own precision)\n"
+      "    [--mmap=true]      (open v3 dataset-cache/model/store\n"
+      "                        artifacts as zero-copy file mappings;\n"
+      "                        --mmap=false forces eager stream loads.\n"
+      "                        Mapped serving wants --kappa=1, which\n"
+      "                        skips the materializing split rebuild)\n"
       "\n"
       "serving:\n"
       "    [--default-n=10]   (list length when a request omits n=)\n"
@@ -345,13 +350,24 @@ int Run(const Flags& flags) {
     std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  Result<TrainTestSplit> split = PerUserRatioSplit(
-      *dataset, {.train_ratio = *kappa, .seed = static_cast<uint64_t>(*seed)});
-  if (!split.ok()) {
-    std::fprintf(stderr, "split: %s\n", split.status().ToString().c_str());
-    return 1;
+  // kappa = 1 means "train on everything": serve the loaded dataset
+  // directly instead of rebuilding it through the splitter. Besides
+  // skipping an O(nnz) copy, this is the path that keeps a mapped
+  // --dataset-cache zero-copy — a split rebuild would materialize the
+  // whole thing eagerly.
+  RatingDataset train;
+  if (*kappa == 1.0) {
+    train = std::move(*dataset);
+  } else {
+    Result<TrainTestSplit> split = PerUserRatioSplit(
+        *dataset,
+        {.train_ratio = *kappa, .seed = static_cast<uint64_t>(*seed)});
+    if (!split.ok()) {
+      std::fprintf(stderr, "split: %s\n", split.status().ToString().c_str());
+      return 1;
+    }
+    train = std::move(split->train);
   }
-  const RatingDataset& train = split->train;
 
   ServiceConfig config;
   config.num_workers = static_cast<int>(*workers);
@@ -366,6 +382,7 @@ int Run(const Flags& flags) {
     return 2;
   }
   config.factor_precision = *precision;
+  config.mmap_artifacts = flags.GetBool("mmap", true);
 
   WallTimer up_timer;
   Result<std::unique_ptr<RecommendationService>> service =
@@ -383,7 +400,8 @@ int Run(const Flags& flags) {
 
   const std::string store_path = flags.GetString("store", "");
   if (!store_path.empty()) {
-    Result<TopNStore> store = TopNStore::LoadFile(store_path);
+    Result<TopNStore> store =
+        TopNStore::LoadFileAuto(store_path, config.mmap_artifacts);
     if (!store.ok()) {
       std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
       return 1;
@@ -466,7 +484,7 @@ int main(int argc, char** argv) {
       "dataset-cache",  "kappa",        "seed",        "model",
       "pipeline",       "store",        "port",        "workers",
       "batch-wait-us",  "cache-capacity", "default-n", "unbatched",
-      "factor-precision", "daemon",     "help"};
+      "factor-precision", "daemon",     "mmap",        "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
