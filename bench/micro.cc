@@ -39,6 +39,8 @@
 #include "recommender/scoring_context.h"
 #include "recommender/user_knn.h"
 #include "serve/recommendation_service.h"
+#include "serve/service_shard.h"
+#include "serve/shard_router.h"
 #include "util/kde.h"
 #include "util/thread_pool.h"
 #include "util/stats.h"
@@ -739,6 +741,68 @@ void BM_ServeLatency(benchmark::State& state) {
   ServeThroughputLoop(state, service);
 }
 BENCHMARK(BM_ServeLatency);
+
+// Router fan-out cost: the same snapshot served through a ShardRouter
+// with 1 vs 3 in-process shards, 8 client threads. One shard measures
+// the pure routing overhead over BM_ServeThroughput; three shards show
+// what per-shard batcher/cache isolation buys (and costs) when the
+// request stream is hash-partitioned — with one worker per shard,
+// concurrent requests for different shards no longer contend on a
+// single batcher.
+ShardRouter* MakeRouter(size_t num_shards) {
+  ServiceConfig config;
+  config.micro_batching = true;
+  config.cache_capacity = 0;
+  config.num_workers = 1;
+  config.default_n = 10;
+  std::vector<std::unique_ptr<ServiceShard>> shards;
+  for (size_t k = 0; k < num_shards; ++k) {
+    auto service =
+        RecommendationService::Create(ServeModel(), ServeBenchTrain(), config);
+    if (!service.ok()) {
+      std::fprintf(stderr, "router bench: %s\n",
+                   service.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto shard = ServiceShard::Adopt(std::move(service).value(),
+                                     SnapshotKind::kModel, ServeBenchTrain(),
+                                     ShardSpec{k, num_shards}, config);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "router bench: %s\n",
+                   shard.status().ToString().c_str());
+      std::exit(1);
+    }
+    shards.push_back(std::move(shard).value());
+  }
+  auto router = ShardRouter::FromShards(std::move(shards));
+  if (!router.ok()) {
+    std::fprintf(stderr, "router bench: %s\n",
+                 router.status().ToString().c_str());
+    std::exit(1);
+  }
+  return router->release();
+}
+
+void BM_RouterTopN(benchmark::State& state) {
+  // Leaked like the serve services (worker-thread static-destruction
+  // convention), one router per shard count.
+  static ShardRouter* one = MakeRouter(1);
+  static ShardRouter* three = MakeRouter(3);
+  ShardRouter* router = state.range(0) == 1 ? one : three;
+  const int32_t num_users = router->num_users();
+  UserId u = static_cast<UserId>((state.thread_index() * 131) % num_users);
+  std::vector<ItemId> out;
+  for (auto _ : state) {
+    if (!router->TopNInto(u, 10, {}, &out).ok()) {
+      state.SkipWithError("router TopN failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+    u = static_cast<UserId>((u + 1) % num_users);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterTopN)->Arg(1)->Arg(3)->Threads(8)->UseRealTime();
 
 // Repeated identical request: the sharded LRU hit path.
 void BM_ServeCacheHit(benchmark::State& state) {

@@ -80,8 +80,16 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
   const std::string_view verb = tokens[0];
   if (verb == "TOPN") {
     req.command = ServeCommand::kTopN;
+  } else if (verb == "TOPNV") {
+    req.command = ServeCommand::kTopNV;
   } else if (verb == "CONSUME") {
     req.command = ServeCommand::kConsume;
+  } else if (verb == "PUBLISH") {
+    req.command = ServeCommand::kPublish;
+  } else if (verb == "VERSION") {
+    req.command = ServeCommand::kVersion;
+  } else if (verb == "SHARDS") {
+    req.command = ServeCommand::kShards;
   } else if (verb == "STATS") {
     req.command = ServeCommand::kStats;
   } else if (verb == "PING") {
@@ -93,7 +101,9 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
                                    "'");
   }
 
-  bool has_user = false, has_items = false;
+  const bool is_topn =
+      req.command == ServeCommand::kTopN || req.command == ServeCommand::kTopNV;
+  bool has_user = false, has_items = false, has_path = false;
   for (size_t t = 1; t < tokens.size(); ++t) {
     const std::string_view token = tokens[t];
     const size_t eq = token.find('=');
@@ -117,7 +127,13 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
         return Status::InvalidArgument("session token must be non-empty");
       }
       req.session = std::string(value);
-    } else if ((key == "exclude" && req.command == ServeCommand::kTopN) ||
+    } else if (key == "path" && req.command == ServeCommand::kPublish) {
+      if (value.empty()) {
+        return Status::InvalidArgument("publish path must be non-empty");
+      }
+      req.path = std::string(value);
+      has_path = true;
+    } else if ((key == "exclude" && is_topn) ||
                (key == "items" && req.command == ServeCommand::kConsume)) {
       Result<std::vector<ItemId>> ids = ParseIdList(key, value);
       if (!ids.ok()) return ids.status();
@@ -130,8 +146,10 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
 
   switch (req.command) {
     case ServeCommand::kTopN:
+    case ServeCommand::kTopNV:
       if (!has_user) {
-        return Status::InvalidArgument("TOPN requires user=<id>");
+        return Status::InvalidArgument(std::string(verb) +
+                                       " requires user=<id>");
       }
       break;
     case ServeCommand::kConsume:
@@ -140,6 +158,13 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
             "CONSUME requires session=<token> user=<id> items=<list>");
       }
       break;
+    case ServeCommand::kPublish:
+      if (!has_path) {
+        return Status::InvalidArgument("PUBLISH requires path=<artifact>");
+      }
+      break;
+    case ServeCommand::kVersion:
+    case ServeCommand::kShards:
     case ServeCommand::kStats:
     case ServeCommand::kPing:
     case ServeCommand::kQuit:
@@ -155,6 +180,18 @@ std::string FormatTopNResponse(UserId user, int n,
                                std::span<const ItemId> items) {
   std::string out = "OK user=" + std::to_string(user) +
                     " n=" + std::to_string(n) + " items=";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+std::string FormatVersionedTopNResponse(UserId user, int n, uint64_t version,
+                                        std::span<const ItemId> items) {
+  std::string out = "OK user=" + std::to_string(user) +
+                    " n=" + std::to_string(n) +
+                    " version=" + std::to_string(version) + " items=";
   for (size_t i = 0; i < items.size(); ++i) {
     if (i > 0) out.push_back(',');
     out += std::to_string(items[i]);

@@ -3,7 +3,11 @@
 // request; the normative grammar lives in docs/SERVING.md:
 //
 //   TOPN user=<id> [n=<len>] [session=<token>] [exclude=<id>,<id>,...]
+//   TOPNV user=<id> [n=<len>] [session=<token>] [exclude=<id>,<id>,...]
 //   CONSUME session=<token> user=<id> items=<id>,<id>,...
+//   PUBLISH path=<artifact-path>
+//   VERSION
+//   SHARDS
 //   STATS
 //   PING
 //   QUIT
@@ -14,7 +18,15 @@
 //
 // which is also exactly what `ganc_cli topn` emits offline, so a serve
 // transcript can be diffed against offline top-N with no parsing (CI
-// does).
+// does). TOPNV is the version-attributed variant: it serves the same
+// list but the response carries the snapshot version that computed it —
+//
+//   OK user=<id> n=<len> version=<v> items=<id>,<id>,...
+//
+// which is what the swap-under-load tests key on. PUBLISH is the
+// zero-downtime snapshot-swap control verb (see serve/service_shard.h);
+// path= is a single whitespace-free token — artifact paths with spaces
+// are not representable on this wire.
 //
 // This module is pure string <-> struct translation — no sockets, no
 // service calls — so the frontend and the protocol tests share one
@@ -23,6 +35,7 @@
 #ifndef GANC_SERVE_PROTOCOL_H_
 #define GANC_SERVE_PROTOCOL_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -34,15 +47,26 @@
 namespace ganc {
 
 /// Request verbs.
-enum class ServeCommand { kTopN, kConsume, kStats, kPing, kQuit };
+enum class ServeCommand {
+  kTopN,
+  kTopNV,    ///< TOPN with the serving snapshot version in the response
+  kConsume,
+  kPublish,  ///< swap in a new snapshot artifact (zero downtime)
+  kVersion,  ///< report the serving snapshot version(s)
+  kShards,   ///< report the shard layout
+  kStats,
+  kPing,
+  kQuit,
+};
 
 /// One parsed request line.
 struct ServeRequest {
   ServeCommand command = ServeCommand::kPing;
-  UserId user = -1;            ///< TOPN / CONSUME
-  int n = 0;                   ///< TOPN; 0 = server default
-  std::string session;         ///< optional TOPN session / CONSUME target
-  std::vector<ItemId> items;   ///< TOPN exclude= / CONSUME items=
+  UserId user = -1;            ///< TOPN(V) / CONSUME
+  int n = 0;                   ///< TOPN(V); 0 = server default
+  std::string session;         ///< optional TOPN(V) session / CONSUME target
+  std::vector<ItemId> items;   ///< TOPN(V) exclude= / CONSUME items=
+  std::string path;            ///< PUBLISH artifact path
 };
 
 /// Parses one request line (without the trailing newline). Unknown
@@ -54,6 +78,12 @@ Result<ServeRequest> ParseServeRequest(std::string_view line);
 /// empty).
 std::string FormatTopNResponse(UserId user, int n,
                                std::span<const ItemId> items);
+
+/// "OK user=<u> n=<n> version=<v> items=<comma list>" — the TOPNV
+/// response: the same list TOPN would serve, attributed to the exact
+/// snapshot version that computed it.
+std::string FormatVersionedTopNResponse(UserId user, int n, uint64_t version,
+                                        std::span<const ItemId> items);
 
 /// "OK <body>".
 std::string FormatOk(std::string_view body);

@@ -113,6 +113,24 @@ struct ServeStats {
                         : static_cast<double>(batched_requests) /
                               static_cast<double>(batches);
   }
+
+  /// Folds `other` into this snapshot: counters add, the latency
+  /// ceiling takes the max. How a shard accumulates a retired
+  /// snapshot's totals and a router sums its shards.
+  void Accumulate(const ServeStats& other) {
+    requests += other.requests;
+    cache_hits += other.cache_hits;
+    store_hits += other.store_hits;
+    live_scored += other.live_scored;
+    batches += other.batches;
+    batched_requests += other.batched_requests;
+    full_batches += other.full_batches;
+    waited_flushes += other.waited_flushes;
+    latency_us_sum += other.latency_us_sum;
+    if (other.latency_us_max > latency_us_max) {
+      latency_us_max = other.latency_us_max;
+    }
+  }
 };
 
 /// Owns the serving snapshot and the request path.

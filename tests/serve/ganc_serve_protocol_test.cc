@@ -7,12 +7,17 @@
 #include "serve/protocol.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -100,6 +105,41 @@ TEST(ServeProtocolTest, FormatsResponses) {
   EXPECT_EQ(FormatError("bad\nthing"), "ERR bad thing");
 }
 
+TEST(ServeProtocolTest, ParsesPublishVersionShardsAndTopNV) {
+  Result<ServeRequest> p = ParseServeRequest("PUBLISH path=/tmp/model.gam");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->command, ServeCommand::kPublish);
+  EXPECT_EQ(p->path, "/tmp/model.gam");
+  Result<ServeRequest> tv =
+      ParseServeRequest("TOPNV user=4 n=3 exclude=7,8");
+  ASSERT_TRUE(tv.ok()) << tv.status().ToString();
+  EXPECT_EQ(tv->command, ServeCommand::kTopNV);
+  EXPECT_EQ(tv->user, 4);
+  EXPECT_EQ(tv->n, 3);
+  EXPECT_EQ(tv->items, (std::vector<ItemId>{7, 8}));
+  EXPECT_EQ(ParseServeRequest("VERSION")->command, ServeCommand::kVersion);
+  EXPECT_EQ(ParseServeRequest("SHARDS")->command, ServeCommand::kShards);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedSwapAndShardRequests) {
+  EXPECT_FALSE(ParseServeRequest("PUBLISH").ok());       // missing path
+  EXPECT_FALSE(ParseServeRequest("PUBLISH path=").ok()); // empty path
+  EXPECT_FALSE(ParseServeRequest("PUBLISH user=1").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPN user=1 path=/x").ok());
+  EXPECT_FALSE(ParseServeRequest("TOPNV").ok());         // missing user
+  EXPECT_FALSE(ParseServeRequest("TOPNV path=/x").ok());
+  EXPECT_FALSE(ParseServeRequest("VERSION now").ok());
+  EXPECT_FALSE(ParseServeRequest("SHARDS all").ok());
+}
+
+TEST(ServeProtocolTest, FormatsVersionedTopNResponse) {
+  const std::vector<ItemId> items = {5, 1, 9};
+  EXPECT_EQ(FormatVersionedTopNResponse(3, 5, 17, items),
+            "OK user=3 n=5 version=17 items=5,1,9");
+  EXPECT_EQ(FormatVersionedTopNResponse(0, 2, 1, {}),
+            "OK user=0 n=2 version=1 items=");
+}
+
 #if defined(GANC_SERVE_BINARY) && defined(GANC_CLI_BINARY)
 
 // Runs `argv` to completion, inheriting the parent's environment;
@@ -145,6 +185,11 @@ class ServeProcess {
     }
     close(to_child[0]);
     close(from_child[1]);
+    // Keep these ends out of later-forked siblings: a second
+    // ServeProcess must not inherit (and hold open) this child's stdin
+    // write end, or EOF-driven shutdown would deadlock.
+    fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+    fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
     in_ = fdopen(from_child[0], "r");
     out_fd_ = to_child[1];
   }
@@ -186,6 +231,26 @@ class ServeProcess {
     return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   }
 
+  void Signal(int sig) {
+    if (pid_ > 0) kill(pid_, sig);
+  }
+
+  /// Reaps the child without closing its stdin, polling up to
+  /// `timeout_ms`. Returns the exit code, or -1 if the child did not
+  /// exit in time (it is then left running for the destructor).
+  int WaitExit(int timeout_ms) {
+    for (int waited = 0; waited <= timeout_ms; waited += 10) {
+      int status = 0;
+      const pid_t reaped = waitpid(pid_, &status, WNOHANG);
+      if (reaped == pid_) {
+        pid_ = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      }
+      usleep(10 * 1000);
+    }
+    return -1;
+  }
+
  private:
   pid_t pid_ = -1;
   FILE* in_ = nullptr;
@@ -200,6 +265,8 @@ class GancServeSubprocessTest : public testing::Test {
     (void)RunToCompletion({"/bin/mkdir", "-p", *dir_});
     cache_ = new std::string(*dir_ + "/tiny.gdc");
     model_ = new std::string(*dir_ + "/psvd10.gam");
+    model2_ = new std::string(*dir_ + "/psvd100.gam");
+    garbage_ = new std::string(*dir_ + "/garbage.gam");
     ASSERT_EQ(RunToCompletion({GANC_CLI_BINARY, "cache-dataset",
                                "--dataset=tiny", "--out=" + *cache_}),
               0);
@@ -207,6 +274,16 @@ class GancServeSubprocessTest : public testing::Test {
                                "--dataset-cache=" + *cache_, "--arec=psvd10",
                                "--seed=7", "--save-model=" + *model_}),
               0);
+    // A second artifact over the same dataset (swap target) and a file
+    // that is not an artifact at all (rejection target).
+    ASSERT_EQ(RunToCompletion({GANC_CLI_BINARY, "train",
+                               "--dataset-cache=" + *cache_, "--arec=psvd100",
+                               "--seed=7", "--save-model=" + *model2_}),
+              0);
+    FILE* junk = fopen(garbage_->c_str(), "w");
+    ASSERT_NE(junk, nullptr);
+    fputs("this is not a model artifact\n", junk);
+    fclose(junk);
   }
 
   static std::vector<std::string> ServeFlags() {
@@ -217,11 +294,15 @@ class GancServeSubprocessTest : public testing::Test {
   static std::string* dir_;
   static std::string* cache_;
   static std::string* model_;
+  static std::string* model2_;
+  static std::string* garbage_;
 };
 
 std::string* GancServeSubprocessTest::dir_ = nullptr;
 std::string* GancServeSubprocessTest::cache_ = nullptr;
 std::string* GancServeSubprocessTest::model_ = nullptr;
+std::string* GancServeSubprocessTest::model2_ = nullptr;
+std::string* GancServeSubprocessTest::garbage_ = nullptr;
 
 TEST_F(GancServeSubprocessTest, StdinRoundTripAndSessionFlow) {
   ServeProcess serve(ServeFlags());
@@ -291,6 +372,124 @@ TEST_F(GancServeSubprocessTest, TcpRoundTripOnEphemeralPort) {
 
   // stdin EOF shuts the server down cleanly with the listener open.
   EXPECT_EQ(serve.CloseAndWait(), 0);
+}
+
+// Pulls the number after "version=" out of a response line.
+uint64_t VersionIn(const std::string& line) {
+  const size_t pos = line.find("version=");
+  EXPECT_NE(pos, std::string::npos) << line;
+  if (pos == std::string::npos) return 0;
+  return strtoull(line.c_str() + pos + std::strlen("version="), nullptr, 10);
+}
+
+TEST_F(GancServeSubprocessTest, PublishSwapsSnapshotAndKeepsOldOnFailure) {
+  ServeProcess serve(ServeFlags());
+  serve.Send("VERSION");
+  const std::string v_line = serve.ReadLine();
+  ASSERT_EQ(v_line.rfind("OK version=", 0), 0u) << v_line;
+  const uint64_t v1 = VersionIn(v_line);
+  serve.Send("SHARDS");
+  EXPECT_EQ(serve.ReadLine().rfind("OK shards=1 mode=inprocess users=", 0),
+            0u);
+  serve.Send("TOPNV user=3 n=5");
+  const std::string before = serve.ReadLine();
+  ASSERT_EQ(before.rfind("OK user=3 n=5 version=", 0), 0u) << before;
+  EXPECT_EQ(VersionIn(before), v1);
+
+  // A file that is not an artifact and a path that does not exist are
+  // both rejected, and the old snapshot keeps serving bit-identically.
+  serve.Send("PUBLISH path=" + *garbage_);
+  EXPECT_EQ(serve.ReadLine().rfind("ERR ", 0), 0u);
+  serve.Send("PUBLISH path=" + *dir_ + "/does_not_exist.gam");
+  EXPECT_EQ(serve.ReadLine().rfind("ERR ", 0), 0u);
+  serve.Send("TOPNV user=3 n=5");
+  EXPECT_EQ(serve.ReadLine(), before);
+
+  // A real artifact swaps in: monotonically newer version, and the
+  // response is attributed to it.
+  serve.Send("PUBLISH path=" + *model2_);
+  const std::string pub = serve.ReadLine();
+  ASSERT_EQ(pub.rfind("OK version=", 0), 0u) << pub;
+  const uint64_t v2 = VersionIn(pub);
+  EXPECT_GT(v2, v1);
+  serve.Send("TOPNV user=3 n=5");
+  const std::string after = serve.ReadLine();
+  EXPECT_EQ(VersionIn(after), v2);
+
+  // Re-publishing the same path loads a fresh snapshot: a new version
+  // serving the identical bits.
+  serve.Send("PUBLISH path=" + *model2_);
+  const uint64_t v3 = VersionIn(serve.ReadLine());
+  EXPECT_GT(v3, v2);
+  serve.Send("TOPNV user=3 n=5");
+  const std::string again = serve.ReadLine();
+  EXPECT_EQ(VersionIn(again), v3);
+  const size_t items_pos = after.find(" items=");
+  ASSERT_NE(items_pos, std::string::npos);
+  EXPECT_EQ(again.substr(again.find(" items=")), after.substr(items_pos));
+  serve.Send("QUIT");
+  EXPECT_EQ(serve.ReadLine(), "OK bye");
+  EXPECT_EQ(serve.CloseAndWait(), 0);
+}
+
+TEST_F(GancServeSubprocessTest, InProcessShardsMatchUnshardedByteForByte) {
+  ServeProcess single(ServeFlags());
+  std::vector<std::string> sharded_flags = ServeFlags();
+  sharded_flags.push_back("--shards=3");
+  ServeProcess sharded(sharded_flags);
+
+  sharded.Send("SHARDS");
+  EXPECT_EQ(sharded.ReadLine().rfind("OK shards=3 mode=inprocess users=", 0),
+            0u);
+  sharded.Send("VERSION");
+  const std::string versions = sharded.ReadLine();
+  ASSERT_EQ(versions.rfind("OK versions=", 0), 0u) << versions;
+  // Three comma-separated per-shard versions.
+  EXPECT_EQ(std::count(versions.begin(), versions.end(), ','), 2);
+
+  for (int user = 0; user < 12; ++user) {
+    const std::string req = "TOPN user=" + std::to_string(user) + " n=5";
+    single.Send(req);
+    sharded.Send(req);
+    EXPECT_EQ(sharded.ReadLine(), single.ReadLine()) << req;
+  }
+  // Error responses must match too (out-of-range routes to the
+  // fallback shard and falls through to the canonical service error).
+  single.Send("TOPN user=999999 n=5");
+  sharded.Send("TOPN user=999999 n=5");
+  EXPECT_EQ(sharded.ReadLine(), single.ReadLine());
+
+  // PUBLISH fans out to every shard.
+  sharded.Send("PUBLISH path=" + *model2_);
+  const std::string pub = sharded.ReadLine();
+  EXPECT_EQ(pub.rfind("OK version=", 0), 0u) << pub;
+  EXPECT_NE(pub.find(" shards=3"), std::string::npos) << pub;
+
+  EXPECT_EQ(single.CloseAndWait(), 0);
+  EXPECT_EQ(sharded.CloseAndWait(), 0);
+}
+
+TEST_F(GancServeSubprocessTest, SigtermShutsDownPromptlyWhileBlockedInAccept) {
+  // The regression this pins down: a server parked in accept(2) used to
+  // ignore SIGTERM until the next connection arrived. With the
+  // self-pipe + poll loop it must exit quickly and cleanly.
+  std::vector<std::string> flags = ServeFlags();
+  flags.push_back("--port=0");
+  flags.push_back("--daemon");
+  ServeProcess serve(flags);
+  const std::string listening = serve.ReadLine();
+  ASSERT_EQ(listening.rfind("LISTENING port=", 0), 0u) << listening;
+
+  const auto start = std::chrono::steady_clock::now();
+  serve.Signal(SIGTERM);
+  const int code = serve.WaitExit(5000);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(code, 0) << "clean shutdown expected";
+  EXPECT_LT(elapsed_ms, 3000)
+      << "SIGTERM must not wait for the next connection";
 }
 
 #else

@@ -55,6 +55,9 @@
 #include "recommender/user_knn.h"
 #include "serve/protocol.h"
 #include "serve/recommendation_service.h"
+#include "serve/service_shard.h"
+#include "serve/session_overlay.h"
+#include "serve/shard_router.h"
 #include "serve/topn_store.h"
 #include "util/binary_io.h"
 #include "util/flags.h"
@@ -121,6 +124,15 @@ void Usage() {
       "                --out=PATH [--top-n=10] [--head-users=N]\n"
       "                Builds the precomputed top-N store artifact for\n"
       "                the N most active users (0 = everyone).\n"
+      "\n"
+      "replay:         --requests=PATH\n"
+      "                --load-model=PATH | --load-pipeline=PATH\n"
+      "                [--shards=N] [--top-n=10]\n"
+      "                Replays a serve-protocol transcript (TOPN/TOPNV/\n"
+      "                CONSUME/PUBLISH/VERSION/SHARDS/PING) through an\n"
+      "                in-process shard router, one response line per\n"
+      "                request — the process-free twin of piping the\n"
+      "                file into ganc_serve.\n"
       "\n"
       "kernels:        report the scoring kernel dispatch (variants,\n"
       "                probe timings, active choice); --list prints one\n"
@@ -649,6 +661,172 @@ int TopNDump(const Flags& flags) {
   return 0;
 }
 
+// `replay`: drive a serve-protocol transcript through an in-process
+// ShardRouter and print one response line per request. Unbatched and
+// single-threaded, so the output is deterministic line-for-line — the
+// reference the multi-process router harness diffs against, and a way
+// to script snapshot swaps (PUBLISH lines) without managing processes.
+int Replay(const Flags& flags) {
+  const std::string requests_path = flags.GetString("requests", "");
+  if (requests_path.empty()) {
+    std::fprintf(stderr, "replay requires --requests=PATH\n");
+    return 1;
+  }
+  const std::string model_in = flags.GetString("load-model", "");
+  const std::string pipeline_in = flags.GetString("load-pipeline", "");
+  if (model_in.empty() == pipeline_in.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --load-model / --load-pipeline is "
+                 "required\n");
+    return 1;
+  }
+  auto top_n = flags.GetInt("top-n", 10);
+  auto num_shards = flags.GetInt("shards", 1);
+  if (!top_n.ok() || !num_shards.ok() || *top_n <= 0 || *num_shards < 1) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 1;
+  }
+  Result<Prepared> prepared = Prepare(flags, /*print_summary=*/false);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "load: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  ServiceConfig config;
+  config.micro_batching = false;  // deterministic offline replay
+  config.cache_capacity = 0;
+  config.default_n = static_cast<int>(*top_n);
+  config.mmap_artifacts = flags.GetBool("mmap", true);
+  Result<FactorPrecision> precision = FactorPrecisionFlag(flags);
+  if (!precision.ok()) {
+    std::fprintf(stderr, "%s\n", precision.status().ToString().c_str());
+    return 1;
+  }
+  config.factor_precision = *precision;
+  Result<std::unique_ptr<ShardRouter>> router = ShardRouter::Load(
+      model_in.empty() ? SnapshotKind::kPipeline : SnapshotKind::kModel,
+      model_in.empty() ? pipeline_in : model_in, prepared->split.train,
+      static_cast<size_t>(*num_shards), config);
+  if (!router.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 router.status().ToString().c_str());
+    return 1;
+  }
+  std::ifstream in(requests_path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "replay: cannot open %s\n", requests_path.c_str());
+    return 1;
+  }
+  SessionRegistry sessions;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    if (!parsed.ok()) {
+      std::printf("%s\n", FormatError(parsed.status().message()).c_str());
+      continue;
+    }
+    ServeRequest& req = *parsed;
+    std::string response;
+    switch (req.command) {
+      case ServeCommand::kTopN:
+      case ServeCommand::kTopNV: {
+        std::vector<ItemId> exclusions;
+        std::span<const ItemId> excl = req.items;
+        if (!req.session.empty()) {
+          sessions.CollectExclusions(req.session, req.user, req.items,
+                                     &exclusions);
+          excl = exclusions;
+        }
+        std::vector<ItemId> items;
+        uint64_t version = 0;
+        if (Status s = (*router)->TopNInto(req.user, req.n, excl, &items,
+                                           &version);
+            !s.ok()) {
+          response = FormatError(s.message());
+          break;
+        }
+        const int n = req.n == 0 ? (*router)->default_n() : req.n;
+        response = req.command == ServeCommand::kTopNV
+                       ? FormatVersionedTopNResponse(req.user, n, version,
+                                                     items)
+                       : FormatTopNResponse(req.user, n, items);
+        break;
+      }
+      case ServeCommand::kConsume: {
+        if (req.user < 0 || req.user >= (*router)->num_users()) {
+          response = FormatError("user id out of range");
+          break;
+        }
+        sessions.MarkConsumed(req.session, req.user, req.items);
+        response = FormatOk("consumed=" + std::to_string(req.items.size()));
+        break;
+      }
+      case ServeCommand::kPublish: {
+        uint64_t max_v = 0;
+        if (Status s = (*router)->Publish(req.path, &max_v); !s.ok()) {
+          response = FormatError(s.message());
+          break;
+        }
+        response = (*router)->num_shards() > 1
+                       ? FormatOk("version=" + std::to_string(max_v) +
+                                  " shards=" +
+                                  std::to_string((*router)->num_shards()))
+                       : FormatOk("version=" + std::to_string(max_v) +
+                                  " source=" + (*router)->source());
+        break;
+      }
+      case ServeCommand::kVersion: {
+        if ((*router)->num_shards() > 1) {
+          std::string versions;
+          for (const uint64_t v : (*router)->versions()) {
+            if (!versions.empty()) versions.push_back(',');
+            versions += std::to_string(v);
+          }
+          response = FormatOk("versions=" + versions);
+        } else {
+          response =
+              FormatOk("version=" + std::to_string((*router)->max_version()) +
+                       " source=" + (*router)->source());
+        }
+        break;
+      }
+      case ServeCommand::kShards:
+        response =
+            FormatOk("shards=" + std::to_string((*router)->num_shards()) +
+                     " mode=inprocess users=" +
+                     std::to_string((*router)->num_users()));
+        break;
+      case ServeCommand::kStats: {
+        const ServeStats s = (*router)->stats();
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "requests=%llu cache_hits=%llu store_hits=%llu "
+                      "live=%llu batches=%llu mean_fill=%.2f",
+                      static_cast<unsigned long long>(s.requests),
+                      static_cast<unsigned long long>(s.cache_hits),
+                      static_cast<unsigned long long>(s.store_hits),
+                      static_cast<unsigned long long>(s.live_scored),
+                      static_cast<unsigned long long>(s.batches),
+                      s.MeanBatchFill());
+        response = FormatOk(buf);
+        break;
+      }
+      case ServeCommand::kPing:
+        response = FormatOk("pong");
+        break;
+      case ServeCommand::kQuit:
+        response = FormatOk("bye");
+        break;
+    }
+    std::printf("%s\n", response.c_str());
+    if (req.command == ServeCommand::kQuit) break;
+  }
+  return 0;
+}
+
 // `precompute-topn`: materialize the serving store artifact for the
 // most active users.
 int PrecomputeTopN(const Flags& flags) {
@@ -972,7 +1150,7 @@ int main(int argc, char** argv) {
       "save-model",    "save-pipeline", "load-model",   "load-pipeline",
       "users",         "head-users",   "factor-precision", "list",
       "mmap",          "items",        "mean-activity", "verbose",
-      "help"};
+      "requests",      "shards",       "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -999,6 +1177,7 @@ int main(int argc, char** argv) {
   if (command == "cache-dataset") return CacheDataset(*flags);
   if (command == "topn") return TopNDump(*flags);
   if (command == "precompute-topn") return PrecomputeTopN(*flags);
+  if (command == "replay") return Replay(*flags);
   if (command == "kernels") return Kernels(*flags);
   if (command == "synth") return Synth(*flags);
   if (command == "inspect") {
