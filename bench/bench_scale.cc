@@ -30,8 +30,10 @@
 #include "data/synthetic.h"
 #include "recommender/model_io.h"
 #include "recommender/pop.h"
+#include "recommender/psvd.h"
 #include "serve/recommendation_service.h"
 #include "serve/topn_store.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -42,19 +44,6 @@ namespace {
 constexpr int kTopN = 10;
 constexpr size_t kHeadUsers = 2000;
 constexpr int kServeRequests = 20000;
-
-// Peak resident set size of this process, in MiB (VmHWM).
-double PeakRssMb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    long kb = 0;
-    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) {
-      return static_cast<double>(kb) / 1024.0;
-    }
-  }
-  return 0.0;
-}
 
 int64_t FileSizeBytes(const std::string& path) {
   std::ifstream is(path, std::ios::binary | std::ios::ate);
@@ -69,6 +58,9 @@ std::string ModelPath(const std::string& dir, int64_t users) {
 }
 std::string StorePath(const std::string& dir, int64_t users) {
   return dir + "/scale_" + std::to_string(users) + ".gts";
+}
+std::string FactorModelPath(const std::string& dir, int64_t users) {
+  return dir + "/scale_" + std::to_string(users) + "_psvd10.gam";
 }
 
 [[noreturn]] void Die(const std::string& what, const Status& s) {
@@ -122,6 +114,34 @@ int PhasePrep(const std::string& dir, int64_t users) {
   std::printf("@RESULT {\"fit_seconds\": %.3f, \"store_build_seconds\": %.3f, "
               "\"prep_peak_rss_mb\": %.1f}\n",
               fit_sec, store_sec, PeakRssMb());
+  return 0;
+}
+
+// Out-of-core training probe: fit PSVD10 over the cache, mapped under a
+// small residency budget vs fully resident. The interesting number is
+// the RSS gap — the budgeted mapped fit should scale with the window
+// budget plus the factor tables, not with the total rating count.
+int PhaseTrain(const std::string& dir, int64_t users, bool mmap) {
+  constexpr int64_t kTrainBudgetBytes = 64 << 20;
+  auto train = RatingDataset::LoadFileAuto(CachePath(dir, users), mmap);
+  if (!train.ok()) Die("load cache", train.status());
+  if (mmap) {
+    train->set_train_budget_bytes(kTrainBudgetBytes);
+  } else if (Status s = train->EnsureResident(); !s.ok()) {
+    Die("resident", s);
+  }
+  PsvdRecommender model(PsvdConfig{.num_factors = 10});
+  WallTimer fit_timer;
+  if (Status s = model.Fit(*train); !s.ok()) Die("fit", s);
+  const double fit_sec = fit_timer.ElapsedSeconds();
+  if (Status s = SaveModelFile(model, FactorModelPath(dir, users)); !s.ok()) {
+    Die("save model", s);
+  }
+  std::printf("@RESULT {\"mode\": \"%s\", \"fit_seconds\": %.3f, "
+              "\"budget_mb\": %d, \"peak_rss_mb\": %.1f}\n",
+              mmap ? "mmap" : "eager", fit_sec,
+              mmap ? static_cast<int>(kTrainBudgetBytes >> 20) : 0,
+              PeakRssMb());
   return 0;
 }
 
@@ -244,6 +264,8 @@ int main(int argc, char** argv) {
     }
     if (phase == "gen") return PhaseGen(dir, users);
     if (phase == "prep") return PhasePrep(dir, users);
+    if (phase == "train-mmap") return PhaseTrain(dir, users, true);
+    if (phase == "train-eager") return PhaseTrain(dir, users, false);
     if (phase == "serve-mmap") return PhaseServe(dir, users, true);
     if (phase == "serve-eager") return PhaseServe(dir, users, false);
     std::fprintf(stderr, "bench_scale: unknown phase '%s'\n", phase.c_str());
@@ -278,13 +300,19 @@ int main(int argc, char** argv) {
     std::printf("--- %" PRId64 " users ---\n", users);
     const std::string gen = RunChild(exe, "gen", dir, users);
     const std::string prep = RunChild(exe, "prep", dir, users);
+    const std::string train_mmap = RunChild(exe, "train-mmap", dir, users);
+    const std::string train_eager = RunChild(exe, "train-eager", dir, users);
     const std::string mmap = RunChild(exe, "serve-mmap", dir, users);
     const std::string eager = RunChild(exe, "serve-eager", dir, users);
-    std::printf("  gen    %s\n  prep   %s\n  mmap   %s\n  eager  %s\n",
-                gen.c_str(), prep.c_str(), mmap.c_str(), eager.c_str());
+    std::printf("  gen         %s\n  prep        %s\n  train-mmap  %s\n"
+                "  train-eager %s\n  mmap        %s\n  eager       %s\n",
+                gen.c_str(), prep.c_str(), train_mmap.c_str(),
+                train_eager.c_str(), mmap.c_str(), eager.c_str());
     json += "    {\"users\": " + std::to_string(users) + ",\n";
     json += "     \"generate\": " + gen + ",\n";
     json += "     \"prepare\": " + prep + ",\n";
+    json += "     \"train_mmap\": " + train_mmap + ",\n";
+    json += "     \"train_eager\": " + train_eager + ",\n";
     json += "     \"serve_mmap\": " + mmap + ",\n";
     json += "     \"serve_eager\": " + eager + "}";
     json += (i + 1 < sizes.size()) ? ",\n" : "\n";
@@ -292,6 +320,7 @@ int main(int argc, char** argv) {
     std::remove(CachePath(dir, users).c_str());
     std::remove(ModelPath(dir, users).c_str());
     std::remove(StorePath(dir, users).c_str());
+    std::remove(FactorModelPath(dir, users).c_str());
   }
   json += "  ]\n}\n";
   ::rmdir(dir.c_str());

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "util/binary_io.h"
+#include "util/mmap_region.h"
 #include "util/serialize.h"
 
 namespace ganc {
@@ -71,6 +72,10 @@ struct RatingDataset::MappedState {
   std::shared_ptr<const MappedArtifact> artifact;
   std::once_flag once;
   Status status;
+  /// Rows of users < this watermark passed ValidateRowRange. Sweeps
+  /// advance it in user order so one full pass validates everything;
+  /// later sweeps skip re-validation.
+  std::atomic<UserId> rows_validated_until{0};
 };
 
 RatingDataset::RatingDataset() = default;
@@ -91,10 +96,19 @@ double RatingDataset::Density() const {
 }
 
 std::vector<double> RatingDataset::PopularityVector() const {
+  // Counting sweep over the CSR rows: exact integer counts, identical
+  // to the CSC column lengths, and mapped-safe under the train budget.
   std::vector<double> pop(static_cast<size_t>(num_items_), 0.0);
-  for (ItemId i = 0; i < num_items_; ++i) {
-    pop[static_cast<size_t>(i)] = static_cast<double>(Popularity(i));
-  }
+  const Status swept =
+      SweepRowWindows(train_budget_bytes_, 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          for (const ItemRating& ir : ItemsOf(u)) {
+            pop[static_cast<size_t>(ir.item)] += 1.0;
+          }
+        }
+        return Status::OK();
+      });
+  (void)swept;  // row validation errors surface via EnsureResident/Fit
   return pop;
 }
 
@@ -119,10 +133,23 @@ Result<float> RatingDataset::GetRating(UserId u, ItemId i) const {
 }
 
 double RatingDataset::GlobalMeanRating() const {
-  if (ratings_.empty()) return 0.0;
+  // Budgeted row sweep in CSR order. One running accumulator crosses
+  // window boundaries, so the summation order — and therefore the fp64
+  // result — is the same for every budget and for eager datasets with a
+  // user-major observation order (the cache writers' canonical order).
+  if (nnz_ == 0) return 0.0;
   double acc = 0.0;
-  for (const Rating& r : ratings_) acc += r.value;
-  return acc / static_cast<double>(ratings_.size());
+  const Status swept =
+      SweepRowWindows(train_budget_bytes_, 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          for (const ItemRating& ir : ItemsOf(u)) {
+            acc += ir.value;
+          }
+        }
+        return Status::OK();
+      });
+  (void)swept;
+  return acc / static_cast<double>(nnz_);
 }
 
 std::vector<ItemId> RatingDataset::UnratedItems(UserId u) const {
@@ -168,11 +195,8 @@ uint64_t RatingDataset::Fingerprint() const {
   return hasher.digest();
 }
 
-Status RatingDataset::ValidateRowsAndIndex() const {
-  // O(nnz) structural checks the eager loaders run at load time and a
-  // mapped dataset defers to first resident use: rows strictly
-  // item-ascending and in range, observation order a permutation.
-  for (UserId u = 0; u < num_users_; ++u) {
+Status RatingDataset::ValidateRowRange(UserId begin, UserId end) const {
+  for (UserId u = begin; u < end; ++u) {
     const auto row = ItemsOf(u);
     for (size_t k = 0; k < row.size(); ++k) {
       if (row[k].item < 0 || row[k].item >= num_items_) {
@@ -184,6 +208,73 @@ Status RatingDataset::ValidateRowsAndIndex() const {
       }
     }
   }
+  return Status::OK();
+}
+
+std::vector<RowWindow> RatingDataset::PlanRowWindows(
+    int64_t budget_bytes, int32_t align_users) const {
+  std::vector<RowWindow> windows;
+  if (num_users_ == 0) return windows;
+  const int32_t block = std::max<int32_t>(align_users, 1);
+  const int64_t capacity_rows =
+      budget_bytes > 0 ? std::max<int64_t>(
+                             budget_bytes / static_cast<int64_t>(
+                                                sizeof(ItemRating)),
+                             1)
+                       : nnz_;
+  const auto row_count = [this](UserId lo, UserId hi) {
+    return static_cast<int64_t>(user_offsets_view_[static_cast<size_t>(hi)] -
+                                user_offsets_view_[static_cast<size_t>(lo)]);
+  };
+  RowWindow current{0, 0, 0};
+  for (UserId u = 0; u < num_users_; u += block) {
+    const UserId next = std::min<UserId>(u + block, num_users_);
+    const int64_t block_nnz = row_count(u, next);
+    if (current.end > current.begin &&
+        current.nnz + block_nnz > capacity_rows) {
+      windows.push_back(current);
+      current = {u, u, 0};
+    }
+    current.end = next;
+    current.nnz += block_nnz;
+  }
+  windows.push_back(current);
+  return windows;
+}
+
+Status RatingDataset::SweepRowWindows(
+    int64_t budget_bytes, int32_t align_users,
+    const std::function<Status(const RowWindow&)>& fn) const {
+  const bool mapped = mapped_ != nullptr;
+  for (const RowWindow& w : PlanRowWindows(budget_bytes, align_users)) {
+    if (mapped) {
+      // First full pass doubles as the deferred row validation; the
+      // watermark only ever advances front-to-back, so a later sweep
+      // (or EnsureResident) never re-checks.
+      const UserId seen = mapped_->rows_validated_until.load();
+      if (seen < w.end) {
+        GANC_RETURN_NOT_OK(ValidateRowRange(std::max(seen, w.begin), w.end));
+        if (w.begin <= seen) mapped_->rows_validated_until.store(w.end);
+      }
+    }
+    const Status st = fn(w);
+    if (mapped && w.nnz > 0) {
+      const size_t first =
+          static_cast<size_t>(user_offsets_view_[static_cast<size_t>(w.begin)]);
+      ReleaseMappedPages(rows_view_.data() + first,
+                         static_cast<size_t>(w.nnz) * sizeof(ItemRating));
+    }
+    GANC_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status RatingDataset::ValidateRowsAndIndex() const {
+  // O(nnz) structural checks the eager loaders run at load time and a
+  // mapped dataset defers to first resident use: rows strictly
+  // item-ascending and in range, observation order a permutation.
+  GANC_RETURN_NOT_OK(ValidateRowRange(0, num_users_));
+  if (mapped_ != nullptr) mapped_->rows_validated_until.store(num_users_);
   const size_t nnz = static_cast<size_t>(nnz_);
   if (!order_view_.empty()) {
     std::vector<bool> seen(nnz, false);

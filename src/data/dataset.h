@@ -16,15 +16,29 @@
 // index and the insertion-order ratings() vector are derived data; in
 // mapped mode they are materialized lazily by EnsureResident(), which
 // also performs the O(nnz) row validation that the eager loaders do at
-// load time. Callers that index by row item ids (training, splits,
-// live scoring) must go through EnsureResident() first; the
-// store-backed serving path never needs to.
+// load time.
+//
+// Most consumers never need residency: every Fit, the row-oriented
+// accessors (ItemsOf/Activity/HasRating/GetRating/UnratedItems*),
+// GlobalMeanRating, PopularityVector, Fingerprint, and the chunked
+// SweepRowWindows iterator all work straight off the mapped rows. Only
+// the APIs documented "Requires residency" below — ratings(), UsersOf,
+// Popularity, and the ratio splitters built on them — go through
+// EnsureResident() first; the store-backed serving path never does.
+//
+// Out-of-core training sweeps rows in budgeted windows: PlanRowWindows
+// partitions the user range so each window's row payload fits a byte
+// budget, and SweepRowWindows validates + visits each window and then
+// drops its mapped pages, so a full epoch over a dataset larger than
+// memory peaks at roughly the budget. set_train_budget_bytes records
+// the caller's budget on the dataset for trainers to pick up.
 
 #ifndef GANC_DATA_DATASET_H_
 #define GANC_DATA_DATASET_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -63,6 +77,13 @@ static_assert(sizeof(ItemRating) == 8);
 struct UserRating {
   UserId user = 0;
   float value = 0.0f;
+};
+
+/// One window of consecutive CSR user rows, planned by PlanRowWindows.
+struct RowWindow {
+  UserId begin = 0;  ///< first user in the window
+  UserId end = 0;    ///< one past the last user
+  int64_t nnz = 0;   ///< ratings in [begin, end)
 };
 
 /// Immutable sparse rating matrix with CSR-style per-user and CSC-style
@@ -113,8 +134,17 @@ class RatingDataset {
   }
 
   /// Popularity of every item as a dense vector indexed by item id.
-  /// Requires residency.
+  /// Computed by a budgeted row sweep: works on mapped datasets without
+  /// residency, and counts are exact integers either way.
   std::vector<double> PopularityVector() const;
+
+  /// CSR offset of user u's row, for u in [0, num_users]:
+  /// RowStart(u + 1) - RowStart(u) == Activity(u). Lets trainers map a
+  /// global row position back to its user with a binary search (the
+  /// blocked BPR sampler) without materializing anything.
+  uint64_t RowStart(UserId u) const {
+    return user_offsets_view_[static_cast<size_t>(u)];
+  }
 
   /// Number of items user u rated (|I_u^R|, "user activity").
   int32_t Activity(UserId u) const {
@@ -129,8 +159,9 @@ class RatingDataset {
   /// Rating of u on i, or error when unobserved.
   Result<float> GetRating(UserId u, ItemId i) const;
 
-  /// Mean of all rating values; 0 for an empty dataset. Requires
-  /// residency.
+  /// Mean of all rating values; 0 for an empty dataset. Computed by a
+  /// budgeted row sweep in CSR (user-major) order, so mapped datasets
+  /// need no residency and the result is independent of the budget.
   double GlobalMeanRating() const;
 
   /// All item ids NOT rated by u, ascending: the "all unseen train items"
@@ -151,6 +182,40 @@ class RatingDataset {
 
   /// True when the CSR rows are borrowed from a file mapping.
   bool IsMapped() const { return mapped_ != nullptr; }
+
+  /// True when the derived in-core structures (ratings(), the CSC item
+  /// index) exist: always for eagerly loaded datasets, and only after
+  /// EnsureResident() for mapped ones. Regression tests use this to
+  /// assert that out-of-core paths never materialize the full matrix.
+  bool ResidencyMaterialized() const {
+    return mapped_ == nullptr || !item_offsets_.empty();
+  }
+
+  /// Advisory residency budget (bytes of row payload) for trainers that
+  /// sweep this dataset; 0 (default) means unbounded — a single window.
+  /// The budget shapes paging only, never results: fits are bit-equal
+  /// for every budget.
+  void set_train_budget_bytes(int64_t bytes) { train_budget_bytes_ = bytes; }
+  int64_t train_budget_bytes() const { return train_budget_bytes_; }
+
+  /// Partitions users into consecutive windows whose row payload
+  /// (nnz * sizeof(ItemRating)) fits `budget_bytes`. Windows are unions
+  /// of whole `align_users`-sized user blocks so trainers can keep a
+  /// budget-independent block decomposition; every window holds at
+  /// least one block even when that block alone exceeds the budget.
+  /// budget_bytes <= 0 yields one window spanning all users.
+  std::vector<RowWindow> PlanRowWindows(int64_t budget_bytes,
+                                        int32_t align_users = 1) const;
+
+  /// Runs `fn` over each planned window in ascending user order. For a
+  /// mapped dataset this validates the window's rows on first touch
+  /// (the same strictly-ascending/in-range checks EnsureResident runs)
+  /// and releases the window's mapped pages after `fn` returns, so the
+  /// sweep's resident footprint stays near the budget. Stops at the
+  /// first non-OK status. Eagerly loaded datasets just iterate.
+  Status SweepRowWindows(
+      int64_t budget_bytes, int32_t align_users,
+      const std::function<Status(const RowWindow&)>& fn) const;
 
   /// Serializes the dataset as a binary CSR cache (see docs/FORMATS.md):
   /// per-user row offsets, one contiguous (item id, value) rows array,
@@ -206,10 +271,17 @@ class RatingDataset {
   /// Shared O(nnz) structural checks + CSC/ratings build.
   Status ValidateRowsAndIndex() const;
   Status Materialize() const;
+  /// Row checks (in range, strictly item-ascending) for users in
+  /// [begin, end) — the per-window slice of ValidateRowsAndIndex's
+  /// validation pass.
+  Status ValidateRowRange(UserId begin, UserId end) const;
 
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   int64_t nnz_ = 0;
+  /// Advisory trainer residency budget; not part of the dataset value
+  /// (ignored by Save/Fingerprint/comparisons).
+  int64_t train_budget_bytes_ = 0;
   /// Stored fingerprint from a v3 cache; 0 = compute on demand.
   uint64_t fingerprint_ = 0;
 

@@ -10,11 +10,17 @@ LongTailInfo ComputeLongTail(const RatingDataset& train, double head_mass) {
   LongTailInfo info;
   info.is_long_tail.assign(static_cast<size_t>(n_items), true);
 
+  // One row-sweep popularity pass instead of per-item CSC lookups, so
+  // the computation works on mapped datasets without residency. The
+  // counts are exact integers either way.
+  const std::vector<double> pop = train.PopularityVector();
+  const auto pop_of = [&](ItemId i) { return pop[static_cast<size_t>(i)]; };
+
   std::vector<ItemId> order(static_cast<size_t>(n_items));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
-    const int32_t pa = train.Popularity(a);
-    const int32_t pb = train.Popularity(b);
+    const double pa = pop_of(a);
+    const double pb = pop_of(b);
     if (pa != pb) return pa > pb;  // decreasing popularity
     return a < b;
   });
@@ -24,16 +30,16 @@ LongTailInfo ComputeLongTail(const RatingDataset& train, double head_mass) {
   int64_t head_count = 0;
   for (ItemId i : order) {
     if (total > 0.0 && cum >= head_mass * total) break;
-    if (train.Popularity(i) == 0) break;  // unrated items are always tail
+    if (pop_of(i) == 0.0) break;  // unrated items are always tail
     info.is_long_tail[static_cast<size_t>(i)] = false;
-    cum += static_cast<double>(train.Popularity(i));
+    cum += pop_of(i);
     ++head_count;
   }
 
   int32_t rated = 0;
   int32_t tail_rated = 0;
   for (ItemId i = 0; i < n_items; ++i) {
-    if (train.Popularity(i) > 0) {
+    if (pop_of(i) > 0) {
       ++rated;
       if (info.is_long_tail[static_cast<size_t>(i)]) ++tail_rated;
     }

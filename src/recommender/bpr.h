@@ -30,6 +30,9 @@ struct BprConfig {
   double samples_per_rating = 1.0;
   int32_t num_epochs = 30;
   uint64_t seed = 41;
+  /// Blocked-SGD user-block size (0 = kTrainUserBlock); part of the
+  /// algorithm definition, not serialized. See train_sweep.h.
+  int32_t user_block = 0;
 };
 
 /// BPR-MF implicit-feedback ranker.
@@ -37,8 +40,11 @@ class BprRecommender : public Recommender {
  public:
   explicit BprRecommender(BprConfig config = {});
 
-  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
+  Status Fit(const RatingDataset& train, ThreadPool* pool) override;
+  void SetEpochCallback(EpochCallback callback) override {
+    epoch_callback_ = std::move(callback);
+  }
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   void ScoreBatchInto(std::span<const UserId> users,
@@ -66,6 +72,7 @@ class BprRecommender : public Recommender {
   FactorView View() const;
 
   BprConfig config_;
+  EpochCallback epoch_callback_;  // observability only; never saved
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set

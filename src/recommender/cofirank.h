@@ -33,6 +33,9 @@ struct CofiConfig {
   int32_t num_epochs = 30;
   double lr_decay = 0.95;
   uint64_t seed = 29;
+  /// Blocked-SGD user-block size (0 = kTrainUserBlock); part of the
+  /// algorithm definition, not serialized. See train_sweep.h.
+  int32_t user_block = 0;
 };
 
 /// Regression-loss collaborative ranking (CofiR).
@@ -40,8 +43,11 @@ class CofiRecommender : public Recommender {
  public:
   explicit CofiRecommender(CofiConfig config = {});
 
-  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
+  Status Fit(const RatingDataset& train, ThreadPool* pool) override;
+  void SetEpochCallback(EpochCallback callback) override {
+    epoch_callback_ = std::move(callback);
+  }
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   void ScoreBatchInto(std::span<const UserId> users,
@@ -63,6 +69,7 @@ class CofiRecommender : public Recommender {
   FactorView View() const;
 
   CofiConfig config_;
+  EpochCallback epoch_callback_;  // observability only; never saved
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set

@@ -23,6 +23,11 @@ Status ItemKnnRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
   }
   num_items_ = train.num_items();
   train_ = &train;
+  // Validate the (possibly mapped) rows once up front; the index
+  // builder's own sweeps then reuse the validation watermark.
+  GANC_RETURN_NOT_OK(train.SweepRowWindows(
+      train.train_budget_bytes(), 1,
+      [](const RowWindow&) { return Status::OK(); }));
   index_ = ItemSimilarityIndex(train, config_.num_neighbors,
                                config_.max_profile, config_.seed, pool);
   return Status::OK();

@@ -14,13 +14,21 @@ ItemSimilarityIndex::ItemSimilarityIndex(const RatingDataset& train,
                                          ThreadPool* pool) {
   const int32_t num_items = train.num_items();
 
-  // Full-vector norms, accumulated in observation order (the legacy
-  // builder's exact summation order).
+  // Full-vector norms, accumulated in CSR row order via the budgeted
+  // window sweep (no residency needed; identical to observation order on
+  // user-major datasets).
   std::vector<double> norms(static_cast<size_t>(num_items), 0.0);
-  for (const Rating& r : train.ratings()) {
-    norms[static_cast<size_t>(r.item)] +=
-        static_cast<double>(r.value) * static_cast<double>(r.value);
-  }
+  const Status swept = train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            norms[static_cast<size_t>(ir.item)] +=
+                static_cast<double>(ir.value) * static_cast<double>(ir.value);
+          }
+        }
+        return Status::OK();
+      });
+  (void)swept;  // row-validation errors surface from the caller's sweep
   for (double& n : norms) n = std::sqrt(n);
 
   const SparseMatrix sampled = SampleUserProfiles(train, max_profile, seed);

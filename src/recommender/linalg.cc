@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "recommender/train_sweep.h"
+
 namespace ganc {
 
 void FillGaussian(DenseMatrix* m, Rng* rng) {
@@ -12,33 +14,90 @@ void FillGaussian(DenseMatrix* m, Rng* rng) {
 }
 
 void SparseTimesDense(const RatingDataset& train, const DenseMatrix& x,
-                      DenseMatrix* y) {
+                      DenseMatrix* y, ThreadPool* pool, int32_t user_block) {
   assert(x.rows == static_cast<size_t>(train.num_items()));
   const size_t l = x.cols;
   *y = DenseMatrix(static_cast<size_t>(train.num_users()), l);
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    double* yrow = y->Row(static_cast<size_t>(u));
-    for (const ItemRating& ir : train.ItemsOf(u)) {
-      const double* xrow = x.Row(static_cast<size_t>(ir.item));
-      const double r = static_cast<double>(ir.value);
-      for (size_t c = 0; c < l; ++c) yrow[c] += r * xrow[c];
-    }
-  }
+  const int32_t ublock = user_block > 0 ? user_block : kTrainUserBlock;
+  // Each block writes only its own users' output rows, so no merge step.
+  // Row-validation errors surface from the callers' own sweeps (Fit
+  // validates the dataset before factorizing).
+  const Status swept = SweepUserBlocks(
+      train, ublock, pool,
+      [&](const UserBlock& b) -> Status {
+        for (UserId u = b.begin; u < b.end; ++u) {
+          double* yrow = y->Row(static_cast<size_t>(u));
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            const double* xrow = x.Row(static_cast<size_t>(ir.item));
+            const double r = static_cast<double>(ir.value);
+            for (size_t c = 0; c < l; ++c) yrow[c] += r * xrow[c];
+          }
+        }
+        return Status::OK();
+      },
+      nullptr);
+  (void)swept;
 }
 
 void SparseTransposeTimesDense(const RatingDataset& train,
-                               const DenseMatrix& x, DenseMatrix* y) {
+                               const DenseMatrix& x, DenseMatrix* y,
+                               ThreadPool* pool, int32_t user_block) {
   assert(x.rows == static_cast<size_t>(train.num_users()));
   const size_t l = x.cols;
   *y = DenseMatrix(static_cast<size_t>(train.num_items()), l);
-  for (UserId u = 0; u < train.num_users(); ++u) {
-    const double* xrow = x.Row(static_cast<size_t>(u));
-    for (const ItemRating& ir : train.ItemsOf(u)) {
-      double* yrow = y->Row(static_cast<size_t>(ir.item));
-      const double r = static_cast<double>(ir.value);
-      for (size_t c = 0; c < l; ++c) yrow[c] += r * xrow[c];
-    }
-  }
+  const int32_t ublock = user_block > 0 ? user_block : kTrainUserBlock;
+  const int64_t num_blocks =
+      train.num_users() == 0
+          ? 0
+          : (static_cast<int64_t>(train.num_users()) + ublock - 1) / ublock;
+  // Output rows are shared across blocks: accumulate block-local partial
+  // rows over the block's (sorted, distinct) touched items, then add them
+  // into y in ascending block order. The fixed block size defines the
+  // summation order, so the result is thread- and budget-invariant.
+  struct BlockScratch {
+    std::vector<ItemId> touched;
+    std::vector<double> partial;  // touched.size() x l
+  };
+  std::vector<BlockScratch> scratch(static_cast<size_t>(num_blocks));
+  const Status swept = SweepUserBlocks(
+      train, ublock, pool,
+      [&](const UserBlock& b) -> Status {
+        BlockScratch& s = scratch[static_cast<size_t>(b.index)];
+        s.touched.clear();
+        for (UserId u = b.begin; u < b.end; ++u) {
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            s.touched.push_back(ir.item);
+          }
+        }
+        std::sort(s.touched.begin(), s.touched.end());
+        s.touched.erase(std::unique(s.touched.begin(), s.touched.end()),
+                        s.touched.end());
+        s.partial.assign(s.touched.size() * l, 0.0);
+        for (UserId u = b.begin; u < b.end; ++u) {
+          const double* xrow = x.Row(static_cast<size_t>(u));
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            const size_t t = static_cast<size_t>(
+                std::lower_bound(s.touched.begin(), s.touched.end(),
+                                 ir.item) -
+                s.touched.begin());
+            double* prow = &s.partial[t * l];
+            const double r = static_cast<double>(ir.value);
+            for (size_t c = 0; c < l; ++c) prow[c] += r * xrow[c];
+          }
+        }
+        return Status::OK();
+      },
+      [&](const UserBlock& b) -> Status {
+        BlockScratch& s = scratch[static_cast<size_t>(b.index)];
+        for (size_t t = 0; t < s.touched.size(); ++t) {
+          double* yrow = y->Row(static_cast<size_t>(s.touched[t]));
+          const double* prow = &s.partial[t * l];
+          for (size_t c = 0; c < l; ++c) yrow[c] += prow[c];
+        }
+        s = BlockScratch{};
+        return Status::OK();
+      });
+  (void)swept;
 }
 
 void OrthonormalizeColumns(DenseMatrix* m) {
@@ -167,7 +226,8 @@ SymmetricEigen JacobiEigen(DenseMatrix a, int max_sweeps, double tol) {
 
 TruncatedSvd RandomizedSvd(const RatingDataset& train, int rank,
                            int oversample, int power_iterations,
-                           uint64_t seed) {
+                           uint64_t seed, ThreadPool* pool,
+                           int32_t user_block) {
   const size_t n_items = static_cast<size_t>(train.num_items());
   const size_t l = std::min(n_items, static_cast<size_t>(rank + oversample));
   Rng rng(seed);
@@ -176,19 +236,19 @@ TruncatedSvd RandomizedSvd(const RatingDataset& train, int rank,
   DenseMatrix omega(n_items, l);
   FillGaussian(&omega, &rng);
   DenseMatrix y;
-  SparseTimesDense(train, omega, &y);
+  SparseTimesDense(train, omega, &y, pool, user_block);
   OrthonormalizeColumns(&y);
   for (int it = 0; it < power_iterations; ++it) {
     DenseMatrix z;
-    SparseTransposeTimesDense(train, y, &z);
+    SparseTransposeTimesDense(train, y, &z, pool, user_block);
     OrthonormalizeColumns(&z);
-    SparseTimesDense(train, z, &y);
+    SparseTimesDense(train, z, &y, pool, user_block);
     OrthonormalizeColumns(&y);
   }
 
   // Project: B = Q^T A  (l x |I|), stored transposed as Bt = A^T Q.
   DenseMatrix bt;  // |I| x l
-  SparseTransposeTimesDense(train, y, &bt);
+  SparseTransposeTimesDense(train, y, &bt, pool, user_block);
 
   // SVD of B via the l x l Gram matrix B B^T = Bt^T Bt.
   DenseMatrix gram = TransposeTimes(bt, bt);

@@ -13,6 +13,7 @@
 
 #include "data/dataset.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ganc {
 
@@ -35,13 +36,23 @@ struct DenseMatrix {
 void FillGaussian(DenseMatrix* m, Rng* rng);
 
 /// Y = A * X where A is the (zero-imputed) sparse |U| x |I| rating matrix
-/// of `train` and X is |I| x l. Y is resized to |U| x l.
+/// of `train` and X is |I| x l. Y is resized to |U| x l. Streams A's rows
+/// under the dataset's train budget; user blocks (see train_sweep.h) run
+/// on `pool` and write disjoint output rows, so the result is identical
+/// for any thread count or budget. `user_block` 0 means kTrainUserBlock.
 void SparseTimesDense(const RatingDataset& train, const DenseMatrix& x,
-                      DenseMatrix* y);
+                      DenseMatrix* y, ThreadPool* pool = nullptr,
+                      int32_t user_block = 0);
 
 /// Y = A^T * X where A is as above and X is |U| x l. Y is |I| x l.
+/// Blocked like SparseTimesDense, but output rows are shared across user
+/// blocks, so each block accumulates local partials that merge in
+/// ascending block order — the fixed block size (not threads, not the
+/// budget) defines the floating-point summation order.
 void SparseTransposeTimesDense(const RatingDataset& train,
-                               const DenseMatrix& x, DenseMatrix* y);
+                               const DenseMatrix& x, DenseMatrix* y,
+                               ThreadPool* pool = nullptr,
+                               int32_t user_block = 0);
 
 /// In-place modified Gram-Schmidt: orthonormalizes the columns of `m`.
 /// Columns that become numerically zero are replaced with zeros.
@@ -73,7 +84,8 @@ struct TruncatedSvd {
 };
 TruncatedSvd RandomizedSvd(const RatingDataset& train, int rank,
                            int oversample = 10, int power_iterations = 2,
-                           uint64_t seed = 13);
+                           uint64_t seed = 13, ThreadPool* pool = nullptr,
+                           int32_t user_block = 0);
 
 }  // namespace ganc
 

@@ -11,15 +11,26 @@ namespace ganc {
 PsvdRecommender::PsvdRecommender(PsvdConfig config) : config_(config) {}
 
 Status PsvdRecommender::Fit(const RatingDataset& train) {
+  return Fit(train, nullptr);
+}
+
+Status PsvdRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
   if (config_.num_factors <= 0) {
     return Status::InvalidArgument("num_factors must be positive");
   }
   num_users_ = train.num_users();
   num_items_ = train.num_items();
   train_fingerprint_ = train.Fingerprint();
+  // Validate the (possibly mapped) rows once up front so corruption is
+  // reported here; the sweeps inside the sparse products then reuse the
+  // validation watermark.
+  GANC_RETURN_NOT_OK(train.SweepRowWindows(
+      train.train_budget_bytes(), 1,
+      [](const RowWindow&) { return Status::OK(); }));
   TruncatedSvd svd =
       RandomizedSvd(train, config_.num_factors, config_.oversample,
-                    config_.power_iterations, config_.seed);
+                    config_.power_iterations, config_.seed, pool,
+                    config_.user_block);
   const size_t g = svd.singular_values.size();
   singular_values_ = svd.singular_values;
   std::vector<double> p(static_cast<size_t>(num_users_) * g, 0.0);

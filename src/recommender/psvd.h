@@ -27,6 +27,9 @@ struct PsvdConfig {
   int32_t oversample = 10;
   int32_t power_iterations = 2;
   uint64_t seed = 13;
+  /// User-block size for the blocked sparse products (0 = kTrainUserBlock);
+  /// part of the algorithm definition, not serialized. See train_sweep.h.
+  int32_t user_block = 0;
 };
 
 /// Truncated-SVD association scorer on the zero-imputed matrix.
@@ -34,8 +37,8 @@ class PsvdRecommender : public Recommender {
  public:
   explicit PsvdRecommender(PsvdConfig config = {});
 
-  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
+  Status Fit(const RatingDataset& train, ThreadPool* pool) override;
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   void ScoreBatchInto(std::span<const UserId> users,

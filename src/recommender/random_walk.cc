@@ -34,39 +34,51 @@ Status RandomWalkRecommender::Fit(const RatingDataset& train) {
     return Status::InvalidArgument("max_coraters must be positive");
   }
   train_ = &train;
+  // Integer rating counts from the mapped-safe popularity sweep (no CSC
+  // index or residency needed).
+  const std::vector<double> pop = train.PopularityVector();
   item_penalty_.resize(static_cast<size_t>(train.num_items()));
   for (ItemId i = 0; i < train.num_items(); ++i) {
-    item_penalty_[static_cast<size_t>(i)] = std::pow(
-        static_cast<double>(std::max(train.Popularity(i), 1)), config_.beta);
+    item_penalty_[static_cast<size_t>(i)] =
+        std::pow(std::max(pop[static_cast<size_t>(i)], 1.0), config_.beta);
   }
-  BuildWalkGraph(train);
-  return Status::OK();
+  return BuildWalkGraph(train);
 }
 
-void RandomWalkRecommender::BuildWalkGraph(const RatingDataset& train) {
+Status RandomWalkRecommender::BuildWalkGraph(const RatingDataset& train) {
   const size_t nnz = static_cast<size_t>(train.num_ratings());
   user_offsets_.clear();
   user_offsets_.reserve(static_cast<size_t>(train.num_users()) + 1);
   user_offsets_.push_back(0);
   user_items_.clear();
   user_items_.reserve(nnz);
+  item_offsets_.assign(static_cast<size_t>(train.num_items()) + 1, 0);
+  GANC_RETURN_NOT_OK(train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            user_items_.push_back(ir.item);
+            ++item_offsets_[static_cast<size_t>(ir.item) + 1];
+          }
+          user_offsets_.push_back(user_items_.size());
+        }
+        return Status::OK();
+      }));
+  // Counting-sort transpose: users land in each item's audience in
+  // ascending order, matching the CSC view on user-major datasets.
+  for (size_t i = 0; i + 1 < item_offsets_.size(); ++i) {
+    item_offsets_[i + 1] += item_offsets_[i];
+  }
+  item_users_.resize(nnz);
+  std::vector<size_t> cursor(item_offsets_.begin(), item_offsets_.end() - 1);
   for (UserId u = 0; u < train.num_users(); ++u) {
-    for (const ItemRating& ir : train.ItemsOf(u)) {
-      user_items_.push_back(ir.item);
+    const size_t begin = user_offsets_[static_cast<size_t>(u)];
+    const size_t end = user_offsets_[static_cast<size_t>(u) + 1];
+    for (size_t e = begin; e < end; ++e) {
+      item_users_[cursor[static_cast<size_t>(user_items_[e])]++] = u;
     }
-    user_offsets_.push_back(user_items_.size());
   }
-  item_offsets_.clear();
-  item_offsets_.reserve(static_cast<size_t>(train.num_items()) + 1);
-  item_offsets_.push_back(0);
-  item_users_.clear();
-  item_users_.reserve(nnz);
-  for (ItemId i = 0; i < train.num_items(); ++i) {
-    for (const UserRating& ur : train.UsersOf(i)) {
-      item_users_.push_back(ur.user);
-    }
-    item_offsets_.push_back(item_users_.size());
-  }
+  return Status::OK();
 }
 
 void RandomWalkRecommender::WalkInto(UserId u, std::span<double> out) const {
@@ -210,8 +222,7 @@ Status RandomWalkRecommender::Load(ArtifactReader& r,
   config_ = cfg;
   train_ = train;
   item_penalty_ = std::move(penalty);
-  BuildWalkGraph(*train);
-  return Status::OK();
+  return BuildWalkGraph(*train);
 }
 
 }  // namespace ganc

@@ -62,8 +62,10 @@ class RandomWalkRecommender : public Recommender {
   Status Load(ArtifactReader& r, const RatingDataset* train) override;
 
  private:
-  /// Flattens `train`'s bipartite adjacency into the CSR walk graph.
-  void BuildWalkGraph(const RatingDataset& train);
+  /// Flattens `train`'s bipartite adjacency into the CSR walk graph via
+  /// budgeted window sweeps (the item-major side is a counting-sort
+  /// transpose of the rows, so mapped datasets need no CSC index).
+  Status BuildWalkGraph(const RatingDataset& train);
 
   /// The three-hop walk for one user into a zeroed score row.
   void WalkInto(UserId u, std::span<double> out) const;

@@ -56,6 +56,14 @@ class Recommender {
   /// serial.
   virtual Status Fit(const RatingDataset& train, ThreadPool* pool);
 
+  /// Per-epoch progress hook for the iterative trainers (RSVD, BPR,
+  /// CofiR): invoked after each completed epoch with (epoch,
+  /// num_epochs), from the thread driving Fit. Observability only — it
+  /// must not influence training, is never serialized, and the default
+  /// (and every non-epoch model) ignores it.
+  using EpochCallback = std::function<void(int32_t, int32_t)>;
+  virtual void SetEpochCallback(EpochCallback callback) { (void)callback; }
+
   /// Catalog size the fitted model scores over (0 before Fit/Load).
   virtual int32_t num_items() const = 0;
 

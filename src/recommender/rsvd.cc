@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <utility>
 
 #include "recommender/model_io.h"
+#include "recommender/train_sweep.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -16,6 +16,19 @@ RsvdRecommender::RsvdRecommender(RsvdConfig config)
     : config_(std::move(config)) {}
 
 Status RsvdRecommender::Fit(const RatingDataset& train) {
+  return Fit(train, nullptr);
+}
+
+// Deterministic blocked SGD (see train_sweep.h): every epoch partitions
+// users into fixed blocks. Inside a block, user factors/biases update in
+// place (blocks own disjoint user rows) while item factors/biases update
+// a block-local copy seeded from the epoch-start snapshot; the per-block
+// item deltas then merge serially in ascending block order
+// (q_next[i] += local[i] - snapshot[i]). Blocks draw their shuffle order
+// from MixSeed(seed, epoch, block), so the fitted model is a pure
+// function of (data, config) — independent of threads and of the
+// residency budget's window boundaries.
+Status RsvdRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
   if (config_.num_factors <= 0) {
     return Status::InvalidArgument("num_factors must be positive");
   }
@@ -38,50 +51,128 @@ Status RsvdRecommender::Fit(const RatingDataset& train) {
   user_bias_.assign(static_cast<size_t>(num_users_), 0.0);
   item_bias_.assign(static_cast<size_t>(num_items_), 0.0);
 
-  std::vector<size_t> order(train.ratings().size());
-  std::iota(order.begin(), order.end(), 0);
-
   // Bias-free MF must absorb the rating scale in the factors themselves;
   // with biases we model residuals around mu.
   const double base = config_.use_biases ? global_mean_ : 0.0;
 
+  const int32_t ublock =
+      config_.user_block > 0 ? config_.user_block : kTrainUserBlock;
+  const int64_t num_blocks =
+      num_users_ == 0 ? 0
+                      : (static_cast<int64_t>(num_users_) + ublock - 1) /
+                            ublock;
+  struct BlockScratch {
+    std::vector<ItemId> touched;   // distinct items of the block, ascending
+    std::vector<double> q_local;   // touched.size() x g item-factor rows
+    std::vector<double> b_local;   // touched.size() item biases (biased mode)
+    double sq_err = 0.0;
+  };
+  std::vector<BlockScratch> scratch(static_cast<size_t>(num_blocks));
+  std::vector<double> q_next;
+  std::vector<double> bias_next;
+
   double lr = config_.learning_rate;
   const double lam = config_.regularization;
   for (int32_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
-    rng.Shuffle(&order);
+    q_next = item_factors;  // epoch-start snapshot stays in item_factors
+    if (config_.use_biases) bias_next = item_bias_;
     double sq_err = 0.0;
-    for (size_t idx : order) {
-      const Rating& r = train.ratings()[idx];
-      double* pu = &user_factors[static_cast<size_t>(r.user) * g];
-      double* qi = &item_factors[static_cast<size_t>(r.item) * g];
-      double pred = base;
-      if (config_.use_biases) {
-        pred += user_bias_[static_cast<size_t>(r.user)] +
-                item_bias_[static_cast<size_t>(r.item)];
-      }
-      for (size_t f = 0; f < g; ++f) pred += pu[f] * qi[f];
-      const double err = static_cast<double>(r.value) - pred;
-      sq_err += err * err;
-      if (config_.use_biases) {
-        user_bias_[static_cast<size_t>(r.user)] +=
-            lr * (err - lam * user_bias_[static_cast<size_t>(r.user)]);
-        item_bias_[static_cast<size_t>(r.item)] +=
-            lr * (err - lam * item_bias_[static_cast<size_t>(r.item)]);
-      }
-      for (size_t f = 0; f < g; ++f) {
-        const double puf = pu[f];
-        pu[f] += lr * (err * qi[f] - lam * puf);
-        qi[f] += lr * (err * puf - lam * qi[f]);
-        if (config_.non_negative) {
-          pu[f] = std::max(pu[f], 0.0);
-          qi[f] = std::max(qi[f], 0.0);
+
+    const auto block_fn = [&](const UserBlock& b) -> Status {
+      BlockScratch& s = scratch[static_cast<size_t>(b.index)];
+      s.touched.clear();
+      for (UserId u = b.begin; u < b.end; ++u) {
+        for (const ItemRating& ir : train.ItemsOf(u)) {
+          s.touched.push_back(ir.item);
         }
       }
-    }
+      std::sort(s.touched.begin(), s.touched.end());
+      s.touched.erase(std::unique(s.touched.begin(), s.touched.end()),
+                      s.touched.end());
+      s.q_local.resize(s.touched.size() * g);
+      for (size_t t = 0; t < s.touched.size(); ++t) {
+        const double* src =
+            &item_factors[static_cast<size_t>(s.touched[t]) * g];
+        std::copy(src, src + g, &s.q_local[t * g]);
+      }
+      if (config_.use_biases) {
+        s.b_local.resize(s.touched.size());
+        for (size_t t = 0; t < s.touched.size(); ++t) {
+          s.b_local[t] = item_bias_[static_cast<size_t>(s.touched[t])];
+        }
+      }
+
+      std::vector<std::pair<UserId, int32_t>> order;
+      for (UserId u = b.begin; u < b.end; ++u) {
+        const int32_t n = static_cast<int32_t>(train.ItemsOf(u).size());
+        for (int32_t k = 0; k < n; ++k) order.emplace_back(u, k);
+      }
+      Rng brng(MixSeed(config_.seed, static_cast<uint64_t>(epoch),
+                       static_cast<uint64_t>(b.index)));
+      brng.Shuffle(&order);
+
+      s.sq_err = 0.0;
+      for (const auto& [u, k] : order) {
+        const ItemRating& ir = train.ItemsOf(u)[static_cast<size_t>(k)];
+        const size_t t = static_cast<size_t>(
+            std::lower_bound(s.touched.begin(), s.touched.end(), ir.item) -
+            s.touched.begin());
+        double* pu = &user_factors[static_cast<size_t>(u) * g];
+        double* qi = &s.q_local[t * g];
+        double pred = base;
+        if (config_.use_biases) {
+          pred += user_bias_[static_cast<size_t>(u)] + s.b_local[t];
+        }
+        for (size_t f = 0; f < g; ++f) pred += pu[f] * qi[f];
+        const double err = static_cast<double>(ir.value) - pred;
+        s.sq_err += err * err;
+        if (config_.use_biases) {
+          user_bias_[static_cast<size_t>(u)] +=
+              lr * (err - lam * user_bias_[static_cast<size_t>(u)]);
+          s.b_local[t] += lr * (err - lam * s.b_local[t]);
+        }
+        for (size_t f = 0; f < g; ++f) {
+          const double puf = pu[f];
+          pu[f] += lr * (err * qi[f] - lam * puf);
+          qi[f] += lr * (err * puf - lam * qi[f]);
+          if (config_.non_negative) {
+            pu[f] = std::max(pu[f], 0.0);
+            qi[f] = std::max(qi[f], 0.0);
+          }
+        }
+      }
+      return Status::OK();
+    };
+
+    const auto merge_fn = [&](const UserBlock& b) -> Status {
+      BlockScratch& s = scratch[static_cast<size_t>(b.index)];
+      for (size_t t = 0; t < s.touched.size(); ++t) {
+        const size_t i = static_cast<size_t>(s.touched[t]);
+        double* dst = &q_next[i * g];
+        const double* loc = &s.q_local[t * g];
+        const double* snap = &item_factors[i * g];
+        for (size_t f = 0; f < g; ++f) {
+          dst[f] += loc[f] - snap[f];
+          if (config_.non_negative) dst[f] = std::max(dst[f], 0.0);
+        }
+        if (config_.use_biases) {
+          bias_next[i] += s.b_local[t] - item_bias_[i];
+        }
+      }
+      sq_err += s.sq_err;
+      s = BlockScratch{};  // free window-lifetime scratch eagerly
+      return Status::OK();
+    };
+
+    GANC_RETURN_NOT_OK(
+        SweepUserBlocks(train, ublock, pool, block_fn, merge_fn));
+    item_factors.swap(q_next);
+    if (config_.use_biases) item_bias_.swap(bias_next);
     lr *= config_.lr_decay;
     GANC_LOG(Debug) << name() << " epoch " << epoch << " train RMSE "
                     << std::sqrt(sq_err /
                                  static_cast<double>(train.num_ratings()));
+    if (epoch_callback_) epoch_callback_(epoch + 1, config_.num_epochs);
   }
   // Per-user scoring base for the factor engine: mu + b_u folds the two
   // user-constant terms of Predict into one engine offset. Computed as

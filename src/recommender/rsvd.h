@@ -31,6 +31,11 @@ struct RsvdConfig {
   bool non_negative = false;      ///< RSVDN: project factors onto >= 0
   double init_scale = 0.1;        ///< factor init: U(0, init_scale)
   uint64_t seed = 17;
+  /// User-block granularity of the deterministic blocked SGD epoch
+  /// (0 = kTrainUserBlock). Part of the algorithm definition — changing
+  /// it changes the fitted factors — so tests pin tiny values to force
+  /// multi-block merges on small fixtures. Not serialized.
+  int32_t user_block = 0;
 };
 
 /// SGD-trained matrix factorization rating predictor.
@@ -38,8 +43,11 @@ class RsvdRecommender : public Recommender {
  public:
   explicit RsvdRecommender(RsvdConfig config = {});
 
-  using Recommender::Fit;
   Status Fit(const RatingDataset& train) override;
+  Status Fit(const RatingDataset& train, ThreadPool* pool) override;
+  void SetEpochCallback(EpochCallback callback) override {
+    epoch_callback_ = std::move(callback);
+  }
   int32_t num_items() const override { return num_items_; }
   void ScoreInto(UserId u, std::span<double> out) const override;
   void ScoreBatchInto(std::span<const UserId> users,
@@ -70,6 +78,7 @@ class RsvdRecommender : public Recommender {
   FactorView View() const;
 
   RsvdConfig config_;
+  EpochCallback epoch_callback_;    // observability only; never saved
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   uint64_t train_fingerprint_ = 0;  // content hash of the fitted train set

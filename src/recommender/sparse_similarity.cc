@@ -19,23 +19,31 @@ SparseMatrix SampleUserProfiles(const RatingDataset& train,
   // One sequential Rng, draws consumed only for oversized rows in user
   // order: the exact sequence the legacy in-loop sampling produced.
   // Rows within the cap stream straight from the dataset (Shuffle
-  // mutates, so only oversized rows pay the copy).
+  // mutates, so only oversized rows pay the copy). Rows arrive through
+  // the budgeted window sweep, so a mapped dataset never needs full
+  // residency; windows run front-to-back, which preserves the draw
+  // sequence for any budget.
   Rng rng(seed);
   std::vector<ItemRating> sampled;
-  for (UserId u = 0; u < num_users; ++u) {
-    std::span<const ItemRating> row = train.ItemsOf(u);
-    if (static_cast<int32_t>(row.size()) > max_profile) {
-      sampled.assign(row.begin(), row.end());
-      rng.Shuffle(&sampled);
-      sampled.resize(static_cast<size_t>(max_profile));
-      row = sampled;
-    }
-    for (const ItemRating& ir : row) {
-      m.ids.push_back(ir.item);
-      m.values.push_back(static_cast<double>(ir.value));
-    }
-    m.offsets.push_back(m.ids.size());
-  }
+  const Status swept = train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          std::span<const ItemRating> row = train.ItemsOf(u);
+          if (static_cast<int32_t>(row.size()) > max_profile) {
+            sampled.assign(row.begin(), row.end());
+            rng.Shuffle(&sampled);
+            sampled.resize(static_cast<size_t>(max_profile));
+            row = sampled;
+          }
+          for (const ItemRating& ir : row) {
+            m.ids.push_back(ir.item);
+            m.values.push_back(static_cast<double>(ir.value));
+          }
+          m.offsets.push_back(m.ids.size());
+        }
+        return Status::OK();
+      });
+  (void)swept;  // row-validation errors surface from the caller's sweep
   return m;
 }
 
@@ -43,19 +51,57 @@ SparseMatrix SampleItemAudiences(const RatingDataset& train,
                                  int32_t max_audience, uint64_t seed,
                                  std::span<const double> user_mean) {
   const int32_t num_items = train.num_items();
+  // Item-major audiences come from a counting-sort transpose of the CSR
+  // rows, built in two budgeted window sweeps so a mapped dataset never
+  // needs the CSC index (or full residency). Users fill each audience in
+  // ascending order — the same order the CSC view lists them — and the
+  // sampling Rng is consumed in ascending item order afterwards, so the
+  // result is budget-invariant and matches the legacy CSC-based builder
+  // on user-major datasets.
+  std::vector<size_t> col_off(static_cast<size_t>(num_items) + 1, 0);
+  Status swept = train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            ++col_off[static_cast<size_t>(ir.item) + 1];
+          }
+        }
+        return Status::OK();
+      });
+  (void)swept;  // row-validation errors surface from the caller's sweep
+  for (size_t i = 0; i < static_cast<size_t>(num_items); ++i) {
+    col_off[i + 1] += col_off[i];
+  }
+  const size_t nnz = col_off[static_cast<size_t>(num_items)];
+  std::vector<UserRating> audiences(nnz);
+  std::vector<size_t> cursor(col_off.begin(), col_off.end() - 1);
+  swept = train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            audiences[cursor[static_cast<size_t>(ir.item)]++] =
+                UserRating{u, ir.value};
+          }
+        }
+        return Status::OK();
+      });
+  (void)swept;
+
   SparseMatrix m;
   m.offsets.reserve(static_cast<size_t>(num_items) + 1);
   m.offsets.push_back(0);
   const size_t cap = std::min<size_t>(
-      static_cast<size_t>(train.num_ratings()),
-      static_cast<size_t>(num_items) *
-          static_cast<size_t>(std::max(max_audience, 0)));
+      nnz, static_cast<size_t>(num_items) *
+               static_cast<size_t>(std::max(max_audience, 0)));
   m.ids.reserve(cap);
   m.values.reserve(cap);
   Rng rng(seed);
   std::vector<UserRating> sampled;
   for (ItemId i = 0; i < num_items; ++i) {
-    std::span<const UserRating> col = train.UsersOf(i);
+    std::span<const UserRating> col{
+        audiences.data() + col_off[static_cast<size_t>(i)],
+        col_off[static_cast<size_t>(i) + 1] -
+            col_off[static_cast<size_t>(i)]};
     if (static_cast<int32_t>(col.size()) > max_audience) {
       sampled.assign(col.begin(), col.end());
       rng.Shuffle(&sampled);

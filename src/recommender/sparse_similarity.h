@@ -70,7 +70,9 @@ SparseMatrix SampleUserProfiles(const RatingDataset& train,
 /// The pre-sampled item -> (user, value - user_mean) view UserKNN
 /// trains on: audiences longer than `max_audience` are subsampled
 /// (items ascending, same draw sequence as the legacy builder), and
-/// values are mean-centered per user.
+/// values are mean-centered per user. Audiences are assembled by a
+/// budgeted counting-sort transpose of the CSR rows, so a mapped
+/// dataset needs neither its CSC index nor full residency.
 SparseMatrix SampleItemAudiences(const RatingDataset& train,
                                  int32_t max_audience, uint64_t seed,
                                  std::span<const double> user_mean);

@@ -1,0 +1,58 @@
+#include "recommender/train_sweep.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ganc {
+
+namespace {
+uint64_t SplitMix64Finalize(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+uint64_t MixSeed(uint64_t seed, uint64_t epoch, uint64_t block) {
+  return SplitMix64Finalize(SplitMix64Finalize(seed ^ (epoch * 0xA24BAED4963EE407ULL)) + block);
+}
+
+Status SweepUserBlocks(
+    const RatingDataset& train, int32_t user_block, ThreadPool* pool,
+    const std::function<Status(const UserBlock&)>& block_fn,
+    const std::function<Status(const UserBlock&)>& merge_fn) {
+  const int32_t block = std::max<int32_t>(user_block, 1);
+  return train.SweepRowWindows(
+      train.train_budget_bytes(), block, [&](const RowWindow& w) -> Status {
+        // Window bounds are block-aligned by construction, so global
+        // block indexes are recoverable from the user range alone.
+        const int64_t b0 = static_cast<int64_t>(w.begin) / block;
+        const int64_t b1 =
+            (static_cast<int64_t>(w.end) + block - 1) / block;
+        const auto block_at = [&](int64_t b) {
+          UserBlock ub;
+          ub.index = b;
+          ub.begin = static_cast<UserId>(b * block);
+          ub.end = static_cast<UserId>(
+              std::min<int64_t>((b + 1) * static_cast<int64_t>(block),
+                                static_cast<int64_t>(w.end)));
+          return ub;
+        };
+        std::vector<Status> statuses(static_cast<size_t>(b1 - b0));
+        ParallelFor(pool, 0, statuses.size(), [&](size_t j) {
+          statuses[j] = block_fn(block_at(b0 + static_cast<int64_t>(j)));
+        });
+        for (const Status& s : statuses) {
+          GANC_RETURN_NOT_OK(s);
+        }
+        if (merge_fn) {
+          for (int64_t b = b0; b < b1; ++b) {
+            GANC_RETURN_NOT_OK(merge_fn(block_at(b)));
+          }
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace ganc

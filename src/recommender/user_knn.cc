@@ -25,22 +25,29 @@ Status UserKnnRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
   train_ = &train;
   const int32_t num_users = train.num_users();
 
-  // Per-user means and centered norms.
+  // Per-user means and centered norms, streamed through the budgeted
+  // window sweep (validates mapped rows; later sweeps reuse the
+  // watermark).
   user_mean_.assign(static_cast<size_t>(num_users), 0.0);
   std::vector<double> norms(static_cast<size_t>(num_users), 0.0);
-  for (UserId u = 0; u < num_users; ++u) {
-    const auto& row = train.ItemsOf(u);
-    if (row.empty()) continue;
-    double acc = 0.0;
-    for (const ItemRating& ir : row) acc += ir.value;
-    user_mean_[static_cast<size_t>(u)] =
-        acc / static_cast<double>(row.size());
-    for (const ItemRating& ir : row) {
-      const double c = ir.value - user_mean_[static_cast<size_t>(u)];
-      norms[static_cast<size_t>(u)] += c * c;
-    }
-    norms[static_cast<size_t>(u)] = std::sqrt(norms[static_cast<size_t>(u)]);
-  }
+  GANC_RETURN_NOT_OK(train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          const auto& row = train.ItemsOf(u);
+          if (row.empty()) continue;
+          double acc = 0.0;
+          for (const ItemRating& ir : row) acc += ir.value;
+          user_mean_[static_cast<size_t>(u)] =
+              acc / static_cast<double>(row.size());
+          for (const ItemRating& ir : row) {
+            const double c = ir.value - user_mean_[static_cast<size_t>(u)];
+            norms[static_cast<size_t>(u)] += c * c;
+          }
+          norms[static_cast<size_t>(u)] =
+              std::sqrt(norms[static_cast<size_t>(u)]);
+        }
+        return Status::OK();
+      }));
 
   // Inverted-index sweep over the pre-sampled, pre-centered audiences:
   // per user pair the centered co-ratings accumulate in ascending item
@@ -52,11 +59,10 @@ Status UserKnnRecommender::Fit(const RatingDataset& train, ThreadPool* pool) {
       by_user, sampled, norms, config_.num_neighbors, pool);
   neighbor_offsets_ = std::move(lists.offsets);
   neighbors_ = std::move(lists.entries);
-  BuildScoringRows(train);
-  return Status::OK();
+  return BuildScoringRows(train);
 }
 
-void UserKnnRecommender::BuildScoringRows(const RatingDataset& train) {
+Status UserKnnRecommender::BuildScoringRows(const RatingDataset& train) {
   const int32_t num_users = train.num_users();
   row_offsets_.clear();
   row_offsets_.reserve(static_cast<size_t>(num_users) + 1);
@@ -65,14 +71,18 @@ void UserKnnRecommender::BuildScoringRows(const RatingDataset& train) {
   row_centered_.clear();
   row_items_.reserve(static_cast<size_t>(train.num_ratings()));
   row_centered_.reserve(static_cast<size_t>(train.num_ratings()));
-  for (UserId u = 0; u < num_users; ++u) {
-    const double mean = user_mean_[static_cast<size_t>(u)];
-    for (const ItemRating& ir : train.ItemsOf(u)) {
-      row_items_.push_back(ir.item);
-      row_centered_.push_back(static_cast<double>(ir.value) - mean);
-    }
-    row_offsets_.push_back(row_items_.size());
-  }
+  return train.SweepRowWindows(
+      train.train_budget_bytes(), 1, [&](const RowWindow& w) {
+        for (UserId u = w.begin; u < w.end; ++u) {
+          const double mean = user_mean_[static_cast<size_t>(u)];
+          for (const ItemRating& ir : train.ItemsOf(u)) {
+            row_items_.push_back(ir.item);
+            row_centered_.push_back(static_cast<double>(ir.value) - mean);
+          }
+          row_offsets_.push_back(row_items_.size());
+        }
+        return Status::OK();
+      });
 }
 
 void UserKnnRecommender::ScoreInto(UserId u, std::span<double> out) const {
@@ -173,8 +183,7 @@ Status UserKnnRecommender::Load(ArtifactReader& r, const RatingDataset* train) {
   user_mean_ = std::move(means);
   neighbor_offsets_ = std::move(offsets);
   neighbors_ = std::move(entries);
-  BuildScoringRows(*train);
-  return Status::OK();
+  return BuildScoringRows(*train);
 }
 
 }  // namespace ganc

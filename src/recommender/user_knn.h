@@ -68,8 +68,9 @@ class UserKnnRecommender : public Recommender {
             neighbor_offsets_[r + 1] - neighbor_offsets_[r]};
   }
 
-  /// Flattens the bound train set into pre-centered CSR scoring rows.
-  void BuildScoringRows(const RatingDataset& train);
+  /// Flattens the bound train set into pre-centered CSR scoring rows via
+  /// the budgeted window sweep (validates mapped rows as a side effect).
+  Status BuildScoringRows(const RatingDataset& train);
 
   UserKnnConfig config_;
   int32_t num_items_ = 0;

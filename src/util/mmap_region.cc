@@ -1,5 +1,7 @@
 #include "util/mmap_region.h"
 
+#include <cstdint>
+
 #if defined(__unix__) || defined(__APPLE__)
 #define GANC_HAS_MMAP 1
 #include <fcntl.h>
@@ -67,6 +69,19 @@ void MmapRegion::Reset() {
   }
 }
 
+void ReleaseMappedPages(const void* p, size_t len) {
+  if (p == nullptr || len == 0) return;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(p);
+  const uintptr_t hi = lo + len;
+  // Shrink inward to whole pages so neighbouring data sharing an edge
+  // page is never dropped out from under a concurrent reader.
+  const uintptr_t first = (lo + page - 1) / page * page;
+  const uintptr_t last = hi / page * page;
+  if (first >= last) return;
+  ::madvise(reinterpret_cast<void*>(first), last - first, MADV_DONTNEED);
+}
+
 #else  // !GANC_HAS_MMAP
 
 Result<MmapRegion> MmapRegion::Map(const std::string& path) {
@@ -75,6 +90,11 @@ Result<MmapRegion> MmapRegion::Map(const std::string& path) {
 }
 
 void MmapRegion::Reset() {}
+
+void ReleaseMappedPages(const void* p, size_t len) {
+  (void)p;
+  (void)len;
+}
 
 #endif  // GANC_HAS_MMAP
 

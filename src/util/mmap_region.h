@@ -53,6 +53,17 @@ class MmapRegion {
   size_t size_ = 0;
 };
 
+/// Drops the resident pages of `[p, p + len)` back to the kernel. The
+/// range MUST lie inside a read-only file mapping (MmapRegion): for a
+/// private file mapping MADV_DONTNEED simply discards the clean pages,
+/// which refault from the page cache on the next touch — this is how
+/// chunked sweeps keep a bounded RSS over datasets larger than memory.
+/// Never pass heap memory (there DONTNEED would zero live data). The
+/// range is shrunk inward to whole pages; a sub-page range is a no-op,
+/// as is any call on a platform without mmap. Advisory: failures are
+/// ignored.
+void ReleaseMappedPages(const void* p, size_t len);
+
 }  // namespace ganc
 
 #endif  // GANC_UTIL_MMAP_REGION_H_

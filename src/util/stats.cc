@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
 
 namespace ganc {
 
@@ -179,6 +182,18 @@ std::vector<BinnedMeansRow> BinnedMeans(const std::vector<double>& x,
                    sums[b] / static_cast<double>(counts[b]), counts[b]});
   }
   return out;
+}
+
+double PeakRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) {
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace ganc

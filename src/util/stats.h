@@ -82,6 +82,11 @@ std::vector<BinnedMeansRow> BinnedMeans(const std::vector<double>& x,
                                         const std::vector<double>& y,
                                         size_t bins);
 
+/// Peak resident set size of this process in MiB (Linux VmHWM high-water
+/// mark; 0 where /proc/self/status is unavailable). Shared by the train
+/// command's per-epoch reporting and the scale bench's RSS phases.
+double PeakRssMb();
+
 }  // namespace ganc
 
 #endif  // GANC_UTIL_STATS_H_

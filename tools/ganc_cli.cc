@@ -62,6 +62,7 @@
 #include "util/binary_io.h"
 #include "util/flags.h"
 #include "util/serialize.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -99,8 +100,14 @@ void Usage() {
       "                [--factor-precision=fp64|fp32|int8]  (compact the\n"
       "                 fitted factor tables before saving/serving)\n"
       "                [--theta=a|n|t|g|r|c] [--crec=rand|stat|dyn]\n"
-      "                [--threads=1]   (parallel KNN similarity sweeps;\n"
+      "                [--threads=1]   (parallel blocked trainers;\n"
       "                 artifacts are byte-identical to --threads=1)\n"
+      "                [--train-memory-budget=MIB]  (out-of-core fit: cap\n"
+      "                 on resident rating rows per sweep window; with\n"
+      "                 --kappa=1 and a mapped --dataset-cache the full\n"
+      "                 rating matrix is never materialized. 0 = one\n"
+      "                 window. The fitted model is identical for every\n"
+      "                 budget.)\n"
       "\n"
       "recommend (default command):\n"
       "                [--arec=...] | [--load-model=PATH] |\n"
@@ -230,7 +237,8 @@ int ReportRun(const Recommender& base, const std::string& ganc_name,
   return 0;
 }
 
-Result<Prepared> Prepare(const Flags& flags, bool print_summary) {
+Result<Prepared> Prepare(const Flags& flags, bool print_summary,
+                         bool ensure_resident = true) {
   Result<RatingDataset> dataset = LoadDatasetFromFlags(flags);
   if (!dataset.ok()) return dataset.status();
   auto kappa = flags.GetDouble("kappa", 0.5);
@@ -262,10 +270,14 @@ Result<Prepared> Prepare(const Flags& flags, bool print_summary) {
     prepared.dataset = std::move(dataset).value();
     prepared.split = std::move(split).value();
   }
-  // Every CLI command scores or summarizes through the train split's
+  // Most CLI commands score or summarize through the train split's
   // derived indexes, so a mapped kappa=1 train materializes here, once.
-  // (ganc_serve's store-backed path is the one that stays lazy.)
-  GANC_RETURN_NOT_OK(prepared.split.train.EnsureResident());
+  // (ganc_serve's store-backed path stays lazy, and `train` passes
+  // ensure_resident=false: the trainers consume the budgeted row-window
+  // sweep and never need the full matrix resident.)
+  if (ensure_resident) {
+    GANC_RETURN_NOT_OK(prepared.split.train.EnsureResident());
+  }
   if (print_summary) {
     const RatingDataset& full =
         whole_corpus ? prepared.split.train : prepared.dataset;
@@ -321,11 +333,21 @@ int Train(const Flags& flags) {
                  "train requires --save-model=PATH or --save-pipeline=PATH\n");
     return 1;
   }
-  Result<Prepared> prepared = Prepare(flags, /*print_summary=*/true);
+  auto budget_mb = flags.GetInt("train-memory-budget", 0);
+  if (!budget_mb.ok() || *budget_mb < 0) {
+    std::fprintf(stderr, "bad --train-memory-budget flag\n");
+    return 1;
+  }
+  // Trainers stream the split through budgeted row-window sweeps, so the
+  // mapped kappa=1 path never needs the full matrix resident.
+  Result<Prepared> prepared =
+      Prepare(flags, /*print_summary=*/true, /*ensure_resident=*/false);
   if (!prepared.ok()) {
     std::fprintf(stderr, "load: %s\n", prepared.status().ToString().c_str());
     return 1;
   }
+  prepared->split.train.set_train_budget_bytes(*budget_mb *
+                                               int64_t{1024 * 1024});
   const RatingDataset& train = prepared->split.train;
 
   const std::string arec_name = flags.GetString("arec", "psvd100");
@@ -334,13 +356,19 @@ int Train(const Flags& flags) {
     std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
     return 1;
   }
+  WallTimer epoch_timer;
+  (*base)->SetEpochCallback([&epoch_timer](int32_t epoch, int32_t total) {
+    std::printf("epoch %d/%d  %.1f ms  peak RSS %.1f MB\n", epoch, total,
+                epoch_timer.ElapsedMillis(), PeakRssMb());
+    epoch_timer.Reset();
+  });
   WallTimer fit_timer;
   if (Status s = (*base)->Fit(train, pool.get()); !s.ok()) {
     std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("trained %s in %.1f ms\n", (*base)->name().c_str(),
-              fit_timer.ElapsedMillis());
+  std::printf("trained %s in %.1f ms (peak RSS %.1f MB)\n",
+              (*base)->name().c_str(), fit_timer.ElapsedMillis(), PeakRssMb());
   if (Status s = ApplyFactorPrecision(flags, base->get()); !s.ok()) {
     std::fprintf(stderr, "factor-precision: %s\n", s.ToString().c_str());
     return 1;
@@ -1150,7 +1178,7 @@ int main(int argc, char** argv) {
       "save-model",    "save-pipeline", "load-model",   "load-pipeline",
       "users",         "head-users",   "factor-precision", "list",
       "mmap",          "items",        "mean-activity", "verbose",
-      "requests",      "shards",       "help"};
+      "requests",      "shards",       "train-memory-budget", "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
