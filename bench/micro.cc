@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
@@ -42,7 +43,9 @@
 #include "serve/service_shard.h"
 #include "serve/shard_router.h"
 #include "util/kde.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "util/stats.h"
 #include "util/top_k.h"
 
@@ -788,14 +791,27 @@ void BM_RouterTopN(benchmark::State& state) {
   // convention), one router per shard count.
   static ShardRouter* one = MakeRouter(1);
   static ShardRouter* three = MakeRouter(3);
+  // The production request path runs with metrics on and 1-in-16 trace
+  // sampling, so that is what this bench measures: every iteration pays
+  // the sampling decision, sampled ones carry a live RequestTrace
+  // through the router and commit it to the ring.
+  static TraceRing* ring = new TraceRing(256, 16, 0x6a4c431d2f10ull);
+  static std::atomic<uint64_t> seq_counter{0};
   ShardRouter* router = state.range(0) == 1 ? one : three;
   const int32_t num_users = router->num_users();
   UserId u = static_cast<UserId>((state.thread_index() * 131) % num_users);
   std::vector<ItemId> out;
   for (auto _ : state) {
-    if (!router->TopNInto(u, 10, {}, &out).ok()) {
+    const uint64_t seq = seq_counter.fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<RequestTrace> trace =
+        ring->ShouldSample(seq) ? ring->Begin(seq) : nullptr;
+    if (!router->TopNInto(u, 10, {}, &out, nullptr, trace.get()).ok()) {
       state.SkipWithError("router TopN failed");
       return;
+    }
+    if (trace != nullptr) {
+      trace->Stamp(TraceStage::kRespond, MonotonicNowNs());
+      ring->Commit(std::move(trace));
     }
     benchmark::DoNotOptimize(out.data());
     u = static_cast<UserId>((u + 1) % num_users);

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "util/binary_io.h"
+#include "util/metrics.h"
 #include "util/mmap_region.h"
 #include "util/serialize.h"
 
@@ -245,8 +246,17 @@ std::vector<RowWindow> RatingDataset::PlanRowWindows(
 Status RatingDataset::SweepRowWindows(
     int64_t budget_bytes, int32_t align_users,
     const std::function<Status(const RowWindow&)>& fn) const {
+  // Sweep accounting: one resolve per process, relaxed increments per
+  // window — negligible against the O(rows) work each window does.
+  static Counter* const sweep_windows = MetricsRegistry::Global().GetCounter(
+      "data_sweep_windows_total",
+      "Budgeted row windows visited by dataset sweeps.");
+  static Counter* const sweep_rows = MetricsRegistry::Global().GetCounter(
+      "data_sweep_rows_total", "Ratings visited by dataset row sweeps.");
   const bool mapped = mapped_ != nullptr;
   for (const RowWindow& w : PlanRowWindows(budget_bytes, align_users)) {
+    sweep_windows->Increment();
+    sweep_rows->Increment(static_cast<uint64_t>(w.nnz));
     if (mapped) {
       // First full pass doubles as the deferred row validation; the
       // watermark only ever advances front-to-back, so a later sweep

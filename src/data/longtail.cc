@@ -6,14 +6,19 @@
 namespace ganc {
 
 LongTailInfo ComputeLongTail(const RatingDataset& train, double head_mass) {
-  const int32_t n_items = train.num_items();
-  LongTailInfo info;
-  info.is_long_tail.assign(static_cast<size_t>(n_items), true);
-
   // One row-sweep popularity pass instead of per-item CSC lookups, so
   // the computation works on mapped datasets without residency. The
   // counts are exact integers either way.
-  const std::vector<double> pop = train.PopularityVector();
+  return ComputeLongTailFromCounts(train.PopularityVector(),
+                                   train.num_ratings(), head_mass);
+}
+
+LongTailInfo ComputeLongTailFromCounts(std::span<const double> pop,
+                                       int64_t total_ratings,
+                                       double head_mass) {
+  const int32_t n_items = static_cast<int32_t>(pop.size());
+  LongTailInfo info;
+  info.is_long_tail.assign(static_cast<size_t>(n_items), true);
   const auto pop_of = [&](ItemId i) { return pop[static_cast<size_t>(i)]; };
 
   std::vector<ItemId> order(static_cast<size_t>(n_items));
@@ -25,7 +30,7 @@ LongTailInfo ComputeLongTail(const RatingDataset& train, double head_mass) {
     return a < b;
   });
 
-  const double total = static_cast<double>(train.num_ratings());
+  const double total = static_cast<double>(total_ratings);
   double cum = 0.0;
   int64_t head_count = 0;
   for (ItemId i : order) {

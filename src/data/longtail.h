@@ -9,6 +9,7 @@
 #define GANC_DATA_LONGTAIL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,15 @@ struct LongTailInfo {
 /// is long-tail.
 LongTailInfo ComputeLongTail(const RatingDataset& train,
                              double head_mass = 0.8);
+
+/// Same partition from an already-computed popularity vector
+/// (pop[i] = exact train rating count of item i) and the total rating
+/// count. Callers that already swept the dataset for popularity — the
+/// serving tier's domain accountant — reuse their counts instead of
+/// paying a second sweep; ComputeLongTail delegates here.
+LongTailInfo ComputeLongTailFromCounts(std::span<const double> pop,
+                                       int64_t total_ratings,
+                                       double head_mass = 0.8);
 
 /// One row of the paper's Table II.
 struct DatasetSummary {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/serve_metrics.h"
+
 namespace ganc {
 
 MicroBatcher::MicroBatcher(BatchFn fn, MicroBatcherConfig config)
@@ -89,6 +91,13 @@ void MicroBatcher::WorkerLoop() {
       full_batches_.fetch_add(1, std::memory_order_relaxed);
     }
     if (waited) waited_flushes_.fetch_add(1, std::memory_order_relaxed);
+    if (const ServeInstruments* m = config_.metrics; m != nullptr) {
+      m->batches->Increment();
+      m->batched_requests->Increment(batch.size());
+      if (batch.size() == config_.batch_size) m->full_batches->Increment();
+      if (waited) m->waited_flushes->Increment();
+      m->batch_fill->Observe(batch.size());
+    }
     for (BatchRequest* r : batch) r->done.release();
   }
 }

@@ -49,6 +49,9 @@
 
 namespace ganc {
 
+struct RequestTrace;
+struct ServeInstruments;
+
 /// One in-flight request. The caller owns the storage (stack-allocated
 /// in Submit's caller), the batch function fills `*out` / `status`, and
 /// `done` hands the result back; `exclusions` is borrowed and must stay
@@ -58,6 +61,9 @@ struct BatchRequest {
   int n = 0;
   std::span<const ItemId> exclusions;
   std::vector<ItemId>* out = nullptr;
+  /// Sampled trace to stamp scoring stages on (null = unsampled).
+  /// Borrowed; valid until `done` is released.
+  RequestTrace* trace = nullptr;
   Status status;
   std::binary_semaphore done{0};
 };
@@ -72,6 +78,9 @@ struct MicroBatcherConfig {
   /// Upper bound on how long a worker holds a partial block open for
   /// more requests (only when more are provably on their way).
   std::chrono::microseconds max_batch_wait{200};
+  /// Pre-resolved scheduling instruments to mirror the counters into
+  /// (borrowed, may be null; must outlive the batcher).
+  const ServeInstruments* metrics = nullptr;
 };
 
 /// Bounded-wait request micro-batcher. The batch function receives up to

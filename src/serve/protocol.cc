@@ -92,6 +92,12 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
     req.command = ServeCommand::kShards;
   } else if (verb == "STATS") {
     req.command = ServeCommand::kStats;
+  } else if (verb == "METRICS") {
+    req.command = ServeCommand::kMetrics;
+  } else if (verb == "METRICSNAP") {
+    req.command = ServeCommand::kMetricSnap;
+  } else if (verb == "TRACE") {
+    req.command = ServeCommand::kTrace;
   } else if (verb == "PING") {
     req.command = ServeCommand::kPing;
   } else if (verb == "QUIT") {
@@ -163,9 +169,21 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
         return Status::InvalidArgument("PUBLISH requires path=<artifact>");
       }
       break;
+    case ServeCommand::kTrace:
+      // TRACE takes one optional n=<count>; anything else is a typo'd
+      // request, not a silently-ignored key.
+      if (has_user || has_items || has_path || !req.session.empty()) {
+        return Status::InvalidArgument("TRACE takes only n=<count>");
+      }
+      if (req.n < 0) {
+        return Status::InvalidArgument("TRACE n must be non-negative");
+      }
+      break;
     case ServeCommand::kVersion:
     case ServeCommand::kShards:
     case ServeCommand::kStats:
+    case ServeCommand::kMetrics:
+    case ServeCommand::kMetricSnap:
     case ServeCommand::kPing:
     case ServeCommand::kQuit:
       if (tokens.size() > 1) {
@@ -205,6 +223,13 @@ std::string FormatOk(std::string_view body) {
     out.push_back(' ');
     out += std::string(body);
   }
+  return out;
+}
+
+std::string FormatFramedHeader(std::string_view what, size_t lines) {
+  std::string out = "OK ";
+  out += std::string(what);
+  out += " lines=" + std::to_string(lines);
   return out;
 }
 

@@ -9,6 +9,9 @@
 //   VERSION
 //   SHARDS
 //   STATS
+//   METRICS
+//   METRICSNAP
+//   TRACE [n=<count>]
 //   PING
 //   QUIT
 //
@@ -27,6 +30,14 @@
 // zero-downtime snapshot-swap control verb (see serve/service_shard.h);
 // path= is a single whitespace-free token — artifact paths with spaces
 // are not representable on this wire.
+//
+// METRICS and TRACE are the only framed (multi-line) responses: a
+// header line "OK metrics lines=<N>" / "OK traces lines=<N>" followed
+// by exactly N payload lines, so a client always knows how many lines
+// to read before the next response. METRICSNAP stays single-line
+// ("OK metricsnap <GANCM1 payload>") — it is the machine-to-machine
+// scrape the multiprocess router uses to gather children, and the
+// payload line is a MetricsSnapshot::Serialize() round-trip.
 //
 // This module is pure string <-> struct translation — no sockets, no
 // service calls — so the frontend and the protocol tests share one
@@ -55,6 +66,9 @@ enum class ServeCommand {
   kVersion,  ///< report the serving snapshot version(s)
   kShards,   ///< report the shard layout
   kStats,
+  kMetrics,     ///< framed Prometheus-style text exposition
+  kMetricSnap,  ///< single-line serialized snapshot (parent<->child scrape)
+  kTrace,       ///< framed dump of the N most recent request timelines
   kPing,
   kQuit,
 };
@@ -63,7 +77,7 @@ enum class ServeCommand {
 struct ServeRequest {
   ServeCommand command = ServeCommand::kPing;
   UserId user = -1;            ///< TOPN(V) / CONSUME
-  int n = 0;                   ///< TOPN(V); 0 = server default
+  int n = 0;                   ///< TOPN(V) list length / TRACE count; 0 = default
   std::string session;         ///< optional TOPN(V) session / CONSUME target
   std::vector<ItemId> items;   ///< TOPN(V) exclude= / CONSUME items=
   std::string path;            ///< PUBLISH artifact path
@@ -87,6 +101,11 @@ std::string FormatVersionedTopNResponse(UserId user, int n, uint64_t version,
 
 /// "OK <body>".
 std::string FormatOk(std::string_view body);
+
+/// Framing header for a multi-line response: "OK <what> lines=<N>",
+/// followed by exactly N payload lines the caller writes itself. Used
+/// by METRICS ("metrics") and TRACE ("traces").
+std::string FormatFramedHeader(std::string_view what, size_t lines);
 
 /// "ERR <message>" (newlines in the message are replaced so the
 /// response stays one line).

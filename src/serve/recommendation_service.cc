@@ -18,13 +18,6 @@ namespace {
 // collide across snapshot swaps within a process.
 std::atomic<uint64_t> g_next_snapshot_version{1};
 
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 void UpdateMax(std::atomic<uint64_t>& target, uint64_t value) {
   uint64_t seen = target.load(std::memory_order_relaxed);
   while (value > seen &&
@@ -79,6 +72,15 @@ Status RecommendationService::Init(const Recommender* model,
     factor_precision_ = pipeline->factor_precision();
   }
   num_items_ = train_->num_items();
+  MetricsRegistry& registry = *metrics_registry();
+  instruments_ = ServeInstruments::Resolve(registry);
+  if (config_.domain_metrics) {
+    Result<std::unique_ptr<DomainAccountant>> acct = DomainAccountant::Create(
+        *train_, registry, config_.metrics_generation,
+        config_.domain_sweep_budget_bytes);
+    if (!acct.ok()) return acct.status();
+    domain_ = std::move(acct).value();
+  }
   if (config_.cache_capacity > 0) {
     cache_ = std::make_unique<ServeResultCache>(config_.cache_capacity,
                                                 config_.cache_shards);
@@ -89,6 +91,7 @@ Status RecommendationService::Init(const Recommender* model,
     mb.batch_size = std::max<size_t>(config_.batch_size, 1);
     mb.max_batch_wait =
         std::chrono::microseconds(std::max(config_.max_batch_wait_us, 0));
+    mb.metrics = &instruments_;
     batcher_ = std::make_unique<MicroBatcher>(
         [this](std::span<BatchRequest* const> batch, ScoringContext& ctx) {
           ScoreAndSelect(batch, ctx);
@@ -172,15 +175,32 @@ Status RecommendationService::ValidateRequest(
 
 Status RecommendationService::TopNInto(UserId user, int n,
                                        std::span<const ItemId> exclusions,
-                                       std::vector<ItemId>* out) {
-  const uint64_t start_us = NowMicros();
+                                       std::vector<ItemId>* out,
+                                       RequestTrace* trace) {
+  const uint64_t start_ns = MonotonicNowNs();
   if (n == 0) n = config_.default_n;
-  GANC_RETURN_NOT_OK(ValidateRequest(user, n, exclusions));
+  if (const Status valid = ValidateRequest(user, n, exclusions);
+      !valid.ok()) {
+    instruments_.errors->Increment();
+    if (trace != nullptr) trace->outcome = 'e';
+    return valid;
+  }
+  // The acceptance identity the metrics tests pin: every request
+  // counted here resolves through exactly one of the cache / store /
+  // live exits below, so requests == cache_hits + store_hits +
+  // live_scored in every topology (errors are counted separately and
+  // never reach this line).
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const auto record_latency = [&] {
-    const uint64_t elapsed = NowMicros() - start_us;
-    latency_us_sum_.fetch_add(elapsed, std::memory_order_relaxed);
-    UpdateMax(latency_us_max_, elapsed);
+  instruments_.requests->Increment();
+  if (trace != nullptr) trace->user = user;
+  const auto record_latency = [&](char outcome) {
+    const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
+    instruments_.request_ns->Observe(elapsed_ns);
+    const uint64_t elapsed_us = elapsed_ns / 1000;
+    latency_us_sum_.fetch_add(elapsed_us, std::memory_order_relaxed);
+    UpdateMax(latency_us_max_, elapsed_us);
+    if (domain_ != nullptr) domain_->Record(*out);
+    if (trace != nullptr) trace->outcome = outcome;
   };
 
   // Canonicalize the exclusion set so equal sets share one cache entry
@@ -192,10 +212,19 @@ Status RecommendationService::TopNInto(UserId user, int n,
 
   const ServeResultCache::Key key{user, n, ExclusionFingerprint(canonical),
                                   version_};
-  if (cache_ != nullptr && cache_->Lookup(key, out)) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    record_latency();
-    return Status::OK();
+  if (cache_ != nullptr) {
+    const uint64_t probe_ns = MonotonicNowNs();
+    const bool hit = cache_->Lookup(key, out);
+    const uint64_t probed_ns = MonotonicNowNs();
+    instruments_.cache_probe_ns->Observe(probed_ns - probe_ns);
+    if (trace != nullptr) trace->Stamp(TraceStage::kCacheProbe, probed_ns);
+    if (hit) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.cache_hits->Increment();
+      record_latency('c');
+      return Status::OK();
+    }
+    instruments_.cache_misses->Increment();
   }
 
   // The store holds default-request lists: no exclusion deltas, length
@@ -204,13 +233,18 @@ Status RecommendationService::TopNInto(UserId user, int n,
   // means the user's unrated candidates ran out, so the whole list is
   // already the full answer.
   if (store_ != nullptr && canonical.empty() && n <= store_->top_n()) {
+    const uint64_t probe_ns = MonotonicNowNs();
     const std::span<const ItemId> list = store_->ListFor(user);
+    const uint64_t probed_ns = MonotonicNowNs();
+    instruments_.store_probe_ns->Observe(probed_ns - probe_ns);
+    if (trace != nullptr) trace->Stamp(TraceStage::kStoreProbe, probed_ns);
     if (!list.empty()) {
       out->assign(list.begin(),
                   list.begin() + static_cast<ptrdiff_t>(std::min(
                                      list.size(), static_cast<size_t>(n))));
       store_hits_.fetch_add(1, std::memory_order_relaxed);
-      record_latency();
+      instruments_.store_hits->Increment();
+      record_latency('s');
       return Status::OK();
     }
   }
@@ -226,15 +260,28 @@ Status RecommendationService::TopNInto(UserId user, int n,
   req.n = n;
   req.exclusions = canonical;
   req.out = out;
+  req.trace = trace;
+  const uint64_t enqueue_ns = MonotonicNowNs();
+  if (trace != nullptr) trace->Stamp(TraceStage::kEnqueue, enqueue_ns);
   if (batcher_ != nullptr) {
-    GANC_RETURN_NOT_OK(batcher_->Submit(req));
+    if (const Status scored = batcher_->Submit(req); !scored.ok()) {
+      instruments_.errors->Increment();
+      if (trace != nullptr) trace->outcome = 'e';
+      return scored;
+    }
   } else {
     ScoreOneUnbatched(req);
-    GANC_RETURN_NOT_OK(req.status);
+    if (!req.status.ok()) {
+      instruments_.errors->Increment();
+      if (trace != nullptr) trace->outcome = 'e';
+      return req.status;
+    }
   }
+  instruments_.score_ns->Observe(MonotonicNowNs() - enqueue_ns);
   live_scored_.fetch_add(1, std::memory_order_relaxed);
+  instruments_.live_scored->Increment();
   if (cache_ != nullptr) cache_->Insert(key, *out);
-  record_latency();
+  record_latency('l');
   return Status::OK();
 }
 
@@ -252,14 +299,22 @@ void RecommendationService::ScoreAndSelect(
   users.clear();
   for (const BatchRequest* r : batch) users.push_back(r->user);
   const std::span<double> scores = ctx.BatchScores(users.size() * ni);
+  const uint64_t kernel_ns = MonotonicNowNs();
   if (model_ != nullptr) {
     model_->ScoreBatchInto(users, scores);
   } else {
     scorer_->ScoreBatchInto(users, scores);
   }
+  instruments_.kernel_ns->Observe(MonotonicNowNs() - kernel_ns);
   for (size_t b = 0; b < batch.size(); ++b) {
+    const uint64_t select_ns = MonotonicNowNs();
     SelectForRequest(*batch[b],
                      std::span<const double>(scores.subspan(b * ni, ni)), ctx);
+    const uint64_t selected_ns = MonotonicNowNs();
+    instruments_.select_ns->Observe(selected_ns - select_ns);
+    if (batch[b]->trace != nullptr) {
+      batch[b]->trace->Stamp(TraceStage::kScore, selected_ns);
+    }
   }
 }
 

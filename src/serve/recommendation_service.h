@@ -52,8 +52,11 @@
 #include "recommender/recommender.h"
 #include "serve/micro_batcher.h"
 #include "serve/result_cache.h"
+#include "serve/serve_metrics.h"
 #include "serve/topn_store.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace ganc {
 
@@ -83,6 +86,24 @@ struct ServiceConfig {
   /// tables are then served straight off the mapping), with transparent
   /// fallback to the stream loader. Pipelines are stream-only.
   bool mmap_artifacts = true;
+  /// Registry the service resolves its instruments from (null = the
+  /// process-global registry). A shard hands the same registry to every
+  /// replacement snapshot it publishes, so serving counters stay
+  /// monotonic across swaps.
+  std::shared_ptr<MetricsRegistry> metrics;
+  /// Publish-generation label for the domain (novelty/coverage) series:
+  /// `{gen="G"}`. 0 is the initially loaded snapshot; ServiceShard
+  /// bumps it per successful Publish. Unlike snapshot_version (a
+  /// process-global ticket), generations align across shard replicas
+  /// and across processes, which is what makes the merged domain series
+  /// meaningful.
+  uint64_t metrics_generation = 0;
+  /// Maintain live novelty/coverage accounting (one bounded popularity
+  /// sweep of the train set at service construction).
+  bool domain_metrics = true;
+  /// Row-payload residency budget for that sweep; <= 0 uses a fixed
+  /// modest default (see serve_metrics.cc).
+  int64_t domain_sweep_budget_bytes = 0;
 };
 
 /// Aggregated serving counters (monotonic; snapshot via stats()).
@@ -169,9 +190,11 @@ class RecommendationService {
   /// for `user` among their unrated train items minus `exclusions`,
   /// best-first. Blocking, thread-safe, deterministic: the same
   /// (snapshot, user, n, exclusion set) always yields the same list, no
-  /// matter how requests are batched or which thread asks.
+  /// matter how requests are batched or which thread asks. `trace`
+  /// (optional, borrowed for the duration of the call) receives stage
+  /// stamps when the request was sampled.
   Status TopNInto(UserId user, int n, std::span<const ItemId> exclusions,
-                  std::vector<ItemId>* out);
+                  std::vector<ItemId>* out, RequestTrace* trace = nullptr);
 
   /// Allocating convenience wrapper.
   Result<std::vector<ItemId>> TopN(UserId user, int n = 0,
@@ -204,6 +227,18 @@ class RecommendationService {
   bool micro_batching() const { return config_.micro_batching; }
 
   ServeStats stats() const;
+
+  /// The registry this service's instruments live in (the configured
+  /// one, or the process-global default). Routers dedupe snapshot
+  /// merges on this pointer.
+  MetricsRegistry* metrics_registry() const {
+    return config_.metrics != nullptr ? config_.metrics.get()
+                                      : &MetricsRegistry::Global();
+  }
+
+  /// Live domain accounting, null when disabled. Tests use the table
+  /// accessors to recompute novelty/coverage offline.
+  const DomainAccountant* domain_accountant() const { return domain_.get(); }
 
  private:
   RecommendationService(const RatingDataset& train, ServiceConfig config);
@@ -247,6 +282,11 @@ class RecommendationService {
   std::shared_ptr<const TopNStore> store_;
   std::unique_ptr<ServeResultCache> cache_;
   std::unique_ptr<MicroBatcher> batcher_;
+
+  /// Pre-resolved request-path instruments (stable address: the
+  /// batcher's config borrows a pointer to this member).
+  ServeInstruments instruments_;
+  std::unique_ptr<DomainAccountant> domain_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> cache_hits_{0};

@@ -67,12 +67,16 @@ Result<std::unique_ptr<ServiceShard>> ServiceShard::Adopt(
 Status ServiceShard::TopNInto(UserId user, int n,
                               std::span<const ItemId> exclusions,
                               std::vector<ItemId>* out,
-                              uint64_t* served_version) {
+                              uint64_t* served_version, RequestTrace* trace) {
   // Pin once: the whole request — ownership gate, scoring, version
   // attribution — runs against this snapshot even if a Publish swaps
   // the shard pointer mid-flight.
   const std::shared_ptr<RecommendationService> service = Pin();
   if (served_version != nullptr) *served_version = service->snapshot_version();
+  if (trace != nullptr) {
+    trace->shard = static_cast<int>(spec_.index);
+    trace->version = service->snapshot_version();
+  }
   // Misrouted in-range users are this shard's error; out-of-range ids
   // fall through so the rejection text matches an unsharded server.
   if (user >= 0 && user < num_users_ && !OwnsUser(user)) {
@@ -80,25 +84,46 @@ Status ServiceShard::TopNInto(UserId user, int n,
         "user " + std::to_string(user) + " not owned by shard " +
         std::to_string(spec_.index) + "/" + std::to_string(spec_.num_shards));
   }
-  return service->TopNInto(user, n, exclusions, out);
+  return service->TopNInto(user, n, exclusions, out, trace);
 }
 
 Status ServiceShard::Publish(const std::string& path) {
   std::lock_guard<std::mutex> lock(publish_mu_);
+  MetricsRegistry& registry = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : MetricsRegistry::Global();
+  const uint64_t start_ns = MonotonicNowNs();
   // Load outside the request path: requests keep hitting the old
   // snapshot until the exchange below. The artifact loader validates
   // the dataset fingerprint, so a snapshot trained against a different
-  // split is rejected here with the old service untouched.
+  // split is rejected here with the old service untouched. The
+  // replacement inherits this shard's registry (counters stay
+  // monotonic across the swap) under the next publish generation, so
+  // its domain series are distinguishable from the old snapshot's.
+  ServiceConfig fresh_config = config_;
+  fresh_config.metrics_generation = published_ + 1;
   Result<std::unique_ptr<RecommendationService>> fresh =
-      LoadSnapshot(kind_, path, *train_, config_);
+      LoadSnapshot(kind_, path, *train_, fresh_config);
   if (!fresh.ok()) {
     ++rejected_;
+    registry
+        .GetCounter("serve_publish_rejects_total",
+                    "Failed snapshot publishes (old snapshot kept).")
+        ->Increment();
     return fresh.status();
   }
   std::shared_ptr<RecommendationService> replaced = service_.exchange(
       std::shared_ptr<RecommendationService>(std::move(fresh).value()),
       std::memory_order_acq_rel);
   ++published_;
+  registry
+      .GetCounter("serve_publishes_total",
+                  "Successful zero-downtime snapshot swaps.")
+      ->Increment();
+  registry
+      .GetHistogram("serve_publish_ns",
+                    "Publish latency (artifact load + swap), nanoseconds.")
+      ->Observe(MonotonicNowNs() - start_ns);
   std::lock_guard<std::mutex> retired_lock(retired_mu_);
   retired_.push_back(std::move(replaced));
   PruneRetiredLocked();

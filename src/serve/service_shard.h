@@ -103,7 +103,8 @@ class ServiceShard {
   /// deployment byte-for-byte.
   Status TopNInto(UserId user, int n, std::span<const ItemId> exclusions,
                   std::vector<ItemId>* out,
-                  uint64_t* served_version = nullptr);
+                  uint64_t* served_version = nullptr,
+                  RequestTrace* trace = nullptr);
 
   /// Loads the artifact at `path` (fingerprint-validated against the
   /// bound train set), then atomically swaps it in. On failure the old
@@ -136,6 +137,14 @@ class ServiceShard {
   /// its last request completes).
   ServeStats stats() const;
   SwapCounters swap_counters() const;
+
+  /// Registry the live snapshot's instruments resolve from — stable
+  /// across Publish (the replacement service inherits the shard's
+  /// configured registry), so counters are monotonic per shard. Routers
+  /// dedupe their metrics merge on this pointer.
+  MetricsRegistry* metrics_registry() const {
+    return Pin()->metrics_registry();
+  }
 
  private:
   ServiceShard(std::unique_ptr<RecommendationService> service,

@@ -1,5 +1,6 @@
 #include "serve/shard_router.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ganc {
@@ -118,6 +119,18 @@ ServeStats ShardRouter::stats() const {
   ServeStats total;
   for (const auto& shard : shards_) total.Accumulate(shard->stats());
   return total;
+}
+
+MetricsSnapshot ShardRouter::SnapshotMetrics() const {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::vector<const MetricsRegistry*> seen{&MetricsRegistry::Global()};
+  for (const auto& shard : shards_) {
+    const MetricsRegistry* registry = shard->metrics_registry();
+    if (std::find(seen.begin(), seen.end(), registry) != seen.end()) continue;
+    seen.push_back(registry);
+    snap.MergeFrom(registry->Snapshot());
+  }
+  return snap;
 }
 
 SwapCounters ShardRouter::swap_counters() const {

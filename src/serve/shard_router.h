@@ -65,9 +65,12 @@ class ShardRouter {
   /// Routes one request to its owning shard.
   Status TopNInto(UserId user, int n, std::span<const ItemId> exclusions,
                   std::vector<ItemId>* out,
-                  uint64_t* served_version = nullptr) {
-    return shards_[IndexFor(user)]->TopNInto(user, n, exclusions, out,
-                                             served_version);
+                  uint64_t* served_version = nullptr,
+                  RequestTrace* trace = nullptr) {
+    const size_t index = IndexFor(user);
+    if (trace != nullptr) trace->Stamp(TraceStage::kRoute, MonotonicNowNs());
+    return shards_[index]->TopNInto(user, n, exclusions, out, served_version,
+                                    trace);
   }
 
   /// Publishes `path` to every shard in index order. On success
@@ -86,6 +89,12 @@ class ShardRouter {
   /// Counters summed across shards (latency max is the shard max).
   ServeStats stats() const;
   SwapCounters swap_counters() const;
+
+  /// Exact merge of the process-global registry and every distinct
+  /// shard registry (shards sharing one registry — e.g. all on the
+  /// global default — are merged once; dedupe is by registry pointer,
+  /// so nothing is ever double-counted).
+  MetricsSnapshot SnapshotMetrics() const;
 
   int default_n() const { return shards_[0]->default_n(); }
   int32_t num_users() const { return num_users_; }

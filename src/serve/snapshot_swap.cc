@@ -5,7 +5,35 @@
 #include <chrono>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace ganc {
+
+namespace {
+
+// Watcher events always land in the global registry: a watcher belongs
+// to the serving process, not to any one snapshot/registry.
+struct WatchInstruments {
+  Counter* polls;
+  Counter* publishes;
+  Counter* failures;
+};
+
+const WatchInstruments& WatchMetrics() {
+  static const WatchInstruments wi{
+      MetricsRegistry::Global().GetCounter(
+          "serve_watch_polls_total", "Artifact-watcher poll cycles."),
+      MetricsRegistry::Global().GetCounter(
+          "serve_watch_publishes_total",
+          "Snapshot publishes triggered by the artifact watcher."),
+      MetricsRegistry::Global().GetCounter(
+          "serve_watch_failures_total",
+          "Watcher-triggered publishes that failed validation/load."),
+  };
+  return wi;
+}
+
+}  // namespace
 
 ArtifactWatcher::Signature ArtifactWatcher::Stat(const std::string& path) {
   struct stat st{};
@@ -60,6 +88,7 @@ void ArtifactWatcher::Stop() {
 bool ArtifactWatcher::CheckNow() {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.polls;
+  WatchMetrics().polls->Increment();
   const Signature sig = Stat(path_);
   const Signature prev = last_seen_;
   last_seen_ = sig;
@@ -71,10 +100,12 @@ bool ArtifactWatcher::CheckNow() {
   if (status.ok()) {
     published_ = sig;
     ++counters_.publishes;
+    WatchMetrics().publishes->Increment();
     return true;
   }
   failed_ = sig;
   ++counters_.failures;
+  WatchMetrics().failures->Increment();
   return false;
 }
 

@@ -1,0 +1,490 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ganc {
+
+namespace {
+
+// Family help text, process-wide: a snapshot parsed off the wire from a
+// child shard (same binary) still renders with HELP lines, because the
+// family was registered when this process resolved its own instruments.
+std::mutex& HelpMu() {
+  static std::mutex mu;
+  return mu;
+}
+std::map<std::string, std::string>& HelpTable() {
+  static std::map<std::string, std::string> table;
+  return table;
+}
+
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void RegisterHelp(const std::string& name, const std::string& help) {
+  if (help.empty()) return;
+  std::lock_guard<std::mutex> lock(HelpMu());
+  HelpTable().emplace(FamilyOf(name), help);
+}
+
+std::string HelpFor(const std::string& family) {
+  std::lock_guard<std::mutex> lock(HelpMu());
+  const auto it = HelpTable().find(family);
+  return it == HelpTable().end() ? std::string() : it->second;
+}
+
+const char* TypeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kDCounter:
+    case MetricKind::kDistinct:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatHexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+// Splits "name{a=\"1\"}" into base name and inner label text ("" when
+// unlabeled) so histogram expansion can splice in its le label.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);  // strip {}
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseHexWords(std::string_view hex, std::vector<uint64_t>* out) {
+  if (hex.size() % 16 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 16);
+  for (size_t w = 0; w < hex.size(); w += 16) {
+    uint64_t word = 0;
+    for (size_t c = 0; c < 16; ++c) {
+      const char ch = hex[w + c];
+      uint64_t digit;
+      if (ch >= '0' && ch <= '9') {
+        digit = static_cast<uint64_t>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        digit = static_cast<uint64_t>(ch - 'a' + 10);
+      } else {
+        return false;
+      }
+      word = (word << 4) | digit;
+    }
+    out->push_back(word);
+  }
+  return true;
+}
+
+Status Malformed(std::string_view token) {
+  return Status::InvalidArgument("malformed metrics snapshot token '" +
+                                 std::string(token) + "'");
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  RegisterHelp(name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+DCounter* MetricsRegistry::GetDCounter(const std::string& name,
+                                       const std::string& help) {
+  RegisterHelp(name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = dcounters_[name];
+  if (slot == nullptr) slot = std::make_unique<DCounter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  RegisterHelp(name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  RegisterHelp(name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+Distinct* MetricsRegistry::GetDistinct(const std::string& name,
+                                       size_t capacity,
+                                       const std::string& help) {
+  RegisterHelp(name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = distincts_[name];
+  if (slot == nullptr) slot = std::make_unique<Distinct>(capacity);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    MetricValue v;
+    v.kind = MetricKind::kCounter;
+    v.u64 = c->Value();
+    snap.series.emplace(name, std::move(v));
+  }
+  for (const auto& [name, c] : dcounters_) {
+    MetricValue v;
+    v.kind = MetricKind::kDCounter;
+    v.d = c->Value();
+    snap.series.emplace(name, std::move(v));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricValue v;
+    v.kind = MetricKind::kGauge;
+    v.d = g->Value();
+    snap.series.emplace(name, std::move(v));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricValue v;
+    v.kind = MetricKind::kHistogram;
+    v.buckets.resize(LatencyHistogram::kNumBuckets);
+    uint64_t count = 0;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      v.buckets[static_cast<size_t>(i)] = h->BucketCount(i);
+      count += v.buckets[static_cast<size_t>(i)];
+    }
+    while (!v.buckets.empty() && v.buckets.back() == 0) v.buckets.pop_back();
+    v.u64 = count;
+    v.sum = h->Sum();
+    snap.series.emplace(name, std::move(v));
+  }
+  for (const auto& [name, d] : distincts_) {
+    MetricValue v;
+    v.kind = MetricKind::kDistinct;
+    v.capacity = d->capacity();
+    v.buckets.reserve(d->num_words());
+    for (size_t w = 0; w < d->num_words(); ++w) v.buckets.push_back(d->word(w));
+    while (!v.buckets.empty() && v.buckets.back() == 0) v.buckets.pop_back();
+    uint64_t count = 0;
+    for (const uint64_t w : v.buckets) count += std::popcount(w);
+    v.u64 = count;
+    snap.series.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, theirs] : other.series) {
+    auto [it, inserted] = series.emplace(name, theirs);
+    if (inserted) continue;
+    MetricValue& ours = it->second;
+    if (ours.kind != theirs.kind) continue;  // same-binary names never clash
+    switch (ours.kind) {
+      case MetricKind::kCounter:
+        ours.u64 += theirs.u64;
+        break;
+      case MetricKind::kDCounter:
+        ours.d += theirs.d;
+        break;
+      case MetricKind::kGauge:
+        if (theirs.d > ours.d) ours.d = theirs.d;
+        break;
+      case MetricKind::kHistogram: {
+        if (theirs.buckets.size() > ours.buckets.size()) {
+          ours.buckets.resize(theirs.buckets.size(), 0);
+        }
+        for (size_t i = 0; i < theirs.buckets.size(); ++i) {
+          ours.buckets[i] += theirs.buckets[i];
+        }
+        ours.u64 += theirs.u64;
+        ours.sum += theirs.sum;
+        break;
+      }
+      case MetricKind::kDistinct: {
+        if (theirs.buckets.size() > ours.buckets.size()) {
+          ours.buckets.resize(theirs.buckets.size(), 0);
+        }
+        for (size_t i = 0; i < theirs.buckets.size(); ++i) {
+          ours.buckets[i] |= theirs.buckets[i];
+        }
+        if (theirs.capacity > ours.capacity) ours.capacity = theirs.capacity;
+        uint64_t count = 0;
+        for (const uint64_t w : ours.buckets) count += std::popcount(w);
+        ours.u64 = count;
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsSnapshot::Serialize() const {
+  std::string out = "GANCM1";
+  char buf[64];
+  for (const auto& [name, v] : series) {
+    out.push_back(' ');
+    out += name;
+    out.push_back('|');
+    out.push_back(static_cast<char>(v.kind));
+    out.push_back('|');
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(v.u64);
+        break;
+      case MetricKind::kDCounter:
+      case MetricKind::kGauge:
+        out += FormatHexDouble(v.d);
+        break;
+      case MetricKind::kHistogram:
+        out += std::to_string(v.u64);
+        out.push_back(',');
+        out += std::to_string(v.sum);
+        out.push_back(':');
+        for (size_t i = 0; i < v.buckets.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          out += std::to_string(v.buckets[i]);
+        }
+        break;
+      case MetricKind::kDistinct:
+        out += std::to_string(v.capacity);
+        out.push_back(',');
+        out += std::to_string(v.u64);
+        out.push_back(':');
+        for (const uint64_t w : v.buckets) {
+          std::snprintf(buf, sizeof(buf), "%016llx",
+                        static_cast<unsigned long long>(w));
+          out += buf;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::Parse(std::string_view line) {
+  MetricsSnapshot snap;
+  size_t pos = 0;
+  bool saw_magic = false;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end == pos) break;
+    const std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+    if (!saw_magic) {
+      if (token != "GANCM1") {
+        return Status::InvalidArgument(
+            "metrics snapshot does not start with GANCM1");
+      }
+      saw_magic = true;
+      continue;
+    }
+    const size_t p1 = token.find('|');
+    const size_t p2 = p1 == std::string_view::npos
+                          ? std::string_view::npos
+                          : token.find('|', p1 + 1);
+    if (p2 == std::string_view::npos || p1 == 0 || p2 != p1 + 2) {
+      return Malformed(token);
+    }
+    const std::string name(token.substr(0, p1));
+    const char kind = token[p1 + 1];
+    const std::string_view payload = token.substr(p2 + 1);
+    MetricValue v;
+    switch (kind) {
+      case 'c': {
+        v.kind = MetricKind::kCounter;
+        if (!ParseU64(payload, &v.u64)) return Malformed(token);
+        break;
+      }
+      case 'd':
+      case 'g': {
+        v.kind = kind == 'd' ? MetricKind::kDCounter : MetricKind::kGauge;
+        const std::string text(payload);
+        char* parse_end = nullptr;
+        v.d = std::strtod(text.c_str(), &parse_end);
+        if (parse_end != text.c_str() + text.size()) return Malformed(token);
+        break;
+      }
+      case 'h': {
+        v.kind = MetricKind::kHistogram;
+        const size_t comma = payload.find(',');
+        const size_t colon = payload.find(':');
+        if (comma == std::string_view::npos ||
+            colon == std::string_view::npos || comma > colon) {
+          return Malformed(token);
+        }
+        if (!ParseU64(payload.substr(0, comma), &v.u64) ||
+            !ParseU64(payload.substr(comma + 1, colon - comma - 1), &v.sum)) {
+          return Malformed(token);
+        }
+        std::string_view csv = payload.substr(colon + 1);
+        while (!csv.empty()) {
+          const size_t c = csv.find(',');
+          const std::string_view cell =
+              c == std::string_view::npos ? csv : csv.substr(0, c);
+          uint64_t b = 0;
+          if (!ParseU64(cell, &b)) return Malformed(token);
+          v.buckets.push_back(b);
+          if (c == std::string_view::npos) break;
+          csv.remove_prefix(c + 1);
+        }
+        if (v.buckets.size() > LatencyHistogram::kNumBuckets) return Malformed(token);
+        break;
+      }
+      case 'D': {
+        v.kind = MetricKind::kDistinct;
+        const size_t comma = payload.find(',');
+        const size_t colon = payload.find(':');
+        if (comma == std::string_view::npos ||
+            colon == std::string_view::npos || comma > colon) {
+          return Malformed(token);
+        }
+        if (!ParseU64(payload.substr(0, comma), &v.capacity) ||
+            !ParseU64(payload.substr(comma + 1, colon - comma - 1), &v.u64)) {
+          return Malformed(token);
+        }
+        if (!ParseHexWords(payload.substr(colon + 1), &v.buckets)) {
+          return Malformed(token);
+        }
+        break;
+      }
+      default:
+        return Malformed(token);
+    }
+    snap.series.emplace(name, std::move(v));
+  }
+  if (!saw_magic) {
+    return Status::InvalidArgument("empty metrics snapshot line");
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::RenderExposition() const {
+  std::string out;
+  std::string last_family;
+  std::string base, labels;
+  for (const auto& [name, v] : series) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      const std::string help = HelpFor(family);
+      if (!help.empty()) {
+        out += "# HELP " + family + " " + help + "\n";
+      }
+      out += "# TYPE " + family + " " + TypeName(v.kind) + "\n";
+      last_family = family;
+    }
+    switch (v.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kDistinct:
+        out += name + " " + std::to_string(v.u64) + "\n";
+        break;
+      case MetricKind::kDCounter:
+      case MetricKind::kGauge:
+        out += name + " " + FormatDouble(v.d) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        SplitLabels(name, &base, &labels);
+        const std::string sep = labels.empty() ? "" : ",";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < v.buckets.size(); ++i) {
+          cumulative += v.buckets[i];
+          out += base + "_bucket{" + labels + sep + "le=\"" +
+                 std::to_string(LatencyHistogram::BucketUpperBound(
+                     static_cast<int>(i))) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += base + "_bucket{" + labels + sep + "le=\"+Inf\"} " +
+               std::to_string(v.u64) + "\n";
+        const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+        out += base + "_sum" + suffix + " " + std::to_string(v.sum) + "\n";
+        out += base + "_count" + suffix + " " + std::to_string(v.u64) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double HistogramQuantile(const MetricValue& hist, double q) {
+  if (hist.kind != MetricKind::kHistogram || hist.u64 == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(hist.u64);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < hist.buckets.size(); ++i) {
+    const uint64_t in_bucket = hist.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lower =
+          i == 0 ? 0.0
+                 : static_cast<double>(
+                       LatencyHistogram::BucketUpperBound(static_cast<int>(i) - 1));
+      const double upper =
+          static_cast<double>(LatencyHistogram::BucketUpperBound(static_cast<int>(i)));
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * (into < 0.0 ? 0.0 : into);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(
+      LatencyHistogram::BucketUpperBound(LatencyHistogram::kNumBuckets - 1));
+}
+
+}  // namespace ganc

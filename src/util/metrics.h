@@ -1,0 +1,249 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// latency histograms with exact snapshot/merge semantics.
+//
+// Design rules (docs/OBSERVABILITY.md is the operator-facing spec):
+//
+//   * Hot path is lock- and allocation-free. Every instrument is a
+//     fixed set of relaxed atomics; callers resolve an instrument
+//     pointer once (registration takes a mutex) and then increment it
+//     forever. Registration never invalidates resolved pointers.
+//   * Counters are exact, never sampled. The serving acceptance gate
+//     (serve_requests_total == replayed requests, across topologies and
+//     mid-replay snapshot swaps) depends on this.
+//   * Snapshots merge exactly: counters add, double counters add,
+//     gauges take the max, histograms add bucket-wise (all histograms
+//     share one power-of-two bucket layout, so merges never have to
+//     reconcile bounds), and distinct-sets OR their bitmaps — the merge
+//     of per-shard "items served" sets is the true union, not a
+//     double-counting sum. Merge is associative and commutative, which
+//     is what lets a router recombine per-shard registries in any
+//     order, including across process boundaries: Serialize() emits a
+//     snapshot as one wire-safe line (the METRICSNAP verb's payload)
+//     and Parse() round-trips it bit-exactly (doubles travel as C99
+//     hexfloats).
+//   * All durations are steady_clock nanoseconds (MonotonicNowNs).
+//     Wall clocks never measure durations anywhere in this repo.
+//
+// Rendering follows the Prometheus text exposition format
+// (# HELP/# TYPE, name{labels} value, _bucket{le=...}/_sum/_count for
+// histograms) with two documented deviations: histogram sums stay in
+// integer nanoseconds (no unit conversion — every histogram name ends
+// in its unit), and empty trailing buckets are elided (+Inf is always
+// emitted). Output is byte-deterministic for a given snapshot: series
+// sort by name, doubles print as %.17g.
+
+#ifndef GANC_UTIL_METRICS_H_
+#define GANC_UTIL_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ganc {
+
+/// Monotonic (steady_clock) nanoseconds — the one duration clock.
+uint64_t MonotonicNowNs();
+
+/// Monotonic u64 counter. Merge: add.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Monotonic double accumulator (novelty-bit sums). Merge: add.
+class DCounter {
+ public:
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-written value (peak RSS, fleet sizes). Merge: max — the only
+/// exact recombination for a per-process peak.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram. Bucket i counts observations v with
+/// 2^(i-1) < v <= 2^i (bucket 0: v <= 1), so the upper bounds are the
+/// powers of two and every histogram shares one layout — bucket-wise
+/// merge is always well defined and exact. Observe is two relaxed
+/// fetch_adds; the bucket index is a bit-width, no search.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 48;  ///< le = 2^47 ns ~ 39 hours
+
+  static int BucketIndex(uint64_t value) {
+    if (value <= 1) return 0;
+    const int b = std::bit_width(value - 1);
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
+  /// Inclusive upper bound of bucket `i` (2^i).
+  static uint64_t BucketUpperBound(int i) { return uint64_t{1} << i; }
+
+  void Observe(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Distinct-element set over a fixed id universe [0, capacity): a
+/// lock-free bitmap whose cardinality counter advances only on a 0->1
+/// bit flip, so Count() is the exact number of distinct ids ever
+/// marked. Merge is bitwise OR + popcount — the exact set union, which
+/// a sum of per-shard counts is not (shards can serve the same item).
+class Distinct {
+ public:
+  explicit Distinct(size_t capacity)
+      : capacity_(capacity),
+        words_(std::make_unique<std::atomic<uint64_t>[]>((capacity + 63) / 64)) {
+  }
+
+  void Mark(size_t id) {
+    if (id >= capacity_) return;
+    const uint64_t bit = uint64_t{1} << (id & 63);
+    const uint64_t prev =
+        words_[id >> 6].fetch_or(bit, std::memory_order_relaxed);
+    if ((prev & bit) == 0) count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+  size_t num_words() const { return (capacity_ + 63) / 64; }
+  uint64_t word(size_t w) const {
+    return words_[w].load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  std::atomic<uint64_t> count_{0};
+};
+
+enum class MetricKind : char {
+  kCounter = 'c',
+  kDCounter = 'd',
+  kGauge = 'g',
+  kHistogram = 'h',
+  kDistinct = 'D',
+};
+
+/// One series' frozen value inside a snapshot.
+struct MetricValue {
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t u64 = 0;    ///< counter value / histogram count / distinct count
+  double d = 0.0;      ///< dcounter / gauge value
+  uint64_t sum = 0;    ///< histogram observation sum
+  std::vector<uint64_t> buckets;  ///< histogram buckets / distinct bitmap words
+  uint64_t capacity = 0;          ///< distinct id-universe size
+};
+
+/// A frozen, mergeable view of a registry. Series names may carry a
+/// Prometheus label block (`serve_domain_lists_total{gen="1"}`); names
+/// never contain spaces, '|', or newlines, which is what keeps the
+/// serialized form a single wire line.
+struct MetricsSnapshot {
+  std::map<std::string, MetricValue> series;
+
+  /// Exact fold of `other` into this snapshot (see the header comment
+  /// for the per-kind rules). Associative and commutative.
+  void MergeFrom(const MetricsSnapshot& other);
+
+  /// Single-line wire form ("GANCM1 name|kind|payload ..."): the
+  /// METRICSNAP verb's payload. Doubles serialize as hexfloats, so
+  /// Parse(Serialize()) reproduces the snapshot bit-exactly.
+  std::string Serialize() const;
+  static Result<MetricsSnapshot> Parse(std::string_view line);
+
+  /// Prometheus-style text exposition (byte-deterministic).
+  std::string RenderExposition() const;
+
+  const MetricValue* Find(const std::string& name) const {
+    const auto it = series.find(name);
+    return it == series.end() ? nullptr : &it->second;
+  }
+  /// Counter/histogram-count/distinct-count value; 0 when absent.
+  uint64_t CounterValue(const std::string& name) const {
+    const MetricValue* v = Find(name);
+    return v == nullptr ? 0 : v->u64;
+  }
+  double DoubleValue(const std::string& name) const {
+    const MetricValue* v = Find(name);
+    return v == nullptr ? 0.0 : v->d;
+  }
+};
+
+/// Quantile estimate from a histogram series: walks the cumulative
+/// buckets to rank ceil(q * count) and interpolates linearly inside the
+/// landing bucket. Power-of-two buckets bound the error by the bucket
+/// width; exact counts, approximate position — the replay p50/p95/p99
+/// report documents this. Returns 0 for an empty histogram.
+double HistogramQuantile(const MetricValue& hist, double q);
+
+/// Registry of named instruments. Get* registers on first use and
+/// returns the same stable pointer forever after; the returned
+/// instruments are the hot-path handles. `help` is recorded once per
+/// metric family (the name up to '{') in a process-wide table shared by
+/// every registry, so exposition renders HELP text even for series that
+/// arrived over the wire from a child process of this same binary.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The default process-global registry (tools and anything configured
+  /// with a null registry).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  DCounter* GetDCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  LatencyHistogram* GetHistogram(const std::string& name, const std::string& help);
+  Distinct* GetDistinct(const std::string& name, size_t capacity,
+                        const std::string& help);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<DCounter>> dcounters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Distinct>> distincts_;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_METRICS_H_

@@ -1,4 +1,10 @@
-// Wall-clock timing helpers for benchmarks and progress reporting.
+// Elapsed-time helpers for benchmarks and progress reporting.
+//
+// Repo-wide clock rule (docs/OBSERVABILITY.md): every duration is
+// measured on std::chrono::steady_clock — here, in MonotonicNowNs
+// (util/metrics.h), and in the serve latency accounting. system_clock
+// is for timestamps humans read, never for durations; it can jump
+// backwards under NTP adjustment and would corrupt latency histograms.
 
 #ifndef GANC_UTIL_TIMER_H_
 #define GANC_UTIL_TIMER_H_
@@ -7,7 +13,7 @@
 
 namespace ganc {
 
-/// Simple monotonic wall-clock stopwatch.
+/// Simple monotonic stopwatch (steady_clock).
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}

@@ -1,0 +1,102 @@
+// Sampled per-request tracing: a fixed-capacity ring buffer of request
+// timelines. A sampled request records steady-clock nanosecond offsets
+// (from request start) at each pipeline stage; the TRACE verb dumps the
+// N most recent completed timelines.
+//
+// Sampling is deterministic: request seq is hashed with splitmix64
+// under a fixed seed and sampled when hash % period == 0, so replaying
+// the same transcript traces the same requests. Unsampled requests pay
+// one hash — no clock reads, no allocation.
+
+#ifndef GANC_UTIL_TRACE_H_
+#define GANC_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ganc {
+
+/// Pipeline stages stamped along the request path. Offsets are ns from
+/// request start; -1 means the request never reached that stage.
+enum class TraceStage : int {
+  kParse = 0,       ///< protocol line parsed
+  kRoute,           ///< shard chosen
+  kCacheProbe,      ///< result-cache probe finished
+  kStoreProbe,      ///< top-N store probe finished
+  kEnqueue,         ///< handed to the micro-batcher
+  kScore,           ///< kernel scoring + top-k selection finished
+  kRespond,         ///< response line formatted
+};
+inline constexpr int kNumTraceStages = 7;
+
+/// Human-readable stage name ("parse", "route", ...).
+const char* TraceStageName(TraceStage stage);
+
+/// One sampled request's timeline. Created by TraceRing::Begin, stamped
+/// by the layers the request passes through, committed back to the ring
+/// when the response is written.
+struct RequestTrace {
+  uint64_t seq = 0;          ///< frontend request sequence number
+  uint64_t start_ns = 0;     ///< MonotonicNowNs at Begin
+  int64_t stage_ns[kNumTraceStages] = {-1, -1, -1, -1, -1, -1, -1};
+  int32_t user = -1;
+  int shard = -1;            ///< -1 until routed
+  uint64_t version = 0;      ///< snapshot version that served the request
+  char outcome = '?';        ///< 'c' cache, 's' store, 'l' live, 'e' error
+
+  /// Records `now_ns - start_ns` for `stage` (first write wins).
+  void Stamp(TraceStage stage, uint64_t now_ns) {
+    int64_t& slot = stage_ns[static_cast<int>(stage)];
+    if (slot < 0) slot = static_cast<int64_t>(now_ns - start_ns);
+  }
+};
+
+/// One trace line: "seq=... user=... outcome=... total_ns=... parse=..."
+/// with unset stages omitted. Used by the TRACE verb and trace tests.
+std::string FormatTraceLine(const RequestTrace& trace);
+
+/// Fixed-capacity ring of completed request traces.
+class TraceRing {
+ public:
+  /// `period` of 0 disables sampling entirely; 1 samples every request.
+  TraceRing(size_t capacity, uint64_t sample_period, uint64_t seed);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Shared default ring (capacity 256, period 16, fixed seed).
+  static TraceRing& Global();
+
+  /// Deterministic sampling decision for a request sequence number.
+  bool ShouldSample(uint64_t seq) const;
+
+  /// Starts a trace for `seq` if sampled, else returns null. The caller
+  /// owns the trace until Commit.
+  std::unique_ptr<RequestTrace> Begin(uint64_t seq);
+
+  /// Stores a completed trace, overwriting the oldest when full.
+  void Commit(std::unique_ptr<RequestTrace> trace);
+
+  /// Up to `n` most recent committed traces, newest first.
+  std::vector<RequestTrace> MostRecent(size_t n) const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t sample_period() const { return sample_period_; }
+
+ private:
+  const size_t capacity_;
+  const uint64_t sample_period_;
+  const uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::vector<RequestTrace> ring_;
+  size_t next_ = 0;       ///< ring slot for the next commit
+  uint64_t committed_ = 0;
+};
+
+}  // namespace ganc
+
+#endif  // GANC_UTIL_TRACE_H_

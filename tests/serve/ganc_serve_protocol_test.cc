@@ -132,6 +132,37 @@ TEST(ServeProtocolTest, RejectsMalformedSwapAndShardRequests) {
   EXPECT_FALSE(ParseServeRequest("SHARDS all").ok());
 }
 
+TEST(ServeProtocolTest, ParsesMetricsMetricSnapAndTrace) {
+  EXPECT_EQ(ParseServeRequest("METRICS")->command, ServeCommand::kMetrics);
+  EXPECT_EQ(ParseServeRequest("METRICSNAP")->command,
+            ServeCommand::kMetricSnap);
+  Result<ServeRequest> bare = ParseServeRequest("TRACE");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->command, ServeCommand::kTrace);
+  EXPECT_EQ(bare->n, 0);  // 0 = server default count
+  Result<ServeRequest> five = ParseServeRequest("TRACE n=5");
+  ASSERT_TRUE(five.ok());
+  EXPECT_EQ(five->command, ServeCommand::kTrace);
+  EXPECT_EQ(five->n, 5);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedObservabilityRequests) {
+  // TRACE takes only n=<count>; METRICS/METRICSNAP take nothing.
+  EXPECT_FALSE(ParseServeRequest("TRACE user=1").ok());
+  EXPECT_FALSE(ParseServeRequest("TRACE session=s").ok());
+  EXPECT_FALSE(ParseServeRequest("TRACE items=1,2").ok());
+  EXPECT_FALSE(ParseServeRequest("TRACE path=/x").ok());
+  EXPECT_FALSE(ParseServeRequest("TRACE n=-1").ok());
+  EXPECT_FALSE(ParseServeRequest("TRACE n=x").ok());
+  EXPECT_FALSE(ParseServeRequest("METRICS now").ok());
+  EXPECT_FALSE(ParseServeRequest("METRICSNAP all").ok());
+}
+
+TEST(ServeProtocolTest, FormatsFramedHeader) {
+  EXPECT_EQ(FormatFramedHeader("metrics", 3), "OK metrics lines=3");
+  EXPECT_EQ(FormatFramedHeader("traces", 0), "OK traces lines=0");
+}
+
 TEST(ServeProtocolTest, FormatsVersionedTopNResponse) {
   const std::vector<ItemId> items = {5, 1, 9};
   EXPECT_EQ(FormatVersionedTopNResponse(3, 5, 17, items),

@@ -1,0 +1,260 @@
+// MetricsRegistry unit suite: power-of-two bucket boundaries, exact
+// snapshot merge semantics (associativity included — the property the
+// shard router's recombination rides on), bit-exact wire round-trips,
+// and a golden text exposition.
+
+#include "util/metrics.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket i holds 2^(i-1) < v <= 2^i; bucket 0 holds v <= 1.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 2);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(5), 3);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(8), 3);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(9), 4);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1024), 10);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1025), 11);
+  // Every bucket's inclusive upper bound is 2^i, and values land in the
+  // bucket whose bound is the smallest power of two >= value.
+  for (int i = 0; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+    const uint64_t bound = LatencyHistogram::BucketUpperBound(i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(bound), i) << "bound " << bound;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(bound + 1), i + 1);
+  }
+  // Values beyond the last bound saturate into the last bucket.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, ObserveCountsAndSums) {
+  LatencyHistogram h;
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(2);
+  h.Observe(1000);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(10), 1u);  // 512 < 1000 <= 1024
+  EXPECT_EQ(h.Sum(), 1005u);
+}
+
+TEST(DistinctTest, CountsEachIdOnce) {
+  Distinct d(130);  // forces a multi-word bitmap with a partial tail word
+  EXPECT_EQ(d.num_words(), 3u);
+  d.Mark(0);
+  d.Mark(0);
+  d.Mark(64);
+  d.Mark(129);
+  d.Mark(129);
+  d.Mark(500);  // out of the universe: ignored, not counted
+  EXPECT_EQ(d.Count(), 3u);
+  EXPECT_EQ(d.word(0), 1u);
+  EXPECT_EQ(d.word(1), 1u);
+  EXPECT_EQ(d.word(2), uint64_t{1} << 1);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("mtest_stable_total", "help a");
+  Counter* b = registry.GetCounter("mtest_stable_total", "different help");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(registry.Snapshot().CounterValue("mtest_stable_total"), 3u);
+}
+
+MetricsSnapshot MakeSnapshot(uint64_t c, double g, uint64_t hist_value,
+                             std::vector<size_t> distinct_ids) {
+  MetricsRegistry registry;
+  registry.GetCounter("mtest_c_total", "counter")->Increment(c);
+  registry.GetDCounter("mtest_d_sum", "dcounter")->Add(0.25 * c);
+  registry.GetGauge("mtest_g", "gauge")->Set(g);
+  registry.GetHistogram("mtest_h_ns", "histogram")->Observe(hist_value);
+  Distinct* d = registry.GetDistinct("mtest_set", 200, "distinct");
+  for (const size_t id : distinct_ids) d->Mark(id);
+  return registry.Snapshot();
+}
+
+void ExpectSnapshotsEqual(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (const auto& [name, va] : a.series) {
+    const MetricValue* vb = b.Find(name);
+    ASSERT_NE(vb, nullptr) << name;
+    EXPECT_EQ(va.kind, vb->kind) << name;
+    EXPECT_EQ(va.u64, vb->u64) << name;
+    EXPECT_EQ(va.sum, vb->sum) << name;
+    EXPECT_EQ(va.capacity, vb->capacity) << name;
+    EXPECT_EQ(va.buckets, vb->buckets) << name;
+    // Bit-exact double comparison: the wire format is hexfloat, so not
+    // even the last ulp may drift through a round-trip.
+    uint64_t bits_a = 0, bits_b = 0;
+    std::memcpy(&bits_a, &va.d, sizeof(bits_a));
+    std::memcpy(&bits_b, &vb->d, sizeof(bits_b));
+    EXPECT_EQ(bits_a, bits_b) << name;
+  }
+}
+
+TEST(MetricsSnapshotTest, SerializeParseRoundTripsBitExactly) {
+  MetricsRegistry registry;
+  registry.GetCounter("mtest_rt_total", "c")->Increment(12345678901234ull);
+  // Doubles chosen to be awkward in decimal: the round-trip must be
+  // bit-exact regardless.
+  registry.GetDCounter("mtest_rt_sum", "d")->Add(0.1 + 0.2);
+  registry.GetGauge("mtest_rt_g", "g")->Set(-1.0 / 3.0);
+  registry.GetGauge("mtest_rt_g2", "g")->Set(1e300);
+  LatencyHistogram* h = registry.GetHistogram("mtest_rt_ns", "h");
+  h->Observe(1);
+  h->Observe(77);
+  h->Observe(1u << 20);
+  Distinct* d = registry.GetDistinct("mtest_rt_set", 150, "D");
+  d->Mark(3);
+  d->Mark(64);
+  d->Mark(149);
+  registry.GetCounter("mtest_rt_labeled_total{gen=\"2\"}", "labeled")
+      ->Increment(9);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const std::string wire = snap.Serialize();
+  EXPECT_EQ(wire.rfind("GANCM1 ", 0), 0u);
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::Parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSnapshotsEqual(snap, *parsed);
+  // And a second generation of the round-trip is a fixed point.
+  Result<MetricsSnapshot> again = MetricsSnapshot::Parse(parsed->Serialize());
+  ASSERT_TRUE(again.ok());
+  ExpectSnapshotsEqual(snap, *again);
+}
+
+TEST(MetricsSnapshotTest, ParseRejectsMalformedPayloads) {
+  EXPECT_FALSE(MetricsSnapshot::Parse("").ok());
+  EXPECT_FALSE(MetricsSnapshot::Parse("BOGUS1 a|c|1").ok());
+  EXPECT_FALSE(MetricsSnapshot::Parse("GANCM1 name-without-kind").ok());
+  EXPECT_FALSE(MetricsSnapshot::Parse("GANCM1 a|x|1").ok());
+  EXPECT_FALSE(MetricsSnapshot::Parse("GANCM1 a|c|notanumber").ok());
+  // The empty snapshot is valid.
+  Result<MetricsSnapshot> empty = MetricsSnapshot::Parse("GANCM1");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->series.empty());
+}
+
+TEST(MetricsSnapshotTest, MergeIsExactPerKind) {
+  MetricsSnapshot a = MakeSnapshot(10, 5.0, 100, {1, 2, 3});
+  const MetricsSnapshot b = MakeSnapshot(32, 2.0, 100000, {3, 4});
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("mtest_c_total"), 42u);       // counters add
+  EXPECT_DOUBLE_EQ(a.DoubleValue("mtest_d_sum"), 10.5);  // dcounters add
+  EXPECT_DOUBLE_EQ(a.DoubleValue("mtest_g"), 5.0);       // gauges take max
+  const MetricValue* h = a.Find("mtest_h_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->u64, 2u);          // histogram counts add
+  EXPECT_EQ(h->sum, 100100u);     // and so do sums
+  // Distinct merge is the set union: {1,2,3} | {3,4} has 4 elements,
+  // where a sum of per-shard counts would wrongly say 5.
+  EXPECT_EQ(a.CounterValue("mtest_set"), 4u);
+}
+
+TEST(MetricsSnapshotTest, MergeIsAssociativeAndCommutative) {
+  const MetricsSnapshot a = MakeSnapshot(1, 9.0, 3, {0, 10});
+  const MetricsSnapshot b = MakeSnapshot(2, 7.0, 1u << 30, {10, 20});
+  const MetricsSnapshot c = MakeSnapshot(4, 8.0, 17, {20, 30, 199});
+
+  MetricsSnapshot ab_c = a;   // (a + b) + c
+  ab_c.MergeFrom(b);
+  ab_c.MergeFrom(c);
+  MetricsSnapshot bc = b;     // a + (b + c)
+  bc.MergeFrom(c);
+  MetricsSnapshot a_bc = a;
+  a_bc.MergeFrom(bc);
+  ExpectSnapshotsEqual(ab_c, a_bc);
+
+  MetricsSnapshot cba = c;    // and in reverse order
+  cba.MergeFrom(b);
+  cba.MergeFrom(a);
+  ExpectSnapshotsEqual(ab_c, cba);
+
+  EXPECT_EQ(ab_c.CounterValue("mtest_c_total"), 7u);
+  EXPECT_EQ(ab_c.CounterValue("mtest_set"), 5u);  // union {0,10,20,30,199}
+}
+
+TEST(MetricsSnapshotTest, ExpositionGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("ztest_requests_total", "Requests served.")
+      ->Increment(7);
+  registry.GetGauge("ztest_rss_mb", "Peak RSS.")->Set(12.5);
+  LatencyHistogram* h =
+      registry.GetHistogram("ztest_wait_ns", "Wait time, nanoseconds.");
+  h->Observe(1);
+  h->Observe(3);
+  h->Observe(4);
+  registry.GetCounter("ztest_lists_total{gen=\"1\"}", "Lists per generation.")
+      ->Increment(2);
+  Distinct* d = registry.GetDistinct("ztest_seen", 100, "Distinct ids seen.");
+  d->Mark(5);
+  d->Mark(6);
+
+  const std::string expected =
+      "# HELP ztest_lists_total Lists per generation.\n"
+      "# TYPE ztest_lists_total counter\n"
+      "ztest_lists_total{gen=\"1\"} 2\n"
+      "# HELP ztest_requests_total Requests served.\n"
+      "# TYPE ztest_requests_total counter\n"
+      "ztest_requests_total 7\n"
+      "# HELP ztest_rss_mb Peak RSS.\n"
+      "# TYPE ztest_rss_mb gauge\n"
+      "ztest_rss_mb 12.5\n"
+      "# HELP ztest_seen Distinct ids seen.\n"
+      "# TYPE ztest_seen counter\n"
+      "ztest_seen 2\n"
+      "# HELP ztest_wait_ns Wait time, nanoseconds.\n"
+      "# TYPE ztest_wait_ns histogram\n"
+      "ztest_wait_ns_bucket{le=\"1\"} 1\n"
+      "ztest_wait_ns_bucket{le=\"2\"} 1\n"
+      "ztest_wait_ns_bucket{le=\"4\"} 3\n"
+      "ztest_wait_ns_bucket{le=\"+Inf\"} 3\n"
+      "ztest_wait_ns_sum 8\n"
+      "ztest_wait_ns_count 3\n";
+  EXPECT_EQ(registry.Snapshot().RenderExposition(), expected);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBucketBounds) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("mtest_q_ns", "q");
+  for (int i = 0; i < 100; ++i) h->Observe(1000);  // all in (512, 1024]
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricValue* v = snap.Find("mtest_q_ns");
+  ASSERT_NE(v, nullptr);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double est = HistogramQuantile(*v, q);
+    EXPECT_GT(est, 512.0) << q;
+    EXPECT_LE(est, 1024.0) << q;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(HistogramQuantile(*v, 0.5), HistogramQuantile(*v, 0.95));
+  EXPECT_LE(HistogramQuantile(*v, 0.95), HistogramQuantile(*v, 0.99));
+  // Empty histogram: defined, zero.
+  registry.GetHistogram("mtest_q_empty_ns", "q");
+  const MetricsSnapshot snap2 = registry.Snapshot();
+  EXPECT_EQ(HistogramQuantile(*snap2.Find("mtest_q_empty_ns"), 0.99), 0.0);
+}
+
+TEST(MetricsTest, MonotonicNowNsIsMonotone) {
+  const uint64_t a = MonotonicNowNs();
+  const uint64_t b = MonotonicNowNs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace ganc

@@ -1,0 +1,126 @@
+// TraceRing unit suite: deterministic sampling under a fixed seed,
+// ring wraparound ordering, first-write-wins stage stamping, and the
+// TRACE verb's line format.
+
+#include "util/trace.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ganc {
+namespace {
+
+TEST(TraceRingTest, SamplingIsDeterministicUnderAFixedSeed) {
+  const TraceRing a(8, 16, 0x6a4c431d2f10ull);
+  const TraceRing b(8, 16, 0x6a4c431d2f10ull);
+  std::set<uint64_t> sampled_a, sampled_b;
+  for (uint64_t seq = 0; seq < 4096; ++seq) {
+    if (a.ShouldSample(seq)) sampled_a.insert(seq);
+    if (b.ShouldSample(seq)) sampled_b.insert(seq);
+    // Same ring, same answer on every ask.
+    EXPECT_EQ(a.ShouldSample(seq), a.ShouldSample(seq));
+  }
+  EXPECT_EQ(sampled_a, sampled_b);
+  // Period 16 over a splitmix-mixed hash: roughly 1/16 of requests,
+  // and definitely neither none nor all.
+  EXPECT_GT(sampled_a.size(), 4096u / 32);
+  EXPECT_LT(sampled_a.size(), 4096u / 8);
+  // A different seed samples a different set.
+  const TraceRing c(8, 16, 0x1234ull);
+  std::set<uint64_t> sampled_c;
+  for (uint64_t seq = 0; seq < 4096; ++seq) {
+    if (c.ShouldSample(seq)) sampled_c.insert(seq);
+  }
+  EXPECT_NE(sampled_a, sampled_c);
+}
+
+TEST(TraceRingTest, PeriodZeroNeverSamplesPeriodOneAlways) {
+  const TraceRing never(4, 0, 1);
+  const TraceRing always(4, 1, 1);
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_FALSE(never.ShouldSample(seq));
+    EXPECT_TRUE(always.ShouldSample(seq));
+  }
+}
+
+TEST(TraceRingTest, BeginReturnsNullForUnsampledRequests) {
+  TraceRing ring(4, 0, 1);
+  EXPECT_EQ(ring.Begin(0), nullptr);
+  TraceRing all(4, 1, 1);
+  std::unique_ptr<RequestTrace> trace = all.Begin(7);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->seq, 7u);
+  EXPECT_GT(trace->start_ns, 0u);
+}
+
+TEST(TraceRingTest, WraparoundKeepsTheNewestCapacityTraces) {
+  TraceRing ring(4, 1, 1);
+  for (uint64_t seq = 0; seq < 10; ++seq) {
+    std::unique_ptr<RequestTrace> trace = ring.Begin(seq);
+    ASSERT_NE(trace, nullptr);
+    ring.Commit(std::move(trace));
+  }
+  // 10 commits through a 4-slot ring: only 6..9 survive, newest first.
+  const std::vector<RequestTrace> recent = ring.MostRecent(100);
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent[0].seq, 9u);
+  EXPECT_EQ(recent[1].seq, 8u);
+  EXPECT_EQ(recent[2].seq, 7u);
+  EXPECT_EQ(recent[3].seq, 6u);
+  // A smaller ask truncates from the newest end.
+  const std::vector<RequestTrace> two = ring.MostRecent(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].seq, 9u);
+  EXPECT_EQ(two[1].seq, 8u);
+}
+
+TEST(TraceRingTest, MostRecentBeforeWraparoundReturnsOnlyCommitted) {
+  TraceRing ring(8, 1, 1);
+  EXPECT_TRUE(ring.MostRecent(5).empty());
+  ring.Commit(ring.Begin(42));
+  const std::vector<RequestTrace> one = ring.MostRecent(5);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].seq, 42u);
+}
+
+TEST(RequestTraceTest, StampIsFirstWriteWinsRelativeToStart) {
+  RequestTrace trace;
+  trace.start_ns = 1000;
+  trace.Stamp(TraceStage::kParse, 1250);
+  trace.Stamp(TraceStage::kParse, 9999);  // ignored: already stamped
+  trace.Stamp(TraceStage::kScore, 2000);
+  EXPECT_EQ(trace.stage_ns[static_cast<int>(TraceStage::kParse)], 250);
+  EXPECT_EQ(trace.stage_ns[static_cast<int>(TraceStage::kScore)], 1000);
+  EXPECT_EQ(trace.stage_ns[static_cast<int>(TraceStage::kRoute)], -1);
+}
+
+TEST(RequestTraceTest, FormatTraceLineGolden) {
+  RequestTrace trace;
+  trace.seq = 7;
+  trace.user = 3;
+  trace.shard = 1;
+  trace.version = 2;
+  trace.outcome = 'c';
+  trace.start_ns = 0;
+  trace.Stamp(TraceStage::kParse, 100);
+  trace.Stamp(TraceStage::kCacheProbe, 250);
+  trace.Stamp(TraceStage::kRespond, 400);
+  EXPECT_EQ(FormatTraceLine(trace),
+            "seq=7 user=3 shard=1 version=2 outcome=c total_ns=400 "
+            "parse=100 cache_probe=250 respond=400");
+  // Unset optional fields and stages are omitted entirely.
+  RequestTrace bare;
+  bare.seq = 11;
+  EXPECT_EQ(FormatTraceLine(bare), "seq=11 outcome=?");
+}
+
+TEST(TraceRingTest, GlobalRingHasDocumentedDefaults) {
+  EXPECT_EQ(TraceRing::Global().capacity(), 256u);
+  EXPECT_EQ(TraceRing::Global().sample_period(), 16u);
+}
+
+}  // namespace
+}  // namespace ganc

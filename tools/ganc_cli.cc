@@ -25,9 +25,16 @@
 //   ganc_cli --dataset=ml100k --arec=psvd100 --theta=g --crec=dyn
 //            --top-n=5 --sample-size=500 --seed=42
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <numeric>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -61,11 +68,13 @@
 #include "serve/topn_store.h"
 #include "util/binary_io.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 using namespace ganc;
 
@@ -136,10 +145,16 @@ void Usage() {
       "                --load-model=PATH | --load-pipeline=PATH\n"
       "                [--shards=N] [--top-n=10]\n"
       "                Replays a serve-protocol transcript (TOPN/TOPNV/\n"
-      "                CONSUME/PUBLISH/VERSION/SHARDS/PING) through an\n"
-      "                in-process shard router, one response line per\n"
-      "                request — the process-free twin of piping the\n"
-      "                file into ganc_serve.\n"
+      "                CONSUME/PUBLISH/VERSION/SHARDS/STATS/METRICS/\n"
+      "                TRACE/PING) through an in-process shard router,\n"
+      "                one response per request — the process-free twin\n"
+      "                of piping the file into ganc_serve. Ends with a\n"
+      "                stderr metrics report (request counts, p50/p95/\n"
+      "                p99 latency, per-generation novelty/coverage).\n"
+      "\n"
+      "metrics:        --port=N [--host=127.0.0.1]\n"
+      "                One-shot scrape of a listening ganc_serve: sends\n"
+      "                METRICS and prints the text exposition to stdout.\n"
       "\n"
       "kernels:        report the scoring kernel dispatch (variants,\n"
       "                probe timings, active choice); --list prints one\n"
@@ -356,8 +371,21 @@ int Train(const Flags& flags) {
     std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
     return 1;
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* const epochs_total = registry.GetCounter(
+      "train_epochs_total", "Training epochs completed.");
+  LatencyHistogram* const epoch_ns = registry.GetHistogram(
+      "train_epoch_ns", "Per-epoch training wall time, nanoseconds.");
+  Gauge* const peak_rss = registry.GetGauge(
+      "train_peak_rss_mb", "Peak resident set size during training, MiB.");
   WallTimer epoch_timer;
-  (*base)->SetEpochCallback([&epoch_timer](int32_t epoch, int32_t total) {
+  uint64_t epoch_start_ns = MonotonicNowNs();
+  (*base)->SetEpochCallback([&](int32_t epoch, int32_t total) {
+    const uint64_t now_ns = MonotonicNowNs();
+    epochs_total->Increment();
+    epoch_ns->Observe(now_ns - epoch_start_ns);
+    peak_rss->Set(PeakRssMb());
+    epoch_start_ns = now_ns;
     std::printf("epoch %d/%d  %.1f ms  peak RSS %.1f MB\n", epoch, total,
                 epoch_timer.ElapsedMillis(), PeakRssMb());
     epoch_timer.Reset();
@@ -367,8 +395,24 @@ int Train(const Flags& flags) {
     std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
     return 1;
   }
+  peak_rss->Set(PeakRssMb());
   std::printf("trained %s in %.1f ms (peak RSS %.1f MB)\n",
               (*base)->name().c_str(), fit_timer.ElapsedMillis(), PeakRssMb());
+  {
+    // One-line sweep summary off the same counters METRICS would serve:
+    // epochs, budgeted row windows/rows visited, peak RSS.
+    const MetricsSnapshot snap = registry.Snapshot();
+    std::fprintf(stderr,
+                 "train metrics: epochs=%llu sweep_windows=%llu "
+                 "sweep_rows=%llu peak_rss_mb=%.1f\n",
+                 static_cast<unsigned long long>(
+                     snap.CounterValue("train_epochs_total")),
+                 static_cast<unsigned long long>(
+                     snap.CounterValue("data_sweep_windows_total")),
+                 static_cast<unsigned long long>(
+                     snap.CounterValue("data_sweep_rows_total")),
+                 snap.DoubleValue("train_peak_rss_mb"));
+  }
   if (Status s = ApplyFactorPrecision(flags, base->get()); !s.ok()) {
     std::fprintf(stderr, "factor-precision: %s\n", s.ToString().c_str());
     return 1;
@@ -689,6 +733,63 @@ int TopNDump(const Flags& flags) {
   return 0;
 }
 
+// End-of-replay observability report. Written to stderr: replay stdout
+// is a byte-parity CI contract (one response line per request, diffable
+// against a live ganc_serve transcript), so nothing new may land there.
+void ReportReplayMetrics(const MetricsSnapshot& snap) {
+  const uint64_t requests = snap.CounterValue("serve_requests_total");
+  std::fprintf(stderr,
+               "--- replay metrics ---\n"
+               "requests: %llu (cache %llu, store %llu, live %llu, "
+               "errors %llu)\n",
+               static_cast<unsigned long long>(requests),
+               static_cast<unsigned long long>(
+                   snap.CounterValue("serve_cache_hits_total")),
+               static_cast<unsigned long long>(
+                   snap.CounterValue("serve_store_hits_total")),
+               static_cast<unsigned long long>(
+                   snap.CounterValue("serve_live_scored_total")),
+               static_cast<unsigned long long>(
+                   snap.CounterValue("serve_request_errors_total")));
+  if (const MetricValue* lat = snap.Find("serve_request_ns");
+      lat != nullptr && lat->u64 > 0) {
+    std::fprintf(stderr,
+                 "latency:  p50 %.1f us, p95 %.1f us, p99 %.1f us "
+                 "(mean %.1f us; power-of-two bucket estimate)\n",
+                 HistogramQuantile(*lat, 0.5) / 1000.0,
+                 HistogramQuantile(*lat, 0.95) / 1000.0,
+                 HistogramQuantile(*lat, 0.99) / 1000.0,
+                 static_cast<double>(lat->sum) /
+                     static_cast<double>(lat->u64) / 1000.0);
+  }
+  // One domain line per publish generation served during the replay.
+  static constexpr std::string_view kLists = "serve_domain_lists_total{gen=\"";
+  for (const auto& [name, value] : snap.series) {
+    if (name.rfind(kLists, 0) != 0) continue;
+    const size_t quote = name.find('"', kLists.size());
+    if (quote == std::string::npos) continue;
+    const std::string gen = name.substr(kLists.size(), quote - kLists.size());
+    const std::string label = "{gen=\"" + gen + "\"}";
+    const uint64_t slots =
+        snap.CounterValue("serve_domain_slots_total" + label);
+    const double novelty_sum =
+        snap.DoubleValue("serve_domain_novelty_bits_sum" + label);
+    std::fprintf(
+        stderr,
+        "domain[gen=%s]: %llu lists, %llu slots, novelty %.6f bits/slot, "
+        "coverage %llu distinct items (%llu long-tail), %llu tail slots\n",
+        gen.c_str(), static_cast<unsigned long long>(value.u64),
+        static_cast<unsigned long long>(slots),
+        slots == 0 ? 0.0 : novelty_sum / static_cast<double>(slots),
+        static_cast<unsigned long long>(
+            snap.CounterValue("serve_domain_items_distinct" + label)),
+        static_cast<unsigned long long>(
+            snap.CounterValue("serve_domain_tail_items_distinct" + label)),
+        static_cast<unsigned long long>(
+            snap.CounterValue("serve_domain_tail_slots_total" + label)));
+  }
+}
+
 // `replay`: drive a serve-protocol transcript through an in-process
 // ShardRouter and print one response line per request. Unbatched and
 // single-threaded, so the output is deterministic line-for-line — the
@@ -745,13 +846,19 @@ int Replay(const Flags& flags) {
     return 1;
   }
   SessionRegistry sessions;
+  TraceRing& ring = TraceRing::Global();
+  uint64_t seq = 0;
   std::string line;
   while (std::getline(in, line)) {
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
     }
     if (line.empty()) continue;
+    std::unique_ptr<RequestTrace> trace;
+    if (ring.ShouldSample(seq)) trace = ring.Begin(seq);
+    ++seq;
     Result<ServeRequest> parsed = ParseServeRequest(line);
+    if (trace != nullptr) trace->Stamp(TraceStage::kParse, MonotonicNowNs());
     if (!parsed.ok()) {
       std::printf("%s\n", FormatError(parsed.status().message()).c_str());
       continue;
@@ -771,7 +878,7 @@ int Replay(const Flags& flags) {
         std::vector<ItemId> items;
         uint64_t version = 0;
         if (Status s = (*router)->TopNInto(req.user, req.n, excl, &items,
-                                           &version);
+                                           &version, trace.get());
             !s.ok()) {
           response = FormatError(s.message());
           break;
@@ -842,6 +949,32 @@ int Replay(const Flags& flags) {
         response = FormatOk(buf);
         break;
       }
+      case ServeCommand::kMetrics: {
+        const std::string text =
+            (*router)->SnapshotMetrics().RenderExposition();
+        size_t lines = 0;
+        for (const char c : text) lines += c == '\n';
+        response = FormatFramedHeader("metrics", lines);
+        if (!text.empty()) {
+          response.push_back('\n');
+          response.append(text.data(), text.size() - 1);
+        }
+        break;
+      }
+      case ServeCommand::kMetricSnap:
+        response =
+            FormatOk("metricsnap " + (*router)->SnapshotMetrics().Serialize());
+        break;
+      case ServeCommand::kTrace: {
+        const std::vector<RequestTrace> traces =
+            ring.MostRecent(static_cast<size_t>(req.n == 0 ? 16 : req.n));
+        response = FormatFramedHeader("traces", traces.size());
+        for (const RequestTrace& t : traces) {
+          response.push_back('\n');
+          response += FormatTraceLine(t);
+        }
+        break;
+      }
       case ServeCommand::kPing:
         response = FormatOk("pong");
         break;
@@ -849,10 +982,95 @@ int Replay(const Flags& flags) {
         response = FormatOk("bye");
         break;
     }
+    if (trace != nullptr) {
+      trace->Stamp(TraceStage::kRespond, MonotonicNowNs());
+      ring.Commit(std::move(trace));
+    }
     std::printf("%s\n", response.c_str());
     if (req.command == ServeCommand::kQuit) break;
   }
+  ReportReplayMetrics((*router)->SnapshotMetrics());
   return 0;
+}
+
+// `metrics`: one-shot scrape of a live ganc_serve listener — connect,
+// send METRICS, unwrap the framed response, print the text exposition
+// to stdout. The Prometheus-less twin of `curl host:port/metrics`.
+int MetricsScrape(const Flags& flags) {
+  auto port = flags.GetInt("port", -1);
+  if (!port.ok() || *port <= 0 || *port > 65535) {
+    std::fprintf(stderr,
+                 "metrics requires --port=N (a listening ganc_serve)\n");
+    return 1;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "metrics: socket() failed\n");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(*port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "metrics: bad --host=%s (want an IPv4 address)\n",
+                 host.c_str());
+    close(fd);
+    return 1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "metrics: connect %s:%d failed: %s\n", host.c_str(),
+                 static_cast<int>(*port), strerror(errno));
+    close(fd);
+    return 1;
+  }
+  const char request[] = "METRICS\n";
+  for (size_t off = 0; off < sizeof(request) - 1;) {
+    const ssize_t n = write(fd, request + off, sizeof(request) - 1 - off);
+    if (n <= 0) {
+      std::fprintf(stderr, "metrics: write failed\n");
+      close(fd);
+      return 1;
+    }
+    off += static_cast<size_t>(n);
+  }
+  FILE* in = fdopen(fd, "r");
+  if (in == nullptr) {
+    close(fd);
+    return 1;
+  }
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len = getline(&line, &cap, in);
+  int rc = 1;
+  if (len > 0) {
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    const std::string header(line, static_cast<size_t>(len));
+    uint64_t lines = 0;
+    const size_t pos = header.rfind(" lines=");
+    if (header.rfind("OK metrics ", 0) == 0 && pos != std::string::npos) {
+      lines = strtoull(header.c_str() + pos + 7, nullptr, 10);
+      rc = 0;
+      for (uint64_t i = 0; i < lines; ++i) {
+        if ((len = getline(&line, &cap, in)) < 0) {
+          std::fprintf(stderr, "metrics: truncated framed response\n");
+          rc = 1;
+          break;
+        }
+        std::fwrite(line, 1, static_cast<size_t>(len), stdout);
+      }
+    } else {
+      std::fprintf(stderr, "metrics: unexpected response: %s\n",
+                   header.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "metrics: server closed the connection\n");
+  }
+  free(line);
+  fclose(in);  // closes fd
+  return rc;
 }
 
 // `precompute-topn`: materialize the serving store artifact for the
@@ -1178,7 +1396,8 @@ int main(int argc, char** argv) {
       "save-model",    "save-pipeline", "load-model",   "load-pipeline",
       "users",         "head-users",   "factor-precision", "list",
       "mmap",          "items",        "mean-activity", "verbose",
-      "requests",      "shards",       "train-memory-budget", "help"};
+      "requests",      "shards",       "train-memory-budget", "port",
+      "host",          "help"};
   Result<Flags> flags = Flags::Parse(argc, argv, known);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -1206,6 +1425,7 @@ int main(int argc, char** argv) {
   if (command == "topn") return TopNDump(*flags);
   if (command == "precompute-topn") return PrecomputeTopN(*flags);
   if (command == "replay") return Replay(*flags);
+  if (command == "metrics") return MetricsScrape(*flags);
   if (command == "kernels") return Kernels(*flags);
   if (command == "synth") return Synth(*flags);
   if (command == "inspect") {

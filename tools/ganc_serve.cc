@@ -77,7 +77,9 @@
 #include "serve/snapshot_swap.h"
 #include "serve/topn_store.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 using namespace ganc;
 
@@ -126,7 +128,7 @@ void Usage() {
       "    TOPNV user=3 ...   (response carries the snapshot version)\n"
       "    CONSUME session=abc user=3 items=4,5\n"
       "    PUBLISH path=new.gam | VERSION | SHARDS\n"
-      "    STATS | PING | QUIT\n");
+      "    STATS | METRICS | METRICSNAP | TRACE [n=16] | PING | QUIT\n");
 }
 
 // SIGINT/SIGTERM request a clean shutdown (stats still dumped) — the
@@ -170,6 +172,69 @@ bool WriteAll(int fd, const char* data, size_t size) {
     data += n;
     size -= static_cast<size_t>(n);
   }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frontend observability: per-line protocol instruments and the sampled
+// request-trace ring. One seq number per incoming line, shared by every
+// input (stdin and all TCP connections), drives deterministic sampling.
+
+struct FrontendInstruments {
+  Counter* lines;
+  Counter* parse_errors;
+  LatencyHistogram* parse_ns;
+  LatencyHistogram* line_ns;
+};
+
+const FrontendInstruments& Frontend() {
+  static const FrontendInstruments fi = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    FrontendInstruments f;
+    f.lines = r.GetCounter("serve_lines_total",
+                           "Request lines received by the frontend.");
+    f.parse_errors = r.GetCounter("serve_parse_errors_total",
+                                  "Request lines rejected by the parser.");
+    f.parse_ns = r.GetHistogram("serve_parse_ns",
+                                "Protocol parse latency, nanoseconds.");
+    f.line_ns = r.GetHistogram(
+        "serve_line_ns",
+        "Full line handling latency (parse through response formatting), "
+        "nanoseconds.");
+    return f;
+  }();
+  return fi;
+}
+
+std::atomic<uint64_t> g_request_seq{0};
+
+// Joins newline-terminated `payload` under a "OK <what> lines=<N>"
+// framing header. The returned response carries embedded newlines but
+// no trailing one — both output paths append exactly one '\n'.
+std::string FramedResponse(std::string_view what, const std::string& payload) {
+  size_t lines = 0;
+  for (const char c : payload) lines += c == '\n';
+  std::string out = FormatFramedHeader(what, lines);
+  if (!payload.empty()) {
+    out.push_back('\n');
+    out.append(payload.data(), payload.size() - 1);  // drop trailing '\n'
+  }
+  return out;
+}
+
+// Extracts N from a framed "OK <what> lines=<N>" header.
+bool ParseFramedLineCount(const std::string& header, uint64_t* out) {
+  const size_t pos = header.rfind(" lines=");
+  if (pos == std::string::npos) return false;
+  const size_t start = pos + 7;
+  size_t end = start;
+  uint64_t value = 0;
+  while (end < header.size() && header[end] >= '0' && header[end] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(header[end] - '0');
+    ++end;
+  }
+  if (end == start || end != header.size()) return false;
+  *out = value;
   return true;
 }
 
@@ -274,6 +339,36 @@ class ProcessRouter {
     return ReadLineLocked(child, k);
   }
 
+  /// One round-trip for a framed verb (METRICS/TRACE): reads the
+  /// "OK <what> lines=<N>" header plus its N payload lines. A non-OK
+  /// header comes back as a single-element vector.
+  Result<std::vector<std::string>> ForwardMulti(size_t k,
+                                                const std::string& line) {
+    ChildProc& child = *children_[k];
+    std::lock_guard<std::mutex> lock(child.mu);
+    std::string msg = line;
+    msg.push_back('\n');
+    if (!WriteAll(child.in_fd, msg.data(), msg.size())) {
+      return Status::IOError("shard " + std::to_string(k) + " write failed");
+    }
+    Result<std::string> header = ReadLineLocked(child, k);
+    if (!header.ok()) return header.status();
+    std::vector<std::string> out;
+    out.push_back(*header);
+    uint64_t lines = 0;
+    if (header->rfind("OK ", 0) != 0) return out;
+    if (!ParseFramedLineCount(*header, &lines)) {
+      return Status::Internal("shard " + std::to_string(k) +
+                              " returned malformed framed header: " + *header);
+    }
+    for (uint64_t i = 0; i < lines; ++i) {
+      Result<std::string> payload = ReadLineLocked(child, k);
+      if (!payload.ok()) return payload.status();
+      out.push_back(std::move(payload).value());
+    }
+    return out;
+  }
+
   /// Stops every child: stdin EOF first (clean drain + stats dump),
   /// escalating to SIGTERM/SIGKILL only if a child fails to exit.
   void Stop() {
@@ -371,11 +466,52 @@ struct Server {
     return child ? child->stats() : router->stats();
   }
   Status TopNInto(UserId user, int n, std::span<const ItemId> exclusions,
-                  std::vector<ItemId>* out, uint64_t* served_version) {
-    return child ? child->TopNInto(user, n, exclusions, out, served_version)
-                 : router->TopNInto(user, n, exclusions, out, served_version);
+                  std::vector<ItemId>* out, uint64_t* served_version,
+                  RequestTrace* trace = nullptr) {
+    return child
+               ? child->TopNInto(user, n, exclusions, out, served_version,
+                                 trace)
+               : router->TopNInto(user, n, exclusions, out, served_version,
+                                  trace);
   }
 };
+
+// Merged metrics snapshot for the *local* part of `server`: the
+// process-global registry (frontend, watcher, data sweeps, and — for
+// topologies configured with a null ServiceConfig registry — the serve
+// instruments too) plus any distinct per-shard registries.
+MetricsSnapshot LocalMetricsSnapshot(const Server& server) {
+  if (server.router) return server.router->SnapshotMetrics();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  if (server.child != nullptr &&
+      server.child->metrics_registry() != &MetricsRegistry::Global()) {
+    snap.MergeFrom(server.child->metrics_registry()->Snapshot());
+  }
+  return snap;
+}
+
+// Full-topology metrics snapshot: the local snapshot, plus — in the
+// multi-process topology — every child scraped over the METRICSNAP verb
+// and merged in (the merge is exact, so the router's exposition equals
+// one process having served everything).
+Result<MetricsSnapshot> GatherMetrics(Server& server) {
+  MetricsSnapshot snap = LocalMetricsSnapshot(server);
+  if (server.procs == nullptr) return snap;
+  static constexpr std::string_view kPrefix = "OK metricsnap ";
+  for (size_t k = 0; k < server.procs->num_shards(); ++k) {
+    Result<std::string> response = server.procs->Forward(k, "METRICSNAP");
+    if (!response.ok()) return response.status();
+    if (response->rfind(kPrefix, 0) != 0) {
+      return Status::Internal("shard " + std::to_string(k) +
+                              " returned malformed metricsnap: " + *response);
+    }
+    Result<MetricsSnapshot> child =
+        MetricsSnapshot::Parse(std::string_view(*response).substr(kPrefix.size()));
+    if (!child.ok()) return child.status();
+    snap.MergeFrom(*child);
+  }
+  return snap;
+}
 
 // Extracts the decimal value of `key=` from a response line; false when
 // the key is absent or malformed.
@@ -510,6 +646,42 @@ std::string HandleLineMulti(Server& server, const ServeRequest& req,
                     batches == 0 ? 0.0 : batched / static_cast<double>(batches));
       return FormatOk(buf);
     }
+    case ServeCommand::kMetrics: {
+      Result<MetricsSnapshot> snap = GatherMetrics(server);
+      if (!snap.ok()) return FormatError(snap.status().message());
+      return FramedResponse("metrics", snap->RenderExposition());
+    }
+    case ServeCommand::kMetricSnap: {
+      Result<MetricsSnapshot> snap = GatherMetrics(server);
+      if (!snap.ok()) return FormatError(snap.status().message());
+      return FormatOk("metricsnap " + snap->Serialize());
+    }
+    case ServeCommand::kTrace: {
+      // The router's own ring holds frontend timelines (parse/respond
+      // only — the work happens in the children); each child appends
+      // its shard-attributed timelines after it.
+      const int count = req.n == 0 ? 16 : req.n;
+      std::string payload;
+      for (const RequestTrace& t :
+           TraceRing::Global().MostRecent(static_cast<size_t>(count))) {
+        payload += FormatTraceLine(t);
+        payload.push_back('\n');
+      }
+      for (size_t k = 0; k < procs.num_shards(); ++k) {
+        Result<std::vector<std::string>> lines =
+            procs.ForwardMulti(k, "TRACE n=" + std::to_string(count));
+        if (!lines.ok()) return FormatError(lines.status().message());
+        if (lines->empty() || (*lines)[0].rfind("OK ", 0) != 0) {
+          return FormatError("shard " + std::to_string(k) +
+                             " trace dump failed");
+        }
+        for (size_t i = 1; i < lines->size(); ++i) {
+          payload += (*lines)[i];
+          payload.push_back('\n');
+        }
+      }
+      return FramedResponse("traces", payload);
+    }
     case ServeCommand::kPing:
       return FormatOk("pong");
     case ServeCommand::kQuit:
@@ -519,11 +691,23 @@ std::string HandleLineMulti(Server& server, const ServeRequest& req,
   return FormatError("unreachable");
 }
 
-// Handles one request line; returns the response line (no newline).
-// Sets *quit for QUIT.
-std::string HandleLine(Server& server, const std::string& line, bool* quit) {
+// Handles one request line; returns the response (no trailing newline;
+// framed responses carry embedded newlines). Sets *quit for QUIT. A
+// sampled request's `trace` (may be null) is stamped through parse and
+// the service layers; the caller owns commit.
+std::string HandleLine(Server& server, const std::string& line, bool* quit,
+                       RequestTrace* trace = nullptr) {
+  const FrontendInstruments& fi = Frontend();
+  fi.lines->Increment();
+  const uint64_t parse_start = MonotonicNowNs();
   Result<ServeRequest> parsed = ParseServeRequest(line);
-  if (!parsed.ok()) return FormatError(parsed.status().message());
+  const uint64_t parse_end = MonotonicNowNs();
+  fi.parse_ns->Observe(parse_end - parse_start);
+  if (trace != nullptr) trace->Stamp(TraceStage::kParse, parse_end);
+  if (!parsed.ok()) {
+    fi.parse_errors->Increment();
+    return FormatError(parsed.status().message());
+  }
   ServeRequest& req = *parsed;
   if (!server.local()) return HandleLineMulti(server, req, line, quit);
   switch (req.command) {
@@ -538,7 +722,8 @@ std::string HandleLine(Server& server, const std::string& line, bool* quit) {
       }
       std::vector<ItemId> items;
       uint64_t version = 0;
-      if (Status s = server.TopNInto(req.user, req.n, excl, &items, &version);
+      if (Status s = server.TopNInto(req.user, req.n, excl, &items, &version,
+                                     trace);
           !s.ok()) {
         return FormatError(s.message());
       }
@@ -610,6 +795,21 @@ std::string HandleLine(Server& server, const std::string& line, bool* quit) {
                     s.MeanBatchFill());
       return FormatOk(buf);
     }
+    case ServeCommand::kMetrics:
+      return FramedResponse("metrics",
+                            LocalMetricsSnapshot(server).RenderExposition());
+    case ServeCommand::kMetricSnap:
+      return FormatOk("metricsnap " + LocalMetricsSnapshot(server).Serialize());
+    case ServeCommand::kTrace: {
+      const int count = req.n == 0 ? 16 : req.n;
+      std::string payload;
+      for (const RequestTrace& t :
+           TraceRing::Global().MostRecent(static_cast<size_t>(count))) {
+        payload += FormatTraceLine(t);
+        payload.push_back('\n');
+      }
+      return FramedResponse("traces", payload);
+    }
     case ServeCommand::kPing:
       return FormatOk("pong");
     case ServeCommand::kQuit:
@@ -617,6 +817,28 @@ std::string HandleLine(Server& server, const std::string& line, bool* quit) {
       return FormatOk("bye");
   }
   return FormatError("unreachable");
+}
+
+// Wraps HandleLine with the sampled trace ring and the per-line
+// instruments: every input path (stdin and each TCP connection) funnels
+// through here, drawing seq numbers from one process-wide counter so
+// sampling is deterministic in the request arrival order.
+std::string HandleRequest(Server& server, const std::string& line,
+                          bool* quit) {
+  TraceRing& ring = TraceRing::Global();
+  const uint64_t seq =
+      g_request_seq.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<RequestTrace> trace;
+  if (ring.ShouldSample(seq)) trace = ring.Begin(seq);
+  const uint64_t start_ns = MonotonicNowNs();
+  std::string response = HandleLine(server, line, quit, trace.get());
+  const uint64_t end_ns = MonotonicNowNs();
+  Frontend().line_ns->Observe(end_ns - start_ns);
+  if (trace != nullptr) {
+    trace->Stamp(TraceStage::kRespond, end_ns);
+    ring.Commit(std::move(trace));
+  }
+  return response;
 }
 
 // One live TCP connection. `mu` serializes the socket's close against
@@ -649,8 +871,8 @@ void ServeConnection(Server& server, Connection& conn) {
     while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
       line[--len] = '\0';
     }
-    std::string response =
-        HandleLine(server, std::string(line, static_cast<size_t>(len)), &quit);
+    std::string response = HandleRequest(
+        server, std::string(line, static_cast<size_t>(len)), &quit);
     response.push_back('\n');
     if (!WriteAll(conn.fd, response.data(), response.size())) break;
   }
@@ -763,17 +985,16 @@ void StopListener(Listener& listener) {
   }
 }
 
-void DumpStats(const Server& server, double uptime_ms) {
-  if (!server.local()) {
-    std::fprintf(stderr,
-                 "--- ganc_serve router shutdown (%zu shards, "
-                 "multiprocess, %.1f ms up) ---\n",
-                 server.procs->num_shards(), uptime_ms);
-    return;
-  }
-  const ServeStats s = server.stats();
+// Shutdown report: one topology/uptime header, then the same metrics
+// text exposition the METRICS verb serves — one renderer, one format,
+// whether scraped live or read off a dead server's stderr. Must run
+// while children are still alive (it scrapes them over METRICSNAP).
+void DumpStats(Server& server, double uptime_ms) {
   std::string topology;
-  if (server.child) {
+  if (server.procs) {
+    topology = std::to_string(server.procs->num_shards()) +
+               " shards, multiprocess";
+  } else if (server.child) {
     const ShardSpec spec = server.child->spec();
     topology = "shard " + std::to_string(spec.index) + "/" +
                std::to_string(spec.num_shards);
@@ -781,31 +1002,15 @@ void DumpStats(const Server& server, double uptime_ms) {
     topology = std::to_string(server.router->num_shards()) +
                " in-process shard(s)";
   }
-  std::fprintf(stderr,
-               "--- ganc_serve shutdown ---\n"
-               "source:       %s (snapshot v%llu, %s)\n"
-               "uptime:       %.1f ms\n"
-               "requests:     %llu\n"
-               "cache hits:   %llu (%.1f%%)\n"
-               "store hits:   %llu\n"
-               "live scored:  %llu in %llu batches (mean fill %.2f, "
-               "%llu full, %llu timer flushes)\n"
-               "latency:      mean %.1f us, max %llu us\n"
-               "sessions:     %zu\n",
-               server.source().c_str(),
-               static_cast<unsigned long long>(server.version()),
-               topology.c_str(), uptime_ms,
-               static_cast<unsigned long long>(s.requests),
-               static_cast<unsigned long long>(s.cache_hits),
-               100.0 * s.CacheHitRate(),
-               static_cast<unsigned long long>(s.store_hits),
-               static_cast<unsigned long long>(s.live_scored),
-               static_cast<unsigned long long>(s.batches), s.MeanBatchFill(),
-               static_cast<unsigned long long>(s.full_batches),
-               static_cast<unsigned long long>(s.waited_flushes),
-               s.MeanLatencyUs(),
-               static_cast<unsigned long long>(s.latency_us_max),
-               server.sessions.num_sessions());
+  std::fprintf(stderr, "--- ganc_serve shutdown (%s, %.1f ms up, %zu "
+               "sessions) ---\n",
+               topology.c_str(), uptime_ms, server.sessions.num_sessions());
+  Result<MetricsSnapshot> snap = GatherMetrics(server);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "metrics: %s\n", snap.status().ToString().c_str());
+    return;
+  }
+  std::fputs(snap->RenderExposition().c_str(), stderr);
 }
 
 // Parses --shard=k/N. Returns false on malformed input.
@@ -1065,8 +1270,8 @@ int Run(const Flags& flags) {
     while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
       line[--len] = '\0';
     }
-    const std::string response =
-        HandleLine(server, std::string(line, static_cast<size_t>(len)), &quit);
+    const std::string response = HandleRequest(
+        server, std::string(line, static_cast<size_t>(len)), &quit);
     std::printf("%s\n", response.c_str());
     std::fflush(stdout);
   }
@@ -1091,8 +1296,10 @@ int Run(const Flags& flags) {
 
   if (server.watcher) server.watcher->Stop();
   StopListener(listener);
-  if (server.procs) server.procs->Stop();
+  // Metrics first: the shutdown report scrapes child processes, so they
+  // must still be running here.
   DumpStats(server, up_timer.ElapsedMillis());
+  if (server.procs) server.procs->Stop();
   return 0;
 }
 
